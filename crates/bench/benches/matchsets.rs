@@ -1,0 +1,52 @@
+//! Ablation for DESIGN.md decision #2: disjoint match sets are computed
+//! once per network (paper §5.2, step 1) rather than re-derived per
+//! query. This bench quantifies what a single full computation costs at
+//! two fat-tree sizes, and what per-rule naive re-derivation would cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use netbdd::Bdd;
+use netmodel::MatchSets;
+use topogen::{fattree, FatTreeParams};
+
+fn bench_matchsets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matchsets");
+    group.sample_size(10);
+
+    for k in [4u32, 8] {
+        let ft = fattree(FatTreeParams::paper(k));
+        group.bench_function(format!("precompute_all_k{k}"), |b| {
+            b.iter(|| {
+                let mut bdd = Bdd::new();
+                MatchSets::compute(&ft.net, &mut bdd)
+            })
+        });
+
+        // The naive alternative: for one device, recompute its chain from
+        // scratch per rule lookup (quadratic in table length).
+        group.bench_function(format!("naive_per_rule_one_device_k{k}"), |b| {
+            let (tor, _, _) = ft.tors[0];
+            b.iter(|| {
+                let mut bdd = Bdd::new();
+                let rules = ft.net.device_rules(tor);
+                let mut out = Vec::with_capacity(rules.len());
+                for i in 0..rules.len() {
+                    // Recompute the residual for rule i from scratch.
+                    let mut matched = bdd.empty();
+                    for r in &rules[..i] {
+                        let raw = r.matches.to_bdd(&mut bdd);
+                        matched = bdd.or(matched, raw);
+                    }
+                    let raw = rules[i].matches.to_bdd(&mut bdd);
+                    out.push(bdd.diff(raw, matched));
+                }
+                out
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_matchsets);
+criterion_main!(benches);

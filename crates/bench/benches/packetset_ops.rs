@@ -1,0 +1,110 @@
+//! Figure 5 micro-benchmarks: the packet-set operations coverage
+//! computation is built on, at realistic FIB sizes — plus the ablation
+//! for DESIGN.md decision #1 (ITE computed cache on vs. cleared).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use netbdd::Bdd;
+use netmodel::header;
+use netmodel::Prefix;
+
+/// Build the destination sets of `n` disjoint /24s, as a FIB would.
+fn prefix_sets(bdd: &mut Bdd, n: u32) -> Vec<netbdd::Ref> {
+    (0..n)
+        .map(|i| {
+            let p = Prefix::v4(
+                u32::from_be_bytes([10, (i / 256) as u8, (i % 256) as u8, 0]),
+                24,
+            );
+            header::dst_in(bdd, &p)
+        })
+        .collect()
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packetset_ops");
+
+    group.bench_function("fromRule(/24)", |b| {
+        let mut bdd = Bdd::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            // A fresh prefix each call so hash-consing can't trivially hit.
+            i = (i + 1) % 60000;
+            let p = Prefix::v4(u32::from_be_bytes([10, (i / 250) as u8, (i % 250) as u8, 0]), 24);
+            header::dst_in(&mut bdd, &p)
+        })
+    });
+
+    group.bench_function("union(256 prefixes)", |b| {
+        let mut bdd = Bdd::new();
+        let sets = prefix_sets(&mut bdd, 256);
+        b.iter(|| bdd.or_all(sets.iter().copied()))
+    });
+
+    group.bench_function("intersect(overlapping aggregates)", |b| {
+        let mut bdd = Bdd::new();
+        let sets = prefix_sets(&mut bdd, 256);
+        let union = bdd.or_all(sets.iter().copied());
+        let half = header::dst_in(&mut bdd, &"10.0.0.0/9".parse().unwrap());
+        b.iter(|| bdd.and(union, half))
+    });
+
+    group.bench_function("negate(union of 256)", |b| {
+        let mut bdd = Bdd::new();
+        let sets = prefix_sets(&mut bdd, 256);
+        let union = bdd.or_all(sets.iter().copied());
+        b.iter(|| bdd.not(union))
+    });
+
+    group.bench_function("equal(canonical)", |b| {
+        let mut bdd = Bdd::new();
+        let sets = prefix_sets(&mut bdd, 256);
+        let u1 = bdd.or_all(sets.iter().copied());
+        let u2 = bdd.or_all(sets.iter().rev().copied());
+        b.iter(|| bdd.equal(u1, u2))
+    });
+
+    group.bench_function("count(probability)", |b| {
+        let mut bdd = Bdd::new();
+        let sets = prefix_sets(&mut bdd, 256);
+        let union = bdd.or_all(sets.iter().copied());
+        // Memo cleared inside the timed routine (clearing is O(entries)
+        // and small next to the counting walk on a cold cache).
+        b.iter(|| {
+            bdd.clear_caches();
+            bdd.probability(union)
+        })
+    });
+
+    group.finish();
+}
+
+/// Ablation (DESIGN.md #1): the same union workload with the ITE cache
+/// cleared before every operation versus kept warm.
+fn bench_cache_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ite_cache_ablation");
+
+    group.bench_function("union256_warm_cache", |b| {
+        let mut bdd = Bdd::new();
+        let sets = prefix_sets(&mut bdd, 256);
+        b.iter(|| bdd.or_all(sets.iter().copied()))
+    });
+
+    group.bench_function("union256_cold_cache", |b| {
+        let mut bdd = Bdd::new();
+        let sets = prefix_sets(&mut bdd, 256);
+        b.iter(|| {
+            bdd.clear_caches();
+            bdd.or_all(sets.iter().copied())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ops, bench_cache_ablation
+}
+criterion_main!(benches);

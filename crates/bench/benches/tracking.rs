@@ -1,0 +1,55 @@
+//! Phase-1 tracking micro-costs (the mechanism behind Figure 8's small
+//! overheads, and DESIGN.md decision #3): `mark_rule` is a set insert,
+//! `mark_packet` one BDD union per call, and a disabled tracker is a
+//! branch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use netbdd::Bdd;
+use netmodel::topology::DeviceId;
+use netmodel::{header, Location, RuleId};
+use yardstick::Tracker;
+
+fn bench_tracking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracking");
+
+    group.bench_function("mark_rule", |b| {
+        let mut tracker = Tracker::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            tracker.mark_rule(RuleId { device: DeviceId(i % 1000), index: i % 64 });
+        })
+    });
+
+    group.bench_function("mark_packet_disjoint_prefixes", |b| {
+        let mut bdd = Bdd::new();
+        let sets: Vec<_> = (0..512u32)
+            .map(|i| {
+                let p = netmodel::Prefix::v4(
+                    u32::from_be_bytes([10, (i / 256) as u8, (i % 256) as u8, 0]),
+                    24,
+                );
+                header::dst_in(&mut bdd, &p)
+            })
+            .collect();
+        let mut tracker = Tracker::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % sets.len();
+            tracker.mark_packet(&mut bdd, Location::device(DeviceId((i % 40) as u32)), sets[i]);
+        })
+    });
+
+    group.bench_function("mark_packet_disabled_noop", |b| {
+        let mut bdd = Bdd::new();
+        let set = header::dst_in(&mut bdd, &"10.0.0.0/24".parse().unwrap());
+        let mut tracker = Tracker::disabled();
+        b.iter(|| tracker.mark_packet(&mut bdd, Location::device(DeviceId(0)), set))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracking);
+criterion_main!(benches);

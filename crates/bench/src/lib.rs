@@ -1,0 +1,156 @@
+//! # bench — harnesses that regenerate every figure of the paper
+//!
+//! One binary per evaluation artifact:
+//!
+//! | binary | artifact | what it reproduces |
+//! |--------|----------|--------------------|
+//! | `fig6` | Figure 6 | per-role coverage of the original suite, each new test, and the final suite on the regional network |
+//! | `fig7` | Figure 7 | coverage improvement across test-suite iterations (+89% rules, +17% interfaces headline) |
+//! | `fig8` | Figure 8 | overhead of coverage tracking across four test types on fat-trees of growing size |
+//! | `fig9` | Figure 9 | time to compute device/interface/rule/path coverage vs. network size |
+//!
+//! Each binary prints the same rows/series the paper reports and writes
+//! CSV under `target/figures/`. Criterion micro-benchmarks for the
+//! packet-set operation table (Figure 5) and the design-choice ablations
+//! live in `benches/`.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use netmodel::topology::DeviceId;
+use testsuite::NetworkInfo;
+use topogen::{addressing, FatTree, Regional};
+
+/// Ground-truth info for a generated regional network.
+pub fn regional_info(r: &Regional) -> NetworkInfo {
+    NetworkInfo {
+        tor_subnets: r.tors.clone(),
+        loopbacks: if r.params.loopbacks {
+            (0..r.net.topology().device_count())
+                .map(|d| (DeviceId(d as u32), addressing::loopback(d as u32)))
+                .collect()
+        } else {
+            Vec::new()
+        },
+        links: if r.params.connected {
+            r.links
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, b))| {
+                    let (p4, _, _) = addressing::p2p_v4(i as u32);
+                    let (p6, _, _) = addressing::p2p_v6(i as u32);
+                    (a, b, p4, p6)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        },
+    }
+}
+
+/// Ground-truth info for a generated fat-tree.
+pub fn fattree_info(ft: &FatTree) -> NetworkInfo {
+    NetworkInfo {
+        tor_subnets: ft.tors.clone(),
+        loopbacks: if ft.params.loopbacks {
+            (0..ft.net.topology().device_count())
+                .map(|d| (DeviceId(d as u32), addressing::loopback(d as u32)))
+                .collect()
+        } else {
+            Vec::new()
+        },
+        links: if ft.params.connected {
+            ft.links
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, b))| {
+                    let (p4, _, _) = addressing::p2p_v4(i as u32);
+                    let (p6, _, _) = addressing::p2p_v6(i as u32);
+                    (a, b, p4, p6)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        },
+    }
+}
+
+/// Wall-clock one closure.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Where figure CSVs are written (`target/figures/`), created on demand.
+pub fn figures_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/figures");
+    std::fs::create_dir_all(&dir).expect("create target/figures");
+    dir
+}
+
+/// Write a CSV next to the other figure outputs and echo the location.
+pub fn write_csv(name: &str, contents: &str) {
+    let path = figures_dir().join(name);
+    std::fs::write(&path, contents).expect("write figure CSV");
+    println!("  [csv] {}", path.display());
+}
+
+/// Parse `--max-k N`-style integer flags from argv, with a default.
+pub fn arg_flag(name: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Fat-tree sweep sizes up to `max_k` (even ks, growing stride like the
+/// paper's 8..88 sweep).
+pub fn sweep_ks(max_k: u64) -> Vec<u32> {
+    [4u32, 8, 12, 16, 20, 24, 32, 40, 48, 64, 88]
+        .into_iter()
+        .filter(|&k| k as u64 <= max_k)
+        .collect()
+}
+
+/// Pretty `Duration` as seconds with 3 decimals.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topogen::{fattree, regional, FatTreeParams, RegionalParams};
+
+    #[test]
+    fn info_builders_cover_all_links_and_tors() {
+        let r = regional(RegionalParams::default());
+        let info = regional_info(&r);
+        assert_eq!(info.tor_subnets.len(), r.tors.len());
+        assert_eq!(info.links.len(), r.links.len());
+        assert_eq!(info.loopbacks.len(), r.net.topology().device_count());
+
+        let ft = fattree(FatTreeParams::paper(4));
+        let fi = fattree_info(&ft);
+        assert_eq!(fi.tor_subnets.len(), 8);
+        assert!(fi.loopbacks.is_empty());
+        assert!(fi.links.is_empty());
+    }
+
+    #[test]
+    fn sweep_respects_the_cap() {
+        assert_eq!(sweep_ks(16), vec![4, 8, 12, 16]);
+        assert_eq!(sweep_ks(88).last(), Some(&88));
+        assert!(sweep_ks(3).is_empty());
+    }
+
+    #[test]
+    fn timing_returns_value_and_duration() {
+        let (v, d) = time_it(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,465 @@
+//! The programmable coverage framework of §4.3.1.
+//!
+//! The coverage of one component is specified by three parts:
+//!
+//! * a **dependency specification** `G` — a set of [`GuardedString`]s
+//!   `P ▷ r₁,…,rⱼ`: a packet-set guard and a rule path whose testing the
+//!   component depends on;
+//! * a **measure** µ — how well a test suite covers one guarded string,
+//!   a number in `[0, 1]`;
+//! * a **combinator** κ — how per-string measures fold into the
+//!   component's coverage.
+//!
+//! Collections of components aggregate with an **aggregator** α
+//! (Equation 2). All three knobs are plain enums here (plus an escape
+//! hatch for custom weighting), so new metrics are data, not code.
+
+use netbdd::{Bdd, Ref};
+use netmodel::{MatchSets, Network, RuleId};
+
+use crate::covered::CoveredSets;
+
+/// A guarded string `P ▷ r₁,…,rⱼ`: the flow of packet set `P` along a
+/// valid rule path. Single-rule strings (`j = 1`) describe local
+/// components; longer strings describe paths.
+#[derive(Clone, Debug)]
+pub struct GuardedString {
+    /// The guard: packets whose handling the component depends on.
+    pub guard: Ref,
+    /// The rule path, in forwarding order. Must be non-empty.
+    pub rules: Vec<RuleId>,
+}
+
+impl GuardedString {
+    /// A single-rule string, the common case for local components.
+    pub fn rule(guard: Ref, rule: RuleId) -> GuardedString {
+        GuardedString { guard, rules: vec![rule] }
+    }
+}
+
+/// The measure µ: how thoroughly one guarded string is covered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Measure {
+    /// Fraction of the guard covered: `|T[r] ∩ P| / |P|` for single-rule
+    /// strings; for multi-rule strings, the end-to-end survival fraction
+    /// of Equation (3) with the footnote-2 min-ratio refinement.
+    Fraction,
+    /// 1 if any packet of the guard exercises the string, else 0.
+    HitOrMiss,
+}
+
+/// The combinator κ: fold per-string measures into component coverage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Combinator {
+    /// The component has exactly one guarded string; take it.
+    Only,
+    /// Unweighted mean of the measures.
+    Mean,
+    /// Mean weighted by each string's guard size (rules matching more
+    /// packets weigh more) — used by device and interface coverage.
+    WeightedByGuard,
+    /// The weakest link: minimum across strings.
+    Min,
+    /// The best case: maximum across strings.
+    Max,
+}
+
+/// The aggregator α over a collection of component coverages (Equation 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Aggregator {
+    /// Simple (unweighted) average.
+    Mean,
+    /// Average weighted by each component's packet-space size; the weight
+    /// is supplied alongside the coverage value.
+    Weighted,
+    /// Fraction of components with non-zero coverage ("tested at all").
+    Fractional,
+}
+
+impl Aggregator {
+    /// Fold `(coverage, weight)` pairs. Weights are ignored except by
+    /// [`Aggregator::Weighted`]. Returns `None` on an empty collection
+    /// (coverage of nothing is undefined, not 0 or 1).
+    pub fn fold(self, items: &[(f64, f64)]) -> Option<f64> {
+        if items.is_empty() {
+            return None;
+        }
+        Some(match self {
+            Aggregator::Mean => {
+                items.iter().map(|&(c, _)| c).sum::<f64>() / items.len() as f64
+            }
+            Aggregator::Weighted => {
+                let total_w: f64 = items.iter().map(|&(_, w)| w).sum();
+                if total_w == 0.0 {
+                    0.0
+                } else {
+                    items.iter().map(|&(c, w)| c * w).sum::<f64>() / total_w
+                }
+            }
+            Aggregator::Fractional => {
+                items.iter().filter(|&&(c, _)| c > 0.0).count() as f64 / items.len() as f64
+            }
+        })
+    }
+}
+
+/// A component's coverage specification `(κ, µ, G)`.
+#[derive(Clone, Debug)]
+pub struct ComponentSpec {
+    pub strings: Vec<GuardedString>,
+    pub measure: Measure,
+    pub combinator: Combinator,
+}
+
+impl ComponentSpec {
+    /// Evaluate Equation (1): `CompCov[T](κ, µ, G) = κ (map (µ[T]) G)`.
+    ///
+    /// Returns `None` when the specification is vacuous — no strings, or
+    /// every guard empty — since such a component cannot be tested and
+    /// must not drag aggregate metrics (a fully-shadowed rule is not a
+    /// testing gap).
+    pub fn eval(
+        &self,
+        bdd: &mut Bdd,
+        net: &Network,
+        ms: &MatchSets,
+        covered: &CoveredSets,
+    ) -> Option<f64> {
+        let mut measures: Vec<(f64, f64)> = Vec::with_capacity(self.strings.len());
+        for g in &self.strings {
+            if g.guard.is_false() {
+                continue;
+            }
+            let m = measure_string(bdd, net, ms, covered, self.measure, g);
+            let w = bdd.probability(g.guard);
+            measures.push((m, w));
+        }
+        if measures.is_empty() {
+            return None;
+        }
+        Some(match self.combinator {
+            Combinator::Only => {
+                debug_assert_eq!(measures.len(), 1, "Only expects a singleton G");
+                measures[0].0
+            }
+            Combinator::Mean => {
+                measures.iter().map(|&(m, _)| m).sum::<f64>() / measures.len() as f64
+            }
+            Combinator::WeightedByGuard => {
+                let total: f64 = measures.iter().map(|&(_, w)| w).sum();
+                if total == 0.0 {
+                    0.0
+                } else {
+                    measures.iter().map(|&(m, w)| m * w).sum::<f64>() / total
+                }
+            }
+            Combinator::Min => measures.iter().map(|&(m, _)| m).fold(f64::INFINITY, f64::min),
+            Combinator::Max => measures.iter().map(|&(m, _)| m).fold(0.0, f64::max),
+        })
+    }
+}
+
+/// µ for one guarded string.
+fn measure_string(
+    bdd: &mut Bdd,
+    net: &Network,
+    ms: &MatchSets,
+    covered: &CoveredSets,
+    measure: Measure,
+    g: &GuardedString,
+) -> f64 {
+    debug_assert!(!g.rules.is_empty(), "guarded strings must name at least one rule");
+    let frac = path_survival(bdd, net, ms, covered, g.guard, &g.rules);
+    match measure {
+        Measure::Fraction => frac,
+        Measure::HitOrMiss => {
+            if frac > 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+/// Equation (3) with the footnote-2 refinement.
+///
+/// Walk the rule path twice in lockstep: the *tested* chain `Pᵢ`
+/// (constrained by covered sets `T[rᵢ]`) and the *unconstrained* chain
+/// `P'ᵢ` (constrained only by match sets `M[rᵢ]`). At each hop take the
+/// ratio `|Pᵢ|/|P'ᵢ|`; the string's measure is the minimum ratio, which
+/// equals `|P_k|/|P'_k|` when every transformation is one-to-one but
+/// stays meaningful for many-to-one rewrites.
+pub fn path_survival(
+    bdd: &mut Bdd,
+    net: &Network,
+    ms: &MatchSets,
+    covered: &CoveredSets,
+    guard: Ref,
+    rules: &[RuleId],
+) -> f64 {
+    let mut tested = guard;
+    let mut unconstrained = guard;
+    let mut min_ratio = f64::INFINITY;
+    for &rid in rules {
+        // Tested chain: Pᵢ = F[rᵢ](Pᵢ₋₁ ∩ T[rᵢ]); T[r] ⊆ M[r] already.
+        let t = covered.get(rid);
+        tested = bdd.and(tested, t);
+        // Unconstrained chain: restricted by match sets only. For guards
+        // built from real forwarding the intersection is a no-op, but
+        // hand-written specs may pass wider guards.
+        let m = ms.get(rid);
+        unconstrained = bdd.and(unconstrained, m);
+        let rule = net.rule(rid);
+        let ratio = {
+            let pu = bdd.probability(unconstrained);
+            if pu == 0.0 {
+                // The guard cannot traverse this path at all: vacuous.
+                return 0.0;
+            }
+            bdd.probability(tested) / pu
+        };
+        min_ratio = min_ratio.min(ratio);
+        if min_ratio == 0.0 {
+            return 0.0;
+        }
+        // Apply the rule's transformation (if any) to both chains.
+        if let netmodel::Action::Rewrite(rw, _) = &rule.action {
+            tested = rw.apply(bdd, tested);
+            unconstrained = rw.apply(bdd, unconstrained);
+        }
+    }
+    min_ratio.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::CoverageTrace;
+    use netmodel::addr::Prefix;
+    use netmodel::header;
+    use netmodel::rule::{RouteClass, Rule};
+    use netmodel::topology::{DeviceId, IfaceId, IfaceKind, Role, Topology};
+    use netmodel::{Location, MatchSets};
+
+    fn one_rule_net() -> (Network, RuleId) {
+        let mut t = Topology::new();
+        let d = t.add_device("r", Role::Tor);
+        t.add_iface(d, "h", IfaceKind::Host);
+        let mut n = Network::new(t);
+        n.add_rule(
+            d,
+            Rule::forward("10.0.0.0/24".parse().unwrap(), vec![IfaceId(0)], RouteClass::HostSubnet),
+        );
+        n.finalize();
+        (n, RuleId { device: d, index: 0 })
+    }
+
+    fn covered_with(
+        n: &Network,
+        bdd: &mut Bdd,
+        mark: Option<Ref>,
+    ) -> (MatchSets, CoveredSets) {
+        let ms = MatchSets::compute(n, bdd);
+        let mut trace = CoverageTrace::new();
+        if let Some(p) = mark {
+            trace.add_packets(bdd, Location::device(DeviceId(0)), p);
+        }
+        let cov = CoveredSets::compute(n, &ms, &trace, bdd);
+        (ms, cov)
+    }
+
+    #[test]
+    fn fraction_measure_is_the_covered_ratio() {
+        let (n, rid) = one_rule_net();
+        let mut bdd = Bdd::new();
+        let p25 = header::dst_in(&mut bdd, &"10.0.0.0/25".parse().unwrap());
+        let (ms, cov) = covered_with(&n, &mut bdd, Some(p25));
+        let spec = ComponentSpec {
+            strings: vec![GuardedString::rule(ms.get(rid), rid)],
+            measure: Measure::Fraction,
+            combinator: Combinator::Only,
+        };
+        let got = spec.eval(&mut bdd, &n, &ms, &cov).unwrap();
+        assert!((got - 0.5).abs() < 1e-12, "half the /24 marked, got {got}");
+    }
+
+    #[test]
+    fn hit_or_miss_flattens_partial_coverage() {
+        let (n, rid) = one_rule_net();
+        let mut bdd = Bdd::new();
+        let one = header::Packet::v4_to(netmodel::addr::ipv4(10, 0, 0, 1)).to_bdd(&mut bdd);
+        let (ms, cov) = covered_with(&n, &mut bdd, Some(one));
+        let spec = ComponentSpec {
+            strings: vec![GuardedString::rule(ms.get(rid), rid)],
+            measure: Measure::HitOrMiss,
+            combinator: Combinator::Only,
+        };
+        assert_eq!(spec.eval(&mut bdd, &n, &ms, &cov), Some(1.0));
+    }
+
+    #[test]
+    fn vacuous_specs_evaluate_to_none() {
+        let (n, rid) = one_rule_net();
+        let mut bdd = Bdd::new();
+        let (ms, cov) = covered_with(&n, &mut bdd, None);
+        let empty_guard = ComponentSpec {
+            strings: vec![GuardedString::rule(netbdd::Ref::FALSE, rid)],
+            measure: Measure::Fraction,
+            combinator: Combinator::Only,
+        };
+        assert_eq!(empty_guard.eval(&mut bdd, &n, &ms, &cov), None);
+        let no_strings = ComponentSpec {
+            strings: vec![],
+            measure: Measure::Fraction,
+            combinator: Combinator::Mean,
+        };
+        assert_eq!(no_strings.eval(&mut bdd, &n, &ms, &cov), None);
+    }
+
+    #[test]
+    fn combinators_fold_as_documented() {
+        let (n, rid) = one_rule_net();
+        let mut bdd = Bdd::new();
+        // Cover the /25 half of the /24.
+        let p25 = header::dst_in(&mut bdd, &"10.0.0.0/25".parse().unwrap());
+        let (ms, cov) = covered_with(&n, &mut bdd, Some(p25));
+        // Two strings over the same rule: the fully-covered /25 guard and
+        // the untouched other /25.
+        let other = header::dst_in(&mut bdd, &"10.0.0.128/25".parse().unwrap());
+        let m = ms.get(rid);
+        let g_hit = bdd.and(m, p25);
+        let g_miss = bdd.and(m, other);
+        let mk = |comb| ComponentSpec {
+            strings: vec![GuardedString::rule(g_hit, rid), GuardedString::rule(g_miss, rid)],
+            measure: Measure::Fraction,
+            combinator: comb,
+        };
+        assert_eq!(mk(Combinator::Min).eval(&mut bdd, &n, &ms, &cov), Some(0.0));
+        assert_eq!(mk(Combinator::Max).eval(&mut bdd, &n, &ms, &cov), Some(1.0));
+        assert_eq!(mk(Combinator::Mean).eval(&mut bdd, &n, &ms, &cov), Some(0.5));
+        // Equal guard sizes: weighted == mean here.
+        assert_eq!(mk(Combinator::WeightedByGuard).eval(&mut bdd, &n, &ms, &cov), Some(0.5));
+    }
+
+    #[test]
+    fn aggregators_fold_as_documented() {
+        let items = vec![(1.0, 1.0), (0.0, 3.0)];
+        assert_eq!(Aggregator::Mean.fold(&items), Some(0.5));
+        assert_eq!(Aggregator::Weighted.fold(&items), Some(0.25));
+        assert_eq!(Aggregator::Fractional.fold(&items), Some(0.5));
+        assert_eq!(Aggregator::Mean.fold(&[]), None);
+    }
+
+    #[test]
+    fn aggregator_fractional_counts_any_nonzero() {
+        let items = vec![(0.001, 1.0), (0.0, 1.0), (1.0, 1.0), (0.5, 1.0)];
+        assert_eq!(Aggregator::Fractional.fold(&items), Some(0.75));
+    }
+
+    /// Two-hop path: covered on hop 1 only with a disjoint set from hop 2
+    /// → path coverage 0 (the paper's "if different rules of the path
+    /// were tested using disjoint sets of packets, the coverage will be
+    /// zero").
+    #[test]
+    fn disjoint_per_hop_coverage_yields_zero_path_coverage() {
+        let mut t = Topology::new();
+        let a = t.add_device("a", Role::Tor);
+        let b = t.add_device("b", Role::Spine);
+        let h = t.add_iface(b, "h", IfaceKind::Host);
+        let (ab, _) = t.add_link(a, b);
+        let p: Prefix = "10.0.0.0/24".parse().unwrap();
+        let mut n = Network::new(t);
+        n.add_rule(a, Rule::forward(p, vec![ab], RouteClass::HostSubnet));
+        n.add_rule(b, Rule::forward(p, vec![h], RouteClass::HostSubnet));
+        n.finalize();
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&n, &mut bdd);
+        let mut trace = CoverageTrace::new();
+        let lo = header::dst_in(&mut bdd, &"10.0.0.0/25".parse().unwrap());
+        let hi = header::dst_in(&mut bdd, &"10.0.0.128/25".parse().unwrap());
+        trace.add_packets(&mut bdd, Location::device(a), lo);
+        trace.add_packets(&mut bdd, Location::device(b), hi);
+        let cov = CoveredSets::compute(&n, &ms, &trace, &mut bdd);
+        let r_a = RuleId { device: a, index: 0 };
+        let r_b = RuleId { device: b, index: 0 };
+        let guard = ms.get(r_a);
+        let s = path_survival(&mut bdd, &n, &ms, &cov, guard, &[r_a, r_b]);
+        assert_eq!(s, 0.0);
+        // But each rule individually is half covered.
+        let m = bdd.probability(cov.get(r_a)) / bdd.probability(ms.get(r_a));
+        assert!((m - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aligned_per_hop_coverage_survives() {
+        let mut t = Topology::new();
+        let a = t.add_device("a", Role::Tor);
+        let b = t.add_device("b", Role::Spine);
+        let h = t.add_iface(b, "h", IfaceKind::Host);
+        let (ab, _) = t.add_link(a, b);
+        let p: Prefix = "10.0.0.0/24".parse().unwrap();
+        let mut n = Network::new(t);
+        n.add_rule(a, Rule::forward(p, vec![ab], RouteClass::HostSubnet));
+        n.add_rule(b, Rule::forward(p, vec![h], RouteClass::HostSubnet));
+        n.finalize();
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&n, &mut bdd);
+        let mut trace = CoverageTrace::new();
+        let lo = header::dst_in(&mut bdd, &"10.0.0.0/25".parse().unwrap());
+        trace.add_packets(&mut bdd, Location::device(a), lo);
+        trace.add_packets(&mut bdd, Location::device(b), lo);
+        let cov = CoveredSets::compute(&n, &ms, &trace, &mut bdd);
+        let r_a = RuleId { device: a, index: 0 };
+        let r_b = RuleId { device: b, index: 0 };
+        let guard = ms.get(r_a);
+        let s = path_survival(&mut bdd, &n, &ms, &cov, guard, &[r_a, r_b]);
+        assert!((s - 0.5).abs() < 1e-12, "half the guard survives end-to-end, got {s}");
+    }
+
+    /// Many-to-one rewrite: the min-ratio refinement keeps the measure
+    /// meaningful where the plain Equation (3) would report 100%.
+    #[test]
+    fn min_ratio_handles_many_to_one_rewrites() {
+        use netmodel::{HeaderField, MatchFields, Rewrite};
+        let mut t = Topology::new();
+        let a = t.add_device("a", Role::Tor);
+        let b = t.add_device("b", Role::Spine);
+        let h = t.add_iface(b, "h", IfaceKind::Host);
+        let (ab, _) = t.add_link(a, b);
+        let target = netmodel::addr::ipv4(10, 0, 0, 1);
+        let mut n = Network::new(t);
+        // a: rewrite everything in 10.0.0.0/24 to one address, forward.
+        n.add_rule(
+            a,
+            Rule {
+                matches: MatchFields::dst_prefix("10.0.0.0/24".parse().unwrap()),
+                action: netmodel::Action::Rewrite(
+                    Rewrite { set: vec![(HeaderField::Dst4, target as u128)] },
+                    vec![ab],
+                ),
+                class: RouteClass::Other,
+            },
+        );
+        n.add_rule(b, Rule::forward(Prefix::host_v4(target), vec![h], RouteClass::HostSubnet));
+        n.finalize();
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&n, &mut bdd);
+        // Test only 1/4 of the /24 at a, but at b the rewritten packets
+        // all collapse to `target`, which the b-hop test fully covers.
+        let mut trace = CoverageTrace::new();
+        let quarter = header::dst_in(&mut bdd, &"10.0.0.0/26".parse().unwrap());
+        trace.add_packets(&mut bdd, Location::device(a), quarter);
+        let t_dst = header::dst_in(&mut bdd, &Prefix::host_v4(target));
+        trace.add_packets(&mut bdd, Location::device(b), t_dst);
+        let cov = CoveredSets::compute(&n, &ms, &trace, &mut bdd);
+        let r_a = RuleId { device: a, index: 0 };
+        let r_b = RuleId { device: b, index: 0 };
+        let guard = ms.get(r_a);
+        let s = path_survival(&mut bdd, &n, &ms, &cov, guard, &[r_a, r_b]);
+        // Hop a ratio = 1/4; after the rewrite both chains collapse to the
+        // single target address, hop b ratio = 1. Min = 1/4 — not the 100%
+        // naive Equation (3) would give.
+        assert!((s - 0.25).abs() < 1e-12, "got {s}");
+    }
+}

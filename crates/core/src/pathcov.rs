@@ -1,0 +1,387 @@
+//! Path coverage over the whole path universe (§4.3.2, §5.2 step 3).
+//!
+//! The denominator of aggregate path metrics is the number of paths
+//! *imputed by the forwarding state* (not the topology, which would admit
+//! unrealistic zig-zags). Paths are enumerated depth-first and processed
+//! on the fly; per path, Equation (3) runs against the covered sets.
+
+use netbdd::{Bdd, Ref};
+use netmodel::rule::Action;
+use netmodel::{MatchSets, Network, RuleId};
+
+use dataplane::paths::{explore, ExploreOpts, PathStats};
+use dataplane::Forwarder;
+
+use crate::analyzer::Analyzer;
+use crate::framework::path_survival;
+
+/// Aggregate path-coverage results.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PathCoverage {
+    /// Paths enumerated (the metric denominator).
+    pub total_paths: u64,
+    /// Paths with non-zero end-to-end coverage.
+    pub covered_paths: u64,
+    /// Mean per-path coverage (simple average).
+    pub mean: f64,
+    /// Guard-size-weighted mean per-path coverage.
+    pub weighted: f64,
+    /// Raw exploration statistics.
+    pub stats: PathStats,
+}
+
+impl PathCoverage {
+    /// Fractional path coverage: share of paths tested at all.
+    pub fn fractional(&self) -> f64 {
+        if self.total_paths == 0 {
+            0.0
+        } else {
+            self.covered_paths as f64 / self.total_paths as f64
+        }
+    }
+}
+
+/// Reconstruct a path's guard `P` — the packets at the path's entry that
+/// traverse the whole path — from the final packet set.
+///
+/// For one-to-one (or absent) transformations the set of *headers* is
+/// unchanged along the path, so the guard equals the final set. When a
+/// path contains rewrites, walk backwards: take pre-images through each
+/// rewrite and re-intersect with each hop's match set (§5.2: *"we compute
+/// the guard set by reversing the forwarding operations"*).
+pub fn path_guard(
+    bdd: &mut Bdd,
+    net: &Network,
+    ms: &MatchSets,
+    rules: &[RuleId],
+    final_set: Ref,
+) -> Ref {
+    let any_rewrite =
+        rules.iter().any(|&r| matches!(net.rule(r).action, Action::Rewrite(_, _)));
+    if !any_rewrite {
+        return final_set;
+    }
+    let mut g = final_set;
+    for &rid in rules.iter().rev() {
+        if let Action::Rewrite(rw, _) = &net.rule(rid).action {
+            g = rw.preimage(bdd, g);
+        }
+        let m = ms.get(rid);
+        g = bdd.and(g, m);
+    }
+    g
+}
+
+/// Enumerate the path universe from `starts` and measure coverage of
+/// every path (Equation 3 per path).
+pub fn path_coverage(
+    bdd: &mut Bdd,
+    analyzer: &Analyzer<'_>,
+    starts: &[(netmodel::Location, Ref)],
+    opts: &ExploreOpts,
+) -> PathCoverage {
+    let net = analyzer.network();
+    let ms = analyzer.match_sets();
+    let covered = analyzer.covered_sets();
+    let fwd = Forwarder::new(net, ms);
+
+    let mut total = 0u64;
+    let mut hit = 0u64;
+    let mut sum = 0.0f64;
+    let mut wsum = 0.0f64;
+    let mut wtotal = 0.0f64;
+
+    let stats = explore(bdd, &fwd, starts, opts, |bdd, ev| {
+        if ev.rules.is_empty() {
+            return; // unmatched at injection: no rules to cover
+        }
+        let guard = path_guard(bdd, net, ms, ev.rules, ev.final_set);
+        if guard.is_false() {
+            return;
+        }
+        let m = path_survival(bdd, net, ms, covered, guard, ev.rules);
+        total += 1;
+        if m > 0.0 {
+            hit += 1;
+        }
+        sum += m;
+        let w = bdd.probability(guard);
+        wsum += m * w;
+        wtotal += w;
+    });
+
+    PathCoverage {
+        total_paths: total,
+        covered_paths: hit,
+        mean: if total == 0 { 0.0 } else { sum / total as f64 },
+        weighted: if wtotal == 0.0 { 0.0 } else { wsum / wtotal },
+        stats,
+    }
+}
+
+/// A compact signature of the path universe, comparable across state
+/// snapshots.
+///
+/// §5.2 notes the risk of state bugs silently changing the path-count
+/// denominator, and that Yardstick "can guard against this risk by
+/// flagging to the user when the size of the path universe changes
+/// dramatically relative to prior state snapshots". This digest carries
+/// the counts needed for that check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PathUniverseDigest {
+    pub paths: u64,
+    pub delivered: u64,
+    pub exited: u64,
+    pub dropped: u64,
+    pub unmatched: u64,
+}
+
+impl From<PathStats> for PathUniverseDigest {
+    fn from(s: PathStats) -> Self {
+        PathUniverseDigest {
+            paths: s.paths,
+            delivered: s.delivered,
+            exited: s.exited,
+            dropped: s.dropped,
+            unmatched: s.unmatched,
+        }
+    }
+}
+
+impl PathUniverseDigest {
+    /// Relative drift between two snapshots in `[0, 1]`: the largest
+    /// relative change across all terminal-class counts. `0` means the
+    /// universes have identical shape; values near `1` mean a terminal
+    /// class (e.g. drops) appeared or vanished wholesale.
+    pub fn drift(&self, other: &PathUniverseDigest) -> f64 {
+        fn rel(a: u64, b: u64) -> f64 {
+            let (a, b) = (a as f64, b as f64);
+            let denom = a.max(b);
+            if denom == 0.0 {
+                0.0
+            } else {
+                (a - b).abs() / denom
+            }
+        }
+        rel(self.paths, other.paths)
+            .max(rel(self.delivered, other.delivered))
+            .max(rel(self.exited, other.exited))
+            .max(rel(self.dropped, other.dropped))
+            .max(rel(self.unmatched, other.unmatched))
+    }
+
+    /// Whether the drift against a prior snapshot exceeds `threshold`
+    /// (a sensible default is 0.1: absent operational changes, the
+    /// universe "is not expected to change significantly day-to-day").
+    pub fn drifted(&self, prior: &PathUniverseDigest, threshold: f64) -> bool {
+        self.drift(prior) > threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::CoverageTrace;
+    use dataplane::paths::edge_starts;
+    use netmodel::addr::Prefix;
+    use netmodel::header;
+    use netmodel::rule::{RouteClass, Rule};
+    use netmodel::topology::{DeviceId, IfaceKind, Role, Topology};
+    use netmodel::Location;
+
+    /// tor1 -- spine -- tor2 with a /24 per ToR.
+    fn chain() -> (Network, Vec<DeviceId>) {
+        let mut t = Topology::new();
+        let tor1 = t.add_device("tor1", Role::Tor);
+        let spine = t.add_device("spine", Role::Spine);
+        let tor2 = t.add_device("tor2", Role::Tor);
+        let h1 = t.add_iface(tor1, "hosts", IfaceKind::Host);
+        let h2 = t.add_iface(tor2, "hosts", IfaceKind::Host);
+        let (t1s, st1) = t.add_link(tor1, spine);
+        let (t2s, st2) = t.add_link(tor2, spine);
+        let p1: Prefix = "10.0.1.0/24".parse().unwrap();
+        let p2: Prefix = "10.0.2.0/24".parse().unwrap();
+        let mut net = Network::new(t);
+        net.add_rule(tor1, Rule::forward(p1, vec![h1], RouteClass::HostSubnet));
+        net.add_rule(tor1, Rule::forward(p2, vec![t1s], RouteClass::HostSubnet));
+        net.add_rule(spine, Rule::forward(p1, vec![st1], RouteClass::HostSubnet));
+        net.add_rule(spine, Rule::forward(p2, vec![st2], RouteClass::HostSubnet));
+        net.add_rule(tor2, Rule::forward(p2, vec![h2], RouteClass::HostSubnet));
+        net.add_rule(tor2, Rule::forward(p1, vec![t2s], RouteClass::HostSubnet));
+        net.finalize();
+        (net, vec![tor1, spine, tor2])
+    }
+
+    #[test]
+    fn untested_network_has_zero_path_coverage() {
+        let (net, _) = chain();
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&net, &mut bdd);
+        let trace = CoverageTrace::new();
+        let a = Analyzer::new(&net, &ms, &trace, &mut bdd);
+        let fwd = Forwarder::new(&net, &ms);
+        let starts = edge_starts(&mut bdd, &fwd);
+        let pc = path_coverage(&mut bdd, &a, &starts, &ExploreOpts::default());
+        assert!(pc.total_paths > 0);
+        assert_eq!(pc.covered_paths, 0);
+        assert_eq!(pc.fractional(), 0.0);
+        assert_eq!(pc.mean, 0.0);
+    }
+
+    #[test]
+    fn fully_marked_network_has_full_path_coverage() {
+        let (net, devs) = chain();
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&net, &mut bdd);
+        let mut trace = CoverageTrace::new();
+        let full = bdd.full();
+        for &d in &devs {
+            trace.add_packets(&mut bdd, Location::device(d), full);
+        }
+        let a = Analyzer::new(&net, &ms, &trace, &mut bdd);
+        let fwd = Forwarder::new(&net, &ms);
+        let starts = edge_starts(&mut bdd, &fwd);
+        let pc = path_coverage(&mut bdd, &a, &starts, &ExploreOpts::default());
+        assert_eq!(pc.fractional(), 1.0);
+        assert!((pc.mean - 1.0).abs() < 1e-12);
+        assert!((pc.weighted - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn universe_counts_both_directions() {
+        let (net, _) = chain();
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&net, &mut bdd);
+        let trace = CoverageTrace::new();
+        let a = Analyzer::new(&net, &ms, &trace, &mut bdd);
+        let fwd = Forwarder::new(&net, &ms);
+        let starts = edge_starts(&mut bdd, &fwd);
+        let pc = path_coverage(&mut bdd, &a, &starts, &ExploreOpts::default());
+        // From h1: p1 delivered locally (1 rule) + p2 across (3 rules).
+        // From h2: symmetric. Total 4 paths.
+        assert_eq!(pc.total_paths, 4);
+    }
+
+    #[test]
+    fn partially_tested_path_counts_fractionally() {
+        let (net, devs) = chain();
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&net, &mut bdd);
+        let mut trace = CoverageTrace::new();
+        // End-to-end mark of half of p2 along the tor1→tor2 path.
+        let half = header::dst_in(&mut bdd, &"10.0.2.0/25".parse().unwrap());
+        for &d in &devs {
+            trace.add_packets(&mut bdd, Location::device(d), half);
+        }
+        let a = Analyzer::new(&net, &ms, &trace, &mut bdd);
+        let fwd = Forwarder::new(&net, &ms);
+        let starts = edge_starts(&mut bdd, &fwd);
+        let pc = path_coverage(&mut bdd, &a, &starts, &ExploreOpts::default());
+        // Covered: the tor1→tor2 three-hop path at 1/2, and the tor2-local
+        // p2 delivery at 1/2. The two p1 paths are untouched.
+        assert_eq!(pc.total_paths, 4);
+        assert_eq!(pc.covered_paths, 2);
+        assert!((pc.mean - (0.5 + 0.5) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_guard_is_identity_without_rewrites() {
+        let (net, _) = chain();
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&net, &mut bdd);
+        let p2 = header::dst_in(&mut bdd, &"10.0.2.0/24".parse().unwrap());
+        let rules = vec![
+            RuleId { device: DeviceId(0), index: 1 },
+            RuleId { device: DeviceId(1), index: 1 },
+        ];
+        assert_eq!(path_guard(&mut bdd, &net, &ms, &rules, p2), p2);
+    }
+
+    #[test]
+    fn path_guard_reverses_rewrites() {
+        use netmodel::{HeaderField, MatchFields, Rewrite};
+        let mut t = Topology::new();
+        let a = t.add_device("a", Role::Tor);
+        let h = t.add_iface(a, "h", IfaceKind::Host);
+        let target = netmodel::addr::ipv4(192, 168, 0, 1);
+        let mut net = Network::new(t);
+        net.add_rule(
+            a,
+            Rule {
+                matches: MatchFields::dst_prefix("10.0.0.0/24".parse().unwrap()),
+                action: netmodel::Action::Rewrite(
+                    Rewrite { set: vec![(HeaderField::Dst4, target as u128)] },
+                    vec![h],
+                ),
+                class: RouteClass::Other,
+            },
+        );
+        net.finalize();
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&net, &mut bdd);
+        let rid = RuleId { device: a, index: 0 };
+        // Final set after the rewrite: v4 ∧ dst=target.
+        let v4 = header::family_is(&mut bdd, netmodel::Family::V4);
+        let t_dst = header::dst_in(&mut bdd, &Prefix::host_v4(target));
+        let final_set = bdd.and(v4, t_dst);
+        let g = path_guard(&mut bdd, &net, &ms, &[rid], final_set);
+        // Guard = the whole /24 (every packet maps onto target).
+        assert_eq!(g, ms.get(rid));
+    }
+}
+
+#[cfg(test)]
+mod digest_tests {
+    use super::*;
+    use crate::analyzer::Analyzer;
+    use crate::trace::CoverageTrace;
+    use dataplane::paths::edge_starts;
+    use dataplane::Forwarder;
+    use netbdd::Bdd;
+    use netmodel::MatchSets;
+    use topogen::{fattree, FatTreeParams};
+
+    fn digest_of(net: &netmodel::Network, bdd: &mut Bdd) -> PathUniverseDigest {
+        let ms = MatchSets::compute(net, bdd);
+        let trace = CoverageTrace::new();
+        let analyzer = Analyzer::new(net, &ms, &trace, bdd);
+        let fwd = Forwarder::new(net, &ms);
+        let starts = edge_starts(bdd, &fwd);
+        let pc = path_coverage(bdd, &analyzer, &starts, &dataplane::ExploreOpts::default());
+        PathUniverseDigest::from(pc.stats)
+    }
+
+    #[test]
+    fn identical_snapshots_have_zero_drift() {
+        let ft = fattree(FatTreeParams::paper(4));
+        let mut bdd = Bdd::new();
+        let d1 = digest_of(&ft.net, &mut bdd);
+        let d2 = digest_of(&ft.net, &mut bdd);
+        assert_eq!(d1, d2);
+        assert_eq!(d1.drift(&d2), 0.0);
+        assert!(!d1.drifted(&d2, 0.1));
+    }
+
+    #[test]
+    fn null_route_shows_up_as_drift() {
+        let ft = fattree(FatTreeParams::paper(4));
+        let mut bdd = Bdd::new();
+        let before = digest_of(&ft.net, &mut bdd);
+        let mut broken = ft.net.clone();
+        let (_, victim, _) = ft.tors[3];
+        topogen::faults::null_route(&mut broken, ft.cores[0], victim);
+        let after = digest_of(&broken, &mut bdd);
+        // Drops appear where there were none: drift saturates.
+        assert_eq!(after.drift(&before), 1.0);
+        assert!(after.drifted(&before, 0.1));
+    }
+
+    #[test]
+    fn drift_is_symmetric_and_bounded() {
+        let a = PathUniverseDigest { paths: 100, delivered: 90, exited: 10, ..Default::default() };
+        let b = PathUniverseDigest { paths: 120, delivered: 95, exited: 25, ..Default::default() };
+        assert_eq!(a.drift(&b), b.drift(&a));
+        assert!((0.0..=1.0).contains(&a.drift(&b)));
+        assert_eq!(a.drift(&a), 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! The coverage trace `(P_T, R_T)` — §5.2.
+//!
+//! During test execution Yardstick stores the union of everything the
+//! testing tool reported: `P_T`, the located packets across all
+//! `markPacket` calls, and `R_T`, the rules across all `markRule` calls.
+//! Overlapping information is removed on the fly (packet sets are
+//! unioned per location; rules are a set), so the trace stays compact no
+//! matter how many tests run.
+
+use std::collections::BTreeSet;
+
+use netbdd::{Bdd, Ref};
+use netmodel::{LocatedPacketSet, Location, RuleId};
+
+/// The compact record of what a test suite exercised.
+#[derive(Clone, Debug, Default)]
+pub struct CoverageTrace {
+    /// `P_T`: union of all packets reported by behavioural tests, per
+    /// location.
+    pub packets: LocatedPacketSet,
+    /// `R_T`: rules reported by state-inspection tests.
+    pub rules: BTreeSet<RuleId>,
+}
+
+impl CoverageTrace {
+    pub fn new() -> CoverageTrace {
+        CoverageTrace::default()
+    }
+
+    /// Record located packets (a `markPacket` call).
+    pub fn add_packets(&mut self, bdd: &mut Bdd, loc: Location, packets: Ref) {
+        self.packets.add(bdd, loc, packets);
+    }
+
+    /// Record an inspected rule (a `markRule` call).
+    pub fn add_rule(&mut self, rule: RuleId) {
+        self.rules.insert(rule);
+    }
+
+    /// Merge another trace into this one (e.g. traces collected by
+    /// independently running test tools).
+    pub fn merge(&mut self, bdd: &mut Bdd, other: &CoverageTrace) {
+        self.packets.union(bdd, &other.packets);
+        self.rules.extend(other.rules.iter().copied());
+    }
+
+    /// True when nothing at all was reported.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty() && self.rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::topology::DeviceId;
+
+    fn rid(d: u32, i: u32) -> RuleId {
+        RuleId { device: DeviceId(d), index: i }
+    }
+
+    #[test]
+    fn starts_empty() {
+        assert!(CoverageTrace::new().is_empty());
+    }
+
+    #[test]
+    fn duplicate_rule_marks_collapse() {
+        let mut t = CoverageTrace::new();
+        t.add_rule(rid(0, 0));
+        t.add_rule(rid(0, 0));
+        t.add_rule(rid(1, 2));
+        assert_eq!(t.rules.len(), 2);
+    }
+
+    #[test]
+    fn packet_marks_union_per_location() {
+        let mut bdd = Bdd::new();
+        let mut t = CoverageTrace::new();
+        let loc = Location::device(DeviceId(0));
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        t.add_packets(&mut bdd, loc, a);
+        t.add_packets(&mut bdd, loc, b);
+        let expect = bdd.or(a, b);
+        assert_eq!(t.packets.at(loc), expect);
+    }
+
+    #[test]
+    fn merge_combines_both_halves() {
+        let mut bdd = Bdd::new();
+        let loc = Location::device(DeviceId(0));
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let mut t1 = CoverageTrace::new();
+        t1.add_packets(&mut bdd, loc, a);
+        t1.add_rule(rid(0, 0));
+        let mut t2 = CoverageTrace::new();
+        t2.add_packets(&mut bdd, loc, b);
+        t2.add_rule(rid(2, 0));
+        t1.merge(&mut bdd, &t2);
+        let expect = bdd.or(a, b);
+        assert_eq!(t1.packets.at(loc), expect);
+        assert_eq!(t1.rules.len(), 2);
+    }
+}

@@ -1,0 +1,31 @@
+//! # dataplane — symbolic forwarding over the network model
+//!
+//! This crate is the behavioural substrate of the Yardstick reproduction:
+//! everything that *computes what the forwarding state does* lives here.
+//!
+//! * [`forward`] — one symbolic forwarding step: split an incoming packet
+//!   set across a device's disjoint rule match sets and apply actions.
+//! * [`mod@reach`] — end-to-end symbolic reachability by fixpoint set
+//!   propagation, recording the per-hop located packet sets that
+//!   behavioural tests report to the coverage tracker (§5.1).
+//! * [`paths`] — depth-first enumeration of the path universe, emitting
+//!   paths incrementally and never materialising them all in memory,
+//!   exactly as §5.2 describes (*"We do not store all paths in memory …
+//!   but process them on the fly"*).
+//! * [`mod@traceroute`] — concrete single-packet walks with deterministic
+//!   ECMP hashing, the substrate for Pingmesh-style tests.
+//! * [`diff`] — semantic diffs between forwarding-state snapshots: the
+//!   exact packet sets a change affects, for change-validation
+//!   workflows.
+
+pub mod diff;
+pub mod forward;
+pub mod paths;
+pub mod reach;
+pub mod traceroute;
+
+pub use diff::{semantic_diff, DeviceDiff};
+pub use forward::{Forwarder, Outcome, StepResult, Transition};
+pub use paths::{explore, ExploreOpts, PathEvent, PathStats, Terminal};
+pub use reach::{reach, ReachResult};
+pub use traceroute::{traceroute, Hop, TraceOutcome, TraceResult};

@@ -1,0 +1,318 @@
+//! Concrete single-packet walks: the substrate for traceroute/ping-style
+//! tests (Figure 2's "concrete" column, and the ToRPingmesh test of §8).
+//!
+//! ECMP legs are chosen by a deterministic hash of the packet five-tuple,
+//! mimicking per-flow hashing in real routers: the same packet always
+//! takes the same path, different packets spread across legs.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use netbdd::Bdd;
+use netmodel::header::Packet;
+use netmodel::rule::Action;
+use netmodel::topology::DeviceId;
+use netmodel::{IfaceId, IfaceKind, Location, MatchSets, Network, RuleId};
+
+/// One hop of a concrete trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hop {
+    /// Where the packet was when the rule was applied.
+    pub location: Location,
+    /// The rule that matched.
+    pub rule: RuleId,
+    /// The packet *as it was at this hop* (rewrites may change it).
+    pub packet: Packet,
+}
+
+/// How a concrete trace ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceOutcome {
+    /// Delivered out a host-facing interface of this device.
+    Delivered { device: DeviceId, iface: IfaceId },
+    /// Left the network through an external interface.
+    Exited { device: DeviceId, iface: IfaceId },
+    /// Hit an explicit drop rule.
+    Dropped { device: DeviceId, rule: RuleId },
+    /// Matched no rule at this device.
+    Unmatched { device: DeviceId },
+    /// Exceeded the hop budget (loop).
+    HopLimit,
+}
+
+/// A completed concrete trace.
+#[derive(Clone, Debug)]
+pub struct TraceResult {
+    pub hops: Vec<Hop>,
+    pub outcome: TraceOutcome,
+}
+
+impl TraceResult {
+    /// Devices traversed, in order.
+    pub fn devices(&self) -> Vec<DeviceId> {
+        self.hops.iter().map(|h| h.location.device).collect()
+    }
+
+    pub fn delivered(&self) -> bool {
+        matches!(self.outcome, TraceOutcome::Delivered { .. })
+    }
+}
+
+/// Walk one concrete packet from `start` until it terminates.
+///
+/// Rule matching evaluates the packet against the device's disjoint match
+/// sets, so the trace agrees exactly with the symbolic engine's
+/// first-match semantics.
+pub fn traceroute(
+    bdd: &mut Bdd,
+    net: &Network,
+    ms: &MatchSets,
+    start: Location,
+    packet: Packet,
+    max_hops: usize,
+) -> TraceResult {
+    let mut hops = Vec::new();
+    let mut loc = start;
+    let mut pkt = packet;
+    for _ in 0..max_hops {
+        let Some((rule_id, rule)) = lookup(net, ms, bdd, loc, &pkt) else {
+            return TraceResult { hops, outcome: TraceOutcome::Unmatched { device: loc.device } };
+        };
+        hops.push(Hop { location: loc, rule: rule_id, packet: pkt });
+        let (out_ifaces, rewritten) = match &rule.action {
+            Action::Drop => {
+                return TraceResult {
+                    hops,
+                    outcome: TraceOutcome::Dropped { device: loc.device, rule: rule_id },
+                };
+            }
+            Action::Forward(outs) => (outs, pkt),
+            Action::Rewrite(rw, outs) => {
+                // Apply the rewrite to the concrete packet through the
+                // symbolic engine to guarantee agreement with it.
+                let as_set = pkt.to_bdd(bdd);
+                let image = rw.apply(bdd, as_set);
+                let new_pkt = netmodel::header::sample_packet(bdd, image)
+                    .expect("rewrite image of a packet cannot be empty");
+                (outs, new_pkt)
+            }
+        };
+        pkt = rewritten;
+        let iface = choose_ecmp_leg(out_ifaces, &pkt, loc.device);
+        let ifc = net.topology().iface(iface);
+        match ifc.kind {
+            IfaceKind::Host | IfaceKind::Loopback => {
+                return TraceResult {
+                    hops,
+                    outcome: TraceOutcome::Delivered { device: loc.device, iface },
+                };
+            }
+            IfaceKind::External => {
+                return TraceResult {
+                    hops,
+                    outcome: TraceOutcome::Exited { device: loc.device, iface },
+                };
+            }
+            IfaceKind::P2p => match ifc.peer {
+                Some(peer) => {
+                    loc = Location::at(net.topology().iface(peer).device, peer);
+                }
+                None => {
+                    return TraceResult {
+                        hops,
+                        outcome: TraceOutcome::Exited { device: loc.device, iface },
+                    };
+                }
+            },
+        }
+    }
+    TraceResult { hops, outcome: TraceOutcome::HopLimit }
+}
+
+/// First-match lookup of a concrete packet in a device table.
+fn lookup<'n>(
+    net: &'n Network,
+    ms: &MatchSets,
+    bdd: &Bdd,
+    loc: Location,
+    pkt: &Packet,
+) -> Option<(RuleId, &'n netmodel::Rule)> {
+    for id in net.device_rule_ids(loc.device) {
+        let rule = net.rule(id);
+        if let Some(required) = rule.matches.in_iface {
+            if loc.iface != Some(required) {
+                continue;
+            }
+        }
+        if pkt.matches(bdd, ms.get(id)) {
+            return Some((id, rule));
+        }
+    }
+    None
+}
+
+/// Deterministic per-flow ECMP leg choice.
+fn choose_ecmp_leg(outs: &[IfaceId], pkt: &Packet, device: DeviceId) -> IfaceId {
+    debug_assert!(!outs.is_empty());
+    if outs.len() == 1 {
+        return outs[0];
+    }
+    let mut h = DefaultHasher::new();
+    // Five-tuple plus device id: per-flow stable, varies across devices.
+    pkt.dst.hash(&mut h);
+    pkt.src.hash(&mut h);
+    pkt.proto.hash(&mut h);
+    pkt.sport.hash(&mut h);
+    pkt.dport.hash(&mut h);
+    device.0.hash(&mut h);
+    outs[(h.finish() % outs.len() as u64) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::addr::{ipv4, Prefix};
+    use netmodel::rule::{RouteClass, Rule};
+    use netmodel::topology::{Role, Topology};
+
+    /// Same diamond as the path tests: a → {b,c} → d, ECMP at a.
+    fn diamond() -> (Network, DeviceId, DeviceId, DeviceId, DeviceId) {
+        let mut t = Topology::new();
+        let a = t.add_device("a", Role::Tor);
+        let b = t.add_device("b", Role::Spine);
+        let c = t.add_device("c", Role::Spine);
+        let d = t.add_device("d", Role::Tor);
+        let _in = t.add_iface(a, "in", IfaceKind::Host);
+        let egress = t.add_iface(d, "out", IfaceKind::Host);
+        let (ab, _) = t.add_link(a, b);
+        let (ac, _) = t.add_link(a, c);
+        let (bd, _) = t.add_link(b, d);
+        let (cd, _) = t.add_link(c, d);
+        let p: Prefix = "10.0.0.0/24".parse().unwrap();
+        let mut net = Network::new(t);
+        net.add_rule(a, Rule::forward(p, vec![ab, ac], RouteClass::HostSubnet));
+        net.add_rule(b, Rule::forward(p, vec![bd], RouteClass::HostSubnet));
+        net.add_rule(c, Rule::forward(p, vec![cd], RouteClass::HostSubnet));
+        net.add_rule(d, Rule::forward(p, vec![egress], RouteClass::HostSubnet));
+        net.finalize();
+        (net, a, b, c, d)
+    }
+
+    #[test]
+    fn trace_reaches_destination() {
+        let (net, a, _, _, d) = diamond();
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&net, &mut bdd);
+        let pkt = Packet::v4_to(ipv4(10, 0, 0, 9));
+        let res = traceroute(&mut bdd, &net, &ms, Location::device(a), pkt, 16);
+        assert!(res.delivered());
+        assert_eq!(res.hops.len(), 3);
+        assert_eq!(res.devices()[0], a);
+        assert_eq!(*res.devices().last().unwrap(), d);
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let (net, a, _, _, _) = diamond();
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&net, &mut bdd);
+        let pkt = Packet::v4_to(ipv4(10, 0, 0, 9));
+        let r1 = traceroute(&mut bdd, &net, &ms, Location::device(a), pkt, 16);
+        let r2 = traceroute(&mut bdd, &net, &ms, Location::device(a), pkt, 16);
+        assert_eq!(r1.devices(), r2.devices());
+    }
+
+    #[test]
+    fn different_flows_spread_over_ecmp_legs() {
+        let (net, a, b, c, _) = diamond();
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&net, &mut bdd);
+        let mut via = std::collections::HashSet::new();
+        for i in 0..64 {
+            let pkt = Packet { sport: 1000 + i, ..Packet::v4_to(ipv4(10, 0, 0, 9)) };
+            let res = traceroute(&mut bdd, &net, &ms, Location::device(a), pkt, 16);
+            via.insert(res.devices()[1]);
+        }
+        assert!(via.contains(&b) && via.contains(&c), "hashing never used one leg");
+    }
+
+    #[test]
+    fn unrouted_packet_is_unmatched() {
+        let (net, a, _, _, _) = diamond();
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&net, &mut bdd);
+        let pkt = Packet::v4_to(ipv4(99, 0, 0, 1));
+        let res = traceroute(&mut bdd, &net, &ms, Location::device(a), pkt, 16);
+        assert_eq!(res.outcome, TraceOutcome::Unmatched { device: a });
+        assert!(res.hops.is_empty());
+    }
+
+    #[test]
+    fn loop_hits_hop_limit() {
+        let mut t = Topology::new();
+        let a = t.add_device("a", Role::Spine);
+        let b = t.add_device("b", Role::Spine);
+        let (ab, ba) = t.add_link(a, b);
+        let mut net = Network::new(t);
+        net.add_rule(a, Rule::forward(Prefix::v4_default(), vec![ab], RouteClass::StaticDefault));
+        net.add_rule(b, Rule::forward(Prefix::v4_default(), vec![ba], RouteClass::StaticDefault));
+        net.finalize();
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&net, &mut bdd);
+        let res =
+            traceroute(&mut bdd, &net, &ms, Location::device(a), Packet::v4_to(1), 8);
+        assert_eq!(res.outcome, TraceOutcome::HopLimit);
+        assert_eq!(res.hops.len(), 8);
+    }
+
+    #[test]
+    fn rewrite_changes_the_traced_packet() {
+        use netmodel::{HeaderField, MatchFields, Rewrite};
+        let mut t = Topology::new();
+        let a = t.add_device("a", Role::Tor);
+        let b = t.add_device("b", Role::Tor);
+        let out = t.add_iface(b, "out", IfaceKind::Host);
+        let (ab, _) = t.add_link(a, b);
+        let target = ipv4(192, 168, 1, 1);
+        let mut net = Network::new(t);
+        net.add_rule(
+            a,
+            Rule {
+                matches: MatchFields::dst_prefix(Prefix::v4_default()),
+                action: netmodel::Action::Rewrite(
+                    Rewrite { set: vec![(HeaderField::Dst4, target as u128)] },
+                    vec![ab],
+                ),
+                class: RouteClass::Other,
+            },
+        );
+        net.add_rule(b, Rule::forward(Prefix::host_v4(target), vec![out], RouteClass::HostSubnet));
+        net.finalize();
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&net, &mut bdd);
+        let res = traceroute(&mut bdd, &net, &ms, Location::device(a), Packet::v4_to(1), 8);
+        assert!(res.delivered());
+        assert_eq!(res.hops[1].packet.dst, target as u128);
+        // Hop 0 records the pre-rewrite packet.
+        assert_eq!(res.hops[0].packet.dst, 1);
+    }
+
+    #[test]
+    fn dropped_packet_reports_the_rule() {
+        let mut t = Topology::new();
+        let a = t.add_device("a", Role::Border);
+        let mut net = Network::new(t);
+        net.add_rule(a, Rule::null_route(Prefix::v4_default(), RouteClass::StaticDefault));
+        net.finalize();
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&net, &mut bdd);
+        let res = traceroute(&mut bdd, &net, &ms, Location::device(a), Packet::v4_to(5), 8);
+        match res.outcome {
+            TraceOutcome::Dropped { device, rule } => {
+                assert_eq!(device, a);
+                assert_eq!(rule.device, a);
+            }
+            o => panic!("expected drop, got {o:?}"),
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests tying the three engines together on randomly generated
+//! chains: path enumeration must partition the injected packet space,
+//! and the concrete traceroute must agree with the symbolic engines on
+//! every packet's fate.
+
+use netbdd::{Bdd, Ref};
+use netmodel::addr::Prefix;
+use netmodel::header::{self, Packet};
+use netmodel::rule::{RouteClass, Rule};
+use netmodel::topology::{DeviceId, IfaceId, IfaceKind, Role, Topology};
+use netmodel::{Location, MatchSets, Network};
+use proptest::prelude::*;
+
+use dataplane::paths::{explore, ExploreOpts, Terminal};
+use dataplane::{reach, traceroute, Forwarder, TraceOutcome};
+
+/// A random forwarding chain: each device delivers one random prefix
+/// locally and defaults the rest to the next device; the last device
+/// null-routes its default.
+#[derive(Clone, Debug)]
+struct Chain {
+    prefixes: Vec<Prefix>,
+}
+
+fn arb_chain() -> impl Strategy<Value = Chain> {
+    prop::collection::vec((any::<u32>(), 4u8..=28), 1..5)
+        .prop_map(|ps| Chain { prefixes: ps.into_iter().map(|(a, l)| Prefix::v4(a, l)).collect() })
+}
+
+fn build(chain: &Chain) -> (Network, Vec<DeviceId>, Vec<IfaceId>) {
+    let n = chain.prefixes.len();
+    let mut t = Topology::new();
+    let devs: Vec<DeviceId> =
+        (0..n).map(|i| t.add_device(format!("d{i}"), Role::Other)).collect();
+    let hosts: Vec<IfaceId> =
+        devs.iter().map(|&d| t.add_iface(d, "host", IfaceKind::Host)).collect();
+    let mut links = Vec::new();
+    for w in devs.windows(2) {
+        links.push(t.add_link(w[0], w[1]));
+    }
+    let mut net = Network::new(t);
+    for (i, &d) in devs.iter().enumerate() {
+        net.add_rule(d, Rule::forward(chain.prefixes[i], vec![hosts[i]], RouteClass::HostSubnet));
+        if i + 1 < n {
+            net.add_rule(
+                d,
+                Rule::forward(Prefix::v4_default(), vec![links[i].0], RouteClass::StaticDefault),
+            );
+        } else {
+            net.add_rule(d, Rule::null_route(Prefix::v4_default(), RouteClass::StaticDefault));
+        }
+    }
+    net.finalize();
+    (net, devs, hosts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On an ECMP-free network the path universe *partitions* the
+    /// injected packet space: terminal sets are pairwise disjoint and
+    /// union back to the injection.
+    #[test]
+    fn path_terminals_partition_the_injection(chain in arb_chain()) {
+        let (net, devs, _) = build(&chain);
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&net, &mut bdd);
+        let fwd = Forwarder::new(&net, &ms);
+        let injected = header::family_is(&mut bdd, netmodel::Family::V4);
+        let mut finals: Vec<Ref> = Vec::new();
+        explore(
+            &mut bdd,
+            &fwd,
+            &[(Location::device(devs[0]), injected)],
+            &ExploreOpts { emit_empty_paths: true, ..ExploreOpts::default() },
+            |_, ev| finals.push(ev.final_set),
+        );
+        for i in 0..finals.len() {
+            for j in i + 1..finals.len() {
+                prop_assert!(!bdd.intersects(finals[i], finals[j]));
+            }
+        }
+        let union = bdd.or_all(finals.iter().copied());
+        prop_assert!(bdd.equal(union, injected));
+    }
+
+    /// Every concrete packet's traceroute fate matches the symbolic
+    /// path containing it.
+    #[test]
+    fn traceroute_agrees_with_path_enumeration(chain in arb_chain(), addr in any::<u32>()) {
+        let (net, devs, _) = build(&chain);
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&net, &mut bdd);
+        let fwd = Forwarder::new(&net, &ms);
+        let pkt = Packet::v4_to(addr);
+        let injected = header::family_is(&mut bdd, netmodel::Family::V4);
+
+        // Find the unique path whose final set contains the packet.
+        let mut hit: Option<(Terminal, usize)> = None;
+        explore(
+            &mut bdd,
+            &fwd,
+            &[(Location::device(devs[0]), injected)],
+            &ExploreOpts { emit_empty_paths: true, ..ExploreOpts::default() },
+            |bdd, ev| {
+                if pkt.matches(bdd, ev.final_set) {
+                    assert!(hit.is_none(), "packet in two disjoint paths");
+                    hit = Some((ev.terminal, ev.rules.len()));
+                }
+            },
+        );
+        let (terminal, rules_len) = hit.expect("every packet takes some path");
+
+        let tr = traceroute(&mut bdd, &net, &ms, Location::device(devs[0]), pkt, 32);
+        match (terminal, tr.outcome) {
+            (Terminal::Delivered { iface }, TraceOutcome::Delivered { iface: ti, .. }) => {
+                prop_assert_eq!(iface, ti);
+                prop_assert_eq!(rules_len, tr.hops.len());
+            }
+            (Terminal::Dropped, TraceOutcome::Dropped { .. }) => {
+                prop_assert_eq!(rules_len, tr.hops.len());
+            }
+            (Terminal::Unmatched, TraceOutcome::Unmatched { .. }) => {}
+            (a, b) => prop_assert!(false, "disagree: path={a:?} trace={b:?}"),
+        }
+    }
+
+    /// Fixpoint reachability delivers exactly the union of the delivered
+    /// path terminals (the two symbolic engines agree).
+    #[test]
+    fn reach_agrees_with_path_enumeration(chain in arb_chain()) {
+        let (net, devs, hosts) = build(&chain);
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&net, &mut bdd);
+        let fwd = Forwarder::new(&net, &ms);
+        let injected = header::family_is(&mut bdd, netmodel::Family::V4);
+
+        let mut delivered_paths = vec![Ref::FALSE; hosts.len()];
+        explore(
+            &mut bdd,
+            &fwd,
+            &[(Location::device(devs[0]), injected)],
+            &ExploreOpts::default(),
+            |bdd, ev| {
+                if let Terminal::Delivered { iface } = ev.terminal {
+                    let slot = hosts.iter().position(|&h| h == iface).unwrap();
+                    delivered_paths[slot] = bdd.or(delivered_paths[slot], ev.final_set);
+                }
+            },
+        );
+
+        let res = reach(&mut bdd, &fwd, Location::device(devs[0]), injected, 32);
+        for (i, &h) in hosts.iter().enumerate() {
+            let via_reach = res.delivered_at(&mut bdd, h);
+            prop_assert!(
+                bdd.equal(via_reach, delivered_paths[i]),
+                "delivery sets disagree at host {i}"
+            );
+        }
+    }
+}

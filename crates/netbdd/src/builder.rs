@@ -1,0 +1,234 @@
+//! Constructors for the structured predicates network analysis needs:
+//! fixed bit patterns (addresses), bit prefixes (LPM routes), and integer
+//! ranges (port ranges in ACLs).
+//!
+//! All of these build the diagram bottom-up in a single pass, so a 128-bit
+//! prefix constraint is a 128-node chain — no intermediate garbage.
+
+use crate::manager::Bdd;
+use crate::node::{Ref, Var};
+
+impl Bdd {
+    /// Conjunction of literals: variables `start..start+width` equal the
+    /// MSB-first bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in `width` bits or `width > 128`.
+    pub fn bits_eq(&mut self, start: Var, width: u32, value: u128) -> Ref {
+        assert!(width <= 128);
+        if width < 128 {
+            assert!(value < (1u128 << width), "value does not fit in width");
+        }
+        // Build from the least significant (deepest variable) upward.
+        let mut acc = Ref::TRUE;
+        for i in (0..width).rev() {
+            let var = start + i;
+            let bit = (value >> (width - 1 - i)) & 1 == 1;
+            acc = if bit {
+                self.mk(var, Ref::FALSE, acc)
+            } else {
+                self.mk(var, acc, Ref::FALSE)
+            };
+        }
+        acc
+    }
+
+    /// Prefix constraint: the top `plen` of `width` bits starting at
+    /// `start` equal the top `plen` bits of `value` (MSB-first). With
+    /// `plen == 0` this is the full set — exactly a default route's match
+    /// field.
+    pub fn bits_prefix(&mut self, start: Var, width: u32, value: u128, plen: u32) -> Ref {
+        assert!(plen <= width && width <= 128);
+        if plen == 0 {
+            return Ref::TRUE;
+        }
+        let top = value >> (width - plen);
+        self.bits_eq(start, plen, top)
+    }
+
+    /// Integer range constraint: variables `start..start+width` read as an
+    /// MSB-first integer `x` with `lo <= x <= hi`.
+    ///
+    /// Built as `x >= lo ∧ x <= hi`, each side a linear-size threshold
+    /// diagram.
+    pub fn int_range(&mut self, start: Var, width: u32, lo: u128, hi: u128) -> Ref {
+        assert!(width <= 128);
+        if lo > hi {
+            return Ref::FALSE;
+        }
+        let max = if width == 128 { u128::MAX } else { (1u128 << width) - 1 };
+        assert!(hi <= max, "hi does not fit in width");
+        let ge = self.int_ge(start, width, lo);
+        let le = self.int_le(start, width, hi);
+        self.and(ge, le)
+    }
+
+    /// Threshold constraint `x >= bound` over MSB-first bits.
+    pub fn int_ge(&mut self, start: Var, width: u32, bound: u128) -> Ref {
+        if bound == 0 {
+            return Ref::TRUE;
+        }
+        // From the LSB upward: if the current bound bit is 1, the value's
+        // bit must be 1 and the suffix must still satisfy >=; if it is 0, a
+        // 1-bit makes the rest free, a 0-bit defers to the suffix.
+        let mut acc = Ref::TRUE; // x >= 0 on the empty suffix
+        for i in (0..width).rev() {
+            let var = start + i;
+            let bit = (bound >> (width - 1 - i)) & 1 == 1;
+            acc = if bit {
+                self.mk(var, Ref::FALSE, acc)
+            } else {
+                self.mk(var, acc, Ref::TRUE)
+            };
+        }
+        acc
+    }
+
+    /// Threshold constraint `x <= bound` over MSB-first bits.
+    pub fn int_le(&mut self, start: Var, width: u32, bound: u128) -> Ref {
+        let max = if width == 128 { u128::MAX } else { (1u128 << width) - 1 };
+        if bound >= max {
+            return Ref::TRUE;
+        }
+        let mut acc = Ref::TRUE; // x <= bound on the empty suffix
+        for i in (0..width).rev() {
+            let var = start + i;
+            let bit = (bound >> (width - 1 - i)) & 1 == 1;
+            acc = if bit {
+                self.mk(var, Ref::TRUE, acc)
+            } else {
+                self.mk(var, acc, Ref::FALSE)
+            };
+        }
+        acc
+    }
+
+    /// Conjunction of a list of literals (a cube), e.g. one concrete packet.
+    pub fn cube_of(&mut self, literals: &[(Var, bool)]) -> Ref {
+        debug_assert!(literals.windows(2).all(|w| w[0].0 < w[1].0));
+        let mut acc = Ref::TRUE;
+        for &(var, positive) in literals.iter().rev() {
+            acc = if positive {
+                self.mk(var, Ref::FALSE, acc)
+            } else {
+                self.mk(var, acc, Ref::FALSE)
+            };
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_eq_counts_one() {
+        let mut bdd = Bdd::new();
+        let f = bdd.bits_eq(0, 8, 0xAB);
+        assert_eq!(bdd.sat_count(f, 8), 1);
+        assert!(bdd.eval(f, |v| (0xABu32 >> (7 - v)) & 1 == 1));
+    }
+
+    #[test]
+    fn bits_eq_zero_width_is_full() {
+        let mut bdd = Bdd::new();
+        assert!(bdd.bits_eq(5, 0, 0).is_true());
+    }
+
+    #[test]
+    fn prefix_counts_suffix_space() {
+        let mut bdd = Bdd::new();
+        // /3 prefix over an 8-bit field leaves 5 free bits.
+        let f = bdd.bits_prefix(0, 8, 0b101_00000, 3);
+        assert_eq!(bdd.sat_count(f, 8), 32);
+    }
+
+    #[test]
+    fn zero_length_prefix_is_default_route() {
+        let mut bdd = Bdd::new();
+        assert!(bdd.bits_prefix(0, 32, 0, 0).is_true());
+    }
+
+    #[test]
+    fn longer_prefix_is_subset_of_shorter() {
+        let mut bdd = Bdd::new();
+        let p8 = bdd.bits_prefix(0, 32, 0x0A000000, 8); // 10.0.0.0/8
+        let p24 = bdd.bits_prefix(0, 32, 0x0A010200, 24); // 10.1.2.0/24
+        assert!(bdd.subset(p24, p8));
+        assert!(!bdd.subset(p8, p24));
+    }
+
+    #[test]
+    fn disjoint_prefixes_dont_intersect() {
+        let mut bdd = Bdd::new();
+        let a = bdd.bits_prefix(0, 32, 0x0A000000, 8);
+        let b = bdd.bits_prefix(0, 32, 0x0B000000, 8);
+        assert!(!bdd.intersects(a, b));
+    }
+
+    #[test]
+    fn range_counts_exactly() {
+        let mut bdd = Bdd::new();
+        let f = bdd.int_range(0, 16, 100, 250);
+        assert_eq!(bdd.sat_count(f, 16), 151);
+    }
+
+    #[test]
+    fn range_full_and_empty() {
+        let mut bdd = Bdd::new();
+        assert!(bdd.int_range(0, 8, 0, 255).is_true());
+        assert!(bdd.int_range(0, 8, 9, 3).is_false());
+        let single = bdd.int_range(0, 8, 77, 77);
+        let eq = bdd.bits_eq(0, 8, 77);
+        assert_eq!(single, eq);
+    }
+
+    #[test]
+    fn ge_le_partition_the_space() {
+        let mut bdd = Bdd::new();
+        let ge = bdd.int_ge(0, 8, 100);
+        let le = bdd.int_le(0, 8, 99);
+        let both = bdd.or(ge, le);
+        assert!(both.is_true());
+        assert!(!bdd.intersects(ge, le));
+        assert_eq!(bdd.sat_count(ge, 8), 156);
+        assert_eq!(bdd.sat_count(le, 8), 100);
+    }
+
+    #[test]
+    fn range_brute_force_small() {
+        let mut bdd = Bdd::new();
+        for lo in 0..8u128 {
+            for hi in 0..8u128 {
+                let f = bdd.int_range(0, 3, lo, hi);
+                for x in 0..8u128 {
+                    let expected = lo <= x && x <= hi;
+                    let got = bdd.eval(f, |v| (x >> (2 - v)) & 1 == 1);
+                    assert_eq!(got, expected, "lo={lo} hi={hi} x={x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cube_of_matches_bits_eq() {
+        let mut bdd = Bdd::new();
+        let lits = vec![(0, true), (1, false), (2, true), (3, true)];
+        let a = bdd.cube_of(&lits);
+        let b = bdd.bits_eq(0, 4, 0b1011);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_width_128_bits() {
+        let mut bdd = Bdd::new();
+        let f = bdd.bits_eq(0, 128, u128::MAX);
+        assert!(!f.is_false());
+        let p = bdd.probability(f);
+        assert!(p > 0.0 && p < 1e-30);
+        let g = bdd.bits_prefix(0, 128, u128::MAX, 64);
+        assert!((bdd.probability(g) - 2f64.powi(-64)).abs() < 1e-30);
+    }
+}

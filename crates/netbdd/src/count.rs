@@ -1,0 +1,200 @@
+//! Model counting: probabilities and exact satisfying counts.
+//!
+//! The paper's `count(P)` operation (Figure 5) returns the number of
+//! packets in a set. Our located-packet header space is ~200 bits wide, so
+//! absolute counts do not fit in machine integers; all of the paper's
+//! metrics are ratios of counts, so the primary primitive here is
+//! [`Bdd::probability`], the *fraction* of the variable space covered.
+//! Probabilities compose exactly under the Shannon expansion regardless of
+//! how many variables exist, because skipped variables contribute a factor
+//! of 1.
+
+use std::collections::HashMap;
+
+use crate::manager::Bdd;
+use crate::node::{Ref, Var};
+
+impl Bdd {
+    /// Fraction of all assignments that satisfy `f`, in `[0, 1]`.
+    ///
+    /// Under the uniform distribution over variable assignments,
+    /// `P(node) = (P(lo) + P(hi)) / 2`; this is independent of the total
+    /// number of variables, so no domain needs to be declared.
+    pub fn probability(&mut self, f: Ref) -> f64 {
+        // Work iteratively on an explicit stack to survive deep diagrams
+        // (a 200-bit prefix chain is 200 nodes deep; real networks can
+        // produce much deeper structures after unions).
+        if f.is_false() {
+            return 0.0;
+        }
+        if f.is_true() {
+            return 1.0;
+        }
+        if let Some(&p) = self.prob_cache().get(&f) {
+            return p;
+        }
+        let mut stack = vec![f];
+        while let Some(&r) = stack.last() {
+            if r.is_terminal() || self.prob_cache().contains_key(&r) {
+                stack.pop();
+                continue;
+            }
+            let n = self.node(r);
+            let lo_p = self.lookup_prob(n.lo);
+            let hi_p = self.lookup_prob(n.hi);
+            match (lo_p, hi_p) {
+                (Some(lp), Some(hp)) => {
+                    let p = 0.5 * (lp + hp);
+                    self.prob_cache().insert(r, p);
+                    stack.pop();
+                }
+                _ => {
+                    if lo_p.is_none() {
+                        stack.push(n.lo);
+                    }
+                    if hi_p.is_none() {
+                        stack.push(n.hi);
+                    }
+                }
+            }
+        }
+        self.prob_cache()[&f]
+    }
+
+    fn lookup_prob(&mut self, r: Ref) -> Option<f64> {
+        if r.is_false() {
+            Some(0.0)
+        } else if r.is_true() {
+            Some(1.0)
+        } else {
+            self.prob_cache().get(&r).copied()
+        }
+    }
+
+    /// Exact number of satisfying assignments of `f` over a domain of
+    /// `nvars` variables (indices `0..nvars`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars > 127` (the count could overflow `u128`) or if `f`
+    /// tests a variable outside the declared domain.
+    pub fn sat_count(&self, f: Ref, nvars: u32) -> u128 {
+        assert!(nvars <= 127, "sat_count domain too wide; use probability()");
+        let mut memo: HashMap<Ref, u128> = HashMap::new();
+        // count(r) = satisfying assignments over variables [var(r)..nvars),
+        // scaled at the call site for variables skipped above the root.
+        fn rec(bdd: &Bdd, r: Ref, nvars: u32, memo: &mut HashMap<Ref, u128>) -> u128 {
+            // Returns count over vars strictly below (>=) var(r).
+            if r.is_false() {
+                return 0;
+            }
+            if r.is_true() {
+                return 1;
+            }
+            if let Some(&c) = memo.get(&r) {
+                return c;
+            }
+            let n = bdd.node(r);
+            assert!(n.var < nvars, "sat_count: variable {} outside domain {}", n.var, nvars);
+            let lo = rec(bdd, n.lo, nvars, memo) << skipped(bdd, n.lo, n.var, nvars);
+            let hi = rec(bdd, n.hi, nvars, memo) << skipped(bdd, n.hi, n.var, nvars);
+            let c = lo + hi;
+            memo.insert(r, c);
+            c
+        }
+        // Number of variable levels skipped between parent var `v` and
+        // child `r` (exclusive of both tested levels).
+        fn skipped(bdd: &Bdd, r: Ref, v: Var, nvars: u32) -> u32 {
+            let child_var = bdd.root_var(r).unwrap_or(nvars);
+            child_var - v - 1
+        }
+        let top = self.root_var(f).unwrap_or(nvars);
+        rec(self, f, nvars, &mut memo) << top
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_terminals() {
+        let mut bdd = Bdd::new();
+        assert_eq!(bdd.probability(Ref::FALSE), 0.0);
+        assert_eq!(bdd.probability(Ref::TRUE), 1.0);
+    }
+
+    #[test]
+    fn probability_single_var_is_half() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(17);
+        assert_eq!(bdd.probability(a), 0.5);
+    }
+
+    #[test]
+    fn probability_of_conjunction() {
+        let mut bdd = Bdd::new();
+        let lits: Vec<_> = (0..8).map(|v| bdd.var(v)).collect();
+        let f = bdd.and_all(lits);
+        assert!((bdd.probability(f) - 1.0 / 256.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn probability_handles_skipped_levels() {
+        let mut bdd = Bdd::new();
+        // f = var0 ∧ var100: the diagram skips 99 levels, but probability
+        // must still be 1/4.
+        let a = bdd.var(0);
+        let b = bdd.var(100);
+        let f = bdd.and(a, b);
+        assert_eq!(bdd.probability(f), 0.25);
+    }
+
+    #[test]
+    fn sat_count_basic() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.or(a, b);
+        assert_eq!(bdd.sat_count(f, 2), 3);
+        assert_eq!(bdd.sat_count(f, 3), 6); // one free variable doubles it
+        assert_eq!(bdd.sat_count(Ref::TRUE, 10), 1024);
+        assert_eq!(bdd.sat_count(Ref::FALSE, 10), 0);
+    }
+
+    #[test]
+    fn sat_count_with_leading_skips() {
+        let mut bdd = Bdd::new();
+        let f = bdd.var(3); // vars 0..3 are free
+        assert_eq!(bdd.sat_count(f, 4), 8);
+    }
+
+    #[test]
+    fn sat_count_matches_probability() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(1);
+        let b = bdd.var(4);
+        let c = bdd.var(6);
+        let ab = bdd.xor(a, b);
+        let f = bdd.or(ab, c);
+        let n = 7u32;
+        let count = bdd.sat_count(f, n) as f64;
+        let p = bdd.probability(f);
+        assert!((count / 2f64.powi(n as i32) - p).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sat_count_rejects_wide_domains() {
+        let bdd = Bdd::new();
+        let _ = bdd.sat_count(Ref::TRUE, 128);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sat_count_rejects_out_of_domain_vars() {
+        let mut bdd = Bdd::new();
+        let f = bdd.var(9);
+        let _ = bdd.sat_count(f, 5);
+    }
+}

@@ -1,0 +1,239 @@
+//! Satisfying-assignment extraction.
+//!
+//! Concrete tests (traceroute, Pingmesh) need a representative packet from
+//! a symbolic set; the analyzer needs witnesses when reporting untested
+//! packet space back to engineers. A [`Cube`] is a partial assignment: the
+//! variables a function actually constrains on one satisfying path.
+
+use crate::manager::Bdd;
+use crate::node::{Ref, Var};
+
+/// A partial variable assignment (a conjunction of literals).
+///
+/// Variables absent from the cube are unconstrained; any completion of the
+/// cube satisfies the function it was extracted from.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cube {
+    literals: Vec<(Var, bool)>,
+}
+
+impl Cube {
+    /// The literals of the cube, ascending by variable.
+    pub fn literals(&self) -> &[(Var, bool)] {
+        &self.literals
+    }
+
+    /// Value assigned to `var`, if the cube constrains it.
+    pub fn get(&self, var: Var) -> Option<bool> {
+        self.literals
+            .binary_search_by_key(&var, |&(v, _)| v)
+            .ok()
+            .map(|i| self.literals[i].1)
+    }
+
+    /// Read `width` consecutive variables starting at `start` as an MSB-first
+    /// integer, treating unconstrained bits as 0.
+    pub fn read_bits(&self, start: Var, width: u32) -> u128 {
+        let mut out = 0u128;
+        for i in 0..width {
+            out <<= 1;
+            if self.get(start + i) == Some(true) {
+                out |= 1;
+            }
+        }
+        out
+    }
+}
+
+impl Bdd {
+    /// One satisfying cube of `f`, or `None` if `f` is the empty set.
+    ///
+    /// The extraction is deterministic: at every node it prefers the `lo`
+    /// (false) branch when that branch can still reach `TRUE`. Determinism
+    /// matters for reproducible test-packet selection.
+    pub fn some_cube(&self, f: Ref) -> Option<Cube> {
+        if f.is_false() {
+            return None;
+        }
+        let mut literals = Vec::new();
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let n = self.node(cur);
+            if !n.lo.is_false() {
+                literals.push((n.var, false));
+                cur = n.lo;
+            } else {
+                literals.push((n.var, true));
+                cur = n.hi;
+            }
+        }
+        debug_assert!(cur.is_true());
+        Some(Cube { literals })
+    }
+
+    /// Evaluate `f` under a total assignment given as a predicate on
+    /// variables.
+    pub fn eval(&self, f: Ref, assignment: impl Fn(Var) -> bool) -> bool {
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let n = self.node(cur);
+            cur = if assignment(n.var) { n.hi } else { n.lo };
+        }
+        cur.is_true()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_no_cube() {
+        let bdd = Bdd::new();
+        assert!(bdd.some_cube(Ref::FALSE).is_none());
+    }
+
+    #[test]
+    fn full_set_has_empty_cube() {
+        let bdd = Bdd::new();
+        let cube = bdd.some_cube(Ref::TRUE).unwrap();
+        assert!(cube.literals().is_empty());
+    }
+
+    #[test]
+    fn cube_satisfies_function() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let nb = bdd.nvar(1);
+        let f = bdd.and(a, nb);
+        let cube = bdd.some_cube(f).unwrap();
+        assert_eq!(cube.get(0), Some(true));
+        assert_eq!(cube.get(1), Some(false));
+        assert!(bdd.eval(f, |v| cube.get(v).unwrap_or(false)));
+    }
+
+    #[test]
+    fn cube_prefers_lo_branch() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0); // both branches viable in a∨¬a? Use a∨b.
+        let b = bdd.var(1);
+        let f = bdd.or(a, b);
+        let cube = bdd.some_cube(f).unwrap();
+        // lo branch of var0 (a=false) leads to b, then b must be true.
+        assert_eq!(cube.get(0), Some(false));
+        assert_eq!(cube.get(1), Some(true));
+    }
+
+    #[test]
+    fn read_bits_msb_first() {
+        let mut bdd = Bdd::new();
+        // Encode value 0b101 on vars 4..7.
+        let f = bdd.bits_eq(4, 3, 0b101);
+        let cube = bdd.some_cube(f).unwrap();
+        assert_eq!(cube.read_bits(4, 3), 0b101);
+    }
+
+    #[test]
+    fn eval_walks_the_diagram() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.xor(a, b);
+        assert!(bdd.eval(f, |v| v == 0));
+        assert!(bdd.eval(f, |v| v == 1));
+        assert!(!bdd.eval(f, |_| true));
+        assert!(!bdd.eval(f, |_| false));
+    }
+}
+
+impl Bdd {
+    /// Enumerate satisfying cubes of `f`, up to `limit`.
+    ///
+    /// The cubes are the root-to-`TRUE` paths of the diagram; they are
+    /// pairwise disjoint and their union is exactly `f` — a canonical
+    /// disjoint DNF. Used to render untested packet space as a readable
+    /// list of header regions.
+    pub fn cubes(&self, f: Ref, limit: usize) -> Vec<Cube> {
+        let mut out = Vec::new();
+        let mut literals: Vec<(Var, bool)> = Vec::new();
+        self.cubes_rec(f, limit, &mut literals, &mut out);
+        out
+    }
+
+    fn cubes_rec(
+        &self,
+        f: Ref,
+        limit: usize,
+        literals: &mut Vec<(Var, bool)>,
+        out: &mut Vec<Cube>,
+    ) {
+        if out.len() >= limit {
+            return;
+        }
+        if f.is_false() {
+            return;
+        }
+        if f.is_true() {
+            out.push(Cube { literals: literals.clone() });
+            return;
+        }
+        let n = self.node(f);
+        literals.push((n.var, false));
+        self.cubes_rec(n.lo, limit, literals, out);
+        literals.pop();
+        if out.len() >= limit {
+            return;
+        }
+        literals.push((n.var, true));
+        self.cubes_rec(n.hi, limit, literals, out);
+        literals.pop();
+    }
+}
+
+#[cfg(test)]
+mod cubes_tests {
+    use super::*;
+
+    #[test]
+    fn cubes_cover_the_function_disjointly() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let c = bdd.var(2);
+        let ab = bdd.and(a, b);
+        let f = bdd.or(ab, c);
+        let cubes = bdd.cubes(f, 100);
+        // Rebuild the function from its cubes.
+        let parts: Vec<Ref> = cubes.iter().map(|c| bdd.cube_of(c.literals())).collect();
+        // Disjointness.
+        for i in 0..parts.len() {
+            for j in i + 1..parts.len() {
+                assert!(!bdd.intersects(parts[i], parts[j]));
+            }
+        }
+        let rebuilt = bdd.or_all(parts);
+        assert_eq!(rebuilt, f);
+    }
+
+    #[test]
+    fn cube_limit_truncates() {
+        let mut bdd = Bdd::new();
+        // xor chains have exponentially many cubes.
+        let mut f = bdd.var(0);
+        for v in 1..10 {
+            let x = bdd.var(v);
+            f = bdd.xor(f, x);
+        }
+        let cubes = bdd.cubes(f, 5);
+        assert_eq!(cubes.len(), 5);
+    }
+
+    #[test]
+    fn terminal_cubes() {
+        let bdd = Bdd::new();
+        assert!(bdd.cubes(Ref::FALSE, 10).is_empty());
+        let full = bdd.cubes(Ref::TRUE, 10);
+        assert_eq!(full.len(), 1);
+        assert!(full[0].literals().is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! Introspection: Graphviz export and manager statistics.
+//!
+//! These exist for the humans maintaining the system: `dot` renders a
+//! function's diagram for debugging match-set construction, and
+//! [`Stats`] quantifies arena/cache growth, which is what you watch when
+//! a network analysis starts thrashing.
+
+use std::fmt::Write as _;
+
+use crate::manager::Bdd;
+use crate::node::Ref;
+
+/// Size snapshot of a manager.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Stats {
+    /// Nodes in the arena (including the two terminals).
+    pub nodes: usize,
+    /// Entries in the ITE computed cache.
+    pub ite_cache_entries: usize,
+    /// Entries in the negation cache.
+    pub not_cache_entries: usize,
+    /// Entries in the probability memo.
+    pub prob_cache_entries: usize,
+}
+
+impl Bdd {
+    /// Current size statistics.
+    pub fn stats(&self) -> Stats {
+        Stats {
+            nodes: self.node_count(),
+            ite_cache_entries: self.ite_cache_len(),
+            not_cache_entries: self.not_cache_len(),
+            prob_cache_entries: self.prob_cache_len(),
+        }
+    }
+
+    /// Graphviz (`dot`) rendering of one function's diagram. Solid edges
+    /// are the high (1) branches, dashed edges the low (0) branches.
+    pub fn dot(&self, f: Ref, var_name: impl Fn(u32) -> String) -> String {
+        let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
+        out.push_str("  t0 [label=\"0\", shape=box];\n");
+        out.push_str("  t1 [label=\"1\", shape=box];\n");
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(r) = stack.pop() {
+            if r.is_terminal() || !seen.insert(r) {
+                continue;
+            }
+            let n = self.node(r);
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}\", shape=circle];",
+                r.index(),
+                var_name(n.var)
+            );
+            for (child, style) in [(n.lo, "dashed"), (n.hi, "solid")] {
+                let target = if child.is_false() {
+                    "t0".to_string()
+                } else if child.is_true() {
+                    "t1".to_string()
+                } else {
+                    format!("n{}", child.index())
+                };
+                let _ = writeln!(out, "  n{} -> {} [style={}];", r.index(), target, style);
+                stack.push(child);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_track_growth() {
+        let mut bdd = Bdd::new();
+        let s0 = bdd.stats();
+        assert_eq!(s0.nodes, 2);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let _ = bdd.and(a, b);
+        let s1 = bdd.stats();
+        assert!(s1.nodes > s0.nodes);
+        assert!(s1.ite_cache_entries >= 1);
+        bdd.clear_caches();
+        let s2 = bdd.stats();
+        assert_eq!(s2.ite_cache_entries, 0);
+        assert_eq!(s2.nodes, s1.nodes); // arena survives cache clears
+    }
+
+    #[test]
+    fn dot_renders_reachable_nodes_and_terminals() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.or(a, b);
+        let dot = bdd.dot(f, |v| format!("x{v}"));
+        assert!(dot.starts_with("digraph bdd {"));
+        assert!(dot.contains("label=\"x0\""));
+        assert!(dot.contains("label=\"x1\""));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("style=solid"));
+        assert!(dot.contains("t1 [label=\"1\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_of_terminal_is_minimal() {
+        let bdd = Bdd::new();
+        let dot = bdd.dot(Ref::TRUE, |v| v.to_string());
+        // Only the two terminal declarations and the braces.
+        assert_eq!(dot.lines().count(), 5);
+    }
+}

@@ -1,0 +1,57 @@
+//! # netbdd — reduced ordered binary decision diagrams for packet sets
+//!
+//! This crate is the packet-set substrate of the Yardstick reproduction
+//! (SIGCOMM 2021, *Test Coverage Metrics for the Network*). The paper's
+//! Figure 5 lists the operations coverage computation needs over packet
+//! sets — `empty`, `negate`, `union`, `intersect`, `equal`, `fromRule`,
+//! `count` — and notes that Yardstick implements them with binary decision
+//! diagrams so that very large header spaces can be manipulated
+//! efficiently. No sufficiently complete BDD crate was available, so this
+//! one is built from scratch.
+//!
+//! ## Design
+//!
+//! * **Hash-consed ROBDD.** Nodes live in an arena owned by a [`Bdd`]
+//!   manager; a unique table guarantees that structurally equal functions
+//!   are pointer-equal, which makes equality and emptiness checks O(1).
+//! * **ITE with a computed cache.** All binary operations reduce to
+//!   if-then-else; results are memoised in a computed table, the classic
+//!   trick that makes repeated network-wide set algebra tractable.
+//! * **Handles are plain `u32` ids** ([`Ref`]); they are `Copy` and carry
+//!   no lifetime, so callers can store them in network data structures
+//!   freely as long as the owning manager stays alive.
+//! * **Counting is probability-based.** Packet headers in this project are
+//!   ~200 bits, so exact satisfying counts overflow any fixed-width
+//!   integer. [`Bdd::probability`] returns the fraction of the full
+//!   variable space a function covers; every coverage metric in the paper
+//!   is a *ratio* of counts, so fractions are sufficient (and exact
+//!   zero/one tests are free because the BDD is canonical). An exact
+//!   [`Bdd::sat_count`] is also provided for small domains, used heavily
+//!   in tests.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use netbdd::Bdd;
+//!
+//! let mut bdd = Bdd::new();
+//! // dst port (16 bits) occupies variables 0..16, MSB first.
+//! let telnet = bdd.bits_eq(0, 16, 23);
+//! let low_ports = bdd.int_range(0, 16, 0, 1023);
+//! assert!(bdd.subset(telnet, low_ports)); // telnet ⊆ low ports
+//! let frac = bdd.probability(low_ports);
+//! assert!((frac - 1024.0 / 65536.0).abs() < 1e-12);
+//! ```
+
+mod builder;
+mod count;
+mod cube;
+mod debug;
+mod fxhash;
+mod manager;
+mod node;
+
+pub use cube::Cube;
+pub use debug::Stats;
+pub use manager::Bdd;
+pub use node::Ref;

@@ -1,0 +1,540 @@
+//! The BDD manager: arena, unique table, ITE engine, and set algebra.
+
+
+
+use crate::fxhash::FxHashMap;
+use crate::node::{Node, Ref, Var, TERMINAL_VAR};
+
+/// A reduced, ordered BDD manager.
+///
+/// One manager owns an arena of hash-consed nodes and the memoisation
+/// caches for the operations over them. All functions created by a manager
+/// are only meaningful together with that manager; mixing [`Ref`]s across
+/// managers is a logic error (but is memory-safe — it just denotes the
+/// wrong function).
+///
+/// The manager is deliberately not `Sync`: coverage analysis in this
+/// project is per-network, and parallel sweeps run one manager per thread.
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: FxHashMap<Node, Ref>,
+    ite_cache: FxHashMap<(Ref, Ref, Ref), Ref>,
+    not_cache: FxHashMap<Ref, Ref>,
+    prob_cache: FxHashMap<Ref, f64>,
+}
+
+impl Default for Bdd {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bdd {
+    /// Create an empty manager containing only the two terminals.
+    pub fn new() -> Self {
+        let terminals = vec![
+            // Index 0: FALSE, index 1: TRUE. Terminal nodes are never
+            // looked up through the unique table; their fields are inert.
+            Node { var: TERMINAL_VAR, lo: Ref::FALSE, hi: Ref::FALSE },
+            Node { var: TERMINAL_VAR, lo: Ref::TRUE, hi: Ref::TRUE },
+        ];
+        Bdd {
+            nodes: terminals,
+            unique: FxHashMap::default(),
+            ite_cache: FxHashMap::default(),
+            not_cache: FxHashMap::default(),
+            prob_cache: FxHashMap::default(),
+        }
+    }
+
+    /// Number of live nodes in the arena (including the two terminals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Drop all operation caches, keeping the node arena intact.
+    ///
+    /// Useful between analysis phases on very large networks: the caches
+    /// can outgrow the arena itself, and every `Ref` remains valid.
+    pub fn clear_caches(&mut self) {
+        self.ite_cache.clear();
+        self.not_cache.clear();
+        self.prob_cache.clear();
+    }
+
+    #[inline]
+    pub(crate) fn node(&self, r: Ref) -> Node {
+        self.nodes[r.index()]
+    }
+
+    /// Variable tested at the root of `r`, or `None` for terminals.
+    pub fn root_var(&self, r: Ref) -> Option<Var> {
+        if r.is_terminal() {
+            None
+        } else {
+            Some(self.nodes[r.index()].var)
+        }
+    }
+
+    /// The reduced, hash-consed constructor ("mk" in the literature).
+    pub(crate) fn mk(&mut self, var: Var, lo: Ref, hi: Ref) -> Ref {
+        if lo == hi {
+            return lo;
+        }
+        debug_assert!(var < TERMINAL_VAR);
+        debug_assert!(lo.is_terminal() || self.nodes[lo.index()].var > var);
+        debug_assert!(hi.is_terminal() || self.nodes[hi.index()].var > var);
+        let node = Node { var, lo, hi };
+        if let Some(&r) = self.unique.get(&node) {
+            return r;
+        }
+        let r = Ref(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, r);
+        r
+    }
+
+    // ----- core operations ------------------------------------------------
+
+    /// The single-variable function `var`.
+    pub fn var(&mut self, var: Var) -> Ref {
+        self.mk(var, Ref::FALSE, Ref::TRUE)
+    }
+
+    /// The negated single-variable function `¬var`.
+    pub fn nvar(&mut self, var: Var) -> Ref {
+        self.mk(var, Ref::TRUE, Ref::FALSE)
+    }
+
+    /// Literal: `var` if `positive`, else `¬var`.
+    pub fn literal(&mut self, var: Var, positive: bool) -> Ref {
+        if positive {
+            self.var(var)
+        } else {
+            self.nvar(var)
+        }
+    }
+
+    /// If-then-else: `(f ∧ g) ∨ (¬f ∧ h)`. The workhorse every other
+    /// operation reduces to.
+    pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        // Terminal and absorption cases.
+        if f.is_true() {
+            return g;
+        }
+        if f.is_false() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_true() && h.is_false() {
+            return f;
+        }
+
+        let key = (f, g, h);
+        if let Some(&r) = self.ite_cache.get(&key) {
+            return r;
+        }
+
+        let (fv, gv, hv) = (self.top_var(f), self.top_var(g), self.top_var(h));
+        let v = fv.min(gv).min(hv);
+
+        let (f0, f1) = self.cofactors(f, v);
+        let (g0, g1) = self.cofactors(g, v);
+        let (h0, h1) = self.cofactors(h, v);
+
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(v, lo, hi);
+        self.ite_cache.insert(key, r);
+        r
+    }
+
+    #[inline]
+    fn top_var(&self, r: Ref) -> Var {
+        self.nodes[r.index()].var
+    }
+
+    /// Shannon cofactors of `r` with respect to variable `v` (which must be
+    /// no deeper than `r`'s root variable).
+    #[inline]
+    fn cofactors(&self, r: Ref, v: Var) -> (Ref, Ref) {
+        let n = self.nodes[r.index()];
+        if n.var == v {
+            (n.lo, n.hi)
+        } else {
+            (r, r)
+        }
+    }
+
+    // ----- derived set algebra (Figure 5 of the paper) ---------------------
+
+    /// The empty packet set.
+    pub fn empty(&self) -> Ref {
+        Ref::FALSE
+    }
+
+    /// The universal packet set.
+    pub fn full(&self) -> Ref {
+        Ref::TRUE
+    }
+
+    /// Set complement (`negate` in the paper's operation table).
+    pub fn not(&mut self, f: Ref) -> Ref {
+        if let Some(&r) = self.not_cache.get(&f) {
+            return r;
+        }
+        let r = self.ite(f, Ref::FALSE, Ref::TRUE);
+        self.not_cache.insert(f, r);
+        self.not_cache.insert(r, f);
+        r
+    }
+
+    /// Set union.
+    pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, Ref::TRUE, g)
+    }
+
+    /// Set intersection.
+    pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, g, Ref::FALSE)
+    }
+
+    /// Set difference `f \ g`.
+    pub fn diff(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.and(f, ng)
+    }
+
+    /// Symmetric difference.
+    pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Logical implication `f → g` as a function (not a test).
+    pub fn imp(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, g, Ref::TRUE)
+    }
+
+    /// Union of many sets.
+    pub fn or_all<I: IntoIterator<Item = Ref>>(&mut self, items: I) -> Ref {
+        let mut acc = Ref::FALSE;
+        for f in items {
+            acc = self.or(acc, f);
+        }
+        acc
+    }
+
+    /// Intersection of many sets (the empty intersection is the full set).
+    pub fn and_all<I: IntoIterator<Item = Ref>>(&mut self, items: I) -> Ref {
+        let mut acc = Ref::TRUE;
+        for f in items {
+            acc = self.and(acc, f);
+        }
+        acc
+    }
+
+    /// Set equality. O(1) thanks to canonicity.
+    pub fn equal(&self, f: Ref, g: Ref) -> bool {
+        f == g
+    }
+
+    /// Whether `f ⊆ g` as packet sets.
+    pub fn subset(&mut self, f: Ref, g: Ref) -> bool {
+        self.diff(f, g).is_false()
+    }
+
+    /// Whether the two sets share at least one packet.
+    pub fn intersects(&mut self, f: Ref, g: Ref) -> bool {
+        !self.and(f, g).is_false()
+    }
+
+    // ----- restriction and quantification ----------------------------------
+
+    /// Restrict variable `var` to the constant `value` in `f`.
+    pub fn restrict(&mut self, f: Ref, var: Var, value: bool) -> Ref {
+        let mut memo = FxHashMap::default();
+        self.restrict_rec(f, var, value, &mut memo)
+    }
+
+    fn restrict_rec(
+        &mut self,
+        f: Ref,
+        var: Var,
+        value: bool,
+        memo: &mut FxHashMap<Ref, Ref>,
+    ) -> Ref {
+        if f.is_terminal() {
+            return f;
+        }
+        let n = self.node(f);
+        if n.var > var {
+            return f; // var cannot appear below this node
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let r = if n.var == var {
+            if value {
+                n.hi
+            } else {
+                n.lo
+            }
+        } else {
+            let lo = self.restrict_rec(n.lo, var, value, memo);
+            let hi = self.restrict_rec(n.hi, var, value, memo);
+            self.mk(n.var, lo, hi)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// Existential quantification over a set of variables: `∃ vars. f`.
+    ///
+    /// `vars` must be sorted ascending (debug-asserted).
+    pub fn exists(&mut self, f: Ref, vars: &[Var]) -> Ref {
+        debug_assert!(vars.windows(2).all(|w| w[0] < w[1]));
+        let mut memo = FxHashMap::default();
+        self.exists_rec(f, vars, &mut memo)
+    }
+
+    fn exists_rec(&mut self, f: Ref, vars: &[Var], memo: &mut FxHashMap<Ref, Ref>) -> Ref {
+        if f.is_terminal() || vars.is_empty() {
+            return f;
+        }
+        let n = self.node(f);
+        // Skip quantified variables above this node's variable.
+        let pos = vars.partition_point(|&v| v < n.var);
+        let vars = &vars[pos..];
+        if vars.is_empty() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let r = if vars[0] == n.var {
+            let lo = self.exists_rec(n.lo, &vars[1..], memo);
+            let hi = self.exists_rec(n.hi, &vars[1..], memo);
+            self.or(lo, hi)
+        } else {
+            let lo = self.exists_rec(n.lo, vars, memo);
+            let hi = self.exists_rec(n.hi, vars, memo);
+            self.mk(n.var, lo, hi)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// Universal quantification over a set of variables: `∀ vars. f`.
+    pub fn forall(&mut self, f: Ref, vars: &[Var]) -> Ref {
+        let nf = self.not(f);
+        let e = self.exists(nf, vars);
+        self.not(e)
+    }
+
+    /// The set of variables appearing anywhere in `f`, ascending.
+    pub fn support(&self, f: Ref) -> Vec<Var> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(r) = stack.pop() {
+            if r.is_terminal() || !seen.insert(r) {
+                continue;
+            }
+            let n = self.node(r);
+            vars.insert(n.var);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Size (reachable node count) of a single function's diagram.
+    pub fn size(&self, f: Ref) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut n = 0usize;
+        while let Some(r) = stack.pop() {
+            if !seen.insert(r) {
+                continue;
+            }
+            n += 1;
+            if !r.is_terminal() {
+                let node = self.node(r);
+                stack.push(node.lo);
+                stack.push(node.hi);
+            }
+        }
+        n
+    }
+
+    pub(crate) fn prob_cache(&mut self) -> &mut FxHashMap<Ref, f64> {
+        &mut self.prob_cache
+    }
+
+    pub(crate) fn ite_cache_len(&self) -> usize {
+        self.ite_cache.len()
+    }
+
+    pub(crate) fn not_cache_len(&self) -> usize {
+        self.not_cache.len()
+    }
+
+    pub(crate) fn prob_cache_len(&self) -> usize {
+        self.prob_cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_are_fixed() {
+        let bdd = Bdd::new();
+        assert!(bdd.empty().is_false());
+        assert!(bdd.full().is_true());
+        assert_eq!(bdd.node_count(), 2);
+    }
+
+    #[test]
+    fn mk_eliminates_redundant_tests() {
+        let mut bdd = Bdd::new();
+        let r = bdd.mk(3, Ref::TRUE, Ref::TRUE);
+        assert!(r.is_true());
+        assert_eq!(bdd.node_count(), 2);
+    }
+
+    #[test]
+    fn hash_consing_dedups() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(5);
+        let b = bdd.var(5);
+        assert_eq!(a, b);
+        assert_eq!(bdd.node_count(), 3);
+    }
+
+    #[test]
+    fn negation_is_involutive() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.and(a, b);
+        let nf = bdd.not(f);
+        let nnf = bdd.not(nf);
+        assert_eq!(f, nnf);
+    }
+
+    #[test]
+    fn de_morgan() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let lhs = {
+            let ab = bdd.and(a, b);
+            bdd.not(ab)
+        };
+        let rhs = {
+            let na = bdd.not(a);
+            let nb = bdd.not(b);
+            bdd.or(na, nb)
+        };
+        assert!(bdd.equal(lhs, rhs));
+    }
+
+    #[test]
+    fn xor_and_diff_agree_with_definitions() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let x = bdd.xor(a, b);
+        let union = bdd.or(a, b);
+        let inter = bdd.and(a, b);
+        let alt = bdd.diff(union, inter);
+        assert_eq!(x, alt);
+    }
+
+    #[test]
+    fn subset_and_intersects() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let ab = {
+            let b = bdd.var(1);
+            bdd.and(a, b)
+        };
+        assert!(bdd.subset(ab, a));
+        assert!(!bdd.subset(a, ab));
+        assert!(bdd.intersects(a, ab));
+        let na = bdd.not(a);
+        assert!(!bdd.intersects(a, na));
+    }
+
+    #[test]
+    fn restrict_fixes_a_variable() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.ite(a, b, Ref::FALSE); // a ∧ b
+        assert_eq!(bdd.restrict(f, 0, true), b);
+        assert!(bdd.restrict(f, 0, false).is_false());
+        assert_eq!(bdd.restrict(f, 1, true), a);
+    }
+
+    #[test]
+    fn exists_drops_a_variable() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.and(a, b);
+        let e = bdd.exists(f, &[0]);
+        assert_eq!(e, b);
+        let e2 = bdd.exists(f, &[0, 1]);
+        assert!(e2.is_true());
+    }
+
+    #[test]
+    fn forall_is_dual_of_exists() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.or(a, b);
+        // ∀a. a∨b  ==  b
+        assert_eq!(bdd.forall(f, &[0]), b);
+        // ∀a,b. a∨b  ==  false
+        assert!(bdd.forall(f, &[0, 1]).is_false());
+    }
+
+    #[test]
+    fn support_reports_used_variables() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(2);
+        let b = bdd.var(7);
+        let f = bdd.xor(a, b);
+        assert_eq!(bdd.support(f), vec![2, 7]);
+        assert!(bdd.support(Ref::TRUE).is_empty());
+    }
+
+    #[test]
+    fn clear_caches_preserves_functions() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.and(a, b);
+        bdd.clear_caches();
+        let g = bdd.and(a, b);
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn or_all_and_and_all() {
+        let mut bdd = Bdd::new();
+        let lits: Vec<Ref> = (0..4).map(|v| bdd.var(v)).collect();
+        let any = bdd.or_all(lits.iter().copied());
+        let all = bdd.and_all(lits.iter().copied());
+        assert!(bdd.subset(all, any));
+        assert_eq!(bdd.or_all(std::iter::empty()), Ref::FALSE);
+        assert_eq!(bdd.and_all(std::iter::empty()), Ref::TRUE);
+    }
+}

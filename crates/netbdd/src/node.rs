@@ -1,0 +1,72 @@
+//! Node arena primitives: references and the node record.
+
+/// A handle to a BDD function, valid for the lifetime of the [`crate::Bdd`]
+/// manager that created it.
+///
+/// `Ref` is a plain index; it is `Copy` and 4 bytes so that forwarding
+/// tables can embed one per rule without indirection. Because the manager
+/// hash-conses nodes, two `Ref`s are equal **iff** they denote the same
+/// boolean function, which makes set equality and emptiness checks O(1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ref(pub(crate) u32);
+
+impl Ref {
+    /// The constant-false function (the empty packet set).
+    pub const FALSE: Ref = Ref(0);
+    /// The constant-true function (the full packet set).
+    pub const TRUE: Ref = Ref(1);
+
+    /// Whether this reference is one of the two terminal nodes.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// Whether this is the constant-false (empty set) function.
+    #[inline]
+    pub fn is_false(self) -> bool {
+        self == Ref::FALSE
+    }
+
+    /// Whether this is the constant-true (universal set) function.
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self == Ref::TRUE
+    }
+
+    /// The raw arena index. Exposed for diagnostics and hashing only.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for Ref {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Ref::FALSE => write!(f, "⊥"),
+            Ref::TRUE => write!(f, "⊤"),
+            Ref(i) => write!(f, "n{i}"),
+        }
+    }
+}
+
+/// Variable index type. Variables are ordered by their index: smaller
+/// indices are closer to the root of every diagram.
+pub type Var = u32;
+
+/// Sentinel variable index used by terminal nodes so that terminals sort
+/// below every decision node during apply-style recursions.
+pub(crate) const TERMINAL_VAR: Var = Var::MAX;
+
+/// One decision node: `if var then hi else lo`.
+///
+/// Reduction invariants maintained by the manager:
+/// * `lo != hi` (no redundant tests), and
+/// * `(var, lo, hi)` is unique in the arena (hash-consing).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct Node {
+    pub var: Var,
+    pub lo: Ref,
+    pub hi: Ref,
+}

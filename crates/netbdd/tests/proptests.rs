@@ -1,0 +1,184 @@
+//! Property-based tests: the BDD algebra against a brute-force truth-table
+//! oracle over small variable domains, plus the numeric laws the coverage
+//! framework relies on (probability monotonicity and boundedness).
+
+use netbdd::{Bdd, Ref};
+use proptest::prelude::*;
+
+/// A tiny expression language evaluated both through the BDD engine and
+/// through direct truth-table enumeration.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+const NVARS: u32 = 6;
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (0..NVARS).prop_map(Expr::Var);
+    leaf.prop_recursive(5, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(bdd: &mut Bdd, e: &Expr) -> Ref {
+    match e {
+        Expr::Var(v) => bdd.var(*v),
+        Expr::Not(a) => {
+            let a = build(bdd, a);
+            bdd.not(a)
+        }
+        Expr::And(a, b) => {
+            let (a, b) = (build(bdd, a), build(bdd, b));
+            bdd.and(a, b)
+        }
+        Expr::Or(a, b) => {
+            let (a, b) = (build(bdd, a), build(bdd, b));
+            bdd.or(a, b)
+        }
+        Expr::Xor(a, b) => {
+            let (a, b) = (build(bdd, a), build(bdd, b));
+            bdd.xor(a, b)
+        }
+    }
+}
+
+fn eval(e: &Expr, assignment: u32) -> bool {
+    match e {
+        Expr::Var(v) => (assignment >> v) & 1 == 1,
+        Expr::Not(a) => !eval(a, assignment),
+        Expr::And(a, b) => eval(a, assignment) && eval(b, assignment),
+        Expr::Or(a, b) => eval(a, assignment) || eval(b, assignment),
+        Expr::Xor(a, b) => eval(a, assignment) != eval(b, assignment),
+    }
+}
+
+fn truth_count(e: &Expr) -> u128 {
+    (0..(1u32 << NVARS)).filter(|&a| eval(e, a)).count() as u128
+}
+
+proptest! {
+    /// The BDD of an expression agrees with the truth table on every
+    /// assignment.
+    #[test]
+    fn bdd_matches_truth_table(e in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let f = build(&mut bdd, &e);
+        for a in 0..(1u32 << NVARS) {
+            prop_assert_eq!(bdd.eval(f, |v| (a >> v) & 1 == 1), eval(&e, a));
+        }
+    }
+
+    /// Exact model counting agrees with enumeration.
+    #[test]
+    fn sat_count_matches_enumeration(e in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let f = build(&mut bdd, &e);
+        prop_assert_eq!(bdd.sat_count(f, NVARS), truth_count(&e));
+    }
+
+    /// Probability is the count divided by the space size.
+    #[test]
+    fn probability_matches_count(e in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let f = build(&mut bdd, &e);
+        let p = bdd.probability(f);
+        let expected = truth_count(&e) as f64 / (1u64 << NVARS) as f64;
+        prop_assert!((p - expected).abs() < 1e-12);
+    }
+
+    /// Canonicity: semantically equal expressions produce identical refs.
+    #[test]
+    fn canonical_equality(e in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let f = build(&mut bdd, &e);
+        // Double negation is a semantic no-op and must be a no-op on refs.
+        let nf = bdd.not(f);
+        let nnf = bdd.not(nf);
+        prop_assert_eq!(f, nnf);
+        // f ∨ f and f ∧ f are also identities.
+        prop_assert_eq!(bdd.or(f, f), f);
+        prop_assert_eq!(bdd.and(f, f), f);
+    }
+
+    /// Union growth: P(f ∪ g) ≥ max(P(f), P(g)) — the algebraic fact that
+    /// makes the paper's coverage metrics monotonic (§3.2).
+    #[test]
+    fn union_is_monotone(e1 in arb_expr(), e2 in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let f = build(&mut bdd, &e1);
+        let g = build(&mut bdd, &e2);
+        let u = bdd.or(f, g);
+        let (pf, pg, pu) = (bdd.probability(f), bdd.probability(g), bdd.probability(u));
+        prop_assert!(pu + 1e-12 >= pf.max(pg));
+        prop_assert!((0.0..=1.0).contains(&pu));
+    }
+
+    /// Inclusion–exclusion holds exactly on counts.
+    #[test]
+    fn inclusion_exclusion(e1 in arb_expr(), e2 in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let f = build(&mut bdd, &e1);
+        let g = build(&mut bdd, &e2);
+        let u = bdd.or(f, g);
+        let i = bdd.and(f, g);
+        prop_assert_eq!(
+            bdd.sat_count(u, NVARS) + bdd.sat_count(i, NVARS),
+            bdd.sat_count(f, NVARS) + bdd.sat_count(g, NVARS)
+        );
+    }
+
+    /// Existential quantification agrees with the or of the restrictions.
+    #[test]
+    fn exists_is_or_of_restrictions(e in arb_expr(), v in 0..NVARS) {
+        let mut bdd = Bdd::new();
+        let f = build(&mut bdd, &e);
+        let lo = bdd.restrict(f, v, false);
+        let hi = bdd.restrict(f, v, true);
+        let expected = bdd.or(lo, hi);
+        prop_assert_eq!(bdd.exists(f, &[v]), expected);
+    }
+
+    /// Extracted cubes really satisfy their function.
+    #[test]
+    fn cubes_are_witnesses(e in arb_expr()) {
+        let mut bdd = Bdd::new();
+        let f = build(&mut bdd, &e);
+        match bdd.some_cube(f) {
+            None => prop_assert!(f.is_false()),
+            Some(cube) => {
+                prop_assert!(bdd.eval(f, |v| cube.get(v).unwrap_or(false)));
+            }
+        }
+    }
+
+    /// int_range agrees with arithmetic on every point of an 8-bit space.
+    #[test]
+    fn range_oracle(lo in 0u128..256, hi in 0u128..256) {
+        let mut bdd = Bdd::new();
+        let f = bdd.int_range(0, 8, lo, hi);
+        for x in 0..256u128 {
+            let got = bdd.eval(f, |v| (x >> (7 - v)) & 1 == 1);
+            prop_assert_eq!(got, lo <= x && x <= hi);
+        }
+    }
+
+    /// Prefixes of the same value nest by length.
+    #[test]
+    fn prefixes_nest(value in any::<u32>(), l1 in 0u32..=32, l2 in 0u32..=32) {
+        let mut bdd = Bdd::new();
+        let (short, long) = (l1.min(l2), l1.max(l2));
+        let ps = bdd.bits_prefix(0, 32, value as u128, short);
+        let pl = bdd.bits_prefix(0, 32, value as u128, long);
+        prop_assert!(bdd.subset(pl, ps));
+    }
+}

@@ -1,0 +1,290 @@
+//! Address families and prefixes.
+//!
+//! The case-study network (§7.1) is dual-stack: point-to-point links carry
+//! statically configured IPv4 `/31`s *and* IPv6 `/126`s, and
+//! ConnectedRouteCheck inspects both. A [`Prefix`] therefore carries its
+//! [`Family`] explicitly.
+
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+use std::str::FromStr;
+
+/// Address family of a prefix or packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Family {
+    V4,
+    V6,
+}
+
+impl Family {
+    /// Address width in bits.
+    pub fn width(self) -> u8 {
+        match self {
+            Family::V4 => 32,
+            Family::V6 => 128,
+        }
+    }
+}
+
+/// An IP prefix: family, address bits, and prefix length.
+///
+/// Address bits are stored left-aligned in a `u128` for IPv6 and in the
+/// low 32 bits of `bits` for IPv4 (i.e. a plain `u32` value). Bits beyond
+/// the prefix length are kept zeroed so that `Prefix` values are canonical
+/// and hashable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix {
+    family: Family,
+    bits: u128,
+    len: u8,
+}
+
+impl Prefix {
+    /// Construct a canonical IPv4 prefix. Bits beyond `len` are masked off.
+    pub fn v4(addr: u32, len: u8) -> Prefix {
+        assert!(len <= 32, "IPv4 prefix length out of range");
+        let masked = if len == 0 { 0 } else { (addr >> (32 - len)) << (32 - len) };
+        Prefix { family: Family::V4, bits: masked as u128, len }
+    }
+
+    /// Construct a canonical IPv6 prefix. Bits beyond `len` are masked off.
+    pub fn v6(addr: u128, len: u8) -> Prefix {
+        assert!(len <= 128, "IPv6 prefix length out of range");
+        let masked = if len == 0 { 0 } else { (addr >> (128 - len)) << (128 - len) };
+        Prefix { family: Family::V6, bits: masked, len }
+    }
+
+    /// The IPv4 default route `0.0.0.0/0`.
+    pub fn v4_default() -> Prefix {
+        Prefix::v4(0, 0)
+    }
+
+    /// The IPv6 default route `::/0`.
+    pub fn v6_default() -> Prefix {
+        Prefix::v6(0, 0)
+    }
+
+    /// A host route (`/32` or `/128`) for one address.
+    pub fn host_v4(addr: u32) -> Prefix {
+        Prefix::v4(addr, 32)
+    }
+
+    pub fn family(&self) -> Family {
+        self.family
+    }
+
+    /// Address bits, left-aligned for v6, a `u32` value for v4.
+    pub fn bits(&self) -> u128 {
+        self.bits
+    }
+
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is a zero-length (default-route) prefix.
+    pub fn is_default(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `self` contains `other` (same family, `other` at least as
+    /// long, and agreeing on `self.len` leading bits).
+    pub fn contains(&self, other: &Prefix) -> bool {
+        if self.family != other.family || self.len > other.len {
+            return false;
+        }
+        if self.len == 0 {
+            return true;
+        }
+        let width = self.family.width() as u32;
+        let shift = match self.family {
+            Family::V4 => 32 - self.len as u32,
+            Family::V6 => 128 - self.len as u32,
+        };
+        debug_assert!(shift < width || self.len == 0);
+        (self.bits >> shift) == (other.bits >> shift)
+    }
+
+    /// Whether a concrete address of this family is inside the prefix.
+    pub fn contains_addr(&self, addr: u128) -> bool {
+        if self.len == 0 {
+            return true;
+        }
+        let shift = match self.family {
+            Family::V4 => 32 - self.len as u32,
+            Family::V6 => 128 - self.len as u32,
+        };
+        (self.bits >> shift) == (addr >> shift)
+    }
+
+    /// Number of addresses covered, as a fraction of the family's space.
+    pub fn fraction_of_family(&self) -> f64 {
+        2f64.powi(-(self.len as i32))
+    }
+
+    /// The `i`-th address inside the prefix (for sampling test packets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` does not fit in the prefix's free bits.
+    pub fn nth_addr(&self, i: u128) -> u128 {
+        let free = (self.family.width() - self.len) as u32;
+        if free < 128 {
+            assert!(i < (1u128 << free), "address index out of prefix");
+        }
+        self.bits | i
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.family {
+            Family::V4 => {
+                let a = Ipv4Addr::from(self.bits as u32);
+                write!(f, "{}/{}", a, self.len)
+            }
+            Family::V6 => {
+                let a = Ipv6Addr::from(self.bits);
+                write!(f, "{}/{}", a, self.len)
+            }
+        }
+    }
+}
+
+/// Errors from [`Prefix::from_str`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParsePrefixError {
+    MissingSlash,
+    BadAddress,
+    BadLength,
+}
+
+impl fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePrefixError::MissingSlash => write!(f, "prefix must be written addr/len"),
+            ParsePrefixError::BadAddress => write!(f, "unparseable address"),
+            ParsePrefixError::BadLength => write!(f, "prefix length out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ParsePrefixError {}
+
+impl FromStr for Prefix {
+    type Err = ParsePrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s.split_once('/').ok_or(ParsePrefixError::MissingSlash)?;
+        let len: u8 = len.parse().map_err(|_| ParsePrefixError::BadLength)?;
+        if let Ok(a) = addr.parse::<Ipv4Addr>() {
+            if len > 32 {
+                return Err(ParsePrefixError::BadLength);
+            }
+            Ok(Prefix::v4(u32::from(a), len))
+        } else if let Ok(a) = addr.parse::<Ipv6Addr>() {
+            if len > 128 {
+                return Err(ParsePrefixError::BadLength);
+            }
+            Ok(Prefix::v6(u128::from(a), len))
+        } else {
+            Err(ParsePrefixError::BadAddress)
+        }
+    }
+}
+
+/// Convenience: build an IPv4 address from dotted octets.
+pub fn ipv4(a: u8, b: u8, c: u8, d: u8) -> u32 {
+    u32::from_be_bytes([a, b, c, d])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalization_masks_host_bits() {
+        let p = Prefix::v4(ipv4(10, 1, 2, 3), 24);
+        assert_eq!(p, Prefix::v4(ipv4(10, 1, 2, 0), 24));
+        assert_eq!(p.to_string(), "10.1.2.0/24");
+    }
+
+    #[test]
+    fn default_routes() {
+        assert!(Prefix::v4_default().is_default());
+        assert!(Prefix::v6_default().is_default());
+        assert_eq!(Prefix::v4_default().to_string(), "0.0.0.0/0");
+        assert_eq!(Prefix::v6_default().to_string(), "::/0");
+    }
+
+    #[test]
+    fn containment() {
+        let p8: Prefix = "10.0.0.0/8".parse().unwrap();
+        let p24: Prefix = "10.1.2.0/24".parse().unwrap();
+        let other: Prefix = "11.0.0.0/8".parse().unwrap();
+        assert!(p8.contains(&p24));
+        assert!(!p24.contains(&p8));
+        assert!(!p8.contains(&other));
+        assert!(Prefix::v4_default().contains(&p8));
+        assert!(p8.contains(&p8));
+    }
+
+    #[test]
+    fn containment_is_family_aware() {
+        let v4 = Prefix::v4_default();
+        let v6 = Prefix::v6_default();
+        assert!(!v4.contains(&v6));
+        assert!(!v6.contains(&v4));
+    }
+
+    #[test]
+    fn contains_addr() {
+        let p: Prefix = "192.168.4.0/30".parse().unwrap();
+        assert!(p.contains_addr(ipv4(192, 168, 4, 2) as u128));
+        assert!(!p.contains_addr(ipv4(192, 168, 4, 4) as u128));
+    }
+
+    #[test]
+    fn parse_v6() {
+        let p: Prefix = "fd00::/64".parse().unwrap();
+        assert_eq!(p.family(), Family::V6);
+        assert_eq!(p.len(), 64);
+        let p126: Prefix = "fd00::4/126".parse().unwrap();
+        assert!(p.contains(&p126));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!("10.0.0.0".parse::<Prefix>(), Err(ParsePrefixError::MissingSlash));
+        assert_eq!("banana/8".parse::<Prefix>(), Err(ParsePrefixError::BadAddress));
+        assert_eq!("10.0.0.0/33".parse::<Prefix>(), Err(ParsePrefixError::BadLength));
+        assert_eq!("10.0.0.0/x".parse::<Prefix>(), Err(ParsePrefixError::BadLength));
+    }
+
+    #[test]
+    fn nth_addr_walks_the_prefix() {
+        let p: Prefix = "10.1.2.0/24".parse().unwrap();
+        assert_eq!(p.nth_addr(0), ipv4(10, 1, 2, 0) as u128);
+        assert_eq!(p.nth_addr(255), ipv4(10, 1, 2, 255) as u128);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nth_addr_out_of_range_panics() {
+        let p: Prefix = "10.1.2.0/24".parse().unwrap();
+        let _ = p.nth_addr(256);
+    }
+
+    #[test]
+    fn fraction_of_family() {
+        assert_eq!(Prefix::v4_default().fraction_of_family(), 1.0);
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        assert!((p.fraction_of_family() - 1.0 / 256.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,363 @@
+//! Packet header layout over BDD variables.
+//!
+//! Packets are finite bit vectors (§1 of the paper highlights that this is
+//! what makes quantifying the tested input space tractable). We model a
+//! dual-stack 5-tuple header:
+//!
+//! | field  | variables | width | notes                                   |
+//! |--------|-----------|-------|-----------------------------------------|
+//! | family | 0         | 1     | 0 = IPv4, 1 = IPv6                      |
+//! | dst    | 1..129    | 128   | IPv4 destinations use the first 32 bits |
+//! | src    | 129..161  | 32    | IPv4 source (enough for ACL-style rules)|
+//! | proto  | 161..169  | 8     | IP protocol number                      |
+//! | sport  | 169..185  | 16    | transport source port                   |
+//! | dport  | 185..201  | 16    | transport destination port              |
+//!
+//! In the IPv4 plane (family = 0), destination variables 33..129 are never
+//! constrained by any predicate built here, so they cancel out of every
+//! coverage ratio: ratios among IPv4 rules are exactly the ratios of real
+//! IPv4 address counts. Variable order puts the destination first because
+//! forwarding state is overwhelmingly destination-based — this keeps FIB
+//! BDDs near-linear.
+
+use netbdd::{Bdd, Cube, Ref};
+
+use crate::addr::{Family, Prefix};
+
+/// Variable index of the address-family bit.
+pub const FAMILY_VAR: u32 = 0;
+/// First variable of the destination address field.
+pub const DST_START: u32 = 1;
+/// First variable of the (IPv4) source address field.
+pub const SRC_START: u32 = 129;
+/// First variable of the IP protocol field.
+pub const PROTO_START: u32 = 161;
+/// First variable of the transport source port field.
+pub const SPORT_START: u32 = 169;
+/// First variable of the transport destination port field.
+pub const DPORT_START: u32 = 185;
+/// Total number of header variables.
+pub const NVARS: u32 = 201;
+
+/// A named header field, used by rewrite actions and diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HeaderField {
+    Family,
+    /// The full 128-bit destination field (IPv6 rewrites).
+    Dst,
+    /// The 32-bit IPv4 view of the destination field (its top 32 bits).
+    Dst4,
+    Src,
+    Proto,
+    Sport,
+    Dport,
+}
+
+impl HeaderField {
+    /// The `(start, width)` variable range of the field.
+    pub fn var_range(self) -> (u32, u32) {
+        match self {
+            HeaderField::Family => (FAMILY_VAR, 1),
+            HeaderField::Dst => (DST_START, 128),
+            HeaderField::Dst4 => (DST_START, 32),
+            HeaderField::Src => (SRC_START, 32),
+            HeaderField::Proto => (PROTO_START, 8),
+            HeaderField::Sport => (SPORT_START, 16),
+            HeaderField::Dport => (DPORT_START, 16),
+        }
+    }
+}
+
+/// Predicate: the packet's family bit.
+pub fn family_is(bdd: &mut Bdd, family: Family) -> Ref {
+    bdd.literal(FAMILY_VAR, family == Family::V6)
+}
+
+/// Predicate: destination address inside `prefix` (family-aware).
+pub fn dst_in(bdd: &mut Bdd, prefix: &Prefix) -> Ref {
+    let fam = family_is(bdd, prefix.family());
+    let addr = match prefix.family() {
+        Family::V4 => bdd.bits_prefix(DST_START, 32, prefix.bits(), prefix.len() as u32),
+        Family::V6 => bdd.bits_prefix(DST_START, 128, prefix.bits(), prefix.len() as u32),
+    };
+    bdd.and(fam, addr)
+}
+
+/// Predicate: source address inside an IPv4 `prefix`.
+///
+/// # Panics
+///
+/// Panics on IPv6 prefixes: source matching is only modelled for IPv4
+/// (nothing in the paper's networks filters on IPv6 sources).
+pub fn src_in(bdd: &mut Bdd, prefix: &Prefix) -> Ref {
+    assert_eq!(prefix.family(), Family::V4, "source matching is IPv4-only");
+    let fam = family_is(bdd, Family::V4);
+    let addr = bdd.bits_prefix(SRC_START, 32, prefix.bits(), prefix.len() as u32);
+    bdd.and(fam, addr)
+}
+
+/// Predicate: IP protocol equals `proto`.
+pub fn proto_is(bdd: &mut Bdd, proto: u8) -> Ref {
+    bdd.bits_eq(PROTO_START, 8, proto as u128)
+}
+
+/// Predicate: destination port in `lo..=hi`.
+pub fn dport_in(bdd: &mut Bdd, lo: u16, hi: u16) -> Ref {
+    bdd.int_range(DPORT_START, 16, lo as u128, hi as u128)
+}
+
+/// Predicate: source port in `lo..=hi`.
+pub fn sport_in(bdd: &mut Bdd, lo: u16, hi: u16) -> Ref {
+    bdd.int_range(SPORT_START, 16, lo as u128, hi as u128)
+}
+
+/// A concrete packet header — the unit a concrete test (ping, traceroute,
+/// Pingmesh) exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Packet {
+    pub family: Family,
+    /// Destination address: a `u32` value for IPv4, full 128 bits for IPv6.
+    pub dst: u128,
+    /// IPv4 source address (0 when unspecified).
+    pub src: u32,
+    pub proto: u8,
+    pub sport: u16,
+    pub dport: u16,
+}
+
+impl Packet {
+    /// A minimal IPv4 packet to a destination address; other fields zero.
+    pub fn v4_to(dst: u32) -> Packet {
+        Packet { family: Family::V4, dst: dst as u128, src: 0, proto: 0, sport: 0, dport: 0 }
+    }
+
+    /// A minimal IPv6 packet to a destination address.
+    pub fn v6_to(dst: u128) -> Packet {
+        Packet { family: Family::V6, dst, src: 0, proto: 0, sport: 0, dport: 0 }
+    }
+
+    /// The singleton packet set `{self}` as a BDD.
+    ///
+    /// For IPv4 packets the high 96 destination bits are left
+    /// unconstrained, mirroring how all IPv4 predicates are built; the
+    /// "singleton" is a single point of the modelled IPv4 plane.
+    pub fn to_bdd(&self, bdd: &mut Bdd) -> Ref {
+        // Built as one cube in a single bottom-up pass: concrete tests
+        // (Pingmesh) mark one of these per hop, so this path is hot.
+        let dst_width = match self.family {
+            Family::V4 => 32,
+            Family::V6 => 128,
+        };
+        let mut lits: Vec<(u32, bool)> =
+            Vec::with_capacity(1 + dst_width as usize + 32 + 8 + 16 + 16);
+        lits.push((FAMILY_VAR, self.family == Family::V6));
+        push_bits(&mut lits, DST_START, dst_width, self.dst);
+        push_bits(&mut lits, SRC_START, 32, self.src as u128);
+        push_bits(&mut lits, PROTO_START, 8, self.proto as u128);
+        push_bits(&mut lits, SPORT_START, 16, self.sport as u128);
+        push_bits(&mut lits, DPORT_START, 16, self.dport as u128);
+        bdd.cube_of(&lits)
+    }
+
+    /// Membership test against a header predicate.
+    pub fn matches(&self, bdd: &Bdd, set: Ref) -> bool {
+        bdd.eval(set, |v| self.bit(v))
+    }
+
+    /// The value of header variable `v` for this packet (unused IPv4
+    /// destination bits read as 0).
+    pub fn bit(&self, v: u32) -> bool {
+        match v {
+            FAMILY_VAR => self.family == Family::V6,
+            _ if v < SRC_START => {
+                let i = v - DST_START; // bit index, MSB first
+                match self.family {
+                    Family::V4 => i < 32 && (self.dst >> (31 - i)) & 1 == 1,
+                    Family::V6 => (self.dst >> (127 - i)) & 1 == 1,
+                }
+            }
+            _ if v < PROTO_START => {
+                let i = v - SRC_START;
+                (self.src >> (31 - i)) & 1 == 1
+            }
+            _ if v < SPORT_START => {
+                let i = v - PROTO_START;
+                (self.proto >> (7 - i)) & 1 == 1
+            }
+            _ if v < DPORT_START => {
+                let i = v - SPORT_START;
+                (self.sport >> (15 - i)) & 1 == 1
+            }
+            _ => {
+                let i = v - DPORT_START;
+                (self.dport >> (15 - i)) & 1 == 1
+            }
+        }
+    }
+
+    /// Reconstruct a representative packet from a satisfying cube
+    /// (unconstrained bits become 0).
+    pub fn from_cube(cube: &Cube) -> Packet {
+        let family = if cube.get(FAMILY_VAR) == Some(true) { Family::V6 } else { Family::V4 };
+        let dst = match family {
+            Family::V4 => cube.read_bits(DST_START, 32),
+            Family::V6 => cube.read_bits(DST_START, 128),
+        };
+        Packet {
+            family,
+            dst,
+            src: cube.read_bits(SRC_START, 32) as u32,
+            proto: cube.read_bits(PROTO_START, 8) as u8,
+            sport: cube.read_bits(SPORT_START, 16) as u16,
+            dport: cube.read_bits(DPORT_START, 16) as u16,
+        }
+    }
+}
+
+fn push_bits(lits: &mut Vec<(u32, bool)>, start: u32, width: u32, value: u128) {
+    for i in 0..width {
+        lits.push((start + i, (value >> (width - 1 - i)) & 1 == 1));
+    }
+}
+
+impl std::fmt::Display for Packet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.family {
+            Family::V4 => write!(f, "v4 dst {}", std::net::Ipv4Addr::from(self.dst as u32))?,
+            Family::V6 => write!(f, "v6 dst {}", std::net::Ipv6Addr::from(self.dst))?,
+        }
+        if self.src != 0 {
+            write!(f, " src {}", std::net::Ipv4Addr::from(self.src))?;
+        }
+        write!(f, " proto {} sport {} dport {}", self.proto, self.sport, self.dport)
+    }
+}
+
+/// A representative packet from a non-empty set, or `None` if empty.
+pub fn sample_packet(bdd: &Bdd, set: Ref) -> Option<Packet> {
+    bdd.some_cube(set).map(|c| Packet::from_cube(&c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::ipv4;
+
+    #[test]
+    fn dst_prefix_contains_its_packets() {
+        let mut bdd = Bdd::new();
+        let p: Prefix = "10.1.2.0/24".parse().unwrap();
+        let set = dst_in(&mut bdd, &p);
+        let inside = Packet::v4_to(ipv4(10, 1, 2, 77));
+        let outside = Packet::v4_to(ipv4(10, 1, 3, 77));
+        assert!(inside.matches(&bdd, set));
+        assert!(!outside.matches(&bdd, set));
+    }
+
+    #[test]
+    fn family_planes_are_disjoint() {
+        let mut bdd = Bdd::new();
+        let v4 = dst_in(&mut bdd, &Prefix::v4_default());
+        let v6 = dst_in(&mut bdd, &Prefix::v6_default());
+        assert!(!bdd.intersects(v4, v6));
+        let both = bdd.or(v4, v6);
+        assert!(both.is_true());
+    }
+
+    #[test]
+    fn v4_default_covers_half_the_space() {
+        let mut bdd = Bdd::new();
+        let v4 = dst_in(&mut bdd, &Prefix::v4_default());
+        assert_eq!(bdd.probability(v4), 0.5);
+    }
+
+    #[test]
+    fn prefix_ratios_are_exact_within_v4() {
+        let mut bdd = Bdd::new();
+        let p8 = dst_in(&mut bdd, &"10.0.0.0/8".parse().unwrap());
+        let p24 = dst_in(&mut bdd, &"10.1.2.0/24".parse().unwrap());
+        let ratio = bdd.probability(p24) / bdd.probability(p8);
+        assert!((ratio - 2f64.powi(-16)).abs() < 1e-20);
+    }
+
+    #[test]
+    fn v6_packet_roundtrip() {
+        let mut bdd = Bdd::new();
+        let p: Prefix = "fd00:1:2::/64".parse().unwrap();
+        let set = dst_in(&mut bdd, &p);
+        let sample = sample_packet(&bdd, set).unwrap();
+        assert_eq!(sample.family, Family::V6);
+        assert!(p.contains_addr(sample.dst));
+        assert!(sample.matches(&bdd, set));
+    }
+
+    #[test]
+    fn concrete_packet_is_in_its_own_set() {
+        let mut bdd = Bdd::new();
+        let pkt = Packet {
+            family: Family::V4,
+            dst: ipv4(8, 8, 8, 8) as u128,
+            src: ipv4(10, 0, 0, 1),
+            proto: 6,
+            sport: 12345,
+            dport: 443,
+        };
+        let set = pkt.to_bdd(&mut bdd);
+        assert!(pkt.matches(&bdd, set));
+        let recovered = sample_packet(&bdd, set).unwrap();
+        assert_eq!(recovered, pkt);
+    }
+
+    #[test]
+    fn port_and_proto_predicates() {
+        let mut bdd = Bdd::new();
+        let telnet = {
+            let tcp = proto_is(&mut bdd, 6);
+            let p23 = dport_in(&mut bdd, 23, 23);
+            bdd.and(tcp, p23)
+        };
+        let pkt = Packet { dport: 23, proto: 6, ..Packet::v4_to(1) };
+        assert!(pkt.matches(&bdd, telnet));
+        let pkt2 = Packet { dport: 24, proto: 6, ..Packet::v4_to(1) };
+        assert!(!pkt2.matches(&bdd, telnet));
+    }
+
+    #[test]
+    fn src_matching() {
+        let mut bdd = Bdd::new();
+        let set = src_in(&mut bdd, &"192.168.0.0/16".parse().unwrap());
+        let inside = Packet { src: ipv4(192, 168, 9, 9), ..Packet::v4_to(1) };
+        let outside = Packet { src: ipv4(192, 169, 9, 9), ..Packet::v4_to(1) };
+        assert!(inside.matches(&bdd, set));
+        assert!(!outside.matches(&bdd, set));
+    }
+
+    #[test]
+    fn sport_range() {
+        let mut bdd = Bdd::new();
+        let eph = sport_in(&mut bdd, 32768, 65535);
+        let inside = Packet { sport: 40000, ..Packet::v4_to(1) };
+        let outside = Packet { sport: 80, ..Packet::v4_to(1) };
+        assert!(inside.matches(&bdd, eph));
+        assert!(!outside.matches(&bdd, eph));
+    }
+
+    #[test]
+    fn field_ranges_tile_the_header() {
+        let fields = [
+            HeaderField::Family,
+            HeaderField::Dst,
+            HeaderField::Src,
+            HeaderField::Proto,
+            HeaderField::Sport,
+            HeaderField::Dport,
+        ];
+        let mut end = 0;
+        for f in fields {
+            let (start, width) = f.var_range();
+            assert_eq!(start, end, "{f:?} must start where the previous field ended");
+            end = start + width;
+        }
+        assert_eq!(end, NVARS);
+    }
+}

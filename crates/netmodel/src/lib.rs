@@ -1,0 +1,43 @@
+//! # netmodel — the stateless dataplane model of §4.1
+//!
+//! The paper models a network as a 4-tuple `N = (V, I, E, S)`: devices,
+//! interfaces, links, and forwarding state. Forwarding state is a set of
+//! match-action rules per device; rules operate over *located packets* —
+//! a header plus the location (device, interface) the packet currently
+//! occupies.
+//!
+//! This crate provides:
+//!
+//! * [`addr`] — IPv4/IPv6 prefixes with parsing and containment.
+//! * [`header`] — the packet header layout mapped onto BDD variables, and
+//!   constructors for header predicates (destination prefixes, port
+//!   ranges, concrete packets).
+//! * [`topology`] — devices, interfaces, links, and roles.
+//! * [`rule`] — match-action rules: match fields, forwarding actions
+//!   (including ECMP fan-out and header rewrites), and route provenance.
+//! * [`network`] — the assembled `N = (V, I, E, S)` with global rule ids.
+//! * [`disjoint`] — preprocessing ordered tables into the disjoint match
+//!   sets the paper's framework assumes (§5.2, step 1).
+//! * [`located`] — located packet sets: per-location BDDs.
+//!
+//! The model is deliberately *semantics-based* (§3.2): nothing in this
+//! crate depends on how a device implements its lookups, only on what the
+//! rules mean.
+
+pub mod addr;
+pub mod disjoint;
+pub mod header;
+pub mod located;
+pub mod network;
+pub mod region;
+pub mod rule;
+pub mod topology;
+
+pub use addr::{Family, Prefix};
+pub use disjoint::MatchSets;
+pub use header::{HeaderField, Packet};
+pub use located::{LocatedPacketSet, Location};
+pub use network::{Network, RuleId};
+pub use region::{describe_set, FieldConstraint, Region};
+pub use rule::{Action, MatchFields, Rewrite, RouteClass, Rule, Table, TableMode};
+pub use topology::{Device, DeviceId, Iface, IfaceId, IfaceKind, Role, Topology};

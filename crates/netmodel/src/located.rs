@@ -1,0 +1,216 @@
+//! Located packet sets.
+//!
+//! The paper's rules operate over *located* packets — header bits plus the
+//! network location the packet occupies (§4.1). Rather than encoding
+//! locations into BDD variables, a [`LocatedPacketSet`] keeps one header
+//! BDD per [`Location`]: coverage tracking unions these maps (cheap), and
+//! Algorithm 1 intersects per-device slices with rule match sets.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use netbdd::{Bdd, Ref};
+
+use crate::topology::{DeviceId, IfaceId};
+
+/// A network location: a device, optionally refined with the interface the
+/// packet arrived on.
+///
+/// Tests that inject packets "at a device" (local symbolic checks) use
+/// `iface = None`; end-to-end traversals record the ingress interface at
+/// every hop, which is what incoming-interface coverage consumes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Location {
+    pub device: DeviceId,
+    pub iface: Option<IfaceId>,
+}
+
+impl Location {
+    /// A location at a device, ingress unspecified.
+    pub fn device(device: DeviceId) -> Location {
+        Location { device, iface: None }
+    }
+
+    /// A location at a device on a specific ingress interface.
+    pub fn at(device: DeviceId, iface: IfaceId) -> Location {
+        Location { device, iface: Some(iface) }
+    }
+}
+
+impl fmt::Debug for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.iface {
+            Some(i) => write!(f, "{:?}@{:?}", self.device, i),
+            None => write!(f, "{:?}", self.device),
+        }
+    }
+}
+
+/// A set of located packets: one header-space BDD per location.
+///
+/// Locations with empty sets are pruned eagerly so that iteration cost
+/// tracks the number of *meaningfully* covered locations.
+#[derive(Clone, Debug, Default)]
+pub struct LocatedPacketSet {
+    map: BTreeMap<Location, Ref>,
+}
+
+impl LocatedPacketSet {
+    pub fn new() -> LocatedPacketSet {
+        LocatedPacketSet::default()
+    }
+
+    /// A set holding `packets` at a single location.
+    pub fn singleton(loc: Location, packets: Ref) -> LocatedPacketSet {
+        let mut s = LocatedPacketSet::new();
+        if !packets.is_false() {
+            s.map.insert(loc, packets);
+        }
+        s
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Union `packets` into the set at `loc`.
+    pub fn add(&mut self, bdd: &mut Bdd, loc: Location, packets: Ref) {
+        if packets.is_false() {
+            return;
+        }
+        let entry = self.map.entry(loc).or_insert(Ref::FALSE);
+        *entry = bdd.or(*entry, packets);
+    }
+
+    /// Union another located set into this one.
+    pub fn union(&mut self, bdd: &mut Bdd, other: &LocatedPacketSet) {
+        for (&loc, &set) in &other.map {
+            self.add(bdd, loc, set);
+        }
+    }
+
+    /// The packets recorded exactly at `loc` (not aggregated across
+    /// ingress refinements).
+    pub fn at(&self, loc: Location) -> Ref {
+        self.map.get(&loc).copied().unwrap_or(Ref::FALSE)
+    }
+
+    /// All packets present at a device, regardless of ingress interface.
+    pub fn at_device(&self, bdd: &mut Bdd, device: DeviceId) -> Ref {
+        let lo = Location { device, iface: None };
+        let hi = Location { device, iface: Some(IfaceId(u32::MAX)) };
+        let refs: Vec<Ref> = self.map.range(lo..=hi).map(|(_, &r)| r).collect();
+        bdd.or_all(refs)
+    }
+
+    /// All packets present at a device that arrived on `iface`
+    /// (device-level entries with unknown ingress are *not* included).
+    pub fn at_device_iface(&self, device: DeviceId, iface: IfaceId) -> Ref {
+        self.at(Location::at(device, iface))
+    }
+
+    /// Iterate `(location, packets)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Location, Ref)> + '_ {
+        self.map.iter().map(|(&l, &r)| (l, r))
+    }
+
+    /// The distinct devices with any recorded packets.
+    pub fn devices(&self) -> Vec<DeviceId> {
+        let mut out: Vec<DeviceId> = self.map.keys().map(|l| l.device).collect();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(d: u32) -> Location {
+        Location::device(DeviceId(d))
+    }
+
+    #[test]
+    fn empty_sets_are_pruned() {
+        let mut bdd = Bdd::new();
+        let mut s = LocatedPacketSet::new();
+        s.add(&mut bdd, loc(0), Ref::FALSE);
+        assert!(s.is_empty());
+        assert_eq!(LocatedPacketSet::singleton(loc(0), Ref::FALSE).len(), 0);
+    }
+
+    #[test]
+    fn add_unions_at_same_location() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let mut s = LocatedPacketSet::new();
+        s.add(&mut bdd, loc(0), a);
+        s.add(&mut bdd, loc(0), b);
+        let expect = bdd.or(a, b);
+        assert_eq!(s.at(loc(0)), expect);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn union_merges_maps() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let mut s1 = LocatedPacketSet::singleton(loc(0), a);
+        let s2 = {
+            let mut s = LocatedPacketSet::singleton(loc(0), b);
+            s.add(&mut bdd, loc(1), a);
+            s
+        };
+        s1.union(&mut bdd, &s2);
+        let expect = bdd.or(a, b);
+        assert_eq!(s1.at(loc(0)), expect);
+        assert_eq!(s1.at(loc(1)), a);
+        assert_eq!(s1.len(), 2);
+    }
+
+    #[test]
+    fn at_device_aggregates_ingress_refinements() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let d = DeviceId(5);
+        let mut s = LocatedPacketSet::new();
+        s.add(&mut bdd, Location::at(d, IfaceId(1)), a);
+        s.add(&mut bdd, Location::at(d, IfaceId(2)), b);
+        let full = bdd.full();
+        s.add(&mut bdd, Location::device(DeviceId(6)), full);
+        let got = s.at_device(&mut bdd, d);
+        let expect = bdd.or(a, b);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn at_device_iface_is_exact() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let d = DeviceId(5);
+        let mut s = LocatedPacketSet::new();
+        s.add(&mut bdd, Location::at(d, IfaceId(1)), a);
+        let full = bdd.full();
+        s.add(&mut bdd, Location::device(d), full);
+        assert_eq!(s.at_device_iface(d, IfaceId(1)), a);
+        assert!(s.at_device_iface(d, IfaceId(2)).is_false());
+    }
+
+    #[test]
+    fn devices_lists_covered_devices() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let mut s = LocatedPacketSet::new();
+        s.add(&mut bdd, Location::at(DeviceId(1), IfaceId(0)), a);
+        s.add(&mut bdd, Location::device(DeviceId(1)), a);
+        s.add(&mut bdd, Location::device(DeviceId(3)), a);
+        assert_eq!(s.devices(), vec![DeviceId(1), DeviceId(3)]);
+    }
+}

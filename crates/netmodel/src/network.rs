@@ -1,0 +1,166 @@
+//! The assembled network: `N = (V, I, E, S)`.
+//!
+//! [`Network`] pairs a [`Topology`] with one forwarding [`Table`] per
+//! device and hands out stable, global [`RuleId`]s — the identifiers that
+//! coverage traces record (`markRule`) and that every coverage metric is
+//! keyed by.
+
+use std::fmt;
+
+use crate::rule::{Rule, Table, TableMode};
+use crate::topology::{DeviceId, IfaceId, Topology};
+
+/// Globally unique identifier of a rule: device plus index in the
+/// device's (finalized, first-match-ordered) table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RuleId {
+    pub device: DeviceId,
+    pub index: u32,
+}
+
+impl fmt::Debug for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}.{}", self.device.0, self.index)
+    }
+}
+
+/// The network model: topology plus forwarding state.
+#[derive(Clone, Debug)]
+pub struct Network {
+    topology: Topology,
+    /// One table per device, indexed by `DeviceId`.
+    state: Vec<Table>,
+}
+
+impl Network {
+    /// Wrap a topology with empty LPM tables for every device.
+    pub fn new(topology: Topology) -> Network {
+        let state = (0..topology.device_count()).map(|_| Table::new(TableMode::Lpm)).collect();
+        Network { topology, state }
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Add a rule to a device's table.
+    pub fn add_rule(&mut self, device: DeviceId, rule: Rule) {
+        self.state[device.0 as usize].push(rule);
+    }
+
+    /// Replace a device's whole table (used by fault injection).
+    pub fn set_table(&mut self, device: DeviceId, table: Table) {
+        self.state[device.0 as usize] = table;
+    }
+
+    /// Finalize every table's ordering. Must be called once after
+    /// construction, before rules are enumerated.
+    pub fn finalize(&mut self) {
+        for t in &mut self.state {
+            t.finalize();
+        }
+    }
+
+    /// The rules of one device, in first-match order (`S[v]` in the
+    /// paper's notation).
+    pub fn device_rules(&self, device: DeviceId) -> &[Rule] {
+        self.state[device.0 as usize].rules_unchecked()
+    }
+
+    /// Look up one rule by id.
+    pub fn rule(&self, id: RuleId) -> &Rule {
+        &self.device_rules(id.device)[id.index as usize]
+    }
+
+    /// Iterate every rule in the network with its global id.
+    pub fn rules(&self) -> impl Iterator<Item = (RuleId, &Rule)> {
+        self.topology.devices().flat_map(move |(d, _)| {
+            self.device_rules(d)
+                .iter()
+                .enumerate()
+                .map(move |(i, r)| (RuleId { device: d, index: i as u32 }, r))
+        })
+    }
+
+    /// Iterate the rule ids of one device.
+    pub fn device_rule_ids(&self, device: DeviceId) -> impl Iterator<Item = RuleId> {
+        (0..self.device_rules(device).len() as u32).map(move |index| RuleId { device, index })
+    }
+
+    /// Total number of rules in the network.
+    pub fn rule_count(&self) -> usize {
+        (0..self.topology.device_count())
+            .map(|d| self.state[d].rules_unchecked().len())
+            .sum()
+    }
+
+    /// All rules on `device` that forward out of `iface` (the rule set of
+    /// the paper's *outgoing interface coverage*).
+    pub fn rules_out_iface(&self, iface: IfaceId) -> Vec<RuleId> {
+        let device = self.topology.iface(iface).device;
+        self.device_rule_ids(device)
+            .filter(|id| self.rule(*id).action.out_ifaces().contains(&iface))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Prefix;
+    use crate::rule::RouteClass;
+    use crate::topology::Role;
+
+    fn tiny_network() -> (Network, DeviceId, DeviceId, IfaceId, IfaceId) {
+        let mut t = Topology::new();
+        let a = t.add_device("a", Role::Tor);
+        let b = t.add_device("b", Role::Spine);
+        let (ai, bi) = t.add_link(a, b);
+        let mut n = Network::new(t);
+        n.add_rule(a, Rule::forward(Prefix::v4_default(), vec![ai], RouteClass::StaticDefault));
+        n.add_rule(
+            a,
+            Rule::forward("10.0.0.0/24".parse().unwrap(), vec![ai], RouteClass::HostSubnet),
+        );
+        n.add_rule(b, Rule::forward("10.0.0.0/24".parse().unwrap(), vec![bi], RouteClass::HostSubnet));
+        n.finalize();
+        (n, a, b, ai, bi)
+    }
+
+    #[test]
+    fn rule_ids_are_global_and_ordered() {
+        let (n, a, b, _, _) = tiny_network();
+        let ids: Vec<RuleId> = n.rules().map(|(id, _)| id).collect();
+        assert_eq!(ids.len(), 3);
+        assert_eq!(ids[0], RuleId { device: a, index: 0 });
+        assert_eq!(ids[2], RuleId { device: b, index: 0 });
+        assert_eq!(n.rule_count(), 3);
+    }
+
+    #[test]
+    fn lpm_order_puts_default_last() {
+        let (n, a, _, _, _) = tiny_network();
+        let rules = n.device_rules(a);
+        assert_eq!(rules[0].matches.dst.unwrap().len(), 24);
+        assert!(rules[1].matches.dst.unwrap().is_default());
+    }
+
+    #[test]
+    fn rules_out_iface_finds_forwarders() {
+        let (n, a, _, ai, bi) = tiny_network();
+        let out_a = n.rules_out_iface(ai);
+        assert_eq!(out_a.len(), 2);
+        assert!(out_a.iter().all(|id| id.device == a));
+        assert_eq!(n.rules_out_iface(bi).len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unfinalized_enumeration_panics() {
+        let mut t = Topology::new();
+        let a = t.add_device("a", Role::Tor);
+        let mut n = Network::new(t);
+        n.add_rule(a, Rule::null_route(Prefix::v4_default(), RouteClass::Other));
+        let _ = n.device_rules(a); // finalize() not called
+    }
+}

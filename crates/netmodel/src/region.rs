@@ -1,0 +1,268 @@
+//! Human-readable descriptions of header-space regions.
+//!
+//! Coverage analysis ends with a human: an engineer deciding which test
+//! to write next. A raw BDD is useless to them; a list like
+//! `v4 dst 10.1.2.0/24 proto=6 dport=23` is actionable. [`Region`]
+//! renders one disjoint cube of a packet set that way, and
+//! [`describe_set`] summarises a whole set as a bounded list of regions.
+
+use std::fmt;
+
+use netbdd::{Bdd, Cube, Ref};
+
+use crate::addr::Family;
+use crate::header::{
+    DPORT_START, DST_START, FAMILY_VAR, PROTO_START, SPORT_START, SRC_START,
+};
+
+/// One field's constraint inside a region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FieldConstraint {
+    /// The field is unconstrained.
+    Any,
+    /// The top `len` bits equal those of `value` (a prefix/CIDR shape).
+    Prefix { value: u128, len: u8 },
+    /// A non-prefix bit pattern: `(mask, value)` over the field's bits,
+    /// MSB-aligned — rendered as value/mask.
+    Masked { mask: u128, value: u128 },
+}
+
+impl FieldConstraint {
+    fn from_cube(cube: &Cube, start: u32, width: u32) -> FieldConstraint {
+        let mut mask: u128 = 0;
+        let mut value: u128 = 0;
+        for i in 0..width {
+            mask <<= 1;
+            value <<= 1;
+            if let Some(bit) = cube.get(start + i) {
+                mask |= 1;
+                if bit {
+                    value |= 1;
+                }
+            }
+        }
+        if mask == 0 {
+            return FieldConstraint::Any;
+        }
+        // Prefix shape: constrained bits are exactly the top `len`.
+        let len = mask.leading_zeros() as i32 - (128 - width as i32);
+        let top_run = {
+            let mut l = 0u32;
+            for i in 0..width {
+                if (mask >> (width - 1 - i)) & 1 == 1 {
+                    l += 1;
+                } else {
+                    break;
+                }
+            }
+            l
+        };
+        let _ = len;
+        if mask.count_ones() == top_run && top_run > 0 {
+            // `value` is MSB-aligned within the field already.
+            FieldConstraint::Prefix { value, len: top_run as u8 }
+        } else {
+            FieldConstraint::Masked { mask, value }
+        }
+    }
+
+    /// Whether the field is constrained at all.
+    pub fn is_any(&self) -> bool {
+        matches!(self, FieldConstraint::Any)
+    }
+}
+
+/// One disjoint region of header space, decoded from a cube.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// `None` = both families possible.
+    pub family: Option<Family>,
+    pub dst: FieldConstraint,
+    pub src: FieldConstraint,
+    pub proto: FieldConstraint,
+    pub sport: FieldConstraint,
+    pub dport: FieldConstraint,
+}
+
+impl Region {
+    /// Decode a cube (over the standard header layout) into a region.
+    pub fn from_cube(cube: &Cube) -> Region {
+        let family = cube.get(FAMILY_VAR).map(|b| if b { Family::V6 } else { Family::V4 });
+        let dst_width = match family {
+            Some(Family::V4) => 32,
+            _ => 128,
+        };
+        Region {
+            family,
+            dst: FieldConstraint::from_cube(cube, DST_START, dst_width),
+            src: FieldConstraint::from_cube(cube, SRC_START, 32),
+            proto: FieldConstraint::from_cube(cube, PROTO_START, 8),
+            sport: FieldConstraint::from_cube(cube, SPORT_START, 16),
+            dport: FieldConstraint::from_cube(cube, DPORT_START, 16),
+        }
+    }
+}
+
+fn fmt_addr_prefix(
+    f: &mut fmt::Formatter<'_>,
+    family: Option<Family>,
+    c: &FieldConstraint,
+    width: u32,
+) -> fmt::Result {
+    match c {
+        FieldConstraint::Any => write!(f, "*"),
+        FieldConstraint::Prefix { value, len } => {
+            // `value` is already MSB-aligned within the field.
+            let addr = *value;
+            let _ = len;
+            match family {
+                Some(Family::V4) | None if width == 32 => {
+                    write!(f, "{}/{}", std::net::Ipv4Addr::from(addr as u32), len)
+                }
+                _ => write!(f, "{}/{}", std::net::Ipv6Addr::from(addr), len),
+            }
+        }
+        FieldConstraint::Masked { mask, value } => {
+            write!(f, "pat({value:x}&{mask:x})")
+        }
+    }
+}
+
+fn fmt_int(f: &mut fmt::Formatter<'_>, c: &FieldConstraint, width: u32) -> fmt::Result {
+    match c {
+        FieldConstraint::Any => Ok(()),
+        FieldConstraint::Prefix { value, len } => {
+            if *len as u32 == width {
+                write!(f, "={value}")
+            } else {
+                // A prefix over an integer field is a contiguous range;
+                // `value` is already MSB-aligned.
+                let lo = *value;
+                let hi = lo + ((1u128 << (width - *len as u32)) - 1);
+                write!(f, "={lo}..={hi}")
+            }
+        }
+        FieldConstraint::Masked { mask, value } => write!(f, "=pat({value:x}&{mask:x})"),
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.family {
+            Some(Family::V4) => write!(f, "v4 ")?,
+            Some(Family::V6) => write!(f, "v6 ")?,
+            None => write!(f, "any ")?,
+        }
+        write!(f, "dst ")?;
+        let width = match self.family {
+            Some(Family::V4) => 32,
+            _ => 128,
+        };
+        fmt_addr_prefix(f, self.family, &self.dst, width)?;
+        if !self.src.is_any() {
+            write!(f, " src ")?;
+            fmt_addr_prefix(f, Some(Family::V4), &self.src, 32)?;
+        }
+        if !self.proto.is_any() {
+            write!(f, " proto")?;
+            fmt_int(f, &self.proto, 8)?;
+        }
+        if !self.sport.is_any() {
+            write!(f, " sport")?;
+            fmt_int(f, &self.sport, 16)?;
+        }
+        if !self.dport.is_any() {
+            write!(f, " dport")?;
+            fmt_int(f, &self.dport, 16)?;
+        }
+        Ok(())
+    }
+}
+
+/// Decompose a packet set into at most `limit` disjoint regions (plus a
+/// flag saying whether the list is complete).
+pub fn describe_set(bdd: &Bdd, set: Ref, limit: usize) -> (Vec<Region>, bool) {
+    let cubes = bdd.cubes(set, limit + 1);
+    let complete = cubes.len() <= limit;
+    let regions = cubes.into_iter().take(limit).map(|c| Region::from_cube(&c)).collect();
+    (regions, complete)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header;
+    use crate::Prefix;
+
+    #[test]
+    fn prefix_regions_render_as_cidr() {
+        let mut bdd = Bdd::new();
+        let set = header::dst_in(&mut bdd, &"10.1.2.0/24".parse::<Prefix>().unwrap());
+        let (regions, complete) = describe_set(&bdd, set, 10);
+        assert!(complete);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].to_string(), "v4 dst 10.1.2.0/24");
+    }
+
+    #[test]
+    fn port_constraints_render() {
+        let mut bdd = Bdd::new();
+        let d = header::dst_in(&mut bdd, &"10.0.0.0/8".parse::<Prefix>().unwrap());
+        let p = header::proto_is(&mut bdd, 6);
+        let t = header::dport_in(&mut bdd, 23, 23);
+        let set = bdd.and_all([d, p, t]);
+        let (regions, _) = describe_set(&bdd, set, 10);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].to_string(), "v4 dst 10.0.0.0/8 proto=6 dport=23");
+    }
+
+    #[test]
+    fn v6_regions_render() {
+        let mut bdd = Bdd::new();
+        let set = header::dst_in(&mut bdd, &"fd00:cafe::/64".parse::<Prefix>().unwrap());
+        let (regions, _) = describe_set(&bdd, set, 10);
+        assert_eq!(regions[0].to_string(), "v6 dst fd00:cafe::/64");
+    }
+
+    #[test]
+    fn unions_decompose_into_disjoint_regions() {
+        let mut bdd = Bdd::new();
+        let a = header::dst_in(&mut bdd, &"10.0.0.0/24".parse::<Prefix>().unwrap());
+        let b = header::dst_in(&mut bdd, &"192.168.0.0/16".parse::<Prefix>().unwrap());
+        let set = bdd.or(a, b);
+        let (regions, complete) = describe_set(&bdd, set, 10);
+        assert!(complete);
+        let strings: Vec<String> = regions.iter().map(|r| r.to_string()).collect();
+        // The exact split depends on BDD structure, but every region is a
+        // v4 destination region and their semantics must union back.
+        assert!(strings.iter().all(|s| s.starts_with("v4 dst ")));
+    }
+
+    #[test]
+    fn limit_reports_incompleteness() {
+        let mut bdd = Bdd::new();
+        // A union of many scattered /32s has many cubes.
+        let mut set = bdd.empty();
+        for i in 0..20u32 {
+            let p = Prefix::v4(crate::addr::ipv4(10, 0, i as u8, 1), 32);
+            let s = header::dst_in(&mut bdd, &p);
+            set = bdd.or(set, s);
+        }
+        let (all, complete_all) = describe_set(&bdd, set, 1000);
+        assert!(complete_all);
+        assert!(all.len() >= 2, "BDD cube merging left {} regions", all.len());
+        let (truncated, complete) = describe_set(&bdd, set, 1);
+        assert_eq!(truncated.len(), 1);
+        assert!(!complete);
+    }
+
+    #[test]
+    fn port_range_renders_as_range() {
+        let mut bdd = Bdd::new();
+        // dport in 0..=1023 == a /6 prefix over the 16-bit field.
+        let set = header::dport_in(&mut bdd, 0, 1023);
+        let (regions, _) = describe_set(&bdd, set, 4);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].to_string(), "any dst * dport=0..=1023");
+    }
+}

@@ -1,0 +1,382 @@
+//! Devices, interfaces, and links: the `(V, I, E)` part of the network
+//! 4-tuple.
+//!
+//! Interfaces are globally indexed; a link is a pair of interfaces that
+//! point at each other. Host-facing and WAN-facing edges are modelled as
+//! interfaces with no peer but a distinguishing [`IfaceKind`], which is
+//! how the path-universe exploration (§5.2) knows where packets enter and
+//! leave the network.
+
+use std::fmt;
+
+/// Index of a device in its [`Topology`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub u32);
+
+/// Global index of an interface in its [`Topology`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IfaceId(pub u32);
+
+impl fmt::Debug for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl fmt::Debug for IfaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// The role a router plays in the topology, used to group coverage
+/// results exactly the way Figure 6 of the paper does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Role {
+    /// Top-of-rack (leaf) router.
+    Tor,
+    /// Aggregation router (pod middle layer).
+    Aggregation,
+    /// Spine router (datacenter top / fat-tree core).
+    Spine,
+    /// Regional hub router interconnecting datacenters (§7.1).
+    RegionalHub,
+    /// Border router towards the WAN (Figure 1's B1/B2).
+    Border,
+    /// WAN/backbone router, outside the datacenter proper.
+    Wan,
+    /// Anything else.
+    Other,
+}
+
+impl Role {
+    /// Display label matching the paper's figure axes.
+    pub fn label(self) -> &'static str {
+        match self {
+            Role::Tor => "ToR Router",
+            Role::Aggregation => "Aggregation Router",
+            Role::Spine => "Spine Router",
+            Role::RegionalHub => "Regional Hub",
+            Role::Border => "Border Router",
+            Role::Wan => "WAN Router",
+            Role::Other => "Other",
+        }
+    }
+}
+
+/// What an interface attaches to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IfaceKind {
+    /// Point-to-point link to another router (has a peer).
+    P2p,
+    /// Host-facing Ethernet interface (packets enter/leave here).
+    Host,
+    /// External/WAN-facing edge of the modelled network.
+    External,
+    /// Loopback interface (route origination only; no packets traverse it).
+    Loopback,
+}
+
+/// One network interface.
+#[derive(Clone, Debug)]
+pub struct Iface {
+    pub device: DeviceId,
+    pub name: String,
+    pub kind: IfaceKind,
+    /// Peer interface for P2p links; `None` otherwise.
+    pub peer: Option<IfaceId>,
+}
+
+/// One network device.
+#[derive(Clone, Debug)]
+pub struct Device {
+    pub name: String,
+    pub role: Role,
+    /// Pod / datacenter grouping index, where meaningful.
+    pub group: Option<u32>,
+    pub ifaces: Vec<IfaceId>,
+}
+
+/// The physical network: devices, interfaces, links.
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    devices: Vec<Device>,
+    ifaces: Vec<Iface>,
+}
+
+impl Topology {
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Add a device with no interfaces yet.
+    pub fn add_device(&mut self, name: impl Into<String>, role: Role) -> DeviceId {
+        self.add_device_in_group(name, role, None)
+    }
+
+    /// Add a device tagged with a pod/datacenter group.
+    pub fn add_device_in_group(
+        &mut self,
+        name: impl Into<String>,
+        role: Role,
+        group: Option<u32>,
+    ) -> DeviceId {
+        let id = DeviceId(self.devices.len() as u32);
+        self.devices.push(Device { name: name.into(), role, group, ifaces: Vec::new() });
+        id
+    }
+
+    /// Add an unconnected interface of the given kind to a device.
+    pub fn add_iface(
+        &mut self,
+        device: DeviceId,
+        name: impl Into<String>,
+        kind: IfaceKind,
+    ) -> IfaceId {
+        let id = IfaceId(self.ifaces.len() as u32);
+        self.ifaces.push(Iface { device, name: name.into(), kind, peer: None });
+        self.devices[device.0 as usize].ifaces.push(id);
+        id
+    }
+
+    /// Create a point-to-point link between two devices; returns the two
+    /// new interfaces `(a_side, b_side)`.
+    pub fn add_link(&mut self, a: DeviceId, b: DeviceId) -> (IfaceId, IfaceId) {
+        let an = format!("to-{}", self.device(b).name);
+        let bn = format!("to-{}", self.device(a).name);
+        let ai = self.add_iface(a, an, IfaceKind::P2p);
+        let bi = self.add_iface(b, bn, IfaceKind::P2p);
+        self.ifaces[ai.0 as usize].peer = Some(bi);
+        self.ifaces[bi.0 as usize].peer = Some(ai);
+        (ai, bi)
+    }
+
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.0 as usize]
+    }
+
+    pub fn iface(&self, id: IfaceId) -> &Iface {
+        &self.ifaces[id.0 as usize]
+    }
+
+    /// The device on the far side of a P2p interface.
+    pub fn neighbor_of(&self, iface: IfaceId) -> Option<DeviceId> {
+        self.iface(iface).peer.map(|p| self.iface(p).device)
+    }
+
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    pub fn iface_count(&self) -> usize {
+        self.ifaces.len()
+    }
+
+    pub fn devices(&self) -> impl Iterator<Item = (DeviceId, &Device)> {
+        self.devices.iter().enumerate().map(|(i, d)| (DeviceId(i as u32), d))
+    }
+
+    pub fn ifaces(&self) -> impl Iterator<Item = (IfaceId, &Iface)> {
+        self.ifaces.iter().enumerate().map(|(i, f)| (IfaceId(i as u32), f))
+    }
+
+    /// Interfaces of one device.
+    pub fn device_ifaces(&self, device: DeviceId) -> impl Iterator<Item = (IfaceId, &Iface)> {
+        self.devices[device.0 as usize].ifaces.iter().map(move |&i| (i, self.iface(i)))
+    }
+
+    /// Neighbor devices over P2p links (deduplicated, in interface order).
+    pub fn neighbors(&self, device: DeviceId) -> Vec<(IfaceId, DeviceId)> {
+        self.device_ifaces(device)
+            .filter_map(|(i, f)| f.peer.map(|p| (i, self.iface(p).device)))
+            .collect()
+    }
+
+    /// Find a device by name (linear scan; for tests and examples).
+    pub fn device_by_name(&self, name: &str) -> Option<DeviceId> {
+        self.devices().find(|(_, d)| d.name == name).map(|(id, _)| id)
+    }
+
+    /// All devices with the given role.
+    pub fn devices_with_role(&self, role: Role) -> Vec<DeviceId> {
+        self.devices()
+            .filter(|(_, d)| d.role == role)
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_routers() -> (Topology, DeviceId, DeviceId) {
+        let mut t = Topology::new();
+        let a = t.add_device("r1", Role::Tor);
+        let b = t.add_device("r2", Role::Spine);
+        t.add_link(a, b);
+        (t, a, b)
+    }
+
+    #[test]
+    fn links_wire_both_directions() {
+        let (t, a, b) = two_routers();
+        assert_eq!(t.neighbors(a), vec![(IfaceId(0), b)]);
+        assert_eq!(t.neighbors(b), vec![(IfaceId(1), a)]);
+        assert_eq!(t.neighbor_of(IfaceId(0)), Some(b));
+        assert_eq!(t.neighbor_of(IfaceId(1)), Some(a));
+    }
+
+    #[test]
+    fn iface_names_follow_peers() {
+        let (t, a, _) = two_routers();
+        let (iid, iface) = t.device_ifaces(a).next().unwrap();
+        assert_eq!(iid, IfaceId(0));
+        assert_eq!(iface.name, "to-r2");
+        assert_eq!(iface.kind, IfaceKind::P2p);
+    }
+
+    #[test]
+    fn host_ifaces_have_no_peer() {
+        let mut t = Topology::new();
+        let a = t.add_device("tor", Role::Tor);
+        let h = t.add_iface(a, "eth-hosts", IfaceKind::Host);
+        assert_eq!(t.iface(h).peer, None);
+        assert_eq!(t.neighbor_of(h), None);
+    }
+
+    #[test]
+    fn lookup_by_name_and_role() {
+        let (t, a, b) = two_routers();
+        assert_eq!(t.device_by_name("r1"), Some(a));
+        assert_eq!(t.device_by_name("nope"), None);
+        assert_eq!(t.devices_with_role(Role::Spine), vec![b]);
+        assert!(t.devices_with_role(Role::Wan).is_empty());
+    }
+
+    #[test]
+    fn counts() {
+        let (t, _, _) = two_routers();
+        assert_eq!(t.device_count(), 2);
+        assert_eq!(t.iface_count(), 2);
+    }
+
+    #[test]
+    fn groups_are_stored() {
+        let mut t = Topology::new();
+        let d = t.add_device_in_group("agg-0-1", Role::Aggregation, Some(3));
+        assert_eq!(t.device(d).group, Some(3));
+    }
+}
+
+/// A structural problem found by [`Topology::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologyError {
+    /// An interface's peer does not point back at it.
+    AsymmetricPeer { iface: IfaceId, peer: IfaceId },
+    /// A non-P2p interface has a peer.
+    UnexpectedPeer { iface: IfaceId },
+    /// A P2p interface links a device to itself.
+    SelfLink { iface: IfaceId },
+    /// A device's iface list and the interface's device field disagree.
+    Misowned { iface: IfaceId },
+}
+
+impl Topology {
+    /// Check structural invariants: peer symmetry, ownership consistency,
+    /// no self-links, peers only on P2p interfaces. Generators uphold
+    /// these by construction; hand-built topologies should validate once
+    /// before analysis.
+    pub fn validate(&self) -> Result<(), Vec<TopologyError>> {
+        let mut errors = Vec::new();
+        for (id, iface) in self.ifaces() {
+            match (iface.kind, iface.peer) {
+                (IfaceKind::P2p, Some(peer)) => {
+                    let p = self.iface(peer);
+                    if p.peer != Some(id) {
+                        errors.push(TopologyError::AsymmetricPeer { iface: id, peer });
+                    }
+                    if p.device == iface.device {
+                        errors.push(TopologyError::SelfLink { iface: id });
+                    }
+                }
+                (IfaceKind::P2p, None) => {} // dangling link: legal (drained)
+                (_, Some(_)) => errors.push(TopologyError::UnexpectedPeer { iface: id }),
+                (_, None) => {}
+            }
+            if !self.device(iface.device).ifaces.contains(&id) {
+                errors.push(TopologyError::Misowned { iface: id });
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+#[cfg(test)]
+mod validate_tests {
+    use super::*;
+
+    #[test]
+    fn generated_topologies_validate() {
+        let mut t = Topology::new();
+        let a = t.add_device("a", Role::Tor);
+        let b = t.add_device("b", Role::Spine);
+        t.add_link(a, b);
+        t.add_iface(a, "hosts", IfaceKind::Host);
+        t.add_iface(b, "lo", IfaceKind::Loopback);
+        assert_eq!(t.validate(), Ok(()));
+    }
+
+    #[test]
+    fn asymmetric_peer_is_caught() {
+        let mut t = Topology::new();
+        let a = t.add_device("a", Role::Tor);
+        let b = t.add_device("b", Role::Spine);
+        let c = t.add_device("c", Role::Spine);
+        let (ab, _) = t.add_link(a, b);
+        let (cb, _) = t.add_link(c, b);
+        // Corrupt: point a's link at c's interface without reciprocity.
+        t.ifaces[ab.0 as usize].peer = Some(cb);
+        let errs = t.validate().unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, TopologyError::AsymmetricPeer { .. })));
+    }
+
+    #[test]
+    fn self_link_is_caught() {
+        let mut t = Topology::new();
+        let a = t.add_device("a", Role::Tor);
+        let (ai, bi) = {
+            let i1 = t.add_iface(a, "x", IfaceKind::P2p);
+            let i2 = t.add_iface(a, "y", IfaceKind::P2p);
+            (i1, i2)
+        };
+        t.ifaces[ai.0 as usize].peer = Some(bi);
+        t.ifaces[bi.0 as usize].peer = Some(ai);
+        let errs = t.validate().unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, TopologyError::SelfLink { .. })));
+    }
+
+    #[test]
+    fn peer_on_host_iface_is_caught() {
+        let mut t = Topology::new();
+        let a = t.add_device("a", Role::Tor);
+        let b = t.add_device("b", Role::Spine);
+        let (ab, _) = t.add_link(a, b);
+        let h = t.add_iface(a, "hosts", IfaceKind::Host);
+        t.ifaces[h.0 as usize].peer = Some(ab);
+        let errs = t.validate().unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, TopologyError::UnexpectedPeer { .. })));
+    }
+
+    #[test]
+    fn dangling_p2p_is_legal() {
+        let mut t = Topology::new();
+        let a = t.add_device("a", Role::Tor);
+        t.add_iface(a, "drained", IfaceKind::P2p);
+        assert_eq!(t.validate(), Ok(()));
+    }
+}

@@ -1,0 +1,573 @@
+//! RIB computation and FIB compilation.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use netmodel::rule::{Action, RouteClass, Rule};
+use netmodel::topology::{DeviceId, IfaceId, Topology};
+use netmodel::{Network, Prefix};
+
+/// Which devices accept (install and re-advertise) a BGP route.
+///
+/// `MinTier` is the stand-in for the production network's route-leak
+/// policy: WAN routes are advertised to the regional hub and spine tiers
+/// but never leaked into pods (§7.2, "wide-area routes").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scope {
+    /// Every device installs the route.
+    All,
+    /// Only devices whose tier is at least this value install the route.
+    MinTier(u8),
+}
+
+impl Scope {
+    fn accepts(self, tier: u8) -> bool {
+        match self {
+            Scope::All => true,
+            Scope::MinTier(t) => tier >= t,
+        }
+    }
+}
+
+/// A prefix originated into BGP at a device (host subnet, loopback,
+/// redistributed WAN route, or the BGP default from the WAN).
+#[derive(Clone, Debug)]
+pub struct Origination {
+    pub device: DeviceId,
+    pub prefix: Prefix,
+    /// Route class stamped onto every FIB rule this origination creates.
+    pub class: RouteClass,
+    /// Where the originator itself sends matching packets: a host,
+    /// loopback, or external interface. `None` means the originator
+    /// advertises the prefix but blackholes matching traffic locally
+    /// (used to model redistribution anomalies).
+    pub deliver: Option<IfaceId>,
+    pub scope: Scope,
+    /// Devices that refuse this route: they neither install nor
+    /// re-advertise it. Models propagation anomalies like Figure 1's B2,
+    /// whose null-routed static default stops it from passing the BGP
+    /// default on to the spines.
+    pub blocked: Vec<DeviceId>,
+}
+
+impl Origination {
+    /// An origination with no blocked devices.
+    pub fn new(
+        device: DeviceId,
+        prefix: Prefix,
+        class: RouteClass,
+        deliver: Option<IfaceId>,
+        scope: Scope,
+    ) -> Origination {
+        Origination { device, prefix, class, deliver, scope, blocked: Vec::new() }
+    }
+}
+
+/// Target of a statically configured route.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StaticTarget {
+    /// Forward out these interfaces (ECMP if several).
+    Ifaces(Vec<IfaceId>),
+    /// Null route: drop matching packets (Figure 1's B2 misconfiguration).
+    Null,
+}
+
+/// A statically configured, non-propagated route on one device.
+#[derive(Clone, Debug)]
+pub struct StaticRoute {
+    pub device: DeviceId,
+    pub prefix: Prefix,
+    pub target: StaticTarget,
+    pub class: RouteClass,
+}
+
+/// Administrative distance: when one device has the same prefix from
+/// several sources, the lowest-distance source wins (as on real routers).
+fn admin_distance(source: Source) -> u8 {
+    match source {
+        Source::Connected => 0,
+        Source::Static => 1,
+        Source::Bgp => 20,
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Source {
+    Connected,
+    Static,
+    Bgp,
+}
+
+/// Builds a network's forwarding state from a control-plane description.
+pub struct RibBuilder {
+    topo: Topology,
+    /// Per-device tier (0 = ToR ... upward). Used by [`Scope::MinTier`].
+    tiers: Vec<u8>,
+    /// Per-device BGP ASN. The ASN assignment doesn't change best paths
+    /// on a tiered Clos with allow-as-in (path length == hop count), but
+    /// it is kept for fidelity and surfaced in diagnostics.
+    asns: Vec<u32>,
+    originations: Vec<Origination>,
+    statics: Vec<StaticRoute>,
+}
+
+impl RibBuilder {
+    /// Start a builder; tiers and ASNs default to 0 for every device.
+    pub fn new(topo: Topology) -> RibBuilder {
+        let n = topo.device_count();
+        RibBuilder {
+            topo,
+            tiers: vec![0; n],
+            asns: vec![0; n],
+            originations: Vec::new(),
+            statics: Vec::new(),
+        }
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Mutable access to the topology for late additions (loopbacks etc).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topo
+    }
+
+    pub fn set_tier(&mut self, device: DeviceId, tier: u8) {
+        let idx = device.0 as usize;
+        if idx >= self.tiers.len() {
+            self.tiers.resize(idx + 1, 0);
+        }
+        self.tiers[idx] = tier;
+    }
+
+    pub fn set_asn(&mut self, device: DeviceId, asn: u32) {
+        let idx = device.0 as usize;
+        if idx >= self.asns.len() {
+            self.asns.resize(idx + 1, 0);
+        }
+        self.asns[idx] = asn;
+    }
+
+    /// A device's ASN (0 if never set — devices added after `new`).
+    pub fn asn(&self, device: DeviceId) -> u32 {
+        self.asns.get(device.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// A device's tier (0 if never set — devices added after `new`).
+    pub fn tier(&self, device: DeviceId) -> u8 {
+        self.tiers.get(device.0 as usize).copied().unwrap_or(0)
+    }
+
+    pub fn originate(&mut self, o: Origination) {
+        self.originations.push(o);
+    }
+
+    pub fn add_static(&mut self, s: StaticRoute) {
+        self.statics.push(s);
+    }
+
+    /// Convenience: both ends of a P2p link get the connected route for
+    /// its point-to-point prefix, plus a self /32 (or /128) host route
+    /// delivering packets addressed to the local end.
+    ///
+    /// `addrs` gives `(a_side_addr, b_side_addr)` inside `prefix`.
+    pub fn add_p2p_connected(
+        &mut self,
+        a_iface: IfaceId,
+        b_iface: IfaceId,
+        prefix: Prefix,
+        addrs: (u128, u128),
+        self_deliver: (IfaceId, IfaceId),
+    ) {
+        let a_dev = self.topo.iface(a_iface).device;
+        let b_dev = self.topo.iface(b_iface).device;
+        debug_assert!(prefix.contains_addr(addrs.0) && prefix.contains_addr(addrs.1));
+        // Connected /31 (or /126) pointing across the link.
+        for (dev, out) in [(a_dev, a_iface), (b_dev, b_iface)] {
+            self.statics.push(StaticRoute {
+                device: dev,
+                prefix,
+                target: StaticTarget::Ifaces(vec![out]),
+                class: RouteClass::Connected,
+            });
+        }
+        // Self host routes: packets to my own link address are delivered
+        // locally (modelled as forwarding to a local loopback-ish iface),
+        // which is what prevents connected routes from ping-ponging.
+        // They are a modelling artifact, not one of the paper's route
+        // classes, so they are classed Other.
+        let host_len = prefix.family().width();
+        let mk_host = |addr: u128| match prefix.family() {
+            netmodel::Family::V4 => Prefix::v4(addr as u32, host_len),
+            netmodel::Family::V6 => Prefix::v6(addr, host_len),
+        };
+        for (dev, addr, deliver) in
+            [(a_dev, addrs.0, self_deliver.0), (b_dev, addrs.1, self_deliver.1)]
+        {
+            self.statics.push(StaticRoute {
+                device: dev,
+                prefix: mk_host(addr),
+                target: StaticTarget::Ifaces(vec![deliver]),
+                class: RouteClass::Other,
+            });
+        }
+    }
+
+    /// Compute every device's RIB and compile the forwarding state.
+    pub fn build(self) -> Network {
+        // candidate[(device, prefix)] -> (distance source, class, action)
+        let mut best: BTreeMap<(u32, Prefix), (u8, RouteClass, Action)> = BTreeMap::new();
+        let consider =
+            |best: &mut BTreeMap<(u32, Prefix), (u8, RouteClass, Action)>,
+             device: DeviceId,
+             prefix: Prefix,
+             source: Source,
+             class: RouteClass,
+             action: Action| {
+                let key = (device.0, prefix);
+                let dist = admin_distance(source);
+                match best.get(&key) {
+                    Some(&(d, _, _)) if d <= dist => {}
+                    _ => {
+                        best.insert(key, (dist, class, action));
+                    }
+                }
+            };
+
+        // Statics and connected routes first (they also win ties).
+        for s in &self.statics {
+            let source =
+                if s.class == RouteClass::Connected { Source::Connected } else { Source::Static };
+            let action = match &s.target {
+                StaticTarget::Ifaces(outs) => Action::Forward(outs.clone()),
+                StaticTarget::Null => Action::Drop,
+            };
+            consider(&mut best, s.device, s.prefix, source, s.class, action);
+        }
+
+        // BGP: group originations by prefix (multi-origin = anycast ECMP
+        // towards the nearest originators), BFS per group.
+        let mut groups: BTreeMap<Prefix, Vec<&Origination>> = BTreeMap::new();
+        for o in &self.originations {
+            groups.entry(o.prefix).or_default().push(o);
+        }
+        for (prefix, origins) in groups {
+            // Scope union: a device accepts if any origination's scope
+            // admits it (in practice all originations of one prefix share
+            // a scope).
+            let accepts = |d: DeviceId| {
+                origins.iter().any(|o| o.scope.accepts(self.tier(d)))
+                    && !origins.iter().any(|o| o.blocked.contains(&d))
+            };
+            let dist = self.bfs(&origins, &accepts);
+            for (device, _) in self.topo.devices() {
+                let du = dist[device.0 as usize];
+                if du == u32::MAX {
+                    continue;
+                }
+                if du == 0 {
+                    // Originator: deliver locally if a delivery iface was
+                    // given; otherwise the prefix is advertised but the
+                    // originator holds no usable route (blackhole).
+                    let outs: Vec<IfaceId> = origins
+                        .iter()
+                        .filter(|o| o.device == device)
+                        .filter_map(|o| o.deliver)
+                        .collect();
+                    if !outs.is_empty() {
+                        let class = origins[0].class;
+                        consider(&mut best, device, prefix, Source::Bgp, class, Action::Forward(outs));
+                    }
+                    continue;
+                }
+                // ECMP next-hops: every link to a neighbor one step closer.
+                let mut outs = Vec::new();
+                for (iface, neigh) in self.topo.neighbors(device) {
+                    if dist[neigh.0 as usize] == du - 1 && accepts(neigh) {
+                        outs.push(iface);
+                    }
+                }
+                debug_assert!(!outs.is_empty());
+                let class = origins[0].class;
+                consider(&mut best, device, prefix, Source::Bgp, class, Action::Forward(outs));
+            }
+        }
+
+        // Compile.
+        let mut net = Network::new(self.topo);
+        for ((device, prefix), (_dist, class, action)) in best {
+            net.add_rule(
+                DeviceId(device),
+                Rule {
+                    matches: netmodel::MatchFields::dst_prefix(prefix),
+                    action,
+                    class,
+                },
+            );
+        }
+        net.finalize();
+        net
+    }
+
+    /// Multi-source BFS over devices accepted by `accepts`; returns hop
+    /// distances (u32::MAX = unreachable or not accepting).
+    fn bfs(&self, origins: &[&Origination], accepts: &impl Fn(DeviceId) -> bool) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.topo.device_count()];
+        let mut q = VecDeque::new();
+        for o in origins {
+            // Originators always hold their own route.
+            if dist[o.device.0 as usize] == u32::MAX {
+                dist[o.device.0 as usize] = 0;
+                q.push_back(o.device);
+            }
+        }
+        while let Some(v) = q.pop_front() {
+            let dv = dist[v.0 as usize];
+            for (_iface, u) in self.topo.neighbors(v) {
+                if dist[u.0 as usize] == u32::MAX && accepts(u) {
+                    dist[u.0 as usize] = dv + 1;
+                    q.push_back(u);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Shortest hop distances from a single device over the raw topology
+    /// (no scope filtering) — the oracle InternalRouteCheck's local
+    /// contracts are built from (§7.3).
+    pub fn hop_distances(topo: &Topology, from: DeviceId) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; topo.device_count()];
+        let mut q = VecDeque::new();
+        dist[from.0 as usize] = 0;
+        q.push_back(from);
+        while let Some(v) = q.pop_front() {
+            let dv = dist[v.0 as usize];
+            for (_i, u) in topo.neighbors(v) {
+                if dist[u.0 as usize] == u32::MAX {
+                    dist[u.0 as usize] = dv + 1;
+                    q.push_back(u);
+                }
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::addr::ipv4;
+    use netmodel::topology::{IfaceKind, Role};
+
+    /// tor1, tor2 -- spine1, spine2 (full mesh), one prefix per ToR.
+    struct Fabric {
+        b: RibBuilder,
+        tors: Vec<DeviceId>,
+        spines: Vec<DeviceId>,
+        hosts: Vec<IfaceId>,
+        p: Vec<Prefix>,
+    }
+
+    fn fabric() -> Fabric {
+        let mut t = Topology::new();
+        let tors = vec![t.add_device("tor1", Role::Tor), t.add_device("tor2", Role::Tor)];
+        let spines = vec![t.add_device("spine1", Role::Spine), t.add_device("spine2", Role::Spine)];
+        let hosts: Vec<IfaceId> =
+            tors.iter().map(|&d| t.add_iface(d, "hosts", IfaceKind::Host)).collect();
+        for &tor in &tors {
+            for &spine in &spines {
+                t.add_link(tor, spine);
+            }
+        }
+        let mut b = RibBuilder::new(t);
+        for (i, &tor) in tors.iter().enumerate() {
+            b.set_tier(tor, 0);
+            b.set_asn(tor, 65000 + i as u32);
+        }
+        for &s in &spines {
+            b.set_tier(s, 2);
+            b.set_asn(s, 65100);
+        }
+        let p: Vec<Prefix> =
+            vec!["10.0.1.0/24".parse().unwrap(), "10.0.2.0/24".parse().unwrap()];
+        for (i, &tor) in tors.iter().enumerate() {
+            b.originate(Origination::new(
+                tor,
+                p[i],
+                RouteClass::HostSubnet,
+                Some(hosts[i]),
+                Scope::All,
+            ));
+        }
+        Fabric { b, tors, spines, hosts, p }
+    }
+
+    #[test]
+    fn originator_delivers_locally() {
+        let f = fabric();
+        let net = f.b.build();
+        let rules = net.device_rules(f.tors[0]);
+        let own = rules.iter().find(|r| r.matches.dst == Some(f.p[0])).unwrap();
+        assert_eq!(own.action, Action::Forward(vec![f.hosts[0]]));
+        assert_eq!(own.class, RouteClass::HostSubnet);
+    }
+
+    #[test]
+    fn remote_prefix_gets_ecmp_over_both_spines() {
+        let f = fabric();
+        let tor1 = f.tors[0];
+        let net = f.b.build();
+        let rules = net.device_rules(tor1);
+        let remote = rules.iter().find(|r| r.matches.dst == Some(f.p[1])).unwrap();
+        let outs = remote.action.out_ifaces();
+        assert_eq!(outs.len(), 2, "expected ECMP across both spines");
+        let topo = net.topology();
+        let next: Vec<DeviceId> =
+            outs.iter().map(|&i| topo.neighbor_of(i).unwrap()).collect();
+        assert!(next.contains(&f.spines[0]) && next.contains(&f.spines[1]));
+    }
+
+    #[test]
+    fn spines_point_down_to_the_owning_tor() {
+        let f = fabric();
+        let net = f.b.build();
+        for &s in &f.spines {
+            for (i, &pref) in f.p.iter().enumerate() {
+                let r = net
+                    .device_rules(s)
+                    .iter()
+                    .find(|r| r.matches.dst == Some(pref))
+                    .unwrap()
+                    .clone();
+                let outs = r.action.out_ifaces();
+                assert_eq!(outs.len(), 1);
+                assert_eq!(net.topology().neighbor_of(outs[0]), Some(f.tors[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn scoped_routes_stay_in_upper_tiers() {
+        let mut f = fabric();
+        let wan_pref: Prefix = "52.0.0.0/8".parse().unwrap();
+        // Add a WAN router above spine1 that originates a scoped route.
+        let wan = f.b.topology_mut().add_device("wan", Role::Wan);
+        let ext = f.b.topology_mut().add_iface(wan, "internet", IfaceKind::External);
+        f.b.topology_mut().add_link(wan, f.spines[0]);
+        f.b.set_tier(wan, 4);
+        f.b.set_asn(wan, 65535);
+        f.b.originate(Origination::new(wan, wan_pref, RouteClass::Wan, Some(ext), Scope::MinTier(2)));
+        let net = f.b.build();
+        // Spine1 has the WAN route; the ToRs do not.
+        assert!(net
+            .device_rules(f.spines[0])
+            .iter()
+            .any(|r| r.matches.dst == Some(wan_pref)));
+        for &tor in &f.tors {
+            assert!(!net.device_rules(tor).iter().any(|r| r.matches.dst == Some(wan_pref)));
+        }
+    }
+
+    #[test]
+    fn static_null_route_beats_bgp() {
+        let mut f = fabric();
+        // tor1 null-routes tor2's prefix statically.
+        let tor1 = f.tors[0];
+        f.b.add_static(StaticRoute {
+            device: tor1,
+            prefix: f.p[1],
+            target: StaticTarget::Null,
+            class: RouteClass::StaticDefault,
+        });
+        let net = f.b.build();
+        let r = net
+            .device_rules(tor1)
+            .iter()
+            .find(|r| r.matches.dst == Some(f.p[1]))
+            .unwrap()
+            .clone();
+        assert!(r.action.is_drop(), "static (distance 1) must beat BGP (20)");
+    }
+
+    #[test]
+    fn connected_routes_and_self_hosts() {
+        let mut t = Topology::new();
+        let a = t.add_device("a", Role::Tor);
+        let b = t.add_device("b", Role::Spine);
+        let lo_a = t.add_iface(a, "lo", IfaceKind::Loopback);
+        let lo_b = t.add_iface(b, "lo", IfaceKind::Loopback);
+        let (ai, bi) = t.add_link(a, b);
+        let mut rb = RibBuilder::new(t);
+        let p31: Prefix = "172.16.0.0/31".parse().unwrap();
+        rb.add_p2p_connected(
+            ai,
+            bi,
+            p31,
+            (ipv4(172, 16, 0, 0) as u128, ipv4(172, 16, 0, 1) as u128),
+            (lo_a, lo_b),
+        );
+        let net = rb.build();
+        // a: /32 self route wins over the /31 for its own address.
+        let rules_a = net.device_rules(a);
+        assert_eq!(rules_a.len(), 2);
+        assert_eq!(rules_a[0].matches.dst.unwrap().len(), 32); // LPM first
+        assert_eq!(rules_a[0].action, Action::Forward(vec![lo_a]));
+        assert_eq!(rules_a[1].matches.dst, Some(p31));
+        assert_eq!(rules_a[1].action, Action::Forward(vec![ai]));
+        assert_eq!(rules_a[1].class, RouteClass::Connected);
+    }
+
+    #[test]
+    fn anycast_prefix_routes_to_nearest_origin() {
+        // Both ToRs originate the same prefix; each spine should ECMP to
+        // both (distance 1 each); each ToR delivers locally.
+        let mut f = fabric();
+        let any: Prefix = "10.9.9.0/24".parse().unwrap();
+        for (i, &tor) in f.tors.clone().iter().enumerate() {
+            f.b.originate(Origination::new(tor, any, RouteClass::HostSubnet, Some(f.hosts[i]), Scope::All));
+        }
+        let net = f.b.build();
+        for &tor in &f.tors {
+            let r = net
+                .device_rules(tor)
+                .iter()
+                .find(|r| r.matches.dst == Some(any))
+                .unwrap()
+                .clone();
+            assert_eq!(r.action.out_ifaces().len(), 1); // local delivery
+        }
+        for &s in &f.spines {
+            let r = net
+                .device_rules(s)
+                .iter()
+                .find(|r| r.matches.dst == Some(any))
+                .unwrap()
+                .clone();
+            assert_eq!(r.action.out_ifaces().len(), 2); // ECMP to both ToRs
+        }
+    }
+
+    #[test]
+    fn hop_distances_bfs() {
+        let f = fabric();
+        let d = RibBuilder::hop_distances(f.b.topology(), f.tors[0]);
+        assert_eq!(d[f.tors[0].0 as usize], 0);
+        assert_eq!(d[f.spines[0].0 as usize], 1);
+        assert_eq!(d[f.tors[1].0 as usize], 2);
+    }
+
+    #[test]
+    fn unreachable_devices_get_no_route() {
+        let mut t = Topology::new();
+        let a = t.add_device("a", Role::Tor);
+        let island = t.add_device("island", Role::Tor);
+        let h = t.add_iface(a, "hosts", IfaceKind::Host);
+        let mut b = RibBuilder::new(t);
+        let p: Prefix = "10.0.0.0/24".parse().unwrap();
+        b.originate(Origination::new(a, p, RouteClass::HostSubnet, Some(h), Scope::All));
+        let net = b.build();
+        assert!(net.device_rules(island).is_empty());
+        assert_eq!(net.device_rules(a).len(), 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! The substitution-soundness test: the BFS-based [`RibBuilder`] and the
+//! message-passing eBGP simulator must produce identical FIBs on the
+//! fabrics this project generates. This is the checkable form of the
+//! claim in DESIGN.md that shortest-path-with-ECMP is what eBGP with
+//! per-tier ASNs and allow-as-in converges to on a Clos.
+
+use netmodel::rule::RouteClass;
+use netmodel::topology::{DeviceId, IfaceId, IfaceKind, Role, Topology};
+use netmodel::Prefix;
+use routing::{simulate, BgpConfig, Origination, RibBuilder, Scope};
+
+/// A miniature regional fabric: 2 DCs × (2 ToR + 2 agg) + 2 spines each,
+/// 2 hubs, 1 WAN router; host prefixes everywhere, scoped WAN prefixes.
+struct Fabric {
+    topo: Topology,
+    asns: Vec<u32>,
+    tiers: Vec<u8>,
+    origs: Vec<Origination>,
+}
+
+fn build_fabric() -> Fabric {
+    let mut t = Topology::new();
+    let mut asns = Vec::new();
+    let mut tiers = Vec::new();
+    let add = |t: &mut Topology, name: String, role: Role, asn: u32, tier: u8,
+                   asns: &mut Vec<u32>, tiers: &mut Vec<u8>| {
+        let d = t.add_device(name, role);
+        asns.push(asn);
+        tiers.push(tier);
+        d
+    };
+
+    let mut tors = Vec::new();
+    let mut aggs = Vec::new();
+    let mut spines = Vec::new();
+    for dc in 0..2u32 {
+        for i in 0..2u32 {
+            tors.push(add(
+                &mut t,
+                format!("dc{dc}-tor{i}"),
+                Role::Tor,
+                65000 + dc * 10 + i,
+                0,
+                &mut asns,
+                &mut tiers,
+            ));
+        }
+        for i in 0..2u32 {
+            aggs.push(add(
+                &mut t,
+                format!("dc{dc}-agg{i}"),
+                Role::Aggregation,
+                64800 + dc,
+                1,
+                &mut asns,
+                &mut tiers,
+            ));
+        }
+        for i in 0..2u32 {
+            spines.push(add(
+                &mut t,
+                format!("dc{dc}-spine{i}"),
+                Role::Spine,
+                64700,
+                2,
+                &mut asns,
+                &mut tiers,
+            ));
+        }
+    }
+    let hubs: Vec<DeviceId> = (0..2)
+        .map(|i| add(&mut t, format!("hub{i}"), Role::RegionalHub, 64600, 3, &mut asns, &mut tiers))
+        .collect();
+    let wan = add(&mut t, "wan0".into(), Role::Wan, 8075, 4, &mut asns, &mut tiers);
+
+    let tor_hosts: Vec<IfaceId> =
+        tors.iter().map(|&d| t.add_iface(d, "hosts", IfaceKind::Host)).collect();
+    let wan_up = t.add_iface(wan, "internet", IfaceKind::External);
+
+    // Wiring: tor↔agg (same dc), agg↔spine (same dc), spine↔hub, hub↔wan.
+    for dc in 0..2usize {
+        for ti in 0..2 {
+            for ai in 0..2 {
+                t.add_link(tors[dc * 2 + ti], aggs[dc * 2 + ai]);
+            }
+        }
+        for ai in 0..2 {
+            for si in 0..2 {
+                t.add_link(aggs[dc * 2 + ai], spines[dc * 2 + si]);
+            }
+        }
+        for si in 0..2 {
+            for &h in &hubs {
+                t.add_link(spines[dc * 2 + si], h);
+            }
+        }
+    }
+    for &h in &hubs {
+        t.add_link(h, wan);
+    }
+
+    // Originations: one /24 per ToR (Scope::All), two scoped WAN routes.
+    let mut origs = Vec::new();
+    for (i, &tor) in tors.iter().enumerate() {
+        let p = Prefix::v4(u32::from_be_bytes([10, 0, i as u8, 0]), 24);
+        origs.push(Origination::new(tor, p, RouteClass::HostSubnet, Some(tor_hosts[i]), Scope::All));
+    }
+    for w in 0..2u8 {
+        let p = Prefix::v4(u32::from_be_bytes([52, w, 0, 0]), 16);
+        origs.push(Origination::new(wan, p, RouteClass::Wan, Some(wan_up), Scope::MinTier(2)));
+    }
+    Fabric { topo: t, asns, tiers, origs }
+}
+
+#[test]
+fn bfs_builder_equals_bgp_simulation() {
+    let f = build_fabric();
+
+    // Engine 1: the BFS-based builder.
+    let mut rb = RibBuilder::new(f.topo.clone());
+    for (i, asn) in f.asns.iter().enumerate() {
+        rb.set_asn(DeviceId(i as u32), *asn);
+        rb.set_tier(DeviceId(i as u32), f.tiers[i]);
+    }
+    for o in &f.origs {
+        rb.originate(o.clone());
+    }
+    let net = rb.build();
+
+    // Engine 2: message-passing eBGP.
+    let ribs = simulate(&f.topo, &f.asns, &f.tiers, &f.origs, &BgpConfig::default());
+
+    // Every BGP-derived FIB rule must agree: same prefixes present, same
+    // ECMP next-hop sets.
+    let mut compared = 0;
+    for (device, _) in f.topo.devices() {
+        // Collect builder routes (prefix → sorted out ifaces).
+        let mut built: Vec<(Prefix, Vec<IfaceId>)> = net
+            .device_rules(device)
+            .iter()
+            .map(|r| {
+                let mut outs = r.action.out_ifaces().to_vec();
+                outs.sort();
+                (r.matches.dst.unwrap(), outs)
+            })
+            .collect();
+        built.sort();
+        // Collect simulator routes; originators deliver locally, which
+        // the simulator models as empty next-hops — map through the
+        // origination's deliver iface for comparison.
+        let mut simulated: Vec<(Prefix, Vec<IfaceId>)> = Vec::new();
+        for (prefix, route) in &ribs.ribs[device.0 as usize] {
+            let outs = if route.next_hops.is_empty() {
+                let mut d: Vec<IfaceId> = f
+                    .origs
+                    .iter()
+                    .filter(|o| o.device == device && o.prefix == *prefix)
+                    .filter_map(|o| o.deliver)
+                    .collect();
+                d.sort();
+                d
+            } else {
+                let mut n = route.next_hops.clone();
+                n.sort();
+                n
+            };
+            simulated.push((*prefix, outs));
+        }
+        simulated.sort();
+        assert_eq!(built, simulated, "{} disagrees", f.topo.device(device).name);
+        compared += built.len();
+    }
+    assert!(compared > 50, "the comparison must actually cover routes ({compared})");
+}
+
+#[test]
+fn convergence_is_fast_on_the_fabric() {
+    let f = build_fabric();
+    let ribs = simulate(&f.topo, &f.asns, &f.tiers, &f.origs, &BgpConfig::default());
+    // Diameter of the fabric is 6 (tor→agg→spine→hub→spine→agg→tor);
+    // synchronous BGP needs diameter+1-ish rounds.
+    assert!(ribs.rounds <= 8, "rounds = {}", ribs.rounds);
+}
+
+#[test]
+fn cross_dc_routes_depend_on_allow_as_in() {
+    let f = build_fabric();
+    let no_allow = simulate(
+        &f.topo,
+        &f.asns,
+        &f.tiers,
+        &f.origs,
+        &BgpConfig { allow_as_in: false, ..BgpConfig::default() },
+    );
+    let with_allow = simulate(&f.topo, &f.asns, &f.tiers, &f.origs, &BgpConfig::default());
+    // dc0-tor0 must reach dc1's prefixes with allow-as-in...
+    let dc1_prefix = Prefix::v4(u32::from_be_bytes([10, 0, 2, 0]), 24);
+    let tor0 = f.topo.device_by_name("dc0-tor0").unwrap();
+    assert!(with_allow.route(tor0, &dc1_prefix).is_some());
+    // ...and must NOT without it: the cross-DC path re-enters ASN 64700
+    // (shared by every spine) at the remote spine, so plain loop
+    // prevention rejects it.
+    assert!(no_allow.route(tor0, &dc1_prefix).is_none());
+}

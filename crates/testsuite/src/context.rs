@@ -1,0 +1,130 @@
+//! Shared context for running network tests with coverage tracking.
+
+use netmodel::topology::{DeviceId, Role};
+use netmodel::{IfaceId, MatchSets, Network, Prefix};
+use yardstick::Tracker;
+
+/// Ground-truth facts about a generated network that tests validate
+/// against. Generators know these by construction; a production
+/// deployment would derive them from intent/config sources.
+#[derive(Clone, Debug, Default)]
+pub struct NetworkInfo {
+    /// ToRs with their hosted prefix and host-facing interface.
+    pub tor_subnets: Vec<(DeviceId, Prefix, IfaceId)>,
+    /// Per-device loopback prefixes (device, prefix).
+    pub loopbacks: Vec<(DeviceId, Prefix)>,
+    /// Point-to-point links with their assigned v4 and v6 prefixes.
+    pub links: Vec<(IfaceId, IfaceId, Prefix, Prefix)>,
+}
+
+impl NetworkInfo {
+    /// All internal destinations (host subnets + loopbacks) with their
+    /// originating device — the input of InternalRouteCheck.
+    pub fn internal_prefixes(&self) -> Vec<(DeviceId, Prefix)> {
+        let mut out: Vec<(DeviceId, Prefix)> =
+            self.tor_subnets.iter().map(|&(d, p, _)| (d, p)).collect();
+        out.extend(self.loopbacks.iter().copied());
+        out
+    }
+}
+
+/// Everything a test needs: the network, its match sets, ground truth,
+/// and the coverage tracker to report into.
+pub struct TestContext<'n> {
+    pub net: &'n Network,
+    pub ms: &'n MatchSets,
+    pub info: &'n NetworkInfo,
+    pub tracker: Tracker,
+}
+
+impl<'n> TestContext<'n> {
+    pub fn new(net: &'n Network, ms: &'n MatchSets, info: &'n NetworkInfo) -> TestContext<'n> {
+        TestContext { net, ms, info, tracker: Tracker::new() }
+    }
+
+    /// A context whose tracker ignores all marks (baseline timing runs).
+    pub fn without_tracking(
+        net: &'n Network,
+        ms: &'n MatchSets,
+        info: &'n NetworkInfo,
+    ) -> TestContext<'n> {
+        TestContext { net, ms, info, tracker: Tracker::disabled() }
+    }
+
+    /// Ranking of roles from the bottom of the hierarchy up, used to
+    /// decide what "northbound" means for a device.
+    pub fn role_rank(role: Role) -> u8 {
+        match role {
+            Role::Tor => 0,
+            Role::Aggregation => 1,
+            Role::Spine => 2,
+            Role::RegionalHub | Role::Border => 3,
+            Role::Wan => 4,
+            Role::Other => 0,
+        }
+    }
+}
+
+/// Outcome of one test run: a pass/fail verdict with details, plus how
+/// many individual checks executed.
+#[derive(Clone, Debug)]
+pub struct TestReport {
+    pub name: &'static str,
+    pub checks: u64,
+    pub failures: Vec<String>,
+}
+
+impl TestReport {
+    pub fn new(name: &'static str) -> TestReport {
+        TestReport { name, checks: 0, failures: Vec::new() }
+    }
+
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    pub fn check(&mut self, ok: bool, failure: impl FnOnce() -> String) {
+        self.checks += 1;
+        if !ok {
+            self.failures.push(failure());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_tracks_checks_and_failures() {
+        let mut r = TestReport::new("t");
+        r.check(true, || unreachable!());
+        r.check(false, || "boom".to_string());
+        assert_eq!(r.checks, 2);
+        assert!(!r.passed());
+        assert_eq!(r.failures, vec!["boom".to_string()]);
+    }
+
+    #[test]
+    fn role_ranks_are_ordered_bottom_up() {
+        assert!(TestContext::role_rank(Role::Tor) < TestContext::role_rank(Role::Aggregation));
+        assert!(
+            TestContext::role_rank(Role::Aggregation) < TestContext::role_rank(Role::Spine)
+        );
+        assert!(TestContext::role_rank(Role::Spine) < TestContext::role_rank(Role::RegionalHub));
+        assert!(TestContext::role_rank(Role::RegionalHub) < TestContext::role_rank(Role::Wan));
+    }
+
+    #[test]
+    fn internal_prefixes_concatenates_subnets_and_loopbacks() {
+        let info = NetworkInfo {
+            tor_subnets: vec![(DeviceId(0), "10.0.0.0/24".parse().unwrap(), IfaceId(0))],
+            loopbacks: vec![(DeviceId(1), "172.16.0.1/32".parse().unwrap())],
+            links: vec![],
+        };
+        let all = info.internal_prefixes();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, DeviceId(0));
+        assert_eq!(all[1].0, DeviceId(1));
+    }
+}

@@ -1,0 +1,208 @@
+//! State-inspection tests: they read forwarding state directly and
+//! report coverage via `markRule` (§5.1). Lightweight by design — the
+//! paper measures their baseline runtime in fractions of a second even
+//! on thousands of routers.
+
+use netbdd::Bdd;
+use netmodel::topology::{IfaceKind, Role};
+use netmodel::RuleId;
+
+use crate::context::{TestContext, TestReport};
+
+/// DefaultRouteCheck (§7.2, §8): every router expected to have a default
+/// route has one, and its next hops are exactly the northbound
+/// neighbors (or an external uplink for top-tier routers).
+///
+/// `expected(role)` filters which devices are checked; the Azure case
+/// study excludes some regional hubs that legitimately lack defaults.
+pub fn default_route_check(
+    _bdd: &mut Bdd,
+    ctx: &mut TestContext<'_>,
+    expected: impl Fn(Role) -> bool,
+) -> TestReport {
+    let mut report = TestReport::new("DefaultRouteCheck");
+    let topo = ctx.net.topology();
+    for (device, dev) in topo.devices() {
+        if !expected(dev.role) {
+            continue;
+        }
+        let default = ctx.net.device_rule_ids(device).find(|&id| {
+            ctx.net
+                .rule(id)
+                .matches
+                .dst
+                .map(|p| p.is_default() && p.family() == netmodel::Family::V4)
+                .unwrap_or(false)
+        });
+        let Some(id) = default else {
+            report.check(false, || format!("{}: no default route", dev.name));
+            continue;
+        };
+        // Inspecting the rule counts as coverage whether or not the
+        // assertion below passes — the rule *was* examined.
+        ctx.tracker.mark_rule(id);
+        let rule = ctx.net.rule(id);
+        let my_rank = TestContext::role_rank(dev.role);
+        let ok = !rule.action.is_drop()
+            && !rule.action.out_ifaces().is_empty()
+            && rule.action.out_ifaces().iter().all(|&i| {
+                let ifc = topo.iface(i);
+                match ifc.kind {
+                    IfaceKind::External => true,
+                    IfaceKind::P2p => topo
+                        .neighbor_of(i)
+                        .map(|n| TestContext::role_rank(topo.device(n).role) > my_rank)
+                        .unwrap_or(false),
+                    _ => false,
+                }
+            });
+        report.check(ok, || {
+            format!("{}: default route has wrong next hops ({:?})", dev.name, rule.action)
+        });
+    }
+    report
+}
+
+/// ConnectedRouteCheck (§7.3): both ends of every physical link carry
+/// the connected route for the link's assigned /31 and /126 prefixes.
+pub fn connected_route_check(_bdd: &mut Bdd, ctx: &mut TestContext<'_>) -> TestReport {
+    let mut report = TestReport::new("ConnectedRouteCheck");
+    let topo = ctx.net.topology();
+    for &(ai, bi, p4, p6) in &ctx.info.links {
+        for prefix in [p4, p6] {
+            for iface in [ai, bi] {
+                let device = topo.iface(iface).device;
+                let found: Option<RuleId> = ctx
+                    .net
+                    .device_rule_ids(device)
+                    .find(|&id| ctx.net.rule(id).matches.dst == Some(prefix));
+                match found {
+                    Some(id) => {
+                        ctx.tracker.mark_rule(id);
+                        let rule = ctx.net.rule(id);
+                        report.check(
+                            rule.action.out_ifaces().contains(&iface),
+                            || {
+                                format!(
+                                    "{}: connected route {} does not point out {}",
+                                    topo.device(device).name,
+                                    prefix,
+                                    topo.iface(iface).name
+                                )
+                            },
+                        );
+                    }
+                    None => report.check(false, || {
+                        format!(
+                            "{}: missing connected route {}",
+                            topo.device(device).name,
+                            prefix
+                        )
+                    }),
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::NetworkInfo;
+    use netmodel::MatchSets;
+    use topogen::addressing;
+    use topogen::{fattree, regional, FatTreeParams, RegionalParams};
+
+    fn regional_info(r: &topogen::Regional) -> NetworkInfo {
+        NetworkInfo {
+            tor_subnets: r.tors.clone(),
+            loopbacks: (0..r.net.topology().device_count())
+                .map(|d| {
+                    (netmodel::topology::DeviceId(d as u32), addressing::loopback(d as u32))
+                })
+                .collect(),
+            links: r
+                .links
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, b))| {
+                    let (p4, _, _) = addressing::p2p_v4(i as u32);
+                    let (p6, _, _) = addressing::p2p_v6(i as u32);
+                    (a, b, p4, p6)
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn default_route_check_passes_on_healthy_fattree() {
+        let ft = fattree(FatTreeParams::paper(4));
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&ft.net, &mut bdd);
+        let info = NetworkInfo::default();
+        let mut ctx = TestContext::new(&ft.net, &ms, &info);
+        let report = default_route_check(&mut bdd, &mut ctx, |_| true);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert_eq!(report.checks, 20); // every router checked
+        // One rule marked per device.
+        assert_eq!(ctx.tracker.trace().rules.len(), 20);
+    }
+
+    #[test]
+    fn default_route_check_fails_on_null_routed_default() {
+        let mut ft = fattree(FatTreeParams::paper(4));
+        let (tor, _, _) = ft.tors[0];
+        topogen::faults::null_route(&mut ft.net, tor, netmodel::Prefix::v4_default());
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&ft.net, &mut bdd);
+        let info = NetworkInfo::default();
+        let mut ctx = TestContext::new(&ft.net, &ms, &info);
+        let report = default_route_check(&mut bdd, &mut ctx, |_| true);
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("wrong next hops"));
+        // Coverage still recorded: the rule was inspected.
+        assert_eq!(ctx.tracker.trace().rules.len(), 20);
+    }
+
+    #[test]
+    fn default_route_check_respects_the_role_filter() {
+        let ft = fattree(FatTreeParams::paper(4));
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&ft.net, &mut bdd);
+        let info = NetworkInfo::default();
+        let mut ctx = TestContext::new(&ft.net, &ms, &info);
+        let report = default_route_check(&mut bdd, &mut ctx, |r| r == Role::Tor);
+        assert_eq!(report.checks, 8);
+    }
+
+    #[test]
+    fn connected_route_check_passes_on_regional() {
+        let r = regional(RegionalParams::default());
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&r.net, &mut bdd);
+        let info = regional_info(&r);
+        let mut ctx = TestContext::new(&r.net, &ms, &info);
+        let report = connected_route_check(&mut bdd, &mut ctx);
+        assert!(report.passed(), "{:?}", &report.failures[..report.failures.len().min(3)]);
+        // 2 families × 2 ends per link.
+        assert_eq!(report.checks as usize, r.links.len() * 4);
+        assert_eq!(ctx.tracker.trace().rules.len(), r.links.len() * 4);
+    }
+
+    #[test]
+    fn connected_route_check_catches_missing_routes() {
+        let mut r = regional(RegionalParams::default());
+        let info = regional_info(&r);
+        // Remove one /31 from one end.
+        let (ai, _, p4, _) = info.links[0];
+        let dev = r.net.topology().iface(ai).device;
+        topogen::faults::remove_route(&mut r.net, dev, p4);
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&r.net, &mut bdd);
+        let mut ctx = TestContext::new(&r.net, &ms, &info);
+        let report = connected_route_check(&mut bdd, &mut ctx);
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("missing connected route"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # testsuite — network tests across the paper's taxonomy (Figure 2)
+//!
+//! The paper classifies network tests two ways: **state-inspection**
+//! versus **behavioural**, and behavioural tests further by **local vs.
+//! end-to-end** and **concrete vs. symbolic**. This crate implements the
+//! named tests from the case study (§7) and the performance evaluation
+//! (§8), one per taxonomy cell, each instrumented with Yardstick's
+//! two-call coverage API:
+//!
+//! | test                    | kind                  | section |
+//! |-------------------------|-----------------------|---------|
+//! | DefaultRouteCheck       | state inspection      | §7.2/§8 |
+//! | ConnectedRouteCheck     | state inspection      | §7.3    |
+//! | AggCanReachTorLoopback  | local symbolic        | §7.2    |
+//! | InternalRouteCheck      | local symbolic        | §7.3    |
+//! | ToRContract (RCDC)      | local symbolic        | §8      |
+//! | ToRReachability         | end-to-end symbolic   | §8      |
+//! | ToRPingmesh             | end-to-end concrete   | §8      |
+//! | AclEntryCheck           | state inspection      | Fig 2   |
+//! | AclBehaviorCheck        | local symbolic        | Fig 2   |
+//!
+//! Every test runs against a [`TestContext`] whose tracker can be
+//! enabled or disabled — which is exactly how the Figure-8 experiment
+//! measures the overhead of coverage tracking.
+
+pub mod acl;
+pub mod beyond;
+pub mod context;
+pub mod e2e;
+pub mod inspection;
+pub mod local;
+
+pub use acl::{acl_behavior_check, acl_entry_check};
+pub use beyond::{host_port_check, wan_route_check, WanSpec};
+pub use context::{NetworkInfo, TestContext, TestReport};
+pub use e2e::{tor_pingmesh, tor_reachability};
+pub use inspection::{connected_route_check, default_route_check};
+pub use local::{agg_can_reach_tor_loopback, internal_route_check, tor_contract};

@@ -1,0 +1,123 @@
+//! Security ACLs on top of generated networks.
+//!
+//! Figure 2's taxonomy includes ACL-flavoured tests ("the access control
+//! list A1 on router R1 must have an entry that blocks packets to port
+//! 23", "router R1 must drop all packets to port 23"). This module
+//! installs ACL-style deny entries ahead of a device's forwarding rules,
+//! preserving first-match semantics: the device's table is rebuilt in
+//! priority mode with the deny entries first, followed by the original
+//! LPM-ordered routes — equivalent to an ingress ACL stage in front of
+//! the FIB.
+
+use netmodel::rule::{Action, MatchFields, RouteClass, Rule, Table, TableMode};
+use netmodel::topology::DeviceId;
+use netmodel::Network;
+
+/// One ACL deny entry.
+#[derive(Clone, Debug)]
+pub struct AclEntry {
+    /// IP protocol to match (e.g. 6 for TCP); `None` matches all.
+    pub proto: Option<u8>,
+    /// Destination-port range to block.
+    pub dport: (u16, u16),
+}
+
+impl AclEntry {
+    /// Block one TCP destination port.
+    pub fn block_tcp_port(port: u16) -> AclEntry {
+        AclEntry { proto: Some(6), dport: (port, port) }
+    }
+}
+
+/// Install deny entries ahead of `device`'s existing rules. Returns the
+/// indices of the newly created ACL rules in the rebuilt table (they are
+/// always the first `entries.len()` rules).
+pub fn install_acl(net: &mut Network, device: DeviceId, entries: &[AclEntry]) -> Vec<u32> {
+    let existing = net.device_rules(device).to_vec();
+    let mut table = Table::new(TableMode::Priority);
+    for e in entries {
+        table.push(Rule {
+            matches: MatchFields {
+                proto: e.proto,
+                dport: Some(e.dport),
+                ..MatchFields::default()
+            },
+            action: Action::Drop,
+            class: RouteClass::Other,
+        });
+    }
+    for r in existing {
+        table.push(r);
+    }
+    table.finalize();
+    net.set_table(device, table);
+    (0..entries.len() as u32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fattree::{fattree, FatTreeParams};
+    use netbdd::Bdd;
+    use netmodel::header::Packet;
+    use netmodel::{Location, MatchSets};
+
+    #[test]
+    fn acl_blocks_matching_traffic_and_spares_the_rest() {
+        let mut ft = fattree(FatTreeParams::paper(4));
+        let (tor, _, _) = ft.tors[0];
+        let (_, remote, _) = ft.tors[7];
+        install_acl(&mut ft.net, tor, &[AclEntry::block_tcp_port(23)]);
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&ft.net, &mut bdd);
+        // Telnet to the remote prefix dies at the ACL.
+        let telnet = Packet { proto: 6, dport: 23, ..Packet::v4_to(remote.nth_addr(1) as u32) };
+        let res =
+            dataplane::traceroute(&mut bdd, &ft.net, &ms, Location::device(tor), telnet, 16);
+        assert!(matches!(res.outcome, dataplane::TraceOutcome::Dropped { device, .. }
+            if device == tor));
+        // HTTPS sails through.
+        let https = Packet { proto: 6, dport: 443, ..telnet };
+        let res2 =
+            dataplane::traceroute(&mut bdd, &ft.net, &ms, Location::device(tor), https, 16);
+        assert!(res2.delivered());
+    }
+
+    #[test]
+    fn acl_entries_come_first_and_shrink_route_match_sets() {
+        let mut ft = fattree(FatTreeParams::paper(4));
+        let (tor, _, _) = ft.tors[0];
+        let before_rules = ft.net.device_rules(tor).len();
+        let ids = install_acl(&mut ft.net, tor, &[AclEntry::block_tcp_port(23)]);
+        assert_eq!(ids, vec![0]);
+        assert_eq!(ft.net.device_rules(tor).len(), before_rules + 1);
+        assert!(ft.net.device_rules(tor)[0].action.is_drop());
+        // The routes behind the ACL no longer match port-23 packets.
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&ft.net, &mut bdd);
+        let route_id = netmodel::RuleId { device: tor, index: 1 };
+        let m = ms.get(route_id);
+        let telnet_set = {
+            let p = netmodel::header::proto_is(&mut bdd, 6);
+            let d = netmodel::header::dport_in(&mut bdd, 23, 23);
+            bdd.and(p, d)
+        };
+        assert!(!bdd.intersects(m, telnet_set), "ACL must shadow port 23 in later rules");
+    }
+
+    #[test]
+    fn proto_wildcard_blocks_udp_too() {
+        let mut ft = fattree(FatTreeParams::paper(4));
+        let (tor, _, _) = ft.tors[0];
+        install_acl(&mut ft.net, tor, &[AclEntry { proto: None, dport: (161, 162) }]);
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&ft.net, &mut bdd);
+        let (_, remote, _) = ft.tors[5];
+        for proto in [6u8, 17] {
+            let pkt = Packet { proto, dport: 161, ..Packet::v4_to(remote.nth_addr(2) as u32) };
+            let res =
+                dataplane::traceroute(&mut bdd, &ft.net, &ms, Location::device(tor), pkt, 16);
+            assert!(matches!(res.outcome, dataplane::TraceOutcome::Dropped { .. }));
+        }
+    }
+}

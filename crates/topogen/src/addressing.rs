@@ -1,0 +1,107 @@
+//! Deterministic address assignment shared by the generators.
+//!
+//! Address plan (mirroring common datacenter practice):
+//!
+//! * host subnets:   `10.0.0.0/8`, one `/24` per ToR, indexed;
+//! * loopbacks:      `172.16.0.0/12`, one `/32` per device, indexed;
+//! * p2p links v4:   `100.64.0.0/10` (the RFC 6598 block), one `/31`
+//!   per link, indexed;
+//! * p2p links v6:   `fd00:cafe::/64`, one `/126` per link, indexed;
+//! * WAN prefixes:   `52.<i>.0.0/16`, one per simulated Internet route.
+
+use netmodel::addr::ipv4;
+use netmodel::Prefix;
+
+/// The `/24` hosted subnet of the `idx`-th ToR.
+pub fn host_subnet(idx: u32) -> Prefix {
+    assert!(idx < 65536, "too many ToRs for the 10.0.0.0/8 plan");
+    Prefix::v4(ipv4(10, (idx / 256) as u8, (idx % 256) as u8, 0), 24)
+}
+
+/// The loopback `/32` of the `idx`-th device.
+pub fn loopback(idx: u32) -> Prefix {
+    assert!(idx < (1 << 20), "too many devices for the 172.16.0.0/12 plan");
+    let base = u32::from_be_bytes([172, 16, 0, 0]);
+    Prefix::v4(base + idx, 32)
+}
+
+/// The IPv4 `/31` of the `idx`-th point-to-point link, plus the two
+/// endpoint addresses `(a, b)`.
+pub fn p2p_v4(idx: u32) -> (Prefix, u128, u128) {
+    assert!(idx < (1 << 21), "too many links for the 100.64.0.0/10 plan");
+    let base = u32::from_be_bytes([100, 64, 0, 0]);
+    let a = base + idx * 2;
+    (Prefix::v4(a, 31), a as u128, (a + 1) as u128)
+}
+
+/// The IPv6 `/126` of the `idx`-th point-to-point link, plus the two
+/// endpoint addresses `(a, b)`.
+pub fn p2p_v6(idx: u32) -> (Prefix, u128, u128) {
+    let base: u128 = 0xfd00_cafe_0000_0000_0000_0000_0000_0000;
+    let a = base + (idx as u128) * 4;
+    (Prefix::v6(a, 126), a, a + 1)
+}
+
+/// The `idx`-th simulated wide-area (Internet) prefix.
+pub fn wan_prefix(idx: u32) -> Prefix {
+    assert!(idx < 256, "too many WAN prefixes for the 52.0.0.0/8 plan");
+    Prefix::v4(ipv4(52, idx as u8, 0, 0), 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_subnets_are_disjoint() {
+        let a = host_subnet(0);
+        let b = host_subnet(1);
+        let c = host_subnet(256);
+        assert_ne!(a, b);
+        assert!(!a.contains(&b) && !b.contains(&a));
+        assert_eq!(a.to_string(), "10.0.0.0/24");
+        assert_eq!(b.to_string(), "10.0.1.0/24");
+        assert_eq!(c.to_string(), "10.1.0.0/24");
+    }
+
+    #[test]
+    fn loopbacks_are_unique_host_routes() {
+        let a = loopback(0);
+        let b = loopback(999);
+        assert_eq!(a.len(), 32);
+        assert_ne!(a, b);
+        assert_eq!(a.to_string(), "172.16.0.0/32");
+    }
+
+    #[test]
+    fn p2p_v4_contains_both_endpoints() {
+        let (p, a, b) = p2p_v4(7);
+        assert_eq!(p.len(), 31);
+        assert!(p.contains_addr(a) && p.contains_addr(b));
+        assert_eq!(b, a + 1);
+        let (p2, a2, _) = p2p_v4(8);
+        assert!(!p2.contains_addr(a));
+        assert!(!p.contains_addr(a2));
+    }
+
+    #[test]
+    fn p2p_v6_contains_both_endpoints() {
+        let (p, a, b) = p2p_v6(3);
+        assert_eq!(p.len(), 126);
+        assert!(p.contains_addr(a) && p.contains_addr(b));
+        let (p2, _, _) = p2p_v6(4);
+        assert_ne!(p, p2);
+    }
+
+    #[test]
+    fn wan_prefixes_are_slash_16s() {
+        assert_eq!(wan_prefix(0).to_string(), "52.0.0.0/16");
+        assert_eq!(wan_prefix(9).to_string(), "52.9.0.0/16");
+    }
+
+    #[test]
+    #[should_panic]
+    fn host_subnet_overflow_panics() {
+        let _ = host_subnet(65536);
+    }
+}

@@ -1,0 +1,365 @@
+//! k-ary fat-tree generator — the synthetic networks of §8.
+//!
+//! A k-ary fat-tree (k even) has k pods, each with k/2 ToR (edge) and
+//! k/2 aggregation routers, plus (k/2)² core routers: 5k²/4 routers
+//! total. Each ToR hosts one `/24` prefix (as in the paper's benchmark
+//! setup); routing follows §7.1 — BGP-equivalent shortest paths with
+//! ECMP plus a static default route towards all northbound neighbors
+//! (cores default out of simulated WAN uplinks).
+
+use netmodel::rule::RouteClass;
+use netmodel::topology::{DeviceId, IfaceId, IfaceKind, Role, Topology};
+use netmodel::{Network, Prefix};
+use routing::{Origination, RibBuilder, Scope, StaticRoute, StaticTarget};
+
+use crate::addressing;
+
+/// Parameters for [`fattree`].
+#[derive(Clone, Copy, Debug)]
+pub struct FatTreeParams {
+    /// Fat-tree arity; must be even and ≥ 2. Routers: 5k²/4.
+    pub k: u32,
+    /// Give every device a loopback /32 redistributed into BGP.
+    pub loopbacks: bool,
+    /// Configure /31 + /126 connected routes on every link.
+    pub connected: bool,
+}
+
+impl FatTreeParams {
+    /// The paper's §8 setup: hosted prefixes only.
+    pub fn paper(k: u32) -> FatTreeParams {
+        FatTreeParams { k, loopbacks: false, connected: false }
+    }
+}
+
+/// A generated fat-tree: the network plus handles used by tests and
+/// benchmarks.
+pub struct FatTree {
+    pub net: Network,
+    pub params: FatTreeParams,
+    /// ToR routers with their hosted prefix and host-facing interface.
+    pub tors: Vec<(DeviceId, Prefix, IfaceId)>,
+    pub aggs: Vec<DeviceId>,
+    pub cores: Vec<DeviceId>,
+    /// All fabric links, in creation order (the order addressing uses).
+    pub links: Vec<(IfaceId, IfaceId)>,
+}
+
+impl FatTree {
+    pub fn device_count(&self) -> usize {
+        self.net.topology().device_count()
+    }
+}
+
+/// Generate a k-ary fat-tree network with computed forwarding state.
+pub fn fattree(params: FatTreeParams) -> FatTree {
+    let k = params.k;
+    assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be even and >= 2");
+    let half = k / 2;
+
+    let mut topo = Topology::new();
+    let mut tors = Vec::new();
+    let mut aggs = Vec::new();
+    let mut cores = Vec::new();
+
+    // Devices.
+    for p in 0..k {
+        for t in 0..half {
+            let d = topo.add_device_in_group(format!("tor-{p}-{t}"), Role::Tor, Some(p));
+            tors.push(d);
+        }
+        for a in 0..half {
+            let d = topo.add_device_in_group(format!("agg-{p}-{a}"), Role::Aggregation, Some(p));
+            aggs.push(d);
+        }
+    }
+    for g in 0..half {
+        for c in 0..half {
+            let d = topo.add_device(format!("core-{g}-{c}"), Role::Spine);
+            cores.push(d);
+        }
+    }
+
+    // Host and WAN edges.
+    let tor_hosts: Vec<IfaceId> =
+        tors.iter().map(|&d| topo.add_iface(d, "hosts", IfaceKind::Host)).collect();
+    let core_uplinks: Vec<IfaceId> =
+        cores.iter().map(|&d| topo.add_iface(d, "wan", IfaceKind::External)).collect();
+
+    // Fabric links (collect for connected-route addressing).
+    let mut links: Vec<(IfaceId, IfaceId)> = Vec::new();
+    for p in 0..k {
+        for t in 0..half {
+            let tor = tors[(p * half + t) as usize];
+            for a in 0..half {
+                let agg = aggs[(p * half + a) as usize];
+                links.push(topo.add_link(tor, agg));
+            }
+        }
+        for a in 0..half {
+            let agg = aggs[(p * half + a) as usize];
+            for c in 0..half {
+                let core = cores[(a * half + c) as usize];
+                links.push(topo.add_link(agg, core));
+            }
+        }
+    }
+
+    // Loopback ifaces (needed for loopback routes and connected self
+    // routes).
+    let need_loopbacks = params.loopbacks || params.connected;
+    let loopback_ifaces: Vec<IfaceId> = if need_loopbacks {
+        (0..topo.device_count())
+            .map(|d| topo.add_iface(DeviceId(d as u32), "lo", IfaceKind::Loopback))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    // Control plane.
+    let mut rb = RibBuilder::new(topo);
+    for (i, &d) in tors.iter().enumerate() {
+        rb.set_tier(d, 0);
+        rb.set_asn(d, 65000 + i as u32);
+    }
+    for &d in &aggs {
+        rb.set_tier(d, 1);
+        let pod = rb.topology().device(d).group.unwrap();
+        rb.set_asn(d, 64500 + pod);
+    }
+    for &d in &cores {
+        rb.set_tier(d, 2);
+        rb.set_asn(d, 64000);
+    }
+
+    // Hosted prefixes.
+    let mut tor_info = Vec::new();
+    for (i, &d) in tors.iter().enumerate() {
+        let prefix = addressing::host_subnet(i as u32);
+        rb.originate(Origination::new(
+            d,
+            prefix,
+            RouteClass::HostSubnet,
+            Some(tor_hosts[i]),
+            Scope::All,
+        ));
+        tor_info.push((d, prefix, tor_hosts[i]));
+    }
+
+    // Loopbacks.
+    if params.loopbacks {
+        for d in 0..rb.topology().device_count() {
+            let dev = DeviceId(d as u32);
+            rb.originate(Origination::new(
+                dev,
+                addressing::loopback(d as u32),
+                RouteClass::Loopback,
+                Some(loopback_ifaces[d]),
+                Scope::All,
+            ));
+        }
+    }
+
+    // Connected /31 + /126 routes on every fabric link.
+    if params.connected {
+        for (i, &(ai, bi)) in links.iter().enumerate() {
+            let a_dev = rb.topology().iface(ai).device.0 as usize;
+            let b_dev = rb.topology().iface(bi).device.0 as usize;
+            let deliver = (loopback_ifaces[a_dev], loopback_ifaces[b_dev]);
+            let (p4, a4, b4) = addressing::p2p_v4(i as u32);
+            rb.add_p2p_connected(ai, bi, p4, (a4, b4), deliver);
+            let (p6, a6, b6) = addressing::p2p_v6(i as u32);
+            rb.add_p2p_connected(ai, bi, p6, (a6, b6), deliver);
+        }
+    }
+
+    // Static defaults: northbound ECMP for ToRs and aggs; cores default
+    // out their WAN uplink.
+    add_northbound_defaults(&mut rb, &tors, 0);
+    add_northbound_defaults(&mut rb, &aggs, 1);
+    for (i, &d) in cores.iter().enumerate() {
+        rb.add_static(StaticRoute {
+            device: d,
+            prefix: Prefix::v4_default(),
+            target: StaticTarget::Ifaces(vec![core_uplinks[i]]),
+            class: RouteClass::StaticDefault,
+        });
+    }
+
+    let net = rb.build();
+    FatTree { net, params, tors: tor_info, aggs, cores, links }
+}
+
+/// Install a static default route on every device in `devs` pointing at
+/// all neighbors in the next tier up.
+fn add_northbound_defaults(rb: &mut RibBuilder, devs: &[DeviceId], my_tier: u8) {
+    let mut routes = Vec::new();
+    for &d in devs {
+        let outs: Vec<IfaceId> = rb
+            .topology()
+            .neighbors(d)
+            .into_iter()
+            .filter(|&(_, n)| rb.tier(n) == my_tier + 1)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!outs.is_empty(), "device without northbound neighbors");
+        routes.push(StaticRoute {
+            device: d,
+            prefix: Prefix::v4_default(),
+            target: StaticTarget::Ifaces(outs),
+            class: RouteClass::StaticDefault,
+        });
+    }
+    for r in routes {
+        rb.add_static(r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataplane::{traceroute, Forwarder, TraceOutcome};
+    use netbdd::Bdd;
+    use netmodel::header::Packet;
+    use netmodel::{Location, MatchSets};
+
+    #[test]
+    fn k4_has_canonical_shape() {
+        let ft = fattree(FatTreeParams::paper(4));
+        // 5k²/4 = 20 routers: 8 ToR, 8 agg, 4 core.
+        assert_eq!(ft.device_count(), 20);
+        assert_eq!(ft.tors.len(), 8);
+        assert_eq!(ft.aggs.len(), 8);
+        assert_eq!(ft.cores.len(), 4);
+        // Links: k³/2 = 32 p2p links → 64 p2p ifaces + 8 host + 4 wan.
+        assert_eq!(ft.net.topology().iface_count(), 64 + 8 + 4);
+    }
+
+    #[test]
+    fn every_device_has_a_default_route() {
+        let ft = fattree(FatTreeParams::paper(4));
+        for (d, _) in ft.net.topology().devices() {
+            let has_default = ft
+                .net
+                .device_rules(d)
+                .iter()
+                .any(|r| r.matches.dst.map(|p| p.is_default()).unwrap_or(false));
+            assert!(has_default, "{} lacks a default route", ft.net.topology().device(d).name);
+        }
+    }
+
+    #[test]
+    fn tor_prefixes_ecmp_upward() {
+        let ft = fattree(FatTreeParams::paper(4));
+        // On a ToR, a remote pod's prefix should ECMP across both aggs.
+        let (tor0, _, _) = ft.tors[0];
+        let (_, remote_prefix, _) = ft.tors[7]; // last ToR, other pod
+        let rule = ft
+            .net
+            .device_rules(tor0)
+            .iter()
+            .find(|r| r.matches.dst == Some(remote_prefix))
+            .expect("remote prefix missing")
+            .clone();
+        assert_eq!(rule.action.out_ifaces().len(), 2, "expected ECMP over k/2 aggs");
+    }
+
+    #[test]
+    fn cross_pod_traceroute_delivers() {
+        let ft = fattree(FatTreeParams::paper(4));
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&ft.net, &mut bdd);
+        let (tor0, _, _) = ft.tors[0];
+        let (dst_tor, dst_prefix, dst_host) = ft.tors[7];
+        let pkt = Packet::v4_to(dst_prefix.nth_addr(55) as u32);
+        let res = traceroute(&mut bdd, &ft.net, &ms, Location::device(tor0), pkt, 16);
+        match res.outcome {
+            TraceOutcome::Delivered { device, iface } => {
+                assert_eq!(device, dst_tor);
+                assert_eq!(iface, dst_host);
+            }
+            o => panic!("expected delivery at the remote ToR, got {o:?}"),
+        }
+        // tor → agg → core → agg → tor: 5 hops.
+        assert_eq!(res.hops.len(), 5);
+    }
+
+    #[test]
+    fn same_pod_traceroute_stays_in_pod() {
+        let ft = fattree(FatTreeParams::paper(4));
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&ft.net, &mut bdd);
+        let (tor0, _, _) = ft.tors[0];
+        let (_, dst_prefix, _) = ft.tors[1]; // same pod
+        let pkt = Packet::v4_to(dst_prefix.nth_addr(1) as u32);
+        let res = traceroute(&mut bdd, &ft.net, &ms, Location::device(tor0), pkt, 16);
+        assert!(res.delivered());
+        assert_eq!(res.hops.len(), 3); // tor → agg → tor
+    }
+
+    #[test]
+    fn unknown_destinations_exit_via_core_wan() {
+        let ft = fattree(FatTreeParams::paper(4));
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&ft.net, &mut bdd);
+        let (tor0, _, _) = ft.tors[0];
+        let pkt = Packet::v4_to(netmodel::addr::ipv4(8, 8, 8, 8));
+        let res = traceroute(&mut bdd, &ft.net, &ms, Location::device(tor0), pkt, 16);
+        match res.outcome {
+            TraceOutcome::Exited { device, .. } => {
+                assert!(ft.cores.contains(&device), "default must exit at a core");
+            }
+            o => panic!("expected exit via WAN, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn symbolic_and_concrete_engines_agree() {
+        let ft = fattree(FatTreeParams::paper(4));
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&ft.net, &mut bdd);
+        let fwd = Forwarder::new(&ft.net, &ms);
+        let (tor0, _, _) = ft.tors[0];
+        let (_, dst_prefix, dst_host) = ft.tors[5];
+        let set = netmodel::header::dst_in(&mut bdd, &dst_prefix);
+        let res = dataplane::reach(&mut bdd, &fwd, Location::device(tor0), set, 16);
+        let delivered = res.delivered_at(&mut bdd, dst_host);
+        assert!(bdd.equal(delivered, set), "whole prefix must arrive symbolically");
+        // And the concrete engine agrees for a sample packet.
+        let pkt = Packet::v4_to(dst_prefix.nth_addr(9) as u32);
+        let tr = traceroute(&mut bdd, &ft.net, &ms, Location::device(tor0), pkt, 16);
+        assert!(tr.delivered());
+    }
+
+    #[test]
+    fn optional_loopbacks_and_connected_routes() {
+        let ft = fattree(FatTreeParams { k: 4, loopbacks: true, connected: true });
+        // Every device now has loopback + connected rules.
+        for (d, _) in ft.net.topology().devices() {
+            let rules = ft.net.device_rules(d);
+            assert!(rules.iter().any(|r| r.class == RouteClass::Connected));
+            assert!(rules.iter().any(|r| r.class == RouteClass::Loopback));
+        }
+        // Connected routes exist in both families.
+        let (d0, _, _) = ft.tors[0];
+        let classes: Vec<netmodel::Family> = ft
+            .net
+            .device_rules(d0)
+            .iter()
+            .filter(|r| r.class == RouteClass::Connected)
+            .map(|r| r.matches.dst.unwrap().family())
+            .collect();
+        assert!(classes.contains(&netmodel::Family::V4));
+        assert!(classes.contains(&netmodel::Family::V6));
+    }
+
+    #[test]
+    fn scale_sanity_k8() {
+        let ft = fattree(FatTreeParams::paper(8));
+        assert_eq!(ft.device_count(), 80);
+        assert_eq!(ft.tors.len(), 32);
+        // Every ToR holds a route for every hosted prefix + default.
+        let (tor0, _, _) = ft.tors[0];
+        assert_eq!(ft.net.device_rules(tor0).len(), 32 + 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Fault injection on built networks.
+//!
+//! Coverage metrics exist to catch state bugs before they bite; these
+//! helpers introduce the bugs. They operate on a finalized
+//! [`netmodel::Network`] by rewriting device tables, so any generated
+//! network can be broken in controlled ways for tests, examples, and
+//! ablation benchmarks.
+
+use netmodel::rule::{Action, RouteClass, Rule, Table, TableMode};
+use netmodel::topology::DeviceId;
+use netmodel::{Network, Prefix};
+
+/// Replace the action of every rule on `device` matching `prefix`
+/// exactly with a drop (a null route). Returns how many rules changed.
+pub fn null_route(net: &mut Network, device: DeviceId, prefix: Prefix) -> usize {
+    rewrite_device(net, device, |rule| {
+        if rule.matches.dst == Some(prefix) {
+            rule.action = Action::Drop;
+            true
+        } else {
+            false
+        }
+    })
+}
+
+/// Delete every rule on `device` whose destination prefix is `prefix`.
+pub fn remove_route(net: &mut Network, device: DeviceId, prefix: Prefix) -> usize {
+    let rules = net.device_rules(device).to_vec();
+    let before = rules.len();
+    let mut table = Table::new(TableMode::Priority); // preserve existing order
+    for r in rules {
+        if r.matches.dst != Some(prefix) {
+            table.push(r);
+        }
+    }
+    let removed = before - table.len();
+    table.finalize();
+    net.set_table(device, table);
+    removed
+}
+
+/// Empty a device's forwarding table entirely (simulates a crashed or
+/// blackholing node: packets reaching it match nothing and die).
+pub fn clear_device(net: &mut Network, device: DeviceId) {
+    let mut table = Table::new(TableMode::Lpm);
+    table.finalize();
+    net.set_table(device, table);
+}
+
+/// Change every rule of a class on a device to drop (e.g. null-route all
+/// WAN routes). Returns how many rules changed.
+pub fn null_route_class(net: &mut Network, device: DeviceId, class: RouteClass) -> usize {
+    rewrite_device(net, device, |rule| {
+        if rule.class == class {
+            rule.action = Action::Drop;
+            true
+        } else {
+            false
+        }
+    })
+}
+
+fn rewrite_device(
+    net: &mut Network,
+    device: DeviceId,
+    mut f: impl FnMut(&mut Rule) -> bool,
+) -> usize {
+    let mut rules = net.device_rules(device).to_vec();
+    let mut changed = 0;
+    for r in &mut rules {
+        if f(r) {
+            changed += 1;
+        }
+    }
+    let mut table = Table::new(TableMode::Priority); // keep the existing order
+    for r in rules {
+        table.push(r);
+    }
+    table.finalize();
+    net.set_table(device, table);
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fattree::{fattree, FatTreeParams};
+
+    #[test]
+    fn null_route_flips_action_to_drop() {
+        let mut ft = fattree(FatTreeParams::paper(4));
+        let (tor, prefix, _) = ft.tors[1];
+        let changed = null_route(&mut ft.net, tor, prefix);
+        assert_eq!(changed, 1);
+        let rule = ft
+            .net
+            .device_rules(tor)
+            .iter()
+            .find(|r| r.matches.dst == Some(prefix))
+            .unwrap();
+        assert!(rule.action.is_drop());
+    }
+
+    #[test]
+    fn remove_route_deletes_exactly_one() {
+        let mut ft = fattree(FatTreeParams::paper(4));
+        let (tor, prefix, _) = ft.tors[2];
+        let before = ft.net.device_rules(tor).len();
+        let removed = remove_route(&mut ft.net, tor, prefix);
+        assert_eq!(removed, 1);
+        assert_eq!(ft.net.device_rules(tor).len(), before - 1);
+        assert!(!ft.net.device_rules(tor).iter().any(|r| r.matches.dst == Some(prefix)));
+    }
+
+    #[test]
+    fn clear_device_empties_the_table() {
+        let mut ft = fattree(FatTreeParams::paper(4));
+        let core = ft.cores[0];
+        clear_device(&mut ft.net, core);
+        assert!(ft.net.device_rules(core).is_empty());
+    }
+
+    #[test]
+    fn null_route_class_hits_all_members() {
+        let mut ft = fattree(FatTreeParams::paper(4));
+        let (tor, _, _) = ft.tors[0];
+        let subnet_rules = ft
+            .net
+            .device_rules(tor)
+            .iter()
+            .filter(|r| r.class == RouteClass::HostSubnet)
+            .count();
+        let changed = null_route_class(&mut ft.net, tor, RouteClass::HostSubnet);
+        assert_eq!(changed, subnet_rules);
+    }
+
+    #[test]
+    fn fault_injection_preserves_rule_order() {
+        let mut ft = fattree(FatTreeParams::paper(4));
+        let (tor, prefix, _) = ft.tors[0];
+        let before: Vec<_> =
+            ft.net.device_rules(tor).iter().map(|r| r.matches.dst).collect();
+        null_route(&mut ft.net, tor, prefix);
+        let after: Vec<_> = ft.net.device_rules(tor).iter().map(|r| r.matches.dst).collect();
+        assert_eq!(before, after);
+    }
+}

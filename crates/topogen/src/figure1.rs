@@ -1,0 +1,247 @@
+//! The motivating example of §2 (Figure 1).
+//!
+//! A three-level datacenter: leaf routers at the bottom, spines in the
+//! middle, two border routers (B1, B2) on top connected to the WAN. The
+//! WAN announces the default route to the borders, which propagate it
+//! downward. **B2, however, has a static default route that is null
+//! routed**, so B2 drops Internet-bound packets instead of forwarding
+//! them — and does not propagate the WAN default to the spines. While B1
+//! is alive nobody notices: spines send WAN traffic to B1. When B1
+//! fails, the whole datacenter loses the WAN.
+//!
+//! The point of the example: the natural connectivity test suite (leaf↔
+//! leaf, leaf→WAN, border→leaf) passes and covers every *device*, yet
+//! never exercises B2's default route — device coverage is 100% while
+//! rule coverage flags B2. See `examples/outage_case_study.rs`.
+
+use netmodel::rule::RouteClass;
+use netmodel::topology::{DeviceId, IfaceId, IfaceKind, Role, Topology};
+use netmodel::{Network, Prefix};
+use routing::{Origination, RibBuilder, Scope, StaticRoute, StaticTarget};
+
+use crate::addressing;
+
+/// The Figure-1 network and its cast of characters.
+pub struct Figure1 {
+    pub net: Network,
+    /// Leaf routers with hosted prefix and host iface.
+    pub leafs: Vec<(DeviceId, Prefix, IfaceId)>,
+    pub spines: Vec<DeviceId>,
+    pub b1: DeviceId,
+    pub b2: DeviceId,
+    /// The WAN-facing interfaces of B1 and B2.
+    pub b1_wan: IfaceId,
+    pub b2_wan: IfaceId,
+}
+
+/// Build the Figure-1 example: `leafs` leaf routers, `spines` spine
+/// routers, and two border routers. When `b2_null_routed` is true (the
+/// paper's buggy state), B2 carries a null-routed static default and
+/// does not propagate the WAN default; when false, B2 is configured like
+/// B1 (the fixed network).
+pub fn figure1(leafs: u32, spines: u32, b2_null_routed: bool) -> Figure1 {
+    assert!(leafs >= 2 && spines >= 1);
+    let mut topo = Topology::new();
+    let leaf_ids: Vec<DeviceId> =
+        (0..leafs).map(|i| topo.add_device(format!("L{}", i + 1), Role::Tor)).collect();
+    let spine_ids: Vec<DeviceId> =
+        (0..spines).map(|i| topo.add_device(format!("S{}", i + 1), Role::Spine)).collect();
+    let b1 = topo.add_device("B1", Role::Border);
+    let b2 = topo.add_device("B2", Role::Border);
+
+    let leaf_hosts: Vec<IfaceId> =
+        leaf_ids.iter().map(|&d| topo.add_iface(d, "hosts", IfaceKind::Host)).collect();
+    let b1_wan = topo.add_iface(b1, "wan", IfaceKind::External);
+    let b2_wan = topo.add_iface(b2, "wan", IfaceKind::External);
+
+    for &l in &leaf_ids {
+        for &s in &spine_ids {
+            topo.add_link(l, s);
+        }
+    }
+    for &s in &spine_ids {
+        topo.add_link(s, b1);
+        topo.add_link(s, b2);
+    }
+
+    let mut rb = RibBuilder::new(topo);
+    for (i, &l) in leaf_ids.iter().enumerate() {
+        rb.set_tier(l, 0);
+        rb.set_asn(l, 65000 + i as u32);
+    }
+    for &s in &spine_ids {
+        rb.set_tier(s, 1);
+        rb.set_asn(s, 64900);
+    }
+    for &b in [b1, b2].iter() {
+        rb.set_tier(b, 2);
+        rb.set_asn(b, 64800);
+    }
+
+    // Each leaf advertises its prefix.
+    let mut leaf_info = Vec::new();
+    for (i, &l) in leaf_ids.iter().enumerate() {
+        let prefix = addressing::host_subnet(i as u32);
+        rb.originate(Origination::new(
+            l,
+            prefix,
+            RouteClass::HostSubnet,
+            Some(leaf_hosts[i]),
+            Scope::All,
+        ));
+        leaf_info.push((l, prefix, leaf_hosts[i]));
+    }
+
+    // The WAN announces the default route to the border routers, which
+    // propagate it downward — except that a null-routed B2 neither uses
+    // nor propagates it.
+    let mut default_from_wan = Origination::new(
+        b1,
+        Prefix::v4_default(),
+        RouteClass::BgpDefault,
+        Some(b1_wan),
+        Scope::All,
+    );
+    let mut default_from_b2 = Origination::new(
+        b2,
+        Prefix::v4_default(),
+        RouteClass::BgpDefault,
+        Some(b2_wan),
+        Scope::All,
+    );
+    if b2_null_routed {
+        // B2's static null default wins locally and stops propagation.
+        default_from_wan.blocked.push(b2);
+        default_from_b2 = default_from_wan.clone(); // only B1 originates
+        rb.add_static(StaticRoute {
+            device: b2,
+            prefix: Prefix::v4_default(),
+            target: StaticTarget::Null,
+            class: RouteClass::StaticDefault,
+        });
+        rb.originate(default_from_wan);
+        let _ = default_from_b2;
+    } else {
+        rb.originate(default_from_wan);
+        rb.originate(default_from_b2);
+    }
+
+    let net = rb.build();
+    Figure1 { net, leafs: leaf_info, spines: spine_ids, b1, b2, b1_wan, b2_wan }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataplane::{traceroute, TraceOutcome};
+    use netbdd::Bdd;
+    use netmodel::header::Packet;
+    use netmodel::{Location, MatchSets};
+
+    #[test]
+    fn healthy_network_uses_both_borders() {
+        let f = figure1(4, 2, false);
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&f.net, &mut bdd);
+        // Spines ECMP the default over both borders.
+        for &s in &f.spines {
+            let d = f
+                .net
+                .device_rules(s)
+                .iter()
+                .find(|r| r.matches.dst.map(|p| p.is_default()).unwrap_or(false))
+                .unwrap()
+                .clone();
+            assert_eq!(d.action.out_ifaces().len(), 2);
+        }
+        let _ = ms;
+    }
+
+    #[test]
+    fn buggy_network_routes_wan_traffic_via_b1_only() {
+        let f = figure1(4, 2, true);
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&f.net, &mut bdd);
+        for &s in &f.spines {
+            let d = f
+                .net
+                .device_rules(s)
+                .iter()
+                .find(|r| r.matches.dst.map(|p| p.is_default()).unwrap_or(false))
+                .unwrap()
+                .clone();
+            let outs = d.action.out_ifaces();
+            assert_eq!(outs.len(), 1, "spine default must point at B1 only");
+            assert_eq!(f.net.topology().neighbor_of(outs[0]), Some(f.b1));
+        }
+        // B2 null-routes Internet traffic.
+        let pkt = Packet::v4_to(netmodel::addr::ipv4(8, 8, 8, 8));
+        let res = traceroute(&mut bdd, &f.net, &ms, Location::device(f.b2), pkt, 8);
+        assert!(matches!(res.outcome, TraceOutcome::Dropped { device, .. } if device == f.b2));
+    }
+
+    #[test]
+    fn buggy_network_still_passes_connectivity_tests() {
+        // The three §2 tests all pass on the buggy network — that is the
+        // point of the example.
+        let f = figure1(4, 2, true);
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&f.net, &mut bdd);
+        // Leaf-to-leaf.
+        let (l1, _, _) = f.leafs[0];
+        let (l2, p2, h2) = f.leafs[1];
+        let pkt = Packet::v4_to(p2.nth_addr(7) as u32);
+        let res = traceroute(&mut bdd, &f.net, &ms, Location::device(l1), pkt, 8);
+        assert!(matches!(res.outcome, TraceOutcome::Delivered { device, iface }
+            if device == l2 && iface == h2));
+        // Leaf-to-WAN (exits somewhere).
+        let inet = Packet::v4_to(netmodel::addr::ipv4(1, 1, 1, 1));
+        let res = traceroute(&mut bdd, &f.net, &ms, Location::device(l1), inet, 8);
+        assert!(matches!(res.outcome, TraceOutcome::Exited { device, .. } if device == f.b1));
+        // Border-to-leaf from B2 (this is what "covers" B2 in device
+        // coverage).
+        let res = traceroute(&mut bdd, &f.net, &ms, Location::device(f.b2), pkt, 8);
+        assert!(res.delivered());
+    }
+
+    #[test]
+    fn b1_failure_disconnects_the_wan_in_the_buggy_network() {
+        let f = figure1(4, 2, true);
+        let mut net = f.net.clone();
+        // Fail B1: remove all of B1's rules (it stops forwarding) and
+        // null its links by replacing spine defaults? Simulate node
+        // failure simply: packets reaching B1 die. Here we empty B1's
+        // table.
+        crate::faults::clear_device(&mut net, f.b1);
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&net, &mut bdd);
+        let (l1, _, _) = f.leafs[0];
+        let inet = Packet::v4_to(netmodel::addr::ipv4(1, 1, 1, 1));
+        let res = traceroute(&mut bdd, &net, &ms, Location::device(l1), inet, 8);
+        // Traffic dies at B1 (unmatched) or at B2 (null route): the DC is
+        // cut off either way.
+        assert!(
+            !res.delivered() && !matches!(res.outcome, TraceOutcome::Exited { .. }),
+            "WAN must be unreachable, got {:?}",
+            res.outcome
+        );
+    }
+
+    #[test]
+    fn fixed_network_survives_b1_failure() {
+        let f = figure1(4, 2, false);
+        let mut net = f.net.clone();
+        crate::faults::clear_device(&mut net, f.b1);
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&net, &mut bdd);
+        // With B1 gone the spines still ECMP over B1 and B2; a flow
+        // hashed onto B2 exits fine. Check symbolically: some portion of
+        // Internet traffic still exits via B2.
+        let fwd = dataplane::Forwarder::new(&net, &ms);
+        let (l1, _, _) = f.leafs[0];
+        let inet = netmodel::header::dst_in(&mut bdd, &"1.0.0.0/8".parse().unwrap());
+        let res = dataplane::reach(&mut bdd, &fwd, Location::device(l1), inet, 16);
+        let exited = res.exited_union(&mut bdd);
+        assert!(bdd.equal(exited, inet), "all Internet traffic must still exit via B2");
+    }
+}

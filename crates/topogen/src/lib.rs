@@ -1,0 +1,36 @@
+//! # topogen — topology and network generators
+//!
+//! Deterministic generators for the networks the paper builds, tests,
+//! and benchmarks on:
+//!
+//! * [`mod@fattree`] — k-ary fat-trees (Al-Fares et al.), the synthetic
+//!   networks of the performance evaluation (§8): each ToR hosts one
+//!   prefix, routing works as in §7.1 (eBGP-equivalent shortest paths
+//!   with ECMP, static defaults northbound).
+//! * [`mod@regional`] — the Azure-style regional network of the case study
+//!   (§7.1): multiple datacenters of ToR/Aggregation pods under spines,
+//!   interconnected by regional hubs, with WAN routers on top; dual-stack
+//!   /31 + /126 point-to-point addressing, loopbacks, host subnets, and
+//!   WAN routes leaked only to the upper tiers.
+//! * [`mod@figure1`] — the motivating example of §2: leaf/spine/border with
+//!   B2's null-routed static default, the outage that rule coverage
+//!   catches and device coverage does not.
+//! * [`acl`] — ACL-style deny entries in front of the FIB (the taxonomy's
+//!   port-blocking tests).
+//! * [`faults`] — fault injection on built networks (null-route a
+//!   prefix, drop rules, remove a device's routes) for studying how
+//!   coverage metrics react to state changes.
+//!
+//! All generators are pure functions of their parameters — same inputs,
+//! same network — so experiments are reproducible bit-for-bit.
+
+pub mod acl;
+pub mod addressing;
+pub mod fattree;
+pub mod faults;
+pub mod figure1;
+pub mod regional;
+
+pub use fattree::{fattree, FatTree, FatTreeParams};
+pub use figure1::{figure1, Figure1};
+pub use regional::{regional, Regional, RegionalParams};

@@ -1,0 +1,118 @@
+//! The §2 / Figure 1 outage, replayed: why rule coverage catches what
+//! device coverage cannot.
+//!
+//! ```sh
+//! cargo run --example outage_case_study --release
+//! ```
+//!
+//! The network: leafs → spines → borders B1/B2 → WAN. B2 carries a
+//! null-routed static default and silently stops propagating the WAN
+//! default to the spines. The engineers' three connectivity tests all
+//! pass, every *device* is traversed by some test packet — yet B2's
+//! default route is never exercised, and the day B1 fails the whole
+//! datacenter loses the WAN.
+
+use netbdd::Bdd;
+use netmodel::header;
+use netmodel::{Location, MatchSets};
+use topogen::figure1;
+use yardstick::{Aggregator, Analyzer};
+
+use dataplane::{reach, Forwarder};
+
+fn main() {
+    let f = figure1(4, 2, /* b2_null_routed = */ true);
+    let mut bdd = Bdd::new();
+    let ms = MatchSets::compute(&f.net, &mut bdd);
+    let fwd = Forwarder::new(&f.net, &ms);
+
+    // ---- The test suite of §2, instrumented for coverage ----------------
+    let mut tracker = yardstick::Tracker::new();
+    let mut all_pass = true;
+
+    // Test 1: each leaf can reach each other leaf (symbolic, per pair).
+    for &(src, _, _) in &f.leafs {
+        for &(dst, dst_prefix, dst_host) in &f.leafs {
+            if src == dst {
+                continue;
+            }
+            let pkts = header::dst_in(&mut bdd, &dst_prefix);
+            let res = reach(&mut bdd, &fwd, Location::device(src), pkts, 16);
+            tracker.mark_packet_set(&mut bdd, &res.per_hop);
+            let delivered = res.delivered_at(&mut bdd, dst_host);
+            all_pass &= bdd.equal(delivered, pkts);
+        }
+    }
+    // Test 2: each leaf can reach the WAN (destinations outside the DC).
+    let outside = {
+        let v4 = header::family_is(&mut bdd, netmodel::Family::V4);
+        let mut inside = bdd.empty();
+        for &(_, p, _) in &f.leafs {
+            let s = header::dst_in(&mut bdd, &p);
+            inside = bdd.or(inside, s);
+        }
+        bdd.diff(v4, inside)
+    };
+    for &(src, _, _) in &f.leafs {
+        let res = reach(&mut bdd, &fwd, Location::device(src), outside, 16);
+        tracker.mark_packet_set(&mut bdd, &res.per_hop);
+        let exited = res.exited_union(&mut bdd);
+        all_pass &= bdd.equal(exited, outside);
+    }
+    // Test 3: each border can reach each leaf.
+    for border in [f.b1, f.b2] {
+        for &(_, dst_prefix, dst_host) in &f.leafs {
+            let pkts = header::dst_in(&mut bdd, &dst_prefix);
+            let res = reach(&mut bdd, &fwd, Location::device(border), pkts, 16);
+            tracker.mark_packet_set(&mut bdd, &res.per_hop);
+            let delivered = res.delivered_at(&mut bdd, dst_host);
+            all_pass &= bdd.equal(delivered, pkts);
+        }
+    }
+    println!("connectivity test suite: {}", if all_pass { "ALL PASS ✓" } else { "FAILURES" });
+    assert!(all_pass, "the buggy network passes these tests — that is the point");
+
+    // ---- Coverage analysis ----------------------------------------------
+    let trace = tracker.into_trace();
+    let analyzer = Analyzer::new(&f.net, &ms, &trace, &mut bdd);
+
+    let device_cov = analyzer
+        .aggregate_devices(&mut bdd, Aggregator::Fractional, |_, _| true)
+        .unwrap();
+    println!("\nfractional device coverage: {:.0}% — every device looks tested", device_cov * 100.0);
+    assert_eq!(device_cov, 1.0);
+
+    println!("\nper-device rule coverage (fractional):");
+    let mut b2_flagged = false;
+    for (d, dev) in f.net.topology().devices() {
+        let cov = analyzer
+            .aggregate_rules(&mut bdd, Aggregator::Fractional, |id, _| id.device == d)
+            .unwrap();
+        let marker = if d == f.b2 { "  ← B2" } else { "" };
+        println!("  {:<4} {:>5.0}%{}", dev.name, cov * 100.0, marker);
+        if d == f.b2 {
+            b2_flagged = cov < 1.0;
+        }
+    }
+    assert!(b2_flagged, "rule coverage must flag B2");
+
+    // Zoom in on what exactly is untested at B2.
+    println!("\nuntested rules on B2:");
+    for id in f.net.device_rule_ids(f.b2) {
+        if analyzer.rule_coverage(&mut bdd, id) == Some(0.0) {
+            let rule = f.net.rule(id);
+            println!(
+                "  {:?}: dst {:?}, action {:?}, class {:?}",
+                id,
+                rule.matches.dst.map(|p| p.to_string()),
+                rule.action,
+                rule.class
+            );
+        }
+    }
+    println!(
+        "\n→ B2's default route is null-routed and NO test packet ever uses it. \
+         Device coverage said 100%; rule coverage found the landmine before B1's \
+         failure could set it off."
+    );
+}

@@ -1,0 +1,21 @@
+//! # yardstick-repro — umbrella crate
+//!
+//! Re-exports every crate in the workspace so that examples and
+//! integration tests can use one coherent namespace. See the individual
+//! crates for the real APIs:
+//!
+//! * [`netbdd`] — BDD packet-set engine (Figure 5 operations).
+//! * [`netmodel`] — the network model `N = (V, I, E, S)` of §4.1.
+//! * [`routing`] — eBGP-style control plane that synthesizes FIBs (§7.1).
+//! * [`topogen`] — fat-tree, regional-Clos, and Figure-1 generators.
+//! * [`dataplane`] — symbolic forwarding and path-universe enumeration.
+//! * [`yardstick`] — the coverage framework itself (§4–§5).
+//! * [`testsuite`] — the paper's network tests, instrumented for coverage.
+
+pub use dataplane;
+pub use netbdd;
+pub use netmodel;
+pub use routing;
+pub use testsuite;
+pub use topogen;
+pub use yardstick;

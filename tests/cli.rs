@@ -1,0 +1,99 @@
+//! End-to-end tests of the `yardstick` CLI binary: every subcommand runs
+//! against a generated network and produces the advertised output.
+
+use std::process::Command;
+
+fn yardstick(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_yardstick"))
+        .args(args)
+        .output()
+        .expect("binary must run");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let (ok, _, err) = yardstick(&["--help"]);
+    assert!(ok);
+    assert!(err.contains("USAGE"));
+    assert!(err.contains("report"));
+}
+
+#[test]
+fn unknown_command_fails_with_help() {
+    let (ok, _, err) = yardstick(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn report_on_fattree_prints_roles_and_classes() {
+    let (ok, out, err) = yardstick(&["report", "--topology", "fattree", "--k", "4", "--suite", "original"]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("ToR Router"));
+    assert!(out.contains("route class"));
+    assert!(err.contains("[pass] DefaultRouteCheck"));
+}
+
+#[test]
+fn gaps_lists_witness_packets() {
+    let (ok, out, _) =
+        yardstick(&["gaps", "--topology", "fattree", "--k", "4", "--suite", "s8", "--limit", "2"]);
+    assert!(ok);
+    // The §8 suite on a fat-tree leaves nothing... actually Pingmesh +
+    // contract + reachability + default check cover everything at k=4,
+    // so the report may be empty; the command must still succeed. Use a
+    // weaker suite to guarantee gaps:
+    let (ok2, out2, _) =
+        yardstick(&["gaps", "--topology", "fattree", "--k", "4", "--suite", "original", "--limit", "2"]);
+    assert!(ok2);
+    assert!(out2.contains("untested:"), "gaps output: {out2}");
+    assert!(out2.contains("try: packet"));
+    let _ = out;
+}
+
+#[test]
+fn paths_reports_universe_and_coverage() {
+    let (ok, out, _) = yardstick(&[
+        "paths",
+        "--topology",
+        "fattree",
+        "--k",
+        "4",
+        "--suite",
+        "s8",
+        "--path-budget",
+        "100000",
+    ]);
+    assert!(ok);
+    assert!(out.contains("paths: "));
+    assert!(out.contains("path coverage: fractional"));
+}
+
+#[test]
+fn trace_walks_to_the_destination() {
+    let (ok, out, _) =
+        yardstick(&["trace", "--topology", "fattree", "--k", "4", "--dst", "10.0.3.7"]);
+    assert!(ok);
+    assert!(out.contains("outcome: Delivered"));
+    assert!(out.contains("HostSubnet"));
+}
+
+#[test]
+fn trace_requires_dst() {
+    let (ok, _, err) = yardstick(&["trace", "--topology", "fattree", "--k", "4"]);
+    assert!(!ok);
+    assert!(err.contains("requires --dst"));
+}
+
+#[test]
+fn diff_shows_affected_regions() {
+    let (ok, out, _) = yardstick(&["diff", "--topology", "fattree", "--k", "4"]);
+    assert!(ok);
+    assert!(out.contains("demo change: null-route"));
+    assert!(out.contains("affected: v4 dst"));
+}

@@ -1,0 +1,187 @@
+//! System-level property tests for the §3.2 metric requirements:
+//! monotonicity (adding tests never decreases any metric), boundedness
+//! (all metrics in [0, 1] with the documented extremes), and
+//! semantics-independence.
+
+use netbdd::Bdd;
+use netmodel::{header, Location, MatchSets, Prefix, RuleId};
+use proptest::prelude::*;
+use topogen::{fattree, FatTreeParams};
+use yardstick::{Aggregator, Analyzer, CoverageTrace};
+
+/// A randomly generated marking action against a k=4 fat-tree.
+#[derive(Clone, Debug)]
+enum Mark {
+    /// Mark a dst prefix (prefix of one of the hosted /24s, possibly
+    /// shorter/longer) at a device.
+    Packet { device: u8, tor: u8, plen: u8 },
+    /// Inspect rule `index` of a device.
+    Rule { device: u8, index: u8 },
+}
+
+fn arb_mark() -> impl Strategy<Value = Mark> {
+    prop_oneof![
+        (0u8..20, 0u8..8, 8u8..32).prop_map(|(device, tor, plen)| Mark::Packet {
+            device,
+            tor,
+            plen
+        }),
+        (0u8..20, 0u8..9).prop_map(|(device, index)| Mark::Rule { device, index }),
+    ]
+}
+
+fn apply_marks(
+    bdd: &mut Bdd,
+    ft: &topogen::FatTree,
+    marks: &[Mark],
+) -> CoverageTrace {
+    let mut trace = CoverageTrace::new();
+    for m in marks {
+        match *m {
+            Mark::Packet { device, tor, plen } => {
+                let (_, base, _) = ft.tors[tor as usize % ft.tors.len()];
+                let p = Prefix::v4(base.bits() as u32, plen.clamp(8, 32));
+                let set = header::dst_in(bdd, &p);
+                let d = netmodel::topology::DeviceId(device as u32 % 20);
+                trace.add_packets(bdd, Location::device(d), set);
+            }
+            Mark::Rule { device, index } => {
+                let d = netmodel::topology::DeviceId(device as u32 % 20);
+                let n = ft.net.device_rules(d).len() as u32;
+                if n > 0 {
+                    trace.add_rule(RuleId { device: d, index: index as u32 % n });
+                }
+            }
+        }
+    }
+    trace
+}
+
+fn all_metrics(bdd: &mut Bdd, ft: &topogen::FatTree, ms: &MatchSets, trace: &CoverageTrace) -> Vec<f64> {
+    let a = Analyzer::new(&ft.net, ms, trace, bdd);
+    let mut out = Vec::new();
+    for agg in [Aggregator::Mean, Aggregator::Weighted, Aggregator::Fractional] {
+        out.push(a.aggregate_rules(bdd, agg, |_, _| true).unwrap());
+        out.push(a.aggregate_devices(bdd, agg, |_, _| true).unwrap());
+        out.push(a.aggregate_out_ifaces(bdd, agg, |_, _| true).unwrap());
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Monotonicity: extending a test suite never decreases any metric.
+    #[test]
+    fn adding_tests_is_monotone(
+        marks in prop::collection::vec(arb_mark(), 0..12),
+        extra in prop::collection::vec(arb_mark(), 1..6),
+    ) {
+        let ft = fattree(FatTreeParams::paper(4));
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&ft.net, &mut bdd);
+        let t_before = apply_marks(&mut bdd, &ft, &marks);
+        let mut both = marks.clone();
+        both.extend(extra);
+        let t_after = apply_marks(&mut bdd, &ft, &both);
+        let before = all_metrics(&mut bdd, &ft, &ms, &t_before);
+        let after = all_metrics(&mut bdd, &ft, &ms, &t_after);
+        for (b, a) in before.iter().zip(&after) {
+            prop_assert!(a + 1e-12 >= *b, "metric decreased: {b} -> {a}");
+        }
+    }
+
+    /// Boundedness: every metric lies in [0, 1]; the empty suite scores
+    /// 0 and the all-marking suite scores 1.
+    #[test]
+    fn metrics_are_bounded(marks in prop::collection::vec(arb_mark(), 0..15)) {
+        let ft = fattree(FatTreeParams::paper(4));
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&ft.net, &mut bdd);
+        let trace = apply_marks(&mut bdd, &ft, &marks);
+        for m in all_metrics(&mut bdd, &ft, &ms, &trace) {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&m), "{m} out of range");
+        }
+    }
+
+    /// Order independence: coverage is a function of the *set* of marks,
+    /// not of their order (the union representation of §3.2).
+    #[test]
+    fn trace_order_does_not_matter(marks in prop::collection::vec(arb_mark(), 0..10)) {
+        let ft = fattree(FatTreeParams::paper(4));
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&ft.net, &mut bdd);
+        let t1 = apply_marks(&mut bdd, &ft, &marks);
+        let mut rev = marks.clone();
+        rev.reverse();
+        let t2 = apply_marks(&mut bdd, &ft, &rev);
+        prop_assert_eq!(
+            all_metrics(&mut bdd, &ft, &ms, &t1),
+            all_metrics(&mut bdd, &ft, &ms, &t2)
+        );
+    }
+
+    /// Idempotence: marking the same things twice changes nothing.
+    #[test]
+    fn double_marking_is_idempotent(marks in prop::collection::vec(arb_mark(), 1..8)) {
+        let ft = fattree(FatTreeParams::paper(4));
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&ft.net, &mut bdd);
+        let once = apply_marks(&mut bdd, &ft, &marks);
+        let mut twice_marks = marks.clone();
+        twice_marks.extend(marks.iter().cloned());
+        let twice = apply_marks(&mut bdd, &ft, &twice_marks);
+        prop_assert_eq!(
+            all_metrics(&mut bdd, &ft, &ms, &once),
+            all_metrics(&mut bdd, &ft, &ms, &twice)
+        );
+    }
+}
+
+#[test]
+fn extremes_empty_is_zero_full_is_one() {
+    let ft = fattree(FatTreeParams::paper(4));
+    let mut bdd = Bdd::new();
+    let ms = MatchSets::compute(&ft.net, &mut bdd);
+
+    let empty = CoverageTrace::new();
+    for m in all_metrics(&mut bdd, &ft, &ms, &empty) {
+        assert_eq!(m, 0.0);
+    }
+
+    let mut full = CoverageTrace::new();
+    let everything = bdd.full();
+    for (d, _) in ft.net.topology().devices() {
+        full.add_packets(&mut bdd, Location::device(d), everything);
+    }
+    for m in all_metrics(&mut bdd, &ft, &ms, &full) {
+        assert!((m - 1.0).abs() < 1e-12, "expected 1.0, got {m}");
+    }
+}
+
+/// Semantics-independence (§3.2): a packet matching the default route
+/// covers only the default route's residual match set, never the more
+/// specific rules an implementation might have scanned past.
+#[test]
+fn semantics_based_not_implementation_based() {
+    let ft = fattree(FatTreeParams::paper(4));
+    let mut bdd = Bdd::new();
+    let ms = MatchSets::compute(&ft.net, &mut bdd);
+    let (tor, _, _) = ft.tors[0];
+    // A packet outside every hosted prefix: hits the default route.
+    let pkt = header::Packet::v4_to(netmodel::addr::ipv4(8, 8, 8, 8));
+    let set = pkt.to_bdd(&mut bdd);
+    let mut trace = CoverageTrace::new();
+    trace.add_packets(&mut bdd, Location::device(tor), set);
+    let a = Analyzer::new(&ft.net, &ms, &trace, &mut bdd);
+    let mut covered = 0;
+    for id in ft.net.device_rule_ids(tor) {
+        let c = a.rule_coverage(&mut bdd, id).unwrap();
+        if c > 0.0 {
+            covered += 1;
+            // Only the default route may be (partially) covered.
+            assert!(ft.net.rule(id).matches.dst.unwrap().is_default());
+        }
+    }
+    assert_eq!(covered, 1, "exactly the default route is exercised");
+}
