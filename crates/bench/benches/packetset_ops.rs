@@ -30,7 +30,10 @@ fn bench_ops(c: &mut Criterion) {
         b.iter(|| {
             // A fresh prefix each call so hash-consing can't trivially hit.
             i = (i + 1) % 60000;
-            let p = Prefix::v4(u32::from_be_bytes([10, (i / 250) as u8, (i % 250) as u8, 0]), 24);
+            let p = Prefix::v4(
+                u32::from_be_bytes([10, (i / 250) as u8, (i % 250) as u8, 0]),
+                24,
+            );
             header::dst_in(&mut bdd, &p)
         })
     });

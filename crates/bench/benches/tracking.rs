@@ -18,7 +18,10 @@ fn bench_tracking(c: &mut Criterion) {
         let mut i = 0u32;
         b.iter(|| {
             i = i.wrapping_add(1);
-            tracker.mark_rule(RuleId { device: DeviceId(i % 1000), index: i % 64 });
+            tracker.mark_rule(RuleId {
+                device: DeviceId(i % 1000),
+                index: i % 64,
+            });
         })
     });
 
@@ -37,7 +40,11 @@ fn bench_tracking(c: &mut Criterion) {
         let mut i = 0usize;
         b.iter(|| {
             i = (i + 1) % sets.len();
-            tracker.mark_packet(&mut bdd, Location::device(DeviceId((i % 40) as u32)), sets[i]);
+            tracker.mark_packet(
+                &mut bdd,
+                Location::device(DeviceId((i % 40) as u32)),
+                sets[i],
+            );
         })
     });
 

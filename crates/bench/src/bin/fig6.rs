@@ -21,8 +21,8 @@ use yardstick::{Analyzer, CoverageReport, Tracker};
 
 use bench::{arg_flag, regional_info, time_it, write_csv};
 use testsuite::{
-    agg_can_reach_tor_loopback, connected_route_check, default_route_check,
-    internal_route_check, TestContext,
+    agg_can_reach_tor_loopback, connected_route_check, default_route_check, internal_route_check,
+    TestContext,
 };
 
 fn main() {
@@ -54,9 +54,17 @@ fn main() {
     // check every role.
     type Suite<'a> = (&'a str, &'a str, Vec<&'a str>);
     let panels: Vec<Suite> = vec![
-        ("6a", "Original test suite", vec!["DefaultRouteCheck", "AggCanReachTorLoopback"]),
+        (
+            "6a",
+            "Original test suite",
+            vec!["DefaultRouteCheck", "AggCanReachTorLoopback"],
+        ),
         ("6b", "InternalRouteCheck test", vec!["InternalRouteCheck"]),
-        ("6c", "ConnectedRouteCheck test", vec!["ConnectedRouteCheck"]),
+        (
+            "6c",
+            "ConnectedRouteCheck test",
+            vec!["ConnectedRouteCheck"],
+        ),
         (
             "6d",
             "Final test suite",
@@ -73,7 +81,11 @@ fn main() {
         let mut ctx = TestContext::new(&r.net, &ms, &info);
         for &t in &tests {
             let report = run_test(&mut bdd, &mut ctx, t);
-            assert!(report.passed(), "{t} failed: {:?}", &report.failures[..3.min(report.failures.len())]);
+            assert!(
+                report.passed(),
+                "{t} failed: {:?}",
+                &report.failures[..3.min(report.failures.len())]
+            );
         }
         let tracker: Tracker = std::mem::take(&mut ctx.tracker);
         let trace = tracker.into_trace();
@@ -106,11 +118,7 @@ fn pct(v: Option<f64>) -> String {
     }
 }
 
-fn run_test(
-    bdd: &mut Bdd,
-    ctx: &mut TestContext<'_>,
-    name: &str,
-) -> testsuite::TestReport {
+fn run_test(bdd: &mut Bdd, ctx: &mut TestContext<'_>, name: &str) -> testsuite::TestReport {
     match name {
         "DefaultRouteCheck" => default_route_check(bdd, ctx, |_| true),
         "AggCanReachTorLoopback" => agg_can_reach_tor_loopback(bdd, ctx),

@@ -40,10 +40,17 @@ fn main() {
     let ms = MatchSets::compute(&r.net, &mut bdd);
 
     let iterations: Vec<(&str, Vec<&str>)> = vec![
-        ("Start: Original Test Suite", vec!["DefaultRouteCheck", "AggCanReachTorLoopback"]),
+        (
+            "Start: Original Test Suite",
+            vec!["DefaultRouteCheck", "AggCanReachTorLoopback"],
+        ),
         (
             "Add: Internal Route Check",
-            vec!["DefaultRouteCheck", "AggCanReachTorLoopback", "InternalRouteCheck"],
+            vec![
+                "DefaultRouteCheck",
+                "AggCanReachTorLoopback",
+                "InternalRouteCheck",
+            ],
         ),
         (
             "Add: Connected Route Check",
@@ -95,12 +102,16 @@ fn main() {
                 "InternalRouteCheck" => internal_route_check(&mut bdd, &mut ctx),
                 "ConnectedRouteCheck" => connected_route_check(&mut bdd, &mut ctx),
                 "WanRouteCheck" => {
-                    let spec =
-                        WanSpec { prefixes: r.wan_prefixes.clone(), wan_routers: r.wans.clone() };
+                    let spec = WanSpec {
+                        prefixes: r.wan_prefixes.clone(),
+                        wan_routers: r.wans.clone(),
+                    };
                     wan_route_check(&mut bdd, &mut ctx, &spec, |role| {
                         matches!(
                             role,
-                            netmodel::Role::Spine | netmodel::Role::RegionalHub | netmodel::Role::Wan
+                            netmodel::Role::Spine
+                                | netmodel::Role::RegionalHub
+                                | netmodel::Role::Wan
                         )
                     })
                 }

@@ -26,8 +26,12 @@ use testsuite::{
     default_route_check, tor_contract, tor_pingmesh, tor_reachability, TestContext, TestReport,
 };
 
-const TESTS: [&str; 4] =
-    ["DefaultRouteCheck", "ToRContract", "ToRReachability", "ToRPingmesh"];
+const TESTS: [&str; 4] = [
+    "DefaultRouteCheck",
+    "ToRContract",
+    "ToRReachability",
+    "ToRPingmesh",
+];
 
 fn main() {
     let max_k = arg_flag("--max-k", 16);

@@ -22,9 +22,7 @@ use yardstick::{Aggregator, Analyzer, Tracker};
 use bench::{arg_flag, fattree_info, secs, sweep_ks, time_it, write_csv};
 use dataplane::paths::{edge_starts, ExploreOpts};
 use dataplane::Forwarder;
-use testsuite::{
-    default_route_check, tor_contract, tor_pingmesh, tor_reachability, TestContext,
-};
+use testsuite::{default_route_check, tor_contract, tor_pingmesh, tor_reachability, TestContext};
 
 fn main() {
     let max_k = arg_flag("--max-k", 12);
@@ -77,7 +75,10 @@ fn main() {
         let analyzer = Analyzer::new(&ft.net, &ms, &trace, &mut bdd);
         let fwd = Forwarder::new(&ft.net, &ms);
         let starts = edge_starts(&mut bdd, &fwd);
-        let opts = ExploreOpts { max_paths: path_budget, ..ExploreOpts::default() };
+        let opts = ExploreOpts {
+            max_paths: path_budget,
+            ..ExploreOpts::default()
+        };
         let (pc, path_t) = time_it(|| path_coverage(&mut bdd, &analyzer, &starts, &opts));
         let budget_hit = pc.stats.paths >= path_budget;
         let path_cell = if budget_hit {

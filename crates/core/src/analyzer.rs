@@ -30,7 +30,12 @@ impl<'a> Analyzer<'a> {
         bdd: &mut Bdd,
     ) -> Analyzer<'a> {
         let covered = CoveredSets::compute(net, ms, trace, bdd);
-        Analyzer { net, ms, trace, covered }
+        Analyzer {
+            net,
+            ms,
+            trace,
+            covered,
+        }
     }
 
     pub fn network(&self) -> &'a Network {
@@ -71,7 +76,11 @@ impl<'a> Analyzer<'a> {
         }
         // Weighted average with weights |M[r]| collapses to
         // |∪ T[r]| / |∪ M[r]| because the match sets are disjoint.
-        let covered = bdd.or_all(self.net.device_rule_ids(device).map(|id| self.covered.get(id)));
+        let covered = bdd.or_all(
+            self.net
+                .device_rule_ids(device)
+                .map(|id| self.covered.get(id)),
+        );
         Some(bdd.probability(covered) / bdd.probability(total))
     }
 
@@ -294,9 +303,26 @@ mod tests {
         let h = t.add_iface(tor, "hosts", IfaceKind::Host);
         let (ts, st) = t.add_link(tor, spine);
         let mut n = Network::new(t);
-        n.add_rule(tor, Rule::forward("10.0.0.0/24".parse().unwrap(), vec![h], RouteClass::HostSubnet));
-        n.add_rule(tor, Rule::forward(Prefix::v4_default(), vec![ts], RouteClass::StaticDefault));
-        n.add_rule(spine, Rule::forward("10.0.0.0/24".parse().unwrap(), vec![st], RouteClass::HostSubnet));
+        n.add_rule(
+            tor,
+            Rule::forward(
+                "10.0.0.0/24".parse().unwrap(),
+                vec![h],
+                RouteClass::HostSubnet,
+            ),
+        );
+        n.add_rule(
+            tor,
+            Rule::forward(Prefix::v4_default(), vec![ts], RouteClass::StaticDefault),
+        );
+        n.add_rule(
+            spine,
+            Rule::forward(
+                "10.0.0.0/24".parse().unwrap(),
+                vec![st],
+                RouteClass::HostSubnet,
+            ),
+        );
         n.finalize();
         (n, tor, spine)
     }
@@ -326,7 +352,11 @@ mod tests {
             trace.add_packets(&mut bdd, Location::device(d), full);
         }
         let a = Analyzer::new(&n, &ms, &trace, &mut bdd);
-        for agg in [Aggregator::Mean, Aggregator::Weighted, Aggregator::Fractional] {
+        for agg in [
+            Aggregator::Mean,
+            Aggregator::Weighted,
+            Aggregator::Fractional,
+        ] {
             assert_eq!(a.aggregate_rules(&mut bdd, agg, |_, _| true), Some(1.0));
             assert_eq!(a.aggregate_devices(&mut bdd, agg, |_, _| true), Some(1.0));
         }
@@ -343,8 +373,10 @@ mod tests {
         let before = {
             let a = Analyzer::new(&n, &ms, &trace, &mut bdd);
             (
-                a.aggregate_rules(&mut bdd, Aggregator::Weighted, |_, _| true).unwrap(),
-                a.aggregate_devices(&mut bdd, Aggregator::Fractional, |_, _| true).unwrap(),
+                a.aggregate_rules(&mut bdd, Aggregator::Weighted, |_, _| true)
+                    .unwrap(),
+                a.aggregate_devices(&mut bdd, Aggregator::Fractional, |_, _| true)
+                    .unwrap(),
             )
         };
         // Add more marks (a superset situation).
@@ -353,8 +385,10 @@ mod tests {
         let after = {
             let a = Analyzer::new(&n, &ms, &trace, &mut bdd);
             (
-                a.aggregate_rules(&mut bdd, Aggregator::Weighted, |_, _| true).unwrap(),
-                a.aggregate_devices(&mut bdd, Aggregator::Fractional, |_, _| true).unwrap(),
+                a.aggregate_rules(&mut bdd, Aggregator::Weighted, |_, _| true)
+                    .unwrap(),
+                a.aggregate_devices(&mut bdd, Aggregator::Fractional, |_, _| true)
+                    .unwrap(),
             )
         };
         assert!(after.0 >= before.0);
@@ -369,7 +403,10 @@ mod tests {
         let mut trace = CoverageTrace::new();
         let p = header::dst_in(&mut bdd, &"10.0.0.0/26".parse().unwrap());
         trace.add_packets(&mut bdd, Location::device(tor), p);
-        trace.add_rule(RuleId { device: spine, index: 0 });
+        trace.add_rule(RuleId {
+            device: spine,
+            index: 0,
+        });
         let a = Analyzer::new(&n, &ms, &trace, &mut bdd);
         for (id, _) in n.rules() {
             if let Some(c) = a.rule_coverage(&mut bdd, id) {
@@ -391,12 +428,18 @@ mod tests {
         let mut trace = CoverageTrace::new();
         let p = header::dst_in(&mut bdd, &"10.0.0.0/25".parse().unwrap());
         trace.add_packets(&mut bdd, Location::device(tor), p);
-        trace.add_rule(RuleId { device: tor, index: 1 });
+        trace.add_rule(RuleId {
+            device: tor,
+            index: 1,
+        });
         let a = Analyzer::new(&n, &ms, &trace, &mut bdd);
         let fused = a.device_coverage(&mut bdd, tor).unwrap();
         let spec = components::device_spec(&n, &ms, tor);
         let generic = spec.eval(&mut bdd, &n, &ms, a.covered_sets()).unwrap();
-        assert!((fused - generic).abs() < 1e-12, "fused={fused} generic={generic}");
+        assert!(
+            (fused - generic).abs() < 1e-12,
+            "fused={fused} generic={generic}"
+        );
     }
 
     #[test]
@@ -408,7 +451,10 @@ mod tests {
         let p = header::dst_in(&mut bdd, &"10.0.0.64/26".parse().unwrap());
         trace.add_packets(&mut bdd, Location::device(tor), p);
         let a = Analyzer::new(&n, &ms, &trace, &mut bdd);
-        let id = RuleId { device: tor, index: 0 };
+        let id = RuleId {
+            device: tor,
+            index: 0,
+        };
         let fused = a.rule_coverage(&mut bdd, id).unwrap();
         let spec = components::rule_spec(&ms, id);
         let generic = spec.eval(&mut bdd, &n, &ms, a.covered_sets()).unwrap();
@@ -421,7 +467,10 @@ mod tests {
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&n, &mut bdd);
         let mut trace = CoverageTrace::new();
-        trace.add_rule(RuleId { device: tor, index: 1 }); // default via uplink
+        trace.add_rule(RuleId {
+            device: tor,
+            index: 1,
+        }); // default via uplink
         let a = Analyzer::new(&n, &ms, &trace, &mut bdd);
         // Uplink (iface 1 on tor): fully covered.
         let topo = n.topology();

@@ -99,13 +99,22 @@ mod tests {
             .find(|&id| ft.net.rule(id).matches.dst == Some(prefix))
             .unwrap();
         // Covered: an address in the low /25.
-        let covered = Atu { rule, packet: Packet::v4_to(prefix.nth_addr(1) as u32) };
+        let covered = Atu {
+            rule,
+            packet: Packet::v4_to(prefix.nth_addr(1) as u32),
+        };
         assert_eq!(a.atu_covered(&mut bdd, covered), Some(true));
         // Uncovered: an address in the high /25.
-        let uncovered = Atu { rule, packet: Packet::v4_to(prefix.nth_addr(200) as u32) };
+        let uncovered = Atu {
+            rule,
+            packet: Packet::v4_to(prefix.nth_addr(200) as u32),
+        };
         assert_eq!(a.atu_covered(&mut bdd, uncovered), Some(false));
         // Not an ATU: a packet the rule can never match.
-        let alien = Atu { rule, packet: Packet::v4_to(1) };
+        let alien = Atu {
+            rule,
+            packet: Packet::v4_to(1),
+        };
         assert_eq!(a.atu_covered(&mut bdd, alien), None);
     }
 
@@ -121,7 +130,9 @@ mod tests {
             .unwrap();
         let cov = a.sample_covered_atu(&mut bdd, rule).expect("half covered");
         assert_eq!(a.atu_covered(&mut bdd, cov), Some(true));
-        let unc = a.sample_uncovered_atu(&mut bdd, rule).expect("half uncovered");
+        let unc = a
+            .sample_uncovered_atu(&mut bdd, rule)
+            .expect("half uncovered");
         assert_eq!(a.atu_covered(&mut bdd, unc), Some(false));
     }
 
@@ -155,7 +166,10 @@ mod tests {
     #[test]
     fn display_is_compact() {
         let atu = Atu {
-            rule: RuleId { device: netmodel::topology::DeviceId(3), index: 7 },
+            rule: RuleId {
+                device: netmodel::topology::DeviceId(3),
+                index: 7,
+            },
             packet: Packet::v4_to(netmodel::addr::ipv4(10, 0, 0, 1)),
         };
         let s = atu.to_string();

@@ -64,15 +64,19 @@ pub fn path_spec(guard: Ref, rules: Vec<RuleId>) -> ComponentSpec {
 /// Flow coverage: one guarded string per path the flow takes, weighted
 /// by the share of the flow's packets using each path.
 pub fn flow_spec(strings: Vec<GuardedString>) -> ComponentSpec {
-    ComponentSpec { strings, measure: Measure::Fraction, combinator: Combinator::WeightedByGuard }
+    ComponentSpec {
+        strings,
+        measure: Measure::Fraction,
+        combinator: Combinator::WeightedByGuard,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::covered::CoveredSets;
-    use netbdd::Bdd;
     use crate::trace::CoverageTrace;
+    use netbdd::Bdd;
     use netmodel::addr::Prefix;
     use netmodel::header;
     use netmodel::rule::{RouteClass, Rule};
@@ -85,8 +89,18 @@ mod tests {
         let h = t.add_iface(d, "hosts", IfaceKind::Host);
         let up = t.add_iface(d, "up", IfaceKind::External);
         let mut n = Network::new(t);
-        n.add_rule(d, Rule::forward("10.0.0.0/24".parse().unwrap(), vec![h], RouteClass::HostSubnet));
-        n.add_rule(d, Rule::forward(Prefix::v4_default(), vec![up], RouteClass::StaticDefault));
+        n.add_rule(
+            d,
+            Rule::forward(
+                "10.0.0.0/24".parse().unwrap(),
+                vec![h],
+                RouteClass::HostSubnet,
+            ),
+        );
+        n.add_rule(
+            d,
+            Rule::forward(Prefix::v4_default(), vec![up], RouteClass::StaticDefault),
+        );
         n.finalize();
         (n, d, h, up)
     }
@@ -101,14 +115,21 @@ mod tests {
         let p24 = header::dst_in(&mut bdd, &"10.0.0.0/24".parse().unwrap());
         trace.add_packets(&mut bdd, Location::device(d), p24);
         let cov = CoveredSets::compute(&n, &ms, &trace, &mut bdd);
-        let got = device_spec(&n, &ms, d).eval(&mut bdd, &n, &ms, &cov).unwrap();
+        let got = device_spec(&n, &ms, d)
+            .eval(&mut bdd, &n, &ms, &cov)
+            .unwrap();
         // Weighted coverage ≈ |/24| / |v4 plane| — essentially zero.
         assert!(got > 0.0 && got < 1e-4, "got {got}");
         // Whereas covering the default dominates.
         let mut trace2 = CoverageTrace::new();
-        trace2.add_rule(RuleId { device: d, index: 1 });
+        trace2.add_rule(RuleId {
+            device: d,
+            index: 1,
+        });
         let cov2 = CoveredSets::compute(&n, &ms, &trace2, &mut bdd);
-        let got2 = device_spec(&n, &ms, d).eval(&mut bdd, &n, &ms, &cov2).unwrap();
+        let got2 = device_spec(&n, &ms, d)
+            .eval(&mut bdd, &n, &ms, &cov2)
+            .unwrap();
         assert!(got2 > 0.99, "got {got2}");
     }
 
@@ -118,13 +139,20 @@ mod tests {
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&n, &mut bdd);
         let mut trace = CoverageTrace::new();
-        trace.add_rule(RuleId { device: d, index: 1 }); // the default route
+        trace.add_rule(RuleId {
+            device: d,
+            index: 1,
+        }); // the default route
         let cov = CoveredSets::compute(&n, &ms, &trace, &mut bdd);
         // The uplink iface (default route) is fully covered.
-        let up_cov = out_iface_spec(&n, &ms, up).eval(&mut bdd, &n, &ms, &cov).unwrap();
+        let up_cov = out_iface_spec(&n, &ms, up)
+            .eval(&mut bdd, &n, &ms, &cov)
+            .unwrap();
         assert_eq!(up_cov, 1.0);
         // The host iface (the /24) is untouched.
-        let h_cov = out_iface_spec(&n, &ms, h).eval(&mut bdd, &n, &ms, &cov).unwrap();
+        let h_cov = out_iface_spec(&n, &ms, h)
+            .eval(&mut bdd, &n, &ms, &cov)
+            .unwrap();
         assert_eq!(h_cov, 0.0);
     }
 
@@ -140,7 +168,10 @@ mod tests {
         let ms2 = MatchSets::compute(&n2, &mut bdd);
         let trace = CoverageTrace::new();
         let cov2 = CoveredSets::compute(&n2, &ms2, &trace, &mut bdd);
-        assert_eq!(out_iface_spec(&n2, &ms2, lonely).eval(&mut bdd, &n2, &ms2, &cov2), None);
+        assert_eq!(
+            out_iface_spec(&n2, &ms2, lonely).eval(&mut bdd, &n2, &ms2, &cov2),
+            None
+        );
         let _ = n;
     }
 
@@ -153,7 +184,10 @@ mod tests {
         let p25 = header::dst_in(&mut bdd, &"10.0.0.128/25".parse().unwrap());
         trace.add_packets(&mut bdd, Location::device(d), p25);
         let cov = CoveredSets::compute(&n, &ms, &trace, &mut bdd);
-        let id = RuleId { device: d, index: 0 };
+        let id = RuleId {
+            device: d,
+            index: 0,
+        };
         let got = rule_spec(&ms, id).eval(&mut bdd, &n, &ms, &cov).unwrap();
         assert!((got - 0.5).abs() < 1e-12);
     }

@@ -85,9 +85,20 @@ mod tests {
         let mut n = Network::new(t);
         n.add_rule(
             d,
-            Rule::forward("10.0.0.0/24".parse().unwrap(), vec![IfaceId(0)], RouteClass::HostSubnet),
+            Rule::forward(
+                "10.0.0.0/24".parse().unwrap(),
+                vec![IfaceId(0)],
+                RouteClass::HostSubnet,
+            ),
         );
-        n.add_rule(d, Rule::forward(Prefix::v4_default(), vec![IfaceId(1)], RouteClass::StaticDefault));
+        n.add_rule(
+            d,
+            Rule::forward(
+                Prefix::v4_default(),
+                vec![IfaceId(1)],
+                RouteClass::StaticDefault,
+            ),
+        );
         n.finalize();
         (n, d)
     }
@@ -110,11 +121,17 @@ mod tests {
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&n, &mut bdd);
         let mut trace = CoverageTrace::new();
-        let default_id = RuleId { device: d, index: 1 };
+        let default_id = RuleId {
+            device: d,
+            index: 1,
+        };
         trace.add_rule(default_id);
         let cov = CoveredSets::compute(&n, &ms, &trace, &mut bdd);
         assert_eq!(cov.get(default_id), ms.get(default_id));
-        assert!(!cov.is_exercised(RuleId { device: d, index: 0 }));
+        assert!(!cov.is_exercised(RuleId {
+            device: d,
+            index: 0
+        }));
     }
 
     #[test]
@@ -127,8 +144,14 @@ mod tests {
         let p25 = header::dst_in(&mut bdd, &"10.0.0.0/25".parse().unwrap());
         trace.add_packets(&mut bdd, Location::device(d), p25);
         let cov = CoveredSets::compute(&n, &ms, &trace, &mut bdd);
-        let specific = RuleId { device: d, index: 0 };
-        let default = RuleId { device: d, index: 1 };
+        let specific = RuleId {
+            device: d,
+            index: 0,
+        };
+        let default = RuleId {
+            device: d,
+            index: 1,
+        };
         assert_eq!(cov.get(specific), p25);
         assert!(!cov.is_exercised(default));
         // Covered sets never exceed match sets.
@@ -146,10 +169,16 @@ mod tests {
         let p8 = header::dst_in(&mut bdd, &"10.0.0.0/8".parse().unwrap());
         trace.add_packets(&mut bdd, Location::device(d), p8);
         let cov = CoveredSets::compute(&n, &ms, &trace, &mut bdd);
-        let specific = RuleId { device: d, index: 0 };
-        let default = RuleId { device: d, index: 1 };
+        let specific = RuleId {
+            device: d,
+            index: 0,
+        };
+        let default = RuleId {
+            device: d,
+            index: 1,
+        };
         assert_eq!(cov.get(specific), ms.get(specific)); // /24 fully covered
-        // Default covered exactly on p8 minus the /24.
+                                                         // Default covered exactly on p8 minus the /24.
         let expect = bdd.diff(p8, ms.get(specific));
         assert_eq!(cov.get(default), expect);
     }
@@ -195,7 +224,10 @@ mod tests {
         let (n, d) = net();
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&n, &mut bdd);
-        let id = RuleId { device: d, index: 0 };
+        let id = RuleId {
+            device: d,
+            index: 0,
+        };
 
         let mut inspect = CoverageTrace::new();
         inspect.add_rule(id);
@@ -220,7 +252,10 @@ mod tests {
         n.add_rule(
             d,
             Rule {
-                matches: MatchFields { in_iface: Some(i0), ..MatchFields::default() },
+                matches: MatchFields {
+                    in_iface: Some(i0),
+                    ..MatchFields::default()
+                },
                 action: netmodel::Action::Drop,
                 class: RouteClass::Other,
             },
@@ -228,7 +263,10 @@ mod tests {
         n.finalize();
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&n, &mut bdd);
-        let id = RuleId { device: d, index: 0 };
+        let id = RuleId {
+            device: d,
+            index: 0,
+        };
 
         // Packets marked on the other interface do not cover the rule.
         let mut t1 = CoverageTrace::new();

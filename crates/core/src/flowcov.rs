@@ -65,7 +65,10 @@ pub fn flow_coverage(
         bdd,
         &fwd,
         &[(flow.start, flow.headers)],
-        &ExploreOpts { emit_empty_paths: true, ..opts.clone() },
+        &ExploreOpts {
+            emit_empty_paths: true,
+            ..opts.clone()
+        },
         |bdd, ev| {
             if ev.rules.is_empty() {
                 unrouted += bdd.probability(ev.final_set);
@@ -91,7 +94,11 @@ pub fn flow_coverage(
     Some(FlowCoverage {
         paths,
         coverage: wsum / wtotal,
-        unrouted_weight: if flow_weight == 0.0 { 0.0 } else { unrouted / flow_weight },
+        unrouted_weight: if flow_weight == 0.0 {
+            0.0
+        } else {
+            unrouted / flow_weight
+        },
     })
 }
 
@@ -130,7 +137,10 @@ mod tests {
 
     fn flow_of(bdd: &mut Bdd, a: DeviceId) -> Flow {
         let headers = header::dst_in(bdd, &"10.0.0.0/24".parse().unwrap());
-        Flow { start: Location::device(a), headers }
+        Flow {
+            start: Location::device(a),
+            headers,
+        }
     }
 
     #[test]
@@ -198,7 +208,10 @@ mod tests {
         let an = Analyzer::new(&net, &ms, &trace, &mut bdd);
         // Flow: the /23 containing the routed /24 plus an unrouted /24.
         let headers = header::dst_in(&mut bdd, &"10.0.0.0/23".parse().unwrap());
-        let flow = Flow { start: Location::device(a), headers };
+        let flow = Flow {
+            start: Location::device(a),
+            headers,
+        };
         let fc = flow_coverage(&mut bdd, &an, flow, &ExploreOpts::default()).unwrap();
         assert!((fc.unrouted_weight - 0.5).abs() < 1e-12);
         assert!((fc.coverage - 1.0).abs() < 1e-12); // the routed half is fully tested
@@ -211,11 +224,17 @@ mod tests {
         let ms = MatchSets::compute(&net, &mut bdd);
         let trace = CoverageTrace::new();
         let an = Analyzer::new(&net, &ms, &trace, &mut bdd);
-        let flow = Flow { start: Location::device(a), headers: netbdd::Ref::FALSE };
+        let flow = Flow {
+            start: Location::device(a),
+            headers: netbdd::Ref::FALSE,
+        };
         assert!(flow_coverage(&mut bdd, &an, flow, &ExploreOpts::default()).is_none());
         // A flow whose packets match nothing is also None.
         let junk = header::dst_in(&mut bdd, &"99.0.0.0/8".parse().unwrap());
-        let flow2 = Flow { start: Location::device(a), headers: junk };
+        let flow2 = Flow {
+            start: Location::device(a),
+            headers: junk,
+        };
         assert!(flow_coverage(&mut bdd, &an, flow2, &ExploreOpts::default()).is_none());
     }
 }

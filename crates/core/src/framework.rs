@@ -33,7 +33,10 @@ pub struct GuardedString {
 impl GuardedString {
     /// A single-rule string, the common case for local components.
     pub fn rule(guard: Ref, rule: RuleId) -> GuardedString {
-        GuardedString { guard, rules: vec![rule] }
+        GuardedString {
+            guard,
+            rules: vec![rule],
+        }
     }
 }
 
@@ -85,9 +88,7 @@ impl Aggregator {
             return None;
         }
         Some(match self {
-            Aggregator::Mean => {
-                items.iter().map(|&(c, _)| c).sum::<f64>() / items.len() as f64
-            }
+            Aggregator::Mean => items.iter().map(|&(c, _)| c).sum::<f64>() / items.len() as f64,
             Aggregator::Weighted => {
                 let total_w: f64 = items.iter().map(|&(_, w)| w).sum();
                 if total_w == 0.0 {
@@ -153,7 +154,10 @@ impl ComponentSpec {
                     measures.iter().map(|&(m, w)| m * w).sum::<f64>() / total
                 }
             }
-            Combinator::Min => measures.iter().map(|&(m, _)| m).fold(f64::INFINITY, f64::min),
+            Combinator::Min => measures
+                .iter()
+                .map(|&(m, _)| m)
+                .fold(f64::INFINITY, f64::min),
             Combinator::Max => measures.iter().map(|&(m, _)| m).fold(0.0, f64::max),
         })
     }
@@ -168,7 +172,10 @@ fn measure_string(
     measure: Measure,
     g: &GuardedString,
 ) -> f64 {
-    debug_assert!(!g.rules.is_empty(), "guarded strings must name at least one rule");
+    debug_assert!(
+        !g.rules.is_empty(),
+        "guarded strings must name at least one rule"
+    );
     let frac = path_survival(bdd, net, ms, covered, g.guard, &g.rules);
     match measure {
         Measure::Fraction => frac,
@@ -249,17 +256,23 @@ mod tests {
         let mut n = Network::new(t);
         n.add_rule(
             d,
-            Rule::forward("10.0.0.0/24".parse().unwrap(), vec![IfaceId(0)], RouteClass::HostSubnet),
+            Rule::forward(
+                "10.0.0.0/24".parse().unwrap(),
+                vec![IfaceId(0)],
+                RouteClass::HostSubnet,
+            ),
         );
         n.finalize();
-        (n, RuleId { device: d, index: 0 })
+        (
+            n,
+            RuleId {
+                device: d,
+                index: 0,
+            },
+        )
     }
 
-    fn covered_with(
-        n: &Network,
-        bdd: &mut Bdd,
-        mark: Option<Ref>,
-    ) -> (MatchSets, CoveredSets) {
+    fn covered_with(n: &Network, bdd: &mut Bdd, mark: Option<Ref>) -> (MatchSets, CoveredSets) {
         let ms = MatchSets::compute(n, bdd);
         let mut trace = CoverageTrace::new();
         if let Some(p) = mark {
@@ -331,15 +344,24 @@ mod tests {
         let g_hit = bdd.and(m, p25);
         let g_miss = bdd.and(m, other);
         let mk = |comb| ComponentSpec {
-            strings: vec![GuardedString::rule(g_hit, rid), GuardedString::rule(g_miss, rid)],
+            strings: vec![
+                GuardedString::rule(g_hit, rid),
+                GuardedString::rule(g_miss, rid),
+            ],
             measure: Measure::Fraction,
             combinator: comb,
         };
         assert_eq!(mk(Combinator::Min).eval(&mut bdd, &n, &ms, &cov), Some(0.0));
         assert_eq!(mk(Combinator::Max).eval(&mut bdd, &n, &ms, &cov), Some(1.0));
-        assert_eq!(mk(Combinator::Mean).eval(&mut bdd, &n, &ms, &cov), Some(0.5));
+        assert_eq!(
+            mk(Combinator::Mean).eval(&mut bdd, &n, &ms, &cov),
+            Some(0.5)
+        );
         // Equal guard sizes: weighted == mean here.
-        assert_eq!(mk(Combinator::WeightedByGuard).eval(&mut bdd, &n, &ms, &cov), Some(0.5));
+        assert_eq!(
+            mk(Combinator::WeightedByGuard).eval(&mut bdd, &n, &ms, &cov),
+            Some(0.5)
+        );
     }
 
     #[test]
@@ -381,8 +403,14 @@ mod tests {
         trace.add_packets(&mut bdd, Location::device(a), lo);
         trace.add_packets(&mut bdd, Location::device(b), hi);
         let cov = CoveredSets::compute(&n, &ms, &trace, &mut bdd);
-        let r_a = RuleId { device: a, index: 0 };
-        let r_b = RuleId { device: b, index: 0 };
+        let r_a = RuleId {
+            device: a,
+            index: 0,
+        };
+        let r_b = RuleId {
+            device: b,
+            index: 0,
+        };
         let guard = ms.get(r_a);
         let s = path_survival(&mut bdd, &n, &ms, &cov, guard, &[r_a, r_b]);
         assert_eq!(s, 0.0);
@@ -410,11 +438,20 @@ mod tests {
         trace.add_packets(&mut bdd, Location::device(a), lo);
         trace.add_packets(&mut bdd, Location::device(b), lo);
         let cov = CoveredSets::compute(&n, &ms, &trace, &mut bdd);
-        let r_a = RuleId { device: a, index: 0 };
-        let r_b = RuleId { device: b, index: 0 };
+        let r_a = RuleId {
+            device: a,
+            index: 0,
+        };
+        let r_b = RuleId {
+            device: b,
+            index: 0,
+        };
         let guard = ms.get(r_a);
         let s = path_survival(&mut bdd, &n, &ms, &cov, guard, &[r_a, r_b]);
-        assert!((s - 0.5).abs() < 1e-12, "half the guard survives end-to-end, got {s}");
+        assert!(
+            (s - 0.5).abs() < 1e-12,
+            "half the guard survives end-to-end, got {s}"
+        );
     }
 
     /// Many-to-one rewrite: the min-ratio refinement keeps the measure
@@ -435,13 +472,18 @@ mod tests {
             Rule {
                 matches: MatchFields::dst_prefix("10.0.0.0/24".parse().unwrap()),
                 action: netmodel::Action::Rewrite(
-                    Rewrite { set: vec![(HeaderField::Dst4, target as u128)] },
+                    Rewrite {
+                        set: vec![(HeaderField::Dst4, target as u128)],
+                    },
                     vec![ab],
                 ),
                 class: RouteClass::Other,
             },
         );
-        n.add_rule(b, Rule::forward(Prefix::host_v4(target), vec![h], RouteClass::HostSubnet));
+        n.add_rule(
+            b,
+            Rule::forward(Prefix::host_v4(target), vec![h], RouteClass::HostSubnet),
+        );
         n.finalize();
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&n, &mut bdd);
@@ -453,8 +495,14 @@ mod tests {
         let t_dst = header::dst_in(&mut bdd, &Prefix::host_v4(target));
         trace.add_packets(&mut bdd, Location::device(b), t_dst);
         let cov = CoveredSets::compute(&n, &ms, &trace, &mut bdd);
-        let r_a = RuleId { device: a, index: 0 };
-        let r_b = RuleId { device: b, index: 0 };
+        let r_a = RuleId {
+            device: a,
+            index: 0,
+        };
+        let r_b = RuleId {
+            device: b,
+            index: 0,
+        };
         let guard = ms.get(r_a);
         let s = path_survival(&mut bdd, &n, &ms, &cov, guard, &[r_a, r_b]);
         // Hop a ratio = 1/4; after the rewrite both chains collapse to the

@@ -121,16 +121,10 @@ impl Analyzer<'_> {
             .into_iter()
             .take(limit)
             .map(|(id, untested, coverage, u_w)| {
-                let (regions, regions_complete) =
-                    describe_set(bdd, untested, regions_per_rule);
+                let (regions, regions_complete) = describe_set(bdd, untested, regions_per_rule);
                 GapEntry {
                     rule: id,
-                    device_name: self
-                        .network()
-                        .topology()
-                        .device(id.device)
-                        .name
-                        .clone(),
+                    device_name: self.network().topology().device(id.device).name.clone(),
                     class: self.network().rule(id).class,
                     coverage,
                     untested_weight: u_w,
@@ -168,7 +162,13 @@ mod tests {
         assert_eq!(report.entries.len(), 5);
         assert_eq!(report.omitted, ft.net.rule_count() - 5);
         // Default routes carry the most weight, so they rank first.
-        assert!(ft.net.rule(report.entries[0].rule).matches.dst.unwrap().is_default());
+        assert!(ft
+            .net
+            .rule(report.entries[0].rule)
+            .matches
+            .dst
+            .unwrap()
+            .is_default());
         // Weights are non-increasing.
         for w in report.entries.windows(2) {
             assert!(w[0].untested_weight >= w[1].untested_weight);
@@ -183,7 +183,10 @@ mod tests {
         let report = a.gap_report(&mut bdd, 10, 2, |_, _| true);
         for entry in &report.entries {
             let w = entry.witness.expect("uncovered rules must have witnesses");
-            assert!(w.matches(&bdd, ms.get(entry.rule)), "witness misses its rule");
+            assert!(
+                w.matches(&bdd, ms.get(entry.rule)),
+                "witness misses its rule"
+            );
         }
     }
 
@@ -193,10 +196,7 @@ mod tests {
         let (tor, prefix, _) = ft.tors[0];
         // Test the low half of the /24.
         let mut trace = CoverageTrace::new();
-        let low = header::dst_in(
-            &mut bdd,
-            &netmodel::Prefix::v4(prefix.bits() as u32, 25),
-        );
+        let low = header::dst_in(&mut bdd, &netmodel::Prefix::v4(prefix.bits() as u32, 25));
         trace.add_packets(&mut bdd, Location::device(tor), low);
         let a = Analyzer::new(&ft.net, &ms, &trace, &mut bdd);
         let report = a.gap_report(&mut bdd, 100, 4, |id, _| id.device == tor);

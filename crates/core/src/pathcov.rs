@@ -56,8 +56,9 @@ pub fn path_guard(
     rules: &[RuleId],
     final_set: Ref,
 ) -> Ref {
-    let any_rewrite =
-        rules.iter().any(|&r| matches!(net.rule(r).action, Action::Rewrite(_, _)));
+    let any_rewrite = rules
+        .iter()
+        .any(|&r| matches!(net.rule(r).action, Action::Rewrite(_, _)));
     if !any_rewrite {
         return final_set;
     }
@@ -291,8 +292,14 @@ mod tests {
         let ms = MatchSets::compute(&net, &mut bdd);
         let p2 = header::dst_in(&mut bdd, &"10.0.2.0/24".parse().unwrap());
         let rules = vec![
-            RuleId { device: DeviceId(0), index: 1 },
-            RuleId { device: DeviceId(1), index: 1 },
+            RuleId {
+                device: DeviceId(0),
+                index: 1,
+            },
+            RuleId {
+                device: DeviceId(1),
+                index: 1,
+            },
         ];
         assert_eq!(path_guard(&mut bdd, &net, &ms, &rules, p2), p2);
     }
@@ -310,7 +317,9 @@ mod tests {
             Rule {
                 matches: MatchFields::dst_prefix("10.0.0.0/24".parse().unwrap()),
                 action: netmodel::Action::Rewrite(
-                    Rewrite { set: vec![(HeaderField::Dst4, target as u128)] },
+                    Rewrite {
+                        set: vec![(HeaderField::Dst4, target as u128)],
+                    },
                     vec![h],
                 ),
                 class: RouteClass::Other,
@@ -319,7 +328,10 @@ mod tests {
         net.finalize();
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&net, &mut bdd);
-        let rid = RuleId { device: a, index: 0 };
+        let rid = RuleId {
+            device: a,
+            index: 0,
+        };
         // Final set after the rewrite: v4 ∧ dst=target.
         let v4 = header::family_is(&mut bdd, netmodel::Family::V4);
         let t_dst = header::dst_in(&mut bdd, &Prefix::host_v4(target));
@@ -378,8 +390,18 @@ mod digest_tests {
 
     #[test]
     fn drift_is_symmetric_and_bounded() {
-        let a = PathUniverseDigest { paths: 100, delivered: 90, exited: 10, ..Default::default() };
-        let b = PathUniverseDigest { paths: 120, delivered: 95, exited: 25, ..Default::default() };
+        let a = PathUniverseDigest {
+            paths: 100,
+            delivered: 90,
+            exited: 10,
+            ..Default::default()
+        };
+        let b = PathUniverseDigest {
+            paths: 120,
+            delivered: 95,
+            exited: 25,
+            ..Default::default()
+        };
         assert_eq!(a.drift(&b), b.drift(&a));
         assert!((0.0..=1.0).contains(&a.drift(&b)));
         assert_eq!(a.drift(&a), 0.0);

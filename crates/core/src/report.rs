@@ -59,8 +59,10 @@ impl CoverageReport {
             if devices.is_empty() {
                 continue;
             }
-            let rules: usize =
-                devices.iter().map(|&d| analyzer.network().device_rules(d).len()).sum();
+            let rules: usize = devices
+                .iter()
+                .map(|&d| analyzer.network().device_rules(d).len())
+                .sum();
             rows.push(ReportRow {
                 metrics: analyzer.role_metrics(bdd, role),
                 devices: devices.len(),
@@ -68,8 +70,7 @@ impl CoverageReport {
             });
         }
         let overall = RoleMetricsOverall {
-            device_fractional: analyzer
-                .aggregate_devices(bdd, Aggregator::Fractional, |_, _| true),
+            device_fractional: analyzer.aggregate_devices(bdd, Aggregator::Fractional, |_, _| true),
             iface_fractional: analyzer
                 .aggregate_out_ifaces(bdd, Aggregator::Fractional, |_, _| true),
             rule_fractional: analyzer.aggregate_rules(bdd, Aggregator::Fractional, |_, _| true),
@@ -81,8 +82,9 @@ impl CoverageReport {
     /// CSV rendering (`role,devices,rules,device_frac,iface_frac,
     /// rule_frac,rule_weighted`), suitable for the figure harnesses.
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("role,devices,rules,device_fractional,iface_fractional,rule_fractional,rule_weighted\n");
+        let mut out = String::from(
+            "role,devices,rules,device_fractional,iface_fractional,rule_fractional,rule_weighted\n",
+        );
         for row in &self.rows {
             out.push_str(&format!(
                 "{},{},{},{},{},{},{}\n",
@@ -172,9 +174,26 @@ mod tests {
         let h = t.add_iface(tor, "hosts", IfaceKind::Host);
         let (ts, st) = t.add_link(tor, spine);
         let mut n = Network::new(t);
-        n.add_rule(tor, Rule::forward("10.0.0.0/24".parse().unwrap(), vec![h], RouteClass::HostSubnet));
-        n.add_rule(tor, Rule::forward(Prefix::v4_default(), vec![ts], RouteClass::StaticDefault));
-        n.add_rule(spine, Rule::forward("10.0.0.0/24".parse().unwrap(), vec![st], RouteClass::HostSubnet));
+        n.add_rule(
+            tor,
+            Rule::forward(
+                "10.0.0.0/24".parse().unwrap(),
+                vec![h],
+                RouteClass::HostSubnet,
+            ),
+        );
+        n.add_rule(
+            tor,
+            Rule::forward(Prefix::v4_default(), vec![ts], RouteClass::StaticDefault),
+        );
+        n.add_rule(
+            spine,
+            Rule::forward(
+                "10.0.0.0/24".parse().unwrap(),
+                vec![st],
+                RouteClass::HostSubnet,
+            ),
+        );
         n.finalize();
         n
     }
@@ -263,7 +282,11 @@ impl ClassReport {
         ];
         let mut rows = Vec::new();
         for class in ORDER {
-            let rules = analyzer.network().rules().filter(|(_, r)| r.class == class).count();
+            let rules = analyzer
+                .network()
+                .rules()
+                .filter(|(_, r)| r.class == class)
+                .count();
             if rules == 0 {
                 continue;
             }
@@ -282,7 +305,11 @@ impl ClassReport {
 
 impl fmt::Display for ClassReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<16} {:>8} | {:>8} {:>8}", "route class", "rules", "rul(f)", "rul(w)")?;
+        writeln!(
+            f,
+            "{:<16} {:>8} | {:>8} {:>8}",
+            "route class", "rules", "rul(f)", "rul(w)"
+        )?;
         writeln!(f, "{}", "-".repeat(46))?;
         for row in &self.rows {
             writeln!(
@@ -318,7 +345,10 @@ mod class_tests {
         assert_eq!(total, ft.net.rule_count());
         // Paper fat-trees have host subnets + static defaults only.
         let classes: Vec<RouteClass> = report.rows.iter().map(|r| r.class).collect();
-        assert_eq!(classes, vec![RouteClass::StaticDefault, RouteClass::HostSubnet]);
+        assert_eq!(
+            classes,
+            vec![RouteClass::StaticDefault, RouteClass::HostSubnet]
+        );
     }
 
     #[test]
@@ -338,7 +368,10 @@ mod class_tests {
         let by = |c: RouteClass| report.rows.iter().find(|r| r.class == c).unwrap();
         assert_eq!(by(RouteClass::StaticDefault).rule_fractional, Some(1.0));
         assert_eq!(by(RouteClass::HostSubnet).rule_fractional, Some(0.0));
-        let _ = RuleId { device: netmodel::topology::DeviceId(0), index: 0 };
+        let _ = RuleId {
+            device: netmodel::topology::DeviceId(0),
+            index: 0,
+        };
         let text = report.to_string();
         assert!(text.contains("StaticDefault"));
         assert!(text.contains("100.0%"));

@@ -56,7 +56,10 @@ mod tests {
     use netmodel::topology::DeviceId;
 
     fn rid(d: u32, i: u32) -> RuleId {
-        RuleId { device: DeviceId(d), index: i }
+        RuleId {
+            device: DeviceId(d),
+            index: i,
+        }
     }
 
     #[test]

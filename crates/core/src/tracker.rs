@@ -41,13 +41,21 @@ impl Default for Tracker {
 impl Tracker {
     /// An enabled tracker with an empty trace.
     pub fn new() -> Tracker {
-        Tracker { trace: CoverageTrace::new(), enabled: true, packet_calls: 0, rule_calls: 0 }
+        Tracker {
+            trace: CoverageTrace::new(),
+            enabled: true,
+            packet_calls: 0,
+            rule_calls: 0,
+        }
     }
 
     /// A disabled tracker: both marking calls become no-ops. Used to
     /// measure baseline test time without coverage (§8.1).
     pub fn disabled() -> Tracker {
-        Tracker { enabled: false, ..Tracker::new() }
+        Tracker {
+            enabled: false,
+            ..Tracker::new()
+        }
     }
 
     pub fn is_enabled(&self) -> bool {
@@ -112,7 +120,10 @@ mod tests {
         let mut t = Tracker::new();
         let a = bdd.var(0);
         t.mark_packet(&mut bdd, Location::device(DeviceId(0)), a);
-        t.mark_rule(RuleId { device: DeviceId(0), index: 0 });
+        t.mark_rule(RuleId {
+            device: DeviceId(0),
+            index: 0,
+        });
         assert!(!t.trace().is_empty());
         assert_eq!(t.call_counts(), (1, 1));
     }
@@ -123,7 +134,10 @@ mod tests {
         let mut t = Tracker::disabled();
         let a = bdd.var(0);
         t.mark_packet(&mut bdd, Location::device(DeviceId(0)), a);
-        t.mark_rule(RuleId { device: DeviceId(0), index: 0 });
+        t.mark_rule(RuleId {
+            device: DeviceId(0),
+            index: 0,
+        });
         assert!(t.trace().is_empty());
         assert_eq!(t.call_counts(), (0, 0));
     }

@@ -129,7 +129,11 @@ pub fn semantic_diff(
         let changed = bdd.diff(either, agreement);
         if !changed.is_false() {
             let weight = bdd.probability(changed);
-            out.push(DeviceDiff { device, changed, weight });
+            out.push(DeviceDiff {
+                device,
+                changed,
+                weight,
+            });
         }
     }
     out
@@ -151,11 +155,19 @@ mod tests {
         let mut n = Network::new(t);
         n.add_rule(
             d,
-            Rule::forward("10.0.0.0/24".parse().unwrap(), vec![IfaceId(0)], RouteClass::HostSubnet),
+            Rule::forward(
+                "10.0.0.0/24".parse().unwrap(),
+                vec![IfaceId(0)],
+                RouteClass::HostSubnet,
+            ),
         );
         n.add_rule(
             d,
-            Rule::forward(Prefix::v4_default(), vec![IfaceId(1)], RouteClass::StaticDefault),
+            Rule::forward(
+                Prefix::v4_default(),
+                vec![IfaceId(1)],
+                RouteClass::StaticDefault,
+            ),
         );
         n.finalize();
         n
@@ -183,11 +195,19 @@ mod tests {
         let mut b = Network::new(t);
         b.add_rule(
             d,
-            Rule::forward(Prefix::v4_default(), vec![IfaceId(1)], RouteClass::StaticDefault),
+            Rule::forward(
+                Prefix::v4_default(),
+                vec![IfaceId(1)],
+                RouteClass::StaticDefault,
+            ),
         );
         b.add_rule(
             d,
-            Rule::forward("10.0.0.0/24".parse().unwrap(), vec![IfaceId(0)], RouteClass::HostSubnet),
+            Rule::forward(
+                "10.0.0.0/24".parse().unwrap(),
+                vec![IfaceId(0)],
+                RouteClass::HostSubnet,
+            ),
         );
         b.finalize();
         let mut bdd = Bdd::new();
@@ -266,7 +286,10 @@ mod tests {
         t.add_iface(d, "b", IfaceKind::External);
         let p: Prefix = "10.0.0.0/8".parse().unwrap();
         let mut old = Network::new(t.clone());
-        old.add_rule(d, Rule::forward(p, vec![IfaceId(0), IfaceId(1)], RouteClass::Other));
+        old.add_rule(
+            d,
+            Rule::forward(p, vec![IfaceId(0), IfaceId(1)], RouteClass::Other),
+        );
         old.finalize();
         let mut new = Network::new(t);
         new.add_rule(d, Rule::forward(p, vec![IfaceId(0)], RouteClass::Other));

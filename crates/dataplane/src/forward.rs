@@ -7,8 +7,8 @@
 //! and path enumeration are built on.
 
 use netbdd::{Bdd, Ref};
-use netmodel::{Action, IfaceId, IfaceKind, Location, MatchSets, Network, RuleId};
 use netmodel::topology::DeviceId;
+use netmodel::{Action, IfaceId, IfaceKind, Location, MatchSets, Network, RuleId};
 
 /// Where one matched subset of packets went.
 #[derive(Clone, Debug, PartialEq)]
@@ -103,17 +103,22 @@ impl<'n> Forwarder<'n> {
             }
             remaining = bdd.diff(remaining, matched);
             let outcomes = self.apply_action(bdd, &rule.action, matched);
-            transitions.push(Transition { rule: id, matched, outcomes });
+            transitions.push(Transition {
+                rule: id,
+                matched,
+                outcomes,
+            });
         }
-        StepResult { transitions, unmatched: remaining }
+        StepResult {
+            transitions,
+            unmatched: remaining,
+        }
     }
 
     fn apply_action(&self, bdd: &mut Bdd, action: &Action, matched: Ref) -> Vec<Outcome> {
         match action {
             Action::Drop => vec![Outcome::Dropped { packets: matched }],
-            Action::Forward(outs) => {
-                outs.iter().map(|&o| self.emit(bdd, o, matched)).collect()
-            }
+            Action::Forward(outs) => outs.iter().map(|&o| self.emit(bdd, o, matched)).collect(),
             Action::Rewrite(rw, outs) => {
                 let rewritten = rw.apply(bdd, matched);
                 outs.iter().map(|&o| self.emit(bdd, o, rewritten)).collect()
@@ -127,7 +132,10 @@ impl<'n> Forwarder<'n> {
             IfaceKind::P2p => match ifc.peer {
                 Some(peer) => {
                     let next_dev = self.net.topology().iface(peer).device;
-                    Outcome::Hop { next: Location::at(next_dev, peer), packets }
+                    Outcome::Hop {
+                        next: Location::at(next_dev, peer),
+                        packets,
+                    }
                 }
                 // A P2p interface with no peer is a dangling link: packets
                 // leave the model.
@@ -173,14 +181,28 @@ mod tests {
             net.add_rule(a, r);
         }
         net.finalize();
-        Fixture { net, a, b, host, ba }
+        Fixture {
+            net,
+            a,
+            b,
+            host,
+            ba,
+        }
     }
 
     #[test]
     fn step_splits_across_rules() {
         let fx = fixture(vec![
-            Rule::forward("10.0.0.0/24".parse().unwrap(), vec![IfaceId(0)], RouteClass::HostSubnet),
-            Rule::forward(Prefix::v4_default(), vec![IfaceId(2)], RouteClass::StaticDefault),
+            Rule::forward(
+                "10.0.0.0/24".parse().unwrap(),
+                vec![IfaceId(0)],
+                RouteClass::HostSubnet,
+            ),
+            Rule::forward(
+                Prefix::v4_default(),
+                vec![IfaceId(2)],
+                RouteClass::StaticDefault,
+            ),
         ]);
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&fx.net, &mut bdd);
@@ -218,14 +240,20 @@ mod tests {
 
     #[test]
     fn drop_rules_drop() {
-        let fx = fixture(vec![Rule::null_route(Prefix::v4_default(), RouteClass::StaticDefault)]);
+        let fx = fixture(vec![Rule::null_route(
+            Prefix::v4_default(),
+            RouteClass::StaticDefault,
+        )]);
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&fx.net, &mut bdd);
         let fwd = Forwarder::new(&fx.net, &ms);
         let full = bdd.full();
         let res = fwd.step(&mut bdd, fx.a, None, full);
         assert_eq!(res.transitions.len(), 1);
-        assert!(matches!(res.transitions[0].outcomes[0], Outcome::Dropped { .. }));
+        assert!(matches!(
+            res.transitions[0].outcomes[0],
+            Outcome::Dropped { .. }
+        ));
     }
 
     #[test]
@@ -256,7 +284,9 @@ mod tests {
         let fx = fixture(vec![Rule {
             matches: netmodel::MatchFields::dst_prefix(Prefix::v4_default()),
             action: Action::Rewrite(
-                Rewrite { set: vec![(HeaderField::Dst4, target)] },
+                Rewrite {
+                    set: vec![(HeaderField::Dst4, target)],
+                },
                 vec![IfaceId(2)],
             ),
             class: RouteClass::Other,
@@ -288,7 +318,10 @@ mod tests {
         net.add_rule(
             a,
             Rule {
-                matches: MatchFields { in_iface: Some(h1), ..MatchFields::default() },
+                matches: MatchFields {
+                    in_iface: Some(h1),
+                    ..MatchFields::default()
+                },
                 action: Action::Drop,
                 class: RouteClass::Other,
             },

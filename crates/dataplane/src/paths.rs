@@ -63,7 +63,11 @@ pub struct ExploreOpts {
 
 impl Default for ExploreOpts {
     fn default() -> Self {
-        ExploreOpts { max_hops: 64, emit_empty_paths: false, max_paths: u64::MAX }
+        ExploreOpts {
+            max_hops: 64,
+            emit_empty_paths: false,
+            max_paths: u64::MAX,
+        }
     }
 }
 
@@ -98,7 +102,17 @@ pub fn explore(
         if packets.is_false() {
             continue;
         }
-        dfs(bdd, fwd, start, start, packets, opts, &mut rules, &mut stats, &mut visitor);
+        dfs(
+            bdd,
+            fwd,
+            start,
+            start,
+            packets,
+            opts,
+            &mut rules,
+            &mut stats,
+            &mut visitor,
+        );
         rules.clear();
         if stats.paths >= opts.max_paths {
             break;
@@ -135,12 +149,28 @@ fn dfs(
         return;
     }
     if rules.len() >= opts.max_hops {
-        emit(bdd, start, rules, Terminal::Truncated, packets, stats, visitor);
+        emit(
+            bdd,
+            start,
+            rules,
+            Terminal::Truncated,
+            packets,
+            stats,
+            visitor,
+        );
         return;
     }
     let step = fwd.step(bdd, loc.device, loc.iface, packets);
     if !step.unmatched.is_false() && (!rules.is_empty() || opts.emit_empty_paths) {
-        emit(bdd, start, rules, Terminal::Unmatched, step.unmatched, stats, visitor);
+        emit(
+            bdd,
+            start,
+            rules,
+            Terminal::Unmatched,
+            step.unmatched,
+            stats,
+            visitor,
+        );
     }
     for t in step.transitions {
         rules.push(t.rule);
@@ -150,13 +180,37 @@ fn dfs(
                     dfs(bdd, fwd, start, next, packets, opts, rules, stats, visitor);
                 }
                 Outcome::Delivered { iface, packets } => {
-                    emit(bdd, start, rules, Terminal::Delivered { iface }, packets, stats, visitor);
+                    emit(
+                        bdd,
+                        start,
+                        rules,
+                        Terminal::Delivered { iface },
+                        packets,
+                        stats,
+                        visitor,
+                    );
                 }
                 Outcome::Exited { iface, packets } => {
-                    emit(bdd, start, rules, Terminal::Exited { iface }, packets, stats, visitor);
+                    emit(
+                        bdd,
+                        start,
+                        rules,
+                        Terminal::Exited { iface },
+                        packets,
+                        stats,
+                        visitor,
+                    );
                 }
                 Outcome::Dropped { packets } => {
-                    emit(bdd, start, rules, Terminal::Dropped, packets, stats, visitor);
+                    emit(
+                        bdd,
+                        start,
+                        rules,
+                        Terminal::Dropped,
+                        packets,
+                        stats,
+                        visitor,
+                    );
                 }
             }
         }
@@ -182,7 +236,12 @@ fn emit(
         Terminal::Unmatched => stats.unmatched += 1,
         Terminal::Truncated => stats.truncated += 1,
     }
-    let event = PathEvent { start, rules, terminal, final_set };
+    let event = PathEvent {
+        start,
+        rules,
+        terminal,
+        final_set,
+    };
     visitor(bdd, &event);
 }
 
@@ -227,13 +286,19 @@ mod tests {
         let fwd = Forwarder::new(&net, &ms);
         let p = header::dst_in(&mut bdd, &"10.0.0.0/24".parse().unwrap());
         let mut lengths = Vec::new();
-        let stats = explore(&mut bdd, &fwd, &[(start, p)], &ExploreOpts::default(), |bdd, ev| {
-            if let Terminal::Delivered { iface } = ev.terminal {
-                assert_eq!(iface, egress);
-                assert!(bdd.equal(ev.final_set, p));
-                lengths.push(ev.rules.len());
-            }
-        });
+        let stats = explore(
+            &mut bdd,
+            &fwd,
+            &[(start, p)],
+            &ExploreOpts::default(),
+            |bdd, ev| {
+                if let Terminal::Delivered { iface } = ev.terminal {
+                    assert_eq!(iface, egress);
+                    assert!(bdd.equal(ev.final_set, p));
+                    lengths.push(ev.rules.len());
+                }
+            },
+        );
         assert_eq!(stats.delivered, 2);
         assert_eq!(lengths, vec![3, 3]);
         assert_eq!(stats.truncated, 0);
@@ -246,7 +311,10 @@ mod tests {
         let ms = MatchSets::compute(&net, &mut bdd);
         let fwd = Forwarder::new(&net, &ms);
         let full = bdd.full();
-        let opts = ExploreOpts { emit_empty_paths: true, ..ExploreOpts::default() };
+        let opts = ExploreOpts {
+            emit_empty_paths: true,
+            ..ExploreOpts::default()
+        };
         let stats = explore(&mut bdd, &fwd, &[(start, full)], &opts, |_, _| {});
         // Everything outside 10.0.0.0/24 dies at `a` with no rules.
         assert_eq!(stats.unmatched, 1);
@@ -261,8 +329,14 @@ mod tests {
         let ingress = t.add_iface(a, "in", IfaceKind::Host);
         let (ab, _) = t.add_link(a, b);
         let mut net = Network::new(t);
-        net.add_rule(a, Rule::forward(Prefix::v4_default(), vec![ab], RouteClass::StaticDefault));
-        net.add_rule(b, Rule::null_route(Prefix::v4_default(), RouteClass::StaticDefault));
+        net.add_rule(
+            a,
+            Rule::forward(Prefix::v4_default(), vec![ab], RouteClass::StaticDefault),
+        );
+        net.add_rule(
+            b,
+            Rule::null_route(Prefix::v4_default(), RouteClass::StaticDefault),
+        );
         net.finalize();
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&net, &mut bdd);
@@ -289,16 +363,30 @@ mod tests {
         let ingress = t.add_iface(a, "in", IfaceKind::Host);
         let (ab, ba) = t.add_link(a, b);
         let mut net = Network::new(t);
-        net.add_rule(a, Rule::forward(Prefix::v4_default(), vec![ab], RouteClass::StaticDefault));
-        net.add_rule(b, Rule::forward(Prefix::v4_default(), vec![ba], RouteClass::StaticDefault));
+        net.add_rule(
+            a,
+            Rule::forward(Prefix::v4_default(), vec![ab], RouteClass::StaticDefault),
+        );
+        net.add_rule(
+            b,
+            Rule::forward(Prefix::v4_default(), vec![ba], RouteClass::StaticDefault),
+        );
         net.finalize();
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&net, &mut bdd);
         let fwd = Forwarder::new(&net, &ms);
         let v4 = header::family_is(&mut bdd, netmodel::Family::V4);
-        let opts = ExploreOpts { max_hops: 10, ..ExploreOpts::default() };
-        let stats =
-            explore(&mut bdd, &fwd, &[(Location::at(a, ingress), v4)], &opts, |_, _| {});
+        let opts = ExploreOpts {
+            max_hops: 10,
+            ..ExploreOpts::default()
+        };
+        let stats = explore(
+            &mut bdd,
+            &fwd,
+            &[(Location::at(a, ingress), v4)],
+            &opts,
+            |_, _| {},
+        );
         assert_eq!(stats.truncated, 1);
         assert_eq!(stats.max_len, 10);
     }
@@ -321,7 +409,10 @@ mod tests {
         let ms = MatchSets::compute(&net, &mut bdd);
         let fwd = Forwarder::new(&net, &ms);
         let starts = edge_starts(&mut bdd, &fwd);
-        let opts = ExploreOpts { emit_empty_paths: true, ..ExploreOpts::default() };
+        let opts = ExploreOpts {
+            emit_empty_paths: true,
+            ..ExploreOpts::default()
+        };
         let stats = explore(&mut bdd, &fwd, &starts, &opts, |_, _| {});
         assert_eq!(
             stats.paths,

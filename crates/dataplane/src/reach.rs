@@ -43,7 +43,12 @@ impl ReachResult {
 
     /// Union of all packets delivered out a specific interface.
     pub fn delivered_at(&self, bdd: &mut Bdd, iface: IfaceId) -> Ref {
-        bdd.or_all(self.delivered.iter().filter(|&&(i, _)| i == iface).map(|&(_, p)| p))
+        bdd.or_all(
+            self.delivered
+                .iter()
+                .filter(|&&(i, _)| i == iface)
+                .map(|&(_, p)| p),
+        )
     }
 
     /// Union of everything that exited the network.
@@ -94,7 +99,10 @@ pub fn reach(
                 result.exercised.push((t.rule, t.matched));
                 for o in t.outcomes {
                     match o {
-                        Outcome::Hop { next: nloc, packets } => {
+                        Outcome::Hop {
+                            next: nloc,
+                            packets,
+                        } => {
                             let e = next.entry(nloc).or_insert(Ref::FALSE);
                             *e = bdd.or(*e, packets);
                         }
@@ -140,15 +148,25 @@ mod tests {
         let mut net = Network::new(t);
         // tor1: own prefix to hosts, everything else up.
         net.add_rule(tor1, Rule::forward(p1, vec![h1], RouteClass::HostSubnet));
-        net.add_rule(tor1, Rule::forward(Prefix::v4_default(), vec![t1s], RouteClass::StaticDefault));
+        net.add_rule(
+            tor1,
+            Rule::forward(Prefix::v4_default(), vec![t1s], RouteClass::StaticDefault),
+        );
         // spine: both prefixes down.
         net.add_rule(spine, Rule::forward(p1, vec![st1], RouteClass::HostSubnet));
         net.add_rule(spine, Rule::forward(p2, vec![st2], RouteClass::HostSubnet));
         // tor2: own prefix to hosts, everything else up.
         net.add_rule(tor2, Rule::forward(p2, vec![h2], RouteClass::HostSubnet));
-        net.add_rule(tor2, Rule::forward(Prefix::v4_default(), vec![t2s], RouteClass::StaticDefault));
+        net.add_rule(
+            tor2,
+            Rule::forward(Prefix::v4_default(), vec![t2s], RouteClass::StaticDefault),
+        );
         net.finalize();
-        (net, vec![tor1, spine, tor2], vec![h1, h2, t1s, st1, t2s, st2])
+        (
+            net,
+            vec![tor1, spine, tor2],
+            vec![h1, h2, t1s, st1, t2s, st2],
+        )
     }
 
     #[test]
@@ -197,7 +215,10 @@ mod tests {
         let res = reach(&mut bdd, &fwd, Location::device(devs[0]), v4, 16);
         assert!(!res.exercised.is_empty());
         for (rule, subset) in &res.exercised {
-            assert!(bdd.subset(*subset, ms.get(*rule)), "exercised beyond match set");
+            assert!(
+                bdd.subset(*subset, ms.get(*rule)),
+                "exercised beyond match set"
+            );
         }
     }
 
@@ -209,8 +230,14 @@ mod tests {
         let b = t.add_device("b", Role::Spine);
         let (ab, ba) = t.add_link(a, b);
         let mut net = Network::new(t);
-        net.add_rule(a, Rule::forward(Prefix::v4_default(), vec![ab], RouteClass::StaticDefault));
-        net.add_rule(b, Rule::forward(Prefix::v4_default(), vec![ba], RouteClass::StaticDefault));
+        net.add_rule(
+            a,
+            Rule::forward(Prefix::v4_default(), vec![ab], RouteClass::StaticDefault),
+        );
+        net.add_rule(
+            b,
+            Rule::forward(Prefix::v4_default(), vec![ba], RouteClass::StaticDefault),
+        );
         net.finalize();
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&net, &mut bdd);
@@ -228,7 +255,10 @@ mod tests {
         let mut t = Topology::new();
         let a = t.add_device("a", Role::Border);
         let mut net = Network::new(t);
-        net.add_rule(a, Rule::null_route(Prefix::v4_default(), RouteClass::StaticDefault));
+        net.add_rule(
+            a,
+            Rule::null_route(Prefix::v4_default(), RouteClass::StaticDefault),
+        );
         net.finalize();
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&net, &mut bdd);

@@ -76,14 +76,24 @@ pub fn traceroute(
     let mut pkt = packet;
     for _ in 0..max_hops {
         let Some((rule_id, rule)) = lookup(net, ms, bdd, loc, &pkt) else {
-            return TraceResult { hops, outcome: TraceOutcome::Unmatched { device: loc.device } };
+            return TraceResult {
+                hops,
+                outcome: TraceOutcome::Unmatched { device: loc.device },
+            };
         };
-        hops.push(Hop { location: loc, rule: rule_id, packet: pkt });
+        hops.push(Hop {
+            location: loc,
+            rule: rule_id,
+            packet: pkt,
+        });
         let (out_ifaces, rewritten) = match &rule.action {
             Action::Drop => {
                 return TraceResult {
                     hops,
-                    outcome: TraceOutcome::Dropped { device: loc.device, rule: rule_id },
+                    outcome: TraceOutcome::Dropped {
+                        device: loc.device,
+                        rule: rule_id,
+                    },
                 };
             }
             Action::Forward(outs) => (outs, pkt),
@@ -104,13 +114,19 @@ pub fn traceroute(
             IfaceKind::Host | IfaceKind::Loopback => {
                 return TraceResult {
                     hops,
-                    outcome: TraceOutcome::Delivered { device: loc.device, iface },
+                    outcome: TraceOutcome::Delivered {
+                        device: loc.device,
+                        iface,
+                    },
                 };
             }
             IfaceKind::External => {
                 return TraceResult {
                     hops,
-                    outcome: TraceOutcome::Exited { device: loc.device, iface },
+                    outcome: TraceOutcome::Exited {
+                        device: loc.device,
+                        iface,
+                    },
                 };
             }
             IfaceKind::P2p => match ifc.peer {
@@ -120,13 +136,19 @@ pub fn traceroute(
                 None => {
                     return TraceResult {
                         hops,
-                        outcome: TraceOutcome::Exited { device: loc.device, iface },
+                        outcome: TraceOutcome::Exited {
+                            device: loc.device,
+                            iface,
+                        },
                     };
                 }
             },
         }
     }
-    TraceResult { hops, outcome: TraceOutcome::HopLimit }
+    TraceResult {
+        hops,
+        outcome: TraceOutcome::HopLimit,
+    }
 }
 
 /// First-match lookup of a concrete packet in a device table.
@@ -229,11 +251,17 @@ mod tests {
         let ms = MatchSets::compute(&net, &mut bdd);
         let mut via = std::collections::HashSet::new();
         for i in 0..64 {
-            let pkt = Packet { sport: 1000 + i, ..Packet::v4_to(ipv4(10, 0, 0, 9)) };
+            let pkt = Packet {
+                sport: 1000 + i,
+                ..Packet::v4_to(ipv4(10, 0, 0, 9))
+            };
             let res = traceroute(&mut bdd, &net, &ms, Location::device(a), pkt, 16);
             via.insert(res.devices()[1]);
         }
-        assert!(via.contains(&b) && via.contains(&c), "hashing never used one leg");
+        assert!(
+            via.contains(&b) && via.contains(&c),
+            "hashing never used one leg"
+        );
     }
 
     #[test]
@@ -254,13 +282,25 @@ mod tests {
         let b = t.add_device("b", Role::Spine);
         let (ab, ba) = t.add_link(a, b);
         let mut net = Network::new(t);
-        net.add_rule(a, Rule::forward(Prefix::v4_default(), vec![ab], RouteClass::StaticDefault));
-        net.add_rule(b, Rule::forward(Prefix::v4_default(), vec![ba], RouteClass::StaticDefault));
+        net.add_rule(
+            a,
+            Rule::forward(Prefix::v4_default(), vec![ab], RouteClass::StaticDefault),
+        );
+        net.add_rule(
+            b,
+            Rule::forward(Prefix::v4_default(), vec![ba], RouteClass::StaticDefault),
+        );
         net.finalize();
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&net, &mut bdd);
-        let res =
-            traceroute(&mut bdd, &net, &ms, Location::device(a), Packet::v4_to(1), 8);
+        let res = traceroute(
+            &mut bdd,
+            &net,
+            &ms,
+            Location::device(a),
+            Packet::v4_to(1),
+            8,
+        );
         assert_eq!(res.outcome, TraceOutcome::HopLimit);
         assert_eq!(res.hops.len(), 8);
     }
@@ -280,17 +320,29 @@ mod tests {
             Rule {
                 matches: MatchFields::dst_prefix(Prefix::v4_default()),
                 action: netmodel::Action::Rewrite(
-                    Rewrite { set: vec![(HeaderField::Dst4, target as u128)] },
+                    Rewrite {
+                        set: vec![(HeaderField::Dst4, target as u128)],
+                    },
                     vec![ab],
                 ),
                 class: RouteClass::Other,
             },
         );
-        net.add_rule(b, Rule::forward(Prefix::host_v4(target), vec![out], RouteClass::HostSubnet));
+        net.add_rule(
+            b,
+            Rule::forward(Prefix::host_v4(target), vec![out], RouteClass::HostSubnet),
+        );
         net.finalize();
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&net, &mut bdd);
-        let res = traceroute(&mut bdd, &net, &ms, Location::device(a), Packet::v4_to(1), 8);
+        let res = traceroute(
+            &mut bdd,
+            &net,
+            &ms,
+            Location::device(a),
+            Packet::v4_to(1),
+            8,
+        );
         assert!(res.delivered());
         assert_eq!(res.hops[1].packet.dst, target as u128);
         // Hop 0 records the pre-rewrite packet.
@@ -302,11 +354,21 @@ mod tests {
         let mut t = Topology::new();
         let a = t.add_device("a", Role::Border);
         let mut net = Network::new(t);
-        net.add_rule(a, Rule::null_route(Prefix::v4_default(), RouteClass::StaticDefault));
+        net.add_rule(
+            a,
+            Rule::null_route(Prefix::v4_default(), RouteClass::StaticDefault),
+        );
         net.finalize();
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&net, &mut bdd);
-        let res = traceroute(&mut bdd, &net, &ms, Location::device(a), Packet::v4_to(5), 8);
+        let res = traceroute(
+            &mut bdd,
+            &net,
+            &ms,
+            Location::device(a),
+            Packet::v4_to(5),
+            8,
+        );
         match res.outcome {
             TraceOutcome::Dropped { device, rule } => {
                 assert_eq!(device, a);

@@ -1,0 +1,206 @@
+//! Differential tests against the `oracle` crate: random toy networks are
+//! embedded into the real model, and the dataplane engines must agree
+//! with the oracle's per-packet hop-by-hop walks —
+//!
+//! * `traceroute` on ECMP-free networks reproduces the oracle's unique
+//!   walk exactly (hop sequence and outcome);
+//! * `explore`'s symbolic path universe, sliced down to one concrete
+//!   packet, is the same multiset of (rule sequence, terminal) as the
+//!   oracle's depth-first ECMP walk enumeration.
+
+use dataplane::forward::Forwarder;
+use dataplane::paths::{explore, ExploreOpts, Terminal};
+use dataplane::traceroute::{traceroute, TraceOutcome};
+use netbdd::Bdd;
+use netmodel::topology::DeviceId;
+use netmodel::{Location, MatchSets, RuleId};
+use oracle::embed::{embed_net, embed_packet};
+use oracle::{ToyIfaceKind, ToyNet, ToyPrefix, ToyRule, ToySpace, WalkEnd};
+use proptest::prelude::*;
+
+const MAX_HOPS: usize = 12;
+
+fn space() -> ToySpace {
+    ToySpace::new(4, 2, 1)
+}
+
+/// One device's spec: the raw parent selector (device 0 ignores it) and
+/// its rules as `(dst_len, raw_dst, iface_selector, drop)`.
+type DeviceSpec = (u32, Vec<(u32, u32, u32, bool)>);
+
+fn arb_device(max_rules: usize) -> impl Strategy<Value = DeviceSpec> {
+    (
+        any::<u32>(),
+        prop::collection::vec(
+            (0u32..=4, any::<u32>(), any::<u32>(), any::<bool>()),
+            1..max_rules,
+        ),
+    )
+}
+
+fn prefix(raw: u32, len: u32) -> ToyPrefix {
+    ToyPrefix::new(if len == 0 { 0 } else { raw & ((1 << len) - 1) }, len)
+}
+
+/// Build a random tree-shaped toy network: device 0 is the root, each
+/// later device links to a random earlier one, and every device gets a
+/// host interface. `ecmp` controls whether forward rules may carry
+/// multiple legs (a bitmask over the device's interfaces) or exactly one.
+fn build_net(specs: &[DeviceSpec], ecmp: bool) -> ToyNet {
+    let mut net = ToyNet::new();
+    let mut dev_ifaces: Vec<Vec<u32>> = Vec::new();
+    for (d, (parent_raw, _)) in specs.iter().enumerate() {
+        let dev = net.add_device();
+        let host = net.add_iface(dev, ToyIfaceKind::Host);
+        dev_ifaces.push(vec![host]);
+        if d > 0 {
+            let parent = (*parent_raw as usize) % d;
+            let (pi, ci) = net.add_link(parent, dev);
+            dev_ifaces[parent].push(pi);
+            dev_ifaces[d].push(ci);
+        }
+    }
+    for (d, (_, rules)) in specs.iter().enumerate() {
+        for &(dst_len, raw_dst, iface_sel, drop) in rules {
+            let action = if drop {
+                oracle::ToyAction::Drop
+            } else if ecmp {
+                // Nonempty leg subset from the selector bits.
+                let n = dev_ifaces[d].len() as u32;
+                let mask = (iface_sel % ((1 << n) - 1)) + 1;
+                let legs = dev_ifaces[d]
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &ifc)| ifc)
+                    .collect();
+                oracle::ToyAction::Forward(legs)
+            } else {
+                let pick = dev_ifaces[d][(iface_sel as usize) % dev_ifaces[d].len()];
+                oracle::ToyAction::Forward(vec![pick])
+            };
+            net.add_rule(
+                d,
+                ToyRule {
+                    dst: Some(prefix(raw_dst, dst_len)),
+                    src: None,
+                    proto: None,
+                    action,
+                },
+            );
+        }
+    }
+    net.finalize();
+    net
+}
+
+/// A comparable fingerprint of how a path ended: discriminant plus the
+/// interface (for delivery/exit) or the rule-sequence already pins the
+/// rest.
+fn end_key(end: &WalkEnd) -> (u8, u32) {
+    match end {
+        WalkEnd::Delivered { iface, .. } => (0, *iface),
+        WalkEnd::Exited { iface, .. } => (1, *iface),
+        WalkEnd::Dropped { .. } => (2, u32::MAX),
+        WalkEnd::Unmatched { .. } => (3, u32::MAX),
+        WalkEnd::HopLimit => (4, u32::MAX),
+    }
+}
+
+fn terminal_key(t: &Terminal) -> (u8, u32) {
+    match t {
+        Terminal::Delivered { iface } => (0, iface.0),
+        Terminal::Exited { iface } => (1, iface.0),
+        Terminal::Dropped => (2, u32::MAX),
+        Terminal::Unmatched => (3, u32::MAX),
+        Terminal::Truncated => (4, u32::MAX),
+    }
+}
+
+fn hops_to_ids(hops: &[(usize, usize)]) -> Vec<RuleId> {
+    hops.iter()
+        .map(|&(d, i)| RuleId {
+            device: DeviceId(d as u32),
+            index: i as u32,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Concrete traceroute replays the oracle's unique walk on ECMP-free
+    /// networks: same rule at every hop, same ending.
+    #[test]
+    fn traceroute_agrees_with_oracle_walk(
+        specs in prop::collection::vec(arb_device(4), 1..4)
+    ) {
+        let s = space();
+        let net = build_net(&specs, false);
+        let real = embed_net(&s, &net);
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&real, &mut bdd);
+        for p in s.packets() {
+            let walk = net.walk(&s, 0, p, MAX_HOPS);
+            let res = traceroute(
+                &mut bdd, &real, &ms,
+                Location::device(DeviceId(0)),
+                embed_packet(&s, p),
+                MAX_HOPS,
+            );
+            let real_hops: Vec<RuleId> = res.hops.iter().map(|h| h.rule).collect();
+            prop_assert_eq!(&real_hops, &hops_to_ids(&walk.hops), "packet {:#x}", p);
+            let real_end = match res.outcome {
+                TraceOutcome::Delivered { iface, .. } => (0u8, iface.0),
+                TraceOutcome::Exited { iface, .. } => (1, iface.0),
+                TraceOutcome::Dropped { .. } => (2, u32::MAX),
+                TraceOutcome::Unmatched { .. } => (3, u32::MAX),
+                TraceOutcome::HopLimit => (4, u32::MAX),
+            };
+            prop_assert_eq!(real_end, end_key(&walk.end), "packet {:#x}", p);
+        }
+    }
+
+    /// The symbolic path universe, restricted to any one concrete packet,
+    /// is exactly the oracle's set of ECMP walks for that packet.
+    #[test]
+    fn explore_agrees_with_oracle_walks(
+        specs in prop::collection::vec(arb_device(3), 1..4)
+    ) {
+        let s = space();
+        let net = build_net(&specs, true);
+        let real = embed_net(&s, &net);
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&real, &mut bdd);
+        let fwd = Forwarder::new(&real, &ms);
+        let full = bdd.full();
+        let opts = ExploreOpts {
+            max_hops: MAX_HOPS,
+            emit_empty_paths: true,
+            ..ExploreOpts::default()
+        };
+        let mut events: Vec<(Vec<RuleId>, (u8, u32), netbdd::Ref)> = Vec::new();
+        explore(
+            &mut bdd, &fwd,
+            &[(Location::device(DeviceId(0)), full)],
+            &opts,
+            |_, ev| events.push((ev.rules.to_vec(), terminal_key(&ev.terminal), ev.final_set)),
+        );
+        for p in s.packets() {
+            let pkt = embed_packet(&s, p);
+            let mut symbolic: Vec<(Vec<RuleId>, (u8, u32))> = events
+                .iter()
+                .filter(|(_, _, set)| pkt.matches(&bdd, *set))
+                .map(|(rules, term, _)| (rules.clone(), *term))
+                .collect();
+            let mut concrete: Vec<(Vec<RuleId>, (u8, u32))> = net
+                .walks(&s, 0, p, MAX_HOPS)
+                .iter()
+                .map(|w| (hops_to_ids(&w.hops), end_key(&w.end)))
+                .collect();
+            symbolic.sort();
+            concrete.sort();
+            prop_assert_eq!(&symbolic, &concrete, "packet {:#x}", p);
+        }
+    }
+}

@@ -23,31 +23,45 @@ struct Chain {
 }
 
 fn arb_chain() -> impl Strategy<Value = Chain> {
-    prop::collection::vec((any::<u32>(), 4u8..=28), 1..5)
-        .prop_map(|ps| Chain { prefixes: ps.into_iter().map(|(a, l)| Prefix::v4(a, l)).collect() })
+    prop::collection::vec((any::<u32>(), 4u8..=28), 1..5).prop_map(|ps| Chain {
+        prefixes: ps.into_iter().map(|(a, l)| Prefix::v4(a, l)).collect(),
+    })
 }
 
 fn build(chain: &Chain) -> (Network, Vec<DeviceId>, Vec<IfaceId>) {
     let n = chain.prefixes.len();
     let mut t = Topology::new();
-    let devs: Vec<DeviceId> =
-        (0..n).map(|i| t.add_device(format!("d{i}"), Role::Other)).collect();
-    let hosts: Vec<IfaceId> =
-        devs.iter().map(|&d| t.add_iface(d, "host", IfaceKind::Host)).collect();
+    let devs: Vec<DeviceId> = (0..n)
+        .map(|i| t.add_device(format!("d{i}"), Role::Other))
+        .collect();
+    let hosts: Vec<IfaceId> = devs
+        .iter()
+        .map(|&d| t.add_iface(d, "host", IfaceKind::Host))
+        .collect();
     let mut links = Vec::new();
     for w in devs.windows(2) {
         links.push(t.add_link(w[0], w[1]));
     }
     let mut net = Network::new(t);
     for (i, &d) in devs.iter().enumerate() {
-        net.add_rule(d, Rule::forward(chain.prefixes[i], vec![hosts[i]], RouteClass::HostSubnet));
+        net.add_rule(
+            d,
+            Rule::forward(chain.prefixes[i], vec![hosts[i]], RouteClass::HostSubnet),
+        );
         if i + 1 < n {
             net.add_rule(
                 d,
-                Rule::forward(Prefix::v4_default(), vec![links[i].0], RouteClass::StaticDefault),
+                Rule::forward(
+                    Prefix::v4_default(),
+                    vec![links[i].0],
+                    RouteClass::StaticDefault,
+                ),
             );
         } else {
-            net.add_rule(d, Rule::null_route(Prefix::v4_default(), RouteClass::StaticDefault));
+            net.add_rule(
+                d,
+                Rule::null_route(Prefix::v4_default(), RouteClass::StaticDefault),
+            );
         }
     }
     net.finalize();

@@ -57,7 +57,11 @@ impl Bdd {
         if lo > hi {
             return Ref::FALSE;
         }
-        let max = if width == 128 { u128::MAX } else { (1u128 << width) - 1 };
+        let max = if width == 128 {
+            u128::MAX
+        } else {
+            (1u128 << width) - 1
+        };
         assert!(hi <= max, "hi does not fit in width");
         let ge = self.int_ge(start, width, lo);
         let le = self.int_le(start, width, hi);
@@ -87,7 +91,11 @@ impl Bdd {
 
     /// Threshold constraint `x <= bound` over MSB-first bits.
     pub fn int_le(&mut self, start: Var, width: u32, bound: u128) -> Ref {
-        let max = if width == 128 { u128::MAX } else { (1u128 << width) - 1 };
+        let max = if width == 128 {
+            u128::MAX
+        } else {
+            (1u128 << width) - 1
+        };
         if bound >= max {
             return Ref::TRUE;
         }

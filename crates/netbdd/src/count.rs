@@ -80,36 +80,63 @@ impl Bdd {
     /// tests a variable outside the declared domain.
     pub fn sat_count(&self, f: Ref, nvars: u32) -> u128 {
         assert!(nvars <= 127, "sat_count domain too wide; use probability()");
-        let mut memo: HashMap<Ref, u128> = HashMap::new();
-        // count(r) = satisfying assignments over variables [var(r)..nvars),
-        // scaled at the call site for variables skipped above the root.
-        fn rec(bdd: &Bdd, r: Ref, nvars: u32, memo: &mut HashMap<Ref, u128>) -> u128 {
-            // Returns count over vars strictly below (>=) var(r).
-            if r.is_false() {
-                return 0;
-            }
-            if r.is_true() {
-                return 1;
-            }
-            if let Some(&c) = memo.get(&r) {
-                return c;
-            }
-            let n = bdd.node(r);
-            assert!(n.var < nvars, "sat_count: variable {} outside domain {}", n.var, nvars);
-            let lo = rec(bdd, n.lo, nvars, memo) << skipped(bdd, n.lo, n.var, nvars);
-            let hi = rec(bdd, n.hi, nvars, memo) << skipped(bdd, n.hi, n.var, nvars);
-            let c = lo + hi;
-            memo.insert(r, c);
-            c
+        if f.is_false() {
+            return 0;
         }
+        if f.is_true() {
+            return 1u128 << nvars;
+        }
+        // Iterative post-order with an explicit stack, like `probability`:
+        // deep diagrams (long prefix chains, unions of many rules) would
+        // overflow the call stack under naive recursion. memo[r] holds the
+        // count over variables `[var(r)..nvars)`; skipped levels between a
+        // node and its children scale the child counts, and levels skipped
+        // above the root are applied at the end.
+        let mut memo: HashMap<Ref, u128> = HashMap::new();
         // Number of variable levels skipped between parent var `v` and
         // child `r` (exclusive of both tested levels).
-        fn skipped(bdd: &Bdd, r: Ref, v: Var, nvars: u32) -> u32 {
-            let child_var = bdd.root_var(r).unwrap_or(nvars);
-            child_var - v - 1
+        let skipped = |r: Ref, v: Var| self.root_var(r).unwrap_or(nvars) - v - 1;
+        let lookup = |memo: &HashMap<Ref, u128>, r: Ref| {
+            if r.is_false() {
+                Some(0)
+            } else if r.is_true() {
+                Some(1)
+            } else {
+                memo.get(&r).copied()
+            }
+        };
+        let mut stack = vec![f];
+        while let Some(&r) = stack.last() {
+            if memo.contains_key(&r) {
+                stack.pop();
+                continue;
+            }
+            let n = self.node(r);
+            assert!(
+                n.var < nvars,
+                "sat_count: variable {} outside domain {}",
+                n.var,
+                nvars
+            );
+            let lo = lookup(&memo, n.lo);
+            let hi = lookup(&memo, n.hi);
+            match (lo, hi) {
+                (Some(lc), Some(hc)) => {
+                    let c = (lc << skipped(n.lo, n.var)) + (hc << skipped(n.hi, n.var));
+                    memo.insert(r, c);
+                    stack.pop();
+                }
+                _ => {
+                    if lo.is_none() {
+                        stack.push(n.lo);
+                    }
+                    if hi.is_none() {
+                        stack.push(n.hi);
+                    }
+                }
+            }
         }
-        let top = self.root_var(f).unwrap_or(nvars);
-        rec(self, f, nvars, &mut memo) << top
+        memo[&f] << self.root_var(f).unwrap_or(nvars)
     }
 }
 

@@ -174,7 +174,9 @@ impl Bdd {
             return;
         }
         if f.is_true() {
-            out.push(Cube { literals: literals.clone() });
+            out.push(Cube {
+                literals: literals.clone(),
+            });
             return;
         }
         let n = self.node(f);

@@ -1,7 +1,5 @@
 //! The BDD manager: arena, unique table, ITE engine, and set algebra.
 
-
-
 use crate::fxhash::FxHashMap;
 use crate::node::{Node, Ref, Var, TERMINAL_VAR};
 
@@ -35,8 +33,16 @@ impl Bdd {
         let terminals = vec![
             // Index 0: FALSE, index 1: TRUE. Terminal nodes are never
             // looked up through the unique table; their fields are inert.
-            Node { var: TERMINAL_VAR, lo: Ref::FALSE, hi: Ref::FALSE },
-            Node { var: TERMINAL_VAR, lo: Ref::TRUE, hi: Ref::TRUE },
+            Node {
+                var: TERMINAL_VAR,
+                lo: Ref::FALSE,
+                hi: Ref::FALSE,
+            },
+            Node {
+                var: TERMINAL_VAR,
+                lo: Ref::TRUE,
+                hi: Ref::TRUE,
+            },
         ];
         Bdd {
             nodes: terminals,

@@ -43,15 +43,31 @@ impl Prefix {
     /// Construct a canonical IPv4 prefix. Bits beyond `len` are masked off.
     pub fn v4(addr: u32, len: u8) -> Prefix {
         assert!(len <= 32, "IPv4 prefix length out of range");
-        let masked = if len == 0 { 0 } else { (addr >> (32 - len)) << (32 - len) };
-        Prefix { family: Family::V4, bits: masked as u128, len }
+        let masked = if len == 0 {
+            0
+        } else {
+            (addr >> (32 - len)) << (32 - len)
+        };
+        Prefix {
+            family: Family::V4,
+            bits: masked as u128,
+            len,
+        }
     }
 
     /// Construct a canonical IPv6 prefix. Bits beyond `len` are masked off.
     pub fn v6(addr: u128, len: u8) -> Prefix {
         assert!(len <= 128, "IPv6 prefix length out of range");
-        let masked = if len == 0 { 0 } else { (addr >> (128 - len)) << (128 - len) };
-        Prefix { family: Family::V6, bits: masked, len }
+        let masked = if len == 0 {
+            0
+        } else {
+            (addr >> (128 - len)) << (128 - len)
+        };
+        Prefix {
+            family: Family::V6,
+            bits: masked,
+            len,
+        }
     }
 
     /// The IPv4 default route `0.0.0.0/0`.
@@ -78,6 +94,9 @@ impl Prefix {
         self.bits
     }
 
+    /// Prefix length in bits — not a container size, so there is no
+    /// corresponding `is_empty` (a `/0` is the default route, not empty).
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -261,10 +280,22 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        assert_eq!("10.0.0.0".parse::<Prefix>(), Err(ParsePrefixError::MissingSlash));
-        assert_eq!("banana/8".parse::<Prefix>(), Err(ParsePrefixError::BadAddress));
-        assert_eq!("10.0.0.0/33".parse::<Prefix>(), Err(ParsePrefixError::BadLength));
-        assert_eq!("10.0.0.0/x".parse::<Prefix>(), Err(ParsePrefixError::BadLength));
+        assert_eq!(
+            "10.0.0.0".parse::<Prefix>(),
+            Err(ParsePrefixError::MissingSlash)
+        );
+        assert_eq!(
+            "banana/8".parse::<Prefix>(),
+            Err(ParsePrefixError::BadAddress)
+        );
+        assert_eq!(
+            "10.0.0.0/33".parse::<Prefix>(),
+            Err(ParsePrefixError::BadLength)
+        );
+        assert_eq!(
+            "10.0.0.0/x".parse::<Prefix>(),
+            Err(ParsePrefixError::BadLength)
+        );
     }
 
     #[test]

@@ -95,7 +95,7 @@ mod tests {
     use super::*;
     use crate::addr::{ipv4, Prefix};
     use crate::header::Packet;
-    use crate::rule::{MatchFields, Action, RouteClass, Rule};
+    use crate::rule::{Action, MatchFields, RouteClass, Rule};
     use crate::topology::{Role, Topology};
 
     fn one_device_net(rules: Vec<Rule>) -> Network {
@@ -119,12 +119,22 @@ mod tests {
         let mut bdd = Bdd::new();
         let net = one_device_net(vec![
             fwd("10.0.0.0/8"),
-            Rule::forward(Prefix::v4_default(), vec![IfaceId(0)], RouteClass::StaticDefault),
+            Rule::forward(
+                Prefix::v4_default(),
+                vec![IfaceId(0)],
+                RouteClass::StaticDefault,
+            ),
         ]);
         let ms = MatchSets::compute(&net, &mut bdd);
         let d = net.topology().device_by_name("r").unwrap();
-        let specific = ms.get(RuleId { device: d, index: 0 });
-        let default = ms.get(RuleId { device: d, index: 1 });
+        let specific = ms.get(RuleId {
+            device: d,
+            index: 0,
+        });
+        let default = ms.get(RuleId {
+            device: d,
+            index: 1,
+        });
         assert!(!bdd.intersects(specific, default));
         // A packet in 10/8 belongs to the specific rule, not the default.
         let p = Packet::v4_to(ipv4(10, 9, 9, 9));
@@ -142,7 +152,11 @@ mod tests {
             fwd("10.0.0.0/8"),
             fwd("10.1.0.0/16"),
             fwd("10.1.2.0/24"),
-            Rule::forward(Prefix::v4_default(), vec![IfaceId(0)], RouteClass::StaticDefault),
+            Rule::forward(
+                Prefix::v4_default(),
+                vec![IfaceId(0)],
+                RouteClass::StaticDefault,
+            ),
         ]);
         let ms = MatchSets::compute(&net, &mut bdd);
         let d = net.topology().device_by_name("r").unwrap();
@@ -169,8 +183,14 @@ mod tests {
         let net = one_device_net(vec![fwd("10.1.2.0/24"), fwd("10.1.2.0/24")]);
         let ms = MatchSets::compute(&net, &mut bdd);
         let d = net.topology().device_by_name("r").unwrap();
-        assert!(!ms.is_shadowed(RuleId { device: d, index: 0 }));
-        assert!(ms.is_shadowed(RuleId { device: d, index: 1 }));
+        assert!(!ms.is_shadowed(RuleId {
+            device: d,
+            index: 0
+        }));
+        assert!(ms.is_shadowed(RuleId {
+            device: d,
+            index: 1
+        }));
     }
 
     #[test]
@@ -187,8 +207,14 @@ mod tests {
         // After LPM finalization both tables order /16 before /8.
         for idx in 0..2u32 {
             assert_eq!(
-                ms1.get(RuleId { device: d, index: idx }),
-                ms2.get(RuleId { device: d, index: idx })
+                ms1.get(RuleId {
+                    device: d,
+                    index: idx
+                }),
+                ms2.get(RuleId {
+                    device: d,
+                    index: idx
+                })
             );
         }
     }
@@ -215,8 +241,14 @@ mod tests {
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&n, &mut bdd);
         // Different scopes: neither shadows the other.
-        assert!(!ms.is_shadowed(RuleId { device: d, index: 0 }));
-        assert!(!ms.is_shadowed(RuleId { device: d, index: 1 }));
+        assert!(!ms.is_shadowed(RuleId {
+            device: d,
+            index: 0
+        }));
+        assert!(!ms.is_shadowed(RuleId {
+            device: d,
+            index: 1
+        }));
     }
 
     #[test]

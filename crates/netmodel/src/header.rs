@@ -128,12 +128,26 @@ pub struct Packet {
 impl Packet {
     /// A minimal IPv4 packet to a destination address; other fields zero.
     pub fn v4_to(dst: u32) -> Packet {
-        Packet { family: Family::V4, dst: dst as u128, src: 0, proto: 0, sport: 0, dport: 0 }
+        Packet {
+            family: Family::V4,
+            dst: dst as u128,
+            src: 0,
+            proto: 0,
+            sport: 0,
+            dport: 0,
+        }
     }
 
     /// A minimal IPv6 packet to a destination address.
     pub fn v6_to(dst: u128) -> Packet {
-        Packet { family: Family::V6, dst, src: 0, proto: 0, sport: 0, dport: 0 }
+        Packet {
+            family: Family::V6,
+            dst,
+            src: 0,
+            proto: 0,
+            sport: 0,
+            dport: 0,
+        }
     }
 
     /// The singleton packet set `{self}` as a BDD.
@@ -198,7 +212,11 @@ impl Packet {
     /// Reconstruct a representative packet from a satisfying cube
     /// (unconstrained bits become 0).
     pub fn from_cube(cube: &Cube) -> Packet {
-        let family = if cube.get(FAMILY_VAR) == Some(true) { Family::V6 } else { Family::V4 };
+        let family = if cube.get(FAMILY_VAR) == Some(true) {
+            Family::V6
+        } else {
+            Family::V4
+        };
         let dst = match family {
             Family::V4 => cube.read_bits(DST_START, 32),
             Family::V6 => cube.read_bits(DST_START, 128),
@@ -229,7 +247,11 @@ impl std::fmt::Display for Packet {
         if self.src != 0 {
             write!(f, " src {}", std::net::Ipv4Addr::from(self.src))?;
         }
-        write!(f, " proto {} sport {} dport {}", self.proto, self.sport, self.dport)
+        write!(
+            f,
+            " proto {} sport {} dport {}",
+            self.proto, self.sport, self.dport
+        )
     }
 }
 
@@ -316,9 +338,17 @@ mod tests {
             let p23 = dport_in(&mut bdd, 23, 23);
             bdd.and(tcp, p23)
         };
-        let pkt = Packet { dport: 23, proto: 6, ..Packet::v4_to(1) };
+        let pkt = Packet {
+            dport: 23,
+            proto: 6,
+            ..Packet::v4_to(1)
+        };
         assert!(pkt.matches(&bdd, telnet));
-        let pkt2 = Packet { dport: 24, proto: 6, ..Packet::v4_to(1) };
+        let pkt2 = Packet {
+            dport: 24,
+            proto: 6,
+            ..Packet::v4_to(1)
+        };
         assert!(!pkt2.matches(&bdd, telnet));
     }
 
@@ -326,8 +356,14 @@ mod tests {
     fn src_matching() {
         let mut bdd = Bdd::new();
         let set = src_in(&mut bdd, &"192.168.0.0/16".parse().unwrap());
-        let inside = Packet { src: ipv4(192, 168, 9, 9), ..Packet::v4_to(1) };
-        let outside = Packet { src: ipv4(192, 169, 9, 9), ..Packet::v4_to(1) };
+        let inside = Packet {
+            src: ipv4(192, 168, 9, 9),
+            ..Packet::v4_to(1)
+        };
+        let outside = Packet {
+            src: ipv4(192, 169, 9, 9),
+            ..Packet::v4_to(1)
+        };
         assert!(inside.matches(&bdd, set));
         assert!(!outside.matches(&bdd, set));
     }
@@ -336,8 +372,14 @@ mod tests {
     fn sport_range() {
         let mut bdd = Bdd::new();
         let eph = sport_in(&mut bdd, 32768, 65535);
-        let inside = Packet { sport: 40000, ..Packet::v4_to(1) };
-        let outside = Packet { sport: 80, ..Packet::v4_to(1) };
+        let inside = Packet {
+            sport: 40000,
+            ..Packet::v4_to(1)
+        };
+        let outside = Packet {
+            sport: 80,
+            ..Packet::v4_to(1)
+        };
         assert!(inside.matches(&bdd, eph));
         assert!(!outside.matches(&bdd, eph));
     }
@@ -355,7 +397,10 @@ mod tests {
         let mut end = 0;
         for f in fields {
             let (start, width) = f.var_range();
-            assert_eq!(start, end, "{f:?} must start where the previous field ended");
+            assert_eq!(
+                start, end,
+                "{f:?} must start where the previous field ended"
+            );
             end = start + width;
         }
         assert_eq!(end, NVARS);

@@ -28,12 +28,18 @@ pub struct Location {
 impl Location {
     /// A location at a device, ingress unspecified.
     pub fn device(device: DeviceId) -> Location {
-        Location { device, iface: None }
+        Location {
+            device,
+            iface: None,
+        }
     }
 
     /// A location at a device on a specific ingress interface.
     pub fn at(device: DeviceId, iface: IfaceId) -> Location {
-        Location { device, iface: Some(iface) }
+        Location {
+            device,
+            iface: Some(iface),
+        }
     }
 }
 
@@ -101,8 +107,14 @@ impl LocatedPacketSet {
 
     /// All packets present at a device, regardless of ingress interface.
     pub fn at_device(&self, bdd: &mut Bdd, device: DeviceId) -> Ref {
-        let lo = Location { device, iface: None };
-        let hi = Location { device, iface: Some(IfaceId(u32::MAX)) };
+        let lo = Location {
+            device,
+            iface: None,
+        };
+        let hi = Location {
+            device,
+            iface: Some(IfaceId(u32::MAX)),
+        };
         let refs: Vec<Ref> = self.map.range(lo..=hi).map(|(_, &r)| r).collect();
         bdd.or_all(refs)
     }

@@ -35,7 +35,9 @@ pub struct Network {
 impl Network {
     /// Wrap a topology with empty LPM tables for every device.
     pub fn new(topology: Topology) -> Network {
-        let state = (0..topology.device_count()).map(|_| Table::new(TableMode::Lpm)).collect();
+        let state = (0..topology.device_count())
+            .map(|_| Table::new(TableMode::Lpm))
+            .collect();
         Network { topology, state }
     }
 
@@ -75,10 +77,15 @@ impl Network {
     /// Iterate every rule in the network with its global id.
     pub fn rules(&self) -> impl Iterator<Item = (RuleId, &Rule)> {
         self.topology.devices().flat_map(move |(d, _)| {
-            self.device_rules(d)
-                .iter()
-                .enumerate()
-                .map(move |(i, r)| (RuleId { device: d, index: i as u32 }, r))
+            self.device_rules(d).iter().enumerate().map(move |(i, r)| {
+                (
+                    RuleId {
+                        device: d,
+                        index: i as u32,
+                    },
+                    r,
+                )
+            })
         })
     }
 
@@ -117,12 +124,26 @@ mod tests {
         let b = t.add_device("b", Role::Spine);
         let (ai, bi) = t.add_link(a, b);
         let mut n = Network::new(t);
-        n.add_rule(a, Rule::forward(Prefix::v4_default(), vec![ai], RouteClass::StaticDefault));
         n.add_rule(
             a,
-            Rule::forward("10.0.0.0/24".parse().unwrap(), vec![ai], RouteClass::HostSubnet),
+            Rule::forward(Prefix::v4_default(), vec![ai], RouteClass::StaticDefault),
         );
-        n.add_rule(b, Rule::forward("10.0.0.0/24".parse().unwrap(), vec![bi], RouteClass::HostSubnet));
+        n.add_rule(
+            a,
+            Rule::forward(
+                "10.0.0.0/24".parse().unwrap(),
+                vec![ai],
+                RouteClass::HostSubnet,
+            ),
+        );
+        n.add_rule(
+            b,
+            Rule::forward(
+                "10.0.0.0/24".parse().unwrap(),
+                vec![bi],
+                RouteClass::HostSubnet,
+            ),
+        );
         n.finalize();
         (n, a, b, ai, bi)
     }
@@ -132,8 +153,20 @@ mod tests {
         let (n, a, b, _, _) = tiny_network();
         let ids: Vec<RuleId> = n.rules().map(|(id, _)| id).collect();
         assert_eq!(ids.len(), 3);
-        assert_eq!(ids[0], RuleId { device: a, index: 0 });
-        assert_eq!(ids[2], RuleId { device: b, index: 0 });
+        assert_eq!(
+            ids[0],
+            RuleId {
+                device: a,
+                index: 0
+            }
+        );
+        assert_eq!(
+            ids[2],
+            RuleId {
+                device: b,
+                index: 0
+            }
+        );
         assert_eq!(n.rule_count(), 3);
     }
 

@@ -11,9 +11,7 @@ use std::fmt;
 use netbdd::{Bdd, Cube, Ref};
 
 use crate::addr::Family;
-use crate::header::{
-    DPORT_START, DST_START, FAMILY_VAR, PROTO_START, SPORT_START, SRC_START,
-};
+use crate::header::{DPORT_START, DST_START, FAMILY_VAR, PROTO_START, SPORT_START, SRC_START};
 
 /// One field's constraint inside a region.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -60,7 +58,10 @@ impl FieldConstraint {
         let _ = len;
         if mask.count_ones() == top_run && top_run > 0 {
             // `value` is MSB-aligned within the field already.
-            FieldConstraint::Prefix { value, len: top_run as u8 }
+            FieldConstraint::Prefix {
+                value,
+                len: top_run as u8,
+            }
         } else {
             FieldConstraint::Masked { mask, value }
         }
@@ -87,7 +88,9 @@ pub struct Region {
 impl Region {
     /// Decode a cube (over the standard header layout) into a region.
     pub fn from_cube(cube: &Cube) -> Region {
-        let family = cube.get(FAMILY_VAR).map(|b| if b { Family::V6 } else { Family::V4 });
+        let family = cube
+            .get(FAMILY_VAR)
+            .map(|b| if b { Family::V6 } else { Family::V4 });
         let dst_width = match family {
             Some(Family::V4) => 32,
             _ => 128,
@@ -184,7 +187,11 @@ impl fmt::Display for Region {
 pub fn describe_set(bdd: &Bdd, set: Ref, limit: usize) -> (Vec<Region>, bool) {
     let cubes = bdd.cubes(set, limit + 1);
     let complete = cubes.len() <= limit;
-    let regions = cubes.into_iter().take(limit).map(|c| Region::from_cube(&c)).collect();
+    let regions = cubes
+        .into_iter()
+        .take(limit)
+        .map(|c| Region::from_cube(&c))
+        .collect();
     (regions, complete)
 }
 
@@ -250,7 +257,11 @@ mod tests {
         }
         let (all, complete_all) = describe_set(&bdd, set, 1000);
         assert!(complete_all);
-        assert!(all.len() >= 2, "BDD cube merging left {} regions", all.len());
+        assert!(
+            all.len() >= 2,
+            "BDD cube merging left {} regions",
+            all.len()
+        );
         let (truncated, complete) = describe_set(&bdd, set, 1);
         assert_eq!(truncated.len(), 1);
         assert!(!complete);

@@ -33,7 +33,10 @@ pub struct MatchFields {
 impl MatchFields {
     /// Match on a destination prefix only — the common FIB case.
     pub fn dst_prefix(p: Prefix) -> MatchFields {
-        MatchFields { dst: Some(p), ..MatchFields::default() }
+        MatchFields {
+            dst: Some(p),
+            ..MatchFields::default()
+        }
     }
 
     /// Compile the *header* part of the match (everything except
@@ -163,12 +166,20 @@ pub struct Rule {
 impl Rule {
     /// A destination-prefix forwarding rule.
     pub fn forward(p: Prefix, out: Vec<IfaceId>, class: RouteClass) -> Rule {
-        Rule { matches: MatchFields::dst_prefix(p), action: Action::Forward(out), class }
+        Rule {
+            matches: MatchFields::dst_prefix(p),
+            action: Action::Forward(out),
+            class,
+        }
     }
 
     /// A destination-prefix null route.
     pub fn null_route(p: Prefix, class: RouteClass) -> Rule {
-        Rule { matches: MatchFields::dst_prefix(p), action: Action::Drop, class }
+        Rule {
+            matches: MatchFields::dst_prefix(p),
+            action: Action::Drop,
+            class,
+        }
     }
 }
 
@@ -194,7 +205,11 @@ pub struct Table {
 
 impl Table {
     pub fn new(mode: TableMode) -> Table {
-        Table { mode, rules: Vec::new(), sorted: true }
+        Table {
+            mode,
+            rules: Vec::new(),
+            sorted: true,
+        }
     }
 
     pub fn mode(&self) -> TableMode {
@@ -261,9 +276,21 @@ mod tests {
             ..MatchFields::default()
         };
         let set = m.to_bdd(&mut bdd);
-        let hit = Packet { proto: 6, dport: 80, ..Packet::v4_to(ipv4(10, 1, 1, 1)) };
-        let miss_port = Packet { proto: 6, dport: 81, ..Packet::v4_to(ipv4(10, 1, 1, 1)) };
-        let miss_dst = Packet { proto: 6, dport: 80, ..Packet::v4_to(ipv4(11, 1, 1, 1)) };
+        let hit = Packet {
+            proto: 6,
+            dport: 80,
+            ..Packet::v4_to(ipv4(10, 1, 1, 1))
+        };
+        let miss_port = Packet {
+            proto: 6,
+            dport: 81,
+            ..Packet::v4_to(ipv4(10, 1, 1, 1))
+        };
+        let miss_dst = Packet {
+            proto: 6,
+            dport: 80,
+            ..Packet::v4_to(ipv4(11, 1, 1, 1))
+        };
         assert!(hit.matches(&bdd, set));
         assert!(!miss_port.matches(&bdd, set));
         assert!(!miss_dst.matches(&bdd, set));
@@ -279,39 +306,67 @@ mod tests {
     #[test]
     fn lpm_table_sorts_longest_first() {
         let mut t = Table::new(TableMode::Lpm);
-        t.push(Rule::forward(Prefix::v4_default(), vec![IfaceId(0)], RouteClass::StaticDefault));
-        t.push(Rule::forward("10.0.0.0/8".parse().unwrap(), vec![IfaceId(1)], RouteClass::Wan));
+        t.push(Rule::forward(
+            Prefix::v4_default(),
+            vec![IfaceId(0)],
+            RouteClass::StaticDefault,
+        ));
+        t.push(Rule::forward(
+            "10.0.0.0/8".parse().unwrap(),
+            vec![IfaceId(1)],
+            RouteClass::Wan,
+        ));
         t.push(Rule::forward(
             "10.1.0.0/16".parse().unwrap(),
             vec![IfaceId(2)],
             RouteClass::HostSubnet,
         ));
-        let lens: Vec<u8> = t.rules().iter().map(|r| r.matches.dst.unwrap().len()).collect();
+        let lens: Vec<u8> = t
+            .rules()
+            .iter()
+            .map(|r| r.matches.dst.unwrap().len())
+            .collect();
         assert_eq!(lens, vec![16, 8, 0]);
     }
 
     #[test]
     fn priority_table_preserves_insertion_order() {
         let mut t = Table::new(TableMode::Priority);
-        t.push(Rule::null_route("10.0.0.0/8".parse().unwrap(), RouteClass::Other));
-        t.push(Rule::forward(Prefix::v4_default(), vec![IfaceId(0)], RouteClass::StaticDefault));
+        t.push(Rule::null_route(
+            "10.0.0.0/8".parse().unwrap(),
+            RouteClass::Other,
+        ));
+        t.push(Rule::forward(
+            Prefix::v4_default(),
+            vec![IfaceId(0)],
+            RouteClass::StaticDefault,
+        ));
         assert!(t.rules()[0].action.is_drop());
     }
 
     #[test]
     fn lpm_sort_is_stable_for_equal_lengths() {
         let mut t = Table::new(TableMode::Lpm);
-        t.push(Rule::forward("10.0.0.0/24".parse().unwrap(), vec![IfaceId(0)], RouteClass::Other));
-        t.push(Rule::forward("10.0.1.0/24".parse().unwrap(), vec![IfaceId(1)], RouteClass::Other));
-        let outs: Vec<IfaceId> =
-            t.rules().iter().map(|r| r.action.out_ifaces()[0]).collect();
+        t.push(Rule::forward(
+            "10.0.0.0/24".parse().unwrap(),
+            vec![IfaceId(0)],
+            RouteClass::Other,
+        ));
+        t.push(Rule::forward(
+            "10.0.1.0/24".parse().unwrap(),
+            vec![IfaceId(1)],
+            RouteClass::Other,
+        ));
+        let outs: Vec<IfaceId> = t.rules().iter().map(|r| r.action.out_ifaces()[0]).collect();
         assert_eq!(outs, vec![IfaceId(0), IfaceId(1)]);
     }
 
     #[test]
     fn rewrite_sets_field_to_constant() {
         let mut bdd = Bdd::new();
-        let rw = Rewrite { set: vec![(HeaderField::Dport, 8080)] };
+        let rw = Rewrite {
+            set: vec![(HeaderField::Dport, 8080)],
+        };
         let input = header::dport_in(&mut bdd, 80, 80);
         let out = rw.apply(&mut bdd, input);
         let expect = header::dport_in(&mut bdd, 8080, 8080);
@@ -321,7 +376,9 @@ mod tests {
     #[test]
     fn rewrite_preimage_inverts_apply() {
         let mut bdd = Bdd::new();
-        let rw = Rewrite { set: vec![(HeaderField::Dport, 8080)] };
+        let rw = Rewrite {
+            set: vec![(HeaderField::Dport, 8080)],
+        };
         // Image of the full space is dport=8080; its preimage is everything.
         let full = bdd.full();
         let image = rw.apply(&mut bdd, full);

@@ -122,7 +122,12 @@ impl Topology {
         group: Option<u32>,
     ) -> DeviceId {
         let id = DeviceId(self.devices.len() as u32);
-        self.devices.push(Device { name: name.into(), role, group, ifaces: Vec::new() });
+        self.devices.push(Device {
+            name: name.into(),
+            role,
+            group,
+            ifaces: Vec::new(),
+        });
         id
     }
 
@@ -134,7 +139,12 @@ impl Topology {
         kind: IfaceKind,
     ) -> IfaceId {
         let id = IfaceId(self.ifaces.len() as u32);
-        self.ifaces.push(Iface { device, name: name.into(), kind, peer: None });
+        self.ifaces.push(Iface {
+            device,
+            name: name.into(),
+            kind,
+            peer: None,
+        });
         self.devices[device.0 as usize].ifaces.push(id);
         id
     }
@@ -173,16 +183,25 @@ impl Topology {
     }
 
     pub fn devices(&self) -> impl Iterator<Item = (DeviceId, &Device)> {
-        self.devices.iter().enumerate().map(|(i, d)| (DeviceId(i as u32), d))
+        self.devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DeviceId(i as u32), d))
     }
 
     pub fn ifaces(&self) -> impl Iterator<Item = (IfaceId, &Iface)> {
-        self.ifaces.iter().enumerate().map(|(i, f)| (IfaceId(i as u32), f))
+        self.ifaces
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (IfaceId(i as u32), f))
     }
 
     /// Interfaces of one device.
     pub fn device_ifaces(&self, device: DeviceId) -> impl Iterator<Item = (IfaceId, &Iface)> {
-        self.devices[device.0 as usize].ifaces.iter().map(move |&i| (i, self.iface(i)))
+        self.devices[device.0 as usize]
+            .ifaces
+            .iter()
+            .map(move |&i| (i, self.iface(i)))
     }
 
     /// Neighbor devices over P2p links (deduplicated, in interface order).
@@ -194,7 +213,9 @@ impl Topology {
 
     /// Find a device by name (linear scan; for tests and examples).
     pub fn device_by_name(&self, name: &str) -> Option<DeviceId> {
-        self.devices().find(|(_, d)| d.name == name).map(|(id, _)| id)
+        self.devices()
+            .find(|(_, d)| d.name == name)
+            .map(|(id, _)| id)
     }
 
     /// All devices with the given role.
@@ -342,7 +363,9 @@ mod validate_tests {
         // Corrupt: point a's link at c's interface without reciprocity.
         t.ifaces[ab.0 as usize].peer = Some(cb);
         let errs = t.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, TopologyError::AsymmetricPeer { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, TopologyError::AsymmetricPeer { .. })));
     }
 
     #[test]
@@ -357,7 +380,9 @@ mod validate_tests {
         t.ifaces[ai.0 as usize].peer = Some(bi);
         t.ifaces[bi.0 as usize].peer = Some(ai);
         let errs = t.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, TopologyError::SelfLink { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, TopologyError::SelfLink { .. })));
     }
 
     #[test]
@@ -369,7 +394,9 @@ mod validate_tests {
         let h = t.add_iface(a, "hosts", IfaceKind::Host);
         t.ifaces[h.0 as usize].peer = Some(ab);
         let errs = t.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, TopologyError::UnexpectedPeer { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, TopologyError::UnexpectedPeer { .. })));
     }
 
     #[test]

@@ -159,5 +159,8 @@ fn masked_regions_render() {
     assert!(complete);
     assert_eq!(regions.len(), 1);
     let text = regions[0].to_string();
-    assert!(text.contains("pat("), "masked constraint must render as a pattern: {text}");
+    assert!(
+        text.contains("pat("),
+        "masked constraint must render as a pattern: {text}"
+    );
 }

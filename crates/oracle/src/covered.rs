@@ -1,0 +1,214 @@
+//! Covered sets by enumeration: the oracle's answer to Algorithm 1
+//! (`yardstick::CoveredSets`).
+//!
+//! A [`ToyTrace`] records marked packets per `(device, ingress)` location
+//! and inspected rules, exactly like `CoverageTrace`. The covered set of a
+//! rule is then computed straight from the algorithm's definition: the
+//! full match set for inspected rules, otherwise the tested packets at the
+//! device intersected with the match set. Toy rules carry no ingress
+//! constraint, so only the device-level branch of the algorithm applies;
+//! iface-tagged marks still matter because incoming-interface coverage
+//! consumes them.
+
+use std::collections::HashSet;
+
+use crate::forward::ToyNet;
+use crate::set::PacketSet;
+use crate::space::ToySpace;
+use crate::table::TableOracle;
+
+/// The toy mirror of `CoverageTrace`: located packet marks plus inspected
+/// rules, identified as `(device, rule index)` pairs.
+#[derive(Clone, Debug, Default)]
+pub struct ToyTrace {
+    marks: Vec<(usize, Option<u32>, PacketSet)>,
+    rules: HashSet<(usize, usize)>,
+}
+
+impl ToyTrace {
+    pub fn new() -> ToyTrace {
+        ToyTrace::default()
+    }
+
+    /// Record marked packets at a device, optionally tagged with the
+    /// ingress interface they arrived on (global toy iface index).
+    pub fn add_packets(&mut self, device: usize, iface: Option<u32>, packets: PacketSet) {
+        if !packets.is_empty() {
+            self.marks.push((device, iface, packets));
+        }
+    }
+
+    /// Record an inspected rule.
+    pub fn add_rule(&mut self, device: usize, index: usize) {
+        self.rules.insert((device, index));
+    }
+
+    pub fn contains_rule(&self, device: usize, index: usize) -> bool {
+        self.rules.contains(&(device, index))
+    }
+
+    /// All packets marked anywhere at `device`, regardless of ingress.
+    pub fn at_device(&self, device: usize) -> PacketSet {
+        let mut acc = PacketSet::empty();
+        for (d, _, set) in &self.marks {
+            if *d == device {
+                acc = acc.or(set);
+            }
+        }
+        acc
+    }
+
+    /// Packets marked at `device` tagged with exactly `iface`
+    /// (device-level marks with unknown ingress are *not* included).
+    pub fn at_device_iface(&self, device: usize, iface: u32) -> PacketSet {
+        let mut acc = PacketSet::empty();
+        for (d, i, set) in &self.marks {
+            if *d == device && *i == Some(iface) {
+                acc = acc.or(set);
+            }
+        }
+        acc
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.marks.is_empty() && self.rules.is_empty()
+    }
+}
+
+/// Disjoint match sets for every device of a toy network.
+pub fn net_match_sets(space: &ToySpace, net: &mut ToyNet) -> Vec<TableOracle> {
+    (0..net.device_count())
+        .map(|d| TableOracle::compute(space, net.table_mut(d)))
+        .collect()
+}
+
+/// The covered sets `T[r]` of every rule, by direct transcription of
+/// Algorithm 1.
+#[derive(Clone, Debug)]
+pub struct CoveredOracle {
+    covered: Vec<Vec<PacketSet>>,
+}
+
+impl CoveredOracle {
+    pub fn compute(
+        _space: &ToySpace,
+        match_sets: &[TableOracle],
+        trace: &ToyTrace,
+    ) -> CoveredOracle {
+        let mut covered = Vec::with_capacity(match_sets.len());
+        for (device, ms) in match_sets.iter().enumerate() {
+            let at_device = trace.at_device(device);
+            let dev = (0..ms.len())
+                .map(|i| {
+                    if trace.contains_rule(device, i) {
+                        ms.get(i).clone()
+                    } else {
+                        at_device.and(ms.get(i))
+                    }
+                })
+                .collect();
+            covered.push(dev);
+        }
+        CoveredOracle { covered }
+    }
+
+    /// The covered set `T[r]` of rule `index` on `device`.
+    pub fn get(&self, device: usize, index: usize) -> &PacketSet {
+        &self.covered[device][index]
+    }
+
+    pub fn is_exercised(&self, device: usize, index: usize) -> bool {
+        !self.get(device, index).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward::ToyIfaceKind;
+    use crate::table::{ToyPrefix, ToyRule};
+
+    /// One device: /4 to hosts, default up a dangling link.
+    fn one_device() -> (ToySpace, ToyNet) {
+        let s = ToySpace::default();
+        let mut net = ToyNet::new();
+        let d = net.add_device();
+        let h = net.add_iface(d, ToyIfaceKind::Host);
+        let up = net.add_iface(d, ToyIfaceKind::External);
+        net.add_rule(d, ToyRule::forward(ToyPrefix::new(0b1010, 4), vec![h]));
+        net.add_rule(d, ToyRule::forward(ToyPrefix::new(0, 0), vec![up]));
+        net.finalize();
+        (s, net)
+    }
+
+    #[test]
+    fn empty_trace_covers_nothing() {
+        let (s, mut net) = one_device();
+        let ms = net_match_sets(&s, &mut net);
+        let cov = CoveredOracle::compute(&s, &ms, &ToyTrace::new());
+        assert!(!cov.is_exercised(0, 0));
+        assert!(!cov.is_exercised(0, 1));
+    }
+
+    #[test]
+    fn inspected_rule_is_fully_covered() {
+        let (s, mut net) = one_device();
+        let ms = net_match_sets(&s, &mut net);
+        let mut trace = ToyTrace::new();
+        trace.add_rule(0, 1);
+        let cov = CoveredOracle::compute(&s, &ms, &trace);
+        assert_eq!(cov.get(0, 1), ms[0].get(1));
+        assert!(!cov.is_exercised(0, 0));
+    }
+
+    #[test]
+    fn marked_packets_split_across_rules() {
+        let (s, mut net) = one_device();
+        let ms = net_match_sets(&s, &mut net);
+        let mut trace = ToyTrace::new();
+        // Mark the /3 containing the /4: covers all of the specific rule
+        // and the other half of the /3 under the default.
+        let p3 = PacketSet::from_pred(&s, |p| s.dst(p) >> 5 == 0b101);
+        trace.add_packets(0, None, p3.clone());
+        let cov = CoveredOracle::compute(&s, &ms, &trace);
+        assert_eq!(cov.get(0, 0), ms[0].get(0));
+        assert_eq!(cov.get(0, 1), &p3.diff(ms[0].get(0)));
+        // Covered sets never exceed match sets.
+        assert!(cov.get(0, 1).diff(ms[0].get(1)).is_empty());
+    }
+
+    #[test]
+    fn iface_tagged_marks_count_at_device_level() {
+        let (s, mut net) = one_device();
+        let ms = net_match_sets(&s, &mut net);
+        let mut trace = ToyTrace::new();
+        let full = PacketSet::full(&s);
+        trace.add_packets(0, Some(0), full.clone());
+        let cov = CoveredOracle::compute(&s, &ms, &trace);
+        // at_device aggregates ingress refinements, so both rules cover.
+        assert_eq!(cov.get(0, 0), ms[0].get(0));
+        assert_eq!(cov.get(0, 1), ms[0].get(1));
+        // The exact-iface slice only sees the tagged marks.
+        assert_eq!(trace.at_device_iface(0, 0), full);
+        assert!(trace.at_device_iface(0, 1).is_empty());
+    }
+
+    #[test]
+    fn compositionality_symbolic_equals_union_of_concrete() {
+        let (s, mut net) = one_device();
+        let ms = net_match_sets(&s, &mut net);
+        // Marking a 4-destination block at once vs. one dst at a time.
+        let block = PacketSet::from_pred(&s, |p| s.dst(p) >> 2 == 0b101000);
+        let mut sym = ToyTrace::new();
+        sym.add_packets(0, None, block.clone());
+        let mut conc = ToyTrace::new();
+        for dst in 0b10100000..0b10100100u32 {
+            conc.add_packets(0, None, PacketSet::from_pred(&s, |p| s.dst(p) == dst));
+        }
+        let a = CoveredOracle::compute(&s, &ms, &sym);
+        let b = CoveredOracle::compute(&s, &ms, &conc);
+        for i in 0..2 {
+            assert_eq!(a.get(0, i), b.get(0, i));
+        }
+    }
+}

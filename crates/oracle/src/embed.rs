@@ -1,0 +1,295 @@
+//! Embedding toy objects into the real header model, so the symbolic
+//! engine and the oracle analyse *the same network*.
+//!
+//! The toy space maps onto a corner of the IPv4 plane:
+//!
+//! * toy dst `d` → `10.77.0.x` with `x = d << (8 - dst_bits)` — the toy
+//!   dst field occupies the top `dst_bits` of the last octet, so a toy
+//!   dst prefix of length `l` is exactly the real prefix `/24 + l`;
+//! * toy src `s` → `192.168.0.x` the same way;
+//! * toy proto `v` → IP protocol number `v` (exact match both sides);
+//! * sport/dport are 0 and never matched on.
+//!
+//! Because every toy field lands on a *fixed-length* real prefix offset,
+//! toy LPM order (by toy dst length) and real LPM order (by `24 + l`)
+//! coincide, and both sorts are stable — rule `i` of a finalized toy
+//! table is rule `i` of the finalized real table. [`embed_net`] relies on
+//! this and therefore requires every rule to carry a dst prefix: a rule
+//! with `dst: None` sorts as `/0` on both sides but would tie with a
+//! zero-length `Some` prefix only in the toy order, silently desyncing
+//! the indices.
+//!
+//! Probabilities do not transfer directly (the real model has 201 bits,
+//! the toy one ~14), but *ratios* of dst-only sets do: every dst-only toy
+//! set's real probability is `K · |toy set| / 2^total_bits` for one
+//! network-wide constant `K`, so coverage ratios computed by the analyzer
+//! equal the oracle's counting ratios exactly.
+
+use netmodel::addr::Prefix;
+use netmodel::header::{self, Packet};
+use netmodel::rule::{Action, MatchFields, RouteClass, Rule};
+use netmodel::topology::{IfaceKind, Role, Topology};
+use netmodel::{IfaceId, Network};
+
+use crate::forward::{ToyIfaceKind, ToyNet};
+use crate::set::PacketSet;
+use crate::space::{ToyPacket, ToySpace};
+use crate::table::{ToyAction, ToyPrefix, ToyRule};
+
+/// The /24 the toy destination field lives in.
+pub const DST_BASE: u32 = 0x0A4D_0000; // 10.77.0.0
+/// The /24 the toy source field lives in.
+pub const SRC_BASE: u32 = 0xC0A8_0000; // 192.168.0.0
+
+/// Real IPv4 destination address of a toy dst value.
+pub fn embed_dst(space: &ToySpace, dst: u32) -> u32 {
+    DST_BASE | (dst << (8 - space.dst_bits))
+}
+
+/// Real IPv4 source address of a toy src value.
+pub fn embed_src(space: &ToySpace, src: u32) -> u32 {
+    SRC_BASE | (src << (8 - space.src_bits))
+}
+
+/// The real packet a toy packet denotes.
+pub fn embed_packet(space: &ToySpace, p: ToyPacket) -> Packet {
+    Packet {
+        src: embed_src(space, space.src(p)),
+        proto: space.proto(p) as u8,
+        ..Packet::v4_to(embed_dst(space, space.dst(p)))
+    }
+}
+
+/// Real prefix of a toy dst prefix: `10.77.0.0/24` refined by `len` bits.
+pub fn embed_dst_prefix(space: &ToySpace, p: ToyPrefix) -> Prefix {
+    debug_assert!(p.len <= space.dst_bits);
+    Prefix::v4(
+        DST_BASE | (p.bits << (8 - p.len).min(8)),
+        (24 + p.len) as u8,
+    )
+}
+
+/// Real prefix of a toy src prefix: `192.168.0.0/24` refined by `len` bits.
+pub fn embed_src_prefix(space: &ToySpace, p: ToyPrefix) -> Prefix {
+    debug_assert!(p.len <= space.src_bits);
+    Prefix::v4(
+        SRC_BASE | (p.bits << (8 - p.len).min(8)),
+        (24 + p.len) as u8,
+    )
+}
+
+/// The real BDD variable carrying toy header bit `var`.
+pub fn var_map(space: &ToySpace, var: u32) -> u32 {
+    if var < space.dst_bits {
+        header::DST_START + 24 + var
+    } else if var < space.dst_bits + space.src_bits {
+        header::SRC_START + 24 + (var - space.dst_bits)
+    } else {
+        let j = var - space.dst_bits - space.src_bits;
+        header::PROTO_START + (8 - space.proto_bits) + j
+    }
+}
+
+/// Real match fields of a toy rule.
+pub fn embed_matches(space: &ToySpace, rule: &ToyRule) -> MatchFields {
+    MatchFields {
+        dst: rule.dst.map(|p| embed_dst_prefix(space, p)),
+        src: rule.src.map(|p| embed_src_prefix(space, p)),
+        proto: rule.proto.map(|v| v as u8),
+        ..MatchFields::default()
+    }
+}
+
+/// Real rule of a toy rule. Toy interface indices become `IfaceId`s
+/// verbatim — [`embed_net`] preserves interface numbering.
+pub fn embed_rule(space: &ToySpace, rule: &ToyRule) -> Rule {
+    let action = match &rule.action {
+        ToyAction::Drop => Action::Drop,
+        ToyAction::Forward(outs) => Action::Forward(outs.iter().map(|&i| IfaceId(i)).collect()),
+    };
+    Rule {
+        matches: embed_matches(space, rule),
+        action,
+        class: RouteClass::Other,
+    }
+}
+
+/// The toy packet set a toy dst prefix denotes (the toy side of a
+/// dst-only coverage mark).
+pub fn dst_prefix_set(space: &ToySpace, p: ToyPrefix) -> PacketSet {
+    PacketSet::from_pred(space, |pkt| p.contains(space.dst(pkt), space.dst_bits))
+}
+
+/// Build the real network a finalized toy network denotes.
+///
+/// Device `d` becomes `DeviceId(d)` and toy interface `i` becomes
+/// `IfaceId(i)` — the construction replays the toy creation order, so all
+/// indices transfer verbatim, and rule `i` of a device's finalized toy
+/// table is rule `i` of the real table (see the module docs for why every
+/// rule must carry a dst prefix).
+///
+/// # Panics
+///
+/// Panics if the toy network is not finalized or a rule has `dst: None`.
+pub fn embed_net(space: &ToySpace, net: &ToyNet) -> Network {
+    let mut topo = Topology::new();
+    for d in 0..net.device_count() {
+        topo.add_device(format!("d{d}"), Role::Other);
+    }
+    for i in 0..net.iface_count() as u32 {
+        let ifc = net.iface(i);
+        let dev = netmodel::topology::DeviceId(ifc.device as u32);
+        match ifc.kind {
+            ToyIfaceKind::P2p => match ifc.peer {
+                Some(peer) if peer == i + 1 => {
+                    let peer_dev = netmodel::topology::DeviceId(net.iface(peer).device as u32);
+                    let (ai, bi) = topo.add_link(dev, peer_dev);
+                    debug_assert_eq!((ai, bi), (IfaceId(i), IfaceId(peer)));
+                }
+                Some(peer) => debug_assert_eq!(peer + 1, i, "link pair out of order"),
+                None => {
+                    topo.add_iface(dev, format!("p2p{i}"), IfaceKind::P2p);
+                }
+            },
+            kind => {
+                let kind = match kind {
+                    ToyIfaceKind::Host => IfaceKind::Host,
+                    ToyIfaceKind::External => IfaceKind::External,
+                    ToyIfaceKind::Loopback => IfaceKind::Loopback,
+                    ToyIfaceKind::P2p => unreachable!(),
+                };
+                topo.add_iface(dev, format!("if{i}"), kind);
+            }
+        }
+    }
+    let mut real = Network::new(topo);
+    for d in 0..net.device_count() {
+        for rule in net.table(d).rules_unchecked() {
+            assert!(
+                rule.dst.is_some(),
+                "embed_net requires dst prefixes on every rule"
+            );
+            real.add_rule(
+                netmodel::topology::DeviceId(d as u32),
+                embed_rule(space, rule),
+            );
+        }
+    }
+    real.finalize();
+    real
+}
+
+/// Table ordering really is preserved: check that the finalized real
+/// table orders rules identically to the finalized toy table.
+pub fn assert_rule_order_preserved(space: &ToySpace, net: &ToyNet, real: &Network) {
+    for d in 0..net.device_count() {
+        let dev = netmodel::topology::DeviceId(d as u32);
+        let toy_rules = net.table(d).rules_unchecked();
+        let real_rules = real.device_rules(dev);
+        assert_eq!(toy_rules.len(), real_rules.len());
+        for (toy, real_rule) in toy_rules.iter().zip(real_rules) {
+            assert_eq!(real_rule.matches, embed_matches(space, toy));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::ToyTableMode;
+    use netbdd::Bdd;
+    use netmodel::rule::Table;
+
+    #[test]
+    fn packet_bits_commute_with_the_embedding() {
+        let s = ToySpace::default();
+        for p in [0u32, 1, 0x2ABC, s.size() - 1, 0x1555] {
+            let real = embed_packet(&s, p);
+            for v in 0..s.total_bits() {
+                assert_eq!(
+                    s.bit(p, v),
+                    real.bit(var_map(&s, v)),
+                    "bit {v} of packet {p:#x} diverges"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dst_prefix_membership_commutes() {
+        let s = ToySpace::default();
+        let mut bdd = Bdd::new();
+        let tp = ToyPrefix::new(0b1011, 4);
+        let real = header::dst_in(&mut bdd, &embed_dst_prefix(&s, tp));
+        let toy = dst_prefix_set(&s, tp);
+        for p in s.packets() {
+            assert_eq!(toy.contains(p), embed_packet(&s, p).matches(&bdd, real));
+        }
+    }
+
+    #[test]
+    fn full_rule_membership_commutes() {
+        let s = ToySpace::default();
+        let mut bdd = Bdd::new();
+        let rule = ToyRule {
+            dst: Some(ToyPrefix::new(0b10, 2)),
+            src: Some(ToyPrefix::new(0b1, 1)),
+            proto: Some(2),
+            action: ToyAction::Drop,
+        };
+        let real = embed_matches(&s, &rule).to_bdd(&mut bdd);
+        for p in s.packets() {
+            assert_eq!(
+                rule.matches(&s, p),
+                embed_packet(&s, p).matches(&bdd, real),
+                "packet {p:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn embedded_net_preserves_indices_and_order() {
+        let s = ToySpace::default();
+        let mut net = ToyNet::new();
+        let a = net.add_device();
+        let b = net.add_device();
+        let h = net.add_iface(a, ToyIfaceKind::Host);
+        let (ab, ba) = net.add_link(a, b);
+        let w = net.add_iface(b, ToyIfaceKind::External);
+        // Pushed shortest-first: LPM finalize must reorder both sides
+        // identically.
+        net.add_rule(a, ToyRule::forward(ToyPrefix::new(0, 0), vec![ab]));
+        net.add_rule(a, ToyRule::forward(ToyPrefix::new(0b101, 3), vec![h]));
+        net.add_rule(b, ToyRule::forward(ToyPrefix::new(0, 0), vec![w]));
+        net.finalize();
+        let real = embed_net(&s, &net);
+        assert_eq!(real.topology().device_count(), 2);
+        assert_eq!(real.topology().iface_count(), 4);
+        assert_eq!(real.topology().iface(IfaceId(ab)).peer, Some(IfaceId(ba)));
+        assert_eq!(real.topology().iface(IfaceId(h)).kind, IfaceKind::Host);
+        assert_eq!(real.topology().iface(IfaceId(w)).kind, IfaceKind::External);
+        assert_rule_order_preserved(&s, &net, &real);
+    }
+
+    #[test]
+    fn lpm_tie_order_matches_for_equal_lengths() {
+        let s = ToySpace::default();
+        let mut toy = crate::table::ToyTable::new(ToyTableMode::Lpm);
+        toy.push(ToyRule::forward(ToyPrefix::new(0b01, 2), vec![0]));
+        toy.push(ToyRule::forward(ToyPrefix::new(0b10, 2), vec![1]));
+        toy.push(ToyRule::forward(ToyPrefix::new(0b1, 1), vec![2]));
+        toy.finalize();
+        let mut real = Table::new(netmodel::rule::TableMode::Lpm);
+        // Same insertion order as the toy table saw.
+        for r in [
+            ToyRule::forward(ToyPrefix::new(0b01, 2), vec![0]),
+            ToyRule::forward(ToyPrefix::new(0b10, 2), vec![1]),
+            ToyRule::forward(ToyPrefix::new(0b1, 1), vec![2]),
+        ] {
+            real.push(embed_rule(&s, &r));
+        }
+        for (toy_rule, real_rule) in toy.rules_unchecked().iter().zip(real.rules()) {
+            assert_eq!(real_rule.matches, embed_matches(&s, toy_rule));
+        }
+    }
+}

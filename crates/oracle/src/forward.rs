@@ -1,0 +1,363 @@
+//! Per-packet forwarding walks: the oracle's answer to `dataplane`.
+//!
+//! The symbolic engine pushes whole packet *sets* through the network and
+//! enumerates rule sequences; here a single concrete packet is walked hop
+//! by hop, looking up its first-match rule at each device and following
+//! the action. With ECMP the packet belongs to every leg's path, so
+//! [`ToyNet::walks`] enumerates all branches depth-first; on ECMP-free
+//! networks there is exactly one walk and it must agree with `traceroute`.
+//!
+//! Toy rules have no rewrites and no ingress constraints, so a walk is a
+//! function of the packet and the start device alone.
+
+use crate::set::PacketSet;
+use crate::space::{ToyPacket, ToySpace};
+use crate::table::{ToyAction, ToyRule, ToyTable, ToyTableMode};
+
+/// What an interface attaches to, mirroring `netmodel::IfaceKind`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ToyIfaceKind {
+    P2p,
+    Host,
+    External,
+    Loopback,
+}
+
+#[derive(Clone, Debug)]
+pub struct ToyIface {
+    pub device: usize,
+    pub kind: ToyIfaceKind,
+    /// Peer interface (global index) for connected P2p links.
+    pub peer: Option<u32>,
+}
+
+/// A toy network: one rule table per device plus globally indexed
+/// interfaces, built with the same shape as `netmodel::Topology` +
+/// `Network` so the embedding is a 1:1 index map.
+#[derive(Clone, Debug, Default)]
+pub struct ToyNet {
+    tables: Vec<ToyTable>,
+    ifaces: Vec<ToyIface>,
+}
+
+/// How a walk ended, mirroring `dataplane`'s `TraceOutcome`/`Terminal`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalkEnd {
+    Delivered { device: usize, iface: u32 },
+    Exited { device: usize, iface: u32 },
+    Dropped { device: usize, rule: usize },
+    Unmatched { device: usize },
+    HopLimit,
+}
+
+/// One complete walk: the `(device, rule index)` sequence exercised, and
+/// how it ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Walk {
+    pub hops: Vec<(usize, usize)>,
+    pub end: WalkEnd,
+}
+
+impl Walk {
+    pub fn delivered(&self) -> bool {
+        matches!(self.end, WalkEnd::Delivered { .. })
+    }
+
+    /// Devices traversed, in order.
+    pub fn devices(&self) -> Vec<usize> {
+        self.hops.iter().map(|&(d, _)| d).collect()
+    }
+}
+
+impl ToyNet {
+    pub fn new() -> ToyNet {
+        ToyNet::default()
+    }
+
+    /// Add a device with an empty LPM table.
+    pub fn add_device(&mut self) -> usize {
+        self.tables.push(ToyTable::new(ToyTableMode::Lpm));
+        self.tables.len() - 1
+    }
+
+    /// Add an unconnected interface; returns its global index.
+    pub fn add_iface(&mut self, device: usize, kind: ToyIfaceKind) -> u32 {
+        self.ifaces.push(ToyIface {
+            device,
+            kind,
+            peer: None,
+        });
+        (self.ifaces.len() - 1) as u32
+    }
+
+    /// Create a point-to-point link; returns `(a_side, b_side)`.
+    pub fn add_link(&mut self, a: usize, b: usize) -> (u32, u32) {
+        let ai = self.add_iface(a, ToyIfaceKind::P2p);
+        let bi = self.add_iface(b, ToyIfaceKind::P2p);
+        self.ifaces[ai as usize].peer = Some(bi);
+        self.ifaces[bi as usize].peer = Some(ai);
+        (ai, bi)
+    }
+
+    pub fn add_rule(&mut self, device: usize, rule: ToyRule) {
+        self.tables[device].push(rule);
+    }
+
+    /// Finalize every table into first-match order.
+    pub fn finalize(&mut self) {
+        for t in &mut self.tables {
+            t.finalize();
+        }
+    }
+
+    pub fn device_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn iface_count(&self) -> usize {
+        self.ifaces.len()
+    }
+
+    pub fn iface(&self, i: u32) -> &ToyIface {
+        &self.ifaces[i as usize]
+    }
+
+    pub fn table(&self, device: usize) -> &ToyTable {
+        &self.tables[device]
+    }
+
+    pub fn table_mut(&mut self, device: usize) -> &mut ToyTable {
+        &mut self.tables[device]
+    }
+
+    /// All walks of `packet` starting at `start`, one per ECMP branch
+    /// combination, in depth-first leg order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has not been finalized.
+    pub fn walks(
+        &self,
+        space: &ToySpace,
+        start: usize,
+        packet: ToyPacket,
+        max_hops: usize,
+    ) -> Vec<Walk> {
+        let mut out = Vec::new();
+        let mut hops = Vec::new();
+        self.dfs(space, start, packet, max_hops, &mut hops, &mut out);
+        out
+    }
+
+    fn dfs(
+        &self,
+        space: &ToySpace,
+        device: usize,
+        packet: ToyPacket,
+        max_hops: usize,
+        hops: &mut Vec<(usize, usize)>,
+        out: &mut Vec<Walk>,
+    ) {
+        if hops.len() >= max_hops {
+            out.push(Walk {
+                hops: hops.clone(),
+                end: WalkEnd::HopLimit,
+            });
+            return;
+        }
+        let Some(rule_idx) = self.tables[device].winner(space, packet) else {
+            out.push(Walk {
+                hops: hops.clone(),
+                end: WalkEnd::Unmatched { device },
+            });
+            return;
+        };
+        hops.push((device, rule_idx));
+        let rule = &self.tables[device].rules_unchecked()[rule_idx];
+        match &rule.action {
+            ToyAction::Drop => {
+                out.push(Walk {
+                    hops: hops.clone(),
+                    end: WalkEnd::Dropped {
+                        device,
+                        rule: rule_idx,
+                    },
+                });
+            }
+            ToyAction::Forward(legs) => {
+                for &leg in legs {
+                    let ifc = self.iface(leg);
+                    match ifc.kind {
+                        ToyIfaceKind::P2p => match ifc.peer {
+                            Some(peer) => {
+                                let next = self.iface(peer).device;
+                                self.dfs(space, next, packet, max_hops, hops, out);
+                            }
+                            None => out.push(Walk {
+                                hops: hops.clone(),
+                                end: WalkEnd::Exited { device, iface: leg },
+                            }),
+                        },
+                        ToyIfaceKind::Host | ToyIfaceKind::Loopback => out.push(Walk {
+                            hops: hops.clone(),
+                            end: WalkEnd::Delivered { device, iface: leg },
+                        }),
+                        ToyIfaceKind::External => out.push(Walk {
+                            hops: hops.clone(),
+                            end: WalkEnd::Exited { device, iface: leg },
+                        }),
+                    }
+                }
+            }
+        }
+        hops.pop();
+    }
+
+    /// The single walk of a packet through an ECMP-free network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any branch point is hit (more than one walk exists).
+    pub fn walk(&self, space: &ToySpace, start: usize, packet: ToyPacket, max_hops: usize) -> Walk {
+        let mut ws = self.walks(space, start, packet, max_hops);
+        assert_eq!(ws.len(), 1, "network has ECMP fan-out; use walks()");
+        ws.pop().unwrap()
+    }
+
+    /// Packets injected at `start` that some walk delivers out `iface`.
+    pub fn delivered_at(
+        &self,
+        space: &ToySpace,
+        start: usize,
+        iface: u32,
+        max_hops: usize,
+    ) -> PacketSet {
+        PacketSet::from_pred(space, |p| {
+            self.walks(space, start, p, max_hops).iter().any(|w| {
+                w.end
+                    == WalkEnd::Delivered {
+                        device: self.iface(iface).device,
+                        iface,
+                    }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::ToyPrefix;
+
+    fn space() -> ToySpace {
+        ToySpace::default()
+    }
+
+    /// in → a → b → out, default-routed.
+    fn chain() -> (ToyNet, usize, u32) {
+        let mut net = ToyNet::new();
+        let a = net.add_device();
+        let b = net.add_device();
+        let _ingress = net.add_iface(a, ToyIfaceKind::Host);
+        let egress = net.add_iface(b, ToyIfaceKind::Host);
+        let (ab, _) = net.add_link(a, b);
+        net.add_rule(a, ToyRule::forward(ToyPrefix::new(0, 0), vec![ab]));
+        net.add_rule(b, ToyRule::forward(ToyPrefix::new(0, 0), vec![egress]));
+        net.finalize();
+        (net, a, egress)
+    }
+
+    #[test]
+    fn chain_delivers_everything() {
+        let s = space();
+        let (net, a, egress) = chain();
+        let w = net.walk(&s, a, s.pack(7, 3, 1), 16);
+        assert!(w.delivered());
+        assert_eq!(w.devices(), vec![0, 1]);
+        assert_eq!(net.delivered_at(&s, a, egress, 16).len() as u32, s.size());
+    }
+
+    #[test]
+    fn drop_and_unmatched_end_walks() {
+        let s = space();
+        let mut net = ToyNet::new();
+        let a = net.add_device();
+        net.add_rule(a, ToyRule::null_route(ToyPrefix::new(0b1, 1)));
+        net.finalize();
+        let hit = net.walk(&s, a, s.pack(0xFF, 0, 0), 16);
+        assert_eq!(hit.end, WalkEnd::Dropped { device: a, rule: 0 });
+        let miss = net.walk(&s, a, s.pack(0, 0, 0), 16);
+        assert_eq!(miss.end, WalkEnd::Unmatched { device: a });
+        assert!(miss.hops.is_empty());
+    }
+
+    #[test]
+    fn ecmp_diamond_yields_two_walks() {
+        let s = space();
+        let mut net = ToyNet::new();
+        let a = net.add_device();
+        let b = net.add_device();
+        let c = net.add_device();
+        let d = net.add_device();
+        let egress = net.add_iface(d, ToyIfaceKind::Host);
+        let (ab, _) = net.add_link(a, b);
+        let (ac, _) = net.add_link(a, c);
+        let (bd, _) = net.add_link(b, d);
+        let (cd, _) = net.add_link(c, d);
+        let any = ToyPrefix::new(0, 0);
+        net.add_rule(a, ToyRule::forward(any, vec![ab, ac]));
+        net.add_rule(b, ToyRule::forward(any, vec![bd]));
+        net.add_rule(c, ToyRule::forward(any, vec![cd]));
+        net.add_rule(d, ToyRule::forward(any, vec![egress]));
+        net.finalize();
+        let ws = net.walks(&s, a, 0, 16);
+        assert_eq!(ws.len(), 2);
+        assert!(ws.iter().all(|w| w.delivered() && w.hops.len() == 3));
+        assert_eq!(ws[0].devices(), vec![a, b, d]);
+        assert_eq!(ws[1].devices(), vec![a, c, d]);
+    }
+
+    #[test]
+    fn loops_hit_the_hop_limit() {
+        let s = space();
+        let mut net = ToyNet::new();
+        let a = net.add_device();
+        let b = net.add_device();
+        let (ab, ba) = net.add_link(a, b);
+        let any = ToyPrefix::new(0, 0);
+        net.add_rule(a, ToyRule::forward(any, vec![ab]));
+        net.add_rule(b, ToyRule::forward(any, vec![ba]));
+        net.finalize();
+        let w = net.walk(&s, a, 0, 8);
+        assert_eq!(w.end, WalkEnd::HopLimit);
+        assert_eq!(w.hops.len(), 8);
+    }
+
+    #[test]
+    fn dangling_and_external_ifaces_exit() {
+        let s = space();
+        let mut net = ToyNet::new();
+        let a = net.add_device();
+        let wan = net.add_iface(a, ToyIfaceKind::External);
+        let dangling = net.add_iface(a, ToyIfaceKind::P2p);
+        net.add_rule(a, ToyRule::forward(ToyPrefix::new(0b0, 1), vec![wan]));
+        net.add_rule(a, ToyRule::forward(ToyPrefix::new(0b1, 1), vec![dangling]));
+        net.finalize();
+        let lo = net.walk(&s, a, s.pack(0, 0, 0), 8);
+        assert_eq!(
+            lo.end,
+            WalkEnd::Exited {
+                device: a,
+                iface: wan
+            }
+        );
+        let hi = net.walk(&s, a, s.pack(0xFF, 0, 0), 8);
+        assert_eq!(
+            hi.end,
+            WalkEnd::Exited {
+                device: a,
+                iface: dangling
+            }
+        );
+    }
+}

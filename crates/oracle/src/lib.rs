@@ -1,0 +1,47 @@
+//! # oracle — brute-force differential reference for the symbolic stack
+//!
+//! Every layer of this workspace manipulates packet sets *symbolically*
+//! (hash-consed BDDs, residual match sets, fixpoint reachability). A bug in
+//! any of those layers produces plausible-looking coverage numbers that are
+//! silently wrong — the worst failure mode for a measurement system. The
+//! follow-up work to the source paper (*Test Coverage for Network
+//! Configurations*, NSDI '23) and P4Testgen both draw the same conclusion:
+//! a symbolic engine is only trustworthy when an independent,
+//! dumb-but-obviously-correct reference implementation checks it.
+//!
+//! This crate is that reference. It re-implements the contract of every
+//! layer by **explicit enumeration** over a shrunken, configurable header
+//! space ([`ToySpace`], default 8-bit dst + 4-bit src + 2-bit proto =
+//! 16384 packets), where a packet set is literally a `HashSet<u32>`:
+//!
+//! | layer | symbolic implementation | oracle mirror |
+//! |-------|-------------------------|---------------|
+//! | set algebra | `netbdd::Bdd` ITE engine | [`PacketSet`] bit-by-bit ops |
+//! | LPM + disjoint match sets | `netmodel::MatchSets` | [`table`] first-match winner scan |
+//! | forwarding | `dataplane::forward`/`paths` | [`forward`] per-packet walks |
+//! | Algorithm 1 covered sets | `yardstick::CoveredSets` | [`covered`] |
+//! | coverage metrics | `yardstick::Analyzer` | [`metrics`] counting ratios |
+//!
+//! The differential proptest suites in `netbdd`, `netmodel`, `dataplane`,
+//! and `core` generate random rule tables, traces, and expressions over the
+//! toy space and assert `symbolic == oracle` for each contract; [`embed`]
+//! maps toy objects onto the real 201-bit header model so both sides see
+//! the same network.
+//!
+//! Nothing in this crate is clever on purpose. If a check disagrees, trust
+//! the oracle.
+
+pub mod covered;
+pub mod embed;
+pub mod forward;
+pub mod metrics;
+pub mod set;
+pub mod space;
+pub mod table;
+
+pub use covered::{net_match_sets, CoveredOracle, ToyTrace};
+pub use forward::{ToyIface, ToyIfaceKind, ToyNet, Walk, WalkEnd};
+pub use metrics::{MetricsOracle, ToyAggregator};
+pub use set::PacketSet;
+pub use space::{ToyPacket, ToySpace};
+pub use table::{TableOracle, ToyAction, ToyPrefix, ToyRule, ToyTable, ToyTableMode};

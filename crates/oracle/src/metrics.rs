@@ -1,0 +1,346 @@
+//! Coverage metrics by counting: the oracle's answer to
+//! `yardstick::Analyzer`.
+//!
+//! Where the analyzer divides BDD probabilities, the oracle divides packet
+//! counts — over the toy space the two are the same number, because every
+//! probability is `|set| / 2^bits`. The aggregators are re-implemented
+//! rather than imported so the oracle shares no code with the
+//! implementation it judges.
+
+use crate::covered::{CoveredOracle, ToyTrace};
+use crate::forward::{ToyIfaceKind, ToyNet};
+use crate::space::ToySpace;
+use crate::table::TableOracle;
+
+/// Mirror of `yardstick::Aggregator` (Equation 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ToyAggregator {
+    Mean,
+    Weighted,
+    Fractional,
+}
+
+impl ToyAggregator {
+    /// Fold `(coverage, weight)` pairs; `None` on an empty collection.
+    pub fn fold(self, items: &[(f64, f64)]) -> Option<f64> {
+        if items.is_empty() {
+            return None;
+        }
+        Some(match self {
+            ToyAggregator::Mean => items.iter().map(|&(c, _)| c).sum::<f64>() / items.len() as f64,
+            ToyAggregator::Weighted => {
+                let total: f64 = items.iter().map(|&(_, w)| w).sum();
+                if total == 0.0 {
+                    0.0
+                } else {
+                    items.iter().map(|&(c, w)| c * w).sum::<f64>() / total
+                }
+            }
+            ToyAggregator::Fractional => {
+                items.iter().filter(|&&(c, _)| c > 0.0).count() as f64 / items.len() as f64
+            }
+        })
+    }
+}
+
+/// Count-based coverage metrics over a toy network, trace, and the
+/// covered sets derived from them.
+pub struct MetricsOracle<'a> {
+    net: &'a ToyNet,
+    ms: &'a [TableOracle],
+    trace: &'a ToyTrace,
+    covered: CoveredOracle,
+}
+
+impl<'a> MetricsOracle<'a> {
+    pub fn new(
+        space: &ToySpace,
+        net: &'a ToyNet,
+        ms: &'a [TableOracle],
+        trace: &'a ToyTrace,
+    ) -> MetricsOracle<'a> {
+        let covered = CoveredOracle::compute(space, ms, trace);
+        MetricsOracle {
+            net,
+            ms,
+            trace,
+            covered,
+        }
+    }
+
+    pub fn covered_sets(&self) -> &CoveredOracle {
+        &self.covered
+    }
+
+    /// Rule coverage `|T[r]| / |M[r]|`; `None` for shadowed rules.
+    pub fn rule_coverage(&self, device: usize, index: usize) -> Option<f64> {
+        let m = self.ms[device].get(index);
+        if m.is_empty() {
+            return None;
+        }
+        Some(self.covered.get(device, index).len() as f64 / m.len() as f64)
+    }
+
+    /// Device coverage `|∪T| / |∪M|`; `None` for rule-less devices.
+    pub fn device_coverage(&self, device: usize) -> Option<f64> {
+        let total = self.ms[device].device_total();
+        if total.is_empty() {
+            return None;
+        }
+        let mut covered = crate::set::PacketSet::empty();
+        for i in 0..self.ms[device].len() {
+            covered = covered.or(self.covered.get(device, i));
+        }
+        Some(covered.len() as f64 / total.len() as f64)
+    }
+
+    /// Rules (as `(device, index)`) whose action forwards out `iface`.
+    fn rules_out_iface(&self, iface: u32) -> Vec<(usize, usize)> {
+        let device = self.net.iface(iface).device;
+        self.net
+            .table(device)
+            .rules_unchecked()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.action.out_ifaces().contains(&iface))
+            .map(|(i, _)| (device, i))
+            .collect()
+    }
+
+    /// Outgoing interface coverage: `Σ|T| / Σ|M|` over the rules that
+    /// forward out `iface`; `None` when no rule can use it.
+    pub fn out_iface_coverage(&self, iface: u32) -> Option<f64> {
+        let mut m_total = 0usize;
+        let mut t_total = 0usize;
+        for (d, i) in self.rules_out_iface(iface) {
+            m_total += self.ms[d].get(i).len();
+            t_total += self.covered.get(d, i).len();
+        }
+        if m_total == 0 {
+            return None;
+        }
+        Some(t_total as f64 / m_total as f64)
+    }
+
+    /// Incoming interface coverage: over the device's rules, the fraction
+    /// of match-set space covered by packets recorded *on that interface*
+    /// (inspected rules count as fully covered).
+    pub fn in_iface_coverage(&self, iface: u32) -> Option<f64> {
+        let device = self.net.iface(iface).device;
+        let arrived = self.trace.at_device_iface(device, iface);
+        let mut m_total = 0usize;
+        let mut t_total = 0usize;
+        for i in 0..self.ms[device].len() {
+            let m = self.ms[device].get(i);
+            if m.is_empty() {
+                continue;
+            }
+            m_total += m.len();
+            if self.trace.contains_rule(device, i) {
+                t_total += m.len();
+            } else {
+                t_total += arrived.and(m).len();
+            }
+        }
+        if m_total == 0 {
+            return None;
+        }
+        Some(t_total as f64 / m_total as f64)
+    }
+
+    /// Aggregate rule coverage over rules passing `filter`; shadowed
+    /// rules are excluded.
+    pub fn aggregate_rules(
+        &self,
+        agg: ToyAggregator,
+        filter: impl Fn(usize, usize) -> bool,
+    ) -> Option<f64> {
+        let mut items = Vec::new();
+        for (d, ms) in self.ms.iter().enumerate() {
+            for i in 0..ms.len() {
+                if !filter(d, i) {
+                    continue;
+                }
+                if let Some(c) = self.rule_coverage(d, i) {
+                    let w = ms.get(i).len() as f64;
+                    items.push((c, w));
+                }
+            }
+        }
+        agg.fold(&items)
+    }
+
+    /// Aggregate device coverage over devices passing `filter`.
+    pub fn aggregate_devices(
+        &self,
+        agg: ToyAggregator,
+        filter: impl Fn(usize) -> bool,
+    ) -> Option<f64> {
+        let mut items = Vec::new();
+        for d in 0..self.ms.len() {
+            if !filter(d) {
+                continue;
+            }
+            if let Some(c) = self.device_coverage(d) {
+                let w = self.ms[d].device_total().len() as f64;
+                items.push((c, w));
+            }
+        }
+        agg.fold(&items)
+    }
+
+    /// Aggregate outgoing-interface coverage. Loopbacks are excluded;
+    /// interfaces no rule forwards out of count as 0.
+    pub fn aggregate_out_ifaces(
+        &self,
+        agg: ToyAggregator,
+        filter: impl Fn(u32) -> bool,
+    ) -> Option<f64> {
+        let mut items = Vec::new();
+        for iface in 0..self.net.iface_count() as u32 {
+            if self.net.iface(iface).kind == ToyIfaceKind::Loopback || !filter(iface) {
+                continue;
+            }
+            let c = self.out_iface_coverage(iface).unwrap_or(0.0);
+            let w: usize = self
+                .rules_out_iface(iface)
+                .into_iter()
+                .map(|(d, i)| self.ms[d].get(i).len())
+                .sum();
+            items.push((c, w as f64));
+        }
+        agg.fold(&items)
+    }
+
+    /// Aggregate incoming-interface coverage. Loopbacks are excluded;
+    /// interfaces with no reachable rules are vacuous and skipped.
+    pub fn aggregate_in_ifaces(
+        &self,
+        agg: ToyAggregator,
+        filter: impl Fn(u32) -> bool,
+    ) -> Option<f64> {
+        let mut items = Vec::new();
+        for iface in 0..self.net.iface_count() as u32 {
+            if self.net.iface(iface).kind == ToyIfaceKind::Loopback || !filter(iface) {
+                continue;
+            }
+            if let Some(c) = self.in_iface_coverage(iface) {
+                let device = self.net.iface(iface).device;
+                let w = self.ms[device].device_total().len() as f64;
+                items.push((c, w));
+            }
+        }
+        agg.fold(&items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::covered::net_match_sets;
+    use crate::set::PacketSet;
+    use crate::table::{ToyPrefix, ToyRule};
+
+    /// tor(/4 → hosts, default → spine) — spine(/4 → back down).
+    fn build() -> (ToySpace, ToyNet, u32, u32) {
+        let s = ToySpace::default();
+        let mut net = ToyNet::new();
+        let tor = net.add_device();
+        let spine = net.add_device();
+        let h = net.add_iface(tor, ToyIfaceKind::Host);
+        let (ts, st) = net.add_link(tor, spine);
+        net.add_rule(tor, ToyRule::forward(ToyPrefix::new(0b1010, 4), vec![h]));
+        net.add_rule(tor, ToyRule::forward(ToyPrefix::new(0, 0), vec![ts]));
+        net.add_rule(spine, ToyRule::forward(ToyPrefix::new(0b1010, 4), vec![st]));
+        net.finalize();
+        (s, net, ts, st)
+    }
+
+    #[test]
+    fn empty_trace_means_zero_everywhere() {
+        let (s, mut net, _, _) = build();
+        let ms = net_match_sets(&s, &mut net);
+        let trace = ToyTrace::new();
+        let m = MetricsOracle::new(&s, &net, &ms, &trace);
+        assert_eq!(m.device_coverage(0), Some(0.0));
+        assert_eq!(
+            m.aggregate_rules(ToyAggregator::Fractional, |_, _| true),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn marking_everything_gives_full_coverage() {
+        let (s, mut net, _, _) = build();
+        let ms = net_match_sets(&s, &mut net);
+        let mut trace = ToyTrace::new();
+        trace.add_packets(0, None, PacketSet::full(&s));
+        trace.add_packets(1, None, PacketSet::full(&s));
+        let m = MetricsOracle::new(&s, &net, &ms, &trace);
+        for agg in [
+            ToyAggregator::Mean,
+            ToyAggregator::Weighted,
+            ToyAggregator::Fractional,
+        ] {
+            assert_eq!(m.aggregate_rules(agg, |_, _| true), Some(1.0));
+            assert_eq!(m.aggregate_devices(agg, |_| true), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn partial_marks_give_exact_ratios() {
+        let (s, mut net, _, _) = build();
+        let ms = net_match_sets(&s, &mut net);
+        let mut trace = ToyTrace::new();
+        // Half of the tor /4 (a /5-equivalent block).
+        let half = PacketSet::from_pred(&s, |p| s.dst(p) >> 3 == 0b10100);
+        trace.add_packets(0, None, half);
+        let m = MetricsOracle::new(&s, &net, &ms, &trace);
+        assert_eq!(m.rule_coverage(0, 0), Some(0.5));
+        assert_eq!(m.rule_coverage(0, 1), Some(0.0));
+        // Device: covered 2^9 packets of 2^14.
+        assert_eq!(
+            m.device_coverage(0),
+            Some((1 << 9) as f64 / s.size() as f64)
+        );
+        assert_eq!(m.rule_coverage(1, 0), Some(0.0));
+    }
+
+    #[test]
+    fn out_iface_coverage_follows_its_rules() {
+        let (s, mut net, ts, st) = build();
+        let ms = net_match_sets(&s, &mut net);
+        let mut trace = ToyTrace::new();
+        trace.add_rule(0, 1); // inspect tor's default (out the uplink)
+        let m = MetricsOracle::new(&s, &net, &ms, &trace);
+        assert_eq!(m.out_iface_coverage(ts), Some(1.0));
+        assert_eq!(m.out_iface_coverage(st), Some(0.0));
+        // Host iface: its /4 rule untested.
+        assert_eq!(m.out_iface_coverage(0), Some(0.0));
+    }
+
+    #[test]
+    fn in_iface_coverage_needs_ingress_marks() {
+        let (s, mut net, _, st) = build();
+        let ms = net_match_sets(&s, &mut net);
+        // Device-level marks at spine leave its ingress at zero.
+        let mut t1 = ToyTrace::new();
+        t1.add_packets(1, None, PacketSet::full(&s));
+        let m1 = MetricsOracle::new(&s, &net, &ms, &t1);
+        assert_eq!(m1.in_iface_coverage(st), Some(0.0));
+        // Ingress-tagged marks cover it fully.
+        let mut t2 = ToyTrace::new();
+        t2.add_packets(1, Some(st), PacketSet::full(&s));
+        let m2 = MetricsOracle::new(&s, &net, &ms, &t2);
+        assert_eq!(m2.in_iface_coverage(st), Some(1.0));
+    }
+
+    #[test]
+    fn aggregators_fold_as_documented() {
+        let items = vec![(1.0, 1.0), (0.0, 3.0)];
+        assert_eq!(ToyAggregator::Mean.fold(&items), Some(0.5));
+        assert_eq!(ToyAggregator::Weighted.fold(&items), Some(0.25));
+        assert_eq!(ToyAggregator::Fractional.fold(&items), Some(0.5));
+        assert_eq!(ToyAggregator::Mean.fold(&[]), None);
+    }
+}

@@ -1,0 +1,328 @@
+//! Rule tables by winner scan: the oracle's answer to `netmodel`'s
+//! LPM ordering and disjoint match-set computation.
+//!
+//! The symbolic side turns an ordered table into residual match sets with
+//! BDD subtraction (`raw − matched-so-far`). Here we instead ask, for every
+//! packet individually, "which rule is the first to match you?" — the two
+//! must pick the same rule for every packet, and the induced partition must
+//! equal the symbolic match sets.
+
+use crate::set::PacketSet;
+use crate::space::{ToyPacket, ToySpace};
+
+/// A prefix over the toy destination (or source) field: the top `len` bits
+/// are fixed to `bits`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ToyPrefix {
+    /// The fixed high-order bits, right-aligned (`bits < 2^len`).
+    pub bits: u32,
+    /// Number of fixed bits, `0..=field_width`.
+    pub len: u32,
+}
+
+impl ToyPrefix {
+    pub fn new(bits: u32, len: u32) -> ToyPrefix {
+        debug_assert!(len == 0 || bits < (1 << len));
+        ToyPrefix { bits, len }
+    }
+
+    /// Whether a field value of width `field_bits` falls inside the prefix.
+    pub fn contains(&self, value: u32, field_bits: u32) -> bool {
+        debug_assert!(self.len <= field_bits);
+        if self.len == 0 {
+            return true;
+        }
+        value >> (field_bits - self.len) == self.bits
+    }
+}
+
+/// What a toy rule does. Interface numbers are local to the device; the
+/// embedding layer maps them onto real `IfaceId`s.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ToyAction {
+    Forward(Vec<u32>),
+    Drop,
+}
+
+impl ToyAction {
+    pub fn is_drop(&self) -> bool {
+        matches!(self, ToyAction::Drop)
+    }
+
+    pub fn out_ifaces(&self) -> &[u32] {
+        match self {
+            ToyAction::Forward(out) => out,
+            ToyAction::Drop => &[],
+        }
+    }
+}
+
+/// One toy match-action rule: optional dst prefix (the LPM key), optional
+/// src prefix, optional exact protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ToyRule {
+    pub dst: Option<ToyPrefix>,
+    pub src: Option<ToyPrefix>,
+    pub proto: Option<u32>,
+    pub action: ToyAction,
+}
+
+impl ToyRule {
+    /// A destination-prefix forwarding rule — the common FIB case.
+    pub fn forward(dst: ToyPrefix, out: Vec<u32>) -> ToyRule {
+        ToyRule {
+            dst: Some(dst),
+            src: None,
+            proto: None,
+            action: ToyAction::Forward(out),
+        }
+    }
+
+    /// A destination-prefix null route.
+    pub fn null_route(dst: ToyPrefix) -> ToyRule {
+        ToyRule {
+            dst: Some(dst),
+            src: None,
+            proto: None,
+            action: ToyAction::Drop,
+        }
+    }
+
+    /// Whether the rule's raw match contains `p`.
+    pub fn matches(&self, space: &ToySpace, p: ToyPacket) -> bool {
+        if let Some(d) = &self.dst {
+            if !d.contains(space.dst(p), space.dst_bits) {
+                return false;
+            }
+        }
+        if let Some(s) = &self.src {
+            if !s.contains(space.src(p), space.src_bits) {
+                return false;
+            }
+        }
+        if let Some(proto) = self.proto {
+            if space.proto(p) != proto {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The raw (pre-shadowing) match set.
+    pub fn raw_match(&self, space: &ToySpace) -> PacketSet {
+        PacketSet::from_pred(space, |p| self.matches(space, p))
+    }
+}
+
+/// Ordering discipline, mirroring `netmodel::TableMode`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ToyTableMode {
+    /// Stable sort by descending dst-prefix length; `None` sorts like /0.
+    Lpm,
+    /// First inserted wins.
+    Priority,
+}
+
+/// An ordered toy rule table.
+#[derive(Clone, Debug)]
+pub struct ToyTable {
+    pub mode: ToyTableMode,
+    rules: Vec<ToyRule>,
+    sorted: bool,
+}
+
+impl ToyTable {
+    pub fn new(mode: ToyTableMode) -> ToyTable {
+        ToyTable {
+            mode,
+            rules: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    pub fn push(&mut self, rule: ToyRule) {
+        self.rules.push(rule);
+        self.sorted = false;
+    }
+
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Sort into first-match order, exactly like `Table::finalize`: LPM
+    /// tables stably by descending dst length (ties keep insertion order).
+    pub fn finalize(&mut self) {
+        if !self.sorted {
+            if self.mode == ToyTableMode::Lpm {
+                self.rules
+                    .sort_by_key(|r| std::cmp::Reverse(r.dst.map(|p| p.len).unwrap_or(0)));
+            }
+            self.sorted = true;
+        }
+    }
+
+    /// Rules in first-match order.
+    pub fn rules(&mut self) -> &[ToyRule] {
+        self.finalize();
+        &self.rules
+    }
+
+    /// Rules in first-match order, for tables already finalized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rules were pushed since the last [`ToyTable::finalize`].
+    pub fn rules_unchecked(&self) -> &[ToyRule] {
+        assert!(self.sorted, "table not finalized");
+        &self.rules
+    }
+
+    /// Index of the first rule matching `p`, scanning in first-match order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has not been finalized.
+    pub fn winner(&self, space: &ToySpace, p: ToyPacket) -> Option<usize> {
+        assert!(self.sorted, "table not finalized");
+        self.rules.iter().position(|r| r.matches(space, p))
+    }
+}
+
+/// Disjoint match sets for one toy table — the mirror of
+/// `netmodel::MatchSets` restricted to a single device.
+#[derive(Clone, Debug)]
+pub struct TableOracle {
+    /// `effective[i]` = packets whose first match is rule `i`.
+    effective: Vec<PacketSet>,
+    /// Packets matched by any rule.
+    total: PacketSet,
+}
+
+impl TableOracle {
+    /// Partition the space by first-match winner.
+    pub fn compute(space: &ToySpace, table: &mut ToyTable) -> TableOracle {
+        table.finalize();
+        let mut effective = vec![PacketSet::empty(); table.len()];
+        let mut total = PacketSet::empty();
+        for p in space.packets() {
+            if let Some(i) = table.winner(space, p) {
+                effective[i].insert(p);
+                total.insert(p);
+            }
+        }
+        TableOracle { effective, total }
+    }
+
+    /// The effective (residual) match set of rule `i`.
+    pub fn get(&self, i: usize) -> &PacketSet {
+        &self.effective[i]
+    }
+
+    /// Union of all effective match sets.
+    pub fn device_total(&self) -> &PacketSet {
+        &self.total
+    }
+
+    /// Whether rule `i` is fully shadowed by earlier rules.
+    pub fn is_shadowed(&self, i: usize) -> bool {
+        self.effective[i].is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.effective.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.effective.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> ToySpace {
+        ToySpace::default()
+    }
+
+    #[test]
+    fn lpm_orders_longest_first_and_default_wins_leftovers() {
+        let s = space();
+        let mut t = ToyTable::new(ToyTableMode::Lpm);
+        t.push(ToyRule::forward(ToyPrefix::new(0, 0), vec![0])); // default
+        t.push(ToyRule::forward(ToyPrefix::new(0b1010, 4), vec![1]));
+        let oracle = TableOracle::compute(&s, &mut t);
+        // After LPM sort the /4 is rule 0 and the default is rule 1.
+        let p_specific = s.pack(0b1010_0000, 0, 0);
+        let p_other = s.pack(0b0000_0001, 0, 0);
+        assert_eq!(t.winner(&s, p_specific), Some(0));
+        assert_eq!(t.winner(&s, p_other), Some(1));
+        assert!(oracle.get(0).contains(p_specific));
+        assert!(oracle.get(1).contains(p_other));
+        assert!(!oracle.get(1).contains(p_specific));
+        assert_eq!(oracle.device_total().len() as u32, s.size());
+    }
+
+    #[test]
+    fn effective_sets_partition_the_total() {
+        let s = space();
+        let mut t = ToyTable::new(ToyTableMode::Lpm);
+        t.push(ToyRule::forward(ToyPrefix::new(0b10, 2), vec![0]));
+        t.push(ToyRule::forward(ToyPrefix::new(0b1011, 4), vec![1]));
+        t.push(ToyRule::null_route(ToyPrefix::new(0b101, 3)));
+        let oracle = TableOracle::compute(&s, &mut t);
+        let mut union = PacketSet::empty();
+        for i in 0..oracle.len() {
+            for j in i + 1..oracle.len() {
+                assert!(oracle.get(i).and(oracle.get(j)).is_empty());
+            }
+            union = union.or(oracle.get(i));
+        }
+        assert_eq!(&union, oracle.device_total());
+    }
+
+    #[test]
+    fn duplicate_rule_is_shadowed() {
+        let s = space();
+        let mut t = ToyTable::new(ToyTableMode::Priority);
+        t.push(ToyRule::forward(ToyPrefix::new(0b1, 1), vec![0]));
+        t.push(ToyRule::forward(ToyPrefix::new(0b1, 1), vec![1]));
+        let oracle = TableOracle::compute(&s, &mut t);
+        assert!(!oracle.is_shadowed(0));
+        assert!(oracle.is_shadowed(1));
+    }
+
+    #[test]
+    fn priority_mode_respects_insertion_order() {
+        let s = space();
+        let mut t = ToyTable::new(ToyTableMode::Priority);
+        t.push(ToyRule::null_route(ToyPrefix::new(0, 0)));
+        t.push(ToyRule::forward(ToyPrefix::new(0b1111, 4), vec![0]));
+        let oracle = TableOracle::compute(&s, &mut t);
+        // The catch-all drop shadows the later specific completely.
+        assert!(oracle.is_shadowed(1));
+        assert_eq!(oracle.get(0).len() as u32, s.size());
+    }
+
+    #[test]
+    fn proto_and_src_constraints_conjoin() {
+        let s = space();
+        let rule = ToyRule {
+            dst: Some(ToyPrefix::new(0b1, 1)),
+            src: Some(ToyPrefix::new(0b01, 2)),
+            proto: Some(3),
+            action: ToyAction::Drop,
+        };
+        let raw = rule.raw_match(&s);
+        for p in raw.iter() {
+            assert!(s.dst(p) >= 128);
+            assert_eq!(s.src(p) >> 2, 0b01);
+            assert_eq!(s.proto(p), 3);
+        }
+        assert_eq!(raw.len() as u32, s.size() / 2 / 4 / 4);
+    }
+}

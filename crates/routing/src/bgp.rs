@@ -50,7 +50,10 @@ pub struct BgpConfig {
 
 impl Default for BgpConfig {
     fn default() -> BgpConfig {
-        BgpConfig { allow_as_in: true, max_rounds: 0 }
+        BgpConfig {
+            allow_as_in: true,
+            max_rounds: 0,
+        }
     }
 }
 
@@ -84,7 +87,11 @@ pub fn simulate(
     let n = topo.device_count();
     assert_eq!(asns.len(), n);
     assert_eq!(tiers.len(), n);
-    let max_rounds = if config.max_rounds == 0 { n + 2 } else { config.max_rounds };
+    let max_rounds = if config.max_rounds == 0 {
+        n + 2
+    } else {
+        config.max_rounds
+    };
 
     // Group originations by prefix for acceptance checks.
     let mut by_prefix: BTreeMap<Prefix, Vec<&Origination>> = BTreeMap::new();
@@ -102,11 +109,19 @@ pub fn simulate(
     // Loc-RIBs, seeded with local originations.
     let mut ribs: Vec<BTreeMap<Prefix, BgpRoute>> = vec![BTreeMap::new(); n];
     for o in originations {
-        if by_prefix[&o.prefix].iter().any(|oo| oo.blocked.contains(&o.device)) {
+        if by_prefix[&o.prefix]
+            .iter()
+            .any(|oo| oo.blocked.contains(&o.device))
+        {
             continue;
         }
-        ribs[o.device.0 as usize]
-            .insert(o.prefix, BgpRoute { as_path: Vec::new(), next_hops: Vec::new() });
+        ribs[o.device.0 as usize].insert(
+            o.prefix,
+            BgpRoute {
+                as_path: Vec::new(),
+                next_hops: Vec::new(),
+            },
+        );
     }
 
     let mut rounds = 0;
@@ -140,7 +155,11 @@ pub fn simulate(
             }
             for (prefix, cands) in candidates {
                 // Keep local originations (path length 0 always wins).
-                if ribs[di].get(&prefix).map(|r| r.as_path.is_empty()).unwrap_or(false) {
+                if ribs[di]
+                    .get(&prefix)
+                    .map(|r| r.as_path.is_empty())
+                    .unwrap_or(false)
+                {
                     continue;
                 }
                 let best_len = cands.iter().map(|(p, _)| p.len()).min().unwrap();
@@ -151,8 +170,12 @@ pub fn simulate(
                     .collect();
                 next_hops.sort();
                 next_hops.dedup();
-                let as_path =
-                    cands.iter().find(|(p, _)| p.len() == best_len).unwrap().0.clone();
+                let as_path = cands
+                    .iter()
+                    .find(|(p, _)| p.len() == best_len)
+                    .unwrap()
+                    .0
+                    .clone();
                 let new = BgpRoute { as_path, next_hops };
                 let replace = match ribs[di].get(&prefix) {
                     None => true,
@@ -183,11 +206,18 @@ mod tests {
     /// A 2-tier fabric: 2 ToRs × 2 spines, one prefix per ToR.
     fn fabric() -> (Topology, Vec<DeviceId>, Vec<DeviceId>, Vec<Origination>) {
         let mut t = Topology::new();
-        let tors = vec![t.add_device("tor1", Role::Tor), t.add_device("tor2", Role::Tor)];
-        let spines =
-            vec![t.add_device("spine1", Role::Spine), t.add_device("spine2", Role::Spine)];
-        let hosts: Vec<IfaceId> =
-            tors.iter().map(|&d| t.add_iface(d, "hosts", IfaceKind::Host)).collect();
+        let tors = vec![
+            t.add_device("tor1", Role::Tor),
+            t.add_device("tor2", Role::Tor),
+        ];
+        let spines = vec![
+            t.add_device("spine1", Role::Spine),
+            t.add_device("spine2", Role::Spine),
+        ];
+        let hosts: Vec<IfaceId> = tors
+            .iter()
+            .map(|&d| t.add_iface(d, "hosts", IfaceKind::Host))
+            .collect();
         for &tor in &tors {
             for &s in &spines {
                 t.add_link(tor, s);
@@ -259,7 +289,10 @@ mod tests {
         let tiers = vec![0, 2, 3, 2, 0];
 
         let with = simulate(&t, &asns, &tiers, &origs, &BgpConfig::default());
-        assert!(with.route(tor1, &p).is_some(), "allow-as-in must admit the route");
+        assert!(
+            with.route(tor1, &p).is_some(),
+            "allow-as-in must admit the route"
+        );
         assert_eq!(with.route(tor1, &p).unwrap().path_len(), 4);
 
         let without = simulate(
@@ -267,7 +300,10 @@ mod tests {
             &asns,
             &tiers,
             &origs,
-            &BgpConfig { allow_as_in: false, ..BgpConfig::default() },
+            &BgpConfig {
+                allow_as_in: false,
+                ..BgpConfig::default()
+            },
         );
         // spineA's import sees path [hub, spineB(64700), tor2] — fine for
         // spineA? It contains 64700 == spineA's ASN → rejected. So tor1
@@ -292,7 +328,10 @@ mod tests {
         let ribs = simulate(&t, &asns, &tiers, &origs, &BgpConfig::default());
         let w: Prefix = "52.0.0.0/16".parse().unwrap();
         for &tor in &tors {
-            assert!(ribs.route(tor, &w).is_none(), "ToRs must not accept scoped WAN routes");
+            assert!(
+                ribs.route(tor, &w).is_none(),
+                "ToRs must not accept scoped WAN routes"
+            );
         }
         // spine2 can't learn it either: the only path is via a ToR, which
         // doesn't accept (and therefore doesn't re-advertise) it.

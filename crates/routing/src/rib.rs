@@ -58,7 +58,14 @@ impl Origination {
         deliver: Option<IfaceId>,
         scope: Scope,
     ) -> Origination {
-        Origination { device, prefix, class, deliver, scope, blocked: Vec::new() }
+        Origination {
+            device,
+            prefix,
+            class,
+            deliver,
+            scope,
+            blocked: Vec::new(),
+        }
     }
 }
 
@@ -201,9 +208,10 @@ impl RibBuilder {
             netmodel::Family::V4 => Prefix::v4(addr as u32, host_len),
             netmodel::Family::V6 => Prefix::v6(addr, host_len),
         };
-        for (dev, addr, deliver) in
-            [(a_dev, addrs.0, self_deliver.0), (b_dev, addrs.1, self_deliver.1)]
-        {
+        for (dev, addr, deliver) in [
+            (a_dev, addrs.0, self_deliver.0),
+            (b_dev, addrs.1, self_deliver.1),
+        ] {
             self.statics.push(StaticRoute {
                 device: dev,
                 prefix: mk_host(addr),
@@ -217,27 +225,29 @@ impl RibBuilder {
     pub fn build(self) -> Network {
         // candidate[(device, prefix)] -> (distance source, class, action)
         let mut best: BTreeMap<(u32, Prefix), (u8, RouteClass, Action)> = BTreeMap::new();
-        let consider =
-            |best: &mut BTreeMap<(u32, Prefix), (u8, RouteClass, Action)>,
-             device: DeviceId,
-             prefix: Prefix,
-             source: Source,
-             class: RouteClass,
-             action: Action| {
-                let key = (device.0, prefix);
-                let dist = admin_distance(source);
-                match best.get(&key) {
-                    Some(&(d, _, _)) if d <= dist => {}
-                    _ => {
-                        best.insert(key, (dist, class, action));
-                    }
+        let consider = |best: &mut BTreeMap<(u32, Prefix), (u8, RouteClass, Action)>,
+                        device: DeviceId,
+                        prefix: Prefix,
+                        source: Source,
+                        class: RouteClass,
+                        action: Action| {
+            let key = (device.0, prefix);
+            let dist = admin_distance(source);
+            match best.get(&key) {
+                Some(&(d, _, _)) if d <= dist => {}
+                _ => {
+                    best.insert(key, (dist, class, action));
                 }
-            };
+            }
+        };
 
         // Statics and connected routes first (they also win ties).
         for s in &self.statics {
-            let source =
-                if s.class == RouteClass::Connected { Source::Connected } else { Source::Static };
+            let source = if s.class == RouteClass::Connected {
+                Source::Connected
+            } else {
+                Source::Static
+            };
             let action = match &s.target {
                 StaticTarget::Ifaces(outs) => Action::Forward(outs.clone()),
                 StaticTarget::Null => Action::Drop,
@@ -276,7 +286,14 @@ impl RibBuilder {
                         .collect();
                     if !outs.is_empty() {
                         let class = origins[0].class;
-                        consider(&mut best, device, prefix, Source::Bgp, class, Action::Forward(outs));
+                        consider(
+                            &mut best,
+                            device,
+                            prefix,
+                            Source::Bgp,
+                            class,
+                            Action::Forward(outs),
+                        );
                     }
                     continue;
                 }
@@ -289,7 +306,14 @@ impl RibBuilder {
                 }
                 debug_assert!(!outs.is_empty());
                 let class = origins[0].class;
-                consider(&mut best, device, prefix, Source::Bgp, class, Action::Forward(outs));
+                consider(
+                    &mut best,
+                    device,
+                    prefix,
+                    Source::Bgp,
+                    class,
+                    Action::Forward(outs),
+                );
             }
         }
 
@@ -371,10 +395,18 @@ mod tests {
 
     fn fabric() -> Fabric {
         let mut t = Topology::new();
-        let tors = vec![t.add_device("tor1", Role::Tor), t.add_device("tor2", Role::Tor)];
-        let spines = vec![t.add_device("spine1", Role::Spine), t.add_device("spine2", Role::Spine)];
-        let hosts: Vec<IfaceId> =
-            tors.iter().map(|&d| t.add_iface(d, "hosts", IfaceKind::Host)).collect();
+        let tors = vec![
+            t.add_device("tor1", Role::Tor),
+            t.add_device("tor2", Role::Tor),
+        ];
+        let spines = vec![
+            t.add_device("spine1", Role::Spine),
+            t.add_device("spine2", Role::Spine),
+        ];
+        let hosts: Vec<IfaceId> = tors
+            .iter()
+            .map(|&d| t.add_iface(d, "hosts", IfaceKind::Host))
+            .collect();
         for &tor in &tors {
             for &spine in &spines {
                 t.add_link(tor, spine);
@@ -389,8 +421,10 @@ mod tests {
             b.set_tier(s, 2);
             b.set_asn(s, 65100);
         }
-        let p: Vec<Prefix> =
-            vec!["10.0.1.0/24".parse().unwrap(), "10.0.2.0/24".parse().unwrap()];
+        let p: Vec<Prefix> = vec![
+            "10.0.1.0/24".parse().unwrap(),
+            "10.0.2.0/24".parse().unwrap(),
+        ];
         for (i, &tor) in tors.iter().enumerate() {
             b.originate(Origination::new(
                 tor,
@@ -400,7 +434,13 @@ mod tests {
                 Scope::All,
             ));
         }
-        Fabric { b, tors, spines, hosts, p }
+        Fabric {
+            b,
+            tors,
+            spines,
+            hosts,
+            p,
+        }
     }
 
     #[test]
@@ -408,7 +448,10 @@ mod tests {
         let f = fabric();
         let net = f.b.build();
         let rules = net.device_rules(f.tors[0]);
-        let own = rules.iter().find(|r| r.matches.dst == Some(f.p[0])).unwrap();
+        let own = rules
+            .iter()
+            .find(|r| r.matches.dst == Some(f.p[0]))
+            .unwrap();
         assert_eq!(own.action, Action::Forward(vec![f.hosts[0]]));
         assert_eq!(own.class, RouteClass::HostSubnet);
     }
@@ -419,12 +462,14 @@ mod tests {
         let tor1 = f.tors[0];
         let net = f.b.build();
         let rules = net.device_rules(tor1);
-        let remote = rules.iter().find(|r| r.matches.dst == Some(f.p[1])).unwrap();
+        let remote = rules
+            .iter()
+            .find(|r| r.matches.dst == Some(f.p[1]))
+            .unwrap();
         let outs = remote.action.out_ifaces();
         assert_eq!(outs.len(), 2, "expected ECMP across both spines");
         let topo = net.topology();
-        let next: Vec<DeviceId> =
-            outs.iter().map(|&i| topo.neighbor_of(i).unwrap()).collect();
+        let next: Vec<DeviceId> = outs.iter().map(|&i| topo.neighbor_of(i).unwrap()).collect();
         assert!(next.contains(&f.spines[0]) && next.contains(&f.spines[1]));
     }
 
@@ -453,11 +498,19 @@ mod tests {
         let wan_pref: Prefix = "52.0.0.0/8".parse().unwrap();
         // Add a WAN router above spine1 that originates a scoped route.
         let wan = f.b.topology_mut().add_device("wan", Role::Wan);
-        let ext = f.b.topology_mut().add_iface(wan, "internet", IfaceKind::External);
+        let ext =
+            f.b.topology_mut()
+                .add_iface(wan, "internet", IfaceKind::External);
         f.b.topology_mut().add_link(wan, f.spines[0]);
         f.b.set_tier(wan, 4);
         f.b.set_asn(wan, 65535);
-        f.b.originate(Origination::new(wan, wan_pref, RouteClass::Wan, Some(ext), Scope::MinTier(2)));
+        f.b.originate(Origination::new(
+            wan,
+            wan_pref,
+            RouteClass::Wan,
+            Some(ext),
+            Scope::MinTier(2),
+        ));
         let net = f.b.build();
         // Spine1 has the WAN route; the ToRs do not.
         assert!(net
@@ -465,7 +518,10 @@ mod tests {
             .iter()
             .any(|r| r.matches.dst == Some(wan_pref)));
         for &tor in &f.tors {
-            assert!(!net.device_rules(tor).iter().any(|r| r.matches.dst == Some(wan_pref)));
+            assert!(!net
+                .device_rules(tor)
+                .iter()
+                .any(|r| r.matches.dst == Some(wan_pref)));
         }
     }
 
@@ -525,7 +581,13 @@ mod tests {
         let mut f = fabric();
         let any: Prefix = "10.9.9.0/24".parse().unwrap();
         for (i, &tor) in f.tors.clone().iter().enumerate() {
-            f.b.originate(Origination::new(tor, any, RouteClass::HostSubnet, Some(f.hosts[i]), Scope::All));
+            f.b.originate(Origination::new(
+                tor,
+                any,
+                RouteClass::HostSubnet,
+                Some(f.hosts[i]),
+                Scope::All,
+            ));
         }
         let net = f.b.build();
         for &tor in &f.tors {
@@ -565,7 +627,13 @@ mod tests {
         let h = t.add_iface(a, "hosts", IfaceKind::Host);
         let mut b = RibBuilder::new(t);
         let p: Prefix = "10.0.0.0/24".parse().unwrap();
-        b.originate(Origination::new(a, p, RouteClass::HostSubnet, Some(h), Scope::All));
+        b.originate(Origination::new(
+            a,
+            p,
+            RouteClass::HostSubnet,
+            Some(h),
+            Scope::All,
+        ));
         let net = b.build();
         assert!(net.device_rules(island).is_empty());
         assert_eq!(net.device_rules(a).len(), 1);

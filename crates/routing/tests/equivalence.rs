@@ -22,8 +22,13 @@ fn build_fabric() -> Fabric {
     let mut t = Topology::new();
     let mut asns = Vec::new();
     let mut tiers = Vec::new();
-    let add = |t: &mut Topology, name: String, role: Role, asn: u32, tier: u8,
-                   asns: &mut Vec<u32>, tiers: &mut Vec<u8>| {
+    let add = |t: &mut Topology,
+               name: String,
+               role: Role,
+               asn: u32,
+               tier: u8,
+               asns: &mut Vec<u32>,
+               tiers: &mut Vec<u8>| {
         let d = t.add_device(name, role);
         asns.push(asn);
         tiers.push(tier);
@@ -69,12 +74,32 @@ fn build_fabric() -> Fabric {
         }
     }
     let hubs: Vec<DeviceId> = (0..2)
-        .map(|i| add(&mut t, format!("hub{i}"), Role::RegionalHub, 64600, 3, &mut asns, &mut tiers))
+        .map(|i| {
+            add(
+                &mut t,
+                format!("hub{i}"),
+                Role::RegionalHub,
+                64600,
+                3,
+                &mut asns,
+                &mut tiers,
+            )
+        })
         .collect();
-    let wan = add(&mut t, "wan0".into(), Role::Wan, 8075, 4, &mut asns, &mut tiers);
+    let wan = add(
+        &mut t,
+        "wan0".into(),
+        Role::Wan,
+        8075,
+        4,
+        &mut asns,
+        &mut tiers,
+    );
 
-    let tor_hosts: Vec<IfaceId> =
-        tors.iter().map(|&d| t.add_iface(d, "hosts", IfaceKind::Host)).collect();
+    let tor_hosts: Vec<IfaceId> = tors
+        .iter()
+        .map(|&d| t.add_iface(d, "hosts", IfaceKind::Host))
+        .collect();
     let wan_up = t.add_iface(wan, "internet", IfaceKind::External);
 
     // Wiring: tor↔agg (same dc), agg↔spine (same dc), spine↔hub, hub↔wan.
@@ -103,13 +128,30 @@ fn build_fabric() -> Fabric {
     let mut origs = Vec::new();
     for (i, &tor) in tors.iter().enumerate() {
         let p = Prefix::v4(u32::from_be_bytes([10, 0, i as u8, 0]), 24);
-        origs.push(Origination::new(tor, p, RouteClass::HostSubnet, Some(tor_hosts[i]), Scope::All));
+        origs.push(Origination::new(
+            tor,
+            p,
+            RouteClass::HostSubnet,
+            Some(tor_hosts[i]),
+            Scope::All,
+        ));
     }
     for w in 0..2u8 {
         let p = Prefix::v4(u32::from_be_bytes([52, w, 0, 0]), 16);
-        origs.push(Origination::new(wan, p, RouteClass::Wan, Some(wan_up), Scope::MinTier(2)));
+        origs.push(Origination::new(
+            wan,
+            p,
+            RouteClass::Wan,
+            Some(wan_up),
+            Scope::MinTier(2),
+        ));
     }
-    Fabric { topo: t, asns, tiers, origs }
+    Fabric {
+        topo: t,
+        asns,
+        tiers,
+        origs,
+    }
 }
 
 #[test]
@@ -170,7 +212,10 @@ fn bfs_builder_equals_bgp_simulation() {
         assert_eq!(built, simulated, "{} disagrees", f.topo.device(device).name);
         compared += built.len();
     }
-    assert!(compared > 50, "the comparison must actually cover routes ({compared})");
+    assert!(
+        compared > 50,
+        "the comparison must actually cover routes ({compared})"
+    );
 }
 
 #[test]
@@ -190,7 +235,10 @@ fn cross_dc_routes_depend_on_allow_as_in() {
         &f.asns,
         &f.tiers,
         &f.origs,
-        &BgpConfig { allow_as_in: false, ..BgpConfig::default() },
+        &BgpConfig {
+            allow_as_in: false,
+            ..BgpConfig::default()
+        },
     );
     let with_allow = simulate(&f.topo, &f.asns, &f.tiers, &f.origs, &BgpConfig::default());
     // dc0-tor0 must reach dc1's prefixes with allow-as-in...

@@ -67,7 +67,8 @@ pub fn acl_behavior_check(
             let p = header::dport_in(bdd, port, port);
             bdd.and(tcp, p)
         };
-        ctx.tracker.mark_packet(bdd, Location::device(device), blocked);
+        ctx.tracker
+            .mark_packet(bdd, Location::device(device), blocked);
         let step = fwd.step(bdd, device, None, blocked);
         // Every matched subset must be dropped; nothing may be forwarded.
         let mut leaked = bdd.empty();

@@ -68,15 +68,12 @@ pub fn wan_route_check(
 ) -> TestReport {
     let mut report = TestReport::new("WanRouteCheck");
     let topo = ctx.net.topology();
-    let member =
-        |d: DeviceId| expected(topo.device(d).role) || spec.wan_routers.contains(&d);
+    let member = |d: DeviceId| expected(topo.device(d).role) || spec.wan_routers.contains(&d);
     let dist = subgraph_distances(topo, &spec.wan_routers, member);
     let checked: Vec<DeviceId> = topo
         .devices()
         .filter(|&(v, dev)| {
-            expected(dev.role)
-                && !spec.wan_routers.contains(&v)
-                && dist[v.0 as usize] != u32::MAX
+            expected(dev.role) && !spec.wan_routers.contains(&v) && dist[v.0 as usize] != u32::MAX
         })
         .map(|(v, _)| v)
         .collect();
@@ -93,16 +90,16 @@ pub fn wan_route_check(
                 Some(id) => {
                     ctx.tracker.mark_rule(id);
                     let rule = ctx.net.rule(id);
-                    let ok = rule.action.out_ifaces().iter().any(|&i| {
-                        topo.iface(i).kind == netmodel::IfaceKind::External
-                    });
+                    let ok = rule
+                        .action
+                        .out_ifaces()
+                        .iter()
+                        .any(|&i| topo.iface(i).kind == netmodel::IfaceKind::External);
                     report.check(ok, || {
                         format!("{name}: WAN prefix {prefix} does not exit externally")
                     });
                 }
-                None => {
-                    report.check(false, || format!("{name}: missing WAN route {prefix}"))
-                }
+                None => report.check(false, || format!("{name}: missing WAN route {prefix}")),
             }
         }
         for &device in &checked {
@@ -110,7 +107,8 @@ pub fn wan_route_check(
             let d = dist[device.0 as usize];
             // The local symbolic analysis of this prefix at this device.
             let packets = header::dst_in(bdd, &prefix);
-            ctx.tracker.mark_packet(bdd, Location::device(device), packets);
+            ctx.tracker
+                .mark_packet(bdd, Location::device(device), packets);
 
             let rule = ctx
                 .net
@@ -170,9 +168,7 @@ pub fn host_port_check(
                     )
                 });
             }
-            None => {
-                report.check(false, || format!("{name}: missing slice route {slice}"))
-            }
+            None => report.check(false, || format!("{name}: missing slice route {slice}")),
         }
     }
     report
@@ -194,7 +190,10 @@ mod tests {
     }
 
     fn wan_spec(r: &topogen::Regional) -> WanSpec {
-        WanSpec { prefixes: r.wan_prefixes.clone(), wan_routers: r.wans.clone() }
+        WanSpec {
+            prefixes: r.wan_prefixes.clone(),
+            wan_routers: r.wans.clone(),
+        }
     }
 
     fn upper(role: Role) -> bool {
@@ -207,10 +206,16 @@ mod tests {
         let info = NetworkInfo::default();
         let mut ctx = TestContext::new(&r.net, &ms, &info);
         let report = wan_route_check(&mut bdd, &mut ctx, &wan_spec(&r), upper);
-        assert!(report.passed(), "{:?}", &report.failures[..report.failures.len().min(3)]);
+        assert!(
+            report.passed(),
+            "{:?}",
+            &report.failures[..report.failures.len().min(3)]
+        );
         // Marks exactly at spines and hubs.
         let marked = ctx.tracker.trace().packets.devices();
-        assert!(marked.iter().all(|d| r.spines.contains(d) || r.hubs.contains(d)));
+        assert!(marked
+            .iter()
+            .all(|d| r.spines.contains(d) || r.hubs.contains(d)));
         assert_eq!(marked.len(), r.spines.len() + r.hubs.len());
     }
 
@@ -283,7 +288,9 @@ mod tests {
             .unwrap();
         assert_eq!(tor_ifaces, 1.0, "host-facing ports now covered");
         // Overall rule coverage approaches 1 (only self-routes linger).
-        let total = a.aggregate_rules(&mut bdd, Aggregator::Fractional, |_, _| true).unwrap();
+        let total = a
+            .aggregate_rules(&mut bdd, Aggregator::Fractional, |_, _| true)
+            .unwrap();
         assert!(total > 0.85, "got {total}");
     }
 

@@ -39,7 +39,12 @@ pub struct TestContext<'n> {
 
 impl<'n> TestContext<'n> {
     pub fn new(net: &'n Network, ms: &'n MatchSets, info: &'n NetworkInfo) -> TestContext<'n> {
-        TestContext { net, ms, info, tracker: Tracker::new() }
+        TestContext {
+            net,
+            ms,
+            info,
+            tracker: Tracker::new(),
+        }
     }
 
     /// A context whose tracker ignores all marks (baseline timing runs).
@@ -48,7 +53,12 @@ impl<'n> TestContext<'n> {
         ms: &'n MatchSets,
         info: &'n NetworkInfo,
     ) -> TestContext<'n> {
-        TestContext { net, ms, info, tracker: Tracker::disabled() }
+        TestContext {
+            net,
+            ms,
+            info,
+            tracker: Tracker::disabled(),
+        }
     }
 
     /// Ranking of roles from the bottom of the hierarchy up, used to
@@ -76,7 +86,11 @@ pub struct TestReport {
 
 impl TestReport {
     pub fn new(name: &'static str) -> TestReport {
-        TestReport { name, checks: 0, failures: Vec::new() }
+        TestReport {
+            name,
+            checks: 0,
+            failures: Vec::new(),
+        }
     }
 
     pub fn passed(&self) -> bool {
@@ -108,9 +122,7 @@ mod tests {
     #[test]
     fn role_ranks_are_ordered_bottom_up() {
         assert!(TestContext::role_rank(Role::Tor) < TestContext::role_rank(Role::Aggregation));
-        assert!(
-            TestContext::role_rank(Role::Aggregation) < TestContext::role_rank(Role::Spine)
-        );
+        assert!(TestContext::role_rank(Role::Aggregation) < TestContext::role_rank(Role::Spine));
         assert!(TestContext::role_rank(Role::Spine) < TestContext::role_rank(Role::RegionalHub));
         assert!(TestContext::role_rank(Role::RegionalHub) < TestContext::role_rank(Role::Wan));
     }

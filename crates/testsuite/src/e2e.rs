@@ -24,8 +24,10 @@ pub fn tor_reachability(bdd: &mut Bdd, ctx: &mut TestContext<'_>) -> TestReport 
         // Destination space: every other ToR's prefix.
         let others: Vec<_> = tors.iter().filter(|&&(d, _, _)| d != src).collect();
         let injected = {
-            let sets: Vec<_> =
-                others.iter().map(|&&(_, p, _)| header::dst_in(bdd, &p)).collect();
+            let sets: Vec<_> = others
+                .iter()
+                .map(|&&(_, p, _)| header::dst_in(bdd, &p))
+                .collect();
             bdd.or_all(sets)
         };
         if injected.is_false() {
@@ -121,9 +123,7 @@ mod tests {
     use netmodel::MatchSets;
     use topogen::{fattree, FatTreeParams};
 
-    fn setup(
-        k: u32,
-    ) -> (topogen::FatTree, Bdd, MatchSets) {
+    fn setup(k: u32) -> (topogen::FatTree, Bdd, MatchSets) {
         let ft = fattree(FatTreeParams::paper(k));
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&ft.net, &mut bdd);
@@ -133,12 +133,19 @@ mod tests {
     #[test]
     fn reachability_passes_on_healthy_fattree() {
         let (ft, mut bdd, ms) = setup(4);
-        let info = NetworkInfo { tor_subnets: ft.tors.clone(), ..NetworkInfo::default() };
+        let info = NetworkInfo {
+            tor_subnets: ft.tors.clone(),
+            ..NetworkInfo::default()
+        };
         let mut ctx = TestContext::new(&ft.net, &ms, &info);
         let report = tor_reachability(&mut bdd, &mut ctx);
-        assert!(report.passed(), "{:?}", &report.failures[..report.failures.len().min(3)]);
+        assert!(
+            report.passed(),
+            "{:?}",
+            &report.failures[..report.failures.len().min(3)]
+        );
         assert_eq!(report.checks, 8 * 7 + 8); // pair checks + per-source drop checks
-        // Per-hop marks land on every router (everything is on some path).
+                                              // Per-hop marks land on every router (everything is on some path).
         assert_eq!(
             ctx.tracker.trace().packets.devices().len(),
             ft.net.topology().device_count()
@@ -153,20 +160,33 @@ mod tests {
         topogen::faults::null_route(&mut ft.net, ft.cores[0], victim_prefix);
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&ft.net, &mut bdd);
-        let info = NetworkInfo { tor_subnets: ft.tors.clone(), ..NetworkInfo::default() };
+        let info = NetworkInfo {
+            tor_subnets: ft.tors.clone(),
+            ..NetworkInfo::default()
+        };
         let mut ctx = TestContext::new(&ft.net, &ms, &info);
         let report = tor_reachability(&mut bdd, &mut ctx);
         assert!(!report.passed());
-        assert!(report.failures.iter().any(|f| f.contains("drop ToR-to-ToR traffic")));
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("drop ToR-to-ToR traffic")));
     }
 
     #[test]
     fn pingmesh_passes_and_marks_hops() {
         let (ft, mut bdd, ms) = setup(4);
-        let info = NetworkInfo { tor_subnets: ft.tors.clone(), ..NetworkInfo::default() };
+        let info = NetworkInfo {
+            tor_subnets: ft.tors.clone(),
+            ..NetworkInfo::default()
+        };
         let mut ctx = TestContext::new(&ft.net, &ms, &info);
         let report = tor_pingmesh(&mut bdd, &mut ctx, 42);
-        assert!(report.passed(), "{:?}", &report.failures[..report.failures.len().min(3)]);
+        assert!(
+            report.passed(),
+            "{:?}",
+            &report.failures[..report.failures.len().min(3)]
+        );
         assert_eq!(report.checks, 8 * 7);
         let (packet_calls, _) = ctx.tracker.call_counts();
         // Each of the 56 traces has 3 or 5 hops.
@@ -176,7 +196,10 @@ mod tests {
     #[test]
     fn pingmesh_is_deterministic_per_seed() {
         let (ft, mut bdd, ms) = setup(4);
-        let info = NetworkInfo { tor_subnets: ft.tors.clone(), ..NetworkInfo::default() };
+        let info = NetworkInfo {
+            tor_subnets: ft.tors.clone(),
+            ..NetworkInfo::default()
+        };
         let mut c1 = TestContext::new(&ft.net, &ms, &info);
         let r1 = tor_pingmesh(&mut bdd, &mut c1, 7);
         let mut c2 = TestContext::new(&ft.net, &ms, &info);
@@ -190,7 +213,10 @@ mod tests {
         // The defining difference between concrete and symbolic tests:
         // Pingmesh covers single packets, Reachability covers prefixes.
         let (ft, mut bdd, ms) = setup(4);
-        let info = NetworkInfo { tor_subnets: ft.tors.clone(), ..NetworkInfo::default() };
+        let info = NetworkInfo {
+            tor_subnets: ft.tors.clone(),
+            ..NetworkInfo::default()
+        };
         let mut ping = TestContext::new(&ft.net, &ms, &info);
         tor_pingmesh(&mut bdd, &mut ping, 1);
         let mut sym = TestContext::new(&ft.net, &ms, &info);
@@ -201,6 +227,9 @@ mod tests {
         assert!(bdd.subset(ping_at, sym_at));
         assert!(!bdd.equal(ping_at, sym_at));
         let ratio = bdd.probability(ping_at) / bdd.probability(sym_at);
-        assert!(ratio < 1e-6, "concrete coverage must be a sliver, got {ratio}");
+        assert!(
+            ratio < 1e-6,
+            "concrete coverage must be a sliver, got {ratio}"
+        );
     }
 }

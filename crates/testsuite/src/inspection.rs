@@ -57,7 +57,10 @@ pub fn default_route_check(
                 }
             });
         report.check(ok, || {
-            format!("{}: default route has wrong next hops ({:?})", dev.name, rule.action)
+            format!(
+                "{}: default route has wrong next hops ({:?})",
+                dev.name, rule.action
+            )
         });
     }
     report
@@ -80,17 +83,14 @@ pub fn connected_route_check(_bdd: &mut Bdd, ctx: &mut TestContext<'_>) -> TestR
                     Some(id) => {
                         ctx.tracker.mark_rule(id);
                         let rule = ctx.net.rule(id);
-                        report.check(
-                            rule.action.out_ifaces().contains(&iface),
-                            || {
-                                format!(
-                                    "{}: connected route {} does not point out {}",
-                                    topo.device(device).name,
-                                    prefix,
-                                    topo.iface(iface).name
-                                )
-                            },
-                        );
+                        report.check(rule.action.out_ifaces().contains(&iface), || {
+                            format!(
+                                "{}: connected route {} does not point out {}",
+                                topo.device(device).name,
+                                prefix,
+                                topo.iface(iface).name
+                            )
+                        });
                     }
                     None => report.check(false, || {
                         format!(
@@ -119,7 +119,10 @@ mod tests {
             tor_subnets: r.tors.clone(),
             loopbacks: (0..r.net.topology().device_count())
                 .map(|d| {
-                    (netmodel::topology::DeviceId(d as u32), addressing::loopback(d as u32))
+                    (
+                        netmodel::topology::DeviceId(d as u32),
+                        addressing::loopback(d as u32),
+                    )
                 })
                 .collect(),
             links: r
@@ -145,7 +148,7 @@ mod tests {
         let report = default_route_check(&mut bdd, &mut ctx, |_| true);
         assert!(report.passed(), "{:?}", report.failures);
         assert_eq!(report.checks, 20); // every router checked
-        // One rule marked per device.
+                                       // One rule marked per device.
         assert_eq!(ctx.tracker.trace().rules.len(), 20);
     }
 
@@ -184,7 +187,11 @@ mod tests {
         let info = regional_info(&r);
         let mut ctx = TestContext::new(&r.net, &ms, &info);
         let report = connected_route_check(&mut bdd, &mut ctx);
-        assert!(report.passed(), "{:?}", &report.failures[..report.failures.len().min(3)]);
+        assert!(
+            report.passed(),
+            "{:?}",
+            &report.failures[..report.failures.len().min(3)]
+        );
         // 2 families × 2 ends per link.
         assert_eq!(report.checks as usize, r.links.len() * 4);
         assert_eq!(ctx.tracker.trace().rules.len(), r.links.len() * 4);

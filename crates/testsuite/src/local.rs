@@ -52,7 +52,8 @@ fn check_contract(
     let d = dist[device.0 as usize];
     debug_assert!(d > 0, "contracts are for non-originators");
     let packets = header::dst_in(bdd, &prefix);
-    ctx.tracker.mark_packet(bdd, Location::device(device), packets);
+    ctx.tracker
+        .mark_packet(bdd, Location::device(device), packets);
 
     let rule = ctx
         .net
@@ -95,8 +96,12 @@ pub fn internal_route_check(bdd: &mut Bdd, ctx: &mut TestContext<'_>) -> TestRep
 /// ToR hosted prefixes — the decomposed form of ToRReachability.
 pub fn tor_contract(bdd: &mut Bdd, ctx: &mut TestContext<'_>) -> TestReport {
     let mut report = TestReport::new("ToRContract");
-    let prefixes: Vec<(DeviceId, Prefix)> =
-        ctx.info.tor_subnets.iter().map(|&(d, p, _)| (d, p)).collect();
+    let prefixes: Vec<(DeviceId, Prefix)> = ctx
+        .info
+        .tor_subnets
+        .iter()
+        .map(|&(d, p, _)| (d, p))
+        .collect();
     contract_sweep(bdd, ctx, &mut report, &prefixes, |_role| true);
     report
 }
@@ -115,7 +120,9 @@ pub fn agg_can_reach_tor_loopback(bdd: &mut Bdd, ctx: &mut TestContext<'_>) -> T
         .filter(|(d, _)| tor_devices.contains(d))
         .copied()
         .collect();
-    contract_sweep(bdd, ctx, &mut report, &prefixes, |role| role == Role::Aggregation);
+    contract_sweep(bdd, ctx, &mut report, &prefixes, |role| {
+        role == Role::Aggregation
+    });
     report
 }
 
@@ -169,7 +176,11 @@ mod tests {
         let info = regional_info(&r);
         let mut ctx = TestContext::new(&r.net, &ms, &info);
         let report = internal_route_check(&mut bdd, &mut ctx);
-        assert!(report.passed(), "{:?}", &report.failures[..report.failures.len().min(5)]);
+        assert!(
+            report.passed(),
+            "{:?}",
+            &report.failures[..report.failures.len().min(5)]
+        );
         assert!(report.checks > 0);
         // Every device got packet marks (internal prefixes reach all).
         assert_eq!(
@@ -193,7 +204,10 @@ mod tests {
         let mut ctx = TestContext::new(&r.net, &ms, &info);
         let report = internal_route_check(&mut bdd, &mut ctx);
         assert!(!report.passed());
-        assert!(report.failures.iter().any(|f| f.contains("shortest-path set")));
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("shortest-path set")));
     }
 
     #[test]
@@ -201,10 +215,17 @@ mod tests {
         let ft = fattree(FatTreeParams::paper(4));
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&ft.net, &mut bdd);
-        let info = NetworkInfo { tor_subnets: ft.tors.clone(), ..NetworkInfo::default() };
+        let info = NetworkInfo {
+            tor_subnets: ft.tors.clone(),
+            ..NetworkInfo::default()
+        };
         let mut ctx = TestContext::new(&ft.net, &ms, &info);
         let report = tor_contract(&mut bdd, &mut ctx);
-        assert!(report.passed(), "{:?}", &report.failures[..report.failures.len().min(5)]);
+        assert!(
+            report.passed(),
+            "{:?}",
+            &report.failures[..report.failures.len().min(5)]
+        );
         // 8 prefixes × 19 other devices.
         assert_eq!(report.checks, 8 * 19);
     }
@@ -217,7 +238,11 @@ mod tests {
         let info = regional_info(&r);
         let mut ctx = TestContext::new(&r.net, &ms, &info);
         let report = agg_can_reach_tor_loopback(&mut bdd, &mut ctx);
-        assert!(report.passed(), "{:?}", &report.failures[..report.failures.len().min(5)]);
+        assert!(
+            report.passed(),
+            "{:?}",
+            &report.failures[..report.failures.len().min(5)]
+        );
         // Marks exist exactly at aggregation routers.
         let marked = ctx.tracker.trace().packets.devices();
         assert_eq!(marked.len(), r.aggs.len());
@@ -232,7 +257,10 @@ mod tests {
         topogen::faults::remove_route(&mut ft.net, agg, p);
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&ft.net, &mut bdd);
-        let info = NetworkInfo { tor_subnets: ft.tors.clone(), ..NetworkInfo::default() };
+        let info = NetworkInfo {
+            tor_subnets: ft.tors.clone(),
+            ..NetworkInfo::default()
+        };
         let mut ctx = TestContext::new(&ft.net, &ms, &info);
         let report = tor_contract(&mut bdd, &mut ctx);
         assert!(report.failures.iter().any(|f| f.contains("no route")));
@@ -243,7 +271,10 @@ mod tests {
         let ft = fattree(FatTreeParams::paper(4));
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&ft.net, &mut bdd);
-        let info = NetworkInfo { tor_subnets: ft.tors.clone(), ..NetworkInfo::default() };
+        let info = NetworkInfo {
+            tor_subnets: ft.tors.clone(),
+            ..NetworkInfo::default()
+        };
         let mut ctx = TestContext::without_tracking(&ft.net, &ms, &info);
         let report = tor_contract(&mut bdd, &mut ctx);
         assert!(report.passed());

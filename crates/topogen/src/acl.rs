@@ -25,7 +25,10 @@ pub struct AclEntry {
 impl AclEntry {
     /// Block one TCP destination port.
     pub fn block_tcp_port(port: u16) -> AclEntry {
-        AclEntry { proto: Some(6), dport: (port, port) }
+        AclEntry {
+            proto: Some(6),
+            dport: (port, port),
+        }
     }
 }
 
@@ -71,15 +74,23 @@ mod tests {
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&ft.net, &mut bdd);
         // Telnet to the remote prefix dies at the ACL.
-        let telnet = Packet { proto: 6, dport: 23, ..Packet::v4_to(remote.nth_addr(1) as u32) };
-        let res =
-            dataplane::traceroute(&mut bdd, &ft.net, &ms, Location::device(tor), telnet, 16);
-        assert!(matches!(res.outcome, dataplane::TraceOutcome::Dropped { device, .. }
-            if device == tor));
+        let telnet = Packet {
+            proto: 6,
+            dport: 23,
+            ..Packet::v4_to(remote.nth_addr(1) as u32)
+        };
+        let res = dataplane::traceroute(&mut bdd, &ft.net, &ms, Location::device(tor), telnet, 16);
+        assert!(
+            matches!(res.outcome, dataplane::TraceOutcome::Dropped { device, .. }
+            if device == tor)
+        );
         // HTTPS sails through.
-        let https = Packet { proto: 6, dport: 443, ..telnet };
-        let res2 =
-            dataplane::traceroute(&mut bdd, &ft.net, &ms, Location::device(tor), https, 16);
+        let https = Packet {
+            proto: 6,
+            dport: 443,
+            ..telnet
+        };
+        let res2 = dataplane::traceroute(&mut bdd, &ft.net, &ms, Location::device(tor), https, 16);
         assert!(res2.delivered());
     }
 
@@ -95,29 +106,48 @@ mod tests {
         // The routes behind the ACL no longer match port-23 packets.
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&ft.net, &mut bdd);
-        let route_id = netmodel::RuleId { device: tor, index: 1 };
+        let route_id = netmodel::RuleId {
+            device: tor,
+            index: 1,
+        };
         let m = ms.get(route_id);
         let telnet_set = {
             let p = netmodel::header::proto_is(&mut bdd, 6);
             let d = netmodel::header::dport_in(&mut bdd, 23, 23);
             bdd.and(p, d)
         };
-        assert!(!bdd.intersects(m, telnet_set), "ACL must shadow port 23 in later rules");
+        assert!(
+            !bdd.intersects(m, telnet_set),
+            "ACL must shadow port 23 in later rules"
+        );
     }
 
     #[test]
     fn proto_wildcard_blocks_udp_too() {
         let mut ft = fattree(FatTreeParams::paper(4));
         let (tor, _, _) = ft.tors[0];
-        install_acl(&mut ft.net, tor, &[AclEntry { proto: None, dport: (161, 162) }]);
+        install_acl(
+            &mut ft.net,
+            tor,
+            &[AclEntry {
+                proto: None,
+                dport: (161, 162),
+            }],
+        );
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&ft.net, &mut bdd);
         let (_, remote, _) = ft.tors[5];
         for proto in [6u8, 17] {
-            let pkt = Packet { proto, dport: 161, ..Packet::v4_to(remote.nth_addr(2) as u32) };
-            let res =
-                dataplane::traceroute(&mut bdd, &ft.net, &ms, Location::device(tor), pkt, 16);
-            assert!(matches!(res.outcome, dataplane::TraceOutcome::Dropped { .. }));
+            let pkt = Packet {
+                proto,
+                dport: 161,
+                ..Packet::v4_to(remote.nth_addr(2) as u32)
+            };
+            let res = dataplane::traceroute(&mut bdd, &ft.net, &ms, Location::device(tor), pkt, 16);
+            assert!(matches!(
+                res.outcome,
+                dataplane::TraceOutcome::Dropped { .. }
+            ));
         }
     }
 }

@@ -20,7 +20,10 @@ pub fn host_subnet(idx: u32) -> Prefix {
 
 /// The loopback `/32` of the `idx`-th device.
 pub fn loopback(idx: u32) -> Prefix {
-    assert!(idx < (1 << 20), "too many devices for the 172.16.0.0/12 plan");
+    assert!(
+        idx < (1 << 20),
+        "too many devices for the 172.16.0.0/12 plan"
+    );
     let base = u32::from_be_bytes([172, 16, 0, 0]);
     Prefix::v4(base + idx, 32)
 }

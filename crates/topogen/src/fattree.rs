@@ -28,7 +28,11 @@ pub struct FatTreeParams {
 impl FatTreeParams {
     /// The paper's §8 setup: hosted prefixes only.
     pub fn paper(k: u32) -> FatTreeParams {
-        FatTreeParams { k, loopbacks: false, connected: false }
+        FatTreeParams {
+            k,
+            loopbacks: false,
+            connected: false,
+        }
     }
 }
 
@@ -54,7 +58,10 @@ impl FatTree {
 /// Generate a k-ary fat-tree network with computed forwarding state.
 pub fn fattree(params: FatTreeParams) -> FatTree {
     let k = params.k;
-    assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be even and >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree arity must be even and >= 2"
+    );
     let half = k / 2;
 
     let mut topo = Topology::new();
@@ -81,10 +88,14 @@ pub fn fattree(params: FatTreeParams) -> FatTree {
     }
 
     // Host and WAN edges.
-    let tor_hosts: Vec<IfaceId> =
-        tors.iter().map(|&d| topo.add_iface(d, "hosts", IfaceKind::Host)).collect();
-    let core_uplinks: Vec<IfaceId> =
-        cores.iter().map(|&d| topo.add_iface(d, "wan", IfaceKind::External)).collect();
+    let tor_hosts: Vec<IfaceId> = tors
+        .iter()
+        .map(|&d| topo.add_iface(d, "hosts", IfaceKind::Host))
+        .collect();
+    let core_uplinks: Vec<IfaceId> = cores
+        .iter()
+        .map(|&d| topo.add_iface(d, "wan", IfaceKind::External))
+        .collect();
 
     // Fabric links (collect for connected-route addressing).
     let mut links: Vec<(IfaceId, IfaceId)> = Vec::new();
@@ -148,13 +159,13 @@ pub fn fattree(params: FatTreeParams) -> FatTree {
 
     // Loopbacks.
     if params.loopbacks {
-        for d in 0..rb.topology().device_count() {
+        for (d, &lo) in loopback_ifaces.iter().enumerate() {
             let dev = DeviceId(d as u32);
             rb.originate(Origination::new(
                 dev,
                 addressing::loopback(d as u32),
                 RouteClass::Loopback,
-                Some(loopback_ifaces[d]),
+                Some(lo),
                 Scope::All,
             ));
         }
@@ -187,7 +198,14 @@ pub fn fattree(params: FatTreeParams) -> FatTree {
     }
 
     let net = rb.build();
-    FatTree { net, params, tors: tor_info, aggs, cores, links }
+    FatTree {
+        net,
+        params,
+        tors: tor_info,
+        aggs,
+        cores,
+        links,
+    }
 }
 
 /// Install a static default route on every device in `devs` pointing at
@@ -244,7 +262,11 @@ mod tests {
                 .device_rules(d)
                 .iter()
                 .any(|r| r.matches.dst.map(|p| p.is_default()).unwrap_or(false));
-            assert!(has_default, "{} lacks a default route", ft.net.topology().device(d).name);
+            assert!(
+                has_default,
+                "{} lacks a default route",
+                ft.net.topology().device(d).name
+            );
         }
     }
 
@@ -261,7 +283,11 @@ mod tests {
             .find(|r| r.matches.dst == Some(remote_prefix))
             .expect("remote prefix missing")
             .clone();
-        assert_eq!(rule.action.out_ifaces().len(), 2, "expected ECMP over k/2 aggs");
+        assert_eq!(
+            rule.action.out_ifaces().len(),
+            2,
+            "expected ECMP over k/2 aggs"
+        );
     }
 
     #[test]
@@ -324,7 +350,10 @@ mod tests {
         let set = netmodel::header::dst_in(&mut bdd, &dst_prefix);
         let res = dataplane::reach(&mut bdd, &fwd, Location::device(tor0), set, 16);
         let delivered = res.delivered_at(&mut bdd, dst_host);
-        assert!(bdd.equal(delivered, set), "whole prefix must arrive symbolically");
+        assert!(
+            bdd.equal(delivered, set),
+            "whole prefix must arrive symbolically"
+        );
         // And the concrete engine agrees for a sample packet.
         let pkt = Packet::v4_to(dst_prefix.nth_addr(9) as u32);
         let tr = traceroute(&mut bdd, &ft.net, &ms, Location::device(tor0), pkt, 16);
@@ -333,7 +362,11 @@ mod tests {
 
     #[test]
     fn optional_loopbacks_and_connected_routes() {
-        let ft = fattree(FatTreeParams { k: 4, loopbacks: true, connected: true });
+        let ft = fattree(FatTreeParams {
+            k: 4,
+            loopbacks: true,
+            connected: true,
+        });
         // Every device now has loopback + connected rules.
         for (d, _) in ft.net.topology().devices() {
             let rules = ft.net.device_rules(d);

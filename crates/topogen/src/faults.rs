@@ -109,7 +109,11 @@ mod tests {
         let removed = remove_route(&mut ft.net, tor, prefix);
         assert_eq!(removed, 1);
         assert_eq!(ft.net.device_rules(tor).len(), before - 1);
-        assert!(!ft.net.device_rules(tor).iter().any(|r| r.matches.dst == Some(prefix)));
+        assert!(!ft
+            .net
+            .device_rules(tor)
+            .iter()
+            .any(|r| r.matches.dst == Some(prefix)));
     }
 
     #[test]
@@ -138,10 +142,19 @@ mod tests {
     fn fault_injection_preserves_rule_order() {
         let mut ft = fattree(FatTreeParams::paper(4));
         let (tor, prefix, _) = ft.tors[0];
-        let before: Vec<_> =
-            ft.net.device_rules(tor).iter().map(|r| r.matches.dst).collect();
+        let before: Vec<_> = ft
+            .net
+            .device_rules(tor)
+            .iter()
+            .map(|r| r.matches.dst)
+            .collect();
         null_route(&mut ft.net, tor, prefix);
-        let after: Vec<_> = ft.net.device_rules(tor).iter().map(|r| r.matches.dst).collect();
+        let after: Vec<_> = ft
+            .net
+            .device_rules(tor)
+            .iter()
+            .map(|r| r.matches.dst)
+            .collect();
         assert_eq!(before, after);
     }
 }

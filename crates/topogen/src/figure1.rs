@@ -42,15 +42,19 @@ pub struct Figure1 {
 pub fn figure1(leafs: u32, spines: u32, b2_null_routed: bool) -> Figure1 {
     assert!(leafs >= 2 && spines >= 1);
     let mut topo = Topology::new();
-    let leaf_ids: Vec<DeviceId> =
-        (0..leafs).map(|i| topo.add_device(format!("L{}", i + 1), Role::Tor)).collect();
-    let spine_ids: Vec<DeviceId> =
-        (0..spines).map(|i| topo.add_device(format!("S{}", i + 1), Role::Spine)).collect();
+    let leaf_ids: Vec<DeviceId> = (0..leafs)
+        .map(|i| topo.add_device(format!("L{}", i + 1), Role::Tor))
+        .collect();
+    let spine_ids: Vec<DeviceId> = (0..spines)
+        .map(|i| topo.add_device(format!("S{}", i + 1), Role::Spine))
+        .collect();
     let b1 = topo.add_device("B1", Role::Border);
     let b2 = topo.add_device("B2", Role::Border);
 
-    let leaf_hosts: Vec<IfaceId> =
-        leaf_ids.iter().map(|&d| topo.add_iface(d, "hosts", IfaceKind::Host)).collect();
+    let leaf_hosts: Vec<IfaceId> = leaf_ids
+        .iter()
+        .map(|&d| topo.add_iface(d, "hosts", IfaceKind::Host))
+        .collect();
     let b1_wan = topo.add_iface(b1, "wan", IfaceKind::External);
     let b2_wan = topo.add_iface(b2, "wan", IfaceKind::External);
 
@@ -127,7 +131,15 @@ pub fn figure1(leafs: u32, spines: u32, b2_null_routed: bool) -> Figure1 {
     }
 
     let net = rb.build();
-    Figure1 { net, leafs: leaf_info, spines: spine_ids, b1, b2, b1_wan, b2_wan }
+    Figure1 {
+        net,
+        leafs: leaf_info,
+        spines: spine_ids,
+        b1,
+        b2,
+        b1_wan,
+        b2_wan,
+    }
 }
 
 #[cfg(test)]
@@ -192,8 +204,10 @@ mod tests {
         let (l2, p2, h2) = f.leafs[1];
         let pkt = Packet::v4_to(p2.nth_addr(7) as u32);
         let res = traceroute(&mut bdd, &f.net, &ms, Location::device(l1), pkt, 8);
-        assert!(matches!(res.outcome, TraceOutcome::Delivered { device, iface }
-            if device == l2 && iface == h2));
+        assert!(
+            matches!(res.outcome, TraceOutcome::Delivered { device, iface }
+            if device == l2 && iface == h2)
+        );
         // Leaf-to-WAN (exits somewhere).
         let inet = Packet::v4_to(netmodel::addr::ipv4(1, 1, 1, 1));
         let res = traceroute(&mut bdd, &f.net, &ms, Location::device(l1), inet, 8);
@@ -242,6 +256,9 @@ mod tests {
         let inet = netmodel::header::dst_in(&mut bdd, &"1.0.0.0/8".parse().unwrap());
         let res = dataplane::reach(&mut bdd, &fwd, Location::device(l1), inet, 16);
         let exited = res.exited_union(&mut bdd);
-        assert!(bdd.equal(exited, inet), "all Internet traffic must still exit via B2");
+        assert!(
+            bdd.equal(exited, inet),
+            "all Internet traffic must still exit via B2"
+        );
     }
 }

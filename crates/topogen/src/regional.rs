@@ -131,10 +131,12 @@ pub fn regional(params: RegionalParams) -> Regional {
             ));
         }
     }
-    let hubs: Vec<DeviceId> =
-        (0..params.hubs).map(|h| topo.add_device(format!("hub{h}"), Role::RegionalHub)).collect();
-    let wans: Vec<DeviceId> =
-        (0..params.wan_routers).map(|w| topo.add_device(format!("wan{w}"), Role::Wan)).collect();
+    let hubs: Vec<DeviceId> = (0..params.hubs)
+        .map(|h| topo.add_device(format!("hub{h}"), Role::RegionalHub))
+        .collect();
+    let wans: Vec<DeviceId> = (0..params.wan_routers)
+        .map(|w| topo.add_device(format!("wan{w}"), Role::Wan))
+        .collect();
 
     // Host edges (several ports per ToR) and WAN edges.
     let tor_host_ports: Vec<Vec<IfaceId>> = tors
@@ -145,8 +147,10 @@ pub fn regional(params: RegionalParams) -> Regional {
                 .collect()
         })
         .collect();
-    let wan_uplinks: Vec<IfaceId> =
-        wans.iter().map(|&d| topo.add_iface(d, "internet", IfaceKind::External)).collect();
+    let wan_uplinks: Vec<IfaceId> = wans
+        .iter()
+        .map(|&d| topo.add_iface(d, "internet", IfaceKind::External))
+        .collect();
 
     // Links.
     let mut links: Vec<(IfaceId, IfaceId)> = Vec::new();
@@ -228,7 +232,13 @@ pub fn regional(params: RegionalParams) -> Regional {
     let mut host_port_slices = Vec::new();
     for (i, &d) in tors.iter().enumerate() {
         let prefix = addressing::host_subnet(i as u32);
-        rb.originate(Origination::new(d, prefix, RouteClass::HostSubnet, None, Scope::All));
+        rb.originate(Origination::new(
+            d,
+            prefix,
+            RouteClass::HostSubnet,
+            None,
+            Scope::All,
+        ));
         let slice_len = prefix.len() + slice_extra;
         let free = 32 - slice_len as u32;
         for (p, &port) in tor_host_ports[i].iter().enumerate() {
@@ -247,12 +257,12 @@ pub fn regional(params: RegionalParams) -> Regional {
 
     // Internal routes: loopbacks, redistributed into BGP.
     if params.loopbacks {
-        for d in 0..rb.topology().device_count() {
+        for (d, &lo) in loopback_ifaces.iter().enumerate() {
             rb.originate(Origination::new(
                 DeviceId(d as u32),
                 addressing::loopback(d as u32),
                 RouteClass::Loopback,
-                Some(loopback_ifaces[d]),
+                Some(lo),
                 Scope::All,
             ));
         }
@@ -354,8 +364,14 @@ mod tests {
     fn shape_matches_parameters() {
         let r = small();
         let p = r.params;
-        assert_eq!(r.tors.len(), (p.datacenters * p.pods_per_dc * p.tors_per_pod) as usize);
-        assert_eq!(r.aggs.len(), (p.datacenters * p.pods_per_dc * p.aggs_per_pod) as usize);
+        assert_eq!(
+            r.tors.len(),
+            (p.datacenters * p.pods_per_dc * p.tors_per_pod) as usize
+        );
+        assert_eq!(
+            r.aggs.len(),
+            (p.datacenters * p.pods_per_dc * p.aggs_per_pod) as usize
+        );
         assert_eq!(r.spines.len(), (p.datacenters * p.spines_per_dc) as usize);
         assert_eq!(r.hubs.len(), p.hubs as usize);
         assert_eq!(r.wans.len(), p.wan_routers as usize);
@@ -366,7 +382,10 @@ mod tests {
         let r = small();
         let wan_p = r.wan_prefixes[0];
         let has = |d: DeviceId| {
-            r.net.device_rules(d).iter().any(|rl| rl.matches.dst == Some(wan_p))
+            r.net
+                .device_rules(d)
+                .iter()
+                .any(|rl| rl.matches.dst == Some(wan_p))
         };
         for &s in &r.spines {
             assert!(has(s), "spines must carry WAN routes");
@@ -394,7 +413,10 @@ mod tests {
         let res = traceroute(&mut bdd, &r.net, &ms, Location::device(src), pkt, 32);
         assert!(res.delivered(), "{:?}", res.outcome);
         let devices = res.devices();
-        assert!(devices.iter().any(|d| r.hubs.contains(d)), "path must cross a hub");
+        assert!(
+            devices.iter().any(|d| r.hubs.contains(d)),
+            "path must cross a hub"
+        );
         assert_eq!(*devices.last().unwrap(), dst);
     }
 
@@ -418,7 +440,14 @@ mod tests {
         let mut bdd = Bdd::new();
         let ms = MatchSets::compute(&r.net, &mut bdd);
         let pkt = Packet::v4_to(r.wan_prefixes[0].nth_addr(5) as u32);
-        let res = traceroute(&mut bdd, &r.net, &ms, Location::device(r.spines[0]), pkt, 32);
+        let res = traceroute(
+            &mut bdd,
+            &r.net,
+            &ms,
+            Location::device(r.spines[0]),
+            pkt,
+            32,
+        );
         match res.outcome {
             TraceOutcome::Exited { device, .. } => assert!(r.wans.contains(&device)),
             o => panic!("expected WAN exit, got {o:?}"),
@@ -438,13 +467,18 @@ mod tests {
             .topology()
             .devices()
             .filter(|&(d, _)| {
-                r.net.device_rules(d).iter().any(|rl| {
-                    rl.class == RouteClass::Connected && rl.matches.dst == Some(p4)
-                })
+                r.net
+                    .device_rules(d)
+                    .iter()
+                    .any(|rl| rl.class == RouteClass::Connected && rl.matches.dst == Some(p4))
             })
             .map(|(d, _)| d)
             .collect();
-        assert_eq!(carriers.len(), 2, "a /31 lives on exactly its two endpoints");
+        assert_eq!(
+            carriers.len(),
+            2,
+            "a /31 lives on exactly its two endpoints"
+        );
         // v6 /126s exist too.
         let (p6, _, _) = addressing::p2p_v6(0);
         let v6_carriers = r

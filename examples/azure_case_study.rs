@@ -13,8 +13,8 @@ use topogen::{regional, RegionalParams};
 use yardstick::{Aggregator, Analyzer, CoverageReport, Tracker};
 
 use testsuite::{
-    agg_can_reach_tor_loopback, connected_route_check, default_route_check,
-    internal_route_check, TestContext,
+    agg_can_reach_tor_loopback, connected_route_check, default_route_check, internal_route_check,
+    TestContext,
 };
 
 fn main() {
@@ -60,9 +60,7 @@ fn main() {
     assert!(untested[&RouteClass::HostSubnet] > 0, "internal routes gap");
     assert!(untested[&RouteClass::Connected] > 0, "connected routes gap");
     assert!(untested[&RouteClass::Wan] > 0, "wide-area routes gap");
-    println!(
-        "→ the three gaps of §7.2: internal routes, connected routes, wide-area routes\n"
-    );
+    println!("→ the three gaps of §7.2: internal routes, connected routes, wide-area routes\n");
 
     // ---- §7.3: the two new tests ------------------------------------------
     println!("== step 2: final suite (+InternalRouteCheck, +ConnectedRouteCheck) ==");

@@ -19,9 +19,7 @@ use topogen::{regional, RegionalParams};
 use yardstick::{Analyzer, Tracker};
 
 use dataplane::semantic_diff;
-use testsuite::{
-    connected_route_check, default_route_check, internal_route_check, TestContext,
-};
+use testsuite::{connected_route_check, default_route_check, internal_route_check, TestContext};
 
 fn main() {
     // The running network and the proposed post-change state: a planned
@@ -47,7 +45,10 @@ fn main() {
 
     // 1. What does the change affect?
     let diffs = semantic_diff(&mut bdd, &r.net, &old_ms, &proposed, &new_ms);
-    println!("\nsemantic diff: {} device(s) change behaviour", diffs.len());
+    println!(
+        "\nsemantic diff: {} device(s) change behaviour",
+        diffs.len()
+    );
     for d in &diffs {
         let (regions, complete) = netmodel::describe_set(&bdd, d.changed, 4);
         println!("  {}:", r.net.topology().device(d.device).name);

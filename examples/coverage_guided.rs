@@ -23,7 +23,10 @@ use testsuite::{tor_reachability, NetworkInfo, TestContext};
 
 fn main() {
     let ft = fattree(FatTreeParams::paper(4));
-    let info = NetworkInfo { tor_subnets: ft.tors.clone(), ..NetworkInfo::default() };
+    let info = NetworkInfo {
+        tor_subnets: ft.tors.clone(),
+        ..NetworkInfo::default()
+    };
     let mut bdd = Bdd::new();
     let ms = MatchSets::compute(&ft.net, &mut bdd);
 
@@ -61,14 +64,20 @@ fn main() {
         let port = header::dport_in(&mut bdd, 5432, 5432);
         bdd.and_all([d, tcp, port])
     };
-    let flow = Flow { start: Location::device(src), headers };
+    let flow = Flow {
+        start: Location::device(src),
+        headers,
+    };
     let fc = flow_coverage(&mut bdd, &analyzer, flow, &ExploreOpts::default()).unwrap();
     println!(
         "\nflow tor0→tor7 (tcp/5432): {} ECMP paths, end-to-end coverage {:.0}%",
         fc.paths,
         fc.coverage * 100.0
     );
-    assert_eq!(fc.coverage, 1.0, "reachability tested the whole prefix space");
+    assert_eq!(
+        fc.coverage, 1.0,
+        "reachability tested the whole prefix space"
+    );
 
     // ---- Zoom-in filters (§6) ------------------------------------------------
     let pod0 = analyzer

@@ -69,8 +69,14 @@ fn main() {
             all_pass &= bdd.equal(delivered, pkts);
         }
     }
-    println!("connectivity test suite: {}", if all_pass { "ALL PASS ✓" } else { "FAILURES" });
-    assert!(all_pass, "the buggy network passes these tests — that is the point");
+    println!(
+        "connectivity test suite: {}",
+        if all_pass { "ALL PASS ✓" } else { "FAILURES" }
+    );
+    assert!(
+        all_pass,
+        "the buggy network passes these tests — that is the point"
+    );
 
     // ---- Coverage analysis ----------------------------------------------
     let trace = tracker.into_trace();
@@ -79,7 +85,10 @@ fn main() {
     let device_cov = analyzer
         .aggregate_devices(&mut bdd, Aggregator::Fractional, |_, _| true)
         .unwrap();
-    println!("\nfractional device coverage: {:.0}% — every device looks tested", device_cov * 100.0);
+    println!(
+        "\nfractional device coverage: {:.0}% — every device looks tested",
+        device_cov * 100.0
+    );
     assert_eq!(device_cov, 1.0);
 
     println!("\nper-device rule coverage (fractional):");

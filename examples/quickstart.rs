@@ -35,12 +35,23 @@ fn main() {
 
     // 2. Run two very different tests — a state-inspection check and a
     //    Pingmesh-style concrete probe — into the same tracker.
-    let info = NetworkInfo { tor_subnets: ft.tors.clone(), ..NetworkInfo::default() };
+    let info = NetworkInfo {
+        tor_subnets: ft.tors.clone(),
+        ..NetworkInfo::default()
+    };
     let mut ctx = TestContext::new(&ft.net, &ms, &info);
     let r1 = default_route_check(&mut bdd, &mut ctx, |_| true);
     let r2 = tor_pingmesh(&mut bdd, &mut ctx, 7);
-    println!("DefaultRouteCheck: {} checks, passed = {}", r1.checks, r1.passed());
-    println!("ToRPingmesh:       {} checks, passed = {}", r2.checks, r2.passed());
+    println!(
+        "DefaultRouteCheck: {} checks, passed = {}",
+        r1.checks,
+        r1.passed()
+    );
+    println!(
+        "ToRPingmesh:       {} checks, passed = {}",
+        r2.checks,
+        r2.passed()
+    );
 
     // 3. Phase 2: compute coverage from the trace.
     let trace = ctx.tracker.into_trace();

@@ -1,0 +1,186 @@
+//! A self-contained, registry-free subset of the `criterion` API.
+//!
+//! The build environment has no access to crates.io; this shim keeps the
+//! workspace's `harness = false` benchmarks compiling and runnable. It
+//! performs a short warm-up, then a fixed number of timed samples, and
+//! prints median/mean ns-per-iteration — no statistics engine, no HTML
+//! reports, no command-line filtering beyond a simple substring match.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // argv[1], when present and not a cargo-bench flag, is a substring
+        // filter — mirroring `cargo bench -- <filter>`.
+        let filter = std::env::args().nth(1).filter(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: 30,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = self.sample_size;
+        let filter = self.filter.clone();
+        run_one(&id, samples, filter.as_deref(), f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let filter = self.criterion.filter.clone();
+        run_one(&full, samples, filter.as_deref(), f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(id: &str, samples: usize, filter: Option<&str>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(pat) = filter {
+        if !id.contains(pat) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        samples: Vec::with_capacity(samples),
+        target: samples,
+    };
+    f(&mut b);
+    let mut per_iter: Vec<f64> = b.samples;
+    if per_iter.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "{id:<48} median {:>12} mean {:>12}",
+        fmt_ns(median),
+        fmt_ns(mean)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+pub struct Bencher {
+    /// ns-per-iteration samples gathered so far.
+    samples: Vec<f64>,
+    target: usize,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: run until ~20ms or 3 iterations, estimating cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 3 || warm_start.elapsed() < Duration::from_millis(20) {
+            std_black_box(f());
+            warm_iters += 1;
+            if warm_iters > 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        // Aim each sample at ~5ms of work, at least one iteration.
+        let iters_per_sample = ((5e6 / est_ns.max(1.0)) as u64).clamp(1, 1_000_000);
+        for _ in 0..self.target {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(f());
+            }
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

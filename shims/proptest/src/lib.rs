@@ -1,0 +1,156 @@
+//! A self-contained, registry-free subset of the [proptest] API.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this shim provides the slice of proptest the test suites actually use:
+//! seeded random `Strategy` generation, the `prop_map` / `prop_recursive` /
+//! `prop_oneof!` combinators, `prop::collection::vec`, `any::<T>()`, ranges
+//! as strategies, and the `proptest!` / `prop_assert!` / `prop_assert_eq!`
+//! macros. Failing cases report their seed and generated inputs; shrinking
+//! is intentionally not implemented (inputs here are small by construction).
+//!
+//! [proptest]: https://docs.rs/proptest
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// Mirror of proptest's `prop` facade module (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything the test suites import.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The error a failing property returns: a rendered message.
+pub type TestCaseError = String;
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert!({}) failed at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert!({}) failed at {}:{}: {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                ::std::format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert_eq!({}, {}) failed at {}:{}: {:?} != {:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+                file!(),
+                line!(),
+                l,
+                r
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert_eq! failed at {}:{}: {:?} != {:?}: {}",
+                file!(),
+                line!(),
+                l,
+                r,
+                ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if *l == *r {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert_ne!({}, {}) failed at {}:{}: both {:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+                file!(),
+                line!(),
+                l
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $($crate::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// The `proptest! { ... }` block: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]` functions whose
+/// arguments are drawn from strategies with `name in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::test_runner::run_cases(&config, stringify!($name), |rng| {
+                $(let $arg = $crate::Strategy::generate(&{ $strat }, rng);)+
+                let inputs = ::std::format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                (inputs, outcome)
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}

@@ -1,0 +1,120 @@
+//! Deterministic case runner: a splitmix64-seeded xoshiro-style RNG and the
+//! loop that drives each property over `cases` generated inputs.
+
+/// Runner configuration; only the knobs the workspace uses.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the BDD-heavy suites quick
+        // while still exploring well beyond the handful of unit cases.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Small, fast, deterministic RNG (xorshift* core seeded via splitmix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        let mut s = seed;
+        // Warm up so that similar seeds diverge immediately.
+        let state = splitmix64(&mut s) | 1;
+        TestRng { state }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    pub fn next_u128(&mut self) -> u128 {
+        ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection sampling over the largest multiple of `bound`.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform value in `[0, bound)` for 128-bit bounds.
+    pub fn below_u128(&mut self, bound: u128) -> u128 {
+        debug_assert!(bound > 0);
+        let zone = u128::MAX - (u128::MAX % bound);
+        loop {
+            let v = self.next_u128();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a, good enough to decorrelate per-property seed streams.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drive `case` over `config.cases` seeded inputs, panicking with the case
+/// number, seed, and rendered inputs on the first `prop_assert*` failure.
+/// Hard panics inside the property body propagate as-is.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (String, Result<(), crate::TestCaseError>),
+{
+    let base = hash_name(name);
+    for i in 0..config.cases {
+        let seed = base ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+        let mut rng = TestRng::new(seed);
+        let (inputs, outcome) = case(&mut rng);
+        if let Err(msg) = outcome {
+            panic!(
+                "property `{name}` failed at case {i}/{} (seed {seed:#x})\n  inputs: {inputs}\n  {msg}",
+                config.cases
+            );
+        }
+    }
+}

@@ -80,7 +80,9 @@ fn parse_args() -> Result<Args, String> {
     while i < argv.len() {
         let take = |i: &mut usize| -> Result<String, String> {
             *i += 1;
-            argv.get(*i).cloned().ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
         };
         match argv[i].as_str() {
             "--topology" => args.topology = take(&mut i)?,
@@ -88,8 +90,9 @@ fn parse_args() -> Result<Args, String> {
             "--suite" => args.suite = take(&mut i)?,
             "--limit" => args.limit = take(&mut i)?.parse().map_err(|e| format!("--limit: {e}"))?,
             "--path-budget" => {
-                args.path_budget =
-                    take(&mut i)?.parse().map_err(|e| format!("--path-budget: {e}"))?
+                args.path_budget = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--path-budget: {e}"))?
             }
             "--dst" => args.dst = Some(take(&mut i)?),
             other => return Err(format!("unknown option {other}")),
@@ -114,13 +117,21 @@ fn build_world(args: &Args) -> Result<World, String> {
             let ft = fattree(FatTreeParams::paper(args.k));
             let info = bench::fattree_info(&ft);
             let first_tor = ft.tors[0].0;
-            Ok(World { net: ft.net, info, wan_spec: None, host_slices: Vec::new(), first_tor })
+            Ok(World {
+                net: ft.net,
+                info,
+                wan_spec: None,
+                host_slices: Vec::new(),
+                first_tor,
+            })
         }
         "regional" => {
             let r = regional(RegionalParams::default());
             let info = bench::regional_info(&r);
-            let wan_spec =
-                Some(WanSpec { prefixes: r.wan_prefixes.clone(), wan_routers: r.wans.clone() });
+            let wan_spec = Some(WanSpec {
+                prefixes: r.wan_prefixes.clone(),
+                wan_routers: r.wans.clone(),
+            });
             let first_tor = r.tors[0].0;
             Ok(World {
                 net: r.net,
@@ -130,7 +141,9 @@ fn build_world(args: &Args) -> Result<World, String> {
                 first_tor,
             })
         }
-        other => Err(format!("unknown topology {other} (try fattree or regional)")),
+        other => Err(format!(
+            "unknown topology {other} (try fattree or regional)"
+        )),
     }
 }
 
@@ -147,18 +160,36 @@ fn run_suite(
     };
     match suite {
         "original" => {
-            run("DefaultRouteCheck", default_route_check(bdd, &mut ctx, |_| true));
-            run("AggCanReachTorLoopback", agg_can_reach_tor_loopback(bdd, &mut ctx));
+            run(
+                "DefaultRouteCheck",
+                default_route_check(bdd, &mut ctx, |_| true),
+            );
+            run(
+                "AggCanReachTorLoopback",
+                agg_can_reach_tor_loopback(bdd, &mut ctx),
+            );
         }
         "final" => {
-            run("DefaultRouteCheck", default_route_check(bdd, &mut ctx, |_| true));
-            run("AggCanReachTorLoopback", agg_can_reach_tor_loopback(bdd, &mut ctx));
+            run(
+                "DefaultRouteCheck",
+                default_route_check(bdd, &mut ctx, |_| true),
+            );
+            run(
+                "AggCanReachTorLoopback",
+                agg_can_reach_tor_loopback(bdd, &mut ctx),
+            );
             run("InternalRouteCheck", internal_route_check(bdd, &mut ctx));
             run("ConnectedRouteCheck", connected_route_check(bdd, &mut ctx));
         }
         "beyond" => {
-            run("DefaultRouteCheck", default_route_check(bdd, &mut ctx, |_| true));
-            run("AggCanReachTorLoopback", agg_can_reach_tor_loopback(bdd, &mut ctx));
+            run(
+                "DefaultRouteCheck",
+                default_route_check(bdd, &mut ctx, |_| true),
+            );
+            run(
+                "AggCanReachTorLoopback",
+                agg_can_reach_tor_loopback(bdd, &mut ctx),
+            );
             run("InternalRouteCheck", internal_route_check(bdd, &mut ctx));
             run("ConnectedRouteCheck", connected_route_check(bdd, &mut ctx));
             if let Some(spec) = &w.wan_spec {
@@ -170,11 +201,17 @@ fn run_suite(
                 );
             }
             if !w.host_slices.is_empty() {
-                run("HostPortCheck", host_port_check(bdd, &mut ctx, &w.host_slices));
+                run(
+                    "HostPortCheck",
+                    host_port_check(bdd, &mut ctx, &w.host_slices),
+                );
             }
         }
         "s8" => {
-            run("DefaultRouteCheck", default_route_check(bdd, &mut ctx, |_| true));
+            run(
+                "DefaultRouteCheck",
+                default_route_check(bdd, &mut ctx, |_| true),
+            );
             run("ToRContract", tor_contract(bdd, &mut ctx));
             run("ToRReachability", tor_reachability(bdd, &mut ctx));
             run("ToRPingmesh", tor_pingmesh(bdd, &mut ctx, 0xC0FFEE));
@@ -193,7 +230,11 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}\n");
             }
             eprint!("{HELP}");
-            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(2) };
+            return if msg.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
         }
     };
     match run(&args) {
@@ -234,7 +275,10 @@ fn run(args: &Args) -> Result<(), String> {
             let analyzer = Analyzer::new(&w.net, &ms, &trace, &mut bdd);
             let fwd = Forwarder::new(&w.net, &ms);
             let starts = edge_starts(&mut bdd, &fwd);
-            let opts = ExploreOpts { max_paths: args.path_budget, ..ExploreOpts::default() };
+            let opts = ExploreOpts {
+                max_paths: args.path_budget,
+                ..ExploreOpts::default()
+            };
             let pc = yardstick::pathcov::path_coverage(&mut bdd, &analyzer, &starts, &opts);
             println!(
                 "paths: {} ({} delivered, {} exited, {} dropped)",
@@ -251,8 +295,14 @@ fn run(args: &Args) -> Result<(), String> {
             let dst = args.dst.as_ref().ok_or("trace requires --dst A.B.C.D")?;
             let addr: std::net::Ipv4Addr = dst.parse().map_err(|e| format!("--dst: {e}"))?;
             let pkt = Packet::v4_to(u32::from(addr));
-            let res =
-                traceroute(&mut bdd, &w.net, &ms, Location::device(w.first_tor), pkt, 64);
+            let res = traceroute(
+                &mut bdd,
+                &w.net,
+                &ms,
+                Location::device(w.first_tor),
+                pkt,
+                64,
+            );
             for (i, hop) in res.hops.iter().enumerate() {
                 println!(
                     "{:>3}  {}  rule {:?} ({:?})",

@@ -32,7 +32,15 @@ fn unknown_command_fails_with_help() {
 
 #[test]
 fn report_on_fattree_prints_roles_and_classes() {
-    let (ok, out, err) = yardstick(&["report", "--topology", "fattree", "--k", "4", "--suite", "original"]);
+    let (ok, out, err) = yardstick(&[
+        "report",
+        "--topology",
+        "fattree",
+        "--k",
+        "4",
+        "--suite",
+        "original",
+    ]);
     assert!(ok, "stderr: {err}");
     assert!(out.contains("ToR Router"));
     assert!(out.contains("route class"));
@@ -41,15 +49,33 @@ fn report_on_fattree_prints_roles_and_classes() {
 
 #[test]
 fn gaps_lists_witness_packets() {
-    let (ok, out, _) =
-        yardstick(&["gaps", "--topology", "fattree", "--k", "4", "--suite", "s8", "--limit", "2"]);
+    let (ok, out, _) = yardstick(&[
+        "gaps",
+        "--topology",
+        "fattree",
+        "--k",
+        "4",
+        "--suite",
+        "s8",
+        "--limit",
+        "2",
+    ]);
     assert!(ok);
     // The §8 suite on a fat-tree leaves nothing... actually Pingmesh +
     // contract + reachability + default check cover everything at k=4,
     // so the report may be empty; the command must still succeed. Use a
     // weaker suite to guarantee gaps:
-    let (ok2, out2, _) =
-        yardstick(&["gaps", "--topology", "fattree", "--k", "4", "--suite", "original", "--limit", "2"]);
+    let (ok2, out2, _) = yardstick(&[
+        "gaps",
+        "--topology",
+        "fattree",
+        "--k",
+        "4",
+        "--suite",
+        "original",
+        "--limit",
+        "2",
+    ]);
     assert!(ok2);
     assert!(out2.contains("untested:"), "gaps output: {out2}");
     assert!(out2.contains("try: packet"));
@@ -76,8 +102,15 @@ fn paths_reports_universe_and_coverage() {
 
 #[test]
 fn trace_walks_to_the_destination() {
-    let (ok, out, _) =
-        yardstick(&["trace", "--topology", "fattree", "--k", "4", "--dst", "10.0.3.7"]);
+    let (ok, out, _) = yardstick(&[
+        "trace",
+        "--topology",
+        "fattree",
+        "--k",
+        "4",
+        "--dst",
+        "10.0.3.7",
+    ]);
     assert!(ok);
     assert!(out.contains("outcome: Delivered"));
     assert!(out.contains("HostSubnet"));

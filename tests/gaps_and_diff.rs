@@ -19,7 +19,10 @@ use testsuite::{default_route_check, tor_reachability, NetworkInfo, TestContext}
 #[test]
 fn gap_witnesses_are_actionable_tests() {
     let ft = fattree(FatTreeParams::paper(4));
-    let info = NetworkInfo { tor_subnets: ft.tors.clone(), ..NetworkInfo::default() };
+    let info = NetworkInfo {
+        tor_subnets: ft.tors.clone(),
+        ..NetworkInfo::default()
+    };
     let mut bdd = Bdd::new();
     let ms = MatchSets::compute(&ft.net, &mut bdd);
 
@@ -31,7 +34,9 @@ fn gap_witnesses_are_actionable_tests() {
 
     let before = {
         let a = Analyzer::new(&ft.net, &ms, &trace, &mut bdd);
-        let cov = a.aggregate_rules(&mut bdd, Aggregator::Fractional, |_, _| true).unwrap();
+        let cov = a
+            .aggregate_rules(&mut bdd, Aggregator::Fractional, |_, _| true)
+            .unwrap();
         // Collect witnesses for the top gaps (they are default routes).
         let gaps = a.gap_report(&mut bdd, 10, 2, |_, _| true);
         assert!(!gaps.entries.is_empty());
@@ -53,7 +58,9 @@ fn gap_witnesses_are_actionable_tests() {
         }
     }
     let a2 = Analyzer::new(&ft.net, &ms, &trace, &mut bdd);
-    let after = a2.aggregate_rules(&mut bdd, Aggregator::Fractional, |_, _| true).unwrap();
+    let after = a2
+        .aggregate_rules(&mut bdd, Aggregator::Fractional, |_, _| true)
+        .unwrap();
     assert!(
         after > before.0,
         "witness-driven tests must improve rule coverage ({} -> {after})",
@@ -108,9 +115,15 @@ fn diff_guided_change_validation() {
         let tested = bdd.and(covered_at, d.changed);
         let frac = bdd.probability(tested) / bdd.probability(d.changed);
         if expect_tested {
-            assert!(frac > 0.99, "{label}: changed space should be tested, got {frac}");
+            assert!(
+                frac > 0.99,
+                "{label}: changed space should be tested, got {frac}"
+            );
         } else {
-            assert!(frac < 0.01, "{label}: changed space should be untested, got {frac}");
+            assert!(
+                frac < 0.01,
+                "{label}: changed space should be untested, got {frac}"
+            );
         }
     }
 }
@@ -137,7 +150,10 @@ fn drift_digest_flags_state_changes_only() {
 
     let day1 = digest(&ft.net, &ms, &mut bdd);
     let day2 = digest(&ft.net, &ms, &mut bdd);
-    assert!(!day2.drifted(&day1, 0.05), "identical snapshots must not alarm");
+    assert!(
+        !day2.drifted(&day1, 0.05),
+        "identical snapshots must not alarm"
+    );
 
     let mut broken = ft.net.clone();
     topogen::faults::clear_device(&mut broken, ft.cores[0]);
@@ -150,7 +166,10 @@ fn drift_digest_flags_state_changes_only() {
 #[test]
 fn atu_round_trip_through_tracking() {
     let ft = fattree(FatTreeParams::paper(4));
-    let info = NetworkInfo { tor_subnets: ft.tors.clone(), ..NetworkInfo::default() };
+    let info = NetworkInfo {
+        tor_subnets: ft.tors.clone(),
+        ..NetworkInfo::default()
+    };
     let mut bdd = Bdd::new();
     let ms = MatchSets::compute(&ft.net, &mut bdd);
     let mut ctx = TestContext::new(&ft.net, &ms, &info);

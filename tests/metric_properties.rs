@@ -30,11 +30,7 @@ fn arb_mark() -> impl Strategy<Value = Mark> {
     ]
 }
 
-fn apply_marks(
-    bdd: &mut Bdd,
-    ft: &topogen::FatTree,
-    marks: &[Mark],
-) -> CoverageTrace {
+fn apply_marks(bdd: &mut Bdd, ft: &topogen::FatTree, marks: &[Mark]) -> CoverageTrace {
     let mut trace = CoverageTrace::new();
     for m in marks {
         match *m {
@@ -49,7 +45,10 @@ fn apply_marks(
                 let d = netmodel::topology::DeviceId(device as u32 % 20);
                 let n = ft.net.device_rules(d).len() as u32;
                 if n > 0 {
-                    trace.add_rule(RuleId { device: d, index: index as u32 % n });
+                    trace.add_rule(RuleId {
+                        device: d,
+                        index: index as u32 % n,
+                    });
                 }
             }
         }
@@ -57,10 +56,19 @@ fn apply_marks(
     trace
 }
 
-fn all_metrics(bdd: &mut Bdd, ft: &topogen::FatTree, ms: &MatchSets, trace: &CoverageTrace) -> Vec<f64> {
+fn all_metrics(
+    bdd: &mut Bdd,
+    ft: &topogen::FatTree,
+    ms: &MatchSets,
+    trace: &CoverageTrace,
+) -> Vec<f64> {
     let a = Analyzer::new(&ft.net, ms, trace, bdd);
     let mut out = Vec::new();
-    for agg in [Aggregator::Mean, Aggregator::Weighted, Aggregator::Fractional] {
+    for agg in [
+        Aggregator::Mean,
+        Aggregator::Weighted,
+        Aggregator::Fractional,
+    ] {
         out.push(a.aggregate_rules(bdd, agg, |_, _| true).unwrap());
         out.push(a.aggregate_devices(bdd, agg, |_, _| true).unwrap());
         out.push(a.aggregate_out_ifaces(bdd, agg, |_, _| true).unwrap());

@@ -11,8 +11,8 @@ use topogen::{regional, RegionalParams};
 use yardstick::{Aggregator, Analyzer, Tracker};
 
 use testsuite::{
-    agg_can_reach_tor_loopback, connected_route_check, default_route_check,
-    internal_route_check, NetworkInfo, TestContext,
+    agg_can_reach_tor_loopback, connected_route_check, default_route_check, internal_route_check,
+    NetworkInfo, TestContext,
 };
 
 fn small_params() -> RegionalParams {
@@ -72,23 +72,40 @@ fn case_study_gap_pattern_and_improvement() {
     }
     // (2) interface coverage is high on aggs (the loopback test), low
     //     elsewhere (only default-route uplinks);
-    let agg_if = a0.role_metrics(&mut bdd, Role::Aggregation).iface_fractional.unwrap();
-    let tor_if = a0.role_metrics(&mut bdd, Role::Tor).iface_fractional.unwrap();
+    let agg_if = a0
+        .role_metrics(&mut bdd, Role::Aggregation)
+        .iface_fractional
+        .unwrap();
+    let tor_if = a0
+        .role_metrics(&mut bdd, Role::Tor)
+        .iface_fractional
+        .unwrap();
     assert!(agg_if > 0.9, "agg ifaces {agg_if}");
     assert!(tor_if < 0.5, "tor ifaces {tor_if}");
     // (3) fractional rule coverage is very low while weighted is high
     //     (the default route dominates the address space).
-    let rule_f = a0.aggregate_rules(&mut bdd, Aggregator::Fractional, |_, _| true).unwrap();
-    let rule_w = a0.aggregate_rules(&mut bdd, Aggregator::Weighted, |_, _| true).unwrap();
+    let rule_f = a0
+        .aggregate_rules(&mut bdd, Aggregator::Fractional, |_, _| true)
+        .unwrap();
+    let rule_w = a0
+        .aggregate_rules(&mut bdd, Aggregator::Weighted, |_, _| true)
+        .unwrap();
     assert!(rule_f < 0.25, "fractional {rule_f}");
     assert!(rule_w > 0.95, "weighted {rule_w}");
 
     // The three §7.2 gap classes are fully untested.
-    for class in [RouteClass::HostSubnet, RouteClass::Connected, RouteClass::Wan] {
+    for class in [
+        RouteClass::HostSubnet,
+        RouteClass::Connected,
+        RouteClass::Wan,
+    ] {
         let cov = a0
             .aggregate_rules(&mut bdd, Aggregator::Fractional, |_, rl| rl.class == class)
             .unwrap();
-        assert_eq!(cov, 0.0, "{class:?} should be untested by the original suite");
+        assert_eq!(
+            cov, 0.0,
+            "{class:?} should be untested by the original suite"
+        );
     }
 
     // ---- final suite ---------------------------------------------------------
@@ -110,22 +127,36 @@ fn case_study_gap_pattern_and_improvement() {
     }
     // Wide-area routes remain untested (no specification yet — §7.3).
     let wan = a1
-        .aggregate_rules(&mut bdd, Aggregator::Fractional, |_, rl| rl.class == RouteClass::Wan)
+        .aggregate_rules(&mut bdd, Aggregator::Fractional, |_, rl| {
+            rl.class == RouteClass::Wan
+        })
         .unwrap();
     assert_eq!(wan, 0.0);
 
     // ToR host-facing interfaces remain untested.
-    let tor_if_after = a1.role_metrics(&mut bdd, Role::Tor).iface_fractional.unwrap();
+    let tor_if_after = a1
+        .role_metrics(&mut bdd, Role::Tor)
+        .iface_fractional
+        .unwrap();
     assert!(tor_if_after < 0.5, "{tor_if_after}");
 
     // Overall coverage strictly improves, on every metric.
-    let before = a0.aggregate_rules(&mut bdd, Aggregator::Fractional, |_, _| true).unwrap();
-    let after = a1.aggregate_rules(&mut bdd, Aggregator::Fractional, |_, _| true).unwrap();
-    assert!(after > before * 3.0, "rule coverage must improve dramatically");
-    let if_before =
-        a0.aggregate_out_ifaces(&mut bdd, Aggregator::Fractional, |_, _| true).unwrap();
-    let if_after =
-        a1.aggregate_out_ifaces(&mut bdd, Aggregator::Fractional, |_, _| true).unwrap();
+    let before = a0
+        .aggregate_rules(&mut bdd, Aggregator::Fractional, |_, _| true)
+        .unwrap();
+    let after = a1
+        .aggregate_rules(&mut bdd, Aggregator::Fractional, |_, _| true)
+        .unwrap();
+    assert!(
+        after > before * 3.0,
+        "rule coverage must improve dramatically"
+    );
+    let if_before = a0
+        .aggregate_out_ifaces(&mut bdd, Aggregator::Fractional, |_, _| true)
+        .unwrap();
+    let if_after = a1
+        .aggregate_out_ifaces(&mut bdd, Aggregator::Fractional, |_, _| true)
+        .unwrap();
     assert!(if_after > if_before, "interface coverage must improve");
 }
 
@@ -167,7 +198,13 @@ fn report_rows_cover_all_roles_in_the_regional_network() {
     let roles: Vec<Role> = report.rows.iter().map(|row| row.metrics.role).collect();
     assert_eq!(
         roles,
-        vec![Role::Tor, Role::Aggregation, Role::Spine, Role::RegionalHub, Role::Wan]
+        vec![
+            Role::Tor,
+            Role::Aggregation,
+            Role::Spine,
+            Role::RegionalHub,
+            Role::Wan
+        ]
     );
     // CSV round-trips the same rows.
     let csv = report.to_csv();

@@ -18,7 +18,10 @@ use testsuite::{default_route_check, tor_contract, NetworkInfo, TestContext};
 fn fattree_k16_full_local_suite() {
     let ft = fattree(FatTreeParams::paper(16));
     assert_eq!(ft.net.topology().device_count(), 320);
-    let info = NetworkInfo { tor_subnets: ft.tors.clone(), ..NetworkInfo::default() };
+    let info = NetworkInfo {
+        tor_subnets: ft.tors.clone(),
+        ..NetworkInfo::default()
+    };
     let mut bdd = Bdd::new();
     let ms = MatchSets::compute(&ft.net, &mut bdd);
     let mut ctx = TestContext::new(&ft.net, &ms, &info);
@@ -27,8 +30,13 @@ fn fattree_k16_full_local_suite() {
     let tracker: Tracker = std::mem::take(&mut ctx.tracker);
     let trace = tracker.into_trace();
     let a = Analyzer::new(&ft.net, &ms, &trace, &mut bdd);
-    let cov = a.aggregate_rules(&mut bdd, Aggregator::Fractional, |_, _| true).unwrap();
-    assert!(cov > 0.99, "local suite covers ~everything on a fat-tree: {cov}");
+    let cov = a
+        .aggregate_rules(&mut bdd, Aggregator::Fractional, |_, _| true)
+        .unwrap();
+    assert!(
+        cov > 0.99,
+        "local suite covers ~everything on a fat-tree: {cov}"
+    );
 }
 
 /// A 4× regional network (~140 devices, ~22k rules incl. dual-stack

@@ -33,7 +33,14 @@ fn state_inspection_test() {
     let default = ft
         .net
         .device_rule_ids(tor)
-        .find(|&id| ft.net.rule(id).matches.dst.map(|p| p.is_default()).unwrap_or(false))
+        .find(|&id| {
+            ft.net
+                .rule(id)
+                .matches
+                .dst
+                .map(|p| p.is_default())
+                .unwrap_or(false)
+        })
         .expect("default route must exist");
     tracker.mark_rule(default);
     // Inspecting the rule covers its entire (residual) match set.
@@ -67,8 +74,13 @@ fn local_concrete_test() {
     tracker.mark_packet(&mut bdd, Location::device(tor), set);
     let trace = tracker.into_trace();
     let analyzer = Analyzer::new(&ft.net, &ms, &trace, &mut bdd);
-    let cov = analyzer.rule_coverage(&mut bdd, step.transitions[0].rule).unwrap();
-    assert!(cov > 0.0 && cov < 1e-6, "one packet is a sliver of a /24 rule");
+    let cov = analyzer
+        .rule_coverage(&mut bdd, step.transitions[0].rule)
+        .unwrap();
+    assert!(
+        cov > 0.0 && cov < 1e-6,
+        "one packet is a sliver of a /24 rule"
+    );
 }
 
 /// Local symbolic: "router R1 must forward all packets to prefix P1 via
@@ -97,7 +109,10 @@ fn end_to_end_concrete_test() {
     let Fixture { ft, mut bdd, ms } = fixture();
     let (src, _, _) = ft.tors[0];
     let (dst, remote, _) = ft.tors[7];
-    let pkt = Packet { proto: 1, ..Packet::v4_to(remote.nth_addr(9) as u32) };
+    let pkt = Packet {
+        proto: 1,
+        ..Packet::v4_to(remote.nth_addr(9) as u32)
+    };
     let res = traceroute(&mut bdd, &ft.net, &ms, Location::device(src), pkt, 16);
     assert!(res.delivered());
     assert_eq!(*res.devices().last().unwrap(), dst);
@@ -177,7 +192,10 @@ fn compositionality_symbolic_equals_union_of_concrete() {
 fn compositionality_inspection_equals_symbolic_over_match_set() {
     let Fixture { ft, mut bdd, ms } = fixture();
     let (tor, _, _) = ft.tors[0];
-    let rule = RuleId { device: tor, index: 0 };
+    let rule = RuleId {
+        device: tor,
+        index: 0,
+    };
 
     let mut inspect = CoverageTrace::new();
     inspect.add_rule(rule);
