@@ -13,10 +13,12 @@ use netmodel::MatchSets;
 use topogen::{regional, RegionalParams};
 use yardstick::{Analyzer, Tracker};
 
-use bench::{arg_flag, regional_info, write_csv};
+use bench::{
+    arg_flag, arg_present, bench_parallel_suite, regional_info, write_csv, write_parallel_json,
+};
 use testsuite::{
     agg_can_reach_tor_loopback, connected_route_check, default_route_check, host_port_check,
-    internal_route_check, wan_route_check, TestContext, WanSpec,
+    internal_route_check, regional_suite_jobs, wan_route_check, TestContext, WanSpec,
 };
 
 fn main() {
@@ -165,4 +167,23 @@ fn main() {
         rule_b * 100.0,
         ifc_b * 100.0
     );
+
+    // Sequential-vs-parallel timing of the paper-final suite, opt-in via
+    // --threads / --json.
+    if arg_present("--threads") || arg_present("--json") {
+        let threads = arg_flag("--threads", 4) as usize;
+        let jobs = regional_suite_jobs(&r.net, &info);
+        let pb = bench_parallel_suite(
+            "fig7",
+            "regional-final-suite",
+            &r.net,
+            &info,
+            &jobs,
+            threads,
+        );
+        pb.print_table();
+        if arg_present("--json") {
+            write_parallel_json(&pb);
+        }
+    }
 }

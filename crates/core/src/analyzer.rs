@@ -38,6 +38,25 @@ impl<'a> Analyzer<'a> {
         }
     }
 
+    /// [`Analyzer::new`], but with covered sets computed by the
+    /// device-sharded [`CoveredSets::compute_parallel`]. Every metric is
+    /// bit-identical to the sequential analyzer's.
+    pub fn new_parallel(
+        net: &'a Network,
+        ms: &'a MatchSets,
+        trace: &'a CoverageTrace,
+        bdd: &mut Bdd,
+        threads: usize,
+    ) -> Analyzer<'a> {
+        let covered = CoveredSets::compute_parallel(net, ms, trace, bdd, threads);
+        Analyzer {
+            net,
+            ms,
+            trace,
+            covered,
+        }
+    }
+
     pub fn network(&self) -> &'a Network {
         self.net
     }

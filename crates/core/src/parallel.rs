@@ -1,0 +1,221 @@
+//! Sharded test execution: one `Bdd` manager per worker thread.
+//!
+//! The [`netbdd::Bdd`] manager is deliberately single-threaded — every
+//! operation takes `&mut self` — so parallelism comes from *sharding*,
+//! not sharing: a [`ParallelRunner`] partitions a job list into
+//! contiguous chunks, runs each chunk on its own OS thread with a
+//! private manager and [`Tracker`], and merges the per-worker
+//! [`crate::trace::PortableTrace`]s back into the caller's manager.
+//!
+//! The merged result is **bit-identical** to running the same jobs
+//! sequentially against the caller's manager:
+//!
+//! * per-location packet sets are unions; unions are associative and
+//!   commutative *as functions*, and the manager is canonical, so any
+//!   union order lands on the same `Ref`;
+//! * rule marks live in a `BTreeSet`, which is order-independent by
+//!   construction;
+//! * the merge itself happens on one thread in worker-index order, so
+//!   even arena allocation order is deterministic run to run.
+//!
+//! Threads are plain `std::thread::scope` workers — no external runtime
+//! — and job closures see borrowed network state (`&Network` etc. are
+//! `Sync`; only the BDD state is thread-private).
+
+use std::ops::Range;
+use std::time::{Duration, Instant};
+
+use netbdd::{Bdd, Stats};
+
+use crate::trace::{CoverageTrace, PortableTrace};
+use crate::tracker::Tracker;
+
+/// What one worker did, for bench output and cache diagnostics.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerReport {
+    /// Worker index (also its position in the deterministic merge).
+    pub worker: usize,
+    /// Jobs the worker executed.
+    pub jobs: usize,
+    /// Wall-clock time from thread start to trace export.
+    pub elapsed: Duration,
+    /// Final statistics of the worker's private manager.
+    pub stats: Stats,
+}
+
+/// Runs coverage jobs across worker threads, one private manager each.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelRunner {
+    threads: usize,
+}
+
+impl ParallelRunner {
+    /// A runner that shards work over `threads` workers (≥ 1).
+    pub fn new(threads: usize) -> ParallelRunner {
+        assert!(threads > 0, "a runner needs at least one worker");
+        ParallelRunner { threads }
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Deterministic balanced partition of `0..n` into `parts` contiguous
+    /// ranges whose lengths differ by at most one (front-loaded).
+    pub fn chunk_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+        let parts = parts.max(1);
+        let base = n / parts;
+        let extra = n % parts;
+        let mut ranges = Vec::with_capacity(parts);
+        let mut start = 0;
+        for i in 0..parts {
+            let len = base + usize::from(i < extra);
+            ranges.push(start..start + len);
+            start += len;
+        }
+        ranges
+    }
+
+    /// Run `jobs` across the workers and merge the traces into `bdd`.
+    ///
+    /// Each worker gets a fresh manager, calls `setup` once to derive its
+    /// per-manager state (typically `MatchSets::compute` — match sets are
+    /// `Ref`s and cannot be shared across managers), then feeds every job
+    /// in its chunk through `job` with a private tracker. The merged
+    /// trace is bit-identical to a sequential run of the same jobs (see
+    /// the module docs for why).
+    pub fn run<J, S>(
+        &self,
+        bdd: &mut Bdd,
+        jobs: &[J],
+        setup: impl Fn(&mut Bdd) -> S + Sync,
+        job: impl Fn(&mut Bdd, &mut S, &mut Tracker, &J) + Sync,
+    ) -> (CoverageTrace, Vec<WorkerReport>)
+    where
+        J: Sync,
+    {
+        let ranges = Self::chunk_ranges(jobs.len(), self.threads);
+        let results: Vec<(PortableTrace, WorkerReport)> = std::thread::scope(|scope| {
+            let setup = &setup;
+            let job = &job;
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .enumerate()
+                .map(|(worker, range)| {
+                    let chunk = &jobs[range];
+                    scope.spawn(move || {
+                        let start = Instant::now();
+                        let mut local = Bdd::new();
+                        let mut state = setup(&mut local);
+                        let mut tracker = Tracker::new();
+                        for j in chunk {
+                            job(&mut local, &mut state, &mut tracker, j);
+                        }
+                        let trace = tracker.into_trace();
+                        let portable = trace.export(&local);
+                        let report = WorkerReport {
+                            worker,
+                            jobs: chunk.len(),
+                            elapsed: start.elapsed(),
+                            stats: local.stats(),
+                        };
+                        (portable, report)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        });
+
+        let mut merged = CoverageTrace::new();
+        let mut reports = Vec::with_capacity(results.len());
+        for (portable, report) in results {
+            let trace = portable.import(bdd);
+            merged.merge(bdd, &trace);
+            reports.push(report);
+        }
+        (merged, reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::topology::DeviceId;
+    use netmodel::Location;
+
+    #[test]
+    fn chunk_ranges_partition_exactly() {
+        for n in 0..20 {
+            for parts in 1..6 {
+                let ranges = ParallelRunner::chunk_ranges(n, parts);
+                assert_eq!(ranges.len(), parts);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n);
+                // Contiguous and balanced.
+                let mut expect_start = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect_start);
+                    expect_start = r.end;
+                }
+                let max = ranges.iter().map(|r| r.len()).max().unwrap();
+                let min = ranges.iter().map(|r| r.len()).min().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    /// One mark per job: device i gets the cube "var(j) for job j".
+    fn mark_job(bdd: &mut Bdd, _s: &mut (), tracker: &mut Tracker, j: &u32) {
+        let set = bdd.var(*j);
+        tracker.mark_packet(bdd, Location::device(DeviceId(j % 3)), set);
+    }
+
+    #[test]
+    fn parallel_trace_is_bit_identical_to_sequential() {
+        let jobs: Vec<u32> = (0..17).collect();
+
+        let mut bdd = Bdd::new();
+        // Sequential reference on the shared manager.
+        let mut tracker = Tracker::new();
+        for j in &jobs {
+            mark_job(&mut bdd, &mut (), &mut tracker, j);
+        }
+        let sequential = tracker.into_trace();
+
+        for threads in [1, 2, 4, 7] {
+            let runner = ParallelRunner::new(threads);
+            let (merged, reports) = runner.run(&mut bdd, &jobs, |_| (), mark_job);
+            assert_eq!(reports.len(), threads);
+            assert_eq!(reports.iter().map(|r| r.jobs).sum::<usize>(), jobs.len());
+            assert_eq!(merged.rules, sequential.rules);
+            assert_eq!(merged.packets.len(), sequential.packets.len());
+            for (loc, set) in sequential.packets.iter() {
+                assert_eq!(merged.packets.at(loc), set, "{threads} threads, {loc:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let jobs: Vec<u32> = vec![1, 2];
+        let mut bdd = Bdd::new();
+        let runner = ParallelRunner::new(8);
+        let (merged, reports) = runner.run(&mut bdd, &jobs, |_| (), mark_job);
+        assert_eq!(reports.len(), 8);
+        assert!(!merged.is_empty());
+    }
+
+    #[test]
+    fn worker_reports_carry_manager_stats() {
+        let jobs: Vec<u32> = (0..8).collect();
+        let mut bdd = Bdd::new();
+        let runner = ParallelRunner::new(2);
+        let (_, reports) = runner.run(&mut bdd, &jobs, |_| (), mark_job);
+        for r in &reports {
+            assert!(r.stats.nodes > 2, "worker built something");
+        }
+    }
+}

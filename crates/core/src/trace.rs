@@ -9,7 +9,7 @@
 
 use std::collections::BTreeSet;
 
-use netbdd::{Bdd, Ref};
+use netbdd::{Bdd, PortableBdd, Ref};
 use netmodel::{LocatedPacketSet, Location, RuleId};
 
 /// The compact record of what a test suite exercised.
@@ -47,6 +47,48 @@ impl CoverageTrace {
     /// True when nothing at all was reported.
     pub fn is_empty(&self) -> bool {
         self.packets.is_empty() && self.rules.is_empty()
+    }
+
+    /// Snapshot the trace into a manager-independent form, so a trace
+    /// collected in one thread's `Bdd` can be rebuilt in another's.
+    pub fn export(&self, bdd: &Bdd) -> PortableTrace {
+        PortableTrace {
+            packets: self
+                .packets
+                .iter()
+                .map(|(loc, set)| (loc, bdd.export(set)))
+                .collect(),
+            rules: self.rules.clone(),
+        }
+    }
+}
+
+/// A [`CoverageTrace`] detached from its manager: per-location
+/// [`PortableBdd`] snapshots plus the (manager-free) rule-id set. Plain
+/// data, so it can cross thread boundaries.
+#[derive(Clone, Debug, Default)]
+pub struct PortableTrace {
+    packets: Vec<(Location, PortableBdd)>,
+    rules: BTreeSet<RuleId>,
+}
+
+impl PortableTrace {
+    /// Rebuild the trace inside `bdd`. Because imports are hash-consed,
+    /// importing into the manager the trace was exported from restores
+    /// exactly the original `Ref`s.
+    pub fn import(&self, bdd: &mut Bdd) -> CoverageTrace {
+        let mut trace = CoverageTrace::new();
+        for (loc, p) in &self.packets {
+            let set = bdd.import(p);
+            trace.packets.add(bdd, *loc, set);
+        }
+        trace.rules = self.rules.clone();
+        trace
+    }
+
+    /// Number of marked locations in the snapshot.
+    pub fn location_count(&self) -> usize {
+        self.packets.len()
     }
 }
 
@@ -87,6 +129,41 @@ mod tests {
         t.add_packets(&mut bdd, loc, b);
         let expect = bdd.or(a, b);
         assert_eq!(t.packets.at(loc), expect);
+    }
+
+    #[test]
+    fn portable_roundtrip_restores_identical_refs() {
+        let mut bdd = Bdd::new();
+        let mut t = CoverageTrace::new();
+        let a = bdd.var(0);
+        let b = bdd.var(3);
+        let ab = bdd.or(a, b);
+        t.add_packets(&mut bdd, Location::device(DeviceId(0)), a);
+        t.add_packets(&mut bdd, Location::device(DeviceId(1)), ab);
+        t.add_rule(rid(2, 1));
+        let p = t.export(&bdd);
+        assert_eq!(p.location_count(), 2);
+        let back = p.import(&mut bdd);
+        assert_eq!(back.packets.at(Location::device(DeviceId(0))), a);
+        assert_eq!(back.packets.at(Location::device(DeviceId(1))), ab);
+        assert_eq!(back.rules, t.rules);
+    }
+
+    #[test]
+    fn portable_trace_crosses_managers() {
+        let mut src = Bdd::new();
+        let mut t = CoverageTrace::new();
+        let f = {
+            let x = src.var(1);
+            let y = src.nvar(2);
+            src.and(x, y)
+        };
+        t.add_packets(&mut src, Location::device(DeviceId(7)), f);
+        let p = t.export(&src);
+        let mut dst = Bdd::new();
+        let back = p.import(&mut dst);
+        let got = back.packets.at(Location::device(DeviceId(7)));
+        assert_eq!(dst.probability(got), src.probability(f));
     }
 
     #[test]

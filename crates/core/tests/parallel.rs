@@ -1,0 +1,265 @@
+//! Differential proptests for the parallel engine: random toy networks
+//! and random job lists run through `ParallelRunner` at 2 and 4 threads
+//! must produce coverage traces, covered sets, and metrics **bit
+//! identical** to the sequential path — and both paths are judged
+//! against the `oracle` crate's explicit counting ratios, so agreement
+//! between them can't hide a shared bug.
+
+use netbdd::Bdd;
+use netmodel::header;
+use netmodel::topology::DeviceId;
+use netmodel::{Location, MatchSets, RuleId};
+use oracle::embed::{dst_prefix_set, embed_dst_prefix, embed_net};
+use oracle::{
+    net_match_sets, MetricsOracle, ToyAggregator, ToyIfaceKind, ToyNet, ToyPrefix, ToyRule,
+    ToySpace, ToyTrace,
+};
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use yardstick::{Aggregator, Analyzer, CoverageTrace, CoveredSets, ParallelRunner, Tracker};
+
+fn space() -> ToySpace {
+    ToySpace::new(4, 2, 1)
+}
+
+/// One device's spec: parent selector plus dst-only rules
+/// `(dst_len, raw_dst, iface_selector, drop)`.
+type DeviceSpec = (u32, Vec<(u32, u32, u32, bool)>);
+
+fn arb_device() -> impl Strategy<Value = DeviceSpec> {
+    (
+        any::<u32>(),
+        prop::collection::vec((0u32..=4, any::<u32>(), any::<u32>(), any::<bool>()), 1..4),
+    )
+}
+
+fn prefix(raw: u32, len: u32) -> ToyPrefix {
+    ToyPrefix::new(if len == 0 { 0 } else { raw & ((1 << len) - 1) }, len)
+}
+
+/// Tree-shaped toy network with a host interface per device and dst-only
+/// single-leg rules; returns the net and each device's interface list.
+fn build_net(specs: &[DeviceSpec]) -> (ToyNet, Vec<Vec<u32>>) {
+    let mut net = ToyNet::new();
+    let mut dev_ifaces: Vec<Vec<u32>> = Vec::new();
+    for (d, (parent_raw, _)) in specs.iter().enumerate() {
+        let dev = net.add_device();
+        let host = net.add_iface(dev, ToyIfaceKind::Host);
+        dev_ifaces.push(vec![host]);
+        if d > 0 {
+            let parent = (*parent_raw as usize) % d;
+            let (pi, ci) = net.add_link(parent, dev);
+            dev_ifaces[parent].push(pi);
+            dev_ifaces[d].push(ci);
+        }
+    }
+    for (d, (_, rules)) in specs.iter().enumerate() {
+        for &(dst_len, raw_dst, iface_sel, drop) in rules {
+            let action = if drop {
+                oracle::ToyAction::Drop
+            } else {
+                let pick = dev_ifaces[d][(iface_sel as usize) % dev_ifaces[d].len()];
+                oracle::ToyAction::Forward(vec![pick])
+            };
+            net.add_rule(
+                d,
+                ToyRule {
+                    dst: Some(prefix(raw_dst, dst_len)),
+                    src: None,
+                    proto: None,
+                    action,
+                },
+            );
+        }
+    }
+    net.finalize();
+    (net, dev_ifaces)
+}
+
+/// One coverage job: a dst-prefix packet mark (optionally ingress-tagged)
+/// or a rule inspection. The parallel and sequential paths both execute
+/// the same flat job list.
+#[derive(Clone, Debug)]
+enum Job {
+    Mark {
+        device: usize,
+        iface: Option<u32>,
+        prefix: ToyPrefix,
+    },
+    Inspect {
+        device: usize,
+        rule: usize,
+    },
+}
+
+fn build_jobs(
+    net: &ToyNet,
+    dev_ifaces: &[Vec<u32>],
+    marks: &[(u32, bool, u32, u32, u32)],
+    inspected: &[(u32, u32)],
+) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for &(dev_sel, tag, iface_sel, dst_len, raw_dst) in marks {
+        let d = (dev_sel as usize) % net.device_count();
+        let iface = tag.then(|| dev_ifaces[d][(iface_sel as usize) % dev_ifaces[d].len()]);
+        jobs.push(Job::Mark {
+            device: d,
+            iface,
+            prefix: prefix(raw_dst, dst_len),
+        });
+    }
+    for &(dev_sel, rule_sel) in inspected {
+        let d = (dev_sel as usize) % net.device_count();
+        jobs.push(Job::Inspect {
+            device: d,
+            rule: (rule_sel as usize) % net.table(d).len(),
+        });
+    }
+    jobs
+}
+
+fn run_one(s: &ToySpace, bdd: &mut Bdd, tracker: &mut Tracker, job: &Job) {
+    match job {
+        Job::Mark {
+            device,
+            iface,
+            prefix,
+        } => {
+            let set = header::dst_in(bdd, &embed_dst_prefix(s, *prefix));
+            let loc = match iface {
+                Some(i) => Location::at(DeviceId(*device as u32), netmodel::IfaceId(*i)),
+                None => Location::device(DeviceId(*device as u32)),
+            };
+            tracker.mark_packet(bdd, loc, set);
+        }
+        Job::Inspect { device, rule } => tracker.mark_rule(RuleId {
+            device: DeviceId(*device as u32),
+            index: *rule as u32,
+        }),
+    }
+}
+
+/// The oracle-side trace for the same job list.
+fn toy_trace_of(s: &ToySpace, jobs: &[Job]) -> ToyTrace {
+    let mut toy = ToyTrace::new();
+    for job in jobs {
+        match job {
+            Job::Mark {
+                device,
+                iface,
+                prefix,
+            } => toy.add_packets(*device, *iface, dst_prefix_set(s, *prefix)),
+            Job::Inspect { device, rule } => toy.add_rule(*device, *rule),
+        }
+    }
+    toy
+}
+
+fn assert_traces_identical(seq: &CoverageTrace, par: &CoverageTrace) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&seq.rules, &par.rules);
+    prop_assert_eq!(seq.packets.len(), par.packets.len());
+    for (loc, set) in seq.packets.iter() {
+        prop_assert_eq!(par.packets.at(loc), set, "trace diverges at {:?}", loc);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `ParallelRunner` at 2 and 4 threads reproduces the sequential
+    /// trace, covered sets, and every metric bit for bit; the metrics are
+    /// additionally judged against the oracle's counting ratios.
+    #[test]
+    fn parallel_runner_is_bit_identical_and_oracle_correct(
+        specs in prop::collection::vec(arb_device(), 1..4),
+        marks in prop::collection::vec((any::<u32>(), any::<bool>(), any::<u32>(), 0u32..=4, any::<u32>()), 0..6),
+        inspected in prop::collection::vec((any::<u32>(), any::<u32>()), 0..3),
+    ) {
+        let s = space();
+        let (mut net, dev_ifaces) = build_net(&specs);
+        let real = embed_net(&s, &net);
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&real, &mut bdd);
+        let jobs = build_jobs(&net, &dev_ifaces, &marks, &inspected);
+
+        // Sequential reference on the shared manager.
+        let mut tracker = Tracker::new();
+        for job in &jobs {
+            run_one(&s, &mut bdd, &mut tracker, job);
+        }
+        let seq_trace = tracker.into_trace();
+        let seq_covered = CoveredSets::compute(&real, &ms, &seq_trace, &mut bdd);
+
+        // Oracle verdicts for the same jobs.
+        let oracles = net_match_sets(&s, &mut net);
+        let toy = toy_trace_of(&s, &jobs);
+        let metrics = MetricsOracle::new(&s, &net, &oracles, &toy);
+
+        for threads in [2usize, 4] {
+            let runner = ParallelRunner::new(threads);
+            let s_ref = &s;
+            let (par_trace, reports) = runner.run(
+                &mut bdd,
+                &jobs,
+                |_| (),
+                |local, _state, tracker, job| run_one(s_ref, local, tracker, job),
+            );
+            prop_assert_eq!(reports.len(), threads);
+            assert_traces_identical(&seq_trace, &par_trace)?;
+
+            // Covered sets: device-sharded Algorithm 1 lands on the same
+            // canonical Refs as the sequential pass.
+            let par_covered =
+                CoveredSets::compute_parallel(&real, &ms, &par_trace, &mut bdd, threads);
+            for d in 0..net.device_count() {
+                for i in 0..net.table(d).len() {
+                    let id = RuleId { device: DeviceId(d as u32), index: i as u32 };
+                    prop_assert_eq!(
+                        par_covered.get(id),
+                        seq_covered.get(id),
+                        "covered set diverges: {} threads, device {}, rule {}",
+                        threads, d, i
+                    );
+                }
+            }
+
+            // Metrics: exactly equal between paths (same Refs, same
+            // floats), and equal to the oracle's counting ratio.
+            let seq_an = Analyzer::new(&real, &ms, &seq_trace, &mut bdd);
+            let par_an = Analyzer::new_parallel(&real, &ms, &par_trace, &mut bdd, threads);
+            for d in 0..net.device_count() {
+                for i in 0..net.table(d).len() {
+                    let id = RuleId { device: DeviceId(d as u32), index: i as u32 };
+                    let sv = seq_an.rule_coverage(&mut bdd, id);
+                    let pv = par_an.rule_coverage(&mut bdd, id);
+                    prop_assert_eq!(sv, pv, "rule metric differs at device {} rule {}", d, i);
+                    let ov = metrics.rule_coverage(d, i);
+                    match (pv, ov) {
+                        (None, None) => {}
+                        (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-9),
+                        _ => prop_assert!(false, "oracle disagrees on definedness"),
+                    }
+                }
+                let sv = seq_an.device_coverage(&mut bdd, DeviceId(d as u32));
+                let pv = par_an.device_coverage(&mut bdd, DeviceId(d as u32));
+                prop_assert_eq!(sv, pv, "device metric differs at device {}", d);
+            }
+            for (agg, toy_agg) in [
+                (Aggregator::Mean, ToyAggregator::Mean),
+                (Aggregator::Weighted, ToyAggregator::Weighted),
+                (Aggregator::Fractional, ToyAggregator::Fractional),
+            ] {
+                let sv = seq_an.aggregate_rules(&mut bdd, agg, |_, _| true);
+                let pv = par_an.aggregate_rules(&mut bdd, agg, |_, _| true);
+                prop_assert_eq!(sv, pv, "rule aggregate differs under {:?}", agg);
+                let ov = metrics.aggregate_rules(toy_agg, |_, _| true);
+                match (pv, ov) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-9),
+                    _ => prop_assert!(false, "oracle disagrees on {:?} definedness", agg),
+                }
+            }
+        }
+    }
+}

@@ -10,8 +10,8 @@ use std::fmt::Write as _;
 use crate::manager::Bdd;
 use crate::node::Ref;
 
-/// Size snapshot of a manager.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Size and cache-behaviour snapshot of a manager.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Nodes in the arena (including the two terminals).
     pub nodes: usize,
@@ -21,16 +21,51 @@ pub struct Stats {
     pub not_cache_entries: usize,
     /// Entries in the probability memo.
     pub prob_cache_entries: usize,
+    /// Cumulative unique-table lookups (one per non-trivial `mk`).
+    pub unique_lookups: u64,
+    /// Lookups that found an existing node (hash-consing dedup).
+    pub unique_hits: u64,
+    /// Cumulative ITE computed-cache lookups (terminal cases excluded).
+    pub ite_lookups: u64,
+    /// ITE lookups answered from the cache.
+    pub ite_hits: u64,
+}
+
+impl Stats {
+    /// Fraction of `mk` calls answered by the unique table (0 when no
+    /// lookups have happened).
+    pub fn unique_hit_rate(&self) -> f64 {
+        rate(self.unique_hits, self.unique_lookups)
+    }
+
+    /// Fraction of ITE lookups answered from the computed cache.
+    pub fn ite_hit_rate(&self) -> f64 {
+        rate(self.ite_hits, self.ite_lookups)
+    }
+}
+
+fn rate(hits: u64, lookups: u64) -> f64 {
+    if lookups == 0 {
+        0.0
+    } else {
+        hits as f64 / lookups as f64
+    }
 }
 
 impl Bdd {
     /// Current size statistics.
     pub fn stats(&self) -> Stats {
+        let (unique_lookups, unique_hits) = self.unique_counters();
+        let (ite_lookups, ite_hits) = self.ite_counters();
         Stats {
             nodes: self.node_count(),
             ite_cache_entries: self.ite_cache_len(),
             not_cache_entries: self.not_cache_len(),
             prob_cache_entries: self.prob_cache_len(),
+            unique_lookups,
+            unique_hits,
+            ite_lookups,
+            ite_hits,
         }
     }
 

@@ -50,8 +50,10 @@ mod debug;
 mod fxhash;
 mod manager;
 mod node;
+mod portable;
 
 pub use cube::Cube;
 pub use debug::Stats;
 pub use manager::Bdd;
 pub use node::Ref;
+pub use portable::PortableBdd;

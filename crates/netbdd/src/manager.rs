@@ -19,6 +19,13 @@ pub struct Bdd {
     ite_cache: FxHashMap<(Ref, Ref, Ref), Ref>,
     not_cache: FxHashMap<Ref, Ref>,
     prob_cache: FxHashMap<Ref, f64>,
+    // Cumulative lookup/hit counters (survive `clear_caches`); a worker
+    // thread's hit rates tell whether its shard re-derives shared
+    // structure or genuinely explores distinct state.
+    unique_lookups: u64,
+    unique_hits: u64,
+    ite_lookups: u64,
+    ite_hits: u64,
 }
 
 impl Default for Bdd {
@@ -50,6 +57,10 @@ impl Bdd {
             ite_cache: FxHashMap::default(),
             not_cache: FxHashMap::default(),
             prob_cache: FxHashMap::default(),
+            unique_lookups: 0,
+            unique_hits: 0,
+            ite_lookups: 0,
+            ite_hits: 0,
         }
     }
 
@@ -91,7 +102,9 @@ impl Bdd {
         debug_assert!(lo.is_terminal() || self.nodes[lo.index()].var > var);
         debug_assert!(hi.is_terminal() || self.nodes[hi.index()].var > var);
         let node = Node { var, lo, hi };
+        self.unique_lookups += 1;
         if let Some(&r) = self.unique.get(&node) {
+            self.unique_hits += 1;
             return r;
         }
         let r = Ref(self.nodes.len() as u32);
@@ -139,7 +152,9 @@ impl Bdd {
         }
 
         let key = (f, g, h);
+        self.ite_lookups += 1;
         if let Some(&r) = self.ite_cache.get(&key) {
+            self.ite_hits += 1;
             return r;
         }
 
@@ -224,22 +239,40 @@ impl Bdd {
         self.ite(f, g, Ref::TRUE)
     }
 
-    /// Union of many sets.
+    /// Union of many sets, combined as a balanced binary tree: operands
+    /// meet at O(log n) depth, keeping intermediate diagrams small, where
+    /// a linear fold drags one ever-growing accumulator through every
+    /// step.
     pub fn or_all<I: IntoIterator<Item = Ref>>(&mut self, items: I) -> Ref {
-        let mut acc = Ref::FALSE;
-        for f in items {
-            acc = self.or(acc, f);
-        }
-        acc
+        self.tree_reduce(items, Ref::FALSE, Self::or)
     }
 
-    /// Intersection of many sets (the empty intersection is the full set).
+    /// Intersection of many sets (the empty intersection is the full
+    /// set), combined as a balanced binary tree like [`Bdd::or_all`].
     pub fn and_all<I: IntoIterator<Item = Ref>>(&mut self, items: I) -> Ref {
-        let mut acc = Ref::TRUE;
-        for f in items {
-            acc = self.and(acc, f);
+        self.tree_reduce(items, Ref::TRUE, Self::and)
+    }
+
+    fn tree_reduce<I: IntoIterator<Item = Ref>>(
+        &mut self,
+        items: I,
+        identity: Ref,
+        op: fn(&mut Self, Ref, Ref) -> Ref,
+    ) -> Ref {
+        let mut layer: Vec<Ref> = items.into_iter().collect();
+        if layer.is_empty() {
+            return identity;
         }
-        acc
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            let mut pairs = layer.chunks_exact(2);
+            for pair in &mut pairs {
+                next.push(op(self, pair[0], pair[1]));
+            }
+            next.extend(pairs.remainder());
+            layer = next;
+        }
+        layer[0]
     }
 
     /// Set equality. O(1) thanks to canonicity.
@@ -390,6 +423,14 @@ impl Bdd {
 
     pub(crate) fn prob_cache_len(&self) -> usize {
         self.prob_cache.len()
+    }
+
+    pub(crate) fn unique_counters(&self) -> (u64, u64) {
+        (self.unique_lookups, self.unique_hits)
+    }
+
+    pub(crate) fn ite_counters(&self) -> (u64, u64) {
+        (self.ite_lookups, self.ite_hits)
     }
 }
 
@@ -542,5 +583,52 @@ mod tests {
         assert!(bdd.subset(all, any));
         assert_eq!(bdd.or_all(std::iter::empty()), Ref::FALSE);
         assert_eq!(bdd.and_all(std::iter::empty()), Ref::TRUE);
+    }
+
+    #[test]
+    fn tree_reduce_equals_linear_fold() {
+        // The balanced reduction must produce the same canonical function
+        // as the linear fold it replaced, for every operand count
+        // (including odd counts, the single operand, and none).
+        let mut bdd = Bdd::new();
+        let mut items: Vec<Ref> = Vec::new();
+        for v in 0..9u32 {
+            // A mildly irregular mix: literals, cubes, and negations.
+            let lit = bdd.literal(v, v % 2 == 0);
+            let other = bdd.var((v + 3) % 9);
+            items.push(match v % 3 {
+                0 => lit,
+                1 => bdd.and(lit, other),
+                _ => bdd.not(other),
+            });
+        }
+        for n in 0..=items.len() {
+            let slice = &items[..n];
+            let linear_or = slice.iter().fold(Ref::FALSE, |acc, &f| bdd.or(acc, f));
+            let linear_and = slice.iter().fold(Ref::TRUE, |acc, &f| bdd.and(acc, f));
+            assert_eq!(bdd.or_all(slice.iter().copied()), linear_or, "or n={n}");
+            assert_eq!(bdd.and_all(slice.iter().copied()), linear_and, "and n={n}");
+        }
+    }
+
+    #[test]
+    fn cache_counters_record_hits() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.and(a, b);
+        let s1 = bdd.stats();
+        let g = bdd.and(a, b); // pure ITE-cache hit
+        assert_eq!(f, g);
+        let s2 = bdd.stats();
+        assert_eq!(s2.ite_hits, s1.ite_hits + 1);
+        assert_eq!(s2.ite_lookups, s1.ite_lookups + 1);
+        // Remaking an existing node hits the unique table.
+        let a2 = bdd.var(0);
+        assert_eq!(a, a2);
+        let s3 = bdd.stats();
+        assert_eq!(s3.unique_hits, s2.unique_hits + 1);
+        assert!(s3.unique_hit_rate() > 0.0 && s3.unique_hit_rate() <= 1.0);
+        assert!(s3.ite_hit_rate() > 0.0 && s3.ite_hit_rate() <= 1.0);
     }
 }

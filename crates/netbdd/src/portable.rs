@@ -1,0 +1,194 @@
+//! Manager-independent snapshots of single functions.
+//!
+//! A [`Ref`] is only meaningful inside the manager that created it, which
+//! makes one-manager-per-thread sharding impossible without a transfer
+//! format. [`PortableBdd`] is that format: a topologically sorted copy of
+//! one function's reachable nodes, with child references encoded
+//! positionally instead of as arena indices. Exporting walks the diagram
+//! once; importing replays it bottom-up through `mk`, so the rebuilt
+//! function is hash-consed into the target manager and lands on the
+//! canonical `Ref` for that function there — imports from different
+//! workers that denote the same packet set collapse to the same node.
+
+use crate::fxhash::FxHashMap;
+use crate::manager::Bdd;
+use crate::node::{Ref, Var};
+
+/// Child encoding inside a [`PortableBdd`]: 0 is FALSE, 1 is TRUE, and
+/// `k + 2` points at `nodes[k]`, which always precedes the referencing
+/// node (children first).
+type Slot = u32;
+
+const SLOT_FALSE: Slot = 0;
+const SLOT_TRUE: Slot = 1;
+
+/// A self-contained, manager-independent copy of one BDD function.
+///
+/// Plain data (`Send`): build it in one thread's manager, move it across
+/// the scope boundary, import it into another.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PortableBdd {
+    /// `(var, lo, hi)` triples in children-first order.
+    nodes: Vec<(Var, Slot, Slot)>,
+    root: Slot,
+}
+
+impl PortableBdd {
+    /// Number of decision nodes in the snapshot (terminals excluded).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the snapshot is a bare terminal.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+impl Bdd {
+    /// Snapshot the function `f` into a manager-independent form.
+    pub fn export(&self, f: Ref) -> PortableBdd {
+        // Iterative post-order: a node is emitted only after both
+        // children, so slots always point backwards.
+        let mut slot_of: FxHashMap<Ref, Slot> = FxHashMap::default();
+        let mut nodes: Vec<(Var, Slot, Slot)> = Vec::new();
+        let slot = |slots: &FxHashMap<Ref, Slot>, r: Ref| -> Slot {
+            match r {
+                Ref::FALSE => SLOT_FALSE,
+                Ref::TRUE => SLOT_TRUE,
+                _ => slots[&r],
+            }
+        };
+        enum Frame {
+            Enter(Ref),
+            Emit(Ref),
+        }
+        let mut stack = vec![Frame::Enter(f)];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Enter(r) => {
+                    if r.is_terminal() || slot_of.contains_key(&r) {
+                        continue;
+                    }
+                    let n = self.node(r);
+                    stack.push(Frame::Emit(r));
+                    stack.push(Frame::Enter(n.hi));
+                    stack.push(Frame::Enter(n.lo));
+                }
+                Frame::Emit(r) => {
+                    if slot_of.contains_key(&r) {
+                        continue;
+                    }
+                    let n = self.node(r);
+                    nodes.push((n.var, slot(&slot_of, n.lo), slot(&slot_of, n.hi)));
+                    slot_of.insert(r, (nodes.len() - 1) as Slot + 2);
+                }
+            }
+        }
+        PortableBdd {
+            root: slot(&slot_of, f),
+            nodes,
+        }
+    }
+
+    /// Rebuild a snapshot inside this manager and return its canonical
+    /// `Ref` here. Importing the export of a function the manager already
+    /// knows yields the original `Ref` exactly.
+    pub fn import(&mut self, p: &PortableBdd) -> Ref {
+        let mut refs: Vec<Ref> = Vec::with_capacity(p.nodes.len());
+        let resolve = |refs: &[Ref], s: Slot| -> Ref {
+            match s {
+                SLOT_FALSE => Ref::FALSE,
+                SLOT_TRUE => Ref::TRUE,
+                _ => refs[s as usize - 2],
+            }
+        };
+        for &(var, lo, hi) in &p.nodes {
+            let lo = resolve(&refs, lo);
+            let hi = resolve(&refs, hi);
+            refs.push(self.mk(var, lo, hi));
+        }
+        resolve(&refs, p.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(bdd: &mut Bdd) -> Ref {
+        // (x0 ∧ x2) ∨ (¬x1 ∧ x3) — shares no structure accidentally.
+        let a = bdd.var(0);
+        let c = bdd.var(2);
+        let ac = bdd.and(a, c);
+        let nb = bdd.nvar(1);
+        let d = bdd.var(3);
+        let nbd = bdd.and(nb, d);
+        bdd.or(ac, nbd)
+    }
+
+    #[test]
+    fn roundtrip_in_same_manager_is_identity() {
+        let mut bdd = Bdd::new();
+        let f = sample(&mut bdd);
+        let p = bdd.export(f);
+        assert_eq!(bdd.import(&p), f);
+        for t in [Ref::FALSE, Ref::TRUE] {
+            let pt = bdd.export(t);
+            assert!(pt.is_empty());
+            assert_eq!(bdd.import(&pt), t);
+        }
+    }
+
+    #[test]
+    fn export_len_matches_function_size() {
+        let mut bdd = Bdd::new();
+        let f = sample(&mut bdd);
+        // size() counts terminals too.
+        assert_eq!(bdd.export(f).len() + 2, bdd.size(f));
+    }
+
+    #[test]
+    fn cross_manager_transfer_preserves_semantics() {
+        let mut src = Bdd::new();
+        let f = sample(&mut src);
+        let p = src.export(f);
+
+        // Target manager with a different allocation history: the raw
+        // indices cannot line up, only the function can.
+        let mut dst = Bdd::new();
+        let _noise = {
+            let x = dst.var(7);
+            let y = dst.nvar(5);
+            dst.and(x, y)
+        };
+        let g = dst.import(&p);
+        assert_eq!(dst.probability(g), src.probability(f));
+        assert_eq!(dst.sat_count(g, 4), src.sat_count(f, 4));
+        assert_eq!(dst.support(g), src.support(f));
+        // Rebuilding the same function natively lands on the same Ref.
+        let native = sample(&mut dst);
+        assert_eq!(g, native);
+    }
+
+    #[test]
+    fn imports_from_two_sources_collapse_when_equal() {
+        let mut a = Bdd::new();
+        let mut b = Bdd::new();
+        // Same function, built in different orders in different managers.
+        let fa = {
+            let x = a.var(1);
+            let y = a.var(4);
+            a.or(x, y)
+        };
+        let fb = {
+            let y = b.var(4);
+            let x = b.var(1);
+            b.or(y, x)
+        };
+        let mut dst = Bdd::new();
+        let ga = dst.import(&a.export(fa));
+        let gb = dst.import(&b.export(fb));
+        assert_eq!(ga, gb);
+    }
+}

@@ -18,7 +18,63 @@ use std::collections::HashMap;
 use netbdd::{Bdd, Ref};
 
 use crate::network::{Network, RuleId};
+use crate::rule::MatchFields;
 use crate::topology::IfaceId;
+
+/// Memo for compiled `fromRule` match sets, keyed by the *header* part of
+/// the match fields (`in_iface` is positional, not header bits, and is
+/// excluded — [`MatchFields::to_bdd`] ignores it too).
+///
+/// FIBs are massively repetitive: every router carries the same default
+/// route, the same loopback /32 shapes, the same link /31s. Within one
+/// [`MatchSets::compute`] the cache collapses those to a single BDD
+/// construction; held across analyses of the same or related networks
+/// (via [`MatchSets::compute_cached`]) it also spares re-deriving them
+/// per run. Entries are `Ref`s into one manager, so a cache must only
+/// ever be used with the manager it was filled from.
+#[derive(Debug, Default)]
+pub struct MatchSetCache {
+    map: HashMap<MatchFields, Ref>,
+    hits: u64,
+    misses: u64,
+}
+
+impl MatchSetCache {
+    pub fn new() -> MatchSetCache {
+        MatchSetCache::default()
+    }
+
+    /// Compile `m` to a BDD, reusing a previous compilation of the same
+    /// header match if there is one.
+    pub fn to_bdd(&mut self, bdd: &mut Bdd, m: &MatchFields) -> Ref {
+        let key = MatchFields {
+            in_iface: None,
+            ..m.clone()
+        };
+        if let Some(&r) = self.map.get(&key) {
+            self.hits += 1;
+            return r;
+        }
+        self.misses += 1;
+        let r = key.to_bdd(bdd);
+        self.map.insert(key, r);
+        r
+    }
+
+    /// Distinct header matches compiled so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
 
 /// The disjoint match sets of every rule in a network, plus per-device
 /// totals. `M[r]` in the paper's notation.
@@ -40,6 +96,14 @@ impl MatchSets {
     /// because their first-match semantics cannot be expressed in header
     /// space alone.
     pub fn compute(net: &Network, bdd: &mut Bdd) -> MatchSets {
+        Self::compute_cached(net, bdd, &mut MatchSetCache::new())
+    }
+
+    /// [`MatchSets::compute`] with a caller-held [`MatchSetCache`], so
+    /// repeated analyses over the same FIB (or FIBs sharing route shapes)
+    /// don't rebuild identical prefix BDDs. The cache must always be
+    /// paired with the same `bdd` manager.
+    pub fn compute_cached(net: &Network, bdd: &mut Bdd, cache: &mut MatchSetCache) -> MatchSets {
         let ndev = net.topology().device_count();
         let mut sets = Vec::with_capacity(ndev);
         let mut device_total = Vec::with_capacity(ndev);
@@ -60,7 +124,7 @@ impl MatchSets {
             for rule in rules {
                 let scope = rule.matches.in_iface;
                 let matched = matched_by_scope.entry(scope).or_insert_with(|| Ref::FALSE);
-                let raw = rule.matches.to_bdd(bdd);
+                let raw = cache.to_bdd(bdd, &rule.matches);
                 let effective = bdd.diff(raw, *matched);
                 *matched = bdd.or(*matched, raw);
                 total = bdd.or(total, effective);
@@ -249,6 +313,66 @@ mod tests {
             device: d,
             index: 1
         }));
+    }
+
+    #[test]
+    fn cache_collapses_repeated_matches_within_one_fib() {
+        let mut bdd = Bdd::new();
+        // The same /24 appears three times (twice shadowed): only one
+        // compilation should happen for it.
+        let net = one_device_net(vec![
+            fwd("10.1.2.0/24"),
+            fwd("10.1.2.0/24"),
+            fwd("10.1.2.0/24"),
+            fwd("10.0.0.0/8"),
+        ]);
+        let mut cache = MatchSetCache::new();
+        let _ = MatchSets::compute_cached(&net, &mut bdd, &mut cache);
+        assert_eq!(cache.len(), 2); // two distinct header matches
+        assert_eq!(cache.counters(), (2, 2));
+    }
+
+    #[test]
+    fn persistent_cache_makes_recomputation_free_and_identical() {
+        let mut bdd = Bdd::new();
+        let net = one_device_net(vec![
+            fwd("10.0.0.0/8"),
+            fwd("10.1.0.0/16"),
+            Rule::forward(
+                Prefix::v4_default(),
+                vec![IfaceId(0)],
+                RouteClass::StaticDefault,
+            ),
+        ]);
+        let mut cache = MatchSetCache::new();
+        let ms1 = MatchSets::compute_cached(&net, &mut bdd, &mut cache);
+        let (_, misses_after_first) = cache.counters();
+        let ms2 = MatchSets::compute_cached(&net, &mut bdd, &mut cache);
+        let (_, misses_after_second) = cache.counters();
+        // Second analysis compiled nothing new...
+        assert_eq!(misses_after_first, misses_after_second);
+        // ...and produced bit-identical match sets.
+        let d = net.topology().device_by_name("r").unwrap();
+        for id in net.device_rule_ids(d) {
+            assert_eq!(ms1.get(id), ms2.get(id));
+        }
+        assert_eq!(ms1.device_total(d), ms2.device_total(d));
+    }
+
+    #[test]
+    fn cache_key_ignores_ingress_interface() {
+        let mut bdd = Bdd::new();
+        let mut cache = MatchSetCache::new();
+        let base = MatchFields::dst_prefix("10.0.0.0/8".parse().unwrap());
+        let scoped = MatchFields {
+            in_iface: Some(IfaceId(3)),
+            ..base.clone()
+        };
+        let a = cache.to_bdd(&mut bdd, &base);
+        let b = cache.to_bdd(&mut bdd, &scoped);
+        assert_eq!(a, b); // same header bits, one cache entry
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.counters(), (1, 1));
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod rule;
 pub mod topology;
 
 pub use addr::{Family, Prefix};
-pub use disjoint::MatchSets;
+pub use disjoint::{MatchSetCache, MatchSets};
 pub use header::{HeaderField, Packet};
 pub use located::{LocatedPacketSet, Location};
 pub use network::{Network, RuleId};

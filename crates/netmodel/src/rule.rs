@@ -14,7 +14,7 @@ use crate::header::{self, HeaderField};
 use crate::topology::IfaceId;
 
 /// The match fields of a rule, compiled to a header-space BDD on demand.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct MatchFields {
     /// Destination prefix (LPM key). `None` matches both families fully.
     pub dst: Option<Prefix>,

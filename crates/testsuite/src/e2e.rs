@@ -18,59 +18,69 @@ use crate::context::{TestContext, TestReport};
 /// remote prefix at once.
 pub fn tor_reachability(bdd: &mut Bdd, ctx: &mut TestContext<'_>) -> TestReport {
     let mut report = TestReport::new("ToRReachability");
-    let fwd = Forwarder::new(ctx.net, ctx.ms);
-    let tors = ctx.info.tor_subnets.clone();
-    for &(src, src_prefix, _) in &tors {
-        // Destination space: every other ToR's prefix.
-        let others: Vec<_> = tors.iter().filter(|&&(d, _, _)| d != src).collect();
-        let injected = {
-            let sets: Vec<_> = others
-                .iter()
-                .map(|&&(_, p, _)| header::dst_in(bdd, &p))
-                .collect();
-            bdd.or_all(sets)
-        };
-        if injected.is_false() {
-            continue;
-        }
-        let res = reach(bdd, &fwd, Location::device(src), injected, 64);
-        // Coverage: the per-hop packet sets, exactly as computed.
-        ctx.tracker.mark_packet_set(bdd, &res.per_hop);
-        // No ECMP leg may drop: under per-flow hashing a dropped leg
-        // means some real flows die even if other legs still deliver.
-        report.check(res.dropped.is_empty(), || {
-            format!(
-                "{}: {} rule(s) drop ToR-to-ToR traffic (first at {:?})",
-                ctx.net.topology().device(src).name,
-                res.dropped.len(),
-                res.dropped[0].0
-            )
-        });
-        // Assertions: each remote prefix fully delivered at its ToR
-        // (union over the ToR's host-facing ports — regional ToRs split
-        // their /24 across several ports).
-        for &&(dst, dst_prefix, dst_host) in &others {
-            let expect = header::dst_in(bdd, &dst_prefix);
-            let sets: Vec<_> = res
-                .delivered
-                .iter()
-                .filter(|&&(i, _)| ctx.net.topology().iface(i).device == dst)
-                .map(|&(_, p)| p)
-                .collect();
-            let got = bdd.or_all(sets);
-            let _ = dst_host;
-            report.check(bdd.equal(got, expect), || {
-                format!(
-                    "{} → {}: prefix {} not fully delivered",
-                    ctx.net.topology().device(src).name,
-                    ctx.net.topology().device(dst).name,
-                    dst_prefix
-                )
-            });
-        }
-        let _ = src_prefix;
+    for src_index in 0..ctx.info.tor_subnets.len() {
+        check_reachability_from(bdd, ctx, &mut report, src_index);
     }
     report
+}
+
+/// ToRReachability from a single source ToR — the shardable unit.
+pub(crate) fn check_reachability_from(
+    bdd: &mut Bdd,
+    ctx: &mut TestContext<'_>,
+    report: &mut TestReport,
+    src_index: usize,
+) {
+    let fwd = Forwarder::new(ctx.net, ctx.ms);
+    let tors = ctx.info.tor_subnets.clone();
+    let (src, _src_prefix, _) = tors[src_index];
+    // Destination space: every other ToR's prefix.
+    let others: Vec<_> = tors.iter().filter(|&&(d, _, _)| d != src).collect();
+    let injected = {
+        let sets: Vec<_> = others
+            .iter()
+            .map(|&&(_, p, _)| header::dst_in(bdd, &p))
+            .collect();
+        bdd.or_all(sets)
+    };
+    if injected.is_false() {
+        return;
+    }
+    let res = reach(bdd, &fwd, Location::device(src), injected, 64);
+    // Coverage: the per-hop packet sets, exactly as computed.
+    ctx.tracker.mark_packet_set(bdd, &res.per_hop);
+    // No ECMP leg may drop: under per-flow hashing a dropped leg
+    // means some real flows die even if other legs still deliver.
+    report.check(res.dropped.is_empty(), || {
+        format!(
+            "{}: {} rule(s) drop ToR-to-ToR traffic (first at {:?})",
+            ctx.net.topology().device(src).name,
+            res.dropped.len(),
+            res.dropped[0].0
+        )
+    });
+    // Assertions: each remote prefix fully delivered at its ToR
+    // (union over the ToR's host-facing ports — regional ToRs split
+    // their /24 across several ports).
+    for &&(dst, dst_prefix, dst_host) in &others {
+        let expect = header::dst_in(bdd, &dst_prefix);
+        let sets: Vec<_> = res
+            .delivered
+            .iter()
+            .filter(|&&(i, _)| ctx.net.topology().iface(i).device == dst)
+            .map(|&(_, p)| p)
+            .collect();
+        let got = bdd.or_all(sets);
+        let _ = dst_host;
+        report.check(bdd.equal(got, expect), || {
+            format!(
+                "{} → {}: prefix {} not fully delivered",
+                ctx.net.topology().device(src).name,
+                ctx.net.topology().device(dst).name,
+                dst_prefix
+            )
+        });
+    }
 }
 
 /// ToRPingmesh (§8): end-to-end concrete. For every ordered ToR pair,
@@ -78,42 +88,73 @@ pub fn tor_reachability(bdd: &mut Bdd, ctx: &mut TestContext<'_>) -> TestReport 
 /// traceroute a packet to it (the Pingmesh idea). Coverage: one
 /// `markPacket` per hop with the concrete packet (as transformed so far)
 /// at that hop's location.
+/// Each ordered pair samples from its own RNG seeded by
+/// [`pair_seed`]`(seed, src_index, dst_index)`, so the sampled addresses
+/// are a function of the pair alone — running pairs in any order, or
+/// sharded across threads, reproduces the exact same packets.
 pub fn tor_pingmesh(bdd: &mut Bdd, ctx: &mut TestContext<'_>, seed: u64) -> TestReport {
     let mut report = TestReport::new("ToRPingmesh");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let tors = ctx.info.tor_subnets.clone();
-    for &(src, _, _) in &tors {
-        for &(dst, dst_prefix, dst_host) in &tors {
-            if src == dst {
+    let n = ctx.info.tor_subnets.len();
+    for src_index in 0..n {
+        for dst_index in 0..n {
+            if src_index == dst_index {
                 continue;
             }
-            let free_bits = 32 - dst_prefix.len() as u32;
-            let host_part: u128 = rng.gen_range(0..(1u128 << free_bits));
-            let pkt = Packet {
-                proto: 1, // ICMP, as a ping would be
-                ..Packet::v4_to(dst_prefix.nth_addr(host_part) as u32)
-            };
-            let res = traceroute(bdd, ctx.net, ctx.ms, Location::device(src), pkt, 64);
-            for hop in &res.hops {
-                let set = hop.packet.to_bdd(bdd);
-                ctx.tracker.mark_packet(bdd, hop.location, set);
-            }
-            let _ = dst_host;
-            report.check(
-                matches!(res.outcome, TraceOutcome::Delivered { device, .. } if device == dst),
-                || {
-                    format!(
-                        "{} → {} ({:?}): {:?}",
-                        ctx.net.topology().device(src).name,
-                        ctx.net.topology().device(dst).name,
-                        pkt.dst,
-                        res.outcome
-                    )
-                },
-            );
+            let pair = pair_seed(seed, src_index, dst_index);
+            check_ping_pair(bdd, ctx, &mut report, src_index, dst_index, pair);
         }
     }
     report
+}
+
+/// Derive the RNG seed of one ordered ToR pair from the suite seed —
+/// splitmix64 over (seed, src, dst), so every pair's sample stream is
+/// independent of execution order.
+pub(crate) fn pair_seed(seed: u64, src_index: usize, dst_index: usize) -> u64 {
+    let mut z =
+        seed ^ ((src_index as u64) << 32 | dst_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// ToRPingmesh for one ordered ToR pair — the shardable unit. `seed` is
+/// the pair's own RNG seed (see [`pair_seed`]).
+pub(crate) fn check_ping_pair(
+    bdd: &mut Bdd,
+    ctx: &mut TestContext<'_>,
+    report: &mut TestReport,
+    src_index: usize,
+    dst_index: usize,
+    seed: u64,
+) {
+    let (src, _, _) = ctx.info.tor_subnets[src_index];
+    let (dst, dst_prefix, _dst_host) = ctx.info.tor_subnets[dst_index];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let free_bits = 32 - dst_prefix.len() as u32;
+    let host_part: u128 = rng.gen_range(0..(1u128 << free_bits));
+    let pkt = Packet {
+        proto: 1, // ICMP, as a ping would be
+        ..Packet::v4_to(dst_prefix.nth_addr(host_part) as u32)
+    };
+    let res = traceroute(bdd, ctx.net, ctx.ms, Location::device(src), pkt, 64);
+    for hop in &res.hops {
+        let set = hop.packet.to_bdd(bdd);
+        ctx.tracker.mark_packet(bdd, hop.location, set);
+    }
+    report.check(
+        matches!(res.outcome, TraceOutcome::Delivered { device, .. } if device == dst),
+        || {
+            format!(
+                "{} → {} ({:?}): {:?}",
+                ctx.net.topology().device(src).name,
+                ctx.net.topology().device(dst).name,
+                pkt.dst,
+                res.outcome
+            )
+        },
+    );
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 //! on thousands of routers.
 
 use netbdd::Bdd;
-use netmodel::topology::{IfaceKind, Role};
+use netmodel::topology::{DeviceId, IfaceKind, Role};
 use netmodel::RuleId;
 
 use crate::context::{TestContext, TestReport};
@@ -21,89 +21,113 @@ pub fn default_route_check(
     expected: impl Fn(Role) -> bool,
 ) -> TestReport {
     let mut report = TestReport::new("DefaultRouteCheck");
-    let topo = ctx.net.topology();
-    for (device, dev) in topo.devices() {
-        if !expected(dev.role) {
-            continue;
-        }
-        let default = ctx.net.device_rule_ids(device).find(|&id| {
-            ctx.net
-                .rule(id)
-                .matches
-                .dst
-                .map(|p| p.is_default() && p.family() == netmodel::Family::V4)
-                .unwrap_or(false)
-        });
-        let Some(id) = default else {
-            report.check(false, || format!("{}: no default route", dev.name));
-            continue;
-        };
-        // Inspecting the rule counts as coverage whether or not the
-        // assertion below passes — the rule *was* examined.
-        ctx.tracker.mark_rule(id);
-        let rule = ctx.net.rule(id);
-        let my_rank = TestContext::role_rank(dev.role);
-        let ok = !rule.action.is_drop()
-            && !rule.action.out_ifaces().is_empty()
-            && rule.action.out_ifaces().iter().all(|&i| {
-                let ifc = topo.iface(i);
-                match ifc.kind {
-                    IfaceKind::External => true,
-                    IfaceKind::P2p => topo
-                        .neighbor_of(i)
-                        .map(|n| TestContext::role_rank(topo.device(n).role) > my_rank)
-                        .unwrap_or(false),
-                    _ => false,
-                }
-            });
-        report.check(ok, || {
-            format!(
-                "{}: default route has wrong next hops ({:?})",
-                dev.name, rule.action
-            )
-        });
+    let devices: Vec<DeviceId> = ctx
+        .net
+        .topology()
+        .devices()
+        .filter(|(_, dev)| expected(dev.role))
+        .map(|(device, _)| device)
+        .collect();
+    for device in devices {
+        check_default_route(ctx, &mut report, device);
     }
     report
+}
+
+/// DefaultRouteCheck for a single device — the shardable unit.
+pub(crate) fn check_default_route(
+    ctx: &mut TestContext<'_>,
+    report: &mut TestReport,
+    device: DeviceId,
+) {
+    let topo = ctx.net.topology();
+    let dev = topo.device(device);
+    let default = ctx.net.device_rule_ids(device).find(|&id| {
+        ctx.net
+            .rule(id)
+            .matches
+            .dst
+            .map(|p| p.is_default() && p.family() == netmodel::Family::V4)
+            .unwrap_or(false)
+    });
+    let Some(id) = default else {
+        report.check(false, || format!("{}: no default route", dev.name));
+        return;
+    };
+    // Inspecting the rule counts as coverage whether or not the
+    // assertion below passes — the rule *was* examined.
+    ctx.tracker.mark_rule(id);
+    let rule = ctx.net.rule(id);
+    let my_rank = TestContext::role_rank(dev.role);
+    let ok = !rule.action.is_drop()
+        && !rule.action.out_ifaces().is_empty()
+        && rule.action.out_ifaces().iter().all(|&i| {
+            let ifc = topo.iface(i);
+            match ifc.kind {
+                IfaceKind::External => true,
+                IfaceKind::P2p => topo
+                    .neighbor_of(i)
+                    .map(|n| TestContext::role_rank(topo.device(n).role) > my_rank)
+                    .unwrap_or(false),
+                _ => false,
+            }
+        });
+    report.check(ok, || {
+        format!(
+            "{}: default route has wrong next hops ({:?})",
+            dev.name, rule.action
+        )
+    });
 }
 
 /// ConnectedRouteCheck (§7.3): both ends of every physical link carry
 /// the connected route for the link's assigned /31 and /126 prefixes.
 pub fn connected_route_check(_bdd: &mut Bdd, ctx: &mut TestContext<'_>) -> TestReport {
     let mut report = TestReport::new("ConnectedRouteCheck");
+    for link_index in 0..ctx.info.links.len() {
+        check_connected_link(ctx, &mut report, link_index);
+    }
+    report
+}
+
+/// ConnectedRouteCheck for a single link — the shardable unit.
+pub(crate) fn check_connected_link(
+    ctx: &mut TestContext<'_>,
+    report: &mut TestReport,
+    link_index: usize,
+) {
     let topo = ctx.net.topology();
-    for &(ai, bi, p4, p6) in &ctx.info.links {
-        for prefix in [p4, p6] {
-            for iface in [ai, bi] {
-                let device = topo.iface(iface).device;
-                let found: Option<RuleId> = ctx
-                    .net
-                    .device_rule_ids(device)
-                    .find(|&id| ctx.net.rule(id).matches.dst == Some(prefix));
-                match found {
-                    Some(id) => {
-                        ctx.tracker.mark_rule(id);
-                        let rule = ctx.net.rule(id);
-                        report.check(rule.action.out_ifaces().contains(&iface), || {
-                            format!(
-                                "{}: connected route {} does not point out {}",
-                                topo.device(device).name,
-                                prefix,
-                                topo.iface(iface).name
-                            )
-                        });
-                    }
-                    None => report.check(false, || {
+    let (ai, bi, p4, p6) = ctx.info.links[link_index];
+    for prefix in [p4, p6] {
+        for iface in [ai, bi] {
+            let device = topo.iface(iface).device;
+            let found: Option<RuleId> = ctx
+                .net
+                .device_rule_ids(device)
+                .find(|&id| ctx.net.rule(id).matches.dst == Some(prefix));
+            match found {
+                Some(id) => {
+                    ctx.tracker.mark_rule(id);
+                    let rule = ctx.net.rule(id);
+                    report.check(rule.action.out_ifaces().contains(&iface), || {
                         format!(
-                            "{}: missing connected route {}",
+                            "{}: connected route {} does not point out {}",
                             topo.device(device).name,
-                            prefix
+                            prefix,
+                            topo.iface(iface).name
                         )
-                    }),
+                    });
                 }
+                None => report.check(false, || {
+                    format!(
+                        "{}: missing connected route {}",
+                        topo.device(device).name,
+                        prefix
+                    )
+                }),
             }
         }
     }
-    report
 }
 
 #[cfg(test)]

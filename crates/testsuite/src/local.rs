@@ -135,19 +135,30 @@ fn contract_sweep(
     prefixes: &[(DeviceId, Prefix)],
     check_role: impl Fn(Role) -> bool,
 ) {
-    let topo = ctx.net.topology();
     for &(origin, prefix) in prefixes {
-        let dist = hop_distances(topo, origin);
-        let devices: Vec<DeviceId> = topo
-            .devices()
-            .filter(|&(v, dev)| {
-                v != origin && dist[v.0 as usize] != u32::MAX && check_role(dev.role)
-            })
-            .map(|(v, _)| v)
-            .collect();
-        for v in devices {
-            check_contract(bdd, ctx, report, v, prefix, &dist);
-        }
+        check_contract_prefix(bdd, ctx, report, origin, prefix, &check_role);
+    }
+}
+
+/// Contract checks for one `(originator, prefix)` pair at every reachable
+/// device whose role passes the filter — the shardable unit.
+pub(crate) fn check_contract_prefix(
+    bdd: &mut Bdd,
+    ctx: &mut TestContext<'_>,
+    report: &mut TestReport,
+    origin: DeviceId,
+    prefix: Prefix,
+    check_role: impl Fn(Role) -> bool,
+) {
+    let topo = ctx.net.topology();
+    let dist = hop_distances(topo, origin);
+    let devices: Vec<DeviceId> = topo
+        .devices()
+        .filter(|&(v, dev)| v != origin && dist[v.0 as usize] != u32::MAX && check_role(dev.role))
+        .map(|(v, _)| v)
+        .collect();
+    for v in devices {
+        check_contract(bdd, ctx, report, v, prefix, &dist);
     }
 }
 

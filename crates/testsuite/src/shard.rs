@@ -1,0 +1,346 @@
+//! Suite sharding: the named tests decomposed into independent jobs.
+//!
+//! Every test in this crate is a loop over independent units — devices,
+//! links, `(origin, prefix)` contracts, source ToRs, ToR pairs. A
+//! [`SuiteJob`] names one such unit, and [`run_job`] executes it against
+//! any manager/tracker, so a whole suite can run sequentially (same
+//! marks, same checks as the monolithic test functions) or sharded
+//! across threads via `yardstick::ParallelRunner` with bit-identical
+//! coverage traces.
+//!
+//! Pingmesh jobs carry their own RNG seed, derived per pair from the
+//! suite seed (see [`crate::e2e`]); that is what makes the concrete test
+//! chunking-invariant.
+
+use netbdd::Bdd;
+use netmodel::topology::{DeviceId, Role};
+use netmodel::{MatchSets, Network, Prefix};
+use yardstick::Tracker;
+
+use crate::context::{NetworkInfo, TestContext, TestReport};
+use crate::e2e::{check_ping_pair, check_reachability_from, pair_seed};
+use crate::inspection::{check_connected_link, check_default_route};
+use crate::local::check_contract_prefix;
+
+/// Which device roles a contract job checks at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoleFilter {
+    All,
+    Only(Role),
+}
+
+impl RoleFilter {
+    pub fn accepts(&self, role: Role) -> bool {
+        match self {
+            RoleFilter::All => true,
+            RoleFilter::Only(r) => *r == role,
+        }
+    }
+}
+
+/// One independently executable unit of a test suite.
+#[derive(Clone, Debug)]
+pub enum SuiteJob {
+    /// DefaultRouteCheck at one device.
+    DefaultRoute { device: DeviceId },
+    /// ConnectedRouteCheck for one link (index into `info.links`).
+    ConnectedRoute { link_index: usize },
+    /// An RCDC contract sweep for one `(originator, prefix)` pair.
+    Contract {
+        origin: DeviceId,
+        prefix: Prefix,
+        roles: RoleFilter,
+    },
+    /// ToRReachability from one source ToR (index into `tor_subnets`).
+    Reachability { src_index: usize },
+    /// ToRPingmesh for one ordered ToR pair, with its derived seed.
+    Pingmesh {
+        src_index: usize,
+        dst_index: usize,
+        seed: u64,
+    },
+}
+
+impl SuiteJob {
+    /// The name of the test this job belongs to.
+    pub fn test_name(&self) -> &'static str {
+        match self {
+            SuiteJob::DefaultRoute { .. } => "DefaultRouteCheck",
+            SuiteJob::ConnectedRoute { .. } => "ConnectedRouteCheck",
+            SuiteJob::Contract { .. } => "Contract",
+            SuiteJob::Reachability { .. } => "ToRReachability",
+            SuiteJob::Pingmesh { .. } => "ToRPingmesh",
+        }
+    }
+}
+
+/// The §8 fat-tree suite (DefaultRouteCheck + ToRContract +
+/// ToRReachability + ToRPingmesh) as a flat job list. Running these jobs
+/// in any partition produces the same coverage trace as calling the four
+/// test functions in sequence.
+pub fn fattree_suite_jobs(net: &Network, info: &NetworkInfo, seed: u64) -> Vec<SuiteJob> {
+    let mut jobs = Vec::new();
+    for (device, _) in net.topology().devices() {
+        jobs.push(SuiteJob::DefaultRoute { device });
+    }
+    for &(origin, prefix, _) in &info.tor_subnets {
+        jobs.push(SuiteJob::Contract {
+            origin,
+            prefix,
+            roles: RoleFilter::All,
+        });
+    }
+    for src_index in 0..info.tor_subnets.len() {
+        jobs.push(SuiteJob::Reachability { src_index });
+    }
+    let n = info.tor_subnets.len();
+    for src_index in 0..n {
+        for dst_index in 0..n {
+            if src_index != dst_index {
+                jobs.push(SuiteJob::Pingmesh {
+                    src_index,
+                    dst_index,
+                    seed: pair_seed(seed, src_index, dst_index),
+                });
+            }
+        }
+    }
+    jobs
+}
+
+/// The §7 regional suite (DefaultRouteCheck + AggCanReachTorLoopback +
+/// InternalRouteCheck + ConnectedRouteCheck) as a flat job list.
+pub fn regional_suite_jobs(net: &Network, info: &NetworkInfo) -> Vec<SuiteJob> {
+    let mut jobs = Vec::new();
+    for (device, _) in net.topology().devices() {
+        jobs.push(SuiteJob::DefaultRoute { device });
+    }
+    let tor_devices: Vec<DeviceId> = info.tor_subnets.iter().map(|&(d, _, _)| d).collect();
+    for &(origin, prefix) in info
+        .loopbacks
+        .iter()
+        .filter(|(d, _)| tor_devices.contains(d))
+    {
+        jobs.push(SuiteJob::Contract {
+            origin,
+            prefix,
+            roles: RoleFilter::Only(Role::Aggregation),
+        });
+    }
+    for (origin, prefix) in info.internal_prefixes() {
+        jobs.push(SuiteJob::Contract {
+            origin,
+            prefix,
+            roles: RoleFilter::All,
+        });
+    }
+    for link_index in 0..info.links.len() {
+        jobs.push(SuiteJob::ConnectedRoute { link_index });
+    }
+    jobs
+}
+
+/// Execute one job against the given manager and tracker. `ms` must have
+/// been computed in `bdd` (workers compute their own).
+pub fn run_job(
+    bdd: &mut Bdd,
+    net: &Network,
+    ms: &MatchSets,
+    info: &NetworkInfo,
+    tracker: &mut Tracker,
+    job: &SuiteJob,
+) -> TestReport {
+    let mut ctx = TestContext {
+        net,
+        ms,
+        info,
+        tracker: std::mem::take(tracker),
+    };
+    let mut report = TestReport::new(job.test_name());
+    match job {
+        SuiteJob::DefaultRoute { device } => {
+            check_default_route(&mut ctx, &mut report, *device);
+        }
+        SuiteJob::ConnectedRoute { link_index } => {
+            check_connected_link(&mut ctx, &mut report, *link_index);
+        }
+        SuiteJob::Contract {
+            origin,
+            prefix,
+            roles,
+        } => {
+            check_contract_prefix(bdd, &mut ctx, &mut report, *origin, *prefix, |role| {
+                roles.accepts(role)
+            });
+        }
+        SuiteJob::Reachability { src_index } => {
+            check_reachability_from(bdd, &mut ctx, &mut report, *src_index);
+        }
+        SuiteJob::Pingmesh {
+            src_index,
+            dst_index,
+            seed,
+        } => {
+            check_ping_pair(bdd, &mut ctx, &mut report, *src_index, *dst_index, *seed);
+        }
+    }
+    *tracker = ctx.tracker;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::e2e::{tor_pingmesh, tor_reachability};
+    use crate::inspection::default_route_check;
+    use crate::local::tor_contract;
+    use topogen::{fattree, FatTreeParams};
+    use yardstick::ParallelRunner;
+
+    const SEED: u64 = 0xC0FFEE;
+
+    fn setup() -> (topogen::FatTree, NetworkInfo) {
+        let ft = fattree(FatTreeParams::paper(4));
+        let info = NetworkInfo {
+            tor_subnets: ft.tors.clone(),
+            ..NetworkInfo::default()
+        };
+        (ft, info)
+    }
+
+    /// The monolithic §8 suite, as the fig8/fig9 benches run it.
+    fn run_monolithic(
+        bdd: &mut Bdd,
+        net: &Network,
+        info: &NetworkInfo,
+    ) -> yardstick::CoverageTrace {
+        let ms = MatchSets::compute(net, bdd);
+        let mut ctx = TestContext::new(net, &ms, info);
+        let r1 = default_route_check(bdd, &mut ctx, |_| true);
+        let r2 = tor_contract(bdd, &mut ctx);
+        let r3 = tor_reachability(bdd, &mut ctx);
+        let r4 = tor_pingmesh(bdd, &mut ctx, SEED);
+        for r in [&r1, &r2, &r3, &r4] {
+            assert!(r.passed(), "{}: {:?}", r.name, &r.failures[..1]);
+        }
+        ctx.tracker.into_trace()
+    }
+
+    #[test]
+    fn job_decomposition_matches_monolithic_suite() {
+        let (ft, info) = setup();
+        let mut bdd = Bdd::new();
+        let mono = run_monolithic(&mut bdd, &ft.net, &info);
+
+        let ms = MatchSets::compute(&ft.net, &mut bdd);
+        let jobs = fattree_suite_jobs(&ft.net, &info, SEED);
+        let mut tracker = Tracker::new();
+        for job in &jobs {
+            let rep = run_job(&mut bdd, &ft.net, &ms, &info, &mut tracker, job);
+            assert!(rep.passed(), "{}: {:?}", rep.name, &rep.failures[..1]);
+        }
+        let sharded = tracker.into_trace();
+
+        assert_eq!(sharded.rules, mono.rules);
+        assert_eq!(sharded.packets.len(), mono.packets.len());
+        for (loc, set) in mono.packets.iter() {
+            assert_eq!(sharded.packets.at(loc), set, "at {loc:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_suite_trace_is_bit_identical() {
+        let (ft, info) = setup();
+        let mut bdd = Bdd::new();
+        let mono = run_monolithic(&mut bdd, &ft.net, &info);
+
+        let jobs = fattree_suite_jobs(&ft.net, &info, SEED);
+        let net = &ft.net;
+        let info_ref = &info;
+        for threads in [2, 4] {
+            let runner = ParallelRunner::new(threads);
+            let (merged, reports) = runner.run(
+                &mut bdd,
+                &jobs,
+                |local| MatchSets::compute(net, local),
+                |local, ms, tracker, job| {
+                    let rep = run_job(local, net, ms, info_ref, tracker, job);
+                    assert!(rep.passed(), "{}: {:?}", rep.name, &rep.failures[..1]);
+                },
+            );
+            assert_eq!(reports.len(), threads);
+            assert_eq!(merged.rules, mono.rules);
+            assert_eq!(merged.packets.len(), mono.packets.len());
+            for (loc, set) in mono.packets.iter() {
+                assert_eq!(merged.packets.at(loc), set, "{threads} threads at {loc:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pingmesh_pair_seeds_are_chunking_invariant() {
+        let (ft, info) = setup();
+        let jobs = fattree_suite_jobs(&ft.net, &info, SEED);
+        let ping_jobs: Vec<_> = jobs
+            .iter()
+            .filter(|j| matches!(j, SuiteJob::Pingmesh { .. }))
+            .cloned()
+            .collect();
+        assert_eq!(ping_jobs.len(), 8 * 7);
+
+        // Running only the second half of the pairs must sample the same
+        // packets for those pairs as running all of them.
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&ft.net, &mut bdd);
+        let run_subset = |bdd: &mut Bdd, subset: &[SuiteJob]| {
+            let mut tracker = Tracker::new();
+            for job in subset {
+                run_job(bdd, &ft.net, &ms, &info, &mut tracker, job);
+            }
+            tracker.into_trace()
+        };
+        let half = run_subset(&mut bdd, &ping_jobs[28..]);
+        let full = run_subset(&mut bdd, &ping_jobs);
+        // Everything the half run marked is contained in the full run.
+        for (loc, set) in half.packets.iter() {
+            assert!(bdd.subset(set, full.packets.at(loc)));
+        }
+    }
+
+    #[test]
+    fn regional_jobs_cover_the_section7_suite() {
+        use topogen::{addressing, regional, RegionalParams};
+        let r = regional(RegionalParams::default());
+        let info = NetworkInfo {
+            tor_subnets: r.tors.clone(),
+            loopbacks: (0..r.net.topology().device_count())
+                .map(|d| (DeviceId(d as u32), addressing::loopback(d as u32)))
+                .collect(),
+            links: r
+                .links
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, b))| {
+                    let (p4, _, _) = addressing::p2p_v4(i as u32);
+                    let (p6, _, _) = addressing::p2p_v6(i as u32);
+                    (a, b, p4, p6)
+                })
+                .collect(),
+        };
+        let jobs = regional_suite_jobs(&r.net, &info);
+        let ndev = r.net.topology().device_count();
+        assert!(jobs.len() > ndev + info.links.len());
+
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&r.net, &mut bdd);
+        let mut tracker = Tracker::new();
+        for job in &jobs {
+            let rep = run_job(&mut bdd, &r.net, &ms, &info, &mut tracker, job);
+            assert!(rep.passed(), "{}: {:?}", rep.name, &rep.failures[..1]);
+        }
+        let trace = tracker.into_trace();
+        // Inspection marks rules, contracts mark packets at every device.
+        assert!(!trace.rules.is_empty());
+        assert_eq!(trace.packets.devices().len(), ndev);
+    }
+}
