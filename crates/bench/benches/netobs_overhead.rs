@@ -1,0 +1,90 @@
+//! Cost of the netobs instrumentation itself (acceptance gate: disabled
+//! overhead on an instrumented workload under 2%).
+//!
+//! Two angles:
+//!
+//! * primitives — the per-call cost of `span!` / `gauge` / `counter`
+//!   with collection off (one relaxed atomic load) vs. on (an
+//!   `Instant::now()` pair plus thread-local bookkeeping);
+//! * workload — `MatchSets::compute`, an instrumented pipeline phase,
+//!   timed with collection off vs. on. The off time is the number that
+//!   must stay within 2% of an uninstrumented build.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use netbdd::Bdd;
+use netmodel::MatchSets;
+use topogen::{fattree, FatTreeParams};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netobs_primitives");
+
+    group.bench_function("empty_baseline", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            black_box(x)
+        })
+    });
+
+    netobs::disable();
+    group.bench_function("span_disabled", |b| {
+        b.iter(|| {
+            let _s = netobs::span!("bench_hot");
+        })
+    });
+    group.bench_function("gauge_disabled", |b| {
+        b.iter(|| netobs::gauge("bench.g", 1.0))
+    });
+    group.bench_function("counter_disabled", |b| {
+        b.iter(|| netobs::counter("bench.c", 1))
+    });
+
+    netobs::enable();
+    group.bench_function("span_enabled", |b| {
+        b.iter(|| {
+            let _s = netobs::span!("bench_hot");
+        })
+    });
+    group.bench_function("counter_enabled", |b| {
+        b.iter(|| netobs::counter("bench.c", 1))
+    });
+    netobs::disable();
+
+    group.finish();
+}
+
+/// The instrumented match-set computation, collection off vs. on. The
+/// two medians should be within noise of each other; the absolute gap is
+/// the full (enabled!) instrumentation cost of the phase.
+fn bench_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netobs_workload");
+    group.sample_size(10);
+    let ft = fattree(FatTreeParams::paper(4));
+
+    netobs::disable();
+    group.bench_function("match_sets_disabled", |b| {
+        b.iter(|| {
+            let mut bdd = Bdd::new();
+            MatchSets::compute(&ft.net, &mut bdd)
+        })
+    });
+
+    netobs::enable();
+    group.bench_function("match_sets_enabled", |b| {
+        b.iter(|| {
+            let mut bdd = Bdd::new();
+            MatchSets::compute(&ft.net, &mut bdd)
+        })
+    });
+    netobs::disable();
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_primitives, bench_workload
+}
+criterion_main!(benches);

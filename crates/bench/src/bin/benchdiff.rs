@@ -1,0 +1,160 @@
+//! Compare two `BENCH_parallel.json` files and fail on perf regressions.
+//!
+//! ```text
+//! cargo run -p bench --bin benchdiff --release -- old.json new.json [--tolerance 0.25]
+//! ```
+//!
+//! Every timing metric — per-phase `seq_secs` / `par_secs` and the two
+//! totals — is a regression when `new > old * (1 + tolerance)`. Exit
+//! status: 0 when nothing regressed, 1 on any regression, 2 on unusable
+//! input (missing file, malformed JSON, no comparable metrics). CI runs
+//! this informationally against the committed baselines; locally it
+//! gates "did my change slow the suite down".
+
+use std::process::ExitCode;
+
+use netobs::json::Json;
+
+struct Row {
+    metric: String,
+    old: f64,
+    new: f64,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--tolerance" {
+            i += 2; // flag plus its value
+        } else if args[i].starts_with("--") {
+            i += 1;
+        } else {
+            files.push(&args[i]);
+            i += 1;
+        }
+    }
+    if files.len() != 2 {
+        eprintln!("usage: benchdiff <old.json> <new.json> [--tolerance 0.25]");
+        return ExitCode::from(2);
+    }
+    let tolerance = bench::arg_value("--tolerance")
+        .map(|v| v.parse::<f64>().expect("--tolerance takes a number"))
+        .unwrap_or(0.25);
+
+    let (old, new) = match (load(files[0]), load(files[1])) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("benchdiff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let rows = collect_rows(&old, &new);
+    if rows.is_empty() {
+        eprintln!("benchdiff: no comparable timing metrics between the two files");
+        return ExitCode::from(2);
+    }
+
+    println!(
+        "benchdiff: {} vs {} (tolerance {:.0}%)",
+        files[0],
+        files[1],
+        tolerance * 100.0
+    );
+    println!(
+        "{:<32} {:>12} {:>12} {:>9}  status",
+        "metric", "old (s)", "new (s)", "delta"
+    );
+    let mut regressions = 0usize;
+    for r in &rows {
+        let delta = if r.old > 0.0 {
+            (r.new - r.old) / r.old * 100.0
+        } else {
+            0.0
+        };
+        let regressed = r.new > r.old * (1.0 + tolerance);
+        let status = if regressed {
+            regressions += 1;
+            "REGRESSION"
+        } else if r.new < r.old * (1.0 - tolerance) {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<32} {:>12.6} {:>12.6} {:>+8.1}%  {}",
+            r.metric, r.old, r.new, delta, status
+        );
+    }
+    if regressions > 0 {
+        eprintln!(
+            "benchdiff: {regressions} metric(s) regressed beyond {:.0}%",
+            tolerance * 100.0
+        );
+        ExitCode::from(1)
+    } else {
+        println!("benchdiff: no regression beyond {:.0}%", tolerance * 100.0);
+        ExitCode::SUCCESS
+    }
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    netobs::json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Pair up every timing metric present in both files: per-phase
+/// sequential and parallel times (matched by phase name) plus totals.
+/// Phases present on only one side are reported but not compared — a
+/// renamed phase should not mask a regression elsewhere.
+fn collect_rows(old: &Json, new: &Json) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let old_phases = old.get("phases").and_then(|p| p.as_array()).unwrap_or(&[]);
+    let new_phases = new.get("phases").and_then(|p| p.as_array()).unwrap_or(&[]);
+    let find = |phases: &[Json], name: &str| -> Option<(f64, f64)> {
+        phases.iter().find_map(|p| {
+            if p.get("name").and_then(|n| n.as_str()) != Some(name) {
+                return None;
+            }
+            Some((
+                p.get("seq_secs").and_then(|v| v.as_f64())?,
+                p.get("par_secs").and_then(|v| v.as_f64())?,
+            ))
+        })
+    };
+    for p in old_phases {
+        let Some(name) = p.get("name").and_then(|n| n.as_str()) else {
+            continue;
+        };
+        match (find(old_phases, name), find(new_phases, name)) {
+            (Some((os, op)), Some((ns, np))) => {
+                rows.push(Row {
+                    metric: format!("{name}.seq_secs"),
+                    old: os,
+                    new: ns,
+                });
+                rows.push(Row {
+                    metric: format!("{name}.par_secs"),
+                    old: op,
+                    new: np,
+                });
+            }
+            _ => eprintln!("benchdiff: phase {name:?} missing from the new file, skipped"),
+        }
+    }
+    for key in ["total_seq_secs", "total_par_secs"] {
+        if let (Some(o), Some(n)) = (
+            old.get(key).and_then(|v| v.as_f64()),
+            new.get(key).and_then(|v| v.as_f64()),
+        ) {
+            rows.push(Row {
+                metric: key.to_string(),
+                old: o,
+                new: n,
+            });
+        }
+    }
+    rows
+}

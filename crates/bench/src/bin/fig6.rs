@@ -29,6 +29,7 @@ use testsuite::{
 };
 
 fn main() {
+    let trace = bench::trace_arg();
     let scale = arg_flag("--scale", 1) as u32;
     let params = RegionalParams {
         datacenters: 2,
@@ -115,7 +116,9 @@ fn main() {
 
     // Sequential-vs-parallel timing of the final suite (§8-style wall
     // clock on the §7 workload), opt-in via --threads / --json.
-    if arg_present("--threads") || arg_present("--json") {
+    // Tracing implies it too: per-worker spans are the interesting part
+    // of a fig6 trace.
+    if arg_present("--threads") || arg_present("--json") || trace.is_some() {
         let threads = arg_flag("--threads", 4) as usize;
         let jobs = regional_suite_jobs(&r.net, &info);
         let pb = bench_parallel_suite(
@@ -130,6 +133,10 @@ fn main() {
         if arg_present("--json") {
             write_parallel_json(&pb);
         }
+    }
+    if let Some(path) = trace {
+        yardstick::publish_bdd_gauges("bdd", &bdd.stats());
+        bench::write_trace(&path);
     }
 }
 

@@ -22,6 +22,7 @@ use testsuite::{
 };
 
 fn main() {
+    let trace = bench::trace_arg();
     let scale = arg_flag("--scale", 1) as u32;
     let params = RegionalParams {
         pods_per_dc: 2 * scale,
@@ -169,8 +170,8 @@ fn main() {
     );
 
     // Sequential-vs-parallel timing of the paper-final suite, opt-in via
-    // --threads / --json.
-    if arg_present("--threads") || arg_present("--json") {
+    // --threads / --json (or --trace, which wants the worker spans).
+    if arg_present("--threads") || arg_present("--json") || trace.is_some() {
         let threads = arg_flag("--threads", 4) as usize;
         let jobs = regional_suite_jobs(&r.net, &info);
         let pb = bench_parallel_suite(
@@ -185,5 +186,9 @@ fn main() {
         if arg_present("--json") {
             write_parallel_json(&pb);
         }
+    }
+    if let Some(path) = trace {
+        yardstick::publish_bdd_gauges("bdd", &bdd.stats());
+        bench::write_trace(&path);
     }
 }

@@ -38,6 +38,7 @@ const TESTS: [&str; 4] = [
 ];
 
 fn main() {
+    let trace = bench::trace_arg();
     let max_k = arg_flag("--max-k", 16);
     println!("== Figure 8: overhead of coverage tracking ==");
     println!(
@@ -118,8 +119,9 @@ fn main() {
     );
 
     // Sequential-vs-parallel timing of the §8 suite on one fat-tree size
-    // (--par-k, default 8), opt-in via --threads / --json.
-    if arg_present("--threads") || arg_present("--json") {
+    // (--par-k, default 8), opt-in via --threads / --json (or --trace,
+    // which wants the worker spans).
+    if arg_present("--threads") || arg_present("--json") || trace.is_some() {
         let threads = arg_flag("--threads", 4) as usize;
         let par_k = arg_flag("--par-k", 8) as u32;
         let ft = fattree(FatTreeParams::paper(par_k));
@@ -137,6 +139,9 @@ fn main() {
         if arg_present("--json") {
             write_parallel_json(&pb);
         }
+    }
+    if let Some(path) = trace {
+        bench::write_trace(&path);
     }
     let _ = Duration::ZERO;
 }

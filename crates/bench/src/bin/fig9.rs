@@ -31,6 +31,7 @@ use testsuite::{
 };
 
 fn main() {
+    let trace = bench::trace_arg();
     let max_k = arg_flag("--max-k", 12);
     let path_budget = arg_flag("--path-budget", 2_000_000);
     println!("== Figure 9: time to compute coverage metrics ==");
@@ -122,8 +123,9 @@ fn main() {
     );
 
     // Sequential-vs-parallel timing of the §8 suite on one fat-tree size
-    // (--par-k, default 8), opt-in via --threads / --json.
-    if arg_present("--threads") || arg_present("--json") {
+    // (--par-k, default 8), opt-in via --threads / --json (or --trace,
+    // which wants the worker spans).
+    if arg_present("--threads") || arg_present("--json") || trace.is_some() {
         let threads = arg_flag("--threads", 4) as usize;
         let par_k = arg_flag("--par-k", 8) as u32;
         let ft = fattree(FatTreeParams::paper(par_k));
@@ -141,5 +143,8 @@ fn main() {
         if arg_present("--json") {
             write_parallel_json(&pb);
         }
+    }
+    if let Some(path) = trace {
+        bench::write_trace(&path);
     }
 }

@@ -114,6 +114,39 @@ pub fn arg_present(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
+/// The string operand of `--trace <path>`-style flags, if present.
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Enable netobs when `--trace <path>` is on the command line. Returns
+/// the path collection should be written to on exit (via
+/// [`write_trace`]). Call before the workload runs.
+pub fn trace_arg() -> Option<String> {
+    let path = arg_value("--trace")?;
+    netobs::enable();
+    Some(path)
+}
+
+/// Gather the netobs report, write it to `path` (JSON: chrome-traceable
+/// `traceEvents` plus the span trees and gauge/counter registry), and
+/// echo a human-readable summary.
+pub fn write_trace(path: &str) {
+    let report = netobs::report();
+    assert!(
+        report.check_consistent(),
+        "span tree is time-inconsistent:\n{}",
+        report.render()
+    );
+    std::fs::write(path, report.to_json()).expect("write trace JSON");
+    print!("{}", report.render());
+    println!("  [trace] {path} (open in chrome://tracing or Perfetto)");
+}
+
 /// CPUs the host exposes — recorded in bench output so speedups can be
 /// judged against the hardware they were measured on.
 pub fn host_cpus() -> usize {
@@ -289,6 +322,7 @@ pub fn bench_parallel_suite(
     // part of the parallel cost and is deliberately inside the clock).
     bdd.clear_caches();
     let (seq_trace, seq_tests) = time_it(|| {
+        let _span = netobs::span!("suite_tests_seq");
         let mut tracker = Tracker::new();
         for job in jobs {
             run_job(&mut bdd, net, &ms, info, &mut tracker, job);
@@ -298,6 +332,7 @@ pub fn bench_parallel_suite(
     bdd.clear_caches();
     let runner = ParallelRunner::new(threads);
     let ((par_trace, _reports), par_tests) = time_it(|| {
+        let _span = netobs::span!("suite_tests_par");
         runner.run(
             &mut bdd,
             jobs,
@@ -319,10 +354,15 @@ pub fn bench_parallel_suite(
 
     // Phase: covered sets (Algorithm 1), sequential vs device-sharded.
     bdd.clear_caches();
-    let (seq_cov, seq_cov_t) = time_it(|| CoveredSets::compute(net, &ms, &seq_trace, &mut bdd));
+    let (seq_cov, seq_cov_t) = time_it(|| {
+        let _span = netobs::span!("suite_covered_seq");
+        CoveredSets::compute(net, &ms, &seq_trace, &mut bdd)
+    });
     bdd.clear_caches();
-    let (par_cov, par_cov_t) =
-        time_it(|| CoveredSets::compute_parallel(net, &ms, &par_trace, &mut bdd, threads));
+    let (par_cov, par_cov_t) = time_it(|| {
+        let _span = netobs::span!("suite_covered_par");
+        CoveredSets::compute_parallel(net, &ms, &par_trace, &mut bdd, threads)
+    });
     for (id, _) in net.rules() {
         assert_eq!(seq_cov.get(id), par_cov.get(id), "covered set diverges");
     }
@@ -330,11 +370,13 @@ pub fn bench_parallel_suite(
     // Phase: full analysis — covered sets plus the headline aggregates.
     bdd.clear_caches();
     let (seq_m, seq_an_t) = time_it(|| {
+        let _span = netobs::span!("suite_analysis_seq");
         let a = Analyzer::new(net, &ms, &seq_trace, &mut bdd);
         headline(&mut bdd, &a)
     });
     bdd.clear_caches();
     let (par_m, par_an_t) = time_it(|| {
+        let _span = netobs::span!("suite_analysis_par");
         let a = Analyzer::new_parallel(net, &ms, &par_trace, &mut bdd, threads);
         headline(&mut bdd, &a)
     });

@@ -29,6 +29,7 @@ impl<'a> Analyzer<'a> {
         trace: &'a CoverageTrace,
         bdd: &mut Bdd,
     ) -> Analyzer<'a> {
+        let _span = netobs::span!("analysis");
         let covered = CoveredSets::compute(net, ms, trace, bdd);
         Analyzer {
             net,
@@ -48,6 +49,7 @@ impl<'a> Analyzer<'a> {
         bdd: &mut Bdd,
         threads: usize,
     ) -> Analyzer<'a> {
+        let _span = netobs::span!("analysis");
         let covered = CoveredSets::compute_parallel(net, ms, trace, bdd, threads);
         Analyzer {
             net,

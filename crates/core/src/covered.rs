@@ -36,6 +36,7 @@ impl CoveredSets {
         trace: &CoverageTrace,
         bdd: &mut Bdd,
     ) -> CoveredSets {
+        let _span = netobs::span!("covered_sets");
         let mut covered = Vec::with_capacity(net.topology().device_count());
         for (device, _) in net.topology().devices() {
             // The packets the trace recorded anywhere at this device.
@@ -76,6 +77,7 @@ impl CoveredSets {
         if threads <= 1 {
             return Self::compute(net, ms, trace, bdd);
         }
+        let _span = netobs::span!("covered_sets_parallel");
 
         /// `applicable` slot per rule: `None` for inspected rules (the
         /// covered set is the match set, no intersection needed).

@@ -64,6 +64,7 @@ pub mod covered;
 pub mod flowcov;
 pub mod framework;
 pub mod gaps;
+pub mod obs;
 pub mod parallel;
 pub mod pathcov;
 pub mod report;
@@ -75,7 +76,8 @@ pub use atu::Atu;
 pub use covered::CoveredSets;
 pub use framework::{Aggregator, Combinator, ComponentSpec, GuardedString, Measure};
 pub use gaps::{GapEntry, GapReport};
-pub use parallel::{ParallelRunner, WorkerReport};
+pub use obs::publish_bdd_gauges;
+pub use parallel::{publish_worker_gauges, ParallelRunner, WorkerReport};
 pub use report::{ClassReport, CoverageReport, ReportRow};
 pub use trace::{CoverageTrace, PortableTrace};
 pub use tracker::Tracker;

@@ -1,0 +1,60 @@
+//! netobs glue: snapshot [`netbdd::Stats`] into the gauge registry.
+//!
+//! The BDD manager is deliberately netobs-free — its operations are the
+//! innermost hot loop and must not even test the enabled flag per call.
+//! Instead the manager keeps its own plain counters ([`netbdd::Stats`],
+//! [`netbdd::OpCounts`]) and pipeline code snapshots them into gauges at
+//! phase boundaries with this helper.
+
+use netbdd::Stats;
+
+/// Publish a manager statistics snapshot under `prefix` (e.g. `bdd` →
+/// `bdd.nodes`, `bdd.ops.or`, ...). No-op while netobs is disabled.
+pub fn publish_bdd_gauges(prefix: &str, stats: &Stats) {
+    if !netobs::enabled() {
+        return;
+    }
+    netobs::gauge(&format!("{prefix}.nodes"), stats.nodes as f64);
+    netobs::gauge(
+        &format!("{prefix}.ite_cache_entries"),
+        stats.ite_cache_entries as f64,
+    );
+    netobs::gauge(
+        &format!("{prefix}.unique_hit_rate"),
+        stats.unique_hit_rate(),
+    );
+    netobs::gauge(&format!("{prefix}.ite_hit_rate"), stats.ite_hit_rate());
+    let ops = stats.ops;
+    for (class, n) in [
+        ("or", ops.or),
+        ("and", ops.and),
+        ("not", ops.not),
+        ("diff", ops.diff),
+        ("xor", ops.xor),
+        ("restrict", ops.restrict),
+        ("quantify", ops.quantify),
+    ] {
+        netobs::gauge(&format!("{prefix}.ops.{class}"), n as f64);
+    }
+    netobs::gauge(&format!("{prefix}.ops.total"), ops.total() as f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_lands_in_the_registry() {
+        netobs::enable();
+        let mut bdd = netbdd::Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let _ = bdd.and(a, b);
+        publish_bdd_gauges("bdd", &bdd.stats());
+        let report = netobs::report();
+        assert!(report.gauges["bdd.nodes"] > 2.0);
+        assert_eq!(report.gauges["bdd.ops.and"], 1.0);
+        assert_eq!(report.gauges["bdd.ops.total"], 1.0);
+        netobs::disable();
+    }
+}

@@ -60,10 +60,18 @@ impl ParallelRunner {
         self.threads
     }
 
-    /// Deterministic balanced partition of `0..n` into `parts` contiguous
-    /// ranges whose lengths differ by at most one (front-loaded).
+    /// Deterministic balanced partition of `0..n` into at most `parts`
+    /// contiguous *non-empty* ranges whose lengths differ by at most one
+    /// (front-loaded). With more parts than items every item gets its own
+    /// range and no empty trailing ranges are produced — [`Self::run`]
+    /// spawns one worker per range, and a worker with no jobs would burn
+    /// a thread (manager construction, setup, trace export) to contribute
+    /// nothing to the merge.
     pub fn chunk_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
-        let parts = parts.max(1);
+        let parts = parts.clamp(1, n.max(1));
+        if n == 0 {
+            return Vec::new();
+        }
         let base = n / parts;
         let extra = n % parts;
         let mut ranges = Vec::with_capacity(parts);
@@ -105,21 +113,39 @@ impl ParallelRunner {
                     let chunk = &jobs[range];
                     scope.spawn(move || {
                         let start = Instant::now();
-                        let mut local = Bdd::new();
-                        let mut state = setup(&mut local);
-                        let mut tracker = Tracker::new();
-                        for j in chunk {
-                            job(&mut local, &mut state, &mut tracker, j);
-                        }
-                        let trace = tracker.into_trace();
-                        let portable = trace.export(&local);
-                        let report = WorkerReport {
-                            worker,
-                            jobs: chunk.len(),
-                            elapsed: start.elapsed(),
-                            stats: local.stats(),
+                        let result = {
+                            let _w = netobs::span!("worker-{worker}");
+                            let mut local = Bdd::new();
+                            let mut state = {
+                                let _s = netobs::span!("worker_setup");
+                                setup(&mut local)
+                            };
+                            let mut tracker = Tracker::new();
+                            {
+                                let _s = netobs::span!("worker_jobs");
+                                for j in chunk {
+                                    job(&mut local, &mut state, &mut tracker, j);
+                                }
+                            }
+                            let trace = tracker.into_trace();
+                            let portable = {
+                                let _s = netobs::span!("worker_export");
+                                trace.export(&local)
+                            };
+                            let report = WorkerReport {
+                                worker,
+                                jobs: chunk.len(),
+                                elapsed: start.elapsed(),
+                                stats: local.stats(),
+                            };
+                            (portable, report)
                         };
-                        (portable, report)
+                        // The worker thread dies here; park its span tree
+                        // in the global sink under its own label.
+                        if netobs::enabled() {
+                            netobs::flush(&format!("worker-{worker}"));
+                        }
+                        result
                     })
                 })
                 .collect();
@@ -129,6 +155,7 @@ impl ParallelRunner {
                 .collect()
         });
 
+        let _merge_span = netobs::span!("trace_merge");
         let mut merged = CoverageTrace::new();
         let mut reports = Vec::with_capacity(results.len());
         for (portable, report) in results {
@@ -136,8 +163,32 @@ impl ParallelRunner {
             merged.merge(bdd, &trace);
             reports.push(report);
         }
+        if netobs::enabled() {
+            for r in &reports {
+                publish_worker_gauges(r);
+            }
+        }
         (merged, reports)
     }
+}
+
+/// Snapshot one worker's report into the netobs gauge registry
+/// (`worker.N.*`): wall-clock, job count, and the final size and cache
+/// behaviour of its private manager.
+pub fn publish_worker_gauges(r: &WorkerReport) {
+    let w = r.worker;
+    netobs::gauge(&format!("worker.{w}.elapsed_secs"), r.elapsed.as_secs_f64());
+    netobs::gauge(&format!("worker.{w}.jobs"), r.jobs as f64);
+    netobs::gauge(&format!("worker.{w}.bdd.nodes"), r.stats.nodes as f64);
+    netobs::gauge(
+        &format!("worker.{w}.bdd.ite_hit_rate"),
+        r.stats.ite_hit_rate(),
+    );
+    netobs::gauge(
+        &format!("worker.{w}.bdd.unique_hit_rate"),
+        r.stats.unique_hit_rate(),
+    );
+    netobs::gauge(&format!("worker.{w}.bdd.ops"), r.stats.ops.total() as f64);
 }
 
 #[cfg(test)]
@@ -151,7 +202,11 @@ mod tests {
         for n in 0..20 {
             for parts in 1..6 {
                 let ranges = ParallelRunner::chunk_ranges(n, parts);
-                assert_eq!(ranges.len(), parts);
+                assert_eq!(ranges.len(), parts.min(n), "n={n} parts={parts}");
+                assert!(
+                    ranges.iter().all(|r| !r.is_empty()),
+                    "no empty ranges: n={n} parts={parts} {ranges:?}"
+                );
                 let total: usize = ranges.iter().map(|r| r.len()).sum();
                 assert_eq!(total, n);
                 // Contiguous and balanced.
@@ -160,9 +215,11 @@ mod tests {
                     assert_eq!(r.start, expect_start);
                     expect_start = r.end;
                 }
-                let max = ranges.iter().map(|r| r.len()).max().unwrap();
-                let min = ranges.iter().map(|r| r.len()).min().unwrap();
-                assert!(max - min <= 1);
+                if n > 0 {
+                    let max = ranges.iter().map(|r| r.len()).max().unwrap();
+                    let min = ranges.iter().map(|r| r.len()).min().unwrap();
+                    assert!(max - min <= 1);
+                }
             }
         }
     }
@@ -199,13 +256,41 @@ mod tests {
     }
 
     #[test]
-    fn more_workers_than_jobs_is_fine() {
-        let jobs: Vec<u32> = vec![1, 2];
+    fn more_workers_than_jobs_spawns_only_loaded_workers() {
+        // Regression: `chunk_ranges` used to emit empty trailing ranges
+        // when parts > n, so a runner with more threads than jobs spawned
+        // workers that did nothing but still cost a manager + thread.
+        let jobs: Vec<u32> = vec![1, 2, 3];
+        // Sequential reference for the bit-identity half of the check.
         let mut bdd = Bdd::new();
-        let runner = ParallelRunner::new(8);
+        let mut tracker = Tracker::new();
+        for j in &jobs {
+            mark_job(&mut bdd, &mut (), &mut tracker, j);
+        }
+        let sequential = tracker.into_trace();
+
+        for threads in [jobs.len() + 1, 2 * jobs.len()] {
+            let runner = ParallelRunner::new(threads);
+            let (merged, reports) = runner.run(&mut bdd, &jobs, |_| (), mark_job);
+            // Exactly one worker per job, each loaded with one.
+            assert_eq!(reports.len(), jobs.len(), "threads={threads}");
+            assert!(reports.iter().all(|r| r.jobs == 1));
+            // Oversubscription must not change the merged trace.
+            assert_eq!(merged.rules, sequential.rules);
+            for (loc, set) in sequential.packets.iter() {
+                assert_eq!(merged.packets.at(loc), set, "threads={threads} {loc:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_jobs_spawns_no_workers() {
+        let jobs: Vec<u32> = Vec::new();
+        let mut bdd = Bdd::new();
+        let runner = ParallelRunner::new(4);
         let (merged, reports) = runner.run(&mut bdd, &jobs, |_| (), mark_job);
-        assert_eq!(reports.len(), 8);
-        assert!(!merged.is_empty());
+        assert!(reports.is_empty());
+        assert!(merged.is_empty());
     }
 
     #[test]

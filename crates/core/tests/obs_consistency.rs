@@ -1,0 +1,80 @@
+//! Differential check of the observability layer against a real parallel
+//! run: the span trees netobs reports for `ParallelRunner` must satisfy
+//! the nesting invariant (children sum to at most their parent), carry
+//! one tree per worker thread, and survive a JSON round-trip.
+//!
+//! This lives in its own integration-test binary: netobs state is
+//! process-global, and sharing a process with unrelated tests would mix
+//! their spans into this report.
+
+use netbdd::Bdd;
+use netmodel::header;
+use netmodel::topology::DeviceId;
+use netmodel::{Location, Prefix};
+use yardstick::{ParallelRunner, Tracker};
+
+#[test]
+fn parallel_run_produces_consistent_worker_span_trees() {
+    netobs::enable();
+
+    let threads = 3;
+    let jobs: Vec<Prefix> = (0..12u32)
+        .map(|i| Prefix::v4(u32::from_be_bytes([10, i as u8, 0, 0]), 16))
+        .collect();
+    let mut bdd = Bdd::new();
+    let runner = ParallelRunner::new(threads);
+    let (trace, reports) = runner.run(
+        &mut bdd,
+        &jobs,
+        |_| (),
+        |local: &mut Bdd, _state, tracker: &mut Tracker, p: &Prefix| {
+            let set = header::dst_in(local, p);
+            tracker.mark_packet(local, Location::device(DeviceId(0)), set);
+        },
+    );
+    assert_eq!(reports.len(), threads);
+    assert!(!trace.packets.is_empty());
+
+    let report = netobs::report();
+    netobs::disable();
+
+    // The differential invariant: on every thread, the time attributed to
+    // a span's children sums to at most the span's own time.
+    assert!(
+        report.check_consistent(),
+        "span child sums exceed their parent:\n{}",
+        report.render()
+    );
+
+    // One tree per worker, each with the expected phase structure.
+    for w in 0..threads {
+        let label = format!("worker-{w}");
+        let root = report
+            .thread(&label)
+            .unwrap_or_else(|| panic!("no span tree flushed for {label}"));
+        let worker = root
+            .child(&label)
+            .unwrap_or_else(|| panic!("{label} tree lacks its top-level span"));
+        assert_eq!(worker.count, 1);
+        for phase in ["worker_setup", "worker_jobs", "worker_export"] {
+            let child = worker
+                .child(phase)
+                .unwrap_or_else(|| panic!("{label} lacks the {phase} span"));
+            assert_eq!(child.count, 1, "{label}/{phase} ran once");
+            assert!(child.stats.total_ns <= worker.stats.total_ns);
+        }
+    }
+
+    // The merge runs on the calling thread, after the workers.
+    let main = report.thread("main").expect("main thread flushed");
+    assert!(main.child("trace_merge").is_some());
+
+    // Worker gauges were published, and the export round-trips through
+    // our own JSON parser with the invariant still checkable.
+    for w in 0..threads {
+        assert!(report.gauges.contains_key(&format!("worker.{w}.jobs")));
+    }
+    let parsed = netobs::json::parse(&report.to_json()).expect("report JSON parses");
+    let spans = parsed.get("spans").and_then(|s| s.as_array()).unwrap();
+    assert_eq!(spans.len(), report.threads.len());
+}

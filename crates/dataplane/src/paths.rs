@@ -96,6 +96,7 @@ pub fn explore(
     opts: &ExploreOpts,
     mut visitor: impl FnMut(&mut Bdd, &PathEvent<'_>),
 ) -> PathStats {
+    let _span = netobs::span!("dataplane_explore");
     let mut stats = PathStats::default();
     let mut rules: Vec<RuleId> = Vec::new();
     for &(start, packets) in starts {

@@ -69,6 +69,7 @@ pub fn reach(
     packets: Ref,
     max_rounds: usize,
 ) -> ReachResult {
+    let _span = netobs::span!("dataplane_reach");
     let mut result = ReachResult::default();
     // Accumulated set ever seen at each location; the frontier carries
     // only the delta, which guarantees termination even with loops (sets

@@ -10,6 +10,37 @@ use std::fmt::Write as _;
 use crate::manager::Bdd;
 use crate::node::Ref;
 
+/// Per-class counts of the public set operations a manager has served
+/// (the operation classes of the paper's Figure 5 workload breakdown).
+///
+/// These are *call* counts, not exclusive classes: derived operations
+/// tick their constituents too (`diff` also ticks `not` and `and`,
+/// `forall` ticks `not` twice and `quantify` once).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Unions (`or`, including each pairwise step of `or_all`).
+    pub or: u64,
+    /// Intersections (`and`, including each pairwise step of `and_all`).
+    pub and: u64,
+    /// Complements.
+    pub not: u64,
+    /// Set differences.
+    pub diff: u64,
+    /// Symmetric differences.
+    pub xor: u64,
+    /// Cofactor restrictions.
+    pub restrict: u64,
+    /// Variable quantifications (`exists`; `forall` desugars to it).
+    pub quantify: u64,
+}
+
+impl OpCounts {
+    /// Total operations served across all classes.
+    pub fn total(&self) -> u64 {
+        self.or + self.and + self.not + self.diff + self.xor + self.restrict + self.quantify
+    }
+}
+
 /// Size and cache-behaviour snapshot of a manager.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
@@ -29,6 +60,8 @@ pub struct Stats {
     pub ite_lookups: u64,
     /// ITE lookups answered from the cache.
     pub ite_hits: u64,
+    /// Public set operations served, by class.
+    pub ops: OpCounts,
 }
 
 impl Stats {
@@ -66,6 +99,7 @@ impl Bdd {
             unique_hits,
             ite_lookups,
             ite_hits,
+            ops: self.op_counts(),
         }
     }
 
@@ -124,6 +158,31 @@ mod tests {
         let s2 = bdd.stats();
         assert_eq!(s2.ite_cache_entries, 0);
         assert_eq!(s2.nodes, s1.nodes); // arena survives cache clears
+    }
+
+    #[test]
+    fn op_counts_track_operation_classes() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let _ = bdd.and(a, b);
+        let _ = bdd.or(a, b);
+        let _ = bdd.diff(a, b); // ticks diff + not + and
+        let _ = bdd.xor(a, b); // ticks xor + not
+        let _ = bdd.restrict(a, 0, true);
+        let _ = bdd.exists(a, &[0]); // ticks quantify + the or it desugars to
+        let ops = bdd.stats().ops;
+        assert_eq!(ops.or, 2);
+        assert_eq!(ops.and, 2);
+        assert_eq!(ops.not, 2);
+        assert_eq!(ops.diff, 1);
+        assert_eq!(ops.xor, 1);
+        assert_eq!(ops.restrict, 1);
+        assert_eq!(ops.quantify, 1);
+        assert_eq!(ops.total(), 10);
+        // Counters survive cache clears like the lookup counters do.
+        bdd.clear_caches();
+        assert_eq!(bdd.stats().ops, ops);
     }
 
     #[test]

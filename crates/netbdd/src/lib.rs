@@ -53,7 +53,7 @@ mod node;
 mod portable;
 
 pub use cube::Cube;
-pub use debug::Stats;
+pub use debug::{OpCounts, Stats};
 pub use manager::Bdd;
 pub use node::Ref;
 pub use portable::PortableBdd;

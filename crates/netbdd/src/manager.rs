@@ -26,6 +26,7 @@ pub struct Bdd {
     unique_hits: u64,
     ite_lookups: u64,
     ite_hits: u64,
+    ops: crate::debug::OpCounts,
 }
 
 impl Default for Bdd {
@@ -61,6 +62,7 @@ impl Bdd {
             unique_hits: 0,
             ite_lookups: 0,
             ite_hits: 0,
+            ops: crate::debug::OpCounts::default(),
         }
     }
 
@@ -203,6 +205,7 @@ impl Bdd {
 
     /// Set complement (`negate` in the paper's operation table).
     pub fn not(&mut self, f: Ref) -> Ref {
+        self.ops.not += 1;
         if let Some(&r) = self.not_cache.get(&f) {
             return r;
         }
@@ -214,22 +217,29 @@ impl Bdd {
 
     /// Set union.
     pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ops.or += 1;
         self.ite(f, Ref::TRUE, g)
     }
 
     /// Set intersection.
     pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ops.and += 1;
         self.ite(f, g, Ref::FALSE)
     }
 
     /// Set difference `f \ g`.
+    ///
+    /// Counters are call counts, not exclusive classes: a `diff` also
+    /// ticks the `not` and `and` it is built from.
     pub fn diff(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ops.diff += 1;
         let ng = self.not(g);
         self.and(f, ng)
     }
 
     /// Symmetric difference.
     pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ops.xor += 1;
         let ng = self.not(g);
         self.ite(f, ng, g)
     }
@@ -294,6 +304,7 @@ impl Bdd {
 
     /// Restrict variable `var` to the constant `value` in `f`.
     pub fn restrict(&mut self, f: Ref, var: Var, value: bool) -> Ref {
+        self.ops.restrict += 1;
         let mut memo = FxHashMap::default();
         self.restrict_rec(f, var, value, &mut memo)
     }
@@ -334,6 +345,7 @@ impl Bdd {
     ///
     /// `vars` must be sorted ascending (debug-asserted).
     pub fn exists(&mut self, f: Ref, vars: &[Var]) -> Ref {
+        self.ops.quantify += 1;
         debug_assert!(vars.windows(2).all(|w| w[0] < w[1]));
         let mut memo = FxHashMap::default();
         self.exists_rec(f, vars, &mut memo)
@@ -431,6 +443,10 @@ impl Bdd {
 
     pub(crate) fn ite_counters(&self) -> (u64, u64) {
         (self.ite_lookups, self.ite_hits)
+    }
+
+    pub(crate) fn op_counts(&self) -> crate::debug::OpCounts {
+        self.ops
     }
 }
 

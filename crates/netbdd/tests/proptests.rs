@@ -182,3 +182,73 @@ proptest! {
         prop_assert!(bdd.subset(pl, ps));
     }
 }
+
+/// Remap an expression's variables to `offset + v * stride`, producing
+/// wide sparse diagrams (leading and internal level skips).
+fn remap(e: &Expr, offset: u32, stride: u32) -> Expr {
+    match e {
+        Expr::Var(v) => Expr::Var(offset + v * stride),
+        Expr::Not(a) => Expr::Not(Box::new(remap(a, offset, stride))),
+        Expr::And(a, b) => Expr::And(
+            Box::new(remap(a, offset, stride)),
+            Box::new(remap(b, offset, stride)),
+        ),
+        Expr::Or(a, b) => Expr::Or(
+            Box::new(remap(a, offset, stride)),
+            Box::new(remap(b, offset, stride)),
+        ),
+        Expr::Xor(a, b) => Expr::Xor(
+            Box::new(remap(a, offset, stride)),
+            Box::new(remap(b, offset, stride)),
+        ),
+    }
+}
+
+proptest! {
+    /// `sat_count(f, n) / 2^n` and `probability(f)` are two independent
+    /// implementations of the same measure; they must agree to f64
+    /// precision on wide sparse domains — all the way to the `nvars = 127`
+    /// boundary, with leading skips (lowest tested variable far above 0)
+    /// and internal skips (stride > 1) exercised.
+    #[test]
+    fn sat_count_cross_checks_probability(
+        e in arb_expr(),
+        offset in 0u32..=121,
+        stride in 1u32..=24,
+    ) {
+        // Keep the highest mapped variable inside the 127-var domain.
+        let stride = stride.clamp(1, ((126 - offset) / (NVARS - 1)).max(1));
+        let wide = remap(&e, offset, stride);
+        let mut bdd = Bdd::new();
+        let f = build(&mut bdd, &wide);
+        let nvars = 127u32;
+        let from_count = bdd.sat_count(f, nvars) as f64 / 2f64.powi(nvars as i32);
+        let p = bdd.probability(f);
+        // Both sides are dyadic rationals with few significant bits, so
+        // they are exactly representable; allow a few ulps of slack for
+        // the u128 -> f64 conversion anyway.
+        let tol = 4.0 * f64::EPSILON * p.max(from_count).max(f64::MIN_POSITIVE);
+        prop_assert!(
+            (from_count - p).abs() <= tol,
+            "count/2^127 = {from_count} vs probability = {p} for {wide:?}"
+        );
+    }
+}
+
+#[test]
+fn sat_count_at_the_127_var_boundary() {
+    let mut bdd = Bdd::new();
+    assert_eq!(bdd.sat_count(Ref::TRUE, 127), 1u128 << 127);
+    // A single top variable: half the 127-var space.
+    let f = bdd.var(0);
+    assert_eq!(bdd.sat_count(f, 127), 1u128 << 126);
+    // Leading-skip diagram: the only tested variable is the very last
+    // one, so 126 levels are skipped above the root.
+    let g = bdd.var(126);
+    assert_eq!(bdd.sat_count(g, 127), 1u128 << 126);
+    assert_eq!(bdd.probability(g), 0.5);
+    // Both extremes combined: var(0) AND var(126) quarters the space.
+    let h = bdd.and(f, g);
+    assert_eq!(bdd.sat_count(h, 127), 1u128 << 125);
+    assert_eq!(bdd.probability(h), 0.25);
+}

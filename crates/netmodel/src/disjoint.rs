@@ -32,16 +32,48 @@ use crate::topology::IfaceId;
 /// (via [`MatchSets::compute_cached`]) it also spares re-deriving them
 /// per run. Entries are `Ref`s into one manager, so a cache must only
 /// ever be used with the manager it was filled from.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MatchSetCache {
     map: HashMap<MatchFields, Ref>,
+    capacity: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+/// Default bound on distinct cached header matches. Production FIBs reuse
+/// a few thousand shapes; 2^16 entries is far above any workload here
+/// while bounding worst-case memory on adversarial rule streams.
+pub const DEFAULT_MATCH_CACHE_CAPACITY: usize = 1 << 16;
+
+impl Default for MatchSetCache {
+    fn default() -> MatchSetCache {
+        MatchSetCache::with_capacity(DEFAULT_MATCH_CACHE_CAPACITY)
+    }
 }
 
 impl MatchSetCache {
     pub fn new() -> MatchSetCache {
         MatchSetCache::default()
+    }
+
+    /// A cache bounded to at most `capacity` distinct header matches
+    /// (minimum 1). When an insert would exceed the bound the whole map
+    /// is flushed — full-flush eviction, the same policy the BDD computed
+    /// caches use: entries are cheap to rebuild relative to the
+    /// bookkeeping an LRU would add to every hit, and a flush preserves
+    /// the hot-set within one FIB walk (identical shapes recur close
+    /// together). Hit/miss counters are *not* reset by eviction; they
+    /// stay monotone over the cache's lifetime so rate math stays valid
+    /// across flushes.
+    pub fn with_capacity(capacity: usize) -> MatchSetCache {
+        MatchSetCache {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
     }
 
     /// Compile `m` to a BDD, reusing a previous compilation of the same
@@ -57,8 +89,19 @@ impl MatchSetCache {
         }
         self.misses += 1;
         let r = key.to_bdd(bdd);
+        if self.map.len() >= self.capacity {
+            self.map.clear();
+            self.evictions += 1;
+        }
         self.map.insert(key, r);
         r
+    }
+
+    /// Drop every cached compilation, keeping the counters. Call this
+    /// when retiring the paired `Bdd` manager — entries are `Ref`s into
+    /// it and must not outlive it.
+    pub fn clear(&mut self) {
+        self.map.clear();
     }
 
     /// Distinct header matches compiled so far.
@@ -70,9 +113,19 @@ impl MatchSetCache {
         self.map.is_empty()
     }
 
-    /// `(hits, misses)` since construction.
+    /// The configured entry bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// `(hits, misses)` since construction (monotone across evictions).
     pub fn counters(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Full-flush evictions performed so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 
@@ -104,6 +157,7 @@ impl MatchSets {
     /// don't rebuild identical prefix BDDs. The cache must always be
     /// paired with the same `bdd` manager.
     pub fn compute_cached(net: &Network, bdd: &mut Bdd, cache: &mut MatchSetCache) -> MatchSets {
+        let _span = netobs::span!("match_sets");
         let ndev = net.topology().device_count();
         let mut sets = Vec::with_capacity(ndev);
         let mut device_total = Vec::with_capacity(ndev);
@@ -132,6 +186,13 @@ impl MatchSets {
             }
             sets.push(dev_sets);
             device_total.push(total);
+        }
+        if netobs::enabled() {
+            let (hits, misses) = cache.counters();
+            netobs::gauge("match_cache.entries", cache.len() as f64);
+            netobs::gauge("match_cache.hits", hits as f64);
+            netobs::gauge("match_cache.misses", misses as f64);
+            netobs::gauge("match_cache.evictions", cache.evictions() as f64);
         }
         MatchSets { sets, device_total }
     }
@@ -373,6 +434,49 @@ mod tests {
         assert_eq!(a, b); // same header bits, one cache entry
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.counters(), (1, 1));
+    }
+
+    #[test]
+    fn bounded_cache_flushes_at_capacity_and_counters_stay_monotone() {
+        let mut bdd = Bdd::new();
+        let mut cache = MatchSetCache::with_capacity(4);
+        assert_eq!(cache.capacity(), 4);
+        // 10 distinct /32s: every insert past the 4th triggers a flush
+        // cycle, but identical lookups afterwards still answer correctly.
+        let prefixes: Vec<Prefix> = (0..10u8)
+            .map(|i| format!("10.0.0.{i}/32").parse().unwrap())
+            .collect();
+        let mut first: Vec<Ref> = Vec::new();
+        for p in &prefixes {
+            first.push(cache.to_bdd(&mut bdd, &MatchFields::dst_prefix(*p)));
+        }
+        assert!(cache.len() <= 4, "bound respected: {} entries", cache.len());
+        assert!(cache.evictions() >= 1, "flush must have happened");
+        let (h1, m1) = cache.counters();
+        assert_eq!(m1, 10); // all distinct: 10 misses, 0 hits
+        assert_eq!(h1, 0);
+        // Re-resolving yields bit-identical Refs (to_bdd is deterministic
+        // in one manager) and never decreases the counters.
+        for (p, &r) in prefixes.iter().zip(&first) {
+            assert_eq!(cache.to_bdd(&mut bdd, &MatchFields::dst_prefix(*p)), r);
+        }
+        let (h2, m2) = cache.counters();
+        assert!(h2 + m2 == 20 && h2 >= h1 && m2 >= m1, "monotone: {h2}/{m2}");
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let mut bdd = Bdd::new();
+        let mut cache = MatchSetCache::new();
+        let m = MatchFields::dst_prefix("10.0.0.0/8".parse().unwrap());
+        let _ = cache.to_bdd(&mut bdd, &m);
+        let _ = cache.to_bdd(&mut bdd, &m);
+        assert_eq!(cache.counters(), (1, 1));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.counters(), (1, 1));
+        let _ = cache.to_bdd(&mut bdd, &m);
+        assert_eq!(cache.counters(), (1, 2));
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! # netobs — zero-dependency observability: spans, gauges, counters
+//!
+//! The pipeline's measurement substrate. The container this workspace
+//! builds in is offline, so there is no `tracing` or `metrics` crate to
+//! lean on; like the `shims/` crates, this is a hand-rolled subset of
+//! that functionality — exactly the slice the coverage pipeline needs:
+//!
+//! * **Spans** ([`span!`]): thread-local RAII guards recording nested
+//!   wall-clock timings. Each thread owns a private span tree (no locks
+//!   on the hot path); a finished thread [`flush`]es its tree into a
+//!   global sink, and [`report`] assembles everything into a [`Report`]
+//!   exportable as a JSON span tree and a flat chrome-trace-compatible
+//!   event list (`chrome://tracing` / Perfetto accept the emitted file
+//!   directly).
+//! * **Gauges and counters** ([`gauge`], [`counter`]): a global registry
+//!   for point-in-time values (BDD node counts, cache hit rates) and
+//!   monotone tallies, snapshotted into the same report.
+//! * **Disabled-path cost ≈ zero**: every entry point first does one
+//!   relaxed atomic load and bails. No `Instant::now()`, no allocation,
+//!   no lock is touched unless [`enable`] has been called — so
+//!   instrumented code paths cost nothing in ordinary runs (verified by
+//!   `bench/benches/netobs_overhead.rs`).
+//!
+//! ```
+//! netobs::enable();
+//! {
+//!     let _outer = netobs::span!("analysis");
+//!     {
+//!         let _inner = netobs::span!("covered_sets");
+//!         netobs::counter("rules_processed", 42);
+//!     }
+//!     netobs::gauge("bdd.nodes", 1234.0);
+//! }
+//! let report = netobs::report();
+//! let tree = report.thread("main").unwrap();
+//! assert_eq!(tree.child("analysis").unwrap().child("covered_sets").unwrap().count, 1);
+//! netobs::disable();
+//! ```
+
+pub mod json;
+mod registry;
+mod report;
+mod span;
+
+pub use registry::{counter, gauge};
+pub use report::{Report, ThreadSpans};
+pub use span::{flush, SpanGuard, SpanNode, SpanStats};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The one flag every instrumented call site checks first. Relaxed is
+/// enough: enabling happens-before the instrumented work via the usual
+/// program order on the enabling thread, and worker threads are always
+/// spawned after `enable()` by the code that wants their spans.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether instrumentation is currently collecting.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Start collecting. Clears everything a previous enable/report cycle
+/// left behind (sink, gauges, counters, the calling thread's span tree),
+/// so back-to-back measured sections don't bleed into each other.
+pub fn enable() {
+    span::reset_all();
+    registry::reset();
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Stop collecting. Data already recorded stays available to [`report`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Open a span named by a static string. Prefer the [`span!`] macro.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    span::enter(std::borrow::Cow::Borrowed(name))
+}
+
+/// Open a span with a runtime-built name (e.g. `worker-3`).
+#[inline]
+pub fn span_owned(name: String) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::inactive();
+    }
+    span::enter(std::borrow::Cow::Owned(name))
+}
+
+/// Open a named span; the returned guard closes it when dropped.
+///
+/// Takes a format string — `span!("phase")`, `span!("worker-{i}")` —
+/// built only when collection is enabled, so disabled call sites pay one
+/// atomic load. (The name is always routed through `format!`: a literal
+/// with inline captures must not silently become a static name.)
+#[macro_export]
+macro_rules! span {
+    ($($fmt:tt)+) => {
+        if $crate::enabled() {
+            $crate::span_owned(::std::format!($($fmt)+))
+        } else {
+            $crate::SpanGuard::inactive()
+        }
+    };
+}
+
+/// Flush the calling thread's spans under the label `main`, then gather
+/// every flushed thread plus the gauge/counter registry into a
+/// [`Report`]. Collection stays enabled; the collected data is drained.
+pub fn report() -> Report {
+    report_as("main")
+}
+
+/// [`report`] with an explicit label for the calling thread.
+pub fn report_as(label: &str) -> Report {
+    span::flush(label);
+    Report {
+        threads: span::drain_sink(),
+        gauges: registry::gauges(),
+        counters: registry::counters(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    // The tests below mutate process-global state; a mutex serialises
+    // them (cargo runs #[test]s in one process, many threads).
+    use std::sync::Mutex;
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _l = locked();
+        disable();
+        {
+            let _s = span!("ghost");
+            gauge("ghost.gauge", 1.0);
+            counter("ghost.counter", 1);
+        }
+        enable();
+        let report = report();
+        assert!(report.thread("main").is_none());
+        assert!(report.gauges.is_empty());
+        assert!(report.counters.is_empty());
+        disable();
+    }
+
+    #[test]
+    fn nested_spans_build_a_tree() {
+        let _l = locked();
+        enable();
+        {
+            let _a = span!("outer");
+            for _ in 0..3 {
+                let _b = span!("inner");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let report = report();
+        let main = report.thread("main").expect("main thread flushed");
+        let outer = main.child("outer").expect("outer span recorded");
+        assert_eq!(outer.count, 1);
+        let inner = outer.child("inner").expect("inner nested under outer");
+        assert_eq!(inner.count, 3);
+        assert!(inner.stats.min_ns <= inner.stats.max_ns);
+        assert!(inner.stats.total_ns <= outer.stats.total_ns);
+        disable();
+    }
+
+    #[test]
+    fn sibling_spans_of_the_same_name_accumulate() {
+        let _l = locked();
+        enable();
+        for _ in 0..5 {
+            let _s = span!("phase");
+        }
+        let report = report();
+        let phase = report.thread("main").unwrap().child("phase").unwrap();
+        assert_eq!(phase.count, 5);
+        assert!(phase.stats.total_ns >= phase.stats.max_ns);
+        disable();
+    }
+
+    #[test]
+    fn worker_threads_flush_under_their_own_label() {
+        let _l = locked();
+        enable();
+        std::thread::scope(|scope| {
+            for i in 0..2 {
+                scope.spawn(move || {
+                    {
+                        let _s = span!("worker-{i}");
+                    }
+                    flush(&format!("worker-{i}"));
+                });
+            }
+        });
+        {
+            let _m = span!("merge");
+        }
+        let report = report();
+        assert!(report.thread("worker-0").is_some());
+        assert!(report.thread("worker-1").is_some());
+        assert!(report.thread("main").unwrap().child("merge").is_some());
+        disable();
+    }
+
+    #[test]
+    fn enable_resets_previous_data() {
+        let _l = locked();
+        enable();
+        {
+            let _s = span!("stale");
+            counter("stale", 1);
+        }
+        enable(); // fresh measured section
+        {
+            let _s = span!("fresh");
+        }
+        let report = report();
+        let main = report.thread("main").unwrap();
+        assert!(main.child("stale").is_none());
+        assert!(main.child("fresh").is_some());
+        assert!(!report.counters.contains_key("stale"));
+        disable();
+    }
+
+    #[test]
+    fn gauges_overwrite_and_counters_accumulate() {
+        let _l = locked();
+        enable();
+        gauge("g", 1.0);
+        gauge("g", 2.5);
+        counter("c", 3);
+        counter("c", 4);
+        let report = report();
+        assert_eq!(report.gauges["g"], 2.5);
+        assert_eq!(report.counters["c"], 7);
+        disable();
+    }
+
+    #[test]
+    fn report_json_contains_tree_gauges_and_chrome_events() {
+        let _l = locked();
+        enable();
+        {
+            let _a = span!("pipeline");
+            let _b = span!("step");
+        }
+        gauge("bdd.nodes", 17.0);
+        counter("jobs", 2);
+        let report = report();
+        let out = report.to_json();
+        for needle in [
+            "\"traceEvents\"",
+            "\"spans\"",
+            "\"pipeline\"",
+            "\"step\"",
+            "\"gauges\"",
+            "\"bdd.nodes\": 17",
+            "\"counters\"",
+            "\"jobs\": 2",
+            "\"ph\": \"X\"",
+        ] {
+            assert!(out.contains(needle), "missing {needle} in:\n{out}");
+        }
+        // The emitted JSON round-trips through our own parser.
+        let parsed = json::parse(&out).expect("report JSON parses");
+        assert!(parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .is_some());
+        disable();
+    }
+
+    #[test]
+    fn span_tree_is_time_consistent() {
+        let _l = locked();
+        enable();
+        {
+            let _a = span!("parent");
+            {
+                let _b = span!("child1");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            {
+                let _c = span!("child2");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let report = report();
+        let main = report.thread("main").unwrap();
+        assert!(
+            main.check_consistent(),
+            "children must sum to at most their parent: {main:?}"
+        );
+        disable();
+    }
+}

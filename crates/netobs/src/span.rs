@@ -1,0 +1,312 @@
+//! Thread-local span recording.
+//!
+//! Each thread owns a private [`Recorder`]: an arena of span-tree nodes
+//! plus the stack of currently-open spans. Opening and closing a span
+//! touches only that thread-local state — **no lock is taken on the hot
+//! path**, which is why instrumented worker loops don't serialise on the
+//! observability layer. The only synchronised structure is the sink that
+//! finished threads [`flush`] their trees into, locked once per thread
+//! lifetime, not once per span.
+//!
+//! Timing uses `Instant`; chrome-trace timestamps are offsets from a
+//! process-wide epoch pinned at the first [`crate::enable`].
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::report::ThreadSpans;
+
+/// Aggregated wall-clock statistics of one span-tree node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Total nanoseconds across all entries of this span.
+    pub total_ns: u64,
+    /// Fastest single entry (0 until the span closes once).
+    pub min_ns: u64,
+    /// Slowest single entry.
+    pub max_ns: u64,
+}
+
+/// One node of a finished thread's span tree.
+#[derive(Clone, Debug)]
+pub struct SpanNode {
+    pub name: String,
+    /// Times this span was entered and closed.
+    pub count: u64,
+    pub stats: SpanStats,
+    /// Child spans in first-entered order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// The direct child with this name, if any.
+    pub fn child(&self, name: &str) -> Option<&SpanNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Total time in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.stats.total_ns as f64 / 1e9
+    }
+
+    /// Recursively walk the tree.
+    pub fn walk(&self, f: &mut impl FnMut(&SpanNode, usize)) {
+        self.walk_at(f, 0)
+    }
+
+    fn walk_at(&self, f: &mut impl FnMut(&SpanNode, usize), depth: usize) {
+        f(self, depth);
+        for c in &self.children {
+            c.walk_at(f, depth + 1);
+        }
+    }
+
+    /// Time-consistency invariant: children run strictly inside their
+    /// parent, so their totals must sum to at most the parent's total.
+    /// A small absolute slack (1 ms per child) absorbs clock quantisation
+    /// on very short spans. Container nodes (`count == 0`, e.g. the
+    /// per-thread root) carry no timing of their own and only recurse.
+    pub fn check_consistent(&self) -> bool {
+        let children_total: u64 = self.children.iter().map(|c| c.stats.total_ns).sum();
+        let slack = 1_000_000u64 * self.children.len() as u64;
+        let self_ok =
+            self.count == 0 || children_total <= self.stats.total_ns.saturating_add(slack);
+        self_ok && self.children.iter().all(SpanNode::check_consistent)
+    }
+}
+
+/// One closed span occurrence, for the flat chrome-trace event list.
+#[derive(Clone, Debug)]
+pub struct Event {
+    pub name: String,
+    /// Start offset from the process trace epoch, nanoseconds.
+    pub ts_ns: u64,
+    pub dur_ns: u64,
+}
+
+/// Per-thread cap on retained chrome events; the span tree keeps
+/// aggregating past it, only the flat list stops growing.
+const MAX_EVENTS_PER_THREAD: usize = 1 << 20;
+
+struct RawNode {
+    name: Cow<'static, str>,
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    children: Vec<usize>,
+}
+
+impl RawNode {
+    fn new(name: Cow<'static, str>) -> RawNode {
+        RawNode {
+            name,
+            count: 0,
+            total_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+            children: Vec::new(),
+        }
+    }
+}
+
+struct Recorder {
+    /// Arena; node 0 is the virtual per-thread root container.
+    nodes: Vec<RawNode>,
+    /// Indices of currently-open spans, innermost last.
+    stack: Vec<usize>,
+    events: Vec<Event>,
+    events_dropped: u64,
+    /// Bumped on every reset/flush; guards opened against an older
+    /// generation (e.g. still open across a flush) are ignored on drop
+    /// instead of touching a recycled arena.
+    generation: u64,
+}
+
+impl Recorder {
+    fn new(generation: u64) -> Recorder {
+        Recorder {
+            nodes: vec![RawNode::new(Cow::Borrowed(""))],
+            stack: Vec::new(),
+            events: Vec::new(),
+            events_dropped: 0,
+            generation,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.nodes.len() == 1 && self.events.is_empty()
+    }
+
+    fn enter(&mut self, name: Cow<'static, str>) -> usize {
+        let parent = *self.stack.last().unwrap_or(&0);
+        let existing = self.nodes[parent]
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.nodes[c].name == name);
+        let idx = existing.unwrap_or_else(|| {
+            let idx = self.nodes.len();
+            self.nodes.push(RawNode::new(name));
+            self.nodes[parent].children.push(idx);
+            idx
+        });
+        self.stack.push(idx);
+        idx
+    }
+
+    fn exit(&mut self, idx: usize, started: Instant, elapsed_ns: u64) {
+        // Guards are scope-bound, so exits are LIFO; tolerate misuse by
+        // unwinding to the matching entry.
+        while let Some(top) = self.stack.pop() {
+            if top == idx {
+                break;
+            }
+        }
+        let n = &mut self.nodes[idx];
+        n.count += 1;
+        n.total_ns += elapsed_ns;
+        n.min_ns = if n.count == 1 {
+            elapsed_ns
+        } else {
+            n.min_ns.min(elapsed_ns)
+        };
+        n.max_ns = n.max_ns.max(elapsed_ns);
+        if self.events.len() < MAX_EVENTS_PER_THREAD {
+            let ts_ns = started
+                .checked_duration_since(epoch())
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            self.events.push(Event {
+                name: n.name.clone().into_owned(),
+                ts_ns,
+                dur_ns: elapsed_ns,
+            });
+        } else {
+            self.events_dropped += 1;
+        }
+    }
+
+    fn tree(&self, at: usize) -> SpanNode {
+        let n = &self.nodes[at];
+        SpanNode {
+            name: n.name.clone().into_owned(),
+            count: n.count,
+            stats: SpanStats {
+                total_ns: n.total_ns,
+                min_ns: n.min_ns,
+                max_ns: n.max_ns,
+            },
+            children: n.children.iter().map(|&c| self.tree(c)).collect(),
+        }
+    }
+}
+
+thread_local! {
+    static RECORDER: RefCell<Recorder> = RefCell::new(Recorder::new(0));
+}
+
+/// Flushed per-thread trees, appended once per [`flush`].
+static SINK: Mutex<Vec<ThreadSpans>> = Mutex::new(Vec::new());
+
+/// Process-wide epoch for chrome-trace timestamps.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn lock_sink() -> std::sync::MutexGuard<'static, Vec<ThreadSpans>> {
+    SINK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// RAII guard returned by [`crate::span`]; closing happens on drop.
+///
+/// An inactive guard (instrumentation disabled at entry) is a no-op to
+/// create and to drop.
+#[must_use = "a span guard measures the scope it lives in"]
+pub struct SpanGuard {
+    start: Option<(Instant, usize, u64)>,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing — what every instrumented call site
+    /// gets when collection is disabled.
+    #[inline]
+    pub fn inactive() -> SpanGuard {
+        SpanGuard { start: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some((started, idx, generation)) = self.start.take() {
+            let elapsed_ns = started.elapsed().as_nanos() as u64;
+            RECORDER.with(|r| {
+                let mut rec = r.borrow_mut();
+                if rec.generation == generation {
+                    rec.exit(idx, started, elapsed_ns);
+                }
+            });
+        }
+    }
+}
+
+pub(crate) fn enter(name: Cow<'static, str>) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard::inactive();
+    }
+    let (idx, generation) = RECORDER.with(|r| {
+        let mut rec = r.borrow_mut();
+        (rec.enter(name), rec.generation)
+    });
+    SpanGuard {
+        start: Some((Instant::now(), idx, generation)),
+    }
+}
+
+/// Push the calling thread's span tree (and chrome events) into the
+/// global sink under `label`, and reset the thread's recorder. Worker
+/// threads call this right before finishing; the main thread's flush is
+/// folded into [`crate::report`]. A thread with nothing recorded flushes
+/// nothing.
+pub fn flush(label: &str) {
+    let flushed = RECORDER.with(|r| {
+        let mut rec = r.borrow_mut();
+        if rec.is_empty() {
+            return None;
+        }
+        let root = rec.tree(0);
+        let events = std::mem::take(&mut rec.events);
+        let dropped = rec.events_dropped;
+        *rec = Recorder::new(rec.generation + 1);
+        Some(ThreadSpans {
+            label: label.to_string(),
+            root,
+            events,
+            events_dropped: dropped,
+        })
+    });
+    if let Some(t) = flushed {
+        lock_sink().push(t);
+    }
+}
+
+/// Drop everything collected so far: the sink and the calling thread's
+/// recorder. (Other threads' recorders reset themselves on their next
+/// flush; `enable()` is documented to precede worker spawning.)
+pub(crate) fn reset_all() {
+    epoch(); // pin the chrome-trace epoch no later than the first enable
+    lock_sink().clear();
+    RECORDER.with(|r| {
+        let mut rec = r.borrow_mut();
+        *rec = Recorder::new(rec.generation + 1);
+    });
+}
+
+pub(crate) fn drain_sink() -> Vec<ThreadSpans> {
+    std::mem::take(&mut *lock_sink())
+}

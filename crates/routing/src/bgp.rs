@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 use netmodel::topology::{DeviceId, IfaceId, Topology};
 use netmodel::Prefix;
 
-use crate::rib::{Origination, Scope};
+use crate::rib::{Origination, RibError, Scope};
 
 /// One route in a device's Loc-RIB.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -77,6 +77,8 @@ impl BgpRibs {
 /// `asns[d]` is device `d`'s ASN; `tiers[d]` feeds [`Scope`] acceptance;
 /// originations advertise prefixes with delivery semantics handled by
 /// the caller (this simulator computes propagation, not FIB actions).
+///
+/// Panics on malformed input; [`try_simulate`] is the non-panicking form.
 pub fn simulate(
     topo: &Topology,
     asns: &[u32],
@@ -84,9 +86,42 @@ pub fn simulate(
     originations: &[Origination],
     config: &BgpConfig,
 ) -> BgpRibs {
+    match try_simulate(topo, asns, tiers, originations, config) {
+        Ok(ribs) => ribs,
+        Err(e) => panic!("bgp::simulate: invalid input: {e}"),
+    }
+}
+
+/// [`simulate`], returning [`RibError`] on malformed input (attribute
+/// slices not covering every device, originations naming devices outside
+/// the topology) instead of panicking.
+pub fn try_simulate(
+    topo: &Topology,
+    asns: &[u32],
+    tiers: &[u8],
+    originations: &[Origination],
+    config: &BgpConfig,
+) -> Result<BgpRibs, RibError> {
+    let _span = netobs::span!("bgp_simulate");
     let n = topo.device_count();
-    assert_eq!(asns.len(), n);
-    assert_eq!(tiers.len(), n);
+    for (what, len) in [("asns", asns.len()), ("tiers", tiers.len())] {
+        if len != n {
+            return Err(RibError::LengthMismatch {
+                what,
+                got: len,
+                expected: n,
+            });
+        }
+    }
+    for o in originations {
+        if o.device.0 as usize >= n {
+            return Err(RibError::UnknownDevice {
+                device: o.device,
+                device_count: n,
+                context: "origination",
+            });
+        }
+    }
     let max_rounds = if config.max_rounds == 0 {
         n + 2
     } else {
@@ -194,7 +229,7 @@ pub fn simulate(
             break;
         }
     }
-    BgpRibs { ribs, rounds }
+    Ok(BgpRibs { ribs, rounds })
 }
 
 #[cfg(test)]
@@ -336,6 +371,52 @@ mod tests {
         // spine2 can't learn it either: the only path is via a ToR, which
         // doesn't accept (and therefore doesn't re-advertise) it.
         assert!(ribs.route(spines[1], &w).is_none());
+    }
+
+    #[test]
+    fn malformed_attribute_slices_are_errors_not_panics() {
+        // Previously panicking input: `simulate` asserted on the slice
+        // lengths, so a caller passing per-device attributes for the
+        // wrong topology died with a bare assert_eq. `try_simulate`
+        // reports which slice is short and what length it needs.
+        let (t, _tors, _spines, origs) = fabric();
+        let err =
+            try_simulate(&t, &[65001], &[0, 0, 2, 2], &origs, &BgpConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            crate::rib::RibError::LengthMismatch {
+                what: "asns",
+                got: 1,
+                expected: 4
+            }
+        );
+        let err = try_simulate(
+            &t,
+            &[65001, 65002, 64700, 64700],
+            &[],
+            &origs,
+            &BgpConfig::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("tiers"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_origination_is_an_error() {
+        let (t, _tors, _spines, mut origs) = fabric();
+        origs[0].device = DeviceId(40);
+        let err = try_simulate(
+            &t,
+            &[65001, 65002, 64700, 64700],
+            &[0, 0, 2, 2],
+            &origs,
+            &BgpConfig::default(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, crate::rib::RibError::UnknownDevice { .. }),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -26,5 +26,5 @@
 pub mod bgp;
 pub mod rib;
 
-pub use bgp::{simulate, BgpConfig, BgpRibs, BgpRoute};
-pub use rib::{Origination, RibBuilder, Scope, StaticRoute, StaticTarget};
+pub use bgp::{simulate, try_simulate, BgpConfig, BgpRibs, BgpRoute};
+pub use rib::{Origination, RibBuilder, RibError, Scope, StaticRoute, StaticTarget};

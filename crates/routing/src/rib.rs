@@ -1,10 +1,71 @@
 //! RIB computation and FIB compilation.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
 
 use netmodel::rule::{Action, RouteClass, Rule};
 use netmodel::topology::{DeviceId, IfaceId, Topology};
 use netmodel::{Network, Prefix};
+
+/// Why a control-plane description cannot be compiled into forwarding
+/// state. Every variant names the offending object so the error message
+/// is actionable without a debugger.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RibError {
+    /// A device reference points outside the topology.
+    UnknownDevice {
+        device: DeviceId,
+        device_count: usize,
+        context: &'static str,
+    },
+    /// An interface reference points outside the topology, or belongs to
+    /// a different device than the route naming it.
+    BadIface {
+        iface: IfaceId,
+        device: DeviceId,
+        context: &'static str,
+    },
+    /// A per-device attribute slice has the wrong length (BGP simulator).
+    LengthMismatch {
+        what: &'static str,
+        got: usize,
+        expected: usize,
+    },
+}
+
+impl fmt::Display for RibError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RibError::UnknownDevice {
+                device,
+                device_count,
+                context,
+            } => write!(
+                f,
+                "{context}: device {device:?} does not exist \
+                 (topology has {device_count} devices)"
+            ),
+            RibError::BadIface {
+                iface,
+                device,
+                context,
+            } => write!(
+                f,
+                "{context}: interface {iface:?} is not an interface of device {device:?}"
+            ),
+            RibError::LengthMismatch {
+                what,
+                got,
+                expected,
+            } => write!(
+                f,
+                "{what}: got {got} entries, need one per device ({expected})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RibError {}
 
 /// Which devices accept (install and re-advertise) a BGP route.
 ///
@@ -221,8 +282,73 @@ impl RibBuilder {
         }
     }
 
+    /// Check every device/interface reference in the control-plane
+    /// description against the topology before [`Self::build`] indexes
+    /// with them. Malformed descriptions (hand-written configs, fuzzed
+    /// inputs) become a [`RibError`] instead of an index panic deep in
+    /// the BFS.
+    fn validate(&self) -> Result<(), RibError> {
+        let n = self.topo.device_count();
+        let check_dev = |device: DeviceId, context: &'static str| {
+            if (device.0 as usize) < n {
+                Ok(())
+            } else {
+                Err(RibError::UnknownDevice {
+                    device,
+                    device_count: n,
+                    context,
+                })
+            }
+        };
+        let check_iface = |iface: IfaceId, device: DeviceId, context: &'static str| {
+            if (iface.0 as usize) < self.topo.iface_count()
+                && self.topo.iface(iface).device == device
+            {
+                Ok(())
+            } else {
+                Err(RibError::BadIface {
+                    iface,
+                    device,
+                    context,
+                })
+            }
+        };
+        for o in &self.originations {
+            check_dev(o.device, "origination")?;
+            if let Some(iface) = o.deliver {
+                check_iface(iface, o.device, "origination delivery interface")?;
+            }
+            for &b in &o.blocked {
+                check_dev(b, "origination blocked list")?;
+            }
+        }
+        for s in &self.statics {
+            check_dev(s.device, "static route")?;
+            if let StaticTarget::Ifaces(outs) = &s.target {
+                for &i in outs {
+                    check_iface(i, s.device, "static route next-hop")?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Compute every device's RIB and compile the forwarding state.
+    ///
+    /// Panics on a malformed description; [`Self::try_build`] is the
+    /// non-panicking form.
     pub fn build(self) -> Network {
+        match self.try_build() {
+            Ok(net) => net,
+            Err(e) => panic!("RibBuilder::build: invalid control-plane description: {e}"),
+        }
+    }
+
+    /// [`Self::build`], returning [`RibError`] on out-of-range device or
+    /// interface references instead of panicking.
+    pub fn try_build(self) -> Result<Network, RibError> {
+        let _span = netobs::span!("fib_build");
+        self.validate()?;
         // candidate[(device, prefix)] -> (distance source, class, action)
         let mut best: BTreeMap<(u32, Prefix), (u8, RouteClass, Action)> = BTreeMap::new();
         let consider = |best: &mut BTreeMap<(u32, Prefix), (u8, RouteClass, Action)>,
@@ -242,6 +368,7 @@ impl RibBuilder {
         };
 
         // Statics and connected routes first (they also win ties).
+        let statics_span = netobs::span!("fib_statics");
         for s in &self.statics {
             let source = if s.class == RouteClass::Connected {
                 Source::Connected
@@ -254,9 +381,11 @@ impl RibBuilder {
             };
             consider(&mut best, s.device, s.prefix, source, s.class, action);
         }
+        drop(statics_span);
 
         // BGP: group originations by prefix (multi-origin = anycast ECMP
         // towards the nearest originators), BFS per group.
+        let bgp_span = netobs::span!("fib_bgp");
         let mut groups: BTreeMap<Prefix, Vec<&Origination>> = BTreeMap::new();
         for o in &self.originations {
             groups.entry(o.prefix).or_default().push(o);
@@ -297,14 +426,23 @@ impl RibBuilder {
                     }
                     continue;
                 }
-                // ECMP next-hops: every link to a neighbor one step closer.
+                // ECMP next-hops: every link to a neighbor one step
+                // closer. Finite distance already implies the neighbor
+                // accepted (or legitimately originated) the route, so no
+                // acceptance re-check — re-checking would wrongly exclude
+                // seeded originators, as acceptance is about *installing*
+                // propagated routes, not about being a next-hop.
                 let mut outs = Vec::new();
                 for (iface, neigh) in self.topo.neighbors(device) {
-                    if dist[neigh.0 as usize] == du - 1 && accepts(neigh) {
+                    if dist[neigh.0 as usize] == du - 1 {
                         outs.push(iface);
                     }
                 }
-                debug_assert!(!outs.is_empty());
+                debug_assert!(
+                    !outs.is_empty(),
+                    "BFS invariant: device {device:?} at distance {du} from {prefix} \
+                     must have a neighbor one step closer"
+                );
                 let class = origins[0].class;
                 consider(
                     &mut best,
@@ -316,8 +454,10 @@ impl RibBuilder {
                 );
             }
         }
+        drop(bgp_span);
 
         // Compile.
+        let _compile_span = netobs::span!("fib_compile");
         let mut net = Network::new(self.topo);
         for ((device, prefix), (_dist, class, action)) in best {
             net.add_rule(
@@ -330,7 +470,7 @@ impl RibBuilder {
             );
         }
         net.finalize();
-        net
+        Ok(net)
     }
 
     /// Multi-source BFS over devices accepted by `accepts`; returns hop
@@ -339,7 +479,16 @@ impl RibBuilder {
         let mut dist = vec![u32::MAX; self.topo.device_count()];
         let mut q = VecDeque::new();
         for o in origins {
-            // Originators always hold their own route.
+            // A blocked originator neither installs nor advertises its
+            // own route — the same seeding rule as the message-passing
+            // simulator (`bgp::simulate`). Seeding it anyway used to
+            // leave downstream devices with a finite distance but no
+            // usable next-hop (empty ECMP set). Scope is deliberately
+            // not checked here: an out-of-scope originator still holds
+            // and advertises its origination, exactly as in eBGP.
+            if origins.iter().any(|oo| oo.blocked.contains(&o.device)) {
+                continue;
+            }
             if dist[o.device.0 as usize] == u32::MAX {
                 dist[o.device.0 as usize] = 0;
                 q.push_back(o.device);
@@ -617,6 +766,116 @@ mod tests {
         assert_eq!(d[f.tors[0].0 as usize], 0);
         assert_eq!(d[f.spines[0].0 as usize], 1);
         assert_eq!(d[f.tors[1].0 as usize], 2);
+    }
+
+    #[test]
+    fn blocked_originator_installs_and_propagates_nothing() {
+        // Previously panicking input (debug_assert on an empty ECMP set):
+        // the BFS seeded blocked originators, so their neighbors got a
+        // finite distance but no acceptable next-hop. The BGP simulator
+        // (`bgp::simulate`) already treated this correctly — a blocked
+        // originator neither installs nor advertises — and the builder
+        // must agree with it.
+        let mut f = fabric();
+        let any: Prefix = "10.66.0.0/24".parse().unwrap();
+        let tor1 = f.tors[0];
+        let mut o = Origination::new(
+            tor1,
+            any,
+            RouteClass::HostSubnet,
+            Some(f.hosts[0]),
+            Scope::All,
+        );
+        o.blocked.push(tor1); // the originator blocks its own route
+        f.b.originate(o);
+        let net = f.b.build(); // must not panic
+        for (device, _) in net.topology().devices() {
+            assert!(
+                !net.device_rules(device)
+                    .iter()
+                    .any(|r| r.matches.dst == Some(any)),
+                "{device:?} must not hold a route blocked at its only originator"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_originator_with_anycast_peer_leaves_one_path() {
+        // Same prefix originated at both ToRs, blocked at tor1: everyone
+        // routes towards tor2 only; previously this also tripped the
+        // empty-ECMP debug_assert on devices adjacent to tor1.
+        let mut f = fabric();
+        let any: Prefix = "10.66.0.0/24".parse().unwrap();
+        let (tor1, tor2) = (f.tors[0], f.tors[1]);
+        for (i, &tor) in [tor1, tor2].iter().enumerate() {
+            let mut o = Origination::new(
+                tor,
+                any,
+                RouteClass::HostSubnet,
+                Some(f.hosts[i]),
+                Scope::All,
+            );
+            if tor == tor1 {
+                o.blocked.push(tor1);
+            }
+            f.b.originate(o);
+        }
+        let net = f.b.build();
+        assert!(!net
+            .device_rules(tor1)
+            .iter()
+            .any(|r| r.matches.dst == Some(any)));
+        for &s in &f.spines {
+            let r = net
+                .device_rules(s)
+                .iter()
+                .find(|r| r.matches.dst == Some(any))
+                .expect("spines still learn the route from tor2")
+                .clone();
+            let outs = r.action.out_ifaces();
+            assert_eq!(outs.len(), 1);
+            assert_eq!(net.topology().neighbor_of(outs[0]), Some(tor2));
+        }
+    }
+
+    #[test]
+    fn out_of_range_origination_device_is_a_rib_error() {
+        // Previously panicking input (index out of bounds in the BFS):
+        // an origination naming a device the topology doesn't have.
+        let f = fabric();
+        let mut b = f.b;
+        b.originate(Origination::new(
+            DeviceId(999),
+            "10.77.0.0/24".parse().unwrap(),
+            RouteClass::HostSubnet,
+            None,
+            Scope::All,
+        ));
+        match b.try_build() {
+            Err(RibError::UnknownDevice {
+                device, context, ..
+            }) => {
+                assert_eq!(device, DeviceId(999));
+                assert_eq!(context, "origination");
+            }
+            other => panic!("expected UnknownDevice, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foreign_static_next_hop_is_a_rib_error() {
+        let f = fabric();
+        let mut b = f.b;
+        // hosts[1] belongs to tor2, not tor1.
+        b.add_static(StaticRoute {
+            device: f.tors[0],
+            prefix: "10.88.0.0/24".parse().unwrap(),
+            target: StaticTarget::Ifaces(vec![f.hosts[1]]),
+            class: RouteClass::Other,
+        });
+        let err = b.try_build().unwrap_err();
+        assert!(matches!(err, RibError::BadIface { .. }), "{err:?}");
+        assert!(err.to_string().contains("static route next-hop"));
     }
 
     #[test]

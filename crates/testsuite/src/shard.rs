@@ -150,6 +150,10 @@ pub fn run_job(
     tracker: &mut Tracker,
     job: &SuiteJob,
 ) -> TestReport {
+    // One span per job, named after the suite test it belongs to: the
+    // span tree aggregates all jobs of a test into one node (count =
+    // jobs, total = the test's wall-clock share on this thread).
+    let _span = netobs::span(job.test_name());
     let mut ctx = TestContext {
         net,
         ms,

@@ -57,6 +57,7 @@ impl FatTree {
 
 /// Generate a k-ary fat-tree network with computed forwarding state.
 pub fn fattree(params: FatTreeParams) -> FatTree {
+    let _span = netobs::span!("topogen_fattree");
     let k = params.k;
     assert!(
         k >= 2 && k.is_multiple_of(2),

@@ -92,6 +92,7 @@ pub struct Regional {
 
 /// Generate a regional network per §7.1.
 pub fn regional(params: RegionalParams) -> Regional {
+    let _span = netobs::span!("topogen_regional");
     assert!(params.datacenters >= 1 && params.pods_per_dc >= 1);
     assert!(params.tors_per_pod >= 1 && params.aggs_per_pod >= 1);
     assert!(params.spines_per_dc >= 1 && params.hubs >= 1 && params.wan_routers >= 1);
