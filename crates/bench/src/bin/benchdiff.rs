@@ -1,15 +1,28 @@
-//! Compare two `BENCH_parallel.json` files and fail on perf regressions.
+//! Compare two benchmark JSON files and fail on perf regressions.
 //!
 //! ```text
-//! cargo run -p bench --bin benchdiff --release -- old.json new.json [--tolerance 0.25]
+//! cargo run -p bench --bin benchdiff --release -- old.json new.json \
+//!     [--tolerance 0.25] [--seq-only]
 //! ```
 //!
-//! Every timing metric — per-phase `seq_secs` / `par_secs` and the two
-//! totals — is a regression when `new > old * (1 + tolerance)`. Exit
-//! status: 0 when nothing regressed, 1 on any regression, 2 on unusable
-//! input (missing file, malformed JSON, no comparable metrics). CI runs
-//! this informationally against the committed baselines; locally it
-//! gates "did my change slow the suite down".
+//! Two file shapes are understood, and a file may use both at once:
+//!
+//! * **Parallel suite** (`BENCH_parallel_*.json`): per-phase
+//!   `seq_secs`/`par_secs` plus the two totals.
+//! * **Generic metrics** (`BENCH_netbdd.json` and future benches): a
+//!   top-level `"metrics"` object whose numeric values are all
+//!   smaller-is-better; keys present in both files are compared, keys on
+//!   one side only are reported and skipped. An optional `"info"` object
+//!   is context (rates, throughput) and is never compared.
+//!
+//! A metric is a regression when `new > old * (1 + tolerance)`. With
+//! `--seq-only`, parallel-leg metrics (`*.par_secs`, `total_par_secs`)
+//! are still printed but never *gate*: on a 1-CPU CI runner the parallel
+//! legs measure scheduler noise, not the engine, so CI gates the
+//! sequential legs and keeps the parallel ones informational. Exit
+//! status: 0 when nothing gated regressed, 1 on any gated regression, 2
+//! on unusable input (missing file, malformed JSON, no comparable
+//! metrics).
 
 use std::process::ExitCode;
 
@@ -19,6 +32,9 @@ struct Row {
     metric: String,
     old: f64,
     new: f64,
+    /// Whether a regression on this row fails the run (false for
+    /// parallel legs under `--seq-only`).
+    gated: bool,
 }
 
 fn main() -> ExitCode {
@@ -36,12 +52,13 @@ fn main() -> ExitCode {
         }
     }
     if files.len() != 2 {
-        eprintln!("usage: benchdiff <old.json> <new.json> [--tolerance 0.25]");
+        eprintln!("usage: benchdiff <old.json> <new.json> [--tolerance 0.25] [--seq-only]");
         return ExitCode::from(2);
     }
     let tolerance = bench::arg_value("--tolerance")
         .map(|v| v.parse::<f64>().expect("--tolerance takes a number"))
         .unwrap_or(0.25);
+    let seq_only = bench::arg_present("--seq-only");
 
     let (old, new) = match (load(files[0]), load(files[1])) {
         (Ok(o), Ok(n)) => (o, n),
@@ -51,21 +68,26 @@ fn main() -> ExitCode {
         }
     };
 
-    let rows = collect_rows(&old, &new);
+    let rows = collect_rows(&old, &new, seq_only);
     if rows.is_empty() {
         eprintln!("benchdiff: no comparable timing metrics between the two files");
         return ExitCode::from(2);
     }
 
     println!(
-        "benchdiff: {} vs {} (tolerance {:.0}%)",
+        "benchdiff: {} vs {} (tolerance {:.0}%{})",
         files[0],
         files[1],
-        tolerance * 100.0
+        tolerance * 100.0,
+        if seq_only {
+            ", gating sequential legs only"
+        } else {
+            ""
+        }
     );
     println!(
-        "{:<32} {:>12} {:>12} {:>9}  status",
-        "metric", "old (s)", "new (s)", "delta"
+        "{:<32} {:>14} {:>14} {:>9}  status",
+        "metric", "old", "new", "delta"
     );
     let mut regressions = 0usize;
     for r in &rows {
@@ -75,27 +97,32 @@ fn main() -> ExitCode {
             0.0
         };
         let regressed = r.new > r.old * (1.0 + tolerance);
-        let status = if regressed {
+        let status = if regressed && r.gated {
             regressions += 1;
             "REGRESSION"
+        } else if regressed {
+            "regressed (informational)"
         } else if r.new < r.old * (1.0 - tolerance) {
             "improved"
         } else {
             "ok"
         };
         println!(
-            "{:<32} {:>12.6} {:>12.6} {:>+8.1}%  {}",
+            "{:<32} {:>14.6} {:>14.6} {:>+8.1}%  {}",
             r.metric, r.old, r.new, delta, status
         );
     }
     if regressions > 0 {
         eprintln!(
-            "benchdiff: {regressions} metric(s) regressed beyond {:.0}%",
+            "benchdiff: {regressions} gated metric(s) regressed beyond {:.0}%",
             tolerance * 100.0
         );
         ExitCode::from(1)
     } else {
-        println!("benchdiff: no regression beyond {:.0}%", tolerance * 100.0);
+        println!(
+            "benchdiff: no gated regression beyond {:.0}%",
+            tolerance * 100.0
+        );
         ExitCode::SUCCESS
     }
 }
@@ -105,11 +132,12 @@ fn load(path: &str) -> Result<Json, String> {
     netobs::json::parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
-/// Pair up every timing metric present in both files: per-phase
-/// sequential and parallel times (matched by phase name) plus totals.
-/// Phases present on only one side are reported but not compared — a
-/// renamed phase should not mask a regression elsewhere.
-fn collect_rows(old: &Json, new: &Json) -> Vec<Row> {
+/// Pair up every metric present in both files: per-phase sequential and
+/// parallel times (matched by phase name) plus totals, and every numeric
+/// key of a top-level `"metrics"` object. Entries present on only one
+/// side are reported but not compared — a renamed phase or metric should
+/// not mask a regression elsewhere.
+fn collect_rows(old: &Json, new: &Json, seq_only: bool) -> Vec<Row> {
     let mut rows = Vec::new();
     let old_phases = old.get("phases").and_then(|p| p.as_array()).unwrap_or(&[]);
     let new_phases = new.get("phases").and_then(|p| p.as_array()).unwrap_or(&[]);
@@ -134,17 +162,19 @@ fn collect_rows(old: &Json, new: &Json) -> Vec<Row> {
                     metric: format!("{name}.seq_secs"),
                     old: os,
                     new: ns,
+                    gated: true,
                 });
                 rows.push(Row {
                     metric: format!("{name}.par_secs"),
                     old: op,
                     new: np,
+                    gated: !seq_only,
                 });
             }
             _ => eprintln!("benchdiff: phase {name:?} missing from the new file, skipped"),
         }
     }
-    for key in ["total_seq_secs", "total_par_secs"] {
+    for (key, gated) in [("total_seq_secs", true), ("total_par_secs", !seq_only)] {
         if let (Some(o), Some(n)) = (
             old.get(key).and_then(|v| v.as_f64()),
             new.get(key).and_then(|v| v.as_f64()),
@@ -153,7 +183,23 @@ fn collect_rows(old: &Json, new: &Json) -> Vec<Row> {
                 metric: key.to_string(),
                 old: o,
                 new: n,
+                gated,
             });
+        }
+    }
+    // Generic smaller-is-better metrics objects.
+    if let (Some(om), Some(nm)) = (old.get("metrics"), new.get("metrics")) {
+        for (key, ov) in om.entries() {
+            let Some(o) = ov.as_f64() else { continue };
+            match nm.get(key).and_then(|v| v.as_f64()) {
+                Some(n) => rows.push(Row {
+                    metric: format!("metrics.{key}"),
+                    old: o,
+                    new: n,
+                    gated: true,
+                }),
+                None => eprintln!("benchdiff: metric {key:?} missing from the new file, skipped"),
+            }
         }
     }
     rows

@@ -20,6 +20,26 @@ pub fn publish_bdd_gauges(prefix: &str, stats: &Stats) {
         stats.ite_cache_entries as f64,
     );
     netobs::gauge(
+        &format!("{prefix}.ite_cache_capacity"),
+        stats.ite_cache_capacity as f64,
+    );
+    netobs::gauge(
+        &format!("{prefix}.ite_cache_occupancy"),
+        stats.ite_cache_occupancy(),
+    );
+    netobs::gauge(
+        &format!("{prefix}.ite_evictions"),
+        stats.ite_evictions as f64,
+    );
+    netobs::gauge(
+        &format!("{prefix}.prob_cache_entries"),
+        stats.prob_cache_entries as f64,
+    );
+    netobs::gauge(
+        &format!("{prefix}.prob_evictions"),
+        stats.prob_evictions as f64,
+    );
+    netobs::gauge(
         &format!("{prefix}.unique_hit_rate"),
         stats.unique_hit_rate(),
     );
@@ -55,6 +75,11 @@ mod tests {
         assert!(report.gauges["bdd.nodes"] > 2.0);
         assert_eq!(report.gauges["bdd.ops.and"], 1.0);
         assert_eq!(report.gauges["bdd.ops.total"], 1.0);
+        // Bounded-cache telemetry from the complement-edge engine.
+        assert!(report.gauges["bdd.ite_cache_capacity"] >= 16.0);
+        assert!(report.gauges["bdd.ite_cache_occupancy"] >= 0.0);
+        assert_eq!(report.gauges["bdd.ite_evictions"], 0.0);
+        assert_eq!(report.gauges["bdd.prob_evictions"], 0.0);
         netobs::disable();
     }
 }

@@ -30,18 +30,27 @@ impl Bdd {
         if f.is_true() {
             return 1.0;
         }
+        self.maybe_flush_prob_cache();
         if let Some(&p) = self.prob_cache().get(&f) {
             return p;
         }
+        // The memo is keyed on the *tagged* reference and children are
+        // expanded with the parent's parity ([`Bdd::expand`]): both
+        // polarities of a shared node get their own entry. Computing on
+        // regular nodes and finishing with `1 - p` would be cheaper but
+        // numerically wrong — a 2⁻¹²⁸ sliver complemented through f64
+        // rounds `1 - p` to exactly 1.0, and the sliver vanishes on the
+        // way back. Parity expansion reproduces the sum the
+        // materialized-complement engine computed, bit for bit.
         let mut stack = vec![f];
         while let Some(&r) = stack.last() {
             if r.is_terminal() || self.prob_cache().contains_key(&r) {
                 stack.pop();
                 continue;
             }
-            let n = self.node(r);
-            let lo_p = self.lookup_prob(n.lo);
-            let hi_p = self.lookup_prob(n.hi);
+            let (lo, hi) = self.expand(r);
+            let lo_p = self.lookup_prob(lo);
+            let hi_p = self.lookup_prob(hi);
             match (lo_p, hi_p) {
                 (Some(lp), Some(hp)) => {
                     let p = 0.5 * (lp + hp);
@@ -50,10 +59,10 @@ impl Bdd {
                 }
                 _ => {
                     if lo_p.is_none() {
-                        stack.push(n.lo);
+                        stack.push(lo);
                     }
                     if hi_p.is_none() {
-                        stack.push(n.hi);
+                        stack.push(hi);
                     }
                 }
             }
@@ -89,9 +98,10 @@ impl Bdd {
         // Iterative post-order with an explicit stack, like `probability`:
         // deep diagrams (long prefix chains, unions of many rules) would
         // overflow the call stack under naive recursion. memo[r] holds the
-        // count over variables `[var(r)..nvars)`; skipped levels between a
-        // node and its children scale the child counts, and levels skipped
-        // above the root are applied at the end.
+        // count over variables `[var(r)..nvars)` for the *tagged* reference
+        // (children expanded with parity, as in `probability`); skipped
+        // levels between a node and its children scale the child counts,
+        // and levels skipped above the root are applied at the end.
         let mut memo: HashMap<Ref, u128> = HashMap::new();
         // Number of variable levels skipped between parent var `v` and
         // child `r` (exclusive of both tested levels).
@@ -111,27 +121,26 @@ impl Bdd {
                 stack.pop();
                 continue;
             }
-            let n = self.node(r);
+            let var = self.node(r).var;
             assert!(
-                n.var < nvars,
-                "sat_count: variable {} outside domain {}",
-                n.var,
-                nvars
+                var < nvars,
+                "sat_count: variable {var} outside domain {nvars}"
             );
-            let lo = lookup(&memo, n.lo);
-            let hi = lookup(&memo, n.hi);
+            let (nlo, nhi) = self.expand(r);
+            let lo = lookup(&memo, nlo);
+            let hi = lookup(&memo, nhi);
             match (lo, hi) {
                 (Some(lc), Some(hc)) => {
-                    let c = (lc << skipped(n.lo, n.var)) + (hc << skipped(n.hi, n.var));
+                    let c = (lc << skipped(nlo, var)) + (hc << skipped(nhi, var));
                     memo.insert(r, c);
                     stack.pop();
                 }
                 _ => {
                     if lo.is_none() {
-                        stack.push(n.lo);
+                        stack.push(nlo);
                     }
                     if hi.is_none() {
-                        stack.push(n.hi);
+                        stack.push(nhi);
                     }
                 }
             }

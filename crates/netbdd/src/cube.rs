@@ -58,13 +58,14 @@ impl Bdd {
         let mut literals = Vec::new();
         let mut cur = f;
         while !cur.is_terminal() {
-            let n = self.node(cur);
-            if !n.lo.is_false() {
-                literals.push((n.var, false));
-                cur = n.lo;
+            let var = self.node(cur).var;
+            let (lo, hi) = self.expand(cur);
+            if !lo.is_false() {
+                literals.push((var, false));
+                cur = lo;
             } else {
-                literals.push((n.var, true));
-                cur = n.hi;
+                literals.push((var, true));
+                cur = hi;
             }
         }
         debug_assert!(cur.is_true());
@@ -76,8 +77,9 @@ impl Bdd {
     pub fn eval(&self, f: Ref, assignment: impl Fn(Var) -> bool) -> bool {
         let mut cur = f;
         while !cur.is_terminal() {
-            let n = self.node(cur);
-            cur = if assignment(n.var) { n.hi } else { n.lo };
+            let var = self.node(cur).var;
+            let (lo, hi) = self.expand(cur);
+            cur = if assignment(var) { hi } else { lo };
         }
         cur.is_true()
     }
@@ -179,15 +181,16 @@ impl Bdd {
             });
             return;
         }
-        let n = self.node(f);
-        literals.push((n.var, false));
-        self.cubes_rec(n.lo, limit, literals, out);
+        let var = self.node(f).var;
+        let (lo, hi) = self.expand(f);
+        literals.push((var, false));
+        self.cubes_rec(lo, limit, literals, out);
         literals.pop();
         if out.len() >= limit {
             return;
         }
-        literals.push((n.var, true));
-        self.cubes_rec(n.hi, limit, literals, out);
+        literals.push((var, true));
+        self.cubes_rec(hi, limit, literals, out);
         literals.pop();
     }
 }

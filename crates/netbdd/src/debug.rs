@@ -22,7 +22,7 @@ pub struct OpCounts {
     pub or: u64,
     /// Intersections (`and`, including each pairwise step of `and_all`).
     pub and: u64,
-    /// Complements.
+    /// Complements (O(1) tag flips; counted for workload breakdowns).
     pub not: u64,
     /// Set differences.
     pub diff: u64,
@@ -44,14 +44,21 @@ impl OpCounts {
 /// Size and cache-behaviour snapshot of a manager.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
-    /// Nodes in the arena (including the two terminals).
+    /// Nodes in the arena (including the single shared terminal).
     pub nodes: usize,
-    /// Entries in the ITE computed cache.
+    /// Occupied slots in the ITE computed cache.
     pub ite_cache_entries: usize,
-    /// Entries in the negation cache.
-    pub not_cache_entries: usize,
+    /// Total slots in the ITE computed cache (fixed at manager creation;
+    /// occupancy can never exceed it).
+    pub ite_cache_capacity: usize,
+    /// ITE cache entries overwritten by a colliding insert. A high
+    /// eviction-to-lookup ratio means the cache is undersized for the
+    /// workload and work is being recomputed.
+    pub ite_evictions: u64,
     /// Entries in the probability memo.
     pub prob_cache_entries: usize,
+    /// Times the probability memo hit capacity and was flushed.
+    pub prob_evictions: u64,
     /// Cumulative unique-table lookups (one per non-trivial `mk`).
     pub unique_lookups: u64,
     /// Lookups that found an existing node (hash-consing dedup).
@@ -75,6 +82,15 @@ impl Stats {
     pub fn ite_hit_rate(&self) -> f64 {
         rate(self.ite_hits, self.ite_lookups)
     }
+
+    /// Fraction of the ITE cache's slots currently holding an entry.
+    pub fn ite_cache_occupancy(&self) -> f64 {
+        if self.ite_cache_capacity == 0 {
+            0.0
+        } else {
+            self.ite_cache_entries as f64 / self.ite_cache_capacity as f64
+        }
+    }
 }
 
 fn rate(hits: u64, lookups: u64) -> f64 {
@@ -89,12 +105,15 @@ impl Bdd {
     /// Current size statistics.
     pub fn stats(&self) -> Stats {
         let (unique_lookups, unique_hits) = self.unique_counters();
-        let (ite_lookups, ite_hits) = self.ite_counters();
+        let (ite_entries, ite_capacity, ite_lookups, ite_hits, ite_evictions) =
+            self.ite_cache_stats();
         Stats {
             nodes: self.node_count(),
-            ite_cache_entries: self.ite_cache_len(),
-            not_cache_entries: self.not_cache_len(),
+            ite_cache_entries: ite_entries,
+            ite_cache_capacity: ite_capacity,
+            ite_evictions,
             prob_cache_entries: self.prob_cache_len(),
+            prob_evictions: self.prob_evictions(),
             unique_lookups,
             unique_hits,
             ite_lookups,
@@ -103,14 +122,42 @@ impl Bdd {
         }
     }
 
-    /// Graphviz (`dot`) rendering of one function's diagram. Solid edges
-    /// are the high (1) branches, dashed edges the low (0) branches.
+    /// Graphviz (`dot`) rendering of one function's diagram.
+    ///
+    /// Complement-edge conventions: there is a single terminal box `1`
+    /// (FALSE is a complemented arc into it); dashed edges are low (0)
+    /// branches — by the canonical-form invariant these are never
+    /// complemented; solid edges are regular high (1) branches; **dotted**
+    /// edges are complemented arcs (a complemented high branch, or the
+    /// entry arc when the root reference itself is complemented). Reading
+    /// rule: crossing a dotted arc negates everything below it.
     pub fn dot(&self, f: Ref, var_name: impl Fn(u32) -> String) -> String {
         let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
-        out.push_str("  t0 [label=\"0\", shape=box];\n");
-        out.push_str("  t1 [label=\"1\", shape=box];\n");
+        out.push_str("  t [label=\"1\", shape=box];\n");
+        // Entry arc so the root's own polarity is visible.
+        out.push_str("  e [shape=point];\n");
+        let target = |r: Ref| {
+            if r.is_terminal() {
+                "t".to_string()
+            } else {
+                format!("n{}", r.index())
+            }
+        };
+        let arc_style = |r: Ref, base: &str| {
+            if r.is_complemented() {
+                "dotted".to_string()
+            } else {
+                base.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "  e -> {} [style={}];",
+            target(f),
+            arc_style(f, "solid")
+        );
         let mut seen = std::collections::HashSet::new();
-        let mut stack = vec![f];
+        let mut stack = vec![f.regular()];
         while let Some(r) = stack.pop() {
             if r.is_terminal() || !seen.insert(r) {
                 continue;
@@ -122,16 +169,15 @@ impl Bdd {
                 r.index(),
                 var_name(n.var)
             );
-            for (child, style) in [(n.lo, "dashed"), (n.hi, "solid")] {
-                let target = if child.is_false() {
-                    "t0".to_string()
-                } else if child.is_true() {
-                    "t1".to_string()
-                } else {
-                    format!("n{}", child.index())
-                };
-                let _ = writeln!(out, "  n{} -> {} [style={}];", r.index(), target, style);
-                stack.push(child);
+            for (child, base) in [(n.lo, "dashed"), (n.hi, "solid")] {
+                let _ = writeln!(
+                    out,
+                    "  n{} -> {} [style={}];",
+                    r.index(),
+                    target(child),
+                    arc_style(child, base)
+                );
+                stack.push(child.regular());
             }
         }
         out.push_str("}\n");
@@ -147,17 +193,20 @@ mod tests {
     fn stats_track_growth() {
         let mut bdd = Bdd::new();
         let s0 = bdd.stats();
-        assert_eq!(s0.nodes, 2);
+        assert_eq!(s0.nodes, 1); // the single shared terminal
         let a = bdd.var(0);
         let b = bdd.var(1);
         let _ = bdd.and(a, b);
         let s1 = bdd.stats();
         assert!(s1.nodes > s0.nodes);
         assert!(s1.ite_cache_entries >= 1);
+        assert!(s1.ite_cache_entries <= s1.ite_cache_capacity);
+        assert!(s1.ite_cache_occupancy() > 0.0);
         bdd.clear_caches();
         let s2 = bdd.stats();
         assert_eq!(s2.ite_cache_entries, 0);
         assert_eq!(s2.nodes, s1.nodes); // arena survives cache clears
+        assert_eq!(s2.ite_lookups, s1.ite_lookups); // counters survive too
     }
 
     #[test]
@@ -186,26 +235,52 @@ mod tests {
     }
 
     #[test]
-    fn dot_renders_reachable_nodes_and_terminals() {
+    fn dot_renders_reachable_nodes_and_terminal() {
         let mut bdd = Bdd::new();
         let a = bdd.var(0);
         let b = bdd.var(1);
-        let f = bdd.or(a, b);
+        let f = bdd.and(a, b);
         let dot = bdd.dot(f, |v| format!("x{v}"));
         assert!(dot.starts_with("digraph bdd {"));
         assert!(dot.contains("label=\"x0\""));
         assert!(dot.contains("label=\"x1\""));
         assert!(dot.contains("style=dashed"));
         assert!(dot.contains("style=solid"));
-        assert!(dot.contains("t1 [label=\"1\""));
+        // A conjunction's diagram necessarily carries complement arcs in
+        // this representation (FALSE is a complemented terminal arc).
+        assert!(dot.contains("style=dotted"));
+        assert!(dot.contains("t [label=\"1\""));
         assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_complement_shares_the_diagram() {
+        // ¬f renders the same nodes as f; only the entry arc differs.
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.and(a, b);
+        let nf = bdd.not(f);
+        let d1 = bdd.dot(f, |v| format!("x{v}"));
+        let d2 = bdd.dot(nf, |v| format!("x{v}"));
+        let body = |d: &str| {
+            d.lines()
+                .filter(|l| !l.contains("e ->"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(body(&d1), body(&d2));
+        assert_ne!(d1, d2, "entry arcs must differ in polarity");
     }
 
     #[test]
     fn dot_of_terminal_is_minimal() {
         let bdd = Bdd::new();
         let dot = bdd.dot(Ref::TRUE, |v| v.to_string());
-        // Only the two terminal declarations and the braces.
-        assert_eq!(dot.lines().count(), 5);
+        // Header, terminal, entry point, entry arc, closing brace.
+        assert_eq!(dot.lines().count(), 6);
+        assert!(dot.contains("e -> t [style=solid]"));
+        let dot_false = bdd.dot(Ref::FALSE, |v| v.to_string());
+        assert!(dot_false.contains("e -> t [style=dotted]"));
     }
 }

@@ -11,12 +11,18 @@
 //!
 //! ## Design
 //!
-//! * **Hash-consed ROBDD.** Nodes live in an arena owned by a [`Bdd`]
-//!   manager; a unique table guarantees that structurally equal functions
-//!   are pointer-equal, which makes equality and emptiness checks O(1).
-//! * **ITE with a computed cache.** All binary operations reduce to
-//!   if-then-else; results are memoised in a computed table, the classic
-//!   trick that makes repeated network-wide set algebra tractable.
+//! * **Hash-consed ROBDD with complement edges.** Nodes live in an arena
+//!   owned by a [`Bdd`] manager; references carry a complement tag in the
+//!   Brace–Rudell–Bryant style, so negation is a bit flip, a function and
+//!   its complement share one diagram, and there is a single terminal.
+//!   The canonical-form invariant (lo edges regular) plus a unique table
+//!   guarantees that equal functions are pointer-equal, which makes
+//!   equality, emptiness, and complement-of checks O(1).
+//! * **ITE with a bounded computed cache.** All binary operations reduce
+//!   to if-then-else; calls normalize to standard triples (argument
+//!   ordering + complement rewrites) and are memoised in a fixed-size,
+//!   direct-mapped, open-addressed computed table — bounded memory,
+//!   no rehash cliffs, evictions counted in [`Stats`].
 //! * **Handles are plain `u32` ids** ([`Ref`]); they are `Copy` and carry
 //!   no lifetime, so callers can store them in network data structures
 //!   freely as long as the owning manager stays alive.
@@ -44,6 +50,7 @@
 //! ```
 
 mod builder;
+mod cache;
 mod count;
 mod cube;
 mod debug;

@@ -1,9 +1,16 @@
 //! The BDD manager: arena, unique table, ITE engine, and set algebra.
 
+use crate::cache::{IteCache, DEFAULT_ITE_CACHE_LOG2};
 use crate::fxhash::FxHashMap;
 use crate::node::{Node, Ref, Var, TERMINAL_VAR};
 
-/// A reduced, ordered BDD manager.
+/// Entry bound on the probability memo. Like the match-set cache, the
+/// policy is full flush at capacity (between queries, never mid-query):
+/// entries are one recomputation away, while an unbounded memo on a
+/// long-lived manager can outgrow the arena itself.
+pub(crate) const PROB_CACHE_CAPACITY: usize = 1 << 18;
+
+/// A reduced, ordered BDD manager with complement edges.
 ///
 /// One manager owns an arena of hash-consed nodes and the memoisation
 /// caches for the operations over them. All functions created by a manager
@@ -11,21 +18,31 @@ use crate::node::{Node, Ref, Var, TERMINAL_VAR};
 /// managers is a logic error (but is memory-safe — it just denotes the
 /// wrong function).
 ///
+/// Nodes are stored in Brace–Rudell–Bryant complement-edge form: a
+/// [`Ref`] carries a complement tag, every stored node's lo edge is
+/// regular, and there is a single terminal. Negation is a tag flip —
+/// O(1), no arena growth, no cache traffic — and a function and its
+/// complement share all their nodes, roughly halving node residency on
+/// the negation-heavy workloads coverage computation produces
+/// (Algorithm 1 is a `diff`/`or` loop).
+///
 /// The manager is deliberately not `Sync`: coverage analysis in this
 /// project is per-network, and parallel sweeps run one manager per thread.
 pub struct Bdd {
     nodes: Vec<Node>,
     unique: FxHashMap<Node, Ref>,
-    ite_cache: FxHashMap<(Ref, Ref, Ref), Ref>,
-    not_cache: FxHashMap<Ref, Ref>,
+    ite_cache: IteCache,
     prob_cache: FxHashMap<Ref, f64>,
+    prob_evictions: u64,
+    /// Reusable memo tables for `restrict`/`exists`, recycled instead of
+    /// allocated per call (the per-call maps showed up in the fig9
+    /// profile as pure allocator traffic).
+    scratch: Vec<FxHashMap<Ref, Ref>>,
     // Cumulative lookup/hit counters (survive `clear_caches`); a worker
     // thread's hit rates tell whether its shard re-derives shared
     // structure or genuinely explores distinct state.
     unique_lookups: u64,
     unique_hits: u64,
-    ite_lookups: u64,
-    ite_hits: u64,
     ops: crate::debug::OpCounts,
 }
 
@@ -36,54 +53,73 @@ impl Default for Bdd {
 }
 
 impl Bdd {
-    /// Create an empty manager containing only the two terminals.
+    /// Create an empty manager containing only the terminal node.
     pub fn new() -> Self {
-        let terminals = vec![
-            // Index 0: FALSE, index 1: TRUE. Terminal nodes are never
-            // looked up through the unique table; their fields are inert.
-            Node {
-                var: TERMINAL_VAR,
-                lo: Ref::FALSE,
-                hi: Ref::FALSE,
-            },
-            Node {
-                var: TERMINAL_VAR,
-                lo: Ref::TRUE,
-                hi: Ref::TRUE,
-            },
-        ];
+        Self::with_ite_cache_log2(DEFAULT_ITE_CACHE_LOG2)
+    }
+
+    /// A manager whose ITE computed cache holds `2^log2` slots (the slot
+    /// array is allocated lazily, on the first cached operation). Smaller
+    /// caches trade recomputation for memory; the default suits the
+    /// fig6–fig9 workloads.
+    pub fn with_ite_cache_log2(log2: u32) -> Self {
+        let terminal = Node {
+            // The single terminal (TRUE when referenced regular; FALSE is
+            // its complement). Never looked up through the unique table;
+            // its fields are inert.
+            var: TERMINAL_VAR,
+            lo: Ref::TRUE,
+            hi: Ref::TRUE,
+        };
         Bdd {
-            nodes: terminals,
+            nodes: vec![terminal],
             unique: FxHashMap::default(),
-            ite_cache: FxHashMap::default(),
-            not_cache: FxHashMap::default(),
+            ite_cache: IteCache::new(log2),
             prob_cache: FxHashMap::default(),
+            prob_evictions: 0,
+            scratch: Vec::new(),
             unique_lookups: 0,
             unique_hits: 0,
-            ite_lookups: 0,
-            ite_hits: 0,
             ops: crate::debug::OpCounts::default(),
         }
     }
 
-    /// Number of live nodes in the arena (including the two terminals).
+    /// Number of live nodes in the arena (including the terminal). A
+    /// function and its complement share every node, so this is the
+    /// engine's true memory residency.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
 
     /// Drop all operation caches, keeping the node arena intact.
     ///
-    /// Useful between analysis phases on very large networks: the caches
-    /// can outgrow the arena itself, and every `Ref` remains valid.
+    /// Useful between analysis phases on very large networks; every `Ref`
+    /// remains valid, and the cumulative hit/eviction counters survive.
     pub fn clear_caches(&mut self) {
         self.ite_cache.clear();
-        self.not_cache.clear();
         self.prob_cache.clear();
     }
 
+    /// The stored node under `r` (complement tag ignored — the caller is
+    /// responsible for applying `r`'s parity to the children, usually via
+    /// [`Bdd::expand`]).
     #[inline]
     pub(crate) fn node(&self, r: Ref) -> Node {
         self.nodes[r.index()]
+    }
+
+    /// The Shannon children of `r` *as the function `r` denotes*: the
+    /// stored node's edges with `r`'s complement tag pushed down. This is
+    /// the one place the complement representation is unfolded; every
+    /// traversal (counting, cube extraction, export) goes through it.
+    #[inline]
+    pub(crate) fn expand(&self, r: Ref) -> (Ref, Ref) {
+        let n = self.nodes[r.index()];
+        if r.is_complemented() {
+            (n.lo.complement(), n.hi.complement())
+        } else {
+            (n.lo, n.hi)
+        }
     }
 
     /// Variable tested at the root of `r`, or `None` for terminals.
@@ -96,11 +132,25 @@ impl Bdd {
     }
 
     /// The reduced, hash-consed constructor ("mk" in the literature).
+    ///
+    /// Maintains the canonical form: if the lo edge arrives complemented,
+    /// the node is stored with both edges flipped and the complement moves
+    /// to the returned reference — so every function has exactly one
+    /// representation and equality stays a word compare.
     pub(crate) fn mk(&mut self, var: Var, lo: Ref, hi: Ref) -> Ref {
         if lo == hi {
             return lo;
         }
+        if lo.is_complemented() {
+            let r = self.mk_raw(var, lo.complement(), hi.complement());
+            return r.complement();
+        }
+        self.mk_raw(var, lo, hi)
+    }
+
+    fn mk_raw(&mut self, var: Var, lo: Ref, hi: Ref) -> Ref {
         debug_assert!(var < TERMINAL_VAR);
+        debug_assert!(!lo.is_complemented(), "lo edges must be regular");
         debug_assert!(lo.is_terminal() || self.nodes[lo.index()].var > var);
         debug_assert!(hi.is_terminal() || self.nodes[hi.index()].var > var);
         let node = Node { var, lo, hi };
@@ -109,7 +159,7 @@ impl Bdd {
             self.unique_hits += 1;
             return r;
         }
-        let r = Ref(self.nodes.len() as u32);
+        let r = Ref::pack(self.nodes.len(), false);
         self.nodes.push(node);
         self.unique.insert(node, r);
         r
@@ -136,8 +186,23 @@ impl Bdd {
         }
     }
 
+    /// Tie-break rank for ITE argument canonicalization: top variable
+    /// first (cheapest recursion leads), then arena index, ignoring
+    /// complement tags so `f` and `¬f` rank together.
+    #[inline]
+    fn rank(&self, r: Ref) -> (Var, u32) {
+        (self.nodes[r.index()].var, r.regular().0)
+    }
+
     /// If-then-else: `(f ∧ g) ∨ (¬f ∧ h)`. The workhorse every other
     /// operation reduces to.
+    ///
+    /// Before probing the computed cache, the call is normalized to a
+    /// **standard triple**: arguments equal or complementary to `f`
+    /// collapse to constants, commutative forms pick a canonical argument
+    /// order, and complement tags are rewritten so `f` and `g` are always
+    /// regular (complementing the result instead). Equivalent calls thus
+    /// share one cache entry.
     pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
         // Terminal and absorption cases.
         if f.is_true() {
@@ -146,18 +211,78 @@ impl Bdd {
         if f.is_false() {
             return h;
         }
+        let (mut f, mut g, mut h) = (f, g, h);
+        // Arguments equal/complementary to f collapse to constants:
+        // within the g branch f holds, within the h branch ¬f does.
+        if g == f {
+            g = Ref::TRUE;
+        } else if g == f.complement() {
+            g = Ref::FALSE;
+        }
+        if h == f {
+            h = Ref::FALSE;
+        } else if h == f.complement() {
+            h = Ref::TRUE;
+        }
         if g == h {
             return g;
         }
         if g.is_true() && h.is_false() {
             return f;
         }
+        if g.is_false() && h.is_true() {
+            return f.complement();
+        }
 
-        let key = (f, g, h);
-        self.ite_lookups += 1;
-        if let Some(&r) = self.ite_cache.get(&key) {
-            self.ite_hits += 1;
-            return r;
+        // Canonical argument order for the commutative forms. Each arm
+        // has exactly one non-constant pattern left (the constant pairs
+        // all returned above), so the ranks below never see a terminal.
+        if g.is_true() {
+            // f ∨ h == h ∨ f
+            if self.rank(h) < self.rank(f) {
+                std::mem::swap(&mut f, &mut h);
+            }
+        } else if h.is_false() {
+            // f ∧ g == g ∧ f
+            if self.rank(g) < self.rank(f) {
+                std::mem::swap(&mut f, &mut g);
+            }
+        } else if h.is_true() {
+            // f → g == ¬g → ¬f
+            if self.rank(g) < self.rank(f) {
+                let (nf, ng) = (f.complement(), g.complement());
+                f = ng;
+                g = nf;
+            }
+        } else if g.is_false() {
+            // ¬f ∧ h == ¬h ∧ f  (as ite: (f,0,h) == (¬h,0,¬f))
+            if self.rank(h) < self.rank(f) {
+                let (nf, nh) = (f.complement(), h.complement());
+                f = nh;
+                h = nf;
+            }
+        } else if h == g.complement() {
+            // f XNOR g is symmetric: ite(f,g,¬g) == ite(g,f,¬f)
+            if self.rank(g) < self.rank(f) {
+                std::mem::swap(&mut f, &mut g);
+                h = g.complement();
+            }
+        }
+
+        // Complement normalization: first argument regular...
+        if f.is_complemented() {
+            f = f.complement();
+            std::mem::swap(&mut g, &mut h);
+        }
+        // ...then second argument regular, complementing the result.
+        let complemented = g.is_complemented();
+        if complemented {
+            g = g.complement();
+            h = h.complement();
+        }
+
+        if let Some(r) = self.ite_cache.lookup(f, g, h) {
+            return if complemented { r.complement() } else { r };
         }
 
         let (fv, gv, hv) = (self.top_var(f), self.top_var(g), self.top_var(h));
@@ -170,8 +295,12 @@ impl Bdd {
         let lo = self.ite(f0, g0, h0);
         let hi = self.ite(f1, g1, h1);
         let r = self.mk(v, lo, hi);
-        self.ite_cache.insert(key, r);
-        r
+        self.ite_cache.insert(f, g, h, r);
+        if complemented {
+            r.complement()
+        } else {
+            r
+        }
     }
 
     #[inline]
@@ -183,9 +312,8 @@ impl Bdd {
     /// no deeper than `r`'s root variable).
     #[inline]
     fn cofactors(&self, r: Ref, v: Var) -> (Ref, Ref) {
-        let n = self.nodes[r.index()];
-        if n.var == v {
-            (n.lo, n.hi)
+        if self.nodes[r.index()].var == v {
+            self.expand(r)
         } else {
             (r, r)
         }
@@ -204,15 +332,13 @@ impl Bdd {
     }
 
     /// Set complement (`negate` in the paper's operation table).
+    ///
+    /// O(1): flips the complement tag. No arena growth, no cache probe —
+    /// the former negation cache is gone because there is nothing left to
+    /// memoise.
     pub fn not(&mut self, f: Ref) -> Ref {
         self.ops.not += 1;
-        if let Some(&r) = self.not_cache.get(&f) {
-            return r;
-        }
-        let r = self.ite(f, Ref::FALSE, Ref::TRUE);
-        self.not_cache.insert(f, r);
-        self.not_cache.insert(r, f);
-        r
+        f.complement()
     }
 
     /// Set union.
@@ -302,11 +428,26 @@ impl Bdd {
 
     // ----- restriction and quantification ----------------------------------
 
+    /// Pull a recycled memo table for a traversal (cleared before reuse
+    /// by [`Bdd::put_scratch`]).
+    fn take_scratch(&mut self) -> FxHashMap<Ref, Ref> {
+        self.scratch.pop().unwrap_or_default()
+    }
+
+    /// Return a memo table to the pool, dropping its entries but keeping
+    /// the allocation for the next `restrict`/`exists`.
+    fn put_scratch(&mut self, mut memo: FxHashMap<Ref, Ref>) {
+        memo.clear();
+        self.scratch.push(memo);
+    }
+
     /// Restrict variable `var` to the constant `value` in `f`.
     pub fn restrict(&mut self, f: Ref, var: Var, value: bool) -> Ref {
         self.ops.restrict += 1;
-        let mut memo = FxHashMap::default();
-        self.restrict_rec(f, var, value, &mut memo)
+        let mut memo = self.take_scratch();
+        let r = self.restrict_rec(f, var, value, &mut memo);
+        self.put_scratch(memo);
+        r
     }
 
     fn restrict_rec(
@@ -323,8 +464,19 @@ impl Bdd {
         if n.var > var {
             return f; // var cannot appear below this node
         }
-        if let Some(&r) = memo.get(&f) {
-            return r;
+        // Restriction commutes with complement, so the memo is keyed on
+        // the regular node and `f`'s tag is reapplied on the way out —
+        // half the entries, double the hits.
+        let reg = f.regular();
+        let apply = |r: Ref| {
+            if f.is_complemented() {
+                r.complement()
+            } else {
+                r
+            }
+        };
+        if let Some(&r) = memo.get(&reg) {
+            return apply(r);
         }
         let r = if n.var == var {
             if value {
@@ -337,8 +489,8 @@ impl Bdd {
             let hi = self.restrict_rec(n.hi, var, value, memo);
             self.mk(n.var, lo, hi)
         };
-        memo.insert(f, r);
-        r
+        memo.insert(reg, r);
+        apply(r)
     }
 
     /// Existential quantification over a set of variables: `∃ vars. f`.
@@ -347,8 +499,10 @@ impl Bdd {
     pub fn exists(&mut self, f: Ref, vars: &[Var]) -> Ref {
         self.ops.quantify += 1;
         debug_assert!(vars.windows(2).all(|w| w[0] < w[1]));
-        let mut memo = FxHashMap::default();
-        self.exists_rec(f, vars, &mut memo)
+        let mut memo = self.take_scratch();
+        let r = self.exists_rec(f, vars, &mut memo);
+        self.put_scratch(memo);
+        r
     }
 
     fn exists_rec(&mut self, f: Ref, vars: &[Var], memo: &mut FxHashMap<Ref, Ref>) -> Ref {
@@ -362,16 +516,19 @@ impl Bdd {
         if vars.is_empty() {
             return f;
         }
+        // Quantification does NOT commute with complement (∃v.¬f ≠ ¬∃v.f),
+        // so the memo key keeps the tag and children expand with parity.
         if let Some(&r) = memo.get(&f) {
             return r;
         }
+        let (flo, fhi) = self.expand(f);
         let r = if vars[0] == n.var {
-            let lo = self.exists_rec(n.lo, &vars[1..], memo);
-            let hi = self.exists_rec(n.hi, &vars[1..], memo);
+            let lo = self.exists_rec(flo, &vars[1..], memo);
+            let hi = self.exists_rec(fhi, &vars[1..], memo);
             self.or(lo, hi)
         } else {
-            let lo = self.exists_rec(n.lo, vars, memo);
-            let hi = self.exists_rec(n.hi, vars, memo);
+            let lo = self.exists_rec(flo, vars, memo);
+            let hi = self.exists_rec(fhi, vars, memo);
             self.mk(n.var, lo, hi)
         };
         memo.insert(f, r);
@@ -389,34 +546,37 @@ impl Bdd {
     pub fn support(&self, f: Ref) -> Vec<Var> {
         let mut seen = std::collections::HashSet::new();
         let mut vars = std::collections::BTreeSet::new();
-        let mut stack = vec![f];
+        let mut stack = vec![f.regular()];
         while let Some(r) = stack.pop() {
             if r.is_terminal() || !seen.insert(r) {
                 continue;
             }
             let n = self.node(r);
             vars.insert(n.var);
-            stack.push(n.lo);
-            stack.push(n.hi);
+            stack.push(n.lo.regular());
+            stack.push(n.hi.regular());
         }
         vars.into_iter().collect()
     }
 
-    /// Size (reachable node count) of a single function's diagram.
+    /// Size (reachable node count) of a single function's diagram,
+    /// counting shared arena nodes once: complement tags are ignored, so
+    /// `size(f) == size(¬f)` — they are the same nodes.
     pub fn size(&self, f: Ref) -> usize {
+        if f.is_terminal() {
+            return 1;
+        }
         let mut seen = std::collections::HashSet::new();
-        let mut stack = vec![f];
-        let mut n = 0usize;
+        let mut stack = vec![f.regular()];
+        let mut n = 1usize; // the terminal, reachable from every decision node
         while let Some(r) = stack.pop() {
-            if !seen.insert(r) {
+            if r.is_terminal() || !seen.insert(r) {
                 continue;
             }
             n += 1;
-            if !r.is_terminal() {
-                let node = self.node(r);
-                stack.push(node.lo);
-                stack.push(node.hi);
-            }
+            let node = self.node(r);
+            stack.push(node.lo.regular());
+            stack.push(node.hi.regular());
         }
         n
     }
@@ -425,24 +585,38 @@ impl Bdd {
         &mut self.prob_cache
     }
 
-    pub(crate) fn ite_cache_len(&self) -> usize {
-        self.ite_cache.len()
+    /// Flush the probability memo if it has reached capacity. Called at
+    /// the *start* of a probability query — mid-query the iterative
+    /// algorithm relies on its partial entries, so one query may
+    /// transiently overshoot the bound by its own reachable-set size.
+    pub(crate) fn maybe_flush_prob_cache(&mut self) {
+        if self.prob_cache.len() >= PROB_CACHE_CAPACITY {
+            self.prob_cache.clear();
+            self.prob_evictions += 1;
+        }
     }
 
-    pub(crate) fn not_cache_len(&self) -> usize {
-        self.not_cache.len()
+    pub(crate) fn ite_cache_stats(&self) -> (usize, usize, u64, u64, u64) {
+        let (lookups, hits, evictions) = self.ite_cache.counters();
+        (
+            self.ite_cache.occupied(),
+            self.ite_cache.capacity(),
+            lookups,
+            hits,
+            evictions,
+        )
     }
 
     pub(crate) fn prob_cache_len(&self) -> usize {
         self.prob_cache.len()
     }
 
-    pub(crate) fn unique_counters(&self) -> (u64, u64) {
-        (self.unique_lookups, self.unique_hits)
+    pub(crate) fn prob_evictions(&self) -> u64 {
+        self.prob_evictions
     }
 
-    pub(crate) fn ite_counters(&self) -> (u64, u64) {
-        (self.ite_lookups, self.ite_hits)
+    pub(crate) fn unique_counters(&self) -> (u64, u64) {
+        (self.unique_lookups, self.unique_hits)
     }
 
     pub(crate) fn op_counts(&self) -> crate::debug::OpCounts {
@@ -459,7 +633,8 @@ mod tests {
         let bdd = Bdd::new();
         assert!(bdd.empty().is_false());
         assert!(bdd.full().is_true());
-        assert_eq!(bdd.node_count(), 2);
+        // One shared terminal: FALSE is the complement of TRUE.
+        assert_eq!(bdd.node_count(), 1);
     }
 
     #[test]
@@ -467,7 +642,7 @@ mod tests {
         let mut bdd = Bdd::new();
         let r = bdd.mk(3, Ref::TRUE, Ref::TRUE);
         assert!(r.is_true());
-        assert_eq!(bdd.node_count(), 2);
+        assert_eq!(bdd.node_count(), 1);
     }
 
     #[test]
@@ -476,7 +651,35 @@ mod tests {
         let a = bdd.var(5);
         let b = bdd.var(5);
         assert_eq!(a, b);
-        assert_eq!(bdd.node_count(), 3);
+        assert_eq!(bdd.node_count(), 2);
+    }
+
+    #[test]
+    fn literal_and_its_negation_share_one_node() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(3);
+        let na = bdd.nvar(3);
+        assert_eq!(na, bdd.not(a));
+        assert_eq!(a.index(), na.index(), "one arena node for both polarities");
+        assert_eq!(bdd.node_count(), 2); // terminal + the shared node
+    }
+
+    #[test]
+    fn not_is_a_tag_flip() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.and(a, b);
+        let nodes_before = bdd.node_count();
+        let (_, _, lookups_before, _, _) = bdd.ite_cache_stats();
+        let nf = bdd.not(f);
+        // O(1): no arena growth, no cache probe.
+        assert_eq!(bdd.node_count(), nodes_before);
+        let (_, _, lookups_after, _, _) = bdd.ite_cache_stats();
+        assert_eq!(lookups_after, lookups_before);
+        assert_eq!(nf.index(), f.index());
+        assert_ne!(nf, f);
+        assert_eq!(bdd.not(nf), f);
     }
 
     #[test]
@@ -546,6 +749,25 @@ mod tests {
     }
 
     #[test]
+    fn restrict_commutes_with_complement() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let c = bdd.var(2);
+        let ab = bdd.and(a, b);
+        let f = bdd.or(ab, c);
+        let nf = bdd.not(f);
+        for (v, val) in [(0, true), (1, false), (2, true)] {
+            let r1 = bdd.restrict(nf, v, val);
+            let r2 = {
+                let r = bdd.restrict(f, v, val);
+                bdd.not(r)
+            };
+            assert_eq!(r1, r2, "restrict(¬f, {v}, {val}) == ¬restrict(f, ...)");
+        }
+    }
+
+    #[test]
     fn exists_drops_a_variable() {
         let mut bdd = Bdd::new();
         let a = bdd.var(0);
@@ -555,6 +777,18 @@ mod tests {
         assert_eq!(e, b);
         let e2 = bdd.exists(f, &[0, 1]);
         assert!(e2.is_true());
+    }
+
+    #[test]
+    fn exists_respects_polarity() {
+        // ∃ is sensitive to complement: ∃a.(a∧b) = b, but ∃a.¬(a∧b) = ⊤.
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.and(a, b);
+        let nf = bdd.not(f);
+        assert_eq!(bdd.exists(f, &[0]), b);
+        assert!(bdd.exists(nf, &[0]).is_true());
     }
 
     #[test]
@@ -577,6 +811,22 @@ mod tests {
         let f = bdd.xor(a, b);
         assert_eq!(bdd.support(f), vec![2, 7]);
         assert!(bdd.support(Ref::TRUE).is_empty());
+        // Complement shares the diagram, so also the support.
+        let nf = bdd.not(f);
+        assert_eq!(bdd.support(nf), vec![2, 7]);
+    }
+
+    #[test]
+    fn size_is_polarity_blind() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.and(a, b);
+        assert_eq!(bdd.size(f), 3); // two decision nodes + terminal
+        let nf = bdd.not(f);
+        assert_eq!(bdd.size(nf), bdd.size(f));
+        assert_eq!(bdd.size(Ref::TRUE), 1);
+        assert_eq!(bdd.size(Ref::FALSE), 1);
     }
 
     #[test]
@@ -628,6 +878,39 @@ mod tests {
     }
 
     #[test]
+    fn commutative_operations_share_cache_entries() {
+        // Standard-triple normalization: or(a, b) and or(b, a) (likewise
+        // and/xor) must land on the same computed-cache entry.
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        for op in [Bdd::or, Bdd::and, Bdd::xor] {
+            let r1 = op(&mut bdd, a, b);
+            let (_, _, _, hits_before, _) = bdd.ite_cache_stats();
+            let r2 = op(&mut bdd, b, a);
+            let (_, _, _, hits_after, _) = bdd.ite_cache_stats();
+            assert_eq!(r1, r2);
+            assert!(hits_after > hits_before, "swapped arguments must hit");
+        }
+    }
+
+    #[test]
+    fn de_morgan_duals_share_cache_entries() {
+        // ¬(a ∧ b) and ¬a ∨ ¬b normalize to the same standard triple, so
+        // the second derivation is answered from the cache.
+        let mut bdd = Bdd::new();
+        let a = bdd.var(4);
+        let b = bdd.var(9);
+        let _ = bdd.and(a, b);
+        let (_, _, _, hits_before, _) = bdd.ite_cache_stats();
+        let na = bdd.not(a);
+        let nb = bdd.not(b);
+        let _ = bdd.or(na, nb);
+        let (_, _, _, hits_after, _) = bdd.ite_cache_stats();
+        assert!(hits_after > hits_before, "dual forms must share entries");
+    }
+
+    #[test]
     fn cache_counters_record_hits() {
         let mut bdd = Bdd::new();
         let a = bdd.var(0);
@@ -646,5 +929,51 @@ mod tests {
         assert_eq!(s3.unique_hits, s2.unique_hits + 1);
         assert!(s3.unique_hit_rate() > 0.0 && s3.unique_hit_rate() <= 1.0);
         assert!(s3.ite_hit_rate() > 0.0 && s3.ite_hit_rate() <= 1.0);
+    }
+
+    #[test]
+    fn bounded_ite_cache_evicts_instead_of_growing() {
+        // A tiny cache on a workload with far more distinct calls than
+        // slots: entries stay bounded, evictions tick, results stay
+        // correct (spot-checked against a fresh default manager).
+        let mut small = Bdd::with_ite_cache_log2(4); // 16 slots
+        let mut reference = Bdd::new();
+        let mut acc_s = Ref::FALSE;
+        let mut acc_r = Ref::FALSE;
+        for v in 0..64u32 {
+            let (ls, lr) = (
+                small.literal(v, v % 3 != 0),
+                reference.literal(v, v % 3 != 0),
+            );
+            let (cs, cr) = (small.var((v + 7) % 64), reference.var((v + 7) % 64));
+            let (xs, xr) = (small.xor(ls, cs), reference.xor(lr, cr));
+            acc_s = small.or(acc_s, xs);
+            acc_r = reference.or(acc_r, xr);
+        }
+        let s = small.stats();
+        assert!(s.ite_cache_entries <= s.ite_cache_capacity);
+        assert_eq!(s.ite_cache_capacity, 16);
+        assert!(s.ite_evictions > 0, "overfull cache must evict");
+        // Same canonical function in both managers.
+        assert_eq!(small.probability(acc_s), reference.probability(acc_r));
+        assert_eq!(small.sat_count(acc_s, 64), reference.sat_count(acc_r, 64));
+    }
+
+    #[test]
+    fn prob_cache_is_capacity_bounded() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let _ = bdd.probability(a);
+        assert!(bdd.stats().prob_cache_entries >= 1);
+        // Simulate a full memo: the next query flushes before computing.
+        for i in 0..PROB_CACHE_CAPACITY {
+            bdd.prob_cache().insert(Ref::pack(i + 10_000, false), 0.0);
+        }
+        let before = bdd.stats().prob_evictions;
+        let b = bdd.var(1);
+        let _ = bdd.probability(b);
+        let s = bdd.stats();
+        assert_eq!(s.prob_evictions, before + 1);
+        assert!(s.prob_cache_entries < PROB_CACHE_CAPACITY);
     }
 }

@@ -9,18 +9,25 @@
 //! function is hash-consed into the target manager and lands on the
 //! canonical `Ref` for that function there — imports from different
 //! workers that denote the same packet set collapse to the same node.
+//!
+//! Complement edges travel in the format: each slot carries the edge's
+//! complement tag in its low bit, and there is a single terminal slot
+//! (`TRUE`; `FALSE` is the complemented terminal slot, mirroring the
+//! in-memory representation). Import goes through `mk`, which re-derives
+//! the canonical tag placement — so a snapshot whose tags were arranged
+//! differently (e.g. a future on-disk format produced by another tool)
+//! still lands on the canonical form.
 
 use crate::fxhash::FxHashMap;
 use crate::manager::Bdd;
 use crate::node::{Ref, Var};
 
-/// Child encoding inside a [`PortableBdd`]: 0 is FALSE, 1 is TRUE, and
-/// `k + 2` points at `nodes[k]`, which always precedes the referencing
-/// node (children first).
+/// Child encoding inside a [`PortableBdd`]: bit 0 is the complement tag;
+/// the remaining bits select the target — 0 for the terminal, `k + 1` for
+/// `nodes[k]`, which always precedes the referencing node (children
+/// first). Targets are stored regular; the tag is per-edge, exactly like
+/// the in-memory `Ref` (so slot 0 is TRUE and slot 1 is FALSE).
 type Slot = u32;
-
-const SLOT_FALSE: Slot = 0;
-const SLOT_TRUE: Slot = 1;
 
 /// A self-contained, manager-independent copy of one BDD function.
 ///
@@ -28,13 +35,15 @@ const SLOT_TRUE: Slot = 1;
 /// the scope boundary, import it into another.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PortableBdd {
-    /// `(var, lo, hi)` triples in children-first order.
+    /// `(var, lo, hi)` triples in children-first order. `lo` slots are
+    /// always regular (the exporter's manager maintains the canonical
+    /// form); `hi` and the root may carry the complement bit.
     nodes: Vec<(Var, Slot, Slot)>,
     root: Slot,
 }
 
 impl PortableBdd {
-    /// Number of decision nodes in the snapshot (terminals excluded).
+    /// Number of decision nodes in the snapshot (the terminal excluded).
     pub fn len(&self) -> usize {
         self.nodes.len()
     }
@@ -48,22 +57,25 @@ impl PortableBdd {
 impl Bdd {
     /// Snapshot the function `f` into a manager-independent form.
     pub fn export(&self, f: Ref) -> PortableBdd {
-        // Iterative post-order: a node is emitted only after both
-        // children, so slots always point backwards.
+        // Iterative post-order over *regular* nodes (a node and its
+        // complement are one arena entry and one snapshot entry); a node
+        // is emitted only after both children, so slots always point
+        // backwards.
         let mut slot_of: FxHashMap<Ref, Slot> = FxHashMap::default();
         let mut nodes: Vec<(Var, Slot, Slot)> = Vec::new();
         let slot = |slots: &FxHashMap<Ref, Slot>, r: Ref| -> Slot {
-            match r {
-                Ref::FALSE => SLOT_FALSE,
-                Ref::TRUE => SLOT_TRUE,
-                _ => slots[&r],
+            let tag = r.is_complemented() as Slot;
+            if r.is_terminal() {
+                tag // SLOT_TRUE or SLOT_FALSE
+            } else {
+                slots[&r.regular()] | tag
             }
         };
         enum Frame {
             Enter(Ref),
             Emit(Ref),
         }
-        let mut stack = vec![Frame::Enter(f)];
+        let mut stack = vec![Frame::Enter(f.regular())];
         while let Some(frame) = stack.pop() {
             match frame {
                 Frame::Enter(r) => {
@@ -72,8 +84,8 @@ impl Bdd {
                     }
                     let n = self.node(r);
                     stack.push(Frame::Emit(r));
-                    stack.push(Frame::Enter(n.hi));
-                    stack.push(Frame::Enter(n.lo));
+                    stack.push(Frame::Enter(n.hi.regular()));
+                    stack.push(Frame::Enter(n.lo.regular()));
                 }
                 Frame::Emit(r) => {
                     if slot_of.contains_key(&r) {
@@ -81,7 +93,7 @@ impl Bdd {
                     }
                     let n = self.node(r);
                     nodes.push((n.var, slot(&slot_of, n.lo), slot(&slot_of, n.hi)));
-                    slot_of.insert(r, (nodes.len() - 1) as Slot + 2);
+                    slot_of.insert(r, (nodes.len() as Slot) << 1);
                 }
             }
         }
@@ -97,10 +109,14 @@ impl Bdd {
     pub fn import(&mut self, p: &PortableBdd) -> Ref {
         let mut refs: Vec<Ref> = Vec::with_capacity(p.nodes.len());
         let resolve = |refs: &[Ref], s: Slot| -> Ref {
-            match s {
-                SLOT_FALSE => Ref::FALSE,
-                SLOT_TRUE => Ref::TRUE,
-                _ => refs[s as usize - 2],
+            let base = match s >> 1 {
+                0 => Ref::TRUE,
+                k => refs[k as usize - 1],
+            };
+            if s & 1 == 1 {
+                base.complement()
+            } else {
+                base
             }
         };
         for &(var, lo, hi) in &p.nodes {
@@ -141,11 +157,36 @@ mod tests {
     }
 
     #[test]
+    fn complement_roundtrips_as_the_same_nodes() {
+        // ¬f shares f's diagram, so its export has the same node list;
+        // only the root slot's tag differs, and both import exactly.
+        let mut bdd = Bdd::new();
+        let f = sample(&mut bdd);
+        let nf = bdd.not(f);
+        let p = bdd.export(f);
+        let pn = bdd.export(nf);
+        assert_eq!(p.nodes, pn.nodes);
+        assert_eq!(p.root ^ 1, pn.root);
+        assert_eq!(bdd.import(&pn), nf);
+    }
+
+    #[test]
     fn export_len_matches_function_size() {
         let mut bdd = Bdd::new();
         let f = sample(&mut bdd);
-        // size() counts terminals too.
-        assert_eq!(bdd.export(f).len() + 2, bdd.size(f));
+        // size() counts the shared terminal too.
+        assert_eq!(bdd.export(f).len() + 1, bdd.size(f));
+    }
+
+    #[test]
+    fn lo_slots_are_regular_in_exports() {
+        let mut bdd = Bdd::new();
+        let f = sample(&mut bdd);
+        let p = bdd.export(f);
+        assert!(!p.is_empty());
+        for &(_, lo, _) in &p.nodes {
+            assert_eq!(lo & 1, 0, "canonical form: lo edges are regular");
+        }
     }
 
     #[test]

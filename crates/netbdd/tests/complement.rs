@@ -1,0 +1,190 @@
+//! Complement-edge representation tests: negation-heavy differentials
+//! against the counting oracle, portable round-trips of complemented
+//! edges, and a `dot` snapshot of the complement-arc rendering.
+//!
+//! The general algebra differentials live in `differential.rs`; this
+//! suite deliberately skews toward the operations the complement-edge
+//! rewrite changed most — `not`, `diff`, and anything whose diagram is
+//! reached through a complemented reference.
+
+use netbdd::{Bdd, Ref};
+use oracle::{PacketSet, ToySpace};
+use proptest::prelude::*;
+
+/// 4-bit dst + 1-bit src + 1-bit proto = 6 variables, 64 packets.
+fn space() -> ToySpace {
+    ToySpace::new(4, 1, 1)
+}
+
+const NVARS: u32 = 6;
+
+/// Negation-heavy expression language: `Not` and `Diff` dominate, so
+/// almost every intermediate diagram is reached through a complemented
+/// reference and the parity-expansion paths (counting, cubes, export)
+/// get exercised on tagged roots, not just regular ones.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    Diff(Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+fn arb_negation_heavy() -> impl Strategy<Value = Expr> {
+    let leaf = (0..NVARS).prop_map(Expr::Var);
+    // Weights are expressed by repetition (the uniform one-of picks each
+    // listed strategy equally often): 4 parts Not, 3 parts Diff, 1 part
+    // each of And/Or/Xor.
+    leaf.prop_recursive(6, 96, 2, |inner| {
+        let not = || inner.clone().prop_map(|e| Expr::Not(Box::new(e)));
+        let diff = || {
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Diff(Box::new(a), Box::new(b)))
+        };
+        prop_oneof![
+            not(),
+            not(),
+            not(),
+            not(),
+            diff(),
+            diff(),
+            diff(),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(bdd: &mut Bdd, s: &ToySpace, e: &Expr) -> (Ref, PacketSet) {
+    match e {
+        Expr::Var(v) => (bdd.var(*v), PacketSet::literal(s, *v, true)),
+        Expr::Not(a) => {
+            let (fa, sa) = build(bdd, s, a);
+            (bdd.not(fa), sa.not(s))
+        }
+        Expr::Diff(a, b) => {
+            let ((fa, sa), (fb, sb)) = (build(bdd, s, a), build(bdd, s, b));
+            (bdd.diff(fa, fb), sa.diff(&sb))
+        }
+        Expr::And(a, b) => {
+            let ((fa, sa), (fb, sb)) = (build(bdd, s, a), build(bdd, s, b));
+            (bdd.and(fa, fb), sa.and(&sb))
+        }
+        Expr::Or(a, b) => {
+            let ((fa, sa), (fb, sb)) = (build(bdd, s, a), build(bdd, s, b));
+            (bdd.or(fa, fb), sa.or(&sb))
+        }
+        Expr::Xor(a, b) => {
+            let ((fa, sa), (fb, sb)) = (build(bdd, s, a), build(bdd, s, b));
+            (bdd.xor(fa, fb), sa.xor(&sb))
+        }
+    }
+}
+
+proptest! {
+    /// Negation-dominated compositions count exactly like the extensional
+    /// oracle: membership packet-by-packet, `sat_count` exactly, and
+    /// `probability` to within float equality of the count ratio.
+    #[test]
+    fn negation_heavy_counting_matches_oracle(e in arb_negation_heavy()) {
+        let s = space();
+        let mut bdd = Bdd::new();
+        let (f, set) = build(&mut bdd, &s, &e);
+        for p in s.packets() {
+            prop_assert_eq!(
+                bdd.eval(f, |v| s.bit(p, v)),
+                set.contains(p),
+                "packet {:#x} diverges",
+                p
+            );
+        }
+        prop_assert_eq!(bdd.sat_count(f, NVARS), set.sat_count());
+        let by_count = set.sat_count() as f64 / (1u64 << NVARS) as f64;
+        prop_assert!((bdd.probability(f) - by_count).abs() < 1e-12);
+        // Complement counts are exact complements of each other.
+        let nf = bdd.not(f);
+        prop_assert_eq!(
+            bdd.sat_count(nf, NVARS),
+            (1u128 << NVARS) - set.sat_count()
+        );
+    }
+
+    /// `not` is O(1): it never allocates nodes and never touches the
+    /// computed cache, no matter what it negates.
+    #[test]
+    fn not_never_grows_the_arena(e in arb_negation_heavy()) {
+        let s = space();
+        let mut bdd = Bdd::new();
+        let (f, _) = build(&mut bdd, &s, &e);
+        let nodes = bdd.node_count();
+        let lookups = bdd.stats().ite_lookups;
+        let nf = bdd.not(f);
+        let nnf = bdd.not(nf);
+        prop_assert_eq!(bdd.node_count(), nodes);
+        prop_assert_eq!(bdd.stats().ite_lookups, lookups);
+        prop_assert_eq!(nnf, f);
+    }
+
+    /// Snapshots carrying complemented edges import into a *fresh*
+    /// manager (different allocation history) with identical semantics:
+    /// same `sat_count`, same `probability`, and the imported complement
+    /// is exactly the complement of the imported function.
+    #[test]
+    fn complemented_export_reimports_identically(e in arb_negation_heavy()) {
+        let s = space();
+        let mut src = Bdd::new();
+        let (f, _) = build(&mut src, &s, &e);
+        let nf = src.not(f);
+        let p = src.export(f);
+        let pn = src.export(nf);
+
+        let mut dst = Bdd::new();
+        // Different allocation history so raw indices cannot line up.
+        let _noise = {
+            let x = dst.var(3);
+            let y = dst.nvar(5);
+            dst.xor(x, y)
+        };
+        let g = dst.import(&p);
+        let gn = dst.import(&pn);
+        prop_assert_eq!(gn, dst.not(g), "imported complement stays a complement");
+        prop_assert_eq!(dst.sat_count(g, NVARS), src.sat_count(f, NVARS));
+        prop_assert_eq!(dst.sat_count(gn, NVARS), src.sat_count(nf, NVARS));
+        prop_assert_eq!(dst.probability(g), src.probability(f));
+        prop_assert_eq!(dst.probability(gn), src.probability(nf));
+        // Both diagrams share nodes in the destination too.
+        prop_assert_eq!(dst.size(g), dst.size(gn));
+    }
+}
+
+/// Exact `dot` snapshot of `x0 ∧ x1` in a fresh manager. The rendering
+/// conventions under test: a single terminal box `1`, a dotted entry arc
+/// (a conjunction is stored as the complement of its De Morgan dual, so
+/// the root reference is complemented), dashed regular low edges, a solid
+/// regular high edge, and a dotted complemented high arc into the
+/// terminal standing for FALSE.
+#[test]
+fn dot_snapshot_shows_complement_arcs() {
+    let mut bdd = Bdd::new();
+    let a = bdd.var(0);
+    let b = bdd.var(1);
+    let f = bdd.and(a, b);
+    let dot = bdd.dot(f, |v| format!("x{v}"));
+    let expected = "\
+digraph bdd {
+  rankdir=TB;
+  t [label=\"1\", shape=box];
+  e [shape=point];
+  e -> n3 [style=dotted];
+  n3 [label=\"x0\", shape=circle];
+  n3 -> t [style=dashed];
+  n3 -> n2 [style=solid];
+  n2 [label=\"x1\", shape=circle];
+  n2 -> t [style=dashed];
+  n2 -> t [style=dotted];
+}
+";
+    assert_eq!(dot, expected);
+}

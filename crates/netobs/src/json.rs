@@ -56,6 +56,16 @@ impl Json {
             _ => None,
         }
     }
+
+    /// An object's members in document order (empty for non-objects).
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &Json)> {
+        match self {
+            Json::Obj(members) => members.as_slice(),
+            _ => &[],
+        }
+        .iter()
+        .map(|(k, v)| (k.as_str(), v))
+    }
 }
 
 /// Parse a complete JSON document.
