@@ -114,8 +114,10 @@ fn main() -> ExitCode {
     }
     if regressions > 0 {
         eprintln!(
-            "benchdiff: {regressions} gated metric(s) regressed beyond {:.0}%",
-            tolerance * 100.0
+            "benchdiff: {regressions} gated metric(s) regressed beyond {:.0}% \
+             (baseline: {})",
+            tolerance * 100.0,
+            files[0]
         );
         ExitCode::from(1)
     } else {

@@ -1,0 +1,292 @@
+//! Mutation study: does coverage predict bug detection?
+//!
+//! The experiment behind the paper's central claim. Build a fat-tree,
+//! install bogon-filter ACLs (drop TCP/23 toward TEST-NET-1,
+//! `192.0.2.0/24`) on every core — rules the §8 suite never exercises,
+//! because every behavioural test targets the `10.x` ToR prefixes — then
+//! generate seeded mutants across the whole dataplane, re-run the suite
+//! against each, and split the kill rate by whether the mutated rules sat
+//! inside the suite's Algorithm-1 covered sets. Covered mutants should
+//! die; uncovered ones (the core ACLs — §2's Azure incident in
+//! miniature) should survive. Add `--acl-tests` to extend the suite with
+//! `AclEntryCheck` state inspections of those same ACLs and watch the
+//! survivors move to the covered side and die.
+//!
+//! Usage: `cargo run -p bench --bin mutation_report --release -- \
+//!            [--k N] [--threads N] [--seed S] [--cap N] [--acl-tests] \
+//!            [--no-verify] [--json] [--trace out.json]`
+//!
+//! `--json` writes `BENCH_mutation.json` (benchdiff-compatible: gated
+//! `metrics`, informational `info`). Unless `--no-verify` is given, the
+//! run re-evaluates every mutant at 1, 2, and 4 threads and asserts the
+//! outcome vectors — and therefore the surviving-mutant list — are
+//! bit-identical.
+
+use bench::{arg_flag, arg_present, fattree_info, figures_dir, time_it};
+use mutate::{cross_reference, evaluate, generate, MutationConfig, MutationReport, Operator};
+use netbdd::Bdd;
+use netmodel::MatchSets;
+use testsuite::{acl_entry_jobs, fattree_suite_jobs, run_job, SuiteVerdict};
+use topogen::acl::{install_acl, AclEntry};
+use topogen::{fattree, FatTreeParams};
+use yardstick::{CoveredSets, Tracker};
+
+/// The port the bogon filters block. Port 23 keeps the Figure-2 flavour
+/// ("block packets to port 23").
+const BOGON_PORT: u16 = 23;
+
+fn main() {
+    let trace = bench::trace_arg();
+    let k = arg_flag("--k", 4) as u32;
+    let threads = arg_flag("--threads", 4) as usize;
+    let seed = arg_flag("--seed", 0xC0FFEE);
+    let cap = arg_flag("--cap", 12) as usize;
+    let acl_tests = arg_present("--acl-tests");
+    let verify = !arg_present("--no-verify");
+
+    println!("== mutation study: coverage vs. kill rate (fat-tree k={k}) ==");
+
+    // The network under test: the §8 fat-tree plus one bogon-filter ACL
+    // entry per core router.
+    let mut ft = fattree(FatTreeParams::paper(k));
+    let bogon: netmodel::Prefix = "192.0.2.0/24".parse().unwrap();
+    let cores = ft.cores.clone();
+    for &core in &cores {
+        install_acl(
+            &mut ft.net,
+            core,
+            &[AclEntry::block_tcp_port_to(bogon, BOGON_PORT)],
+        );
+    }
+    let info = fattree_info(&ft);
+    let mut jobs = fattree_suite_jobs(&ft.net, &info, seed);
+    if acl_tests {
+        jobs.extend(acl_entry_jobs(&cores, BOGON_PORT));
+    }
+    println!(
+        "   suite: {} jobs ({}), {} core bogon filters installed",
+        jobs.len(),
+        if acl_tests {
+            "with AclEntryCheck"
+        } else {
+            "behavioural only"
+        },
+        cores.len()
+    );
+
+    // Baseline: the suite must be green on the unmutated network, and its
+    // tracked trace yields the covered sets every mutant is judged
+    // against.
+    let mut bdd = Bdd::new();
+    let ms = MatchSets::compute(&ft.net, &mut bdd);
+    let mut tracker = Tracker::new();
+    let (baseline, baseline_t) = time_it(|| {
+        let mut verdict = SuiteVerdict::new();
+        for job in &jobs {
+            let report = run_job(&mut bdd, &ft.net, &ms, &info, &mut tracker, job);
+            verdict.record(&report);
+        }
+        verdict
+    });
+    assert!(
+        baseline.passed(),
+        "baseline suite must pass before mutation means anything; failed: {:?}",
+        baseline.failed_tests()
+    );
+    let trace_data = tracker.into_trace();
+    let covered = CoveredSets::compute(&ft.net, &ms, &trace_data, &mut bdd);
+
+    // Generate, evaluate, cross-reference.
+    let cfg = MutationConfig {
+        seed,
+        per_op_cap: cap,
+    };
+    let (mutants, generate_t) = time_it(|| generate(&ft.net, &cfg));
+    println!(
+        "   {} mutants generated (cap {} per operator, seed {seed:#x})",
+        mutants.len(),
+        cap
+    );
+    let (outcomes, evaluate_t) = time_it(|| evaluate(&ft.net, &info, &jobs, &mutants, threads));
+    let report = cross_reference(seed, &covered, &mutants, &outcomes);
+
+    if verify {
+        for n in [1usize, 2, 4] {
+            if n == threads {
+                continue;
+            }
+            let again = evaluate(&ft.net, &info, &jobs, &mutants, n);
+            assert_eq!(outcomes.len(), again.len());
+            for (a, b) in outcomes.iter().zip(&again) {
+                assert!(
+                    a.id == b.id
+                        && a.equivalent == b.equivalent
+                        && a.killed == b.killed
+                        && a.failed_tests == b.failed_tests,
+                    "outcome for mutant {} differs between {threads} and {n} threads",
+                    a.id
+                );
+            }
+        }
+        println!("   outcomes bit-identical across 1/2/4 threads");
+    }
+
+    print_report(&report);
+    println!(
+        "\n   baseline {:.3}s | generate {:.3}s | evaluate {:.3}s ({} threads)",
+        baseline_t.as_secs_f64(),
+        generate_t.as_secs_f64(),
+        evaluate_t.as_secs_f64(),
+        threads
+    );
+
+    if arg_present("--json") {
+        let json = to_json(
+            &report,
+            k,
+            threads,
+            acl_tests,
+            jobs.len(),
+            baseline_t.as_secs_f64(),
+            evaluate_t.as_secs_f64(),
+        );
+        let path = figures_dir().join("BENCH_mutation.json");
+        std::fs::write(&path, json).expect("write BENCH_mutation.json");
+        println!("  [json] {}", path.display());
+    }
+    if let Some(path) = trace {
+        bench::write_trace(&path);
+    }
+}
+
+fn rate(split: &mutate::CoverageSplit) -> String {
+    match split.kill_rate() {
+        Some(r) => format!("{:.0}%", r * 100.0),
+        None => "n/a".to_string(),
+    }
+}
+
+fn print_report(report: &MutationReport) {
+    println!(
+        "\n{:<18} {:>9} {:>10} {:>7} {:>9}",
+        "operator", "generated", "equivalent", "killed", "survived"
+    );
+    for s in &report.per_op {
+        println!(
+            "{:<18} {:>9} {:>10} {:>7} {:>9}",
+            s.op.name(),
+            s.generated,
+            s.equivalent,
+            s.killed,
+            s.survived
+        );
+    }
+    println!(
+        "\n   covered mutants:   {:>3} killed / {:>3}  ({})",
+        report.covered.killed,
+        report.covered.total,
+        rate(&report.covered)
+    );
+    println!(
+        "   uncovered mutants: {:>3} killed / {:>3}  ({})",
+        report.uncovered.killed,
+        report.uncovered.total,
+        rate(&report.uncovered)
+    );
+    if report.surviving.is_empty() {
+        println!("   no survivors");
+    } else {
+        println!("   surviving mutant ids: {:?}", report.surviving);
+    }
+    println!("   kills per test:");
+    for (name, kills) in &report.test_kills {
+        println!("     {name:<24} {kills}");
+    }
+}
+
+/// Benchdiff-compatible JSON: `metrics` gate (smaller is better), `info`
+/// carries the study's actual findings.
+#[allow(clippy::too_many_arguments)]
+fn to_json(
+    report: &MutationReport,
+    k: u32,
+    threads: usize,
+    acl_tests: bool,
+    jobs: usize,
+    baseline_secs: f64,
+    evaluate_secs: f64,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"mutation_report\",\n");
+    out.push_str(&format!("  \"workload\": \"fattree-k{k}\",\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"seed\": {},\n", report.seed));
+    out.push_str(&format!("  \"acl_tests\": {acl_tests},\n"));
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str("  \"metrics\": {\n");
+    out.push_str(&format!(
+        "    \"baseline_suite_secs\": {baseline_secs:.6},\n"
+    ));
+    out.push_str(&format!("    \"evaluate_secs\": {evaluate_secs:.6},\n"));
+    out.push_str(&format!(
+        "    \"surviving_mutants\": {}\n",
+        report.surviving.len()
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"info\": {\n");
+    out.push_str(&format!("    \"mutants\": {},\n", report.generated()));
+    out.push_str(&format!("    \"equivalent\": {},\n", report.equivalent()));
+    out.push_str("    \"per_op\": [\n");
+    for (i, s) in report.per_op.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"op\": \"{}\", \"generated\": {}, \"equivalent\": {}, \
+             \"killed\": {}, \"survived\": {}}}{}\n",
+            s.op.name(),
+            s.generated,
+            s.equivalent,
+            s.killed,
+            s.survived,
+            if i + 1 < report.per_op.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ],\n");
+    for (label, split) in [
+        ("covered", &report.covered),
+        ("uncovered", &report.uncovered),
+    ] {
+        out.push_str(&format!(
+            "    \"{label}\": {{\"total\": {}, \"killed\": {}, \"kill_rate\": {}}},\n",
+            split.total,
+            split.killed,
+            split
+                .kill_rate()
+                .map(|r| format!("{r:.4}"))
+                .unwrap_or_else(|| "null".to_string())
+        ));
+    }
+    out.push_str(&format!(
+        "    \"surviving_ids\": [{}],\n",
+        report
+            .surviving
+            .iter()
+            .map(|id| id.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str("    \"test_kills\": [\n");
+    for (i, (name, kills)) in report.test_kills.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"test\": \"{name}\", \"kills\": {kills}}}{}\n",
+            if i + 1 < report.test_kills.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("    ],\n");
+    out.push_str(&format!("    \"operators\": {}\n", Operator::ALL.len()));
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}

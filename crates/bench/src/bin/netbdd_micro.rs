@@ -17,16 +17,7 @@
 use std::time::Instant;
 
 use netbdd::{Bdd, Ref};
-
-/// Deterministic 64-bit mixer (same generator the test suites use for
-/// reproducible sampling).
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+use yardstick::rng::splitmix64;
 
 /// Header layout of the synthetic workload: a 32-bit dst field, a 16-bit
 /// port field, and an 8-bit tos field — 56 variables, the same order of

@@ -14,6 +14,30 @@ use crate::framework::Aggregator;
 use crate::trace::CoverageTrace;
 
 /// Phase-2 coverage analyzer bound to one network snapshot and one trace.
+///
+/// # Examples
+///
+/// ```
+/// use netbdd::Bdd;
+/// use netmodel::MatchSets;
+/// use yardstick::{Analyzer, Tracker};
+/// # use netmodel::{Network, Prefix, Role, rule::{Rule, RouteClass}, topology::Topology};
+/// # let mut topo = Topology::new();
+/// # let d = topo.add_device("r1", Role::Tor);
+/// # let h = topo.add_iface(d, "hosts", netmodel::IfaceKind::Host);
+/// # let mut net = Network::new(topo);
+/// # net.add_rule(d, Rule::forward(Prefix::v4_default(), vec![h], RouteClass::StaticDefault));
+/// # net.finalize();
+/// let mut bdd = Bdd::new();
+/// let mut tracker = Tracker::new();
+/// // A state-inspection test reports the one rule it checked ...
+/// tracker.mark_rule(net.rules().next().unwrap().0);
+///
+/// // ... and phase 2 turns the trace into metrics.
+/// let ms = MatchSets::compute(&net, &mut bdd);
+/// let analyzer = Analyzer::new(&net, &ms, tracker.trace(), &mut bdd);
+/// assert_eq!(analyzer.device_coverage(&mut bdd, d), Some(1.0));
+/// ```
 pub struct Analyzer<'a> {
     net: &'a Network,
     ms: &'a MatchSets,
@@ -59,18 +83,22 @@ impl<'a> Analyzer<'a> {
         }
     }
 
+    /// The network under analysis.
     pub fn network(&self) -> &'a Network {
         self.net
     }
 
+    /// The network's disjoint match sets.
     pub fn match_sets(&self) -> &'a MatchSets {
         self.ms
     }
 
+    /// The Algorithm-1 covered sets computed from the trace.
     pub fn covered_sets(&self) -> &CoveredSets {
         &self.covered
     }
 
+    /// The coverage trace the analyzer was built from.
     pub fn trace(&self) -> &'a CoverageTrace {
         self.trace
     }
@@ -299,10 +327,15 @@ impl<'a> Analyzer<'a> {
 /// Figure 6).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RoleMetrics {
+    /// The router role the metrics are aggregated over.
     pub role: Role,
+    /// Mean fractional device coverage (`None` if the role is absent).
     pub device_fractional: Option<f64>,
+    /// Mean fractional incoming-interface coverage.
     pub iface_fractional: Option<f64>,
+    /// Mean fractional rule coverage.
     pub rule_fractional: Option<f64>,
+    /// Mean probability-weighted rule coverage.
     pub rule_weighted: Option<f64>,
 }
 

@@ -27,7 +27,9 @@ use crate::analyzer::Analyzer;
 /// One atomic testable unit: rule `r` exercised by packet `p`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Atu {
+    /// The rule being exercised.
     pub rule: RuleId,
+    /// The concrete packet exercising it.
     pub packet: Packet,
 }
 

@@ -172,6 +172,13 @@ impl CoveredSets {
     pub fn is_exercised(&self, id: RuleId) -> bool {
         !self.get(id).is_false()
     }
+
+    /// Whether any of the given rules was exercised — the cross-reference
+    /// a mutation study needs: a mutant sits in covered territory iff some
+    /// rule it perturbs has a non-empty covered set.
+    pub fn any_exercised(&self, ids: impl IntoIterator<Item = RuleId>) -> bool {
+        ids.into_iter().any(|id| self.is_exercised(id))
+    }
 }
 
 #[cfg(test)]

@@ -21,7 +21,9 @@ use crate::pathcov::path_guard;
 /// A flow: where its packets enter and which headers belong to it.
 #[derive(Clone, Copy, Debug)]
 pub struct Flow {
+    /// Where the flow's packets enter the network.
     pub start: Location,
+    /// The header space belonging to the flow.
     pub headers: Ref,
 }
 

@@ -107,8 +107,11 @@ impl Aggregator {
 /// A component's coverage specification `(κ, µ, G)`.
 #[derive(Clone, Debug)]
 pub struct ComponentSpec {
+    /// The guarded strings κ enumerates for this component.
     pub strings: Vec<GuardedString>,
+    /// The measure µ applied to each string's covered portion.
     pub measure: Measure,
+    /// The combinator G folding per-string measures into one number.
     pub combinator: Combinator,
 }
 

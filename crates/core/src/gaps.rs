@@ -21,8 +21,11 @@ use crate::analyzer::Analyzer;
 /// One under-covered rule with its untested space described.
 #[derive(Clone, Debug)]
 pub struct GapEntry {
+    /// The under-covered rule.
     pub rule: RuleId,
+    /// Human-readable name of the rule's device.
     pub device_name: String,
+    /// The rule's route class (§7.2 phrases gaps in these terms).
     pub class: RouteClass,
     /// The rule's current coverage in `[0, 1)`.
     pub coverage: f64,
@@ -63,6 +66,7 @@ impl fmt::Display for GapEntry {
 /// A ranked list of testing gaps.
 #[derive(Clone, Debug, Default)]
 pub struct GapReport {
+    /// Gap entries, sorted by descending untested weight.
     pub entries: Vec<GapEntry>,
     /// Number of under-covered rules beyond the report limit.
     pub omitted: usize,

@@ -57,6 +57,8 @@
 //! assert_eq!(cov, 1.0); // the device's only rule is fully covered
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod analyzer;
 pub mod atu;
 pub mod components;
@@ -68,6 +70,7 @@ pub mod obs;
 pub mod parallel;
 pub mod pathcov;
 pub mod report;
+pub mod rng;
 pub mod trace;
 pub mod tracker;
 

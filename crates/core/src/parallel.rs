@@ -44,6 +44,23 @@ pub struct WorkerReport {
 }
 
 /// Runs coverage jobs across worker threads, one private manager each.
+///
+/// # Examples
+///
+/// The sharding itself is exposed as [`ParallelRunner::chunk_ranges`]:
+/// a deterministic balanced partition, so any worker count yields the
+/// same job-to-range assignment on every run.
+///
+/// ```
+/// use yardstick::ParallelRunner;
+///
+/// let runner = ParallelRunner::new(3);
+/// assert_eq!(runner.threads(), 3);
+/// assert_eq!(
+///     ParallelRunner::chunk_ranges(10, 3),
+///     vec![0..4, 4..7, 7..10],
+/// );
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct ParallelRunner {
     threads: usize,
@@ -56,6 +73,7 @@ impl ParallelRunner {
         ParallelRunner { threads }
     }
 
+    /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
     }

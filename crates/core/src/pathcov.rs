@@ -130,10 +130,15 @@ pub fn path_coverage(
 /// the counts needed for that check.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PathUniverseDigest {
+    /// Total enumerated paths.
     pub paths: u64,
+    /// Paths ending in a delivery.
     pub delivered: u64,
+    /// Paths leaving via an external interface.
     pub exited: u64,
+    /// Paths ending at an explicit drop.
     pub dropped: u64,
+    /// Paths whose final device matched no rule.
     pub unmatched: u64,
 }
 

@@ -16,14 +16,18 @@ use crate::analyzer::{Analyzer, RoleMetrics};
 /// One row of the report (one router role).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ReportRow {
+    /// The role's aggregated coverage metrics.
     pub metrics: RoleMetrics,
+    /// Number of devices with this role.
     pub devices: usize,
+    /// Total rules installed on those devices.
     pub rules: usize,
 }
 
 /// A per-role coverage report.
 #[derive(Clone, Debug)]
 pub struct CoverageReport {
+    /// One row per router role present in the network.
     pub rows: Vec<ReportRow>,
     /// Network-wide metrics (all roles together).
     pub overall: RoleMetricsOverall,
@@ -32,9 +36,13 @@ pub struct CoverageReport {
 /// Network-wide aggregate metrics.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RoleMetricsOverall {
+    /// Mean fractional device coverage over all devices.
     pub device_fractional: Option<f64>,
+    /// Mean fractional incoming-interface coverage.
     pub iface_fractional: Option<f64>,
+    /// Mean fractional rule coverage.
     pub rule_fractional: Option<f64>,
+    /// Mean probability-weighted rule coverage.
     pub rule_weighted: Option<f64>,
 }
 
@@ -253,9 +261,13 @@ mod tests {
 /// untested rules: internal, connected, wide-area, ...).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ClassRow {
+    /// The route class this row aggregates.
     pub class: netmodel::RouteClass,
+    /// Number of rules in the class.
     pub rules: usize,
+    /// Mean fractional rule coverage over the class.
     pub rule_fractional: Option<f64>,
+    /// Mean probability-weighted rule coverage over the class.
     pub rule_weighted: Option<f64>,
 }
 
@@ -263,6 +275,7 @@ pub struct ClassRow {
 /// study's three testing gaps.
 #[derive(Clone, Debug)]
 pub struct ClassReport {
+    /// One row per route class present in the network.
     pub rows: Vec<ClassRow>,
 }
 

@@ -23,6 +23,7 @@ pub struct CoverageTrace {
 }
 
 impl CoverageTrace {
+    /// An empty trace.
     pub fn new() -> CoverageTrace {
         CoverageTrace::default()
     }

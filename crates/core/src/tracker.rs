@@ -58,6 +58,7 @@ impl Tracker {
         }
     }
 
+    /// Whether mark calls are being recorded.
     pub fn is_enabled(&self) -> bool {
         self.enabled
     }

@@ -74,6 +74,7 @@ fn action_key(a: &Action) -> ActionKey {
 /// The change at one device.
 #[derive(Clone, Debug)]
 pub struct DeviceDiff {
+    /// The device whose behaviour changed.
     pub device: DeviceId,
     /// Packets whose behaviour at this device differs (including packets
     /// only one snapshot has any rule for).
@@ -137,6 +138,19 @@ pub fn semantic_diff(
         }
     }
     out
+}
+
+/// Whether two snapshots forward identically for every packet at every
+/// device — the equivalent-mutant detector: a mutation with no semantic
+/// diff cannot be killed by any behavioural or state-semantics test.
+pub fn equivalent(
+    bdd: &mut Bdd,
+    old: &Network,
+    old_ms: &MatchSets,
+    new: &Network,
+    new_ms: &MatchSets,
+) -> bool {
+    semantic_diff(bdd, old, old_ms, new, new_ms).is_empty()
 }
 
 #[cfg(test)]

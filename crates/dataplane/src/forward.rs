@@ -14,16 +14,35 @@ use netmodel::{Action, IfaceId, IfaceKind, Location, MatchSets, Network, RuleId}
 #[derive(Clone, Debug, PartialEq)]
 pub enum Outcome {
     /// Forwarded over a point-to-point link; packets now sit at the peer.
-    Hop { next: Location, packets: Ref },
+    Hop {
+        /// The peer location the packets arrive at.
+        next: Location,
+        /// The packets taking this leg.
+        packets: Ref,
+    },
     /// Delivered out a host-facing interface.
-    Delivered { iface: IfaceId, packets: Ref },
+    Delivered {
+        /// The egress interface.
+        iface: IfaceId,
+        /// The delivered packets.
+        packets: Ref,
+    },
     /// Left the modelled network through an external (WAN) interface.
-    Exited { iface: IfaceId, packets: Ref },
+    Exited {
+        /// The egress interface.
+        iface: IfaceId,
+        /// The exiting packets.
+        packets: Ref,
+    },
     /// Dropped by the rule (null route / deny).
-    Dropped { packets: Ref },
+    Dropped {
+        /// The dropped packets.
+        packets: Ref,
+    },
 }
 
 impl Outcome {
+    /// The packet set carried by this outcome, whatever its kind.
     pub fn packets(&self) -> Ref {
         match *self {
             Outcome::Hop { packets, .. }
@@ -38,15 +57,18 @@ impl Outcome {
 /// and the outcomes of its action (one per ECMP leg, or a single drop).
 #[derive(Clone, Debug)]
 pub struct Transition {
+    /// The rule that matched.
     pub rule: RuleId,
     /// `input ∩ M[rule]` — the exercised portion, *before* any rewrite.
     pub matched: Ref,
+    /// Where the matched packets went (one entry per ECMP leg).
     pub outcomes: Vec<Outcome>,
 }
 
 /// Result of symbolically stepping a packet set through one device.
 #[derive(Clone, Debug)]
 pub struct StepResult {
+    /// One entry per rule that matched a non-empty subset.
     pub transitions: Vec<Transition>,
     /// Packets no rule matched: implicitly dropped, exercising nothing.
     pub unmatched: Ref,
@@ -60,14 +82,17 @@ pub struct Forwarder<'n> {
 }
 
 impl<'n> Forwarder<'n> {
+    /// Bind a forwarder to a network and its precomputed match sets.
     pub fn new(net: &'n Network, match_sets: &'n MatchSets) -> Forwarder<'n> {
         Forwarder { net, match_sets }
     }
 
+    /// The network being stepped through.
     pub fn network(&self) -> &'n Network {
         self.net
     }
 
+    /// The disjoint match sets the forwarder splits against.
     pub fn match_sets(&self) -> &'n MatchSets {
         self.match_sets
     }

@@ -18,6 +18,8 @@
 //!   exact packet sets a change affects, for change-validation
 //!   workflows.
 
+#![deny(missing_docs)]
+
 pub mod diff;
 pub mod forward;
 pub mod paths;

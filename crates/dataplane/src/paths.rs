@@ -21,9 +21,15 @@ use crate::forward::{Forwarder, Outcome};
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Terminal {
     /// Delivered out a host-facing (or loopback) interface.
-    Delivered { iface: IfaceId },
+    Delivered {
+        /// The egress interface.
+        iface: IfaceId,
+    },
     /// Left the modelled network via an external interface.
-    Exited { iface: IfaceId },
+    Exited {
+        /// The egress interface.
+        iface: IfaceId,
+    },
     /// Dropped by the final rule of the path (a null route or deny).
     Dropped,
     /// Matched no rule at the final device.
@@ -40,6 +46,7 @@ pub struct PathEvent<'a> {
     pub start: Location,
     /// The rule sequence exercised, in order.
     pub rules: &'a [RuleId],
+    /// How the path ends.
     pub terminal: Terminal,
     /// The packet set that survives the whole sequence, in its final
     /// (post-rewrite) form.
@@ -74,11 +81,17 @@ impl Default for ExploreOpts {
 /// Aggregate statistics returned by [`explore`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PathStats {
+    /// Total paths emitted.
     pub paths: u64,
+    /// Paths ending in a delivery.
     pub delivered: u64,
+    /// Paths leaving via an external interface.
     pub exited: u64,
+    /// Paths ending at an explicit drop rule.
     pub dropped: u64,
+    /// Paths whose final device matched no rule.
     pub unmatched: u64,
+    /// Paths cut off by the hop bound.
     pub truncated: u64,
     /// Longest emitted path, in rules.
     pub max_len: usize,

@@ -29,13 +29,31 @@ pub struct Hop {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceOutcome {
     /// Delivered out a host-facing interface of this device.
-    Delivered { device: DeviceId, iface: IfaceId },
+    Delivered {
+        /// The delivering device.
+        device: DeviceId,
+        /// The host-facing egress interface.
+        iface: IfaceId,
+    },
     /// Left the network through an external interface.
-    Exited { device: DeviceId, iface: IfaceId },
+    Exited {
+        /// The border device.
+        device: DeviceId,
+        /// The external egress interface.
+        iface: IfaceId,
+    },
     /// Hit an explicit drop rule.
-    Dropped { device: DeviceId, rule: RuleId },
+    Dropped {
+        /// The dropping device.
+        device: DeviceId,
+        /// The drop rule that matched.
+        rule: RuleId,
+    },
     /// Matched no rule at this device.
-    Unmatched { device: DeviceId },
+    Unmatched {
+        /// The device with no matching rule.
+        device: DeviceId,
+    },
     /// Exceeded the hop budget (loop).
     HopLimit,
 }
@@ -43,7 +61,9 @@ pub enum TraceOutcome {
 /// A completed concrete trace.
 #[derive(Clone, Debug)]
 pub struct TraceResult {
+    /// The hops traversed, in order.
     pub hops: Vec<Hop>,
+    /// How the trace ended.
     pub outcome: TraceOutcome,
 }
 
@@ -53,6 +73,7 @@ impl TraceResult {
         self.hops.iter().map(|h| h.location.device).collect()
     }
 
+    /// Whether the trace ended in a delivery.
     pub fn delivered(&self) -> bool {
         matches!(self.outcome, TraceOutcome::Delivered { .. })
     }

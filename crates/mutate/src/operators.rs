@@ -1,0 +1,351 @@
+//! The fixed mutation-operator set and its per-rule preconditions.
+//!
+//! Each operator models one class of real dataplane fault, applied to a
+//! single rule of a concrete forwarding table (§2's motivating outage was
+//! exactly such a fault: a handful of wrong rules in an otherwise healthy
+//! snapshot). Operators are pure functions of `(rule table, target index,
+//! seed)` — no hidden state — so a mutant is reproducible from its
+//! description alone.
+
+use netmodel::addr::Family;
+use netmodel::rule::{Action, Rule};
+use netmodel::topology::DeviceId;
+use netmodel::{IfaceId, Network, Prefix, RuleId};
+
+/// One mutation operator: a class of seeded single-rule faults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Operator {
+    /// Remove the rule — a lost route or a dropped ACL entry.
+    DeleteRule,
+    /// Replace one ECMP leg with a different interface of the device — a
+    /// miswired next hop.
+    SwapNextHop,
+    /// Shorten the destination prefix by one bit, so the rule captures
+    /// twice the address space.
+    WidenPrefix,
+    /// Lengthen the destination prefix by one bit (the seed picks the
+    /// surviving half), so half the intended space falls through.
+    NarrowPrefix,
+    /// Swap the rule with its successor in first-match order — a priority
+    /// inversion.
+    ReorderPriority,
+    /// Invert an ACL verdict: deny becomes permit (forwarding out a
+    /// seeded interface) and permit becomes deny.
+    FlipPermitDeny,
+    /// Turn a FIB forward into a null route — the classic blackhole.
+    RedirectToDrop,
+}
+
+impl Operator {
+    /// Every operator, in the fixed generation order. Mutant ids are
+    /// assigned by walking this list, so the order is part of the
+    /// deterministic contract.
+    pub const ALL: [Operator; 7] = [
+        Operator::DeleteRule,
+        Operator::SwapNextHop,
+        Operator::WidenPrefix,
+        Operator::NarrowPrefix,
+        Operator::ReorderPriority,
+        Operator::FlipPermitDeny,
+        Operator::RedirectToDrop,
+    ];
+
+    /// Stable snake_case name, used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Operator::DeleteRule => "delete_rule",
+            Operator::SwapNextHop => "swap_next_hop",
+            Operator::WidenPrefix => "widen_prefix",
+            Operator::NarrowPrefix => "narrow_prefix",
+            Operator::ReorderPriority => "reorder_priority",
+            Operator::FlipPermitDeny => "flip_permit_deny",
+            Operator::RedirectToDrop => "redirect_to_drop",
+        }
+    }
+
+    /// Whether the operator can target this rule.
+    ///
+    /// Preconditions keep operators well-defined and non-overlapping:
+    /// prefix operators need a dst prefix with room to move (narrow skips
+    /// /32s and /128s, widen skips defaults), reorder needs a successor
+    /// rule, flip-permit/deny targets ACL-shaped rules (some non-dst
+    /// match field), and redirect-to-drop targets FIB-shaped rules
+    /// (dst-only match) so the two verdict operators never both apply.
+    pub fn applicable(self, net: &Network, id: RuleId) -> bool {
+        let rule = net.rule(id);
+        match self {
+            Operator::DeleteRule => true,
+            Operator::SwapNextHop => {
+                !rule.action.out_ifaces().is_empty()
+                    && !swap_candidates(net, id.device, rule.action.out_ifaces()).is_empty()
+            }
+            Operator::WidenPrefix => rule.matches.dst.is_some_and(|p| p.len() > 0),
+            Operator::NarrowPrefix => rule
+                .matches
+                .dst
+                .is_some_and(|p| p.len() < p.family().width()),
+            Operator::ReorderPriority => {
+                (id.index as usize) + 1 < net.device_rules(id.device).len()
+            }
+            Operator::FlipPermitDeny => {
+                is_acl_shaped(rule)
+                    && (!rule.action.is_drop()
+                        || net.topology().device_ifaces(id.device).next().is_some())
+            }
+            Operator::RedirectToDrop => !is_acl_shaped(rule) && !rule.action.is_drop(),
+        }
+    }
+
+    /// Apply the operator to `rules` (the target device's table in
+    /// first-match order) at `index`. The caller guarantees
+    /// [`Operator::applicable`]; `seed` resolves every free choice.
+    pub fn apply(
+        self,
+        rules: &mut Vec<Rule>,
+        index: usize,
+        net: &Network,
+        device: DeviceId,
+        seed: u64,
+    ) {
+        match self {
+            Operator::DeleteRule => {
+                rules.remove(index);
+            }
+            Operator::SwapNextHop => {
+                let cands = swap_candidates(net, device, rules[index].action.out_ifaces());
+                let new_leg = cands[(seed % cands.len() as u64) as usize];
+                match &mut rules[index].action {
+                    Action::Forward(outs) | Action::Rewrite(_, outs) => {
+                        let leg = ((seed >> 32) % outs.len() as u64) as usize;
+                        outs[leg] = new_leg;
+                    }
+                    Action::Drop => unreachable!("SwapNextHop precondition"),
+                }
+            }
+            Operator::WidenPrefix => {
+                let p = rules[index].matches.dst.expect("WidenPrefix precondition");
+                rules[index].matches.dst = Some(resize(p, p.len() - 1, 0));
+            }
+            Operator::NarrowPrefix => {
+                let p = rules[index].matches.dst.expect("NarrowPrefix precondition");
+                rules[index].matches.dst = Some(resize(p, p.len() + 1, seed & 1));
+            }
+            Operator::ReorderPriority => {
+                rules.swap(index, index + 1);
+            }
+            Operator::FlipPermitDeny => {
+                rules[index].action = if rules[index].action.is_drop() {
+                    let ifaces: Vec<IfaceId> = net
+                        .topology()
+                        .device_ifaces(device)
+                        .map(|(i, _)| i)
+                        .collect();
+                    Action::Forward(vec![ifaces[(seed % ifaces.len() as u64) as usize]])
+                } else {
+                    Action::Drop
+                };
+            }
+            Operator::RedirectToDrop => {
+                rules[index].action = Action::Drop;
+            }
+        }
+    }
+
+    /// The rules of the *unmutated* network this mutant perturbs —
+    /// what the coverage cross-reference looks up in `CoveredSets`.
+    pub fn touched(self, id: RuleId) -> Vec<RuleId> {
+        match self {
+            Operator::ReorderPriority => vec![
+                id,
+                RuleId {
+                    device: id.device,
+                    index: id.index + 1,
+                },
+            ],
+            _ => vec![id],
+        }
+    }
+}
+
+/// ACL-shaped: the rule matches on something beyond the destination
+/// prefix (source, protocol, ports, or ingress interface).
+fn is_acl_shaped(rule: &Rule) -> bool {
+    let m = &rule.matches;
+    m.src.is_some()
+        || m.proto.is_some()
+        || m.dport.is_some()
+        || m.sport.is_some()
+        || m.in_iface.is_some()
+}
+
+/// Interfaces of `device` that a swapped next hop may move to: every
+/// interface not already an out-leg, in `IfaceId` order (deterministic).
+fn swap_candidates(net: &Network, device: DeviceId, out: &[IfaceId]) -> Vec<IfaceId> {
+    net.topology()
+        .device_ifaces(device)
+        .map(|(i, _)| i)
+        .filter(|i| !out.contains(i))
+        .collect()
+}
+
+/// Rebuild a prefix at `new_len`, filling a grown bit from `fill` (the
+/// constructors re-mask, so a shrunk prefix canonicalizes itself).
+fn resize(p: Prefix, new_len: u8, fill: u64) -> Prefix {
+    match p.family() {
+        Family::V4 => {
+            let mut addr = p.bits() as u32;
+            if new_len > p.len() && fill & 1 == 1 {
+                addr |= 1 << (32 - new_len);
+            }
+            Prefix::v4(addr, new_len)
+        }
+        Family::V6 => {
+            let mut addr = p.bits();
+            if new_len > p.len() && fill & 1 == 1 {
+                addr |= 1 << (128 - new_len as u32);
+            }
+            Prefix::v6(addr, new_len)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::rule::{RouteClass, Table, TableMode};
+    use netmodel::topology::{IfaceKind, Role, Topology};
+
+    /// One device with two interfaces and three rules: a host /24, an
+    /// ACL-shaped deny, and a default route.
+    fn fixture() -> (Network, DeviceId) {
+        let mut t = Topology::new();
+        let d = t.add_device("r", Role::Tor);
+        t.add_iface(d, "h", IfaceKind::Host);
+        t.add_iface(d, "up", IfaceKind::External);
+        let mut n = Network::new(t);
+        let mut table = Table::new(TableMode::Priority);
+        table.push(Rule {
+            matches: netmodel::rule::MatchFields {
+                proto: Some(6),
+                dport: Some((23, 23)),
+                ..Default::default()
+            },
+            action: Action::Drop,
+            class: RouteClass::Other,
+        });
+        table.push(Rule::forward(
+            "10.0.0.0/24".parse().unwrap(),
+            vec![IfaceId(0)],
+            RouteClass::HostSubnet,
+        ));
+        table.push(Rule::forward(
+            Prefix::v4_default(),
+            vec![IfaceId(1)],
+            RouteClass::StaticDefault,
+        ));
+        table.finalize();
+        n.set_table(d, table);
+        (n, d)
+    }
+
+    fn id(d: DeviceId, index: u32) -> RuleId {
+        RuleId { device: d, index }
+    }
+
+    #[test]
+    fn narrow_prefix_skips_host_routes() {
+        let (mut n, d) = fixture();
+        n.add_rule(
+            d,
+            Rule::forward(
+                Prefix::host_v4(netmodel::addr::ipv4(10, 0, 0, 1)),
+                vec![IfaceId(1)],
+                RouteClass::Loopback,
+            ),
+        );
+        n.finalize();
+        let host = id(d, 3);
+        assert_eq!(n.rule(host).matches.dst.unwrap().len(), 32);
+        assert!(!Operator::NarrowPrefix.applicable(&n, host));
+        // The /24 is still narrowable.
+        assert!(Operator::NarrowPrefix.applicable(&n, id(d, 1)));
+    }
+
+    #[test]
+    fn widen_prefix_skips_defaults_and_acl_entries_without_dst() {
+        let (n, d) = fixture();
+        assert!(!Operator::WidenPrefix.applicable(&n, id(d, 0))); // no dst
+        assert!(Operator::WidenPrefix.applicable(&n, id(d, 1)));
+        assert!(!Operator::WidenPrefix.applicable(&n, id(d, 2))); // /0
+    }
+
+    #[test]
+    fn verdict_operators_do_not_overlap() {
+        let (n, d) = fixture();
+        // ACL-shaped deny: flip applies, redirect does not.
+        assert!(Operator::FlipPermitDeny.applicable(&n, id(d, 0)));
+        assert!(!Operator::RedirectToDrop.applicable(&n, id(d, 0)));
+        // FIB-shaped forward: redirect applies, flip does not.
+        assert!(!Operator::FlipPermitDeny.applicable(&n, id(d, 1)));
+        assert!(Operator::RedirectToDrop.applicable(&n, id(d, 1)));
+    }
+
+    #[test]
+    fn reorder_needs_a_successor() {
+        let (n, d) = fixture();
+        assert!(Operator::ReorderPriority.applicable(&n, id(d, 0)));
+        assert!(Operator::ReorderPriority.applicable(&n, id(d, 1)));
+        assert!(!Operator::ReorderPriority.applicable(&n, id(d, 2)));
+    }
+
+    #[test]
+    fn swap_next_hop_needs_an_alternative_interface() {
+        let (n, d) = fixture();
+        assert!(!Operator::SwapNextHop.applicable(&n, id(d, 0))); // drop
+        assert!(Operator::SwapNextHop.applicable(&n, id(d, 1)));
+        // ECMP over every interface of the device: nowhere to swap to.
+        let mut t = Topology::new();
+        let e = t.add_device("e", Role::Tor);
+        t.add_iface(e, "a", IfaceKind::External);
+        let mut n2 = Network::new(t);
+        n2.add_rule(
+            e,
+            Rule::forward(Prefix::v4_default(), vec![IfaceId(0)], RouteClass::Other),
+        );
+        n2.finalize();
+        assert!(!Operator::SwapNextHop.applicable(&n2, id(e, 0)));
+    }
+
+    #[test]
+    fn widen_and_narrow_produce_canonical_prefixes() {
+        let p: Prefix = "10.0.1.0/24".parse().unwrap();
+        let widened = resize(p, 23, 0);
+        assert_eq!(widened, "10.0.0.0/23".parse().unwrap());
+        let narrowed_lo = resize(p, 25, 0);
+        assert_eq!(narrowed_lo, "10.0.1.0/25".parse().unwrap());
+        let narrowed_hi = resize(p, 25, 1);
+        assert_eq!(narrowed_hi, "10.0.1.128/25".parse().unwrap());
+    }
+
+    #[test]
+    fn apply_respects_the_seed_for_swap_choices() {
+        let (n, d) = fixture();
+        let base = n.device_rules(d).to_vec();
+        // Only IfaceId(1) is a candidate (0 is the current leg), so every
+        // seed picks it — and the mutation really changes the rule.
+        for seed in [0u64, 7, 1 << 40] {
+            let mut rules = base.clone();
+            Operator::SwapNextHop.apply(&mut rules, 1, &n, d, seed);
+            assert_eq!(rules[1].action.out_ifaces(), &[IfaceId(1)]);
+        }
+    }
+
+    #[test]
+    fn flip_permit_deny_round_trips_verdicts() {
+        let (n, d) = fixture();
+        let mut rules = n.device_rules(d).to_vec();
+        Operator::FlipPermitDeny.apply(&mut rules, 0, &n, d, 3);
+        assert!(!rules[0].action.is_drop());
+        assert_eq!(rules[0].action.out_ifaces().len(), 1);
+    }
+}

@@ -1,0 +1,262 @@
+//! Cross-referencing the kill matrix with Algorithm-1 coverage.
+//!
+//! This is the headline number of the subsystem: partition the
+//! non-equivalent mutants by whether the rules they perturb were
+//! **covered** by the suite on the *unmutated* network (per
+//! [`CoveredSets::is_exercised`]), then compare kill rates. If coverage
+//! means what the paper says it means, mutants hiding behind uncovered
+//! rules should survive far more often — that is precisely the §2 Azure
+//! story, where the one corrupted rule sat in the suite's blind spot.
+
+use yardstick::CoveredSets;
+
+use crate::engine::Mutant;
+use crate::kill::MutantOutcome;
+use crate::operators::Operator;
+
+/// Per-operator tallies. Every operator gets a row (possibly all-zero)
+/// so report JSON has a stable shape.
+#[derive(Clone, Copy, Debug)]
+pub struct OperatorStats {
+    /// The operator.
+    pub op: Operator,
+    /// Mutants generated with this operator.
+    pub generated: usize,
+    /// Of those, how many were behaviourally equivalent to the original.
+    pub equivalent: usize,
+    /// Non-equivalent mutants the suite killed.
+    pub killed: usize,
+    /// Non-equivalent mutants the suite missed.
+    pub survived: usize,
+}
+
+/// Kill tally for one side of the covered/uncovered split
+/// (equivalent mutants are excluded from both sides).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoverageSplit {
+    /// Non-equivalent mutants on this side.
+    pub total: usize,
+    /// How many the suite killed.
+    pub killed: usize,
+}
+
+impl CoverageSplit {
+    /// killed / total, or `None` when the side is empty.
+    pub fn kill_rate(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.killed as f64 / self.total as f64)
+    }
+}
+
+/// The full mutation-run summary emitted as `BENCH_mutation.json`.
+#[derive(Clone, Debug)]
+pub struct MutationReport {
+    /// The run seed mutants were derived from.
+    pub seed: u64,
+    /// One row per operator, in [`Operator::ALL`] order.
+    pub per_op: Vec<OperatorStats>,
+    /// Mutants whose touched rules were exercised by the suite.
+    pub covered: CoverageSplit,
+    /// Mutants whose touched rules the suite never exercised.
+    pub uncovered: CoverageSplit,
+    /// Ids of surviving (non-equivalent, unkilled) mutants, ascending.
+    pub surviving: Vec<u32>,
+    /// (test name, mutants it helped kill), in first-seen order.
+    pub test_kills: Vec<(&'static str, usize)>,
+}
+
+impl MutationReport {
+    /// Total mutants across all operators.
+    pub fn generated(&self) -> usize {
+        self.per_op.iter().map(|s| s.generated).sum()
+    }
+
+    /// Total equivalent mutants.
+    pub fn equivalent(&self) -> usize {
+        self.per_op.iter().map(|s| s.equivalent).sum()
+    }
+}
+
+/// Combine mutants, their outcomes, and the unmutated network's covered
+/// sets into the report. `outcomes[i]` must be the verdict for
+/// `mutants[i]` (as [`crate::kill::evaluate`] guarantees).
+pub fn cross_reference(
+    seed: u64,
+    covered_sets: &CoveredSets,
+    mutants: &[Mutant],
+    outcomes: &[MutantOutcome],
+) -> MutationReport {
+    assert_eq!(mutants.len(), outcomes.len(), "one outcome per mutant");
+    let mut per_op: Vec<OperatorStats> = Operator::ALL
+        .iter()
+        .map(|&op| OperatorStats {
+            op,
+            generated: 0,
+            equivalent: 0,
+            killed: 0,
+            survived: 0,
+        })
+        .collect();
+    let mut covered = CoverageSplit::default();
+    let mut uncovered = CoverageSplit::default();
+    let mut surviving = Vec::new();
+    let mut test_kills: Vec<(&'static str, usize)> = Vec::new();
+
+    for (m, o) in mutants.iter().zip(outcomes) {
+        assert_eq!(m.id, o.id, "outcome order must match mutant order");
+        let row = per_op
+            .iter_mut()
+            .find(|s| s.op == m.op)
+            .expect("ALL covers every operator");
+        row.generated += 1;
+        if o.equivalent {
+            row.equivalent += 1;
+            continue;
+        }
+        let side = if is_covered(covered_sets, m) {
+            &mut covered
+        } else {
+            &mut uncovered
+        };
+        side.total += 1;
+        if o.killed {
+            row.killed += 1;
+            side.killed += 1;
+            for &name in &o.failed_tests {
+                match test_kills.iter_mut().find(|(n, _)| *n == name) {
+                    Some(entry) => entry.1 += 1,
+                    None => test_kills.push((name, 1)),
+                }
+            }
+        } else {
+            row.survived += 1;
+            surviving.push(m.id);
+        }
+    }
+    MutationReport {
+        seed,
+        per_op,
+        covered,
+        uncovered,
+        surviving,
+        test_kills,
+    }
+}
+
+/// A mutant counts as covered when *any* rule it perturbs was exercised
+/// by the suite on the unmutated network.
+fn is_covered(covered_sets: &CoveredSets, m: &Mutant) -> bool {
+    covered_sets.any_exercised(m.touched())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbdd::Bdd;
+    use netmodel::rule::{RouteClass, Rule};
+    use netmodel::topology::{DeviceId, IfaceKind, Role, Topology};
+    use netmodel::{IfaceId, MatchSets, Network, RuleId};
+    use yardstick::trace::CoverageTrace;
+
+    /// A one-device network with 8 distinct /24 routes; the rules at
+    /// `exercised` indices are marked as inspected in the trace.
+    fn covered_for(exercised: &[u32]) -> CoveredSets {
+        let mut t = Topology::new();
+        let d = t.add_device("r", Role::Tor);
+        t.add_iface(d, "h", IfaceKind::Host);
+        let mut n = Network::new(t);
+        for i in 0..8u8 {
+            n.add_rule(
+                DeviceId(0),
+                Rule::forward(
+                    format!("10.{i}.0.0/24").parse().unwrap(),
+                    vec![IfaceId(0)],
+                    RouteClass::HostSubnet,
+                ),
+            );
+        }
+        n.finalize();
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&n, &mut bdd);
+        let mut trace = CoverageTrace::new();
+        for &index in exercised {
+            trace.add_rule(RuleId {
+                device: DeviceId(0),
+                index,
+            });
+        }
+        CoveredSets::compute(&n, &ms, &trace, &mut bdd)
+    }
+
+    fn mutant(id: u32, op: Operator, index: u32) -> Mutant {
+        Mutant {
+            id,
+            op,
+            target: RuleId {
+                device: DeviceId(0),
+                index,
+            },
+            seed: 0,
+        }
+    }
+
+    fn outcome(id: u32, equivalent: bool, killed: bool) -> MutantOutcome {
+        MutantOutcome {
+            id,
+            equivalent,
+            killed,
+            failed_tests: if killed {
+                vec!["ToRReachability"]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    #[test]
+    fn splits_and_tallies_line_up() {
+        // Only rule index 0 is exercised.
+        let covered_sets = covered_for(&[0]);
+        let mutants = vec![
+            mutant(0, Operator::DeleteRule, 0),  // covered, killed
+            mutant(1, Operator::DeleteRule, 5),  // uncovered, survives
+            mutant(2, Operator::SwapNextHop, 0), // covered, equivalent
+        ];
+        let outcomes = vec![
+            outcome(0, false, true),
+            outcome(1, false, false),
+            outcome(2, true, false),
+        ];
+        let report = cross_reference(9, &covered_sets, &mutants, &outcomes);
+        assert_eq!(report.generated(), 3);
+        assert_eq!(report.equivalent(), 1);
+        assert_eq!((report.covered.total, report.covered.killed), (1, 1));
+        assert_eq!((report.uncovered.total, report.uncovered.killed), (1, 0));
+        assert_eq!(report.surviving, vec![1]);
+        assert_eq!(report.test_kills, vec![("ToRReachability", 1)]);
+        assert_eq!(report.per_op.len(), Operator::ALL.len());
+        let del = &report.per_op[0];
+        assert_eq!(
+            (del.generated, del.killed, del.survived, del.equivalent),
+            (2, 1, 1, 0)
+        );
+    }
+
+    #[test]
+    fn reorder_counts_as_covered_if_either_neighbour_is() {
+        // Only rule index 3 is exercised; a reorder targeting index 2
+        // touches {2, 3} and must land on the covered side.
+        let covered_sets = covered_for(&[3]);
+        let mutants = vec![mutant(0, Operator::ReorderPriority, 2)];
+        let outcomes = vec![outcome(0, false, true)];
+        let report = cross_reference(0, &covered_sets, &mutants, &outcomes);
+        assert_eq!(report.covered.total, 1);
+        assert_eq!(report.uncovered.total, 0);
+    }
+
+    #[test]
+    fn kill_rate_handles_empty_sides() {
+        let report = cross_reference(0, &covered_for(&[]), &[], &[]);
+        assert!(report.covered.kill_rate().is_none());
+        assert_eq!(report.surviving, Vec::<u32>::new());
+    }
+}

@@ -1,0 +1,209 @@
+//! Differential tests of the mutation engine against the counting oracle.
+//!
+//! The same fault is injected twice: once with [`mutate::apply`] on the
+//! embedded real network, and once by hand on the toy network followed by
+//! [`embed_net`]. The two mutated real networks must agree rule-for-rule
+//! on the target device, and the *kill verdict* must transfer: the
+//! symbolic equivalence check that `mutate::kill` uses to classify
+//! equivalent mutants must say "behaviour changed" exactly when the
+//! oracle's exhaustive per-packet winner scan finds some device whose
+//! first-match action changed.
+//!
+//! Only order- and action-level operators are mirrored (delete, reorder,
+//! redirect-to-drop): they leave match fields untouched, so toy and real
+//! behaviour change in lockstep. Prefix widen/narrow operate below the
+//! toy space's resolution — a real /29 carved out of an embedded /28
+//! flips header bits no toy packet carries — and are covered by the
+//! per-operator unit tests instead.
+
+use mutate::{apply, Mutant, Operator};
+use netbdd::Bdd;
+use netmodel::topology::DeviceId;
+use netmodel::{MatchSets, Network, RuleId};
+use oracle::embed::{assert_rule_order_preserved, embed_net};
+use oracle::{
+    ToyAction, ToyIfaceKind, ToyNet, ToyPrefix, ToyRule, ToySpace, ToyTable, ToyTableMode,
+};
+use proptest::prelude::*;
+
+fn space() -> ToySpace {
+    ToySpace::new(4, 2, 1)
+}
+
+/// One device's spec: parent selector plus `(dst_len, raw_dst, iface_sel,
+/// drop)` per rule — the same shape the dataplane differential suite uses.
+type DeviceSpec = (u32, Vec<(u32, u32, u32, bool)>);
+
+fn arb_device(max_rules: usize) -> impl Strategy<Value = DeviceSpec> {
+    (
+        any::<u32>(),
+        prop::collection::vec(
+            (0u32..=4, any::<u32>(), any::<u32>(), any::<bool>()),
+            1..max_rules,
+        ),
+    )
+}
+
+fn prefix(raw: u32, len: u32) -> ToyPrefix {
+    ToyPrefix::new(if len == 0 { 0 } else { raw & ((1 << len) - 1) }, len)
+}
+
+/// Random tree-shaped toy network, ECMP-free, dst-only rules.
+fn build_net(specs: &[DeviceSpec]) -> ToyNet {
+    let mut net = ToyNet::new();
+    let mut dev_ifaces: Vec<Vec<u32>> = Vec::new();
+    for (d, (parent_raw, _)) in specs.iter().enumerate() {
+        let dev = net.add_device();
+        let host = net.add_iface(dev, ToyIfaceKind::Host);
+        dev_ifaces.push(vec![host]);
+        if d > 0 {
+            let parent = (*parent_raw as usize) % d;
+            let (pi, ci) = net.add_link(parent, dev);
+            dev_ifaces[parent].push(pi);
+            dev_ifaces[d].push(ci);
+        }
+    }
+    for (d, (_, rules)) in specs.iter().enumerate() {
+        for &(dst_len, raw_dst, iface_sel, drop) in rules {
+            let action = if drop {
+                ToyAction::Drop
+            } else {
+                let pick = dev_ifaces[d][(iface_sel as usize) % dev_ifaces[d].len()];
+                ToyAction::Forward(vec![pick])
+            };
+            net.add_rule(
+                d,
+                ToyRule {
+                    dst: Some(prefix(raw_dst, dst_len)),
+                    src: None,
+                    proto: None,
+                    action,
+                },
+            );
+        }
+    }
+    net.finalize();
+    net
+}
+
+/// Mirror one mutation on the toy side: rebuild the target device's table
+/// in priority mode with the edit applied — exactly what
+/// [`mutate::apply`] does to the real table.
+fn mutate_toy(net: &ToyNet, op: Operator, device: usize, index: usize) -> ToyNet {
+    let mut rules = net.table(device).rules_unchecked().to_vec();
+    match op {
+        Operator::DeleteRule => {
+            rules.remove(index);
+        }
+        Operator::ReorderPriority => rules.swap(index, index + 1),
+        Operator::RedirectToDrop => rules[index].action = ToyAction::Drop,
+        other => panic!("operator {other:?} is not mirrored on the toy side"),
+    }
+    let mut table = ToyTable::new(ToyTableMode::Priority);
+    for r in rules {
+        table.push(r);
+    }
+    table.finalize();
+    let mut mutated = net.clone();
+    *mutated.table_mut(device) = table;
+    mutated
+}
+
+/// The oracle's kill verdict: does any device's first-match *action*
+/// change for any toy packet? (`None` — unmatched — is its own
+/// behaviour.) This is the exhaustive counterpart of the per-device
+/// signature comparison inside `dataplane::diff::semantic_diff`.
+fn toy_behaviour_changed(s: &ToySpace, a: &ToyNet, b: &ToyNet) -> bool {
+    (0..a.device_count()).any(|d| {
+        s.packets().any(|p| {
+            let wa = a
+                .table(d)
+                .winner(s, p)
+                .map(|i| &a.table(d).rules_unchecked()[i].action);
+            let wb = b
+                .table(d)
+                .winner(s, p)
+                .map(|i| &b.table(d).rules_unchecked()[i].action);
+            wa != wb
+        })
+    })
+}
+
+/// Every mirrorable mutation site in the toy network.
+fn mutation_sites(net: &ToyNet) -> Vec<(Operator, usize, usize)> {
+    let mut sites = Vec::new();
+    for d in 0..net.device_count() {
+        let rules = net.table(d).rules_unchecked();
+        for i in 0..rules.len() {
+            sites.push((Operator::DeleteRule, d, i));
+            if i + 1 < rules.len() {
+                sites.push((Operator::ReorderPriority, d, i));
+            }
+            if !rules[i].action.is_drop() {
+                sites.push((Operator::RedirectToDrop, d, i));
+            }
+        }
+    }
+    sites
+}
+
+fn equivalent(bdd: &mut Bdd, a: &Network, b: &Network) -> bool {
+    let a_ms = MatchSets::compute(a, bdd);
+    let b_ms = MatchSets::compute(b, bdd);
+    dataplane::diff::equivalent(bdd, a, &a_ms, b, &b_ms)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For every mirrorable mutation of a random toy network: the
+    /// real-side operator and the toy-side mirror produce the same
+    /// mutated network, and the symbolic equivalence verdict matches the
+    /// oracle's exhaustive one.
+    #[test]
+    fn kill_verdicts_agree_with_oracle(
+        specs in prop::collection::vec(arb_device(4), 1..4)
+    ) {
+        let s = space();
+        let toy = build_net(&specs);
+        let real = embed_net(&s, &toy);
+        let mut bdd = Bdd::new();
+        for (mutant_id, (op, d, i)) in mutation_sites(&toy).into_iter().enumerate() {
+            // Toy-side mirror, embedded.
+            let toy_mut = mutate_toy(&toy, op, d, i);
+            let real_via_toy = embed_net(&s, &toy_mut);
+            assert_rule_order_preserved(&s, &toy_mut, &real_via_toy);
+
+            // Real-side operator. These three operators ignore the seed.
+            let mutant = Mutant {
+                id: mutant_id as u32,
+                op,
+                target: RuleId { device: DeviceId(d as u32), index: i as u32 },
+                seed: 0,
+            };
+            prop_assert!(op.applicable(&real, mutant.target),
+                "{op:?} must be applicable at {:?}", mutant.target);
+            let real_via_op = apply(&real, &mutant);
+
+            // The two injection routes agree rule-for-rule.
+            for dev in 0..toy.device_count() {
+                let dev = DeviceId(dev as u32);
+                let a = real_via_toy.device_rules(dev);
+                let b = real_via_op.device_rules(dev);
+                prop_assert_eq!(a.len(), b.len(), "{:?} at {:?}", op, dev);
+                for (ra, rb) in a.iter().zip(b) {
+                    prop_assert_eq!(&ra.matches, &rb.matches);
+                    prop_assert_eq!(&ra.action, &rb.action);
+                }
+            }
+
+            // And the kill verdict transfers.
+            let oracle_changed = toy_behaviour_changed(&s, &toy, &toy_mut);
+            let real_changed = !equivalent(&mut bdd, &real, &real_via_op);
+            prop_assert_eq!(
+                real_changed, oracle_changed,
+                "verdict mismatch for {:?} on device {} rule {}", op, d, i
+            );
+        }
+    }
+}

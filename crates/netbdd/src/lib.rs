@@ -49,6 +49,8 @@
 //! assert!((frac - 1024.0 / 65536.0).abs() < 1e-12);
 //! ```
 
+#![deny(missing_docs)]
+
 mod builder;
 mod cache;
 mod count;

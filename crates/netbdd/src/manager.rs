@@ -203,6 +203,24 @@ impl Bdd {
     /// order, and complement tags are rewritten so `f` and `g` are always
     /// regular (complementing the result instead). Equivalent calls thus
     /// share one cache entry.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use netbdd::Bdd;
+    ///
+    /// let mut bdd = Bdd::new();
+    /// let (f, g, h) = (bdd.var(0), bdd.var(1), bdd.var(2));
+    /// let ite = bdd.ite(f, g, h);
+    ///
+    /// // Hash-consing makes the hand-built (f ∧ g) ∨ (¬f ∧ h) the
+    /// // *same* canonical node, so equality is a pointer check.
+    /// let fg = bdd.and(f, g);
+    /// let nf = bdd.not(f);
+    /// let nfh = bdd.and(nf, h);
+    /// let manual = bdd.or(fg, nfh);
+    /// assert!(bdd.equal(ite, manual));
+    /// ```
     pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
         // Terminal and absorption cases.
         if f.is_true() {

@@ -12,7 +12,9 @@ use std::str::FromStr;
 /// Address family of a prefix or packet.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Family {
+    /// IPv4 (32-bit addresses).
     V4,
+    /// IPv6 (128-bit addresses).
     V6,
 }
 
@@ -85,6 +87,7 @@ impl Prefix {
         Prefix::v4(addr, 32)
     }
 
+    /// The prefix's address family.
     pub fn family(&self) -> Family {
         self.family
     }
@@ -179,8 +182,11 @@ impl fmt::Display for Prefix {
 /// Errors from [`Prefix::from_str`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ParsePrefixError {
+    /// No `/` separator between address and length.
     MissingSlash,
+    /// The address part is not a valid IPv4/IPv6 address.
     BadAddress,
+    /// The length part is not a number within the family's width.
     BadLength,
 }
 

@@ -53,6 +53,7 @@ impl Default for MatchSetCache {
 }
 
 impl MatchSetCache {
+    /// A cache with the default capacity.
     pub fn new() -> MatchSetCache {
         MatchSetCache::default()
     }
@@ -109,6 +110,7 @@ impl MatchSetCache {
         self.map.len()
     }
 
+    /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }

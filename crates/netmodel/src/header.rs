@@ -42,14 +42,19 @@ pub const NVARS: u32 = 201;
 /// A named header field, used by rewrite actions and diagnostics.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum HeaderField {
+    /// The v4/v6 family discriminator bit.
     Family,
     /// The full 128-bit destination field (IPv6 rewrites).
     Dst,
     /// The 32-bit IPv4 view of the destination field (its top 32 bits).
     Dst4,
+    /// The IPv4 source address field.
     Src,
+    /// The 8-bit IP protocol field.
     Proto,
+    /// The 16-bit transport source port.
     Sport,
+    /// The 16-bit transport destination port.
     Dport,
 }
 
@@ -115,13 +120,17 @@ pub fn sport_in(bdd: &mut Bdd, lo: u16, hi: u16) -> Ref {
 /// Pingmesh) exercises.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Packet {
+    /// Address family of the packet.
     pub family: Family,
     /// Destination address: a `u32` value for IPv4, full 128 bits for IPv6.
     pub dst: u128,
     /// IPv4 source address (0 when unspecified).
     pub src: u32,
+    /// IP protocol number (6 = TCP, 17 = UDP, ...).
     pub proto: u8,
+    /// Transport source port.
     pub sport: u16,
+    /// Transport destination port.
     pub dport: u16,
 }
 

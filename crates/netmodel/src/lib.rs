@@ -24,6 +24,8 @@
 //! crate depends on how a device implements its lookups, only on what the
 //! rules mean.
 
+#![deny(missing_docs)]
+
 pub mod addr;
 pub mod disjoint;
 pub mod header;

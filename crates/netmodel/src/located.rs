@@ -21,7 +21,9 @@ use crate::topology::{DeviceId, IfaceId};
 /// every hop, which is what incoming-interface coverage consumes.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Location {
+    /// The device the packets are at.
     pub device: DeviceId,
+    /// Ingress interface, if known.
     pub iface: Option<IfaceId>,
 }
 
@@ -62,6 +64,7 @@ pub struct LocatedPacketSet {
 }
 
 impl LocatedPacketSet {
+    /// An empty located set.
     pub fn new() -> LocatedPacketSet {
         LocatedPacketSet::default()
     }
@@ -75,10 +78,12 @@ impl LocatedPacketSet {
         s
     }
 
+    /// Whether no location holds any packets.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
 
+    /// Number of locations with a non-empty packet set.
     pub fn len(&self) -> usize {
         self.map.len()
     }

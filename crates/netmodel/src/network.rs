@@ -14,7 +14,9 @@ use crate::topology::{DeviceId, IfaceId, Topology};
 /// device's (finalized, first-match-ordered) table.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RuleId {
+    /// Device the rule is installed on.
     pub device: DeviceId,
+    /// Index in the device's finalized table order.
     pub index: u32,
 }
 
@@ -41,6 +43,7 @@ impl Network {
         Network { topology, state }
     }
 
+    /// The underlying topology.
     pub fn topology(&self) -> &Topology {
         &self.topology
     }
@@ -50,9 +53,15 @@ impl Network {
         self.state[device.0 as usize].push(rule);
     }
 
-    /// Replace a device's whole table (used by fault injection).
+    /// Replace a device's whole table (used by fault injection and the
+    /// mutation engine).
     pub fn set_table(&mut self, device: DeviceId, table: Table) {
         self.state[device.0 as usize] = table;
+    }
+
+    /// A device's table, including its ordering mode.
+    pub fn table(&self, device: DeviceId) -> &Table {
+        &self.state[device.0 as usize]
     }
 
     /// Finalize every table's ordering. Must be called once after

@@ -19,10 +19,20 @@ pub enum FieldConstraint {
     /// The field is unconstrained.
     Any,
     /// The top `len` bits equal those of `value` (a prefix/CIDR shape).
-    Prefix { value: u128, len: u8 },
+    Prefix {
+        /// Constrained bit values, MSB-aligned within the field.
+        value: u128,
+        /// Number of leading constrained bits.
+        len: u8,
+    },
     /// A non-prefix bit pattern: `(mask, value)` over the field's bits,
     /// MSB-aligned — rendered as value/mask.
-    Masked { mask: u128, value: u128 },
+    Masked {
+        /// Which bits are constrained (1 = constrained).
+        mask: u128,
+        /// Required values of the constrained bits.
+        value: u128,
+    },
 }
 
 impl FieldConstraint {
@@ -78,10 +88,15 @@ impl FieldConstraint {
 pub struct Region {
     /// `None` = both families possible.
     pub family: Option<Family>,
+    /// Destination-address constraint.
     pub dst: FieldConstraint,
+    /// Source-address constraint.
     pub src: FieldConstraint,
+    /// IP-protocol constraint.
     pub proto: FieldConstraint,
+    /// Source-port constraint.
     pub sport: FieldConstraint,
+    /// Destination-port constraint.
     pub dport: FieldConstraint,
 }
 

@@ -130,6 +130,7 @@ impl Action {
         }
     }
 
+    /// Whether this action drops the packet.
     pub fn is_drop(&self) -> bool {
         matches!(self, Action::Drop)
     }
@@ -158,8 +159,11 @@ pub enum RouteClass {
 /// One match-action rule.
 #[derive(Clone, Debug)]
 pub struct Rule {
+    /// Header fields the rule matches on.
     pub matches: MatchFields,
+    /// What happens to matching packets.
     pub action: Action,
+    /// Where the rule came from (route class, §7.2).
     pub class: RouteClass,
 }
 
@@ -204,6 +208,7 @@ pub struct Table {
 }
 
 impl Table {
+    /// An empty table with the given ordering mode.
     pub fn new(mode: TableMode) -> Table {
         Table {
             mode,
@@ -212,19 +217,23 @@ impl Table {
         }
     }
 
+    /// The table's ordering mode.
     pub fn mode(&self) -> TableMode {
         self.mode
     }
 
+    /// Append a rule; ordering is re-derived lazily at finalization.
     pub fn push(&mut self, rule: Rule) {
         self.rules.push(rule);
         self.sorted = false;
     }
 
+    /// Number of rules in the table.
     pub fn len(&self) -> usize {
         self.rules.len()
     }
 
+    /// Whether the table has no rules.
     pub fn is_empty(&self) -> bool {
         self.rules.is_empty()
     }

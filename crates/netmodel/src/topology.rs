@@ -80,8 +80,11 @@ pub enum IfaceKind {
 /// One network interface.
 #[derive(Clone, Debug)]
 pub struct Iface {
+    /// The device this interface belongs to.
     pub device: DeviceId,
+    /// Interface name (e.g. `to-agg-0-1`, `eth-hosts`).
     pub name: String,
+    /// What the interface attaches to.
     pub kind: IfaceKind,
     /// Peer interface for P2p links; `None` otherwise.
     pub peer: Option<IfaceId>,
@@ -90,10 +93,13 @@ pub struct Iface {
 /// One network device.
 #[derive(Clone, Debug)]
 pub struct Device {
+    /// Device name (e.g. `tor-2-3`).
     pub name: String,
+    /// Role in the fabric, for role-grouped coverage reports.
     pub role: Role,
     /// Pod / datacenter grouping index, where meaningful.
     pub group: Option<u32>,
+    /// The device's interfaces, in creation order.
     pub ifaces: Vec<IfaceId>,
 }
 
@@ -105,6 +111,7 @@ pub struct Topology {
 }
 
 impl Topology {
+    /// An empty topology.
     pub fn new() -> Topology {
         Topology::default()
     }
@@ -161,10 +168,12 @@ impl Topology {
         (ai, bi)
     }
 
+    /// The device with the given id.
     pub fn device(&self, id: DeviceId) -> &Device {
         &self.devices[id.0 as usize]
     }
 
+    /// The interface with the given id.
     pub fn iface(&self, id: IfaceId) -> &Iface {
         &self.ifaces[id.0 as usize]
     }
@@ -174,14 +183,17 @@ impl Topology {
         self.iface(iface).peer.map(|p| self.iface(p).device)
     }
 
+    /// Number of devices.
     pub fn device_count(&self) -> usize {
         self.devices.len()
     }
 
+    /// Number of interfaces, across all devices.
     pub fn iface_count(&self) -> usize {
         self.ifaces.len()
     }
 
+    /// All devices, in id order.
     pub fn devices(&self) -> impl Iterator<Item = (DeviceId, &Device)> {
         self.devices
             .iter()
@@ -189,6 +201,7 @@ impl Topology {
             .map(|(i, d)| (DeviceId(i as u32), d))
     }
 
+    /// All interfaces, in global id order.
     pub fn ifaces(&self) -> impl Iterator<Item = (IfaceId, &Iface)> {
         self.ifaces
             .iter()
@@ -294,13 +307,27 @@ mod tests {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TopologyError {
     /// An interface's peer does not point back at it.
-    AsymmetricPeer { iface: IfaceId, peer: IfaceId },
+    AsymmetricPeer {
+        /// The interface whose peer link is one-directional.
+        iface: IfaceId,
+        /// Where it points.
+        peer: IfaceId,
+    },
     /// A non-P2p interface has a peer.
-    UnexpectedPeer { iface: IfaceId },
+    UnexpectedPeer {
+        /// The offending interface.
+        iface: IfaceId,
+    },
     /// A P2p interface links a device to itself.
-    SelfLink { iface: IfaceId },
+    SelfLink {
+        /// The offending interface.
+        iface: IfaceId,
+    },
     /// A device's iface list and the interface's device field disagree.
-    Misowned { iface: IfaceId },
+    Misowned {
+        /// The offending interface.
+        iface: IfaceId,
+    },
 }
 
 impl Topology {

@@ -12,15 +12,22 @@
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Json {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// Any number (parsed as `f64`).
     Num(f64),
+    /// A string.
     Str(String),
+    /// An array.
     Arr(Vec<Json>),
+    /// An object, as key/value pairs in source order.
     Obj(Vec<(String, Json)>),
 }
 
 impl Json {
+    /// The numeric value, if this is a number.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
@@ -28,6 +35,7 @@ impl Json {
         }
     }
 
+    /// The string value, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
@@ -35,6 +43,7 @@ impl Json {
         }
     }
 
+    /// The boolean value, if this is a boolean.
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Json::Bool(b) => Some(*b),
@@ -42,6 +51,7 @@ impl Json {
         }
     }
 
+    /// The elements, if this is an array.
     pub fn as_array(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(a) => Some(a),

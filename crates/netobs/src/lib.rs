@@ -37,6 +37,8 @@
 //! netobs::disable();
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod json;
 mod registry;
 mod report;
@@ -95,6 +97,24 @@ pub fn span_owned(name: String) -> SpanGuard {
 /// built only when collection is enabled, so disabled call sites pay one
 /// atomic load. (The name is always routed through `format!`: a literal
 /// with inline captures must not silently become a static name.)
+///
+/// # Examples
+///
+/// ```
+/// netobs::enable();
+/// {
+///     let _outer = netobs::span!("compute");
+///     for i in 0..3 {
+///         let _inner = netobs::span!("job-{i}");
+///     }
+/// } // guards close their spans on drop
+///
+/// let report = netobs::report();
+/// let compute = report.thread("main").unwrap().children
+///     .iter().find(|s| s.name == "compute").unwrap();
+/// assert_eq!(compute.count, 1);
+/// assert_eq!(compute.children.len(), 3); // job-0, job-1, job-2
+/// ```
 #[macro_export]
 macro_rules! span {
     ($($fmt:tt)+) => {

@@ -18,9 +18,11 @@ use crate::span::{Event, SpanNode};
 /// One flushed thread: its span tree and flat event list.
 #[derive(Clone, Debug)]
 pub struct ThreadSpans {
+    /// The label the thread flushed under.
     pub label: String,
     /// Virtual root container; real spans are its descendants.
     pub root: SpanNode,
+    /// Retained events, in emission order.
     pub events: Vec<Event>,
     /// Events discarded beyond the per-thread retention cap (the tree
     /// keeps aggregating regardless).
@@ -30,8 +32,11 @@ pub struct ThreadSpans {
 /// Everything one measured section produced.
 #[derive(Clone, Debug)]
 pub struct Report {
+    /// One entry per flushed thread, in flush order.
     pub threads: Vec<ThreadSpans>,
+    /// Last-write-wins named measurements.
     pub gauges: BTreeMap<String, f64>,
+    /// Monotone named tallies.
     pub counters: BTreeMap<String, u64>,
 }
 

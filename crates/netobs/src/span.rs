@@ -32,9 +32,11 @@ pub struct SpanStats {
 /// One node of a finished thread's span tree.
 #[derive(Clone, Debug)]
 pub struct SpanNode {
+    /// The span's name as given to [`crate::span!`].
     pub name: String,
     /// Times this span was entered and closed.
     pub count: u64,
+    /// Aggregated timing over all entries.
     pub stats: SpanStats,
     /// Child spans in first-entered order.
     pub children: Vec<SpanNode>,
@@ -222,7 +224,8 @@ fn lock_sink() -> std::sync::MutexGuard<'static, Vec<ThreadSpans>> {
     SINK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// RAII guard returned by [`crate::span`]; closing happens on drop.
+/// RAII guard returned by [`crate::span()`] and the [`span!`](macro@crate::span)
+/// macro; closing happens on drop.
 ///
 /// An inactive guard (instrumentation disabled at entry) is a no-op to
 /// create and to drop.

@@ -164,18 +164,27 @@ pub fn embed_net(space: &ToySpace, net: &ToyNet) -> Network {
     }
     let mut real = Network::new(topo);
     for d in 0..net.device_count() {
-        for rule in net.table(d).rules_unchecked() {
+        // Mirror the toy table's ordering mode: Priority-mode toy tables
+        // (mutated snapshots, explicit ACL orderings) must keep their
+        // first-match order verbatim, while Lpm-mode tables re-sort —
+        // stably, over an already-sorted input, so the order is identical
+        // either way.
+        let toy_table = net.table(d);
+        let mode = match toy_table.mode {
+            crate::table::ToyTableMode::Lpm => netmodel::rule::TableMode::Lpm,
+            crate::table::ToyTableMode::Priority => netmodel::rule::TableMode::Priority,
+        };
+        let mut table = netmodel::rule::Table::new(mode);
+        for rule in toy_table.rules_unchecked() {
             assert!(
                 rule.dst.is_some(),
                 "embed_net requires dst prefixes on every rule"
             );
-            real.add_rule(
-                netmodel::topology::DeviceId(d as u32),
-                embed_rule(space, rule),
-            );
+            table.push(embed_rule(space, rule));
         }
+        table.finalize();
+        real.set_table(netmodel::topology::DeviceId(d as u32), table);
     }
-    real.finalize();
     real
 }
 

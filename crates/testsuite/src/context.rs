@@ -105,6 +105,65 @@ impl TestReport {
     }
 }
 
+/// Aggregated pass/fail verdicts of a whole suite run, grouped by test
+/// name — the per-suite complement of [`TestReport`], used where the
+/// *verdict* is the product (mutation kill matrices) rather than the
+/// coverage trace.
+///
+/// Sharded runs produce one [`TestReport`] per job; feeding them all
+/// through [`SuiteVerdict::record`] folds the jobs of each named test
+/// back into one row, in first-recorded order (job order, which is
+/// deterministic), so the aggregate is chunking-invariant.
+#[derive(Clone, Debug, Default)]
+pub struct SuiteVerdict {
+    /// Per test name: total checks and the collected failure messages.
+    entries: Vec<(&'static str, u64, Vec<String>)>,
+}
+
+impl SuiteVerdict {
+    /// An empty verdict; fold reports in with [`SuiteVerdict::record`].
+    pub fn new() -> SuiteVerdict {
+        SuiteVerdict::default()
+    }
+
+    /// Fold one job's report into the verdict.
+    pub fn record(&mut self, report: &TestReport) {
+        match self.entries.iter_mut().find(|(n, _, _)| *n == report.name) {
+            Some((_, checks, failures)) => {
+                *checks += report.checks;
+                failures.extend(report.failures.iter().cloned());
+            }
+            None => self
+                .entries
+                .push((report.name, report.checks, report.failures.clone())),
+        }
+    }
+
+    /// Whether every recorded check passed.
+    pub fn passed(&self) -> bool {
+        self.entries.iter().all(|(_, _, f)| f.is_empty())
+    }
+
+    /// Names of tests with at least one failing check, in record order.
+    pub fn failed_tests(&self) -> Vec<&'static str> {
+        self.entries
+            .iter()
+            .filter(|(_, _, f)| !f.is_empty())
+            .map(|(n, _, _)| *n)
+            .collect()
+    }
+
+    /// Per-test rows: `(name, checks, failure count)`, in record order.
+    pub fn rows(&self) -> impl Iterator<Item = (&'static str, u64, usize)> + '_ {
+        self.entries.iter().map(|(n, c, f)| (*n, *c, f.len()))
+    }
+
+    /// Total number of failing checks across all tests.
+    pub fn failure_count(&self) -> usize {
+        self.entries.iter().map(|(_, _, f)| f.len()).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -89,7 +89,7 @@ pub(crate) fn check_reachability_from(
 /// `markPacket` per hop with the concrete packet (as transformed so far)
 /// at that hop's location.
 /// Each ordered pair samples from its own RNG seeded by
-/// [`pair_seed`]`(seed, src_index, dst_index)`, so the sampled addresses
+/// `pair_seed(seed, src_index, dst_index)`, so the sampled addresses
 /// are a function of the pair alone — running pairs in any order, or
 /// sharded across threads, reproduces the exact same packets.
 pub fn tor_pingmesh(bdd: &mut Bdd, ctx: &mut TestContext<'_>, seed: u64) -> TestReport {
@@ -108,15 +108,10 @@ pub fn tor_pingmesh(bdd: &mut Bdd, ctx: &mut TestContext<'_>, seed: u64) -> Test
 }
 
 /// Derive the RNG seed of one ordered ToR pair from the suite seed —
-/// splitmix64 over (seed, src, dst), so every pair's sample stream is
-/// independent of execution order.
+/// [`yardstick::rng::seed_mix`] over (seed, src‖dst), so every pair's
+/// sample stream is independent of execution order.
 pub(crate) fn pair_seed(seed: u64, src_index: usize, dst_index: usize) -> u64 {
-    let mut z =
-        seed ^ ((src_index as u64) << 32 | dst_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    yardstick::rng::seed_mix(seed, (src_index as u64) << 32 | dst_index as u64)
 }
 
 /// ToRPingmesh for one ordered ToR pair — the shardable unit. `seed` is

@@ -33,8 +33,10 @@ pub mod shard;
 
 pub use acl::{acl_behavior_check, acl_entry_check};
 pub use beyond::{host_port_check, wan_route_check, WanSpec};
-pub use context::{NetworkInfo, TestContext, TestReport};
+pub use context::{NetworkInfo, SuiteVerdict, TestContext, TestReport};
 pub use e2e::{tor_pingmesh, tor_reachability};
 pub use inspection::{connected_route_check, default_route_check};
 pub use local::{agg_can_reach_tor_loopback, internal_route_check, tor_contract};
-pub use shard::{fattree_suite_jobs, regional_suite_jobs, run_job, RoleFilter, SuiteJob};
+pub use shard::{
+    acl_entry_jobs, fattree_suite_jobs, regional_suite_jobs, run_job, RoleFilter, SuiteJob,
+};

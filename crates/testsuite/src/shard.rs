@@ -17,6 +17,7 @@ use netmodel::topology::{DeviceId, Role};
 use netmodel::{MatchSets, Network, Prefix};
 use yardstick::Tracker;
 
+use crate::acl::acl_entry_check;
 use crate::context::{NetworkInfo, TestContext, TestReport};
 use crate::e2e::{check_ping_pair, check_reachability_from, pair_seed};
 use crate::inspection::{check_connected_link, check_default_route};
@@ -59,6 +60,8 @@ pub enum SuiteJob {
         dst_index: usize,
         seed: u64,
     },
+    /// AclEntryCheck at one device: a deny entry for `port` must exist.
+    AclEntry { device: DeviceId, port: u16 },
 }
 
 impl SuiteJob {
@@ -70,8 +73,19 @@ impl SuiteJob {
             SuiteJob::Contract { .. } => "Contract",
             SuiteJob::Reachability { .. } => "ToRReachability",
             SuiteJob::Pingmesh { .. } => "ToRPingmesh",
+            SuiteJob::AclEntry { .. } => "AclEntryCheck",
         }
     }
+}
+
+/// One [`SuiteJob::AclEntry`] job per guarded device — the
+/// state-inspection test that covers ACL deny entries (`markRule`),
+/// which no behavioural §8 test exercises.
+pub fn acl_entry_jobs(devices: &[DeviceId], port: u16) -> Vec<SuiteJob> {
+    devices
+        .iter()
+        .map(|&device| SuiteJob::AclEntry { device, port })
+        .collect()
 }
 
 /// The §8 fat-tree suite (DefaultRouteCheck + ToRContract +
@@ -186,6 +200,9 @@ pub fn run_job(
             seed,
         } => {
             check_ping_pair(bdd, &mut ctx, &mut report, *src_index, *dst_index, *seed);
+        }
+        SuiteJob::AclEntry { device, port } => {
+            report = acl_entry_check(bdd, &mut ctx, &[*device], *port);
         }
     }
     *tracker = ctx.tracker;

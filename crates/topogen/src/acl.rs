@@ -16,6 +16,9 @@ use netmodel::Network;
 /// One ACL deny entry.
 #[derive(Clone, Debug)]
 pub struct AclEntry {
+    /// Destination prefix to constrain the deny to; `None` blocks the
+    /// port everywhere.
+    pub dst: Option<netmodel::Prefix>,
     /// IP protocol to match (e.g. 6 for TCP); `None` matches all.
     pub proto: Option<u8>,
     /// Destination-port range to block.
@@ -26,6 +29,17 @@ impl AclEntry {
     /// Block one TCP destination port.
     pub fn block_tcp_port(port: u16) -> AclEntry {
         AclEntry {
+            dst: None,
+            proto: Some(6),
+            dport: (port, port),
+        }
+    }
+
+    /// Block one TCP destination port toward a specific prefix — a
+    /// bogon-filter-style entry that leaves all other destinations alone.
+    pub fn block_tcp_port_to(prefix: netmodel::Prefix, port: u16) -> AclEntry {
+        AclEntry {
+            dst: Some(prefix),
             proto: Some(6),
             dport: (port, port),
         }
@@ -41,6 +55,7 @@ pub fn install_acl(net: &mut Network, device: DeviceId, entries: &[AclEntry]) ->
     for e in entries {
         table.push(Rule {
             matches: MatchFields {
+                dst: e.dst,
                 proto: e.proto,
                 dport: Some(e.dport),
                 ..MatchFields::default()
@@ -130,6 +145,7 @@ mod tests {
             &mut ft.net,
             tor,
             &[AclEntry {
+                dst: None,
                 proto: None,
                 dport: (161, 162),
             }],
