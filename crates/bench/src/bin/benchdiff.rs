@@ -11,9 +11,9 @@
 //!   `seq_secs`/`par_secs` plus the two totals.
 //! * **Generic metrics** (`BENCH_netbdd.json` and future benches): a
 //!   top-level `"metrics"` object whose numeric values are all
-//!   smaller-is-better; keys present in both files are compared, keys on
-//!   one side only are reported and skipped. An optional `"info"` object
-//!   is context (rates, throughput) and is never compared.
+//!   smaller-is-better; keys present in both files are compared. An
+//!   optional `"info"` object is context (rates, throughput) and is
+//!   never compared.
 //!
 //! A metric is a regression when `new > old * (1 + tolerance)`. With
 //! `--seq-only`, parallel-leg metrics (`*.par_secs`, `total_par_secs`)
@@ -22,7 +22,9 @@
 //! sequential legs and keeps the parallel ones informational. Exit
 //! status: 0 when nothing gated regressed, 1 on any gated regression, 2
 //! on unusable input (missing file, malformed JSON, no comparable
-//! metrics).
+//! metrics) — including a phase or metric present on only one side, in
+//! either direction: a renamed or dropped phase must fail loudly, never
+//! silently shrink the comparison.
 
 use std::process::ExitCode;
 
@@ -68,7 +70,19 @@ fn main() -> ExitCode {
         }
     };
 
-    let rows = collect_rows(&old, &new, seq_only);
+    let (rows, mismatches) = collect_rows(&old, &new, seq_only);
+    if !mismatches.is_empty() {
+        for m in &mismatches {
+            eprintln!("benchdiff: {m}");
+        }
+        eprintln!(
+            "benchdiff: {} structural mismatch(es) between {} and {}",
+            mismatches.len(),
+            files[0],
+            files[1]
+        );
+        return ExitCode::from(2);
+    }
     if rows.is_empty() {
         eprintln!("benchdiff: no comparable timing metrics between the two files");
         return ExitCode::from(2);
@@ -136,11 +150,13 @@ fn load(path: &str) -> Result<Json, String> {
 
 /// Pair up every metric present in both files: per-phase sequential and
 /// parallel times (matched by phase name) plus totals, and every numeric
-/// key of a top-level `"metrics"` object. Entries present on only one
-/// side are reported but not compared — a renamed phase or metric should
-/// not mask a regression elsewhere.
-fn collect_rows(old: &Json, new: &Json, seq_only: bool) -> Vec<Row> {
+/// key of a top-level `"metrics"` object. A phase or metric present on
+/// only one side — in either direction — is a structural mismatch,
+/// returned by name so the caller can fail the run: silently skipping it
+/// would let a renamed or dropped phase mask a regression.
+fn collect_rows(old: &Json, new: &Json, seq_only: bool) -> (Vec<Row>, Vec<String>) {
     let mut rows = Vec::new();
+    let mut mismatches = Vec::new();
     let old_phases = old.get("phases").and_then(|p| p.as_array()).unwrap_or(&[]);
     let new_phases = new.get("phases").and_then(|p| p.as_array()).unwrap_or(&[]);
     let find = |phases: &[Json], name: &str| -> Option<(f64, f64)> {
@@ -154,10 +170,21 @@ fn collect_rows(old: &Json, new: &Json, seq_only: bool) -> Vec<Row> {
             ))
         })
     };
-    for p in old_phases {
-        let Some(name) = p.get("name").and_then(|n| n.as_str()) else {
+    fn names(phases: &[Json]) -> Vec<&str> {
+        phases
+            .iter()
+            .filter_map(|p| p.get("name").and_then(|n| n.as_str()))
+            .collect()
+    }
+    let old_names = names(old_phases);
+    let new_names = names(new_phases);
+    for &name in &old_names {
+        if !new_names.contains(&name) {
+            mismatches.push(format!(
+                "phase {name:?} present in the baseline, absent from the candidate"
+            ));
             continue;
-        };
+        }
         match (find(old_phases, name), find(new_phases, name)) {
             (Some((os, op)), Some((ns, np))) => {
                 rows.push(Row {
@@ -173,36 +200,68 @@ fn collect_rows(old: &Json, new: &Json, seq_only: bool) -> Vec<Row> {
                     gated: !seq_only,
                 });
             }
-            _ => eprintln!("benchdiff: phase {name:?} missing from the new file, skipped"),
+            _ => mismatches.push(format!("phase {name:?} lacks comparable timing fields")),
+        }
+    }
+    for &name in &new_names {
+        if !old_names.contains(&name) {
+            mismatches.push(format!(
+                "phase {name:?} present in the candidate, absent from the baseline"
+            ));
         }
     }
     for (key, gated) in [("total_seq_secs", true), ("total_par_secs", !seq_only)] {
-        if let (Some(o), Some(n)) = (
+        match (
             old.get(key).and_then(|v| v.as_f64()),
             new.get(key).and_then(|v| v.as_f64()),
         ) {
-            rows.push(Row {
+            (Some(o), Some(n)) => rows.push(Row {
                 metric: key.to_string(),
                 old: o,
                 new: n,
                 gated,
-            });
+            }),
+            (Some(_), None) => {
+                mismatches.push(format!("{key} present in the baseline only"));
+            }
+            (None, Some(_)) => {
+                mismatches.push(format!("{key} present in the candidate only"));
+            }
+            (None, None) => {}
         }
     }
     // Generic smaller-is-better metrics objects.
-    if let (Some(om), Some(nm)) = (old.get("metrics"), new.get("metrics")) {
-        for (key, ov) in om.entries() {
-            let Some(o) = ov.as_f64() else { continue };
-            match nm.get(key).and_then(|v| v.as_f64()) {
-                Some(n) => rows.push(Row {
-                    metric: format!("metrics.{key}"),
-                    old: o,
-                    new: n,
-                    gated: true,
-                }),
-                None => eprintln!("benchdiff: metric {key:?} missing from the new file, skipped"),
+    match (old.get("metrics"), new.get("metrics")) {
+        (Some(om), Some(nm)) => {
+            for (key, ov) in om.entries() {
+                let Some(o) = ov.as_f64() else { continue };
+                match nm.get(key).and_then(|v| v.as_f64()) {
+                    Some(n) => rows.push(Row {
+                        metric: format!("metrics.{key}"),
+                        old: o,
+                        new: n,
+                        gated: true,
+                    }),
+                    None => mismatches.push(format!(
+                        "metric {key:?} present in the baseline, absent from the candidate"
+                    )),
+                }
+            }
+            for (key, nv) in nm.entries() {
+                if nv.as_f64().is_some() && om.get(key).and_then(|v| v.as_f64()).is_none() {
+                    mismatches.push(format!(
+                        "metric {key:?} present in the candidate, absent from the baseline"
+                    ));
+                }
             }
         }
+        (Some(_), None) => {
+            mismatches.push("\"metrics\" object present in the baseline only".to_string());
+        }
+        (None, Some(_)) => {
+            mismatches.push("\"metrics\" object present in the candidate only".to_string());
+        }
+        (None, None) => {}
     }
-    rows
+    (rows, mismatches)
 }

@@ -83,6 +83,26 @@ impl<'a> Analyzer<'a> {
         }
     }
 
+    /// Wrap covered sets that were computed elsewhere — the constructor a
+    /// long-lived engine uses after incrementally refreshing its shards,
+    /// so metrics never force a from-scratch Algorithm 1 pass. The caller
+    /// is responsible for `covered` actually corresponding to
+    /// `(net, ms, trace)`; every metric is then bit-identical to what
+    /// [`Analyzer::new`] would produce.
+    pub fn with_covered(
+        net: &'a Network,
+        ms: &'a MatchSets,
+        trace: &'a CoverageTrace,
+        covered: CoveredSets,
+    ) -> Analyzer<'a> {
+        Analyzer {
+            net,
+            ms,
+            trace,
+            covered,
+        }
+    }
+
     /// The network under analysis.
     pub fn network(&self) -> &'a Network {
         self.net

@@ -16,6 +16,7 @@
 use std::collections::HashMap;
 
 use netbdd::{Bdd, PortableBdd, Ref};
+use netmodel::topology::DeviceId;
 use netmodel::{IfaceId, MatchSets, Network, RuleId};
 
 use crate::parallel::ParallelRunner;
@@ -39,25 +40,26 @@ impl CoveredSets {
         let _span = netobs::span!("covered_sets");
         let mut covered = Vec::with_capacity(net.topology().device_count());
         for (device, _) in net.topology().devices() {
-            // The packets the trace recorded anywhere at this device.
-            let at_device = trace.packets.at_device(bdd, device);
-            let mut dev = Vec::with_capacity(net.device_rules(device).len());
-            for id in net.device_rule_ids(device) {
-                let m = ms.get(id);
-                let t = if trace.rules.contains(&id) {
-                    m
-                } else {
-                    let applicable = match net.rule(id).matches.in_iface {
-                        None => at_device,
-                        Some(iface) => trace.packets.at_device_iface(device, iface),
-                    };
-                    bdd.and(applicable, m)
-                };
-                dev.push(t);
-            }
-            covered.push(dev);
+            covered.push(device_covered(net, ms, trace, bdd, device));
         }
         CoveredSets { covered }
+    }
+
+    /// Re-run Algorithm 1 for one device in place, leaving every other
+    /// device's shard untouched — the unit of invalidation a long-lived
+    /// engine uses after a rule or test delta confined to `device`.
+    /// Identical math to the per-device body of [`CoveredSets::compute`],
+    /// so the refreshed shard is bit-identical to a from-scratch batch
+    /// recompute in the same manager.
+    pub fn recompute_device(
+        &mut self,
+        net: &Network,
+        ms: &MatchSets,
+        trace: &CoverageTrace,
+        bdd: &mut Bdd,
+        device: DeviceId,
+    ) {
+        self.covered[device.0 as usize] = device_covered(net, ms, trace, bdd, device);
     }
 
     /// Algorithm 1 sharded by device across `threads` worker threads.
@@ -179,6 +181,34 @@ impl CoveredSets {
     pub fn any_exercised(&self, ids: impl IntoIterator<Item = RuleId>) -> bool {
         ids.into_iter().any(|id| self.is_exercised(id))
     }
+}
+
+/// Algorithm 1 for one device: the shared body of
+/// [`CoveredSets::compute`] and [`CoveredSets::recompute_device`].
+fn device_covered(
+    net: &Network,
+    ms: &MatchSets,
+    trace: &CoverageTrace,
+    bdd: &mut Bdd,
+    device: DeviceId,
+) -> Vec<Ref> {
+    // The packets the trace recorded anywhere at this device.
+    let at_device = trace.packets.at_device(bdd, device);
+    let mut dev = Vec::with_capacity(net.device_rules(device).len());
+    for id in net.device_rule_ids(device) {
+        let m = ms.get(id);
+        let t = if trace.rules.contains(&id) {
+            m
+        } else {
+            let applicable = match net.rule(id).matches.in_iface {
+                None => at_device,
+                Some(iface) => trace.packets.at_device_iface(device, iface),
+            };
+            bdd.and(applicable, m)
+        };
+        dev.push(t);
+    }
+    dev
 }
 
 #[cfg(test)]

@@ -1,0 +1,869 @@
+//! Synchronous HTTP/JSON front end for the [`CoverageEngine`].
+//!
+//! A deliberately small, dependency-free server: a blocking accept loop
+//! over [`std::net::TcpListener`], one request per connection
+//! (`Connection: close`), hand-rolled HTTP/1.1 framing, and
+//! [`netobs::json`] for request bodies. No async runtime — coverage
+//! queries are CPU-bound BDD work, so a thread pool would only add
+//! contention on the single shared manager.
+//!
+//! Endpoints:
+//!
+//! | method | path | query/body | answer |
+//! |--------|------|------------|--------|
+//! | GET  | `/covers`      | `rule=<dev>.<idx>`          | coverage of one rule (LRU-cached) |
+//! | GET  | `/metrics`     | —                           | headline metrics, engine state, netobs snapshots |
+//! | GET  | `/delta-since` | `trace=<version>`           | deltas applied after that engine version |
+//! | POST | `/delta`       | JSON delta document         | applies a rule/test delta |
+//! | POST | `/shutdown`    | —                           | acknowledges, then the serve loop exits |
+//!
+//! The parsing and handling layers are pure functions over [`Request`]
+//! and [`Response`] so they are testable without sockets; only
+//! [`serve`] and the [`http_get`]/[`http_post`] client helpers touch
+//! the network.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+use netbdd::PortableBdd;
+use netmodel::topology::DeviceId;
+use netmodel::{Action, IfaceId, Location, MatchFields, Prefix, RouteClass, Rule, RuleId};
+use netobs::json::{self, Json};
+
+use crate::engine::{CoverageEngine, DeltaRecord, EngineError};
+use crate::trace::PortableTrace;
+
+/// A parsed HTTP request: method, path, decoded query pairs, body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// The path without the query string.
+    pub path: String,
+    /// Query parameters in order of appearance, percent-decoded.
+    pub query: Vec<(String, String)>,
+    /// The request body (empty when absent).
+    pub body: String,
+}
+
+impl Request {
+    /// Build a request from a method, a target (`/path?k=v`), and a body.
+    pub fn new(method: &str, target: &str, body: &str) -> Request {
+        let (path, qs) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        let query = qs
+            .split('&')
+            .filter(|kv| !kv.is_empty())
+            .map(|kv| match kv.split_once('=') {
+                Some((k, v)) => (percent_decode(k), percent_decode(v)),
+                None => (percent_decode(kv), String::new()),
+            })
+            .collect();
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            query,
+            body: body.to_string(),
+        }
+    }
+
+    /// First value of query parameter `name`.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// An HTTP response: status code plus a JSON body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body.
+    pub body: String,
+}
+
+impl Response {
+    fn ok(body: String) -> Response {
+        Response { status: 200, body }
+    }
+
+    fn error(status: u16, message: &str) -> Response {
+        Response {
+            status,
+            body: format!("{{\"error\":{}}}", jstr(message)),
+        }
+    }
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 3 <= bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+// ----- JSON emission (the parser in netobs::json is read-only) -----------
+
+/// A JSON string literal (quoted, escaped).
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A JSON number (`f64` displays as `1` for `1.0`, which is valid JSON).
+fn jnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// `null` for `None`.
+fn jopt(x: Option<f64>) -> String {
+    x.map(jnum).unwrap_or_else(|| "null".to_string())
+}
+
+// ----- wire decoding ------------------------------------------------------
+
+fn num_u32(j: Option<&Json>, what: &str) -> Result<u32, String> {
+    let n = j
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{what} must be a number"))?;
+    if !(0.0..=u32::MAX as f64).contains(&n) || n.fract() != 0.0 {
+        return Err(format!("{what} out of range: {n}"));
+    }
+    Ok(n as u32)
+}
+
+/// Parse a rule id of the form `<device>.<index>` or `r<device>.<index>`.
+pub fn parse_rule_id(s: &str) -> Option<RuleId> {
+    let s = s.strip_prefix('r').unwrap_or(s);
+    let (d, i) = s.split_once('.')?;
+    Some(RuleId {
+        device: DeviceId(d.parse().ok()?),
+        index: i.parse().ok()?,
+    })
+}
+
+/// Decode a rule from its JSON wire form:
+/// `{"dst": "10.0.0.0/24", "out_ifaces": [3], "in_iface": 2, "class": "other"}`.
+/// Every field is optional; empty `out_ifaces` means drop.
+pub fn decode_rule(j: &Json) -> Result<Rule, String> {
+    let dst = match j.get("dst") {
+        None | Some(Json::Null) => None,
+        Some(v) => {
+            let s = v.as_str().ok_or("dst must be a prefix string")?;
+            Some(s.parse::<Prefix>().map_err(|e| format!("bad dst: {e}"))?)
+        }
+    };
+    let in_iface = match j.get("in_iface") {
+        None | Some(Json::Null) => None,
+        v => Some(IfaceId(num_u32(v, "in_iface")?)),
+    };
+    let mut out_ifaces = Vec::new();
+    if let Some(arr) = j.get("out_ifaces") {
+        for v in arr.as_array().ok_or("out_ifaces must be an array")? {
+            out_ifaces.push(IfaceId(num_u32(Some(v), "out_ifaces entry")?));
+        }
+    }
+    let class = match j.get("class").and_then(Json::as_str) {
+        None => RouteClass::Other,
+        Some("static-default") => RouteClass::StaticDefault,
+        Some("bgp-default") => RouteClass::BgpDefault,
+        Some("host-subnet") => RouteClass::HostSubnet,
+        Some("loopback") => RouteClass::Loopback,
+        Some("connected") => RouteClass::Connected,
+        Some("wan") => RouteClass::Wan,
+        Some("other") => RouteClass::Other,
+        Some(other) => return Err(format!("unknown route class {other:?}")),
+    };
+    Ok(Rule {
+        matches: MatchFields {
+            dst,
+            in_iface,
+            ..MatchFields::default()
+        },
+        action: if out_ifaces.is_empty() {
+            Action::Drop
+        } else {
+            Action::Forward(out_ifaces)
+        },
+        class,
+    })
+}
+
+/// Decode a portable trace from its JSON wire form (see
+/// [`trace_to_json`] for the encoder). Structural validation of the
+/// packet-set snapshots happens later, in
+/// [`PortableTrace::try_import`] — this only checks JSON shape.
+pub fn decode_trace(j: &Json) -> Result<PortableTrace, String> {
+    let mut packets = Vec::new();
+    if let Some(arr) = j.get("packets") {
+        for p in arr.as_array().ok_or("packets must be an array")? {
+            let device = DeviceId(num_u32(p.get("device"), "packet device")?);
+            let loc = match p.get("iface") {
+                None | Some(Json::Null) => Location::device(device),
+                v => Location::at(device, IfaceId(num_u32(v, "packet iface")?)),
+            };
+            let mut nodes = Vec::new();
+            if let Some(ns) = p.get("nodes") {
+                for n in ns.as_array().ok_or("nodes must be an array")? {
+                    let triple = n.as_array().ok_or("node must be [var, lo, hi]")?;
+                    if triple.len() != 3 {
+                        return Err("node must be [var, lo, hi]".into());
+                    }
+                    nodes.push((
+                        num_u32(Some(&triple[0]), "node var")?,
+                        num_u32(Some(&triple[1]), "node lo")?,
+                        num_u32(Some(&triple[2]), "node hi")?,
+                    ));
+                }
+            }
+            let root = num_u32(p.get("root"), "packet root")?;
+            packets.push((loc, PortableBdd::from_parts(nodes, root)));
+        }
+    }
+    let mut rules = std::collections::BTreeSet::new();
+    if let Some(arr) = j.get("rules") {
+        for r in arr.as_array().ok_or("rules must be an array")? {
+            let pair = r.as_array().ok_or("rule mark must be [device, index]")?;
+            if pair.len() != 2 {
+                return Err("rule mark must be [device, index]".into());
+            }
+            rules.insert(RuleId {
+                device: DeviceId(num_u32(Some(&pair[0]), "rule mark device")?),
+                index: num_u32(Some(&pair[1]), "rule mark index")?,
+            });
+        }
+    }
+    Ok(PortableTrace::from_parts(packets, rules))
+}
+
+/// Encode a portable trace as the JSON wire form [`decode_trace`] reads.
+pub fn trace_to_json(t: &PortableTrace) -> String {
+    let packets: Vec<String> = t
+        .packets()
+        .iter()
+        .map(|(loc, p)| {
+            let nodes: Vec<String> = p
+                .nodes()
+                .iter()
+                .map(|&(v, lo, hi)| format!("[{v},{lo},{hi}]"))
+                .collect();
+            let iface = match loc.iface {
+                Some(i) => i.0.to_string(),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"device\":{},\"iface\":{},\"nodes\":[{}],\"root\":{}}}",
+                loc.device.0,
+                iface,
+                nodes.join(","),
+                p.root()
+            )
+        })
+        .collect();
+    let rules: Vec<String> = t
+        .rules()
+        .iter()
+        .map(|id| format!("[{},{}]", id.device.0, id.index))
+        .collect();
+    format!(
+        "{{\"packets\":[{}],\"rules\":[{}]}}",
+        packets.join(","),
+        rules.join(",")
+    )
+}
+
+// ----- handlers -----------------------------------------------------------
+
+fn engine_error_status(e: &EngineError) -> u16 {
+    match e {
+        EngineError::UnknownDevice { .. }
+        | EngineError::UnknownTest { .. }
+        | EngineError::BadRuleIndex { .. } => 404,
+        _ => 400,
+    }
+}
+
+fn handle_covers(engine: &mut CoverageEngine, req: &Request) -> Response {
+    let raw = match req.param("rule") {
+        Some(r) => r,
+        None => return Response::error(400, "missing query parameter: rule"),
+    };
+    let id = match parse_rule_id(raw) {
+        Some(id) => id,
+        None => return Response::error(400, "rule must look like <device>.<index>"),
+    };
+    let key = format!("covers:{}.{}", id.device.0, id.index);
+    if let Some(cached) = engine.query_cache().get(&key) {
+        return Response::ok(cached);
+    }
+    let c = match engine.rule_coverage(id) {
+        Ok(c) => c,
+        Err(e) => return Response::error(engine_error_status(&e), &e.to_string()),
+    };
+    let body = format!(
+        "{{\"rule\":\"r{}.{}\",\"version\":{},\"match_probability\":{},\"covered_probability\":{},\"coverage\":{},\"exercised\":{}}}",
+        id.device.0,
+        id.index,
+        engine.version(),
+        jnum(c.match_probability),
+        jnum(c.covered_probability),
+        jopt(c.coverage),
+        c.exercised
+    );
+    engine.query_cache().insert(key, body.clone());
+    Response::ok(body)
+}
+
+fn handle_metrics(engine: &mut CoverageEngine) -> Response {
+    let headline = engine.headline_metrics();
+    engine.publish_gauges();
+    let stats = engine.query_cache_stats();
+    let gauges: Vec<String> = netobs::gauges_snapshot()
+        .iter()
+        .map(|(k, v)| format!("{}:{}", jstr(k), jnum(*v)))
+        .collect();
+    let counters: Vec<String> = netobs::counters_snapshot()
+        .iter()
+        .map(|(k, v)| format!("{}:{}", jstr(k), v))
+        .collect();
+    let body = format!(
+        "{{\"version\":{},\"devices\":{},\"rules\":{},\"tests\":{},\
+         \"headline\":{{\"rule_fractional\":{},\"rule_weighted\":{},\"device_fractional\":{}}},\
+         \"query_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{},\"capacity\":{}}},\
+         \"gauges\":{{{}}},\"counters\":{{{}}}}}",
+        engine.version(),
+        engine.network().topology().device_count(),
+        engine.network().rule_count(),
+        engine.test_names().count(),
+        jopt(headline.rule_fractional),
+        jopt(headline.rule_weighted),
+        jopt(headline.device_fractional),
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.entries,
+        stats.capacity,
+        gauges.join(","),
+        counters.join(",")
+    );
+    Response::ok(body)
+}
+
+fn record_json(r: &DeltaRecord) -> String {
+    let devices: Vec<String> = r.devices.iter().map(|d| d.0.to_string()).collect();
+    format!(
+        "{{\"version\":{},\"kind\":{},\"detail\":{},\"devices\":[{}]}}",
+        r.version,
+        jstr(r.kind.as_str()),
+        jstr(&r.detail),
+        devices.join(",")
+    )
+}
+
+fn handle_delta_since(engine: &mut CoverageEngine, req: &Request) -> Response {
+    let since: u64 = match req.param("trace").map(str::parse) {
+        Some(Ok(v)) => v,
+        _ => return Response::error(400, "missing or non-numeric query parameter: trace"),
+    };
+    let deltas: Vec<String> = engine.deltas_since(since).iter().map(record_json).collect();
+    Response::ok(format!(
+        "{{\"since\":{},\"version\":{},\"deltas\":[{}]}}",
+        since,
+        engine.version(),
+        deltas.join(",")
+    ))
+}
+
+fn delta_applied(engine: &CoverageEngine, detail: &str, devices: &[DeviceId]) -> Response {
+    let devices: Vec<String> = devices.iter().map(|d| d.0.to_string()).collect();
+    Response::ok(format!(
+        "{{\"ok\":true,\"version\":{},\"detail\":{},\"devices\":[{}]}}",
+        engine.version(),
+        jstr(detail),
+        devices.join(",")
+    ))
+}
+
+fn handle_delta(engine: &mut CoverageEngine, req: &Request) -> Response {
+    let doc = match json::parse(&req.body) {
+        Ok(doc) => doc,
+        Err(e) => return Response::error(400, &format!("malformed JSON body: {e}")),
+    };
+    let kind = match doc.get("kind").and_then(Json::as_str) {
+        Some(k) => k,
+        None => return Response::error(400, "missing delta kind"),
+    };
+    let outcome = match kind {
+        "rule-insert" => {
+            let device = match num_u32(doc.get("device"), "device") {
+                Ok(d) => DeviceId(d),
+                Err(e) => return Response::error(400, &e),
+            };
+            let rule = match doc.get("rule") {
+                None => return Response::error(400, "missing rule"),
+                Some(j) => match decode_rule(j) {
+                    Ok(r) => r,
+                    Err(e) => return Response::error(400, &e),
+                },
+            };
+            engine
+                .insert_rule(device, rule)
+                .map(|id| (format!("r{}.{}", id.device.0, id.index), vec![device]))
+        }
+        "rule-withdraw" => {
+            let id = match (
+                num_u32(doc.get("device"), "device"),
+                num_u32(doc.get("index"), "index"),
+            ) {
+                (Ok(d), Ok(i)) => RuleId {
+                    device: DeviceId(d),
+                    index: i,
+                },
+                (Err(e), _) | (_, Err(e)) => return Response::error(400, &e),
+            };
+            engine
+                .withdraw_rule(id)
+                .map(|_| (format!("r{}.{}", id.device.0, id.index), vec![id.device]))
+        }
+        "test-add" => {
+            let name = match doc.get("name").and_then(Json::as_str) {
+                Some(n) => n.to_string(),
+                None => return Response::error(400, "missing test name"),
+            };
+            let trace = match doc
+                .get("trace")
+                .ok_or("missing trace".to_string())
+                .and_then(decode_trace)
+            {
+                Ok(t) => t,
+                Err(e) => return Response::error(400, &e),
+            };
+            engine
+                .add_test(&name, &trace)
+                .map(|devices| (name, devices))
+        }
+        "test-remove" => {
+            let name = match doc.get("name").and_then(Json::as_str) {
+                Some(n) => n.to_string(),
+                None => return Response::error(400, "missing test name"),
+            };
+            engine.remove_test(&name).map(|devices| (name, devices))
+        }
+        other => return Response::error(400, &format!("unknown delta kind {other:?}")),
+    };
+    match outcome {
+        Ok((detail, devices)) => delta_applied(engine, &detail, &devices),
+        Err(e) => Response::error(engine_error_status(&e), &e.to_string()),
+    }
+}
+
+/// Dispatch one request against the engine. Pure with respect to I/O:
+/// this is the function the daemon tests drive without sockets.
+pub fn handle(engine: &mut CoverageEngine, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/covers") => handle_covers(engine, req),
+        ("GET", "/metrics") => handle_metrics(engine),
+        ("GET", "/delta-since") => handle_delta_since(engine, req),
+        ("POST", "/delta") => handle_delta(engine, req),
+        ("POST", "/shutdown") => {
+            Response::ok(format!("{{\"ok\":true,\"version\":{}}}", engine.version()))
+        }
+        (_, "/covers" | "/metrics" | "/delta-since" | "/delta" | "/shutdown") => {
+            Response::error(405, "method not allowed")
+        }
+        _ => Response::error(404, &format!("no such endpoint: {}", req.path)),
+    }
+}
+
+// ----- wire framing -------------------------------------------------------
+
+/// Read one HTTP/1.1 request from a stream (request line, headers,
+/// `Content-Length` body).
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("/").to_string();
+    let mut content_len = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_len = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_len];
+    reader.read_exact(&mut body)?;
+    Ok(Request::new(
+        &method,
+        &target,
+        &String::from_utf8_lossy(&body),
+    ))
+}
+
+/// Write a [`Response`] as an HTTP/1.1 message.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let reason = match resp.status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        resp.status,
+        reason,
+        resp.body.len(),
+        resp.body
+    )?;
+    stream.flush()
+}
+
+/// Serve requests until a `POST /shutdown` arrives (which is answered
+/// before the loop exits). One request per connection, handled on the
+/// accepting thread.
+pub fn serve(engine: &mut CoverageEngine, listener: TcpListener) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let mut stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let req = match read_request(&mut stream) {
+            Ok(r) => r,
+            Err(_) => continue,
+        };
+        let shutdown = req.method == "POST" && req.path == "/shutdown";
+        let resp = handle(engine, &req);
+        let _ = write_response(&mut stream, &resp);
+        if shutdown {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+// ----- built-in client ----------------------------------------------------
+
+/// One HTTP round trip; returns `(status, body)`. The daemon's own
+/// client, so scripts and CI never need `curl`.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    target: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// `GET` against a running daemon.
+pub fn http_get(addr: &str, target: &str) -> std::io::Result<(u16, String)> {
+    http_request(addr, "GET", target, "")
+}
+
+/// `POST` against a running daemon.
+pub fn http_post(addr: &str, target: &str, body: &str) -> std::io::Result<(u16, String)> {
+    http_request(addr, "POST", target, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::CoverageTrace;
+    use netbdd::Bdd;
+    use netmodel::header;
+    use netmodel::topology::{IfaceKind, Role, Topology};
+    use netmodel::Network;
+
+    fn build_engine() -> CoverageEngine {
+        let mut t = Topology::new();
+        let tor = t.add_device("tor", Role::Tor);
+        let hosts = t.add_iface(tor, "hosts", IfaceKind::Host);
+        let up = t.add_iface(tor, "up", IfaceKind::External);
+        let mut n = Network::new(t);
+        n.add_rule(
+            tor,
+            Rule::forward(
+                "10.0.0.0/24".parse().unwrap(),
+                vec![hosts],
+                RouteClass::HostSubnet,
+            ),
+        );
+        n.add_rule(
+            tor,
+            Rule::forward(Prefix::v4_default(), vec![up], RouteClass::StaticDefault),
+        );
+        n.finalize();
+        CoverageEngine::new(n, 1)
+    }
+
+    fn mark_trace_json(device: u32, prefix: &str) -> String {
+        let mut bdd = Bdd::new();
+        let mut t = CoverageTrace::new();
+        let set = header::dst_in(&mut bdd, &prefix.parse().unwrap());
+        t.add_packets(&mut bdd, Location::device(DeviceId(device)), set);
+        trace_to_json(&t.export(&bdd))
+    }
+
+    #[test]
+    fn request_parsing_splits_target_and_decodes() {
+        let r = Request::new("GET", "/covers?rule=r0.1&x=a%20b+c", "");
+        assert_eq!(r.path, "/covers");
+        assert_eq!(r.param("rule"), Some("r0.1"));
+        assert_eq!(r.param("x"), Some("a b c"));
+        assert_eq!(r.param("missing"), None);
+    }
+
+    #[test]
+    fn rule_id_parses_both_spellings() {
+        let id = RuleId {
+            device: DeviceId(3),
+            index: 2,
+        };
+        assert_eq!(parse_rule_id("3.2"), Some(id));
+        assert_eq!(parse_rule_id("r3.2"), Some(id));
+        assert_eq!(parse_rule_id("r3"), None);
+        assert_eq!(parse_rule_id("a.b"), None);
+    }
+
+    #[test]
+    fn covers_is_cached_and_warm_answers_hit_the_lru() {
+        let mut engine = build_engine();
+        let req = Request::new("GET", "/covers?rule=0.0", "");
+        let cold = handle(&mut engine, &req);
+        assert_eq!(cold.status, 200);
+        let stats = engine.query_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+        let warm = handle(&mut engine, &req);
+        assert_eq!(warm, cold);
+        let stats = engine.query_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn rule_delta_changes_the_covers_answer_and_flushes_the_cache() {
+        let mut engine = build_engine();
+        let covers = Request::new("GET", "/covers?rule=0.0", "");
+        let before = handle(&mut engine, &covers);
+        let delta = Request::new(
+            "POST",
+            "/delta",
+            r#"{"kind":"rule-insert","device":0,"rule":{"dst":"10.0.0.7/32"}}"#,
+        );
+        let applied = handle(&mut engine, &delta);
+        assert_eq!(applied.status, 200, "{}", applied.body);
+        assert!(applied.body.contains("\"detail\":\"r0.0\""));
+        // The /32 outranks the /24, so rule 0.0 now *is* the new rule:
+        // the answer must change, and it must be a fresh (miss) compute.
+        let after = handle(&mut engine, &covers);
+        assert_ne!(after.body, before.body);
+        let stats = engine.query_cache_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn test_delta_roundtrip_over_the_wire_format() {
+        let mut engine = build_engine();
+        let body = format!(
+            "{{\"kind\":\"test-add\",\"name\":\"t1\",\"trace\":{}}}",
+            mark_trace_json(0, "10.0.0.0/24")
+        );
+        let resp = handle(&mut engine, &Request::new("POST", "/delta", &body));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("\"devices\":[0]"));
+        let covers = handle(&mut engine, &Request::new("GET", "/covers?rule=0.0", ""));
+        assert!(covers.body.contains("\"coverage\":1,"), "{}", covers.body);
+        let resp = handle(
+            &mut engine,
+            &Request::new("POST", "/delta", r#"{"kind":"test-remove","name":"t1"}"#),
+        );
+        assert_eq!(resp.status, 200);
+        let covers = handle(&mut engine, &Request::new("GET", "/covers?rule=0.0", ""));
+        assert!(covers.body.contains("\"coverage\":0,"), "{}", covers.body);
+    }
+
+    #[test]
+    fn malformed_trace_snapshot_is_a_400_not_a_panic() {
+        let mut engine = build_engine();
+        // `root` points past the (empty) node array — exactly the kind of
+        // truncated snapshot `try_import` exists to reject.
+        let body = r#"{"kind":"test-add","name":"bad","trace":{"packets":[{"device":0,"iface":null,"nodes":[],"root":4}],"rules":[]}}"#;
+        let resp = handle(&mut engine, &Request::new("POST", "/delta", body));
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        assert!(resp.body.contains("malformed trace"), "{}", resp.body);
+        assert_eq!(engine.version(), 0);
+    }
+
+    #[test]
+    fn delta_since_reports_the_tail() {
+        let mut engine = build_engine();
+        let body = format!(
+            "{{\"kind\":\"test-add\",\"name\":\"t1\",\"trace\":{}}}",
+            mark_trace_json(0, "10.0.0.0/25")
+        );
+        handle(&mut engine, &Request::new("POST", "/delta", &body));
+        handle(
+            &mut engine,
+            &Request::new(
+                "POST",
+                "/delta",
+                r#"{"kind":"rule-insert","device":0,"rule":{"dst":"10.1.0.0/16"}}"#,
+            ),
+        );
+        let resp = handle(
+            &mut engine,
+            &Request::new("GET", "/delta-since?trace=1", ""),
+        );
+        assert_eq!(resp.status, 200);
+        let doc = json::parse(&resp.body).unwrap();
+        assert_eq!(doc.get("version").unwrap().as_f64(), Some(2.0));
+        let deltas = doc.get("deltas").unwrap().as_array().unwrap();
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(
+            deltas[0].get("kind").unwrap().as_str(),
+            Some("rule-inserted")
+        );
+        let missing = handle(&mut engine, &Request::new("GET", "/delta-since", ""));
+        assert_eq!(missing.status, 400);
+    }
+
+    #[test]
+    fn metrics_body_is_valid_json_with_engine_state() {
+        let mut engine = build_engine();
+        let resp = handle(&mut engine, &Request::new("GET", "/metrics", ""));
+        assert_eq!(resp.status, 200);
+        let doc = json::parse(&resp.body).unwrap();
+        assert_eq!(doc.get("rules").unwrap().as_f64(), Some(2.0));
+        assert_eq!(
+            doc.get("headline")
+                .unwrap()
+                .get("rule_fractional")
+                .unwrap()
+                .as_f64(),
+            Some(0.0)
+        );
+        assert!(doc.get("query_cache").unwrap().get("capacity").is_some());
+    }
+
+    #[test]
+    fn unknown_routes_and_methods_are_named() {
+        let mut engine = build_engine();
+        assert_eq!(
+            handle(&mut engine, &Request::new("GET", "/nope", "")).status,
+            404
+        );
+        assert_eq!(
+            handle(&mut engine, &Request::new("POST", "/covers", "")).status,
+            405
+        );
+        assert_eq!(
+            handle(&mut engine, &Request::new("GET", "/covers?rule=9.0", "")).status,
+            404
+        );
+        assert_eq!(
+            handle(&mut engine, &Request::new("GET", "/covers", "")).status,
+            400
+        );
+    }
+
+    #[test]
+    fn serve_loop_answers_over_a_real_socket_and_shuts_down() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let mut engine = build_engine();
+            serve(&mut engine, listener).unwrap();
+        });
+        let (status, body) = http_get(&addr, "/covers?rule=0.1").unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"rule\":\"r0.1\""));
+        let (status, _) = http_post(
+            &addr,
+            "/delta",
+            r#"{"kind":"rule-insert","device":0,"rule":{"dst":"10.9.0.0/16"}}"#,
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        let (status, body) = http_post(&addr, "/shutdown", "").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ok\":true"));
+        server.join().unwrap();
+    }
+}

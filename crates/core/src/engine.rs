@@ -1,0 +1,874 @@
+//! The persistent coverage engine — incremental serving (long-lived
+//! daemon mode).
+//!
+//! Batch operation computes everything once: match sets, a trace, covered
+//! sets, metrics, exit. A serving deployment instead keeps the analysis
+//! *alive* while the network underneath it changes: routes are programmed
+//! and withdrawn, test suites run and are retired, and operators ask
+//! coverage questions in between. [`CoverageEngine`] owns all of that
+//! state — the routed FIBs, the per-device match-set and covered-set
+//! shards, the per-test traces — and accepts deltas, recomputing only the
+//! devices a delta touches:
+//!
+//! * **Rule deltas** ([`CoverageEngine::insert_rule`] /
+//!   [`CoverageEngine::withdraw_rule`]) re-derive the one device's
+//!   disjoint match sets ([`MatchSets::recompute_device`]) and re-run
+//!   Algorithm 1 for that device ([`CoveredSets::recompute_device`]).
+//!   Every other device's shard is untouched.
+//! * **Test deltas** ([`CoverageEngine::add_test`] /
+//!   [`CoverageEngine::remove_test`]) keep one isolated
+//!   [`CoverageTrace`] per test. Adding a test unions its trace into the
+//!   combined trace (traces are monotone, so a union suffices); removing
+//!   one rebuilds the combined trace from the survivors — coverage is
+//!   not subtractive, `P_T` is a union — and re-runs Algorithm 1 only at
+//!   the devices the departed trace had marked.
+//!
+//! The invalidation unit is the *device*, not the rule: match sets are
+//! first-match chains, so any rule change invalidates every later rule
+//! on the same device anyway, and the device shard is exactly what the
+//! parallel batch path ([`CoveredSets::compute_parallel`]) already
+//! ships to workers. Because every recompute runs the same math in the
+//! same hash-consed manager, incremental state is bit-identical to a
+//! from-scratch batch recompute of the same network and trace.
+//!
+//! Rule identity is positional (`RuleId.index`): an insert or withdraw
+//! renumbers later rules on that device. Rule marks in traces are
+//! interpreted against the *current* table, exactly as a batch run over
+//! the final state would.
+//!
+//! Query results are memoised in a capacity-bounded LRU [`QueryCache`]
+//! that is flushed whole on every applied delta (the
+//! [`netmodel::MatchSetCache`] policy: flush, never surgically patch,
+//! and keep monotone hit/miss/eviction counters across flushes).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use netbdd::{Bdd, PortableBddError};
+use netmodel::topology::DeviceId;
+use netmodel::{IfaceId, Location, MatchSetCache, MatchSets, Network, Rule, RuleId};
+
+use crate::analyzer::Analyzer;
+use crate::covered::CoveredSets;
+use crate::framework::Aggregator;
+use crate::trace::{CoverageTrace, PortableTrace};
+
+/// Default capacity of the query-result LRU cache.
+const DEFAULT_QUERY_CACHE_CAPACITY: usize = 128;
+
+/// Why the engine refused a delta or a query. Deltas arrive over the
+/// wire, so every malformed one must be a named error, never a panic —
+/// the same discipline `routing::delta` applies to batch pipelines.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// The device id is outside the topology.
+    UnknownDevice {
+        /// The offending device id.
+        device: DeviceId,
+        /// How many devices the topology has.
+        device_count: usize,
+    },
+    /// A rule referenced an interface that is absent or belongs to a
+    /// different device.
+    BadIface {
+        /// The offending interface id.
+        iface: IfaceId,
+        /// The device the rule was destined for.
+        device: DeviceId,
+    },
+    /// The rule index is outside its device's table.
+    BadRuleIndex {
+        /// The offending rule id.
+        id: RuleId,
+        /// The device's current table length.
+        table_len: usize,
+    },
+    /// A test with this name is already registered.
+    DuplicateTest {
+        /// The offending test name.
+        name: String,
+    },
+    /// No test with this name is registered.
+    UnknownTest {
+        /// The offending test name.
+        name: String,
+    },
+    /// A test's portable trace failed validation on import.
+    MalformedTrace {
+        /// The location whose packet-set snapshot is malformed.
+        location: Location,
+        /// What was wrong with the snapshot.
+        error: PortableBddError,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownDevice {
+                device,
+                device_count,
+            } => write!(
+                f,
+                "unknown device {device:?} (topology has {device_count} devices)"
+            ),
+            EngineError::BadIface { iface, device } => {
+                write!(f, "interface {iface:?} does not belong to {device:?}")
+            }
+            EngineError::BadRuleIndex { id, table_len } => write!(
+                f,
+                "rule r{}.{} is outside its device's table ({table_len} rules)",
+                id.device.0, id.index
+            ),
+            EngineError::DuplicateTest { name } => {
+                write!(f, "test {name:?} is already registered")
+            }
+            EngineError::UnknownTest { name } => write!(f, "no test named {name:?}"),
+            EngineError::MalformedTrace { location, error } => {
+                write!(f, "malformed trace at {location:?}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// What kind of delta a [`DeltaRecord`] describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaKind {
+    /// A rule was inserted on a device.
+    RuleInserted,
+    /// A rule was withdrawn from a device.
+    RuleWithdrawn,
+    /// A test's trace was registered.
+    TestAdded,
+    /// A test's trace was retired.
+    TestRemoved,
+}
+
+impl DeltaKind {
+    /// Stable wire name of the kind.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DeltaKind::RuleInserted => "rule-inserted",
+            DeltaKind::RuleWithdrawn => "rule-withdrawn",
+            DeltaKind::TestAdded => "test-added",
+            DeltaKind::TestRemoved => "test-removed",
+        }
+    }
+}
+
+/// One applied delta, as reported by `/delta-since`.
+#[derive(Clone, Debug)]
+pub struct DeltaRecord {
+    /// The engine version this delta produced (versions start at 0 for
+    /// the freshly built engine and increase by 1 per delta).
+    pub version: u64,
+    /// What happened.
+    pub kind: DeltaKind,
+    /// Human-readable subject: `r<device>.<index>` for rule deltas, the
+    /// test name for test deltas.
+    pub detail: String,
+    /// The devices whose shards were recomputed.
+    pub devices: Vec<DeviceId>,
+}
+
+/// Counters and occupancy of a [`QueryCache`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryCacheStats {
+    /// Lookups answered from the cache (monotone).
+    pub hits: u64,
+    /// Lookups that missed (monotone).
+    pub misses: u64,
+    /// Entries dropped, by LRU pressure or delta flushes (monotone).
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum resident entries.
+    pub capacity: usize,
+}
+
+/// A capacity-bounded LRU cache for query responses.
+///
+/// Capacity pressure evicts the least-recently-used entry; a delta
+/// flushes the whole cache ([`QueryCache::flush`]) rather than patching
+/// entries — the [`netmodel::MatchSetCache`] policy. Counters are
+/// monotone across flushes so long-lived gauges stay meaningful.
+#[derive(Debug)]
+pub struct QueryCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<String, (u64, String)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl QueryCache {
+    /// A cache holding at most `capacity` responses (minimum 1).
+    pub fn new(capacity: usize) -> QueryCache {
+        QueryCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look `key` up, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &str) -> Option<String> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some((tick, value)) => {
+                *tick = self.tick;
+                self.hits += 1;
+                Some(value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a response, evicting the least-recently-used entry if the
+    /// cache is full.
+    pub fn insert(&mut self, key: String, value: String) {
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (tick, _))| *tick)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&lru);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(key, (self.tick, value));
+    }
+
+    /// Drop every entry (the on-delta invalidation). Each dropped entry
+    /// counts as an eviction; hit/miss counters are untouched.
+    pub fn flush(&mut self) {
+        self.evictions += self.map.len() as u64;
+        self.map.clear();
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> QueryCacheStats {
+        QueryCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// Coverage of a single rule, as served by `/covers`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RuleCoverage {
+    /// The rule queried.
+    pub id: RuleId,
+    /// `P(M[r])` — probability mass of the rule's disjoint match set.
+    pub match_probability: f64,
+    /// `P(T[r])` — probability mass of the rule's covered set.
+    pub covered_probability: f64,
+    /// `P(T[r]) / P(M[r])`, or `None` for fully-shadowed rules.
+    pub coverage: Option<f64>,
+    /// Whether any test exercised the rule at all.
+    pub exercised: bool,
+}
+
+/// The three headline aggregates served by `/metrics`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HeadlineMetrics {
+    /// Network-wide fractional rule coverage.
+    pub rule_fractional: Option<f64>,
+    /// Network-wide probability-weighted rule coverage.
+    pub rule_weighted: Option<f64>,
+    /// Network-wide fractional device coverage.
+    pub device_fractional: Option<f64>,
+}
+
+/// The long-lived incremental coverage engine (see the module docs for
+/// the invalidation model).
+pub struct CoverageEngine {
+    net: Network,
+    bdd: Bdd,
+    ms_cache: MatchSetCache,
+    ms: MatchSets,
+    tests: BTreeMap<String, CoverageTrace>,
+    combined: CoverageTrace,
+    covered: CoveredSets,
+    threads: usize,
+    version: u64,
+    log: Vec<DeltaRecord>,
+    query_cache: QueryCache,
+    devices_invalidated: u64,
+}
+
+impl CoverageEngine {
+    /// Build an engine around a finalized network. The initial covered
+    /// sets (of the empty trace) are computed with the device-sharded
+    /// parallel path when `threads > 1`.
+    pub fn new(net: Network, threads: usize) -> CoverageEngine {
+        let threads = threads.max(1);
+        let mut bdd = Bdd::new();
+        let mut ms_cache = MatchSetCache::new();
+        let ms = MatchSets::compute_cached(&net, &mut bdd, &mut ms_cache);
+        let combined = CoverageTrace::new();
+        let covered = CoveredSets::compute_parallel(&net, &ms, &combined, &mut bdd, threads);
+        CoverageEngine {
+            net,
+            bdd,
+            ms_cache,
+            ms,
+            tests: BTreeMap::new(),
+            combined,
+            covered,
+            threads,
+            version: 0,
+            log: Vec::new(),
+            query_cache: QueryCache::new(DEFAULT_QUERY_CACHE_CAPACITY),
+            devices_invalidated: 0,
+        }
+    }
+
+    /// The network currently being served.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Number of deltas applied so far.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Worker threads used for full (non-incremental) recomputes.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Names of the registered tests, sorted.
+    pub fn test_names(&self) -> impl Iterator<Item = &str> {
+        self.tests.keys().map(String::as_str)
+    }
+
+    /// The query cache (the HTTP layer stores rendered responses here).
+    pub fn query_cache(&mut self) -> &mut QueryCache {
+        &mut self.query_cache
+    }
+
+    /// Query-cache counters without taking a mutable borrow.
+    pub fn query_cache_stats(&self) -> QueryCacheStats {
+        self.query_cache.stats()
+    }
+
+    /// The deltas applied after engine version `since`, oldest first.
+    pub fn deltas_since(&self, since: u64) -> &[DeltaRecord] {
+        let start = self.log.partition_point(|r| r.version <= since);
+        &self.log[start..]
+    }
+
+    /// Run `f` against a read-only [`Analyzer`] view of the current
+    /// state. The analyzer wraps the engine's incrementally maintained
+    /// covered sets, so no Algorithm 1 pass runs here.
+    pub fn with_analyzer<R>(&mut self, f: impl FnOnce(&Analyzer<'_>, &mut Bdd) -> R) -> R {
+        let analyzer =
+            Analyzer::with_covered(&self.net, &self.ms, &self.combined, self.covered.clone());
+        f(&analyzer, &mut self.bdd)
+    }
+
+    /// Coverage of one rule, straight from the resident shards.
+    pub fn rule_coverage(&mut self, id: RuleId) -> Result<RuleCoverage, EngineError> {
+        self.check_rule(id)?;
+        let m = self.ms.get(id);
+        let t = self.covered.get(id);
+        let match_probability = self.bdd.probability(m);
+        let covered_probability = self.bdd.probability(t);
+        let coverage = if m.is_false() {
+            None
+        } else {
+            Some(covered_probability / match_probability)
+        };
+        Ok(RuleCoverage {
+            id,
+            match_probability,
+            covered_probability,
+            coverage,
+            exercised: !t.is_false(),
+        })
+    }
+
+    /// The headline aggregates over the whole network.
+    pub fn headline_metrics(&mut self) -> HeadlineMetrics {
+        self.with_analyzer(|a, bdd| HeadlineMetrics {
+            rule_fractional: a.aggregate_rules(bdd, Aggregator::Fractional, |_, _| true),
+            rule_weighted: a.aggregate_rules(bdd, Aggregator::Weighted, |_, _| true),
+            device_fractional: a.aggregate_devices(bdd, Aggregator::Fractional, |_, _| true),
+        })
+    }
+
+    // ----- deltas ----------------------------------------------------------
+
+    /// Insert `rule` on `device` (first-match position is derived from
+    /// the rule, as [`netmodel::Table::insert_sorted`] does) and refresh
+    /// that device's match-set and covered-set shards.
+    pub fn insert_rule(&mut self, device: DeviceId, rule: Rule) -> Result<RuleId, EngineError> {
+        self.check_device(device)?;
+        for &iface in rule.action.out_ifaces() {
+            self.check_iface(device, iface)?;
+        }
+        if let Some(iface) = rule.matches.in_iface {
+            self.check_iface(device, iface)?;
+        }
+        let id = self.net.insert_rule(device, rule);
+        self.refresh_device(device);
+        self.record(
+            DeltaKind::RuleInserted,
+            format!("r{}.{}", id.device.0, id.index),
+            vec![device],
+        );
+        Ok(id)
+    }
+
+    /// Withdraw the rule `id` and refresh its device's shards. Later
+    /// rules on the device shift down one index.
+    pub fn withdraw_rule(&mut self, id: RuleId) -> Result<Rule, EngineError> {
+        self.check_rule(id)?;
+        let rule = self.net.withdraw_rule(id);
+        self.refresh_device(id.device);
+        self.record(
+            DeltaKind::RuleWithdrawn,
+            format!("r{}.{}", id.device.0, id.index),
+            vec![id.device],
+        );
+        Ok(rule)
+    }
+
+    /// Register a test's trace under `name`. The portable trace is
+    /// validated on import ([`PortableTrace::try_import`]); covered sets
+    /// are recomputed only at the devices the trace marks. Returns those
+    /// devices.
+    pub fn add_test(
+        &mut self,
+        name: &str,
+        trace: &PortableTrace,
+    ) -> Result<Vec<DeviceId>, EngineError> {
+        if self.tests.contains_key(name) {
+            return Err(EngineError::DuplicateTest { name: name.into() });
+        }
+        let trace = trace
+            .try_import(&mut self.bdd)
+            .map_err(|(location, error)| EngineError::MalformedTrace { location, error })?;
+        let devices = trace_devices(&trace);
+        for &device in &devices {
+            self.check_device(device)?;
+        }
+        self.combined.merge(&mut self.bdd, &trace);
+        for &device in &devices {
+            self.covered.recompute_device(
+                &self.net,
+                &self.ms,
+                &self.combined,
+                &mut self.bdd,
+                device,
+            );
+        }
+        self.tests.insert(name.to_string(), trace);
+        self.record(DeltaKind::TestAdded, name.to_string(), devices.clone());
+        Ok(devices)
+    }
+
+    /// Retire the test registered under `name`. Coverage is a union, not
+    /// a sum, so the combined trace is rebuilt from the surviving tests
+    /// and Algorithm 1 re-runs only at the devices the departed trace
+    /// had marked. Returns those devices.
+    pub fn remove_test(&mut self, name: &str) -> Result<Vec<DeviceId>, EngineError> {
+        let trace = self
+            .tests
+            .remove(name)
+            .ok_or_else(|| EngineError::UnknownTest { name: name.into() })?;
+        let devices = trace_devices(&trace);
+        let mut combined = CoverageTrace::new();
+        for t in self.tests.values() {
+            combined.merge(&mut self.bdd, t);
+        }
+        self.combined = combined;
+        for &device in &devices {
+            self.covered.recompute_device(
+                &self.net,
+                &self.ms,
+                &self.combined,
+                &mut self.bdd,
+                device,
+            );
+        }
+        self.record(DeltaKind::TestRemoved, name.to_string(), devices.clone());
+        Ok(devices)
+    }
+
+    /// Publish the engine's state as `netobs` gauges (`engine.*`).
+    pub fn publish_gauges(&self) {
+        netobs::gauge("engine.version", self.version as f64);
+        netobs::gauge("engine.devices", self.net.topology().device_count() as f64);
+        netobs::gauge("engine.rules", self.net.rule_count() as f64);
+        netobs::gauge("engine.tests", self.tests.len() as f64);
+        netobs::gauge(
+            "engine.devices_invalidated_total",
+            self.devices_invalidated as f64,
+        );
+        let s = self.query_cache.stats();
+        netobs::gauge("engine.query_cache.hits", s.hits as f64);
+        netobs::gauge("engine.query_cache.misses", s.misses as f64);
+        netobs::gauge("engine.query_cache.evictions", s.evictions as f64);
+        netobs::gauge("engine.query_cache.entries", s.entries as f64);
+    }
+
+    // ----- internals -------------------------------------------------------
+
+    fn check_device(&self, device: DeviceId) -> Result<(), EngineError> {
+        let count = self.net.topology().device_count();
+        if device.0 as usize >= count {
+            return Err(EngineError::UnknownDevice {
+                device,
+                device_count: count,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_iface(&self, device: DeviceId, iface: IfaceId) -> Result<(), EngineError> {
+        let topo = self.net.topology();
+        if iface.0 as usize >= topo.iface_count() || topo.iface(iface).device != device {
+            return Err(EngineError::BadIface { iface, device });
+        }
+        Ok(())
+    }
+
+    fn check_rule(&self, id: RuleId) -> Result<(), EngineError> {
+        self.check_device(id.device)?;
+        let table_len = self.net.device_rules(id.device).len();
+        if id.index as usize >= table_len {
+            return Err(EngineError::BadRuleIndex { id, table_len });
+        }
+        Ok(())
+    }
+
+    /// Refresh one device's match-set and covered-set shards after its
+    /// table changed.
+    fn refresh_device(&mut self, device: DeviceId) {
+        self.ms
+            .recompute_device(&self.net, &mut self.bdd, &mut self.ms_cache, device);
+        self.covered
+            .recompute_device(&self.net, &self.ms, &self.combined, &mut self.bdd, device);
+    }
+
+    /// Log a delta, bump the version, and flush the query cache.
+    fn record(&mut self, kind: DeltaKind, detail: String, devices: Vec<DeviceId>) {
+        self.version += 1;
+        self.devices_invalidated += devices.len() as u64;
+        self.log.push(DeltaRecord {
+            version: self.version,
+            kind,
+            detail,
+            devices,
+        });
+        self.query_cache.flush();
+        self.publish_gauges();
+    }
+}
+
+/// The distinct devices a trace marks, via packets or rule inspections.
+fn trace_devices(trace: &CoverageTrace) -> Vec<DeviceId> {
+    let mut out: BTreeSet<DeviceId> = trace.packets.devices().into_iter().collect();
+    out.extend(trace.rules.iter().map(|id| id.device));
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::addr::Prefix;
+    use netmodel::header;
+    use netmodel::rule::RouteClass;
+    use netmodel::topology::{IfaceKind, Role, Topology};
+
+    /// Two devices; the tor has a /24 to hosts plus a default up.
+    fn build() -> (Network, DeviceId, DeviceId, IfaceId) {
+        let mut t = Topology::new();
+        let tor = t.add_device("tor", Role::Tor);
+        let spine = t.add_device("spine", Role::Spine);
+        let hosts = t.add_iface(tor, "hosts", IfaceKind::Host);
+        let (up, down) = t.add_link(tor, spine);
+        let mut n = Network::new(t);
+        n.add_rule(
+            tor,
+            Rule::forward(
+                "10.0.0.0/24".parse().unwrap(),
+                vec![hosts],
+                RouteClass::HostSubnet,
+            ),
+        );
+        n.add_rule(
+            tor,
+            Rule::forward(Prefix::v4_default(), vec![up], RouteClass::StaticDefault),
+        );
+        n.add_rule(
+            spine,
+            Rule::forward(
+                "10.0.0.0/24".parse().unwrap(),
+                vec![down],
+                RouteClass::HostSubnet,
+            ),
+        );
+        n.finalize();
+        (n, tor, spine, hosts)
+    }
+
+    /// A portable trace marking `prefix` at `device`.
+    fn mark_trace(device: DeviceId, prefix: &str) -> PortableTrace {
+        let mut bdd = Bdd::new();
+        let mut t = CoverageTrace::new();
+        let set = header::dst_in(&mut bdd, &prefix.parse().unwrap());
+        t.add_packets(&mut bdd, Location::device(device), set);
+        t.export(&bdd)
+    }
+
+    /// Batch recompute of the engine's current state in the engine's own
+    /// manager; `Ref`s must agree exactly (hash-consing).
+    fn assert_matches_batch(engine: &mut CoverageEngine) {
+        let net = engine.net.clone();
+        let combined = engine.combined.clone();
+        let batch_ms = MatchSets::compute(&net, &mut engine.bdd);
+        let batch_cov = CoveredSets::compute(&net, &batch_ms, &combined, &mut engine.bdd);
+        for (id, _) in net.rules() {
+            assert_eq!(engine.ms.get(id), batch_ms.get(id), "match set at {id:?}");
+            assert_eq!(
+                engine.covered.get(id),
+                batch_cov.get(id),
+                "covered set at {id:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rule_insert_refreshes_only_that_device_and_matches_batch() {
+        let (n, tor, spine, hosts) = build();
+        let mut engine = CoverageEngine::new(n, 1);
+        engine
+            .add_test("t", &mark_trace(tor, "10.0.0.0/8"))
+            .unwrap();
+        let spine_before = engine.covered.get(RuleId {
+            device: spine,
+            index: 0,
+        });
+        let id = engine
+            .insert_rule(
+                tor,
+                Rule::forward(
+                    "10.0.0.7/32".parse().unwrap(),
+                    vec![hosts],
+                    RouteClass::Other,
+                ),
+            )
+            .unwrap();
+        // The /32 outranks the /24: it lands at index 0.
+        assert_eq!(
+            id,
+            RuleId {
+                device: tor,
+                index: 0
+            }
+        );
+        // Spine shard untouched (same Ref, not just same function).
+        assert_eq!(
+            engine.covered.get(RuleId {
+                device: spine,
+                index: 0
+            }),
+            spine_before
+        );
+        assert_matches_batch(&mut engine);
+    }
+
+    #[test]
+    fn rule_withdraw_matches_batch() {
+        let (n, tor, _, hosts) = build();
+        let mut engine = CoverageEngine::new(n, 1);
+        engine
+            .add_test("t", &mark_trace(tor, "10.0.0.0/8"))
+            .unwrap();
+        let id = engine
+            .insert_rule(
+                tor,
+                Rule::forward(
+                    "10.0.0.0/16".parse().unwrap(),
+                    vec![hosts],
+                    RouteClass::Other,
+                ),
+            )
+            .unwrap();
+        engine.withdraw_rule(id).unwrap();
+        assert_matches_batch(&mut engine);
+        assert_eq!(engine.version(), 3);
+    }
+
+    #[test]
+    fn test_add_then_remove_restores_prior_coverage() {
+        let (n, tor, _, _) = build();
+        let mut engine = CoverageEngine::new(n, 1);
+        engine
+            .add_test("a", &mark_trace(tor, "10.0.0.0/25"))
+            .unwrap();
+        let before: Vec<_> = engine
+            .net
+            .rules()
+            .map(|(id, _)| id)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|id| (id, engine.covered.get(id)))
+            .collect();
+        let devices = engine
+            .add_test("b", &mark_trace(tor, "10.0.0.0/8"))
+            .unwrap();
+        assert_eq!(devices, vec![tor]);
+        engine.remove_test("b").unwrap();
+        for (id, r) in before {
+            assert_eq!(engine.covered.get(id), r, "covered set at {id:?}");
+        }
+        assert_matches_batch(&mut engine);
+    }
+
+    #[test]
+    fn rule_coverage_reports_exercised_fractions() {
+        let (n, tor, _, _) = build();
+        let mut engine = CoverageEngine::new(n, 1);
+        engine
+            .add_test("t", &mark_trace(tor, "10.0.0.0/24"))
+            .unwrap();
+        let c = engine
+            .rule_coverage(RuleId {
+                device: tor,
+                index: 0,
+            })
+            .unwrap();
+        assert!(c.exercised);
+        assert!((c.coverage.unwrap() - 1.0).abs() < 1e-12);
+        let d = engine
+            .rule_coverage(RuleId {
+                device: tor,
+                index: 1,
+            })
+            .unwrap();
+        assert!(!d.exercised);
+        assert_eq!(d.coverage, Some(0.0));
+    }
+
+    #[test]
+    fn deltas_are_validated_not_panicking() {
+        let (n, tor, _, hosts) = build();
+        let mut engine = CoverageEngine::new(n, 1);
+        assert!(matches!(
+            engine.insert_rule(
+                DeviceId(99),
+                Rule::null_route(Prefix::v4_default(), RouteClass::Other)
+            ),
+            Err(EngineError::UnknownDevice { .. })
+        ));
+        // `hosts` belongs to the tor, not the spine.
+        assert!(matches!(
+            engine.insert_rule(
+                DeviceId(1),
+                Rule::forward(Prefix::v4_default(), vec![hosts], RouteClass::Other)
+            ),
+            Err(EngineError::BadIface { .. })
+        ));
+        assert!(matches!(
+            engine.withdraw_rule(RuleId {
+                device: tor,
+                index: 9
+            }),
+            Err(EngineError::BadRuleIndex { table_len: 2, .. })
+        ));
+        assert!(matches!(
+            engine.remove_test("ghost"),
+            Err(EngineError::UnknownTest { .. })
+        ));
+        engine
+            .add_test("t", &mark_trace(tor, "10.0.0.0/8"))
+            .unwrap();
+        assert!(matches!(
+            engine.add_test("t", &mark_trace(tor, "10.0.0.0/8")),
+            Err(EngineError::DuplicateTest { .. })
+        ));
+        // No delta was applied by any of the rejected calls.
+        assert_eq!(engine.version(), 1);
+    }
+
+    #[test]
+    fn malformed_trace_is_rejected_with_location() {
+        use netbdd::PortableBdd;
+        let (n, tor, _, _) = build();
+        let mut engine = CoverageEngine::new(n, 1);
+        let loc = Location::device(tor);
+        let bad = PortableTrace::from_parts(
+            vec![(loc, PortableBdd::from_parts(vec![(0, 0, 12)], 2))],
+            Default::default(),
+        );
+        match engine.add_test("bad", &bad) {
+            Err(EngineError::MalformedTrace { location, .. }) => assert_eq!(location, loc),
+            other => panic!("expected MalformedTrace, got {other:?}"),
+        }
+        assert_eq!(engine.version(), 0);
+    }
+
+    #[test]
+    fn delta_log_slices_by_version() {
+        let (n, tor, _, _) = build();
+        let mut engine = CoverageEngine::new(n, 1);
+        engine
+            .add_test("a", &mark_trace(tor, "10.0.0.0/8"))
+            .unwrap();
+        engine.remove_test("a").unwrap();
+        assert_eq!(engine.deltas_since(0).len(), 2);
+        let tail = engine.deltas_since(1);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].kind, DeltaKind::TestRemoved);
+        assert_eq!(tail[0].detail, "a");
+        assert!(engine.deltas_since(2).is_empty());
+    }
+
+    #[test]
+    fn query_cache_is_lru_and_flushes_on_delta() {
+        let mut c = QueryCache::new(2);
+        c.insert("a".into(), "1".into());
+        c.insert("b".into(), "2".into());
+        assert_eq!(c.get("a").as_deref(), Some("1")); // refresh a
+        c.insert("c".into(), "3".into()); // evicts b (LRU)
+        assert_eq!(c.get("b"), None);
+        assert_eq!(c.get("a").as_deref(), Some("1"));
+        assert_eq!(c.get("c").as_deref(), Some("3"));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.entries), (3, 1, 1, 2));
+        c.flush();
+        let s = c.stats();
+        // Counters survive the flush; the two resident entries count as
+        // evictions.
+        assert_eq!((s.hits, s.misses, s.evictions, s.entries), (3, 1, 3, 0));
+
+        // And the engine flushes on every applied delta.
+        let (n, tor, _, _) = build();
+        let mut engine = CoverageEngine::new(n, 1);
+        engine.query_cache().insert("k".into(), "v".into());
+        engine
+            .add_test("t", &mark_trace(tor, "10.0.0.0/8"))
+            .unwrap();
+        assert_eq!(engine.query_cache().get("k"), None);
+    }
+}

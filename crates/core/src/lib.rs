@@ -63,6 +63,8 @@ pub mod analyzer;
 pub mod atu;
 pub mod components;
 pub mod covered;
+pub mod daemon;
+pub mod engine;
 pub mod flowcov;
 pub mod framework;
 pub mod gaps;
@@ -77,6 +79,10 @@ pub mod tracker;
 pub use analyzer::Analyzer;
 pub use atu::Atu;
 pub use covered::CoveredSets;
+pub use engine::{
+    CoverageEngine, DeltaKind, DeltaRecord, EngineError, HeadlineMetrics, QueryCache,
+    QueryCacheStats, RuleCoverage,
+};
 pub use framework::{Aggregator, Combinator, ComponentSpec, GuardedString, Measure};
 pub use gaps::{GapEntry, GapReport};
 pub use obs::publish_bdd_gauges;

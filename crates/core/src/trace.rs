@@ -9,7 +9,7 @@
 
 use std::collections::BTreeSet;
 
-use netbdd::{Bdd, PortableBdd, Ref};
+use netbdd::{Bdd, PortableBdd, PortableBddError, Ref};
 use netmodel::{LocatedPacketSet, Location, RuleId};
 
 /// The compact record of what a test suite exercised.
@@ -77,14 +77,45 @@ impl PortableTrace {
     /// Rebuild the trace inside `bdd`. Because imports are hash-consed,
     /// importing into the manager the trace was exported from restores
     /// exactly the original `Ref`s.
+    ///
+    /// Panics on malformed packet-set snapshots; use
+    /// [`PortableTrace::try_import`] for traces received over the wire.
     pub fn import(&self, bdd: &mut Bdd) -> CoverageTrace {
+        self.try_import(bdd)
+            .expect("malformed PortableTrace snapshot")
+    }
+
+    /// [`PortableTrace::import`] for untrusted traces: validates every
+    /// per-location snapshot and reports the first malformed one with
+    /// its location instead of panicking.
+    pub fn try_import(&self, bdd: &mut Bdd) -> Result<CoverageTrace, (Location, PortableBddError)> {
         let mut trace = CoverageTrace::new();
         for (loc, p) in &self.packets {
-            let set = bdd.import(p);
+            let set = bdd.try_import(p).map_err(|e| (*loc, e))?;
             trace.packets.add(bdd, *loc, set);
         }
         trace.rules = self.rules.clone();
-        trace
+        Ok(trace)
+    }
+
+    /// Assemble a snapshot from raw parts — the decode half of a wire
+    /// format. Validation happens in [`PortableTrace::try_import`].
+    pub fn from_parts(
+        packets: Vec<(Location, PortableBdd)>,
+        rules: BTreeSet<RuleId>,
+    ) -> PortableTrace {
+        PortableTrace { packets, rules }
+    }
+
+    /// The per-location packet-set snapshots — the encode half of a wire
+    /// format.
+    pub fn packets(&self) -> &[(Location, PortableBdd)] {
+        &self.packets
+    }
+
+    /// The marked rule ids.
+    pub fn rules(&self) -> &BTreeSet<RuleId> {
+        &self.rules
     }
 
     /// Number of marked locations in the snapshot.
@@ -165,6 +196,19 @@ mod tests {
         let back = p.import(&mut dst);
         let got = back.packets.at(Location::device(DeviceId(7)));
         assert_eq!(dst.probability(got), src.probability(f));
+    }
+
+    #[test]
+    fn malformed_portable_trace_reports_location() {
+        // A trace whose only packet set references a node that does not
+        // exist (truncated snapshot) must fail cleanly, naming where.
+        let loc = Location::device(DeviceId(3));
+        let bad_set = PortableBdd::from_parts(vec![(0, 0, 12)], 2);
+        let p = PortableTrace::from_parts(vec![(loc, bad_set)], BTreeSet::new());
+        let mut bdd = Bdd::new();
+        let err = p.try_import(&mut bdd).unwrap_err();
+        assert_eq!(err.0, loc);
+        assert!(matches!(err.1, PortableBddError::SlotOutOfRange { .. }));
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! Differential proptest for the incremental engine: a random sequence
+//! of deltas (rule inserts/withdraws, test adds/removes) applied to a
+//! [`CoverageEngine`] must leave it **bit identical** to a from-scratch
+//! batch recompute of the final state — every covered set (compared as
+//! exported canonical snapshots), every per-rule metric, and the
+//! headline aggregates, with the batch side run at 1 and 4 threads.
+//!
+//! This is the property the device-sharded invalidation scheme stakes
+//! its correctness on: recomputing only touched devices must never be
+//! observably different from recomputing everything.
+
+use netbdd::{Bdd, PortableBdd};
+use netmodel::header;
+use netmodel::rule::RouteClass;
+use netmodel::topology::{DeviceId, IfaceKind, Role, Topology};
+use netmodel::{Location, MatchSets, Network, Prefix, Rule, RuleId};
+use proptest::prelude::*;
+use yardstick::daemon::{handle, Request};
+use yardstick::{Aggregator, Analyzer, CoverageEngine, CoverageTrace, CoveredSets, PortableTrace};
+
+/// The prefix pool deltas draw from — overlapping on purpose, so
+/// inserts land at different first-match positions and marks straddle
+/// rule boundaries.
+const PREFIXES: &[&str] = &[
+    "10.0.0.0/8",
+    "10.0.0.0/16",
+    "10.0.0.0/24",
+    "10.0.1.0/24",
+    "10.0.0.0/25",
+    "10.0.0.128/25",
+    "10.0.0.7/32",
+    "0.0.0.0/0",
+];
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert {
+        dev_sel: u32,
+        prefix_sel: usize,
+        iface_sel: u32,
+        drop: bool,
+    },
+    Withdraw {
+        dev_sel: u32,
+        idx_sel: u32,
+    },
+    AddTest {
+        dev_sel: u32,
+        prefix_sel: usize,
+        inspect: bool,
+        rule_sel: u32,
+    },
+    RemoveTest {
+        name_sel: u32,
+    },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u32>(), 0..PREFIXES.len(), any::<u32>(), any::<bool>()).prop_map(
+            |(dev_sel, prefix_sel, iface_sel, drop)| Op::Insert {
+                dev_sel,
+                prefix_sel,
+                iface_sel,
+                drop,
+            }
+        ),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(dev_sel, idx_sel)| Op::Withdraw { dev_sel, idx_sel }),
+        (any::<u32>(), 0..PREFIXES.len(), any::<bool>(), any::<u32>()).prop_map(
+            |(dev_sel, prefix_sel, inspect, rule_sel)| Op::AddTest {
+                dev_sel,
+                prefix_sel,
+                inspect,
+                rule_sel,
+            }
+        ),
+        any::<u32>().prop_map(|name_sel| Op::RemoveTest { name_sel }),
+    ]
+}
+
+/// A 3-device chain (tor — agg — spine), host iface per device, a /24
+/// and a default per device. Returns the net and per-device iface lists.
+fn base_net() -> (Network, Vec<Vec<netmodel::IfaceId>>) {
+    let mut t = Topology::new();
+    let roles = [Role::Tor, Role::Aggregation, Role::Spine];
+    let mut devs = Vec::new();
+    let mut dev_ifaces: Vec<Vec<netmodel::IfaceId>> = Vec::new();
+    for (i, role) in roles.iter().enumerate() {
+        let d = t.add_device(format!("d{i}"), *role);
+        let host = t.add_iface(d, "host", IfaceKind::Host);
+        devs.push(d);
+        dev_ifaces.push(vec![host]);
+        if i > 0 {
+            let (up, down) = t.add_link(devs[i - 1], d);
+            dev_ifaces[i - 1].push(up);
+            dev_ifaces[i].push(down);
+        }
+    }
+    let mut n = Network::new(t);
+    for (i, &d) in devs.iter().enumerate() {
+        let host = dev_ifaces[i][0];
+        n.add_rule(
+            d,
+            Rule::forward(
+                format!("10.0.{i}.0/24").parse().unwrap(),
+                vec![host],
+                RouteClass::HostSubnet,
+            ),
+        );
+        n.add_rule(
+            d,
+            Rule::forward(
+                Prefix::v4_default(),
+                vec![*dev_ifaces[i].last().unwrap()],
+                RouteClass::StaticDefault,
+            ),
+        );
+    }
+    n.finalize();
+    (n, dev_ifaces)
+}
+
+/// A portable trace marking `prefix` at `device`, optionally inspecting
+/// one of the device's rules (rule marks are positional, like the wire).
+fn mark_trace(device: DeviceId, prefix: &str, inspect: Option<u32>) -> PortableTrace {
+    let mut bdd = Bdd::new();
+    let mut t = CoverageTrace::new();
+    let set = header::dst_in(&mut bdd, &prefix.parse().unwrap());
+    t.add_packets(&mut bdd, Location::device(device), set);
+    if let Some(index) = inspect {
+        t.add_rule(RuleId { device, index });
+    }
+    t.export(&bdd)
+}
+
+/// Replay `ops` into a fresh engine; returns the engine plus the
+/// surviving tests' portable traces (the batch side's inputs).
+fn replay(ops: &[Op], threads: usize) -> (CoverageEngine, Vec<(String, PortableTrace)>) {
+    let (net, dev_ifaces) = base_net();
+    let device_count = net.topology().device_count() as u32;
+    let mut engine = CoverageEngine::new(net, threads);
+    let mut tests: Vec<(String, PortableTrace)> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Insert {
+                dev_sel,
+                prefix_sel,
+                iface_sel,
+                drop,
+            } => {
+                let d = dev_sel % device_count;
+                let prefix: Prefix = PREFIXES[*prefix_sel].parse().unwrap();
+                let rule = if *drop {
+                    Rule::null_route(prefix, RouteClass::Other)
+                } else {
+                    let ifaces = &dev_ifaces[d as usize];
+                    let pick = ifaces[*iface_sel as usize % ifaces.len()];
+                    Rule::forward(prefix, vec![pick], RouteClass::Other)
+                };
+                engine.insert_rule(DeviceId(d), rule).unwrap();
+            }
+            Op::Withdraw { dev_sel, idx_sel } => {
+                let d = DeviceId(dev_sel % device_count);
+                let len = engine.network().device_rules(d).len() as u32;
+                if len > 0 {
+                    engine
+                        .withdraw_rule(RuleId {
+                            device: d,
+                            index: idx_sel % len,
+                        })
+                        .unwrap();
+                }
+            }
+            Op::AddTest {
+                dev_sel,
+                prefix_sel,
+                inspect,
+                rule_sel,
+            } => {
+                let d = DeviceId(dev_sel % device_count);
+                let len = engine.network().device_rules(d).len() as u32;
+                let inspect = inspect.then(|| rule_sel % len.max(1));
+                let trace = mark_trace(d, PREFIXES[*prefix_sel], inspect);
+                let name = format!("t{i}");
+                engine.add_test(&name, &trace).unwrap();
+                tests.push((name, trace));
+            }
+            Op::RemoveTest { name_sel } => {
+                if !tests.is_empty() {
+                    let (name, _) = tests.remove(*name_sel as usize % tests.len());
+                    engine.remove_test(&name).unwrap();
+                }
+            }
+        }
+    }
+    (engine, tests)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn engine_after_deltas_is_bit_identical_to_batch_recompute(
+        ops in prop::collection::vec(arb_op(), 0..12),
+    ) {
+        for threads in [1usize, 4] {
+            let (mut engine, tests) = replay(&ops, threads);
+
+            // From-scratch batch recompute of the engine's final state,
+            // in a fresh manager.
+            let net = engine.network().clone();
+            let mut bdd = Bdd::new();
+            let ms = MatchSets::compute(&net, &mut bdd);
+            let mut combined = CoverageTrace::new();
+            for (_, portable) in &tests {
+                let t = portable.import(&mut bdd);
+                combined.merge(&mut bdd, &t);
+            }
+            let covered = CoveredSets::compute_parallel(&net, &ms, &combined, &mut bdd, threads);
+
+            // Covered sets: canonical exports must be equal node for node.
+            let engine_side: Vec<(RuleId, PortableBdd)> = engine.with_analyzer(|a, ebdd| {
+                net.rules()
+                    .map(|(id, _)| (id, ebdd.export(a.covered_sets().get(id))))
+                    .collect()
+            });
+            for (id, engine_snapshot) in engine_side {
+                let batch_snapshot = bdd.export(covered.get(id));
+                prop_assert_eq!(
+                    engine_snapshot,
+                    batch_snapshot,
+                    "covered set diverges at {:?} with {} threads",
+                    id,
+                    threads
+                );
+            }
+
+            // Metrics: per-rule and headline, exactly equal floats.
+            let batch = Analyzer::with_covered(&net, &ms, &combined, covered);
+            for (id, _) in net.rules() {
+                let e = engine.rule_coverage(id).unwrap();
+                let b = batch.rule_coverage(&mut bdd, id);
+                prop_assert_eq!(e.coverage, b, "rule metric diverges at {:?}", id);
+            }
+            let headline = engine.headline_metrics();
+            prop_assert_eq!(
+                headline.rule_fractional,
+                batch.aggregate_rules(&mut bdd, Aggregator::Fractional, |_, _| true)
+            );
+            prop_assert_eq!(
+                headline.rule_weighted,
+                batch.aggregate_rules(&mut bdd, Aggregator::Weighted, |_, _| true)
+            );
+            prop_assert_eq!(
+                headline.device_fractional,
+                batch.aggregate_devices(&mut bdd, Aggregator::Fractional, |_, _| true)
+            );
+
+            // A warm `/covers` answers from the LRU cache: the hit
+            // counter increments and the body is unchanged.
+            let first_rule = net.rules().next().map(|(id, _)| id);
+            if let Some(id) = first_rule {
+                let req = Request::new(
+                    "GET",
+                    &format!("/covers?rule={}.{}", id.device.0, id.index),
+                    "",
+                );
+                let cold = handle(&mut engine, &req);
+                prop_assert_eq!(cold.status, 200);
+                let hits_before = engine.query_cache_stats().hits;
+                let warm = handle(&mut engine, &req);
+                prop_assert_eq!(warm, cold);
+                prop_assert_eq!(engine.query_cache_stats().hits, hits_before + 1);
+            }
+        }
+    }
+}

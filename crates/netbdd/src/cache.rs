@@ -102,7 +102,9 @@ impl IteCache {
     #[inline]
     pub fn lookup(&mut self, f: Ref, g: Ref, h: Ref) -> Option<Ref> {
         self.lookups += 1;
-        if self.slots.is_empty() {
+        if self.slots.is_empty() || f.0 == EMPTY {
+            // A terminal first argument is indistinguishable from the
+            // empty-slot sentinel; it must never match a slot.
             return None;
         }
         let (i, j) = self.probes(f, g, h);
@@ -117,7 +119,15 @@ impl IteCache {
     }
 
     pub fn insert(&mut self, f: Ref, g: Ref, h: Ref, r: Ref) {
-        debug_assert!(f.0 != EMPTY, "terminal f must resolve before caching");
+        if f.0 == EMPTY {
+            // Terminal first arguments resolve before the probe, but a
+            // caller that slipped one through would store a key aliasing
+            // the empty-slot sentinel: a slot that is occupied yet reads
+            // as empty, which later inserts would count a second time
+            // until `occupied` crept past capacity. Refuse to cache
+            // rather than corrupt the accounting.
+            return;
+        }
         if self.slots.is_empty() {
             self.slots = vec![Slot::default(); self.capacity()].into_boxed_slice();
         }
@@ -130,15 +140,23 @@ impl IteCache {
         } else if self.slots[j].f == f.0 && self.slots[j].g == g.0 && self.slots[j].h == h.0 {
             j
         } else if self.slots[i].f == EMPTY {
-            self.occupied += 1;
             i
         } else if self.slots[j].f == EMPTY {
-            self.occupied += 1;
             j
         } else {
-            self.evictions += 1;
             i
         };
+        // Account from the pre-write state of the slot actually written,
+        // so one physical slot can never be counted occupied twice:
+        // filling an empty slot grows occupancy, replacing another key is
+        // an eviction, refreshing the same key is neither.
+        let prev = self.slots[target];
+        if prev.f == EMPTY {
+            self.occupied += 1;
+        } else if prev.f != f.0 || prev.g != g.0 || prev.h != h.0 {
+            self.evictions += 1;
+        }
+        debug_assert!(self.occupied <= self.capacity());
         self.slots[target] = Slot {
             f: f.0,
             g: g.0,
@@ -204,6 +222,48 @@ mod tests {
         // The cache still answers *something* correctly: reinsert and hit.
         c.insert(r(2), r(4), r(6), r(12));
         assert_eq!(c.lookup(r(2), r(4), r(6)), Some(r(12)));
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity_under_forced_collisions() {
+        let mut c = IteCache::new(4); // 16 slots, tiny enough to thrash
+        let mut last_evictions = 0;
+        for i in 0..2_000u32 {
+            // Alternate fresh keys with re-inserts of earlier ones so
+            // every slot sees fills, refreshes, and overwrites.
+            let key = 2 + 2 * (i % 700);
+            c.insert(r(key), r(4), r(6), r(8 + 2 * i));
+            assert!(
+                c.occupied() <= c.capacity(),
+                "occupancy {} exceeded capacity {} after insert {}",
+                c.occupied(),
+                c.capacity(),
+                i
+            );
+            let (_, _, evictions) = c.counters();
+            assert!(evictions >= last_evictions, "eviction counter regressed");
+            last_evictions = evictions;
+        }
+        let (_, _, evictions) = c.counters();
+        assert!(evictions > 0, "collision workload must evict");
+        // A full round of eviction churn must not inflate occupancy: the
+        // slot array is the ground truth.
+        let live = c.slots.iter().filter(|s| s.f != EMPTY).count();
+        assert_eq!(c.occupied(), live, "occupancy diverged from live slots");
+    }
+
+    #[test]
+    fn terminal_first_argument_is_never_cached() {
+        let mut c = IteCache::new(4);
+        // Fill one slot legitimately, then hammer the sentinel-aliasing
+        // key: neither occupancy nor counters may drift past capacity.
+        c.insert(r(2), r(4), r(6), r(8));
+        for i in 0..100u32 {
+            c.insert(r(EMPTY), r(4 + 2 * i), r(6), r(8));
+        }
+        assert_eq!(c.occupied(), 1);
+        assert_eq!(c.lookup(r(EMPTY), r(4), r(6)), None);
+        assert!(c.occupied() <= c.capacity());
     }
 
     #[test]

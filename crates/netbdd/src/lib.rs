@@ -65,4 +65,5 @@ pub use cube::Cube;
 pub use debug::{OpCounts, Stats};
 pub use manager::Bdd;
 pub use node::Ref;
-pub use portable::PortableBdd;
+pub use node::Var;
+pub use portable::{PortableBdd, PortableBddError, Slot};

@@ -20,14 +20,71 @@
 
 use crate::fxhash::FxHashMap;
 use crate::manager::Bdd;
-use crate::node::{Ref, Var};
+use crate::node::{Ref, Var, TERMINAL_VAR};
 
 /// Child encoding inside a [`PortableBdd`]: bit 0 is the complement tag;
 /// the remaining bits select the target — 0 for the terminal, `k + 1` for
 /// `nodes[k]`, which always precedes the referencing node (children
 /// first). Targets are stored regular; the tag is per-edge, exactly like
 /// the in-memory `Ref` (so slot 0 is TRUE and slot 1 is FALSE).
-type Slot = u32;
+pub type Slot = u32;
+
+/// Why a [`PortableBdd`] failed validation on import.
+///
+/// Snapshots built by [`Bdd::export`] are well-formed by construction,
+/// but a daemon ingesting snapshots over the wire must treat them as
+/// untrusted: a malformed snapshot is a client error to report, not a
+/// panic to die on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PortableBddError {
+    /// A child slot of `nodes[node]` (or the root, when `node == len`)
+    /// points past the nodes defined before it — a forward reference or
+    /// a truncated node array.
+    SlotOutOfRange {
+        /// Index of the referencing node (`len` for the root slot).
+        node: usize,
+        /// The offending raw slot value.
+        slot: Slot,
+    },
+    /// `nodes[node]` has a complement tag on its lo edge, violating the
+    /// canonical form the exporter guarantees.
+    ComplementedLo {
+        /// Index of the offending node.
+        node: usize,
+    },
+    /// `nodes[node]` carries the reserved terminal variable id.
+    TerminalVar {
+        /// Index of the offending node.
+        node: usize,
+    },
+    /// A child of `nodes[node]` does not have a strictly larger variable
+    /// id, so the snapshot is not ordered.
+    VarOrdering {
+        /// Index of the offending node.
+        node: usize,
+    },
+}
+
+impl std::fmt::Display for PortableBddError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            PortableBddError::SlotOutOfRange { node, slot } => {
+                write!(f, "node {node}: slot {slot} references an undefined node")
+            }
+            PortableBddError::ComplementedLo { node } => {
+                write!(f, "node {node}: lo edge carries a complement tag")
+            }
+            PortableBddError::TerminalVar { node } => {
+                write!(f, "node {node}: reserved terminal variable id")
+            }
+            PortableBddError::VarOrdering { node } => {
+                write!(f, "node {node}: child variable not below parent")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PortableBddError {}
 
 /// A self-contained, manager-independent copy of one BDD function.
 ///
@@ -51,6 +108,25 @@ impl PortableBdd {
     /// Whether the snapshot is a bare terminal.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Assemble a snapshot from raw parts — the decode half of a wire
+    /// format. No validation happens here; [`Bdd::try_import`] validates
+    /// on use, so a malformed wire payload surfaces as a
+    /// [`PortableBddError`] rather than a panic.
+    pub fn from_parts(nodes: Vec<(Var, Slot, Slot)>, root: Slot) -> PortableBdd {
+        PortableBdd { nodes, root }
+    }
+
+    /// The `(var, lo, hi)` triples in children-first order — the encode
+    /// half of a wire format.
+    pub fn nodes(&self) -> &[(Var, Slot, Slot)] {
+        &self.nodes
+    }
+
+    /// The root slot.
+    pub fn root(&self) -> Slot {
+        self.root
     }
 }
 
@@ -106,25 +182,51 @@ impl Bdd {
     /// Rebuild a snapshot inside this manager and return its canonical
     /// `Ref` here. Importing the export of a function the manager already
     /// knows yields the original `Ref` exactly.
+    ///
+    /// Panics on a malformed snapshot; use [`Bdd::try_import`] for
+    /// untrusted input.
     pub fn import(&mut self, p: &PortableBdd) -> Ref {
+        self.try_import(p).expect("malformed PortableBdd snapshot")
+    }
+
+    /// [`Bdd::import`] for untrusted snapshots: validates every slot
+    /// (children-first references only, regular lo edges, ordered and
+    /// non-terminal variables) and reports the first violation instead
+    /// of panicking or silently building a non-canonical diagram.
+    pub fn try_import(&mut self, p: &PortableBdd) -> Result<Ref, PortableBddError> {
         let mut refs: Vec<Ref> = Vec::with_capacity(p.nodes.len());
-        let resolve = |refs: &[Ref], s: Slot| -> Ref {
+        // Resolve a slot against the nodes built so far; `node` is the
+        // index of the referencing node, for error reporting.
+        let resolve = |refs: &[Ref], node: usize, s: Slot| -> Result<Ref, PortableBddError> {
             let base = match s >> 1 {
                 0 => Ref::TRUE,
-                k => refs[k as usize - 1],
+                k if (k as usize) <= refs.len() => refs[k as usize - 1],
+                _ => return Err(PortableBddError::SlotOutOfRange { node, slot: s }),
             };
-            if s & 1 == 1 {
-                base.complement()
-            } else {
-                base
+            Ok(if s & 1 == 1 { base.complement() } else { base })
+        };
+        // Variable of the node a slot targets (terminals order below all).
+        let slot_var = |p: &PortableBdd, s: Slot| -> Var {
+            match s >> 1 {
+                0 => TERMINAL_VAR,
+                k => p.nodes[k as usize - 1].0,
             }
         };
-        for &(var, lo, hi) in &p.nodes {
-            let lo = resolve(&refs, lo);
-            let hi = resolve(&refs, hi);
-            refs.push(self.mk(var, lo, hi));
+        for (idx, &(var, lo, hi)) in p.nodes.iter().enumerate() {
+            if var == TERMINAL_VAR {
+                return Err(PortableBddError::TerminalVar { node: idx });
+            }
+            if lo & 1 == 1 {
+                return Err(PortableBddError::ComplementedLo { node: idx });
+            }
+            let lo_ref = resolve(&refs, idx, lo)?;
+            let hi_ref = resolve(&refs, idx, hi)?;
+            if slot_var(p, lo) <= var || slot_var(p, hi) <= var {
+                return Err(PortableBddError::VarOrdering { node: idx });
+            }
+            refs.push(self.mk(var, lo_ref, hi_ref));
         }
-        resolve(&refs, p.root)
+        resolve(&refs, p.nodes.len(), p.root)
     }
 }
 
@@ -210,6 +312,79 @@ mod tests {
         // Rebuilding the same function natively lands on the same Ref.
         let native = sample(&mut dst);
         assert_eq!(g, native);
+    }
+
+    #[test]
+    fn try_import_accepts_every_well_formed_export() {
+        let mut bdd = Bdd::new();
+        let f = sample(&mut bdd);
+        let p = bdd.export(f);
+        assert_eq!(bdd.try_import(&p), Ok(f));
+    }
+
+    #[test]
+    fn truncated_node_array_is_rejected() {
+        let mut bdd = Bdd::new();
+        let f = sample(&mut bdd);
+        let p = bdd.export(f);
+        // Drop the last node (the root's definition): the root slot now
+        // points past the array.
+        let mut nodes = p.nodes().to_vec();
+        nodes.pop();
+        let bad = PortableBdd::from_parts(nodes, p.root());
+        assert!(matches!(
+            bdd.try_import(&bad),
+            Err(PortableBddError::SlotOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn forward_child_reference_is_rejected() {
+        // One node whose hi child claims to be node index 5 of a
+        // one-node array (slot (5+1)<<1 = 12).
+        let bad = PortableBdd::from_parts(vec![(0, 0, 12)], 2);
+        let mut bdd = Bdd::new();
+        assert_eq!(
+            bdd.try_import(&bad),
+            Err(PortableBddError::SlotOutOfRange { node: 0, slot: 12 })
+        );
+    }
+
+    #[test]
+    fn complemented_lo_edge_is_rejected() {
+        let mut bdd = Bdd::new();
+        let f = sample(&mut bdd);
+        let p = bdd.export(f);
+        // Tag the first node's lo edge: violates the canonical form.
+        let mut nodes = p.nodes().to_vec();
+        nodes[0].1 |= 1;
+        let bad = PortableBdd::from_parts(nodes, p.root());
+        assert_eq!(
+            bdd.try_import(&bad),
+            Err(PortableBddError::ComplementedLo { node: 0 })
+        );
+    }
+
+    #[test]
+    fn terminal_variable_id_is_rejected() {
+        let bad = PortableBdd::from_parts(vec![(Var::MAX, 0, 1)], 2);
+        let mut bdd = Bdd::new();
+        assert_eq!(
+            bdd.try_import(&bad),
+            Err(PortableBddError::TerminalVar { node: 0 })
+        );
+    }
+
+    #[test]
+    fn unordered_variables_are_rejected() {
+        // nodes[0] splits on var 5; nodes[1] splits on var 5 too and
+        // points at nodes[0] — equal vars are not strictly ordered.
+        let bad = PortableBdd::from_parts(vec![(5, 0, 1), (5, 0, 2)], 4);
+        let mut bdd = Bdd::new();
+        assert_eq!(
+            bdd.try_import(&bad),
+            Err(PortableBddError::VarOrdering { node: 1 })
+        );
     }
 
     #[test]

@@ -164,28 +164,7 @@ impl MatchSets {
         let mut sets = Vec::with_capacity(ndev);
         let mut device_total = Vec::with_capacity(ndev);
         for (device, _) in net.topology().devices() {
-            let rules = net.device_rules(device);
-            let mixed = rules.iter().any(|r| r.matches.in_iface.is_some())
-                && rules.iter().any(|r| r.matches.in_iface.is_none());
-            assert!(
-                !mixed,
-                "device {:?}: tables mixing ingress-constrained and unconstrained rules \
-                 are not supported",
-                device
-            );
-            // Independent first-match chains per ingress scope.
-            let mut matched_by_scope: HashMap<Option<IfaceId>, Ref> = HashMap::new();
-            let mut dev_sets = Vec::with_capacity(rules.len());
-            let mut total = bdd.empty();
-            for rule in rules {
-                let scope = rule.matches.in_iface;
-                let matched = matched_by_scope.entry(scope).or_insert_with(|| Ref::FALSE);
-                let raw = cache.to_bdd(bdd, &rule.matches);
-                let effective = bdd.diff(raw, *matched);
-                *matched = bdd.or(*matched, raw);
-                total = bdd.or(total, effective);
-                dev_sets.push(effective);
-            }
+            let (dev_sets, total) = device_match_sets(net, bdd, cache, device);
             sets.push(dev_sets);
             device_total.push(total);
         }
@@ -197,6 +176,24 @@ impl MatchSets {
             netobs::gauge("match_cache.evictions", cache.evictions() as f64);
         }
         MatchSets { sets, device_total }
+    }
+
+    /// Recompute one device's match sets in place after its table
+    /// changed (a rule inserted or withdrawn), leaving every other
+    /// device untouched. The incremental complement of
+    /// [`MatchSets::compute_cached`]: identical per-device math through
+    /// the same [`MatchSetCache`], so the result is bit-identical to a
+    /// from-scratch recompute in the same manager.
+    pub fn recompute_device(
+        &mut self,
+        net: &Network,
+        bdd: &mut Bdd,
+        cache: &mut MatchSetCache,
+        device: crate::topology::DeviceId,
+    ) {
+        let (dev_sets, total) = device_match_sets(net, bdd, cache, device);
+        self.sets[device.0 as usize] = dev_sets;
+        self.device_total[device.0 as usize] = total;
     }
 
     /// The disjoint match set of one rule.
@@ -215,6 +212,39 @@ impl MatchSets {
     pub fn is_shadowed(&self, id: RuleId) -> bool {
         self.get(id).is_false()
     }
+}
+
+/// One device's first-match chain walk: the shared body of
+/// [`MatchSets::compute_cached`] and [`MatchSets::recompute_device`].
+fn device_match_sets(
+    net: &Network,
+    bdd: &mut Bdd,
+    cache: &mut MatchSetCache,
+    device: crate::topology::DeviceId,
+) -> (Vec<Ref>, Ref) {
+    let rules = net.device_rules(device);
+    let mixed = rules.iter().any(|r| r.matches.in_iface.is_some())
+        && rules.iter().any(|r| r.matches.in_iface.is_none());
+    assert!(
+        !mixed,
+        "device {:?}: tables mixing ingress-constrained and unconstrained rules \
+         are not supported",
+        device
+    );
+    // Independent first-match chains per ingress scope.
+    let mut matched_by_scope: HashMap<Option<IfaceId>, Ref> = HashMap::new();
+    let mut dev_sets = Vec::with_capacity(rules.len());
+    let mut total = bdd.empty();
+    for rule in rules {
+        let scope = rule.matches.in_iface;
+        let matched = matched_by_scope.entry(scope).or_insert_with(|| Ref::FALSE);
+        let raw = cache.to_bdd(bdd, &rule.matches);
+        let effective = bdd.diff(raw, *matched);
+        *matched = bdd.or(*matched, raw);
+        total = bdd.or(total, effective);
+        dev_sets.push(effective);
+    }
+    (dev_sets, total)
 }
 
 #[cfg(test)]
@@ -479,6 +509,42 @@ mod tests {
         assert_eq!(cache.counters(), (1, 1));
         let _ = cache.to_bdd(&mut bdd, &m);
         assert_eq!(cache.counters(), (1, 2));
+    }
+
+    #[test]
+    fn recompute_device_matches_batch_after_delta() {
+        let mut bdd = Bdd::new();
+        let mut net = one_device_net(vec![
+            fwd("10.0.0.0/8"),
+            Rule::forward(
+                Prefix::v4_default(),
+                vec![IfaceId(0)],
+                RouteClass::StaticDefault,
+            ),
+        ]);
+        let mut cache = MatchSetCache::new();
+        let mut ms = MatchSets::compute_cached(&net, &mut bdd, &mut cache);
+        let d = net.topology().device_by_name("r").unwrap();
+        // Insert a /16, recompute only the device, compare to batch.
+        net.insert_rule(d, fwd("10.1.0.0/16"));
+        ms.recompute_device(&net, &mut bdd, &mut cache, d);
+        let batch = MatchSets::compute_cached(&net, &mut bdd, &mut cache);
+        for id in net.device_rule_ids(d) {
+            assert_eq!(ms.get(id), batch.get(id), "rule {id:?} diverged");
+        }
+        assert_eq!(ms.device_total(d), batch.device_total(d));
+        // Withdraw it again (it sorted to index 0, ahead of the /8):
+        // back to the original sets, bit-identical.
+        let withdrawn = net.withdraw_rule(crate::RuleId {
+            device: d,
+            index: 0,
+        });
+        assert_eq!(withdrawn.matches.dst.unwrap().len(), 16);
+        ms.recompute_device(&net, &mut bdd, &mut cache, d);
+        let batch2 = MatchSets::compute_cached(&net, &mut bdd, &mut cache);
+        for id in net.device_rule_ids(d) {
+            assert_eq!(ms.get(id), batch2.get(id));
+        }
     }
 
     #[test]

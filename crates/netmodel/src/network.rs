@@ -110,6 +110,23 @@ impl Network {
             .sum()
     }
 
+    /// Insert `rule` on an already-finalized device table, restoring the
+    /// table's first-match order, and return the id it landed on.
+    /// `RuleId`s are positional: indices of the device's later rules
+    /// shift up by one, so callers holding per-rule state for the device
+    /// must invalidate it.
+    pub fn insert_rule(&mut self, device: DeviceId, rule: Rule) -> RuleId {
+        let index = self.state[device.0 as usize].insert_sorted(rule) as u32;
+        RuleId { device, index }
+    }
+
+    /// Withdraw the rule `id` from its finalized table, returning it.
+    /// Indices of the device's later rules shift down by one; same
+    /// invalidation obligation as [`Network::insert_rule`].
+    pub fn withdraw_rule(&mut self, id: RuleId) -> Rule {
+        self.state[id.device.0 as usize].remove(id.index as usize)
+    }
+
     /// All rules on `device` that forward out of `iface` (the rule set of
     /// the paper's *outgoing interface coverage*).
     pub fn rules_out_iface(&self, iface: IfaceId) -> Vec<RuleId> {
@@ -194,6 +211,69 @@ mod tests {
         assert_eq!(out_a.len(), 2);
         assert!(out_a.iter().all(|id| id.device == a));
         assert_eq!(n.rules_out_iface(bi).len(), 1);
+    }
+
+    #[test]
+    fn insert_rule_lands_in_first_match_order() {
+        let (mut n, a, _, ai, _) = tiny_network();
+        // A /16 slots between the /24 (index 0) and the default (was 1).
+        let id = n.insert_rule(
+            a,
+            Rule::forward("10.0.0.0/16".parse().unwrap(), vec![ai], RouteClass::Other),
+        );
+        assert_eq!(
+            id,
+            RuleId {
+                device: a,
+                index: 1
+            }
+        );
+        let lens: Vec<u8> = n
+            .device_rules(a)
+            .iter()
+            .map(|r| r.matches.dst.unwrap().len())
+            .collect();
+        assert_eq!(lens, vec![24, 16, 0]);
+        // Equal lengths keep insertion order: a second /16 goes after.
+        let id2 = n.insert_rule(
+            a,
+            Rule::forward("10.1.0.0/16".parse().unwrap(), vec![ai], RouteClass::Other),
+        );
+        assert_eq!(id2.index, 2);
+        // The delta order matches a from-scratch finalize of the same rules.
+        let mut batch = Table::new(TableMode::Lpm);
+        for r in n.device_rules(a) {
+            batch.push(r.clone());
+        }
+        batch.finalize();
+        let batch_dsts: Vec<_> = batch
+            .rules_unchecked()
+            .iter()
+            .map(|r| r.matches.dst)
+            .collect();
+        let delta_dsts: Vec<_> = n.device_rules(a).iter().map(|r| r.matches.dst).collect();
+        assert_eq!(batch_dsts, delta_dsts);
+    }
+
+    #[test]
+    fn withdraw_rule_shifts_later_indices_down() {
+        let (mut n, a, _, _, _) = tiny_network();
+        assert_eq!(n.device_rules(a).len(), 2);
+        let gone = n.withdraw_rule(RuleId {
+            device: a,
+            index: 0,
+        });
+        assert_eq!(gone.matches.dst.unwrap().len(), 24);
+        assert_eq!(n.device_rules(a).len(), 1);
+        assert!(n
+            .rule(RuleId {
+                device: a,
+                index: 0
+            })
+            .matches
+            .dst
+            .unwrap()
+            .is_default());
     }
 
     #[test]

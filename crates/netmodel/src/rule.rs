@@ -267,6 +267,42 @@ impl Table {
         assert!(self.sorted, "table not finalized");
         &self.rules
     }
+
+    /// Insert a rule into a *finalized* table at its first-match
+    /// position and return the index it landed on — the delta
+    /// counterpart of push-then-[`Table::finalize`], with the same
+    /// resulting order (new LPM rules go after existing rules of equal
+    /// prefix length, exactly like the stable sort). Indices of later
+    /// rules shift up by one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is not finalized.
+    pub fn insert_sorted(&mut self, rule: Rule) -> usize {
+        assert!(self.sorted, "table not finalized");
+        let index = match self.mode {
+            TableMode::Lpm => {
+                let len = rule.matches.dst.map(|p| p.len()).unwrap_or(0);
+                self.rules
+                    .partition_point(|r| r.matches.dst.map(|p| p.len()).unwrap_or(0) >= len)
+            }
+            TableMode::Priority => self.rules.len(),
+        };
+        self.rules.insert(index, rule);
+        index
+    }
+
+    /// Remove the rule at `index` from a finalized table, returning it.
+    /// Removal preserves first-match order (no re-sort needed); indices
+    /// of later rules shift down by one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is not finalized or `index` is out of range.
+    pub fn remove(&mut self, index: usize) -> Rule {
+        assert!(self.sorted, "table not finalized");
+        self.rules.remove(index)
+    }
 }
 
 #[cfg(test)]

@@ -44,7 +44,7 @@ mod registry;
 mod report;
 mod span;
 
-pub use registry::{counter, gauge};
+pub use registry::{counter, counters_snapshot, gauge, gauges_snapshot};
 pub use report::{Report, ThreadSpans};
 pub use span::{flush, SpanGuard, SpanNode, SpanStats};
 

@@ -54,3 +54,17 @@ pub(crate) fn gauges() -> BTreeMap<String, f64> {
 pub(crate) fn counters() -> BTreeMap<String, u64> {
     lock().counters.clone()
 }
+
+/// Snapshot every gauge without draining anything — unlike
+/// [`crate::report`], which flushes the span sink as a side effect.
+/// This is what a serving endpoint (`/metrics`) wants: read-only,
+/// repeatable, cheap.
+pub fn gauges_snapshot() -> BTreeMap<String, f64> {
+    gauges()
+}
+
+/// Snapshot every counter without draining anything; see
+/// [`gauges_snapshot`].
+pub fn counters_snapshot() -> BTreeMap<String, u64> {
+    counters()
+}

@@ -1,0 +1,141 @@
+//! Rule-delta entry points for long-lived serving.
+//!
+//! Batch compilation goes config → [`crate::RibBuilder`] → [`Network`]
+//! once. A serving engine instead receives a stream of FIB changes —
+//! a route programmed or withdrawn on one device — and needs those
+//! changes applied to an already-built network with the same validation
+//! discipline the builder has: every malformed delta is a named
+//! [`RibError`], never a panic, because deltas arrive over the wire.
+//!
+//! The functions here only mutate the FIB; recomputing match sets and
+//! covered sets for the touched device is the caller's job (the
+//! coverage engine invalidates per device).
+
+use netmodel::rule::Rule;
+use netmodel::topology::DeviceId;
+use netmodel::{Network, RuleId};
+
+use crate::rib::RibError;
+
+/// Insert `rule` on `device`, keeping the device's first-match order,
+/// and return the id it landed on. Validates that the device exists and
+/// that every interface the rule forwards out of belongs to the device.
+pub fn apply_rule_insert(
+    net: &mut Network,
+    device: DeviceId,
+    rule: Rule,
+) -> Result<RuleId, RibError> {
+    let topo = net.topology();
+    if device.0 as usize >= topo.device_count() {
+        return Err(RibError::UnknownDevice {
+            device,
+            device_count: topo.device_count(),
+            context: "rule insert",
+        });
+    }
+    for &iface in rule.action.out_ifaces() {
+        if iface.0 as usize >= topo.iface_count() || topo.iface(iface).device != device {
+            return Err(RibError::BadIface {
+                iface,
+                device,
+                context: "rule insert",
+            });
+        }
+    }
+    if let Some(iface) = rule.matches.in_iface {
+        if iface.0 as usize >= topo.iface_count() || topo.iface(iface).device != device {
+            return Err(RibError::BadIface {
+                iface,
+                device,
+                context: "rule insert (ingress match)",
+            });
+        }
+    }
+    Ok(net.insert_rule(device, rule))
+}
+
+/// Withdraw the rule `id`, returning the removed rule. Validates that
+/// the device exists and the index is inside its table.
+pub fn apply_rule_withdraw(net: &mut Network, id: RuleId) -> Result<Rule, RibError> {
+    let topo = net.topology();
+    if id.device.0 as usize >= topo.device_count() {
+        return Err(RibError::UnknownDevice {
+            device: id.device,
+            device_count: topo.device_count(),
+            context: "rule withdraw",
+        });
+    }
+    let len = net.device_rules(id.device).len();
+    if id.index as usize >= len {
+        return Err(RibError::BadRule {
+            id,
+            table_len: len,
+            context: "rule withdraw",
+        });
+    }
+    Ok(net.withdraw_rule(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::rule::RouteClass;
+    use netmodel::topology::{Role, Topology};
+    use netmodel::Prefix;
+
+    fn two_device_net() -> (Network, DeviceId, DeviceId, netmodel::IfaceId) {
+        let mut t = Topology::new();
+        let a = t.add_device("a", Role::Tor);
+        let b = t.add_device("b", Role::Spine);
+        let (ai, _bi) = t.add_link(a, b);
+        let mut n = Network::new(t);
+        n.add_rule(
+            a,
+            Rule::forward(Prefix::v4_default(), vec![ai], RouteClass::StaticDefault),
+        );
+        n.finalize();
+        (n, a, b, ai)
+    }
+
+    #[test]
+    fn valid_insert_and_withdraw_roundtrip() {
+        let (mut n, a, _, ai) = two_device_net();
+        let rule = Rule::forward("10.0.0.0/24".parse().unwrap(), vec![ai], RouteClass::Other);
+        let id = apply_rule_insert(&mut n, a, rule).unwrap();
+        assert_eq!(id.device, a);
+        assert_eq!(n.device_rules(a).len(), 2);
+        let back = apply_rule_withdraw(&mut n, id).unwrap();
+        assert_eq!(back.matches.dst.unwrap().len(), 24);
+        assert_eq!(n.device_rules(a).len(), 1);
+    }
+
+    #[test]
+    fn insert_rejects_unknown_device_and_foreign_iface() {
+        let (mut n, _, b, ai) = two_device_net();
+        let rule = Rule::forward("10.0.0.0/24".parse().unwrap(), vec![ai], RouteClass::Other);
+        // `ai` belongs to device a, not b.
+        assert!(matches!(
+            apply_rule_insert(&mut n, b, rule.clone()),
+            Err(RibError::BadIface { .. })
+        ));
+        assert!(matches!(
+            apply_rule_insert(&mut n, DeviceId(99), rule),
+            Err(RibError::UnknownDevice { .. })
+        ));
+    }
+
+    #[test]
+    fn withdraw_rejects_out_of_range_index() {
+        let (mut n, a, _, _) = two_device_net();
+        let err = apply_rule_withdraw(
+            &mut n,
+            RuleId {
+                device: a,
+                index: 7,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, RibError::BadRule { table_len: 1, .. }));
+        assert!(err.to_string().contains("r0.7"));
+    }
+}

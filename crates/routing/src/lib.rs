@@ -24,7 +24,9 @@
 //! builder produces deterministically.
 
 pub mod bgp;
+pub mod delta;
 pub mod rib;
 
 pub use bgp::{simulate, try_simulate, BgpConfig, BgpRibs, BgpRoute};
+pub use delta::{apply_rule_insert, apply_rule_withdraw};
 pub use rib::{Origination, RibBuilder, RibError, Scope, StaticRoute, StaticTarget};

@@ -31,6 +31,13 @@ pub enum RibError {
         got: usize,
         expected: usize,
     },
+    /// A rule id names an index outside its device's table (rule
+    /// deltas).
+    BadRule {
+        id: netmodel::RuleId,
+        table_len: usize,
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for RibError {
@@ -60,6 +67,15 @@ impl fmt::Display for RibError {
             } => write!(
                 f,
                 "{what}: got {got} entries, need one per device ({expected})"
+            ),
+            RibError::BadRule {
+                id,
+                table_len,
+                context,
+            } => write!(
+                f,
+                "{context}: rule {id:?} is outside its device's table \
+                 ({table_len} rules)"
             ),
         }
     }

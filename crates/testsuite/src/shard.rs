@@ -209,6 +209,28 @@ pub fn run_job(
     report
 }
 
+/// Run one job against a private tracker and return its *isolated*
+/// coverage trace next to the report.
+///
+/// This is the suite-delta decomposition: a long-lived engine stores
+/// each test's own trace so a `TestRemoved` delta can rebuild the
+/// affected devices' coverage from the remaining tests' traces (union,
+/// not subtraction — packet-set unions don't invert), and a `TestAdded`
+/// delta only touches the devices the new trace marks. Merging every
+/// job's isolated trace reproduces the suite trace bit-for-bit, because
+/// [`run_job`] marks through the same tracker API either way.
+pub fn run_job_isolated(
+    bdd: &mut Bdd,
+    net: &Network,
+    ms: &MatchSets,
+    info: &NetworkInfo,
+    job: &SuiteJob,
+) -> (TestReport, yardstick::CoverageTrace) {
+    let mut tracker = Tracker::new();
+    let report = run_job(bdd, net, ms, info, &mut tracker, job);
+    (report, tracker.into_trace())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,6 +317,35 @@ mod tests {
             for (loc, set) in mono.packets.iter() {
                 assert_eq!(merged.packets.at(loc), set, "{threads} threads at {loc:?}");
             }
+        }
+    }
+
+    #[test]
+    fn isolated_job_traces_union_to_the_suite_trace() {
+        let (ft, info) = setup();
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&ft.net, &mut bdd);
+        let jobs = fattree_suite_jobs(&ft.net, &info, SEED);
+
+        // One shared tracker, as the batch path runs.
+        let mut tracker = Tracker::new();
+        for job in &jobs {
+            run_job(&mut bdd, &ft.net, &ms, &info, &mut tracker, job);
+        }
+        let combined = tracker.into_trace();
+
+        // Per-job isolation, then merge.
+        let mut merged = yardstick::CoverageTrace::new();
+        for job in &jobs {
+            let (rep, trace) = run_job_isolated(&mut bdd, &ft.net, &ms, &info, job);
+            assert!(rep.passed(), "{}: {:?}", rep.name, &rep.failures[..1]);
+            merged.merge(&mut bdd, &trace);
+        }
+
+        assert_eq!(merged.rules, combined.rules);
+        assert_eq!(merged.packets.len(), combined.packets.len());
+        for (loc, set) in combined.packets.iter() {
+            assert_eq!(merged.packets.at(loc), set, "at {loc:?}");
         }
     }
 
