@@ -15,6 +15,11 @@
 //!   optional `"info"` object is context (rates, throughput) and is
 //!   never compared.
 //!
+//! When both files record a top-level `"host_cpus"` and the counts
+//! differ, the comparison is apples-to-oranges (parallel legs scale with
+//! the core count), so benchdiff prints a warning and exits 0 without
+//! gating anything.
+//!
 //! A metric is a regression when `new > old * (1 + tolerance)`. With
 //! `--seq-only`, parallel-leg metrics (`*.par_secs`, `total_par_secs`)
 //! are still printed but never *gate*: on a 1-CPU CI runner the parallel
@@ -69,6 +74,22 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    // A baseline measured on a different core count gates nothing: the
+    // parallel legs would compare machine shapes, not code.
+    if let (Some(o), Some(n)) = (
+        old.get("host_cpus").and_then(|v| v.as_f64()),
+        new.get("host_cpus").and_then(|v| v.as_f64()),
+    ) {
+        if o != n {
+            println!(
+                "benchdiff: WARNING: host_cpus differ (baseline {} vs candidate {}); \
+                 skipping gating — re-measure the baseline on this host shape",
+                o as u64, n as u64
+            );
+            return ExitCode::SUCCESS;
+        }
+    }
 
     let (rows, mismatches) = collect_rows(&old, &new, seq_only);
     if !mismatches.is_empty() {

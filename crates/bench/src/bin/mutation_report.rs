@@ -219,6 +219,7 @@ fn to_json(
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"mutation_report\",\n");
     out.push_str(&format!("  \"workload\": \"fattree-k{k}\",\n"));
+    out.push_str(&format!("  \"host_cpus\": {},\n", bench::host_cpus()));
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str(&format!("  \"seed\": {},\n", report.seed));
     out.push_str(&format!("  \"acl_tests\": {acl_tests},\n"));

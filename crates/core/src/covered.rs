@@ -64,11 +64,17 @@ impl CoveredSets {
 
     /// Algorithm 1 sharded by device across `threads` worker threads.
     ///
-    /// Bit-identical to [`CoveredSets::compute`]: the main thread exports
-    /// each device's inputs (the trace's packets at the device, plus
-    /// every rule's match set), workers intersect them in private
-    /// managers, and the results import back — in device order — onto
-    /// the same canonical `Ref`s the sequential pass would produce.
+    /// Bit-identical to [`CoveredSets::compute`] on either backend. On a
+    /// private manager the main thread exports each device's inputs (the
+    /// trace's packets at the device, plus every rule's match set),
+    /// workers intersect them in private managers, and the results
+    /// import back — in device order — onto the same canonical `Ref`s
+    /// the sequential pass would produce. On a shared manager
+    /// (`Bdd::new_shared`) each worker runs the sequential per-device
+    /// body through its own [`Bdd::handle`] directly: match sets and
+    /// trace refs are already valid in the shared arena, results come
+    /// back as canonical refs, and the `PortableBdd` round-trip
+    /// disappears.
     pub fn compute_parallel(
         net: &Network,
         ms: &MatchSets,
@@ -78,6 +84,36 @@ impl CoveredSets {
     ) -> CoveredSets {
         if threads <= 1 {
             return Self::compute(net, ms, trace, bdd);
+        }
+        if bdd.is_shared() {
+            let _span = netobs::span!("covered_sets_parallel");
+            let devices: Vec<DeviceId> = net.topology().devices().map(|(d, _)| d).collect();
+            let ranges = ParallelRunner::chunk_ranges(devices.len(), threads);
+            let seeds: Vec<Bdd> = ranges.iter().map(|_| bdd.handle()).collect();
+            let shards: Vec<Vec<Vec<Ref>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .into_iter()
+                    .zip(seeds)
+                    .map(|(range, mut local)| {
+                        let chunk = &devices[range];
+                        scope.spawn(move || {
+                            chunk
+                                .iter()
+                                .map(|&device| device_covered(net, ms, trace, &mut local, device))
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("covered-set worker panicked"))
+                    .collect()
+            });
+            // Ranges are contiguous and in device order, so flattening
+            // restores `covered[device]` indexing.
+            return CoveredSets {
+                covered: shards.into_iter().flatten().collect(),
+            };
         }
         let _span = netobs::span!("covered_sets_parallel");
 
@@ -180,6 +216,22 @@ impl CoveredSets {
     /// rule it perturbs has a non-empty covered set.
     pub fn any_exercised(&self, ids: impl IntoIterator<Item = RuleId>) -> bool {
         ids.into_iter().any(|id| self.is_exercised(id))
+    }
+
+    /// Append every covered-set ref to `roots` (GC root registration).
+    pub fn collect_refs(&self, roots: &mut Vec<Ref>) {
+        for dev in &self.covered {
+            roots.extend(dev.iter().copied());
+        }
+    }
+
+    /// Rewrite every held ref through `f` (a GC relocation map).
+    pub fn remap_refs(&mut self, f: impl Fn(Ref) -> Ref) {
+        for dev in &mut self.covered {
+            for r in dev.iter_mut() {
+                *r = f(*r);
+            }
+        }
     }
 }
 

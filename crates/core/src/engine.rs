@@ -43,7 +43,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use netbdd::{Bdd, PortableBddError};
+use netbdd::{Bdd, GcStats, PortableBddError};
 use netmodel::topology::DeviceId;
 use netmodel::{IfaceId, Location, MatchSetCache, MatchSets, Network, Rule, RuleId};
 
@@ -295,6 +295,39 @@ pub struct HeadlineMetrics {
     pub device_fractional: Option<f64>,
 }
 
+/// Which BDD manager backend a [`CoverageEngine`] runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// One private arena per manager (the default, and the differential
+    /// oracle): parallel paths shard work into per-worker managers and
+    /// merge by `PortableBdd` export/import.
+    Private,
+    /// One shared concurrent arena (`Bdd::new_shared`): parallel paths
+    /// hand each worker a handle, skipping the export/import round-trip.
+    Shared,
+}
+
+impl Backend {
+    /// Stable wire/flag name of the backend.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Backend::Private => "private",
+            Backend::Shared => "shared",
+        }
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Backend, String> {
+        match s {
+            "private" => Ok(Backend::Private),
+            "shared" => Ok(Backend::Shared),
+            other => Err(format!("unknown backend {other:?} (private|shared)")),
+        }
+    }
+}
+
 /// The long-lived incremental coverage engine (see the module docs for
 /// the invalidation model).
 pub struct CoverageEngine {
@@ -310,6 +343,11 @@ pub struct CoverageEngine {
     log: Vec<DeltaRecord>,
     query_cache: QueryCache,
     devices_invalidated: u64,
+    /// Node-count watermark above which a delta triggers a collection
+    /// (`None` disables automatic GC).
+    gc_watermark: Option<usize>,
+    gc_collections: u64,
+    gc_reclaimed_total: u64,
 }
 
 impl CoverageEngine {
@@ -317,8 +355,19 @@ impl CoverageEngine {
     /// sets (of the empty trace) are computed with the device-sharded
     /// parallel path when `threads > 1`.
     pub fn new(net: Network, threads: usize) -> CoverageEngine {
+        Self::new_with_backend(net, threads, Backend::Private)
+    }
+
+    /// [`CoverageEngine::new`] with an explicit manager [`Backend`]. The
+    /// shared backend keeps one concurrent arena for the engine's whole
+    /// life; covered sets it computes are bit-identical (as canonical
+    /// `PortableBdd` exports) to the private backend's.
+    pub fn new_with_backend(net: Network, threads: usize, backend: Backend) -> CoverageEngine {
         let threads = threads.max(1);
-        let mut bdd = Bdd::new();
+        let mut bdd = match backend {
+            Backend::Private => Bdd::new(),
+            Backend::Shared => Bdd::new_shared(),
+        };
         let mut ms_cache = MatchSetCache::new();
         let ms = MatchSets::compute_cached(&net, &mut bdd, &mut ms_cache);
         let combined = CoverageTrace::new();
@@ -336,6 +385,9 @@ impl CoverageEngine {
             log: Vec::new(),
             query_cache: QueryCache::new(DEFAULT_QUERY_CACHE_CAPACITY),
             devices_invalidated: 0,
+            gc_watermark: None,
+            gc_collections: 0,
+            gc_reclaimed_total: 0,
         }
     }
 
@@ -528,6 +580,56 @@ impl CoverageEngine {
         netobs::gauge("engine.query_cache.misses", s.misses as f64);
         netobs::gauge("engine.query_cache.evictions", s.evictions as f64);
         netobs::gauge("engine.query_cache.entries", s.entries as f64);
+        netobs::gauge("bdd.nodes", self.bdd.node_count() as f64);
+        netobs::gauge("bdd.gc.collections", self.gc_collections as f64);
+        netobs::gauge("bdd.gc.reclaimed_total", self.gc_reclaimed_total as f64);
+    }
+
+    /// Arm (or, with `None`, disarm) automatic garbage collection: after
+    /// any delta that leaves the manager above `watermark` live nodes,
+    /// the engine runs [`CoverageEngine::gc`] before returning.
+    pub fn set_gc_watermark(&mut self, watermark: Option<usize>) {
+        self.gc_watermark = watermark;
+    }
+
+    /// Collect the BDD arena now, from the engine's registered roots
+    /// (match sets, covered sets, the combined trace, and every resident
+    /// test trace). Every held `Ref` is rewritten through the relocation
+    /// map, so all subsequent queries see identical packet sets; the
+    /// match-set and query caches are flushed. Publishes the `bdd.gc.*`
+    /// gauges and returns the collection's stats.
+    pub fn gc(&mut self) -> GcStats {
+        let mut roots = Vec::new();
+        self.ms.collect_refs(&mut roots);
+        self.covered.collect_refs(&mut roots);
+        self.combined.collect_refs(&mut roots);
+        for trace in self.tests.values() {
+            trace.collect_refs(&mut roots);
+        }
+        // The memo cache holds refs keyed by match fields; those refs die
+        // with the old arena, so drop them rather than rooting them.
+        self.ms_cache.clear();
+        let (reloc, stats) = self.bdd.collect(&roots);
+        self.ms.remap_refs(|r| reloc.relocate(r));
+        self.covered.remap_refs(|r| reloc.relocate(r));
+        self.combined.remap_refs(|r| reloc.relocate(r));
+        for trace in self.tests.values_mut() {
+            trace.remap_refs(|r| reloc.relocate(r));
+        }
+        self.query_cache.flush();
+        self.gc_collections += 1;
+        self.gc_reclaimed_total += stats.reclaimed() as u64;
+        netobs::gauge("bdd.gc.collections", self.gc_collections as f64);
+        netobs::gauge("bdd.gc.nodes_before", stats.nodes_before as f64);
+        netobs::gauge("bdd.gc.nodes_after", stats.nodes_after as f64);
+        netobs::gauge("bdd.gc.reclaimed_total", self.gc_reclaimed_total as f64);
+        netobs::gauge("bdd.nodes", stats.nodes_after as f64);
+        stats
+    }
+
+    /// Collections run so far (manual and watermark-triggered).
+    pub fn gc_collections(&self) -> u64 {
+        self.gc_collections
     }
 
     // ----- internals -------------------------------------------------------
@@ -581,6 +683,16 @@ impl CoverageEngine {
         });
         self.query_cache.flush();
         self.publish_gauges();
+        self.maybe_gc();
+    }
+
+    /// Run a collection if the arena has grown past the armed watermark.
+    fn maybe_gc(&mut self) {
+        if let Some(mark) = self.gc_watermark {
+            if self.bdd.node_count() > mark {
+                self.gc();
+            }
+        }
     }
 }
 
@@ -870,5 +982,103 @@ mod tests {
             .add_test("t", &mark_trace(tor, "10.0.0.0/8"))
             .unwrap();
         assert_eq!(engine.query_cache().get("k"), None);
+    }
+
+    /// Replay the same delta sequence on both backends; every covered
+    /// set must export byte-identically at every step (the canonical
+    /// `PortableBdd` form erases arena layout, so this is the bit-level
+    /// equivalence the shared backend promises).
+    #[test]
+    fn shared_backend_matches_private_bit_for_bit() {
+        fn assert_same(a: &CoverageEngine, b: &CoverageEngine) {
+            for (id, _) in a.net.rules() {
+                assert_eq!(
+                    a.bdd.export(a.covered.get(id)),
+                    b.bdd.export(b.covered.get(id)),
+                    "covered set diverged at {id:?}"
+                );
+            }
+        }
+        let (n, tor, spine, hosts) = build();
+        let mut a = CoverageEngine::new_with_backend(n.clone(), 2, Backend::Private);
+        let mut b = CoverageEngine::new_with_backend(n, 2, Backend::Shared);
+        assert!(b.bdd.is_shared() && !a.bdd.is_shared());
+        assert_same(&a, &b);
+        for engine in [&mut a, &mut b] {
+            engine
+                .add_test("probe", &mark_trace(tor, "10.0.0.0/8"))
+                .unwrap();
+            engine
+                .add_test("spine-probe", &mark_trace(spine, "10.0.0.128/25"))
+                .unwrap();
+            let rule = Rule::forward(
+                "10.0.1.0/24".parse().unwrap(),
+                vec![hosts],
+                RouteClass::HostSubnet,
+            );
+            engine.insert_rule(tor, rule).unwrap();
+            engine.remove_test("probe").unwrap();
+        }
+        assert_same(&a, &b);
+        assert_matches_batch(&mut b);
+    }
+
+    /// Churn tests to strand garbage, collect, and check both halves of
+    /// the GC contract: nodes are reclaimed, and every surviving covered
+    /// set answers identically after relocation.
+    #[test]
+    fn gc_reclaims_garbage_and_preserves_answers() {
+        use netbdd::PortableBdd;
+        for backend in [Backend::Private, Backend::Shared] {
+            let (n, tor, _, _) = build();
+            let mut engine = CoverageEngine::new_with_backend(n, 1, backend);
+            for i in 0..16 {
+                engine
+                    .add_test(
+                        &format!("t{i}"),
+                        &mark_trace(tor, &format!("10.{i}.0.0/16")),
+                    )
+                    .unwrap();
+            }
+            for i in 0..15 {
+                engine.remove_test(&format!("t{i}")).unwrap();
+            }
+            let before: Vec<(RuleId, PortableBdd)> = engine
+                .net
+                .rules()
+                .map(|(id, _)| (id, engine.bdd.export(engine.covered.get(id))))
+                .collect();
+            let stats = engine.gc();
+            assert!(
+                stats.reclaimed() > 0,
+                "churn left no garbage to reclaim ({backend:?})"
+            );
+            assert_eq!(engine.bdd.node_count(), stats.nodes_after);
+            assert_eq!(engine.gc_collections(), 1);
+            for (id, p) in &before {
+                assert_eq!(
+                    &engine.bdd.export(engine.covered.get(*id)),
+                    p,
+                    "covered set changed across GC at {id:?} ({backend:?})"
+                );
+            }
+            // The engine still computes correct fresh results in the
+            // compacted arena.
+            assert_matches_batch(&mut engine);
+        }
+    }
+
+    /// An armed watermark runs the collector automatically once a delta
+    /// leaves the arena above it.
+    #[test]
+    fn watermark_triggers_automatic_collection() {
+        let (n, tor, _, _) = build();
+        let mut engine = CoverageEngine::new_with_backend(n, 1, Backend::Shared);
+        engine.set_gc_watermark(Some(engine.bdd.node_count()));
+        engine
+            .add_test("t", &mark_trace(tor, "10.1.2.0/24"))
+            .unwrap();
+        assert!(engine.gc_collections() >= 1, "watermark never fired");
+        assert_matches_batch(&mut engine);
     }
 }

@@ -80,7 +80,7 @@ pub use analyzer::Analyzer;
 pub use atu::Atu;
 pub use covered::CoveredSets;
 pub use engine::{
-    CoverageEngine, DeltaKind, DeltaRecord, EngineError, HeadlineMetrics, QueryCache,
+    Backend, CoverageEngine, DeltaKind, DeltaRecord, EngineError, HeadlineMetrics, QueryCache,
     QueryCacheStats, RuleCoverage,
 };
 pub use framework::{Aggregator, Combinator, ComponentSpec, GuardedString, Measure};

@@ -1,11 +1,18 @@
-//! Sharded test execution: one `Bdd` manager per worker thread.
+//! Sharded test execution: one `Bdd` manager (or handle) per worker.
 //!
-//! The [`netbdd::Bdd`] manager is deliberately single-threaded — every
-//! operation takes `&mut self` — so parallelism comes from *sharding*,
-//! not sharing: a [`ParallelRunner`] partitions a job list into
-//! contiguous chunks, runs each chunk on its own OS thread with a
-//! private manager and [`Tracker`], and merges the per-worker
-//! [`crate::trace::PortableTrace`]s back into the caller's manager.
+//! Every [`netbdd::Bdd`] operation takes `&mut self`, so parallelism
+//! comes from giving each worker thread its own manager. Two backends:
+//!
+//! * **Private** (the default): a [`ParallelRunner`] partitions a job
+//!   list into contiguous chunks, runs each chunk on its own OS thread
+//!   with a private manager and [`Tracker`], and merges the per-worker
+//!   [`crate::trace::PortableTrace`]s back into the caller's manager via
+//!   export/import.
+//! * **Shared** (`Bdd::new_shared`): each worker gets a
+//!   [`netbdd::Bdd::handle`] onto the caller's shared arena instead.
+//!   Hash-consing is global, so worker results are already canonical
+//!   `Ref`s in the caller's manager and the merge skips the
+//!   export/import round-trip entirely.
 //!
 //! The merged result is **bit-identical** to running the same jobs
 //! sequentially against the caller's manager:
@@ -16,11 +23,13 @@
 //! * rule marks live in a `BTreeSet`, which is order-independent by
 //!   construction;
 //! * the merge itself happens on one thread in worker-index order, so
-//!   even arena allocation order is deterministic run to run.
+//!   even arena allocation order is deterministic run to run (shared
+//!   arena *indices* vary run to run, but canonical structure — and
+//!   thus every exported `PortableBdd` — does not).
 //!
 //! Threads are plain `std::thread::scope` workers — no external runtime
 //! — and job closures see borrowed network state (`&Network` etc. are
-//! `Sync`; only the BDD state is thread-private).
+//! `Sync`; only the BDD handle is thread-private).
 
 use std::ops::Range;
 use std::time::{Duration, Instant};
@@ -104,12 +113,15 @@ impl ParallelRunner {
 
     /// Run `jobs` across the workers and merge the traces into `bdd`.
     ///
-    /// Each worker gets a fresh manager, calls `setup` once to derive its
-    /// per-manager state (typically `MatchSets::compute` — match sets are
-    /// `Ref`s and cannot be shared across managers), then feeds every job
-    /// in its chunk through `job` with a private tracker. The merged
-    /// trace is bit-identical to a sequential run of the same jobs (see
-    /// the module docs for why).
+    /// On a private manager each worker gets a fresh manager, calls
+    /// `setup` once to derive its per-manager state (typically
+    /// `MatchSets::compute` — match sets are `Ref`s and cannot be shared
+    /// across private managers), then feeds every job in its chunk
+    /// through `job` with a private tracker. On a shared manager each
+    /// worker gets a [`Bdd::handle`] instead, and worker traces carry
+    /// already-canonical `Ref`s — the merge skips export/import. Either
+    /// way the merged trace is bit-identical to a sequential run of the
+    /// same jobs (see the module docs for why).
     pub fn run<J, S>(
         &self,
         bdd: &mut Bdd,
@@ -120,20 +132,35 @@ impl ParallelRunner {
     where
         J: Sync,
     {
+        /// A worker's trace, in whichever form its backend hands back.
+        enum TraceOut {
+            /// Private manager: detached snapshot, import on merge.
+            Portable(PortableTrace),
+            /// Shared arena: refs are already canonical in the caller's
+            /// manager.
+            Direct(CoverageTrace),
+        }
         let ranges = Self::chunk_ranges(jobs.len(), self.threads);
-        let results: Vec<(PortableTrace, WorkerReport)> = std::thread::scope(|scope| {
+        // Shared backend: mint one handle per worker up front (handles
+        // borrow `bdd` only here, before the scope takes the closures).
+        let seeds: Vec<Option<Bdd>> = ranges
+            .iter()
+            .map(|_| bdd.is_shared().then(|| bdd.handle()))
+            .collect();
+        let results: Vec<(TraceOut, WorkerReport)> = std::thread::scope(|scope| {
             let setup = &setup;
             let job = &job;
             let handles: Vec<_> = ranges
                 .into_iter()
+                .zip(seeds)
                 .enumerate()
-                .map(|(worker, range)| {
+                .map(|(worker, (range, seed))| {
                     let chunk = &jobs[range];
                     scope.spawn(move || {
                         let start = Instant::now();
                         let result = {
                             let _w = netobs::span!("worker-{worker}");
-                            let mut local = Bdd::new();
+                            let mut local = seed.unwrap_or_else(Bdd::new);
                             let mut state = {
                                 let _s = netobs::span!("worker_setup");
                                 setup(&mut local)
@@ -146,9 +173,11 @@ impl ParallelRunner {
                                 }
                             }
                             let trace = tracker.into_trace();
-                            let portable = {
+                            let out = if local.is_shared() {
+                                TraceOut::Direct(trace)
+                            } else {
                                 let _s = netobs::span!("worker_export");
-                                trace.export(&local)
+                                TraceOut::Portable(trace.export(&local))
                             };
                             let report = WorkerReport {
                                 worker,
@@ -156,7 +185,7 @@ impl ParallelRunner {
                                 elapsed: start.elapsed(),
                                 stats: local.stats(),
                             };
-                            (portable, report)
+                            (out, report)
                         };
                         // The worker thread dies here; park its span tree
                         // in the global sink under its own label.
@@ -176,9 +205,14 @@ impl ParallelRunner {
         let _merge_span = netobs::span!("trace_merge");
         let mut merged = CoverageTrace::new();
         let mut reports = Vec::with_capacity(results.len());
-        for (portable, report) in results {
-            let trace = portable.import(bdd);
-            merged.merge(bdd, &trace);
+        for (out, report) in results {
+            match out {
+                TraceOut::Portable(portable) => {
+                    let trace = portable.import(bdd);
+                    merged.merge(bdd, &trace);
+                }
+                TraceOut::Direct(trace) => merged.merge(bdd, &trace),
+            }
             reports.push(report);
         }
         if netobs::enabled() {

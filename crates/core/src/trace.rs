@@ -50,6 +50,17 @@ impl CoverageTrace {
         self.packets.is_empty() && self.rules.is_empty()
     }
 
+    /// Append every packet-set ref held by the trace to `roots` (GC root
+    /// registration; rule ids carry no refs).
+    pub fn collect_refs(&self, roots: &mut Vec<Ref>) {
+        self.packets.collect_refs(roots);
+    }
+
+    /// Rewrite every held ref through `f` (a GC relocation map).
+    pub fn remap_refs(&mut self, f: impl Fn(Ref) -> Ref) {
+        self.packets.remap_refs(f);
+    }
+
     /// Snapshot the trace into a manager-independent form, so a trace
     /// collected in one thread's `Bdd` can be rebuilt in another's.
     pub fn export(&self, bdd: &Bdd) -> PortableTrace {

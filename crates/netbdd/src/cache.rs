@@ -47,7 +47,7 @@ pub(crate) struct IteCache {
 }
 
 #[inline]
-fn mix(f: u32, g: u32, h: u32) -> u64 {
+pub(crate) fn mix(f: u32, g: u32, h: u32) -> u64 {
     // Each word gets its own odd multiplier before combining, and callers
     // index with the *high* bits of the final product: the low bits of a
     // multiply depend only on equally-low input bits, so a single
@@ -77,6 +77,12 @@ impl IteCache {
     #[inline]
     pub fn capacity(&self) -> usize {
         1usize << self.log2
+    }
+
+    /// The configured size exponent (for building an equally-sized cache).
+    #[inline]
+    pub fn log2(&self) -> u32 {
+        self.log2
     }
 
     /// Slots currently holding an entry.

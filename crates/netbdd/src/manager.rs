@@ -1,8 +1,11 @@
 //! The BDD manager: arena, unique table, ITE engine, and set algebra.
 
+use std::sync::Arc;
+
 use crate::cache::{IteCache, DEFAULT_ITE_CACHE_LOG2};
 use crate::fxhash::FxHashMap;
 use crate::node::{Node, Ref, Var, TERMINAL_VAR};
+use crate::shared::{GcStats, Relocation, SharedState};
 
 /// Entry bound on the probability memo. Like the match-set cache, the
 /// policy is full flush at capacity (between queries, never mid-query):
@@ -26,23 +29,46 @@ pub(crate) const PROB_CACHE_CAPACITY: usize = 1 << 18;
 /// the negation-heavy workloads coverage computation produces
 /// (Algorithm 1 is a `diff`/`or` loop).
 ///
-/// The manager is deliberately not `Sync`: coverage analysis in this
-/// project is per-network, and parallel sweeps run one manager per thread.
+/// Two backends share the `Bdd` API. A **private** manager owns its
+/// arena exclusively — no synchronisation anywhere on the hot path, and
+/// the backend every differential test treats as the oracle. A
+/// **shared** manager ([`Bdd::new_shared`]) is a handle onto a
+/// [`SharedState`] arena that any number of sibling handles
+/// ([`Bdd::handle`]) use concurrently from other threads; hash-consing
+/// still lands canonical [`Ref`]s, so refs cross handles freely.
+enum Store {
+    Private {
+        nodes: Vec<Node>,
+        unique: FxHashMap<Node, Ref>,
+        ite_cache: IteCache,
+    },
+    Shared(Arc<SharedState>),
+}
+
+/// The manager itself is not shared between threads — parallel sweeps
+/// either run one private manager per thread, or one *handle* per thread
+/// onto a shared arena ([`Bdd::new_shared`] / [`Bdd::handle`]).
 pub struct Bdd {
-    nodes: Vec<Node>,
-    unique: FxHashMap<Node, Ref>,
-    ite_cache: IteCache,
+    store: Store,
     prob_cache: FxHashMap<Ref, f64>,
     prob_evictions: u64,
     /// Reusable memo tables for `restrict`/`exists`, recycled instead of
     /// allocated per call (the per-call maps showed up in the fig9
     /// profile as pure allocator traffic).
     scratch: Vec<FxHashMap<Ref, Ref>>,
+    /// Reusable operand buffers for `or_all`/`and_all`, pooled like the
+    /// memo tables so the hot fromRule path reduces without allocating.
+    reduce_pool: Vec<Vec<Ref>>,
     // Cumulative lookup/hit counters (survive `clear_caches`); a worker
     // thread's hit rates tell whether its shard re-derives shared
-    // structure or genuinely explores distinct state.
+    // structure or genuinely explores distinct state. On a shared
+    // manager these are per-handle, so each worker reports its own view.
     unique_lookups: u64,
     unique_hits: u64,
+    // Per-handle computed-cache traffic for the shared backend (the
+    // private backend counts inside its own IteCache).
+    shared_ite_lookups: u64,
+    shared_ite_hits: u64,
     ops: crate::debug::OpCounts,
 }
 
@@ -71,32 +97,83 @@ impl Bdd {
             lo: Ref::TRUE,
             hi: Ref::TRUE,
         };
-        Bdd {
+        Self::from_store(Store::Private {
             nodes: vec![terminal],
             unique: FxHashMap::default(),
             ite_cache: IteCache::new(log2),
+        })
+    }
+
+    /// Create the owning handle of a **shared** manager: one concurrent
+    /// arena (sharded unique table + seqlock computed cache, see
+    /// [`crate::shared`]) that sibling handles from [`Bdd::handle`] use
+    /// from other threads. Functions built here export byte-identically
+    /// to a private manager's — the sequential backend stays the oracle.
+    pub fn new_shared() -> Self {
+        Self::new_shared_with_ite_cache_log2(DEFAULT_ITE_CACHE_LOG2)
+    }
+
+    /// [`Bdd::new_shared`] with an explicit computed-cache size, matching
+    /// [`Bdd::with_ite_cache_log2`].
+    pub fn new_shared_with_ite_cache_log2(log2: u32) -> Self {
+        Self::from_store(Store::Shared(Arc::new(SharedState::new(log2))))
+    }
+
+    fn from_store(store: Store) -> Self {
+        Bdd {
+            store,
             prob_cache: FxHashMap::default(),
             prob_evictions: 0,
             scratch: Vec::new(),
+            reduce_pool: Vec::new(),
             unique_lookups: 0,
             unique_hits: 0,
+            shared_ite_lookups: 0,
+            shared_ite_hits: 0,
             ops: crate::debug::OpCounts::default(),
         }
+    }
+
+    /// A fresh handle onto the same shared arena, for use from another
+    /// thread. Handles see each other's nodes immediately (hash-consing
+    /// is global), while per-handle memos and counters start empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a private manager — exclusive arenas cannot be shared.
+    pub fn handle(&self) -> Bdd {
+        match &self.store {
+            Store::Shared(s) => Self::from_store(Store::Shared(Arc::clone(s))),
+            Store::Private { .. } => panic!("Bdd::handle requires a shared manager"),
+        }
+    }
+
+    /// Whether this manager is backed by the shared concurrent arena.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.store, Store::Shared(_))
     }
 
     /// Number of live nodes in the arena (including the terminal). A
     /// function and its complement share every node, so this is the
     /// engine's true memory residency.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        match &self.store {
+            Store::Private { nodes, .. } => nodes.len(),
+            Store::Shared(s) => s.node_count(),
+        }
     }
 
     /// Drop all operation caches, keeping the node arena intact.
     ///
     /// Useful between analysis phases on very large networks; every `Ref`
     /// remains valid, and the cumulative hit/eviction counters survive.
+    /// On a shared manager the computed cache is global, so this clears
+    /// it for every sibling handle too (call at quiescent points).
     pub fn clear_caches(&mut self) {
-        self.ite_cache.clear();
+        match &mut self.store {
+            Store::Private { ite_cache, .. } => ite_cache.clear(),
+            Store::Shared(s) => s.ite.clear(),
+        }
         self.prob_cache.clear();
     }
 
@@ -105,7 +182,10 @@ impl Bdd {
     /// [`Bdd::expand`]).
     #[inline]
     pub(crate) fn node(&self, r: Ref) -> Node {
-        self.nodes[r.index()]
+        match &self.store {
+            Store::Private { nodes, .. } => nodes[r.index()],
+            Store::Shared(s) => s.node(r.index()),
+        }
     }
 
     /// The Shannon children of `r` *as the function `r` denotes*: the
@@ -114,7 +194,7 @@ impl Bdd {
     /// traversal (counting, cube extraction, export) goes through it.
     #[inline]
     pub(crate) fn expand(&self, r: Ref) -> (Ref, Ref) {
-        let n = self.nodes[r.index()];
+        let n = self.node(r);
         if r.is_complemented() {
             (n.lo.complement(), n.hi.complement())
         } else {
@@ -127,7 +207,7 @@ impl Bdd {
         if r.is_terminal() {
             None
         } else {
-            Some(self.nodes[r.index()].var)
+            Some(self.node(r).var)
         }
     }
 
@@ -151,18 +231,54 @@ impl Bdd {
     fn mk_raw(&mut self, var: Var, lo: Ref, hi: Ref) -> Ref {
         debug_assert!(var < TERMINAL_VAR);
         debug_assert!(!lo.is_complemented(), "lo edges must be regular");
-        debug_assert!(lo.is_terminal() || self.nodes[lo.index()].var > var);
-        debug_assert!(hi.is_terminal() || self.nodes[hi.index()].var > var);
+        debug_assert!(lo.is_terminal() || self.node(lo).var > var);
+        debug_assert!(hi.is_terminal() || self.node(hi).var > var);
         let node = Node { var, lo, hi };
         self.unique_lookups += 1;
-        if let Some(&r) = self.unique.get(&node) {
-            self.unique_hits += 1;
-            return r;
+        match &mut self.store {
+            Store::Private { nodes, unique, .. } => {
+                if let Some(&r) = unique.get(&node) {
+                    self.unique_hits += 1;
+                    return r;
+                }
+                let r = Ref::pack(nodes.len(), false);
+                nodes.push(node);
+                unique.insert(node, r);
+                r
+            }
+            Store::Shared(s) => {
+                let (r, hit) = s.mk_raw(node);
+                if hit {
+                    self.unique_hits += 1;
+                }
+                r
+            }
         }
-        let r = Ref::pack(self.nodes.len(), false);
-        self.nodes.push(node);
-        self.unique.insert(node, r);
-        r
+    }
+
+    /// Probe the computed cache for a normalized standard triple.
+    #[inline]
+    fn ite_cache_lookup(&mut self, f: Ref, g: Ref, h: Ref) -> Option<Ref> {
+        match &mut self.store {
+            Store::Private { ite_cache, .. } => ite_cache.lookup(f, g, h),
+            Store::Shared(s) => {
+                self.shared_ite_lookups += 1;
+                let r = s.ite.lookup(f, g, h);
+                if r.is_some() {
+                    self.shared_ite_hits += 1;
+                }
+                r
+            }
+        }
+    }
+
+    /// Publish a computed ITE result (best-effort on the shared backend).
+    #[inline]
+    fn ite_cache_insert(&mut self, f: Ref, g: Ref, h: Ref, r: Ref) {
+        match &mut self.store {
+            Store::Private { ite_cache, .. } => ite_cache.insert(f, g, h, r),
+            Store::Shared(s) => s.ite.insert(f, g, h, r),
+        }
     }
 
     // ----- core operations ------------------------------------------------
@@ -191,7 +307,7 @@ impl Bdd {
     /// complement tags so `f` and `¬f` rank together.
     #[inline]
     fn rank(&self, r: Ref) -> (Var, u32) {
-        (self.nodes[r.index()].var, r.regular().0)
+        (self.node(r).var, r.regular().0)
     }
 
     /// If-then-else: `(f ∧ g) ∨ (¬f ∧ h)`. The workhorse every other
@@ -299,7 +415,7 @@ impl Bdd {
             h = h.complement();
         }
 
-        if let Some(r) = self.ite_cache.lookup(f, g, h) {
+        if let Some(r) = self.ite_cache_lookup(f, g, h) {
             return if complemented { r.complement() } else { r };
         }
 
@@ -313,7 +429,7 @@ impl Bdd {
         let lo = self.ite(f0, g0, h0);
         let hi = self.ite(f1, g1, h1);
         let r = self.mk(v, lo, hi);
-        self.ite_cache.insert(f, g, h, r);
+        self.ite_cache_insert(f, g, h, r);
         if complemented {
             r.complement()
         } else {
@@ -323,14 +439,14 @@ impl Bdd {
 
     #[inline]
     fn top_var(&self, r: Ref) -> Var {
-        self.nodes[r.index()].var
+        self.node(r).var
     }
 
     /// Shannon cofactors of `r` with respect to variable `v` (which must be
     /// no deeper than `r`'s root variable).
     #[inline]
     fn cofactors(&self, r: Ref, v: Var) -> (Ref, Ref) {
-        if self.nodes[r.index()].var == v {
+        if self.node(r).var == v {
             self.expand(r)
         } else {
             (r, r)
@@ -413,20 +529,41 @@ impl Bdd {
         identity: Ref,
         op: fn(&mut Self, Ref, Ref) -> Ref,
     ) -> Ref {
-        let mut layer: Vec<Ref> = items.into_iter().collect();
-        if layer.is_empty() {
+        let mut iter = items.into_iter();
+        let Some(first) = iter.next() else {
             return identity;
-        }
+        };
+        let Some(second) = iter.next() else {
+            // Single operand: the reduction is the identity map — no
+            // buffer, no op, no cache traffic (the hot fromRule path is
+            // full of one-action rules that land here).
+            return first;
+        };
+        // Halve in place on one pooled buffer (like the restrict/exists
+        // memo pool): each round writes pair results over the front of
+        // the same Vec, so a reduction allocates at most once ever.
+        let mut layer = self.reduce_pool.pop().unwrap_or_default();
+        layer.push(first);
+        layer.push(second);
+        layer.extend(iter);
         while layer.len() > 1 {
-            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
-            let mut pairs = layer.chunks_exact(2);
-            for pair in &mut pairs {
-                next.push(op(self, pair[0], pair[1]));
+            let mut write = 0;
+            let mut read = 0;
+            while read + 1 < layer.len() {
+                layer[write] = op(self, layer[read], layer[read + 1]);
+                write += 1;
+                read += 2;
             }
-            next.extend(pairs.remainder());
-            layer = next;
+            if read < layer.len() {
+                layer[write] = layer[read];
+                write += 1;
+            }
+            layer.truncate(write);
         }
-        layer[0]
+        let result = layer[0];
+        layer.clear();
+        self.reduce_pool.push(layer);
+        result
     }
 
     /// Set equality. O(1) thanks to canonicity.
@@ -615,14 +752,27 @@ impl Bdd {
     }
 
     pub(crate) fn ite_cache_stats(&self) -> (usize, usize, u64, u64, u64) {
-        let (lookups, hits, evictions) = self.ite_cache.counters();
-        (
-            self.ite_cache.occupied(),
-            self.ite_cache.capacity(),
-            lookups,
-            hits,
-            evictions,
-        )
+        match &self.store {
+            Store::Private { ite_cache, .. } => {
+                let (lookups, hits, evictions) = ite_cache.counters();
+                (
+                    ite_cache.occupied(),
+                    ite_cache.capacity(),
+                    lookups,
+                    hits,
+                    evictions,
+                )
+            }
+            // Occupancy/evictions are arena-global (approximate under
+            // concurrency); lookups/hits are this handle's own traffic.
+            Store::Shared(s) => (
+                s.ite.occupied(),
+                s.ite.capacity(),
+                self.shared_ite_lookups,
+                self.shared_ite_hits,
+                s.ite.evictions(),
+            ),
+        }
     }
 
     pub(crate) fn prob_cache_len(&self) -> usize {
@@ -639,6 +789,103 @@ impl Bdd {
 
     pub(crate) fn op_counts(&self) -> crate::debug::OpCounts {
         self.ops
+    }
+
+    // ----- arena lifecycle (GC) --------------------------------------------
+
+    /// Stop-the-world copying collection: rebuild the arena from `roots`,
+    /// dropping every unreachable node, and return the [`Relocation`]
+    /// that rewrites surviving `Ref`s plus before/after [`GcStats`].
+    ///
+    /// Works on both backends (a long-lived private manager compacts the
+    /// same way). Every `Ref` not reachable from `roots` — and every
+    /// cached result — is invalid afterwards; callers must rewrite all
+    /// retained refs through [`Relocation::relocate`] before touching the
+    /// manager again. Complement tags on the roots are irrelevant: a
+    /// function and its complement are the same nodes.
+    ///
+    /// # Panics
+    ///
+    /// On a shared manager, panics unless this is the only live handle
+    /// (`collect` moves nodes, which is only sound stop-the-world).
+    pub fn collect(&mut self, roots: &[Ref]) -> (Relocation, GcStats) {
+        let nodes_before = self.node_count();
+        let mut fresh = match &self.store {
+            Store::Private { ite_cache, .. } => Self::with_ite_cache_log2(ite_cache.log2()),
+            Store::Shared(s) => {
+                assert_eq!(
+                    Arc::strong_count(s),
+                    1,
+                    "Bdd::collect requires every sibling handle to be dropped"
+                );
+                Self::new_shared_with_ite_cache_log2(s.ite_log2())
+            }
+        };
+        // Children-first copy through an explicit stack: Enter schedules
+        // the children, Exit re-makes the node in the fresh arena once
+        // both relocated children exist. Stored lo edges are regular and
+        // `mk` with a regular lo returns a regular ref, so (by induction
+        // bottom-up) every relocation target is regular — `relocate` is
+        // then a lookup plus the caller's tag.
+        enum Walk {
+            Enter(Ref),
+            Exit(Ref),
+        }
+        let mut map: FxHashMap<u32, Ref> = FxHashMap::default();
+        let mut scheduled: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let mut stack: Vec<Walk> = roots
+            .iter()
+            .filter(|r| !r.is_terminal())
+            .map(|r| Walk::Enter(r.regular()))
+            .collect();
+        let relocate_edge = |map: &FxHashMap<u32, Ref>, e: Ref| -> Ref {
+            if e.is_terminal() {
+                return e;
+            }
+            let fresh = map[&e.regular().0];
+            if e.is_complemented() {
+                fresh.complement()
+            } else {
+                fresh
+            }
+        };
+        while let Some(step) = stack.pop() {
+            match step {
+                Walk::Enter(r) => {
+                    if !scheduled.insert(r.0) {
+                        continue;
+                    }
+                    stack.push(Walk::Exit(r));
+                    let n = self.node(r);
+                    if !n.hi.is_terminal() {
+                        stack.push(Walk::Enter(n.hi.regular()));
+                    }
+                    if !n.lo.is_terminal() {
+                        stack.push(Walk::Enter(n.lo.regular()));
+                    }
+                }
+                Walk::Exit(r) => {
+                    let n = self.node(r);
+                    let lo = relocate_edge(&map, n.lo);
+                    let hi = relocate_edge(&map, n.hi);
+                    let moved = fresh.mk(n.var, lo, hi);
+                    map.insert(r.0, moved);
+                }
+            }
+        }
+        self.store = fresh.store;
+        // Every cached or pooled ref is stale; memos in the scratch/
+        // reduce pools are cleared on return, so only the probability
+        // memo holds refs across calls.
+        self.prob_cache.clear();
+        let nodes_after = self.node_count();
+        (
+            Relocation { map },
+            GcStats {
+                nodes_before,
+                nodes_after,
+            },
+        )
     }
 }
 

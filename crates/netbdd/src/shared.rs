@@ -1,0 +1,556 @@
+//! The shared-manager concurrent backend and arena lifecycle management.
+//!
+//! The per-thread story (`ParallelRunner` spawning one private [`Bdd`](crate::Bdd)
+//! per worker and merging by `PortableBdd` export) parallelizes *across*
+//! analyses but never *inside* one: a single large ITE is stuck on one
+//! core, and merged results pay an export/import round-trip. This module
+//! is the Sylvan-style alternative: **one** arena shared by every worker,
+//! so hash-consing lands canonical [`Ref`]s no matter which thread built
+//! a node, results cross threads as plain `Ref`s, and the computed cache
+//! is shared work, not per-thread duplication.
+//!
+//! ## Sharded unique table
+//!
+//! The arena is split into `NUM_SHARDS` (64) shards selected by the *high*
+//! bits of the node's hash (the low bits of the in-shard hash map would
+//! otherwise correlate with shard choice). Each shard owns
+//!
+//! * a lock-striped unique table (`Mutex<FxHashMap<Node, local>>`) — the
+//!   insert path takes exactly one shard lock, so threads building
+//!   disjoint structure almost never contend;
+//! * an append-only chunked node store readable **without** the lock:
+//!   a spine of doubling-sized chunks whose slots are `OnceLock<Node>`,
+//!   so a published node is immutable and `node(r)` is a wait-free read.
+//!
+//! A global arena index interleaves shards in the *low* bits —
+//! `index = local << SHARD_BITS | shard` — which keeps index 0 (shard 0,
+//! local 0) reserved for the terminal, preserving `Ref::TRUE == Ref(0)`
+//! and the entire complement-edge encoding unchanged. `PortableBdd`
+//! export is structure-only, so functions built in a shared arena export
+//! **byte-identically** to the sequential manager — that property is the
+//! differential CI gate for this backend.
+//!
+//! ## Shared computed cache
+//!
+//! The ITE cache is the same fixed-capacity two-probe design as the
+//! sequential `IteCache`, made concurrent with a
+//! per-slot seqlock: writers CAS the version odd, store the payload,
+//! and release it even; readers accept a payload only if the version was
+//! even and unchanged around the reads. Lost inserts and skipped slots
+//! are fine — the cache is memoisation, never ground truth.
+//!
+//! ## Arena lifecycle (GC)
+//!
+//! Long-lived daemons accrete garbage: every delta recomputes covered
+//! sets, and the dead intermediates stay in the arena forever. The
+//! collector ([`Bdd::collect`](crate::Bdd::collect)) is a stop-the-world copying pass — from
+//! the registered roots it rebuilds a fresh same-mode store children
+//! first, then hands back a [`Relocation`] mapping old regular refs to
+//! new ones so owners of `Ref`s (match sets, covered sets, traces)
+//! rewrite themselves in O(refs). Everything unreachable is simply never
+//! copied, and the computed caches start empty in the new store.
+
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::cache::mix;
+use crate::fxhash::{FxBuildHasher, FxHashMap};
+use crate::node::{Node, Ref, TERMINAL_VAR};
+
+/// Shard-count exponent: the arena is split `2^SHARD_BITS` ways.
+pub(crate) const SHARD_BITS: u32 = 6;
+
+/// Number of unique-table shards in a shared arena. 64 striped locks is
+/// far past the worker counts this project runs (≤ 16), so two workers
+/// rarely insert into the same shard at once.
+pub(crate) const NUM_SHARDS: usize = 1 << SHARD_BITS;
+
+/// log2 of the first chunk's slot count; chunk `k` holds `BASE << k`
+/// nodes, so 16 chunks cover `BASE * (2^16 - 1)` ≈ 67M nodes per shard.
+const CHUNK_BASE_LOG2: u32 = 10;
+
+/// Number of chunks in a shard's spine.
+const NUM_CHUNKS: usize = 16;
+
+/// Largest local index a shard may hold: the global index
+/// `local << SHARD_BITS | shard` must still fit in a [`Ref`]'s 31
+/// index bits.
+const MAX_LOCAL: u32 = 1 << (31 - SHARD_BITS);
+
+/// Chunk and offset for a local index. Chunk `k` covers locals
+/// `[BASE*(2^k - 1), BASE*(2^(k+1) - 1))`, so `k` is the bit length of
+/// `local/BASE + 1` minus one.
+#[inline]
+fn locate(local: u32) -> (usize, usize) {
+    let n = (local >> CHUNK_BASE_LOG2) + 1;
+    let k = 31 - n.leading_zeros();
+    let offset = local - (((1u32 << k) - 1) << CHUNK_BASE_LOG2);
+    (k as usize, offset as usize)
+}
+
+/// Append-only node storage readable without the shard lock. Chunks are
+/// allocated on first touch and never move; each slot is written exactly
+/// once (under the shard lock) and `OnceLock` publication makes the
+/// write visible to any thread that learned the index through a
+/// synchronising edge (shard mutex, seqlock version, or thread join).
+struct Chunked {
+    chunks: [OnceLock<Box<[OnceLock<Node>]>>; NUM_CHUNKS],
+}
+
+impl Chunked {
+    fn new() -> Chunked {
+        Chunked {
+            chunks: std::array::from_fn(|_| OnceLock::new()),
+        }
+    }
+
+    #[inline]
+    fn get(&self, local: u32) -> Node {
+        let (k, off) = locate(local);
+        let chunk = self.chunks[k].get().expect("chunk of published node");
+        *chunk[off].get().expect("published node slot")
+    }
+
+    /// Store a node at `local`. Caller must hold the shard lock and use
+    /// each local index exactly once.
+    fn set(&self, local: u32, node: Node) {
+        let (k, off) = locate(local);
+        let chunk = self.chunks[k].get_or_init(|| {
+            let size = (1usize << CHUNK_BASE_LOG2) << k;
+            (0..size).map(|_| OnceLock::new()).collect()
+        });
+        let fresh = chunk[off].set(node).is_ok();
+        debug_assert!(fresh, "node slot written twice");
+    }
+}
+
+/// One lock stripe of the shared unique table.
+struct Shard {
+    /// `Node → local index`, guarding the insert path.
+    unique: Mutex<FxHashMap<Node, u32>>,
+    /// Published node count; written under the lock, read lock-free by
+    /// [`SharedState::node_count`] and the GC watermark check.
+    len: AtomicU32,
+    nodes: Chunked,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            unique: Mutex::new(FxHashMap::default()),
+            len: AtomicU32::new(0),
+            nodes: Chunked::new(),
+        }
+    }
+}
+
+/// A seqlock slot of the shared computed cache: `w0 = f | g << 32`,
+/// `w1 = h | r << 32`, valid only while `ver` is even and stable.
+struct CacheSlot {
+    ver: AtomicU32,
+    w0: AtomicU64,
+    w1: AtomicU64,
+}
+
+/// The concurrent ITE computed cache: same geometry, key normalization,
+/// and empty-slot sentinel (`f == 0`, never a cached first argument) as
+/// the sequential [`IteCache`](crate::cache), with per-slot seqlocks
+/// instead of exclusive access. Inserts are best-effort: a writer that
+/// loses the version CAS skips the slot rather than wait.
+pub(crate) struct SharedIteCache {
+    /// Lazily allocated like the sequential cache, so cheap managers
+    /// never pay the ~6 MiB memset.
+    slots: OnceLock<Box<[CacheSlot]>>,
+    log2: u32,
+    /// Approximate global accounting (relaxed): slot fills and
+    /// cross-key overwrites observed by writers.
+    occupied: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SharedIteCache {
+    fn new(log2: u32) -> SharedIteCache {
+        assert!((4..=30).contains(&log2), "ite cache size out of range");
+        SharedIteCache {
+            slots: OnceLock::new(),
+            log2,
+            occupied: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn capacity(&self) -> usize {
+        1usize << self.log2
+    }
+
+    pub(crate) fn occupied(&self) -> usize {
+        self.occupied.load(Ordering::Relaxed) as usize
+    }
+
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn probe(&self, f: Ref, g: Ref, h: Ref) -> usize {
+        (mix(f.0, g.0, h.0) >> (64 - self.log2)) as usize
+    }
+
+    pub(crate) fn lookup(&self, f: Ref, g: Ref, h: Ref) -> Option<Ref> {
+        let slots = self.slots.get()?;
+        if f.0 == 0 {
+            // Terminal first argument aliases the empty sentinel.
+            return None;
+        }
+        let i = self.probe(f, g, h);
+        for idx in [i, i ^ 1] {
+            let s = &slots[idx];
+            let v1 = s.ver.load(Ordering::Acquire);
+            if v1 & 1 == 1 {
+                continue; // mid-write
+            }
+            let w0 = s.w0.load(Ordering::Relaxed);
+            let w1 = s.w1.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            if s.ver.load(Ordering::Relaxed) != v1 {
+                continue; // torn read
+            }
+            if w0 == key_w0(f, g) && (w1 as u32) == h.0 {
+                return Some(Ref((w1 >> 32) as u32));
+            }
+        }
+        None
+    }
+
+    pub(crate) fn insert(&self, f: Ref, g: Ref, h: Ref, r: Ref) {
+        if f.0 == 0 {
+            return; // never cache the sentinel-aliasing key
+        }
+        let slots = self.slots.get_or_init(|| {
+            (0..self.capacity())
+                .map(|_| CacheSlot {
+                    ver: AtomicU32::new(0),
+                    w0: AtomicU64::new(0),
+                    w1: AtomicU64::new(0),
+                })
+                .collect()
+        });
+        let i = self.probe(f, g, h);
+        let k0 = key_w0(f, g);
+        // Mirror the sequential slot preference — same key, then empty,
+        // then the first probe — from a relaxed peek; races only cost an
+        // extra eviction, never correctness.
+        let (p0, p1) = (
+            slots[i].w0.load(Ordering::Relaxed),
+            slots[i ^ 1].w0.load(Ordering::Relaxed),
+        );
+        let first = if p0 == k0 || (p1 != k0 && (p0 == 0 || p1 != 0)) {
+            i
+        } else {
+            i ^ 1
+        };
+        for idx in [first, first ^ 1] {
+            let s = &slots[idx];
+            let v = s.ver.load(Ordering::Relaxed);
+            if v & 1 == 1 {
+                continue; // another writer owns the slot
+            }
+            if s.ver
+                .compare_exchange(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            let old0 = s.w0.load(Ordering::Relaxed);
+            let old_h = s.w1.load(Ordering::Relaxed) as u32;
+            s.w0.store(k0, Ordering::Relaxed);
+            s.w1.store(h.0 as u64 | ((r.0 as u64) << 32), Ordering::Relaxed);
+            s.ver.store(v + 2, Ordering::Release);
+            if old0 == 0 {
+                self.occupied.fetch_add(1, Ordering::Relaxed);
+            } else if old0 != k0 || old_h != h.0 {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        // Both slots contended: drop the insert, it is only a memo.
+    }
+
+    /// Best-effort concurrent clear: empties every slot not mid-write,
+    /// keeping the allocation. Intended for quiescent points (between
+    /// analysis phases); concurrent readers stay correct throughout.
+    pub(crate) fn clear(&self) {
+        if let Some(slots) = self.slots.get() {
+            for s in slots.iter() {
+                let v = s.ver.load(Ordering::Relaxed);
+                if v & 1 == 1 {
+                    continue;
+                }
+                if s.ver
+                    .compare_exchange(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_err()
+                {
+                    continue;
+                }
+                s.w0.store(0, Ordering::Relaxed);
+                s.w1.store(0, Ordering::Relaxed);
+                s.ver.store(v + 2, Ordering::Release);
+            }
+        }
+        self.occupied.store(0, Ordering::Relaxed);
+    }
+}
+
+#[inline]
+fn key_w0(f: Ref, g: Ref) -> u64 {
+    f.0 as u64 | ((g.0 as u64) << 32)
+}
+
+/// The state behind every handle of one shared manager: the sharded
+/// unique table plus the concurrent computed cache. Held in an `Arc`;
+/// [`Bdd::handle`](crate::Bdd::handle) clones the `Arc` into a fresh
+/// handle whose per-handle caches and counters start empty.
+pub(crate) struct SharedState {
+    shards: Vec<Shard>,
+    pub(crate) ite: SharedIteCache,
+    hasher: FxBuildHasher,
+}
+
+impl SharedState {
+    pub(crate) fn new(ite_log2: u32) -> SharedState {
+        let state = SharedState {
+            shards: (0..NUM_SHARDS).map(|_| Shard::new()).collect(),
+            ite: SharedIteCache::new(ite_log2),
+            hasher: FxBuildHasher::default(),
+        };
+        // Reserve global index 0 — shard 0, local 0 — for the single
+        // terminal, exactly as the private arena does, so Ref::TRUE is
+        // Ref(0) in both backends. Never entered in a unique table.
+        let terminal = Node {
+            var: TERMINAL_VAR,
+            lo: Ref::TRUE,
+            hi: Ref::TRUE,
+        };
+        state.shards[0].nodes.set(0, terminal);
+        state.shards[0].len.store(1, Ordering::Release);
+        state
+    }
+
+    pub(crate) fn ite_log2(&self) -> u32 {
+        self.ite.log2
+    }
+
+    /// The stored node at a global arena index (wait-free).
+    #[inline]
+    pub(crate) fn node(&self, index: usize) -> Node {
+        let shard = index & (NUM_SHARDS - 1);
+        let local = (index >> SHARD_BITS) as u32;
+        self.shards[shard].nodes.get(local)
+    }
+
+    /// Total published nodes across all shards (exact at quiescence,
+    /// a consistent lower bound while workers are inserting).
+    pub(crate) fn node_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.len.load(Ordering::Acquire) as usize)
+            .sum()
+    }
+
+    /// Hash-consed insert: one shard lock, compare-exchange semantics on
+    /// the canonical slot (first inserter wins, later callers get the
+    /// same `Ref`). Returns the canonical regular ref and whether the
+    /// node already existed.
+    pub(crate) fn mk_raw(&self, node: Node) -> (Ref, bool) {
+        use std::hash::BuildHasher;
+        let shard_id = (self.hasher.hash_one(node) >> (64 - SHARD_BITS)) as usize;
+        let shard = &self.shards[shard_id];
+        let mut unique = shard.unique.lock().expect("shard lock poisoned");
+        if let Some(&local) = unique.get(&node) {
+            return (Ref::pack(global_index(local, shard_id), false), true);
+        }
+        let local = shard.len.load(Ordering::Relaxed);
+        assert!(local < MAX_LOCAL, "shared arena shard overflow");
+        shard.nodes.set(local, node);
+        shard.len.store(local + 1, Ordering::Release);
+        unique.insert(node, local);
+        (Ref::pack(global_index(local, shard_id), false), false)
+    }
+}
+
+#[inline]
+fn global_index(local: u32, shard: usize) -> usize {
+    ((local as usize) << SHARD_BITS) | shard
+}
+
+/// The old-ref → new-ref map produced by a collection
+/// ([`Bdd::collect`](crate::Bdd::collect)). Keyed on *regular* refs;
+/// [`Relocation::relocate`] reapplies the complement tag, so both
+/// polarities of a function relocate through one entry.
+pub struct Relocation {
+    /// Old regular raw ref → new (always regular) ref. Regularity of the
+    /// values is an invariant of the copying pass: stored `lo` edges are
+    /// regular, and `mk` with a regular `lo` returns a regular ref.
+    pub(crate) map: FxHashMap<u32, Ref>,
+}
+
+impl Relocation {
+    /// The post-GC ref denoting the same function as pre-GC `r`.
+    ///
+    /// `r` must be a terminal or reachable from the root set the
+    /// collection ran with; anything else was reclaimed and panics.
+    pub fn relocate(&self, r: Ref) -> Ref {
+        if r.is_terminal() {
+            return r;
+        }
+        let fresh = *self
+            .map
+            .get(&r.regular().0)
+            .expect("ref not reachable from the GC root set");
+        if r.is_complemented() {
+            fresh.complement()
+        } else {
+            fresh
+        }
+    }
+
+    /// Number of relocated (live) decision nodes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the root set reached no decision nodes at all.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Before/after accounting for one collection, suitable for gauges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GcStats {
+    /// Arena node count when the collection started.
+    pub nodes_before: usize,
+    /// Arena node count after compaction (live nodes + terminal).
+    pub nodes_after: usize,
+}
+
+impl GcStats {
+    /// Nodes reclaimed by the collection.
+    pub fn reclaimed(&self) -> usize {
+        self.nodes_before.saturating_sub(self.nodes_after)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locate_covers_chunks_contiguously() {
+        // Walk the first few chunk boundaries: offsets restart at 0 and
+        // chunk sizes double.
+        let base = 1u32 << CHUNK_BASE_LOG2;
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(base - 1), (0, base as usize - 1));
+        assert_eq!(locate(base), (1, 0));
+        assert_eq!(locate(3 * base - 1), (1, 2 * base as usize - 1));
+        assert_eq!(locate(3 * base), (2, 0));
+        // Contiguity: every local maps into range and increments by one.
+        let mut prev = locate(0);
+        for local in 1..(16 * base) {
+            let (k, off) = locate(local);
+            if k == prev.0 {
+                assert_eq!(off, prev.1 + 1);
+            } else {
+                assert_eq!((k, off), (prev.0 + 1, 0));
+            }
+            prev = (k, off);
+        }
+    }
+
+    #[test]
+    fn terminal_occupies_global_index_zero() {
+        let s = SharedState::new(8);
+        assert_eq!(s.node_count(), 1);
+        let t = s.node(0);
+        assert_eq!(t.var, TERMINAL_VAR);
+    }
+
+    #[test]
+    fn mk_raw_is_idempotent_and_publishes_nodes() {
+        let s = SharedState::new(8);
+        let n = Node {
+            var: 3,
+            lo: Ref::TRUE,
+            hi: Ref::FALSE,
+        };
+        let (r1, hit1) = s.mk_raw(n);
+        let (r2, hit2) = s.mk_raw(n);
+        assert_eq!(r1, r2, "hash-consing must land one canonical ref");
+        assert!(!hit1);
+        assert!(hit2);
+        assert!(!r1.is_complemented());
+        assert!(s.node(r1.index()) == n, "stored node must round-trip");
+        assert_eq!(s.node_count(), 2);
+    }
+
+    #[test]
+    fn shared_cache_roundtrip_and_sentinel() {
+        let c = SharedIteCache::new(6);
+        let (f, g, h, r) = (Ref(2), Ref(4), Ref(7), Ref(12));
+        assert_eq!(c.lookup(f, g, h), None);
+        c.insert(f, g, h, r);
+        assert_eq!(c.lookup(f, g, h), Some(r));
+        assert_eq!(c.occupied(), 1);
+        // Terminal first argument: never stored, never matched.
+        c.insert(Ref(0), g, h, r);
+        assert_eq!(c.lookup(Ref(0), g, h), None);
+        assert_eq!(c.occupied(), 1);
+        c.clear();
+        assert_eq!(c.lookup(f, g, h), None);
+        assert_eq!(c.occupied(), 0);
+    }
+
+    #[test]
+    fn shared_cache_bounds_occupancy_under_churn() {
+        let c = SharedIteCache::new(4); // 16 slots
+        for i in 0..400u32 {
+            c.insert(Ref(2 + 2 * i), Ref(4), Ref(7), Ref(12));
+        }
+        assert!(c.occupied() <= c.capacity());
+        assert!(c.evictions() > 0, "overfill must evict");
+    }
+
+    #[test]
+    fn concurrent_mk_lands_canonical_refs() {
+        // All threads race to intern the same node set; every thread
+        // must observe identical refs for identical nodes.
+        let s = SharedState::new(8);
+        let refs: Vec<Vec<Ref>> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        (0..200u32)
+                            .map(|v| {
+                                let n = Node {
+                                    var: v,
+                                    lo: Ref::TRUE,
+                                    hi: Ref::FALSE,
+                                };
+                                s.mk_raw(n).0
+                            })
+                            .collect()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|j| j.join().unwrap())
+                .collect()
+        });
+        for worker in &refs[1..] {
+            assert_eq!(worker, &refs[0]);
+        }
+        assert_eq!(s.node_count(), 201); // terminal + 200 distinct nodes
+    }
+}

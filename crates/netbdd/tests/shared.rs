@@ -1,0 +1,257 @@
+//! Tests for the shared concurrent manager (`Bdd::new_shared`).
+//!
+//! Three contracts, in rising order of paranoia:
+//!
+//! 1. **Differential vs the counting oracle.** Worker threads building
+//!    random expressions through handles of one shared arena must agree
+//!    with a brute-force truth table on the model count of every
+//!    function — and with the private sequential manager bit-for-bit,
+//!    via the canonical [`PortableBdd`] export (the same equivalence the
+//!    engine's CI gate relies on). One test per thread count so CI can
+//!    run `shared_threads_2` / `shared_threads_8` explicitly.
+//! 2. **Contention stress.** All workers hammer the *same* variable
+//!    order and the same functions, so every `mk` races on the same
+//!    shards; hash-consing must still hand every worker the identical
+//!    canonical `Ref`s.
+//! 3. **GC round-trip.** Collecting the arena from a set of roots and
+//!    recomputing afterwards must reproduce byte-identical exports.
+
+use netbdd::{Bdd, PortableBdd, Ref};
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+/// A tiny expression language evaluated through the BDD engine and
+/// through direct truth-table enumeration (the counting oracle).
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+const NVARS: u32 = 6;
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (0..NVARS).prop_map(Expr::Var);
+    leaf.prop_recursive(5, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn exprs() -> impl Strategy<Value = Vec<Expr>> {
+    proptest::collection::vec(arb_expr(), 1..9)
+}
+
+fn build(bdd: &mut Bdd, e: &Expr) -> Ref {
+    match e {
+        Expr::Var(v) => bdd.var(*v),
+        Expr::Not(a) => {
+            let a = build(bdd, a);
+            bdd.not(a)
+        }
+        Expr::And(a, b) => {
+            let (a, b) = (build(bdd, a), build(bdd, b));
+            bdd.and(a, b)
+        }
+        Expr::Or(a, b) => {
+            let (a, b) = (build(bdd, a), build(bdd, b));
+            bdd.or(a, b)
+        }
+        Expr::Xor(a, b) => {
+            let (a, b) = (build(bdd, a), build(bdd, b));
+            bdd.xor(a, b)
+        }
+    }
+}
+
+fn eval(e: &Expr, assignment: u32) -> bool {
+    match e {
+        Expr::Var(v) => (assignment >> v) & 1 == 1,
+        Expr::Not(a) => !eval(a, assignment),
+        Expr::And(a, b) => eval(a, assignment) && eval(b, assignment),
+        Expr::Or(a, b) => eval(a, assignment) || eval(b, assignment),
+        Expr::Xor(a, b) => eval(a, assignment) != eval(b, assignment),
+    }
+}
+
+fn truth_count(e: &Expr) -> u128 {
+    (0..(1u32 << NVARS)).filter(|&a| eval(e, a)).count() as u128
+}
+
+/// Build `exprs` across `threads` workers sharing one arena (expression
+/// `i` goes to worker `i % threads`) and return each function's
+/// canonical export plus its model count, in input order.
+fn run_shared(exprs: &[Expr], threads: usize) -> Vec<(PortableBdd, u128)> {
+    let shared = Bdd::new_shared();
+    let results: Vec<(usize, (PortableBdd, u128))> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let mut local = shared.handle();
+                scope.spawn(move || {
+                    exprs
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % threads == tid)
+                        .map(|(i, e)| {
+                            let f = build(&mut local, e);
+                            (i, (local.export(f), local.sat_count(f, NVARS)))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let mut out: Vec<Option<(PortableBdd, u128)>> = vec![None; exprs.len()];
+    for (i, r) in results {
+        out[i] = Some(r);
+    }
+    out.into_iter().map(Option::unwrap).collect()
+}
+
+/// The shared backend at `threads` workers agrees with the sequential
+/// private manager (byte-identical exports) and the counting oracle.
+fn check_differential(exprs: &[Expr], threads: usize) -> Result<(), TestCaseError> {
+    let mut seq = Bdd::new();
+    let expected: Vec<(PortableBdd, u128)> = exprs
+        .iter()
+        .map(|e| {
+            let f = build(&mut seq, e);
+            (seq.export(f), truth_count(e))
+        })
+        .collect();
+    let got = run_shared(exprs, threads);
+    for (i, ((gp, gc), (ep, ec))) in got.iter().zip(&expected).enumerate() {
+        prop_assert_eq!(gc, ec, "model count diverged from oracle at expr {}", i);
+        prop_assert_eq!(gp, ep, "export diverged from sequential at expr {}", i);
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn shared_threads_1_matches_oracle(e in exprs()) {
+        check_differential(&e, 1)?;
+    }
+
+    #[test]
+    fn shared_threads_2_matches_oracle(e in exprs()) {
+        check_differential(&e, 2)?;
+    }
+
+    #[test]
+    fn shared_threads_4_matches_oracle(e in exprs()) {
+        check_differential(&e, 4)?;
+    }
+
+    #[test]
+    fn shared_threads_8_matches_oracle(e in exprs()) {
+        check_differential(&e, 8)?;
+    }
+}
+
+/// Contention stress: every worker builds the *same* function ladder in
+/// the same variable order, so all of them race on the same unique-table
+/// shards at once. Hash-consing must hand every worker the identical
+/// canonical `Ref` for every rung.
+#[test]
+fn contention_same_order_yields_canonical_refs() {
+    const WORKERS: usize = 8;
+    const RUNGS: u32 = 200;
+    let shared = Bdd::new_shared();
+    let ladders: Vec<Vec<Ref>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                let mut local = shared.handle();
+                scope.spawn(move || {
+                    let mut refs = Vec::with_capacity(RUNGS as usize);
+                    let mut acc = local.var(0);
+                    for i in 1..=RUNGS {
+                        let v = local.var(i % 24);
+                        // Alternate ops so rungs hit both mk and the
+                        // shared computed cache.
+                        acc = if i % 3 == 0 {
+                            local.xor(acc, v)
+                        } else if i % 3 == 1 {
+                            local.or(acc, v)
+                        } else {
+                            let n = local.not(v);
+                            local.and(acc, n)
+                        };
+                        refs.push(acc);
+                    }
+                    refs
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (w, ladder) in ladders.iter().enumerate() {
+        assert_eq!(
+            ladder, &ladders[0],
+            "worker {w} saw non-canonical refs under contention"
+        );
+    }
+}
+
+/// GC-then-recompute bit-identity: collect the shared arena down to a
+/// few roots, then rebuild every function (dropped ones included) in the
+/// compacted arena — every export must be byte-identical to the
+/// pre-collection snapshot, and the collection itself must shrink the
+/// arena.
+#[test]
+fn gc_then_recompute_is_bit_identical() {
+    let mut bdd = Bdd::new_shared();
+    let build_all = |bdd: &mut Bdd| -> Vec<Ref> {
+        (0..24u32)
+            .map(|i| {
+                let a = bdd.var(i % 12);
+                let b = bdd.var((i + 5) % 12);
+                let c = bdd.var((i + 9) % 12);
+                let ab = bdd.and(a, b);
+                let abc = bdd.xor(ab, c);
+                bdd.or(abc, a)
+            })
+            .collect()
+    };
+    let funcs = build_all(&mut bdd);
+    let snapshots: Vec<PortableBdd> = funcs.iter().map(|&f| bdd.export(f)).collect();
+
+    // Keep only every fourth function live across the collection.
+    let roots: Vec<Ref> = funcs.iter().copied().step_by(4).collect();
+    let (reloc, stats) = bdd.collect(&roots);
+    assert!(
+        stats.nodes_after < stats.nodes_before,
+        "dropping 3/4 of the roots must reclaim nodes ({} -> {})",
+        stats.nodes_before,
+        stats.nodes_after
+    );
+    for (i, &r) in roots.iter().enumerate() {
+        assert_eq!(
+            bdd.export(reloc.relocate(r)),
+            snapshots[i * 4],
+            "surviving root {i} changed across the collection"
+        );
+    }
+
+    // Recompute everything in the compacted arena: canonical exports
+    // must match the pre-GC snapshots bit for bit.
+    let again = build_all(&mut bdd);
+    for (i, &f) in again.iter().enumerate() {
+        assert_eq!(
+            bdd.export(f),
+            snapshots[i],
+            "function {i} diverged when recomputed after GC"
+        );
+    }
+}

@@ -212,6 +212,27 @@ impl MatchSets {
     pub fn is_shadowed(&self, id: RuleId) -> bool {
         self.get(id).is_false()
     }
+
+    /// Append every match-set ref (per-rule residuals and device totals)
+    /// to `roots` (GC root registration).
+    pub fn collect_refs(&self, roots: &mut Vec<Ref>) {
+        for dev in &self.sets {
+            roots.extend(dev.iter().copied());
+        }
+        roots.extend(self.device_total.iter().copied());
+    }
+
+    /// Rewrite every held ref through `f` (a GC relocation map).
+    pub fn remap_refs(&mut self, f: impl Fn(Ref) -> Ref) {
+        for dev in &mut self.sets {
+            for r in dev.iter_mut() {
+                *r = f(*r);
+            }
+        }
+        for r in &mut self.device_total {
+            *r = f(*r);
+        }
+    }
 }
 
 /// One device's first-match chain walk: the shared body of

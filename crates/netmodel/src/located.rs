@@ -141,6 +141,19 @@ impl LocatedPacketSet {
         out.dedup();
         out
     }
+
+    /// Append every packet-set ref held here to `roots` (GC root
+    /// registration).
+    pub fn collect_refs(&self, roots: &mut Vec<Ref>) {
+        roots.extend(self.map.values().copied());
+    }
+
+    /// Rewrite every held ref through `f` (a GC relocation map).
+    pub fn remap_refs(&mut self, f: impl Fn(Ref) -> Ref) {
+        for r in self.map.values_mut() {
+            *r = f(*r);
+        }
+    }
 }
 
 #[cfg(test)]
