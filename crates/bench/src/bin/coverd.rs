@@ -22,6 +22,7 @@
 //! coverd get  127.0.0.1:7070 '/covers?rule=0.0'
 //! coverd get  127.0.0.1:7070 /metrics
 //! coverd post 127.0.0.1:7070 /delta '{"kind":"rule-insert","device":0,"rule":{"dst":"10.0.0.9/32"}}'
+//! coverd post 127.0.0.1:7070 /autogen '{"budget":64}'
 //! coverd post 127.0.0.1:7070 /shutdown
 //! ```
 //!

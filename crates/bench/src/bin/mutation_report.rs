@@ -10,26 +10,32 @@
 //! die; uncovered ones (the core ACLs — §2's Azure incident in
 //! miniature) should survive. Add `--acl-tests` to extend the suite with
 //! `AclEntryCheck` state inspections of those same ACLs and watch the
-//! survivors move to the covered side and die.
+//! survivors move to the covered side and die. Or add `--autogen` and
+//! let the coverage-guided generation loop (`yardstick::testgen`) close
+//! the same gaps with zero hand-written tests.
 //!
 //! Usage: `cargo run -p bench --bin mutation_report --release -- \
 //!            [--k N] [--threads N] [--seed S] [--cap N] [--acl-tests] \
-//!            [--no-verify] [--json] [--trace out.json]`
+//!            [--autogen] [--no-verify] [--json] [--trace out.json]`
 //!
 //! `--json` writes `BENCH_mutation.json` (benchdiff-compatible: gated
-//! `metrics`, informational `info`). Unless `--no-verify` is given, the
-//! run re-evaluates every mutant at 1, 2, and 4 threads and asserts the
-//! outcome vectors — and therefore the surviving-mutant list — are
+//! `metrics`, informational `info`); with `--autogen` it writes
+//! `BENCH_mutation_autogen.json` instead, so the two study variants keep
+//! independent benchdiff baselines. Unless `--no-verify` is given, the
+//! run re-evaluates every mutant at 1, 2, and 4 threads (and, with
+//! `--autogen`, regenerates the suite at each thread count) and asserts
+//! the outcome vectors — and therefore the surviving-mutant list — are
 //! bit-identical.
 
 use bench::{arg_flag, arg_present, fattree_info, figures_dir, time_it};
 use mutate::{cross_reference, evaluate, generate, MutationConfig, MutationReport, Operator};
 use netbdd::Bdd;
 use netmodel::MatchSets;
-use testsuite::{acl_entry_jobs, fattree_suite_jobs, run_job, SuiteVerdict};
+use testsuite::{acl_entry_jobs, fattree_suite_jobs, run_job, SuiteJob, SuiteVerdict};
 use topogen::acl::{install_acl, AclEntry};
 use topogen::{fattree, FatTreeParams};
-use yardstick::{CoveredSets, Tracker};
+use yardstick::testgen::{self, GenConfig, GenReport};
+use yardstick::{CoverageEngine, CoveredSets, Tracker};
 
 /// The port the bogon filters block. Port 23 keeps the Figure-2 flavour
 /// ("block packets to port 23").
@@ -42,6 +48,7 @@ fn main() {
     let seed = arg_flag("--seed", 0xC0FFEE);
     let cap = arg_flag("--cap", 12) as usize;
     let acl_tests = arg_present("--acl-tests");
+    let use_autogen = arg_present("--autogen");
     let verify = !arg_present("--no-verify");
 
     println!("== mutation study: coverage vs. kill rate (fat-tree k={k}) ==");
@@ -93,6 +100,75 @@ fn main() {
         "baseline suite must pass before mutation means anything; failed: {:?}",
         baseline.failed_tests()
     );
+
+    // Coverage-guided generation: seed an engine with the behavioural
+    // suite's trace, let the loop close the remaining gaps, then replay
+    // the emitted tests through the very same tracker so the covered
+    // sets (and the mutant evaluation below) include them.
+    let mut autogen_leg = None;
+    if use_autogen {
+        let portable = tracker.trace().export(&bdd);
+        let cfg = GenConfig {
+            seed,
+            budget: 4096,
+            ..GenConfig::default()
+        };
+        let run_loop = |n: usize| {
+            let mut engine = CoverageEngine::new(ft.net.clone(), n);
+            engine
+                .add_test("baseline-suite", &portable)
+                .expect("baseline trace must import cleanly");
+            testgen::autogen(&mut engine, &cfg)
+        };
+        let (gen_report, autogen_t) = time_it(|| {
+            let report = run_loop(threads);
+            if verify {
+                for n in [1usize, 2, 4] {
+                    if n == threads {
+                        continue;
+                    }
+                    let again = run_loop(n);
+                    assert_eq!(
+                        report.tests, again.tests,
+                        "autogen suite differs between {threads} and {n} threads"
+                    );
+                }
+            }
+            report
+        });
+        assert!(
+            gen_report.converged,
+            "generation loop must converge on the study network"
+        );
+        println!(
+            "   autogen: {} tests in {} round(s), coverage {:.1}% -> {:.1}%{}",
+            gen_report.tests.len(),
+            gen_report.rounds,
+            gen_report.before.rule_fractional.unwrap_or(0.0) * 100.0,
+            gen_report.after.rule_fractional.unwrap_or(0.0) * 100.0,
+            if verify {
+                ", suite bit-identical across 1/2/4 threads"
+            } else {
+                ""
+            }
+        );
+        let mut replay = SuiteVerdict::new();
+        for t in &gen_report.tests {
+            let job = SuiteJob::Generated {
+                spec: t.spec.clone(),
+            };
+            let report = run_job(&mut bdd, &ft.net, &ms, &info, &mut tracker, &job);
+            replay.record(&report);
+            jobs.push(job);
+        }
+        assert!(
+            replay.passed(),
+            "generated tests must pass on the unmutated network; failed: {:?}",
+            replay.failed_tests()
+        );
+        autogen_leg = Some((gen_report, autogen_t));
+    }
+
     let trace_data = tracker.into_trace();
     let covered = CoveredSets::compute(&ft.net, &ms, &trace_data, &mut bdd);
 
@@ -149,9 +225,18 @@ fn main() {
             jobs.len(),
             baseline_t.as_secs_f64(),
             evaluate_t.as_secs_f64(),
+            autogen_leg.as_ref().map(|(r, t)| (r, t.as_secs_f64())),
         );
-        let path = figures_dir().join("BENCH_mutation.json");
-        std::fs::write(&path, json).expect("write BENCH_mutation.json");
+        // The autogen variant keeps its own file (and its own committed
+        // benchdiff baseline): the two runs differ structurally, and
+        // benchdiff treats a one-sided metric as a failure.
+        let name = if use_autogen {
+            "BENCH_mutation_autogen.json"
+        } else {
+            "BENCH_mutation.json"
+        };
+        let path = figures_dir().join(name);
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {name}: {e}"));
         println!("  [json] {}", path.display());
     }
     if let Some(path) = trace {
@@ -215,6 +300,7 @@ fn to_json(
     jobs: usize,
     baseline_secs: f64,
     evaluate_secs: f64,
+    autogen: Option<(&GenReport, f64)>,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"mutation_report\",\n");
@@ -223,11 +309,15 @@ fn to_json(
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str(&format!("  \"seed\": {},\n", report.seed));
     out.push_str(&format!("  \"acl_tests\": {acl_tests},\n"));
+    out.push_str(&format!("  \"autogen\": {},\n", autogen.is_some()));
     out.push_str(&format!("  \"jobs\": {jobs},\n"));
     out.push_str("  \"metrics\": {\n");
     out.push_str(&format!(
         "    \"baseline_suite_secs\": {baseline_secs:.6},\n"
     ));
+    if let Some((_, autogen_secs)) = autogen {
+        out.push_str(&format!("    \"autogen_secs\": {autogen_secs:.6},\n"));
+    }
     out.push_str(&format!("    \"evaluate_secs\": {evaluate_secs:.6},\n"));
     out.push_str(&format!(
         "    \"surviving_mutants\": {}\n",
@@ -237,6 +327,16 @@ fn to_json(
     out.push_str("  \"info\": {\n");
     out.push_str(&format!("    \"mutants\": {},\n", report.generated()));
     out.push_str(&format!("    \"equivalent\": {},\n", report.equivalent()));
+    if let Some((r, _)) = autogen {
+        out.push_str(&format!(
+            "    \"autogen\": {{\"tests\": {}, \"rounds\": {}, \"converged\": {}, \
+             \"permanent_gaps\": {}}},\n",
+            r.tests.len(),
+            r.rounds,
+            r.converged,
+            r.permanent_gaps.len()
+        ));
+    }
     out.push_str("    \"per_op\": [\n");
     for (i, s) in report.per_op.iter().enumerate() {
         out.push_str(&format!(

@@ -15,6 +15,7 @@
 //! | GET  | `/metrics`     | —                           | headline metrics, engine state, netobs snapshots |
 //! | GET  | `/delta-since` | `trace=<version>`           | deltas applied after that engine version |
 //! | POST | `/delta`       | JSON delta document         | applies a rule/test delta |
+//! | POST | `/autogen`     | optional `{"seed","budget"}` | runs one coverage-guided generation round |
 //! | POST | `/shutdown`    | —                           | acknowledges, then the serve loop exits |
 //!
 //! The parsing and handling layers are pure functions over [`Request`]
@@ -31,6 +32,7 @@ use netmodel::{Action, IfaceId, Location, MatchFields, Prefix, RouteClass, Rule,
 use netobs::json::{self, Json};
 
 use crate::engine::{CoverageEngine, DeltaRecord, EngineError};
+use crate::testgen::{autogen, GenConfig};
 use crate::trace::PortableTrace;
 
 /// A parsed HTTP request: method, path, decoded query pairs, body.
@@ -177,6 +179,18 @@ fn num_u32(j: Option<&Json>, what: &str) -> Result<u32, String> {
         return Err(format!("{what} out of range: {n}"));
     }
     Ok(n as u32)
+}
+
+/// Non-negative integer as u64. JSON numbers ride through f64, so only
+/// values up to 2^53 round-trip exactly — plenty for a seed knob.
+fn num_u64(j: Option<&Json>, what: &str) -> Result<u64, String> {
+    let n = j
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{what} must be a number"))?;
+    if !(0.0..=(1u64 << 53) as f64).contains(&n) || n.fract() != 0.0 {
+        return Err(format!("{what} out of range: {n}"));
+    }
+    Ok(n as u64)
 }
 
 /// Parse a rule id of the form `<device>.<index>` or `r<device>.<index>`.
@@ -504,6 +518,76 @@ fn handle_delta(engine: &mut CoverageEngine, req: &Request) -> Response {
     }
 }
 
+/// One round of coverage-guided generation ([`autogen`]), bounded so an
+/// HTTP request stays an interactive operation: the caller re-posts to
+/// iterate, observing the coverage delta between rounds. The optional
+/// JSON body overrides the witness seed and test budget.
+fn handle_autogen(engine: &mut CoverageEngine, req: &Request) -> Response {
+    let mut cfg = GenConfig {
+        budget: 64,
+        max_rounds: 1,
+        ..GenConfig::default()
+    };
+    if !req.body.trim().is_empty() {
+        let doc = match json::parse(&req.body) {
+            Ok(doc) => doc,
+            Err(e) => return Response::error(400, &format!("malformed JSON body: {e}")),
+        };
+        if let Some(j) = doc.get("seed") {
+            match num_u64(Some(j), "seed") {
+                Ok(s) => cfg.seed = s,
+                Err(e) => return Response::error(400, &e),
+            }
+        }
+        if let Some(j) = doc.get("budget") {
+            match num_u32(Some(j), "budget") {
+                Ok(b) => cfg.budget = b as usize,
+                Err(e) => return Response::error(400, &e),
+            }
+        }
+    }
+    let report = autogen(engine, &cfg);
+    let tests: Vec<String> = report
+        .tests
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"name\":{},\"kind\":{},\"spec\":{}}}",
+                jstr(&t.name),
+                jstr(t.spec.kind()),
+                jstr(&t.spec.to_string())
+            )
+        })
+        .collect();
+    let gaps: Vec<String> = report
+        .permanent_gaps
+        .iter()
+        .map(|id| jstr(&format!("r{}.{}", id.device.0, id.index)))
+        .collect();
+    Response::ok(format!(
+        "{{\"ok\":true,\"version\":{},\"rounds\":{},\"converged\":{},\"budget_exhausted\":{},\
+         \"tests\":[{}],\"permanent_gaps\":[{}],\
+         \"coverage\":{{\"before\":{},\"after\":{}}}}}",
+        engine.version(),
+        report.rounds,
+        report.converged,
+        report.budget_exhausted,
+        tests.join(","),
+        gaps.join(","),
+        headline_json(&report.before),
+        headline_json(&report.after),
+    ))
+}
+
+fn headline_json(h: &crate::engine::HeadlineMetrics) -> String {
+    format!(
+        "{{\"rule_fractional\":{},\"rule_weighted\":{},\"device_fractional\":{}}}",
+        jopt(h.rule_fractional),
+        jopt(h.rule_weighted),
+        jopt(h.device_fractional)
+    )
+}
+
 /// Dispatch one request against the engine. Pure with respect to I/O:
 /// this is the function the daemon tests drive without sockets.
 pub fn handle(engine: &mut CoverageEngine, req: &Request) -> Response {
@@ -512,10 +596,11 @@ pub fn handle(engine: &mut CoverageEngine, req: &Request) -> Response {
         ("GET", "/metrics") => handle_metrics(engine),
         ("GET", "/delta-since") => handle_delta_since(engine, req),
         ("POST", "/delta") => handle_delta(engine, req),
+        ("POST", "/autogen") => handle_autogen(engine, req),
         ("POST", "/shutdown") => {
             Response::ok(format!("{{\"ok\":true,\"version\":{}}}", engine.version()))
         }
-        (_, "/covers" | "/metrics" | "/delta-since" | "/delta" | "/shutdown") => {
+        (_, "/covers" | "/metrics" | "/delta-since" | "/delta" | "/autogen" | "/shutdown") => {
             Response::error(405, "method not allowed")
         }
         _ => Response::error(404, &format!("no such endpoint: {}", req.path)),
@@ -757,6 +842,127 @@ mod tests {
         assert_eq!(resp.status, 200);
         let covers = handle(&mut engine, &Request::new("GET", "/covers?rule=0.0", ""));
         assert!(covers.body.contains("\"coverage\":0,"), "{}", covers.body);
+    }
+
+    #[test]
+    fn test_remove_delta_flushes_the_cache_like_rule_deltas_do() {
+        // Regression guard: every delta kind must flush the query cache,
+        // not just rule inserts. A stale cached /covers after test-remove
+        // would keep reporting coverage the departed test provided.
+        let mut engine = build_engine();
+        let body = format!(
+            "{{\"kind\":\"test-add\",\"name\":\"t1\",\"trace\":{}}}",
+            mark_trace_json(0, "10.0.0.0/24")
+        );
+        handle(&mut engine, &Request::new("POST", "/delta", &body));
+        let covers = Request::new("GET", "/covers?rule=0.0", "");
+        let with_test = handle(&mut engine, &covers);
+        assert!(with_test.body.contains("\"exercised\":true"));
+        assert_eq!(engine.query_cache_stats().entries, 1);
+        let resp = handle(
+            &mut engine,
+            &Request::new("POST", "/delta", r#"{"kind":"test-remove","name":"t1"}"#),
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        // The delta must have emptied the cache wholesale...
+        assert_eq!(engine.query_cache_stats().entries, 0);
+        // ...so the next query is a fresh miss with the test's coverage
+        // gone, not a stale hit.
+        let without_test = handle(&mut engine, &covers);
+        assert!(
+            without_test.body.contains("\"exercised\":false"),
+            "{}",
+            without_test.body
+        );
+        let stats = engine.query_cache_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn gc_flushes_the_cache_and_preserves_covers_answers() {
+        // Regression guard for the GC arm: a collection relocates every
+        // live ref, so cached responses must be dropped — but the
+        // recomputed answer over relocated refs must come out identical.
+        let mut engine = build_engine();
+        let body = format!(
+            "{{\"kind\":\"test-add\",\"name\":\"t1\",\"trace\":{}}}",
+            mark_trace_json(0, "10.0.0.0/24")
+        );
+        handle(&mut engine, &Request::new("POST", "/delta", &body));
+        let covers = Request::new("GET", "/covers?rule=0.0", "");
+        let before = handle(&mut engine, &covers);
+        assert_eq!(engine.query_cache_stats().entries, 1);
+        let stats = engine.gc();
+        assert!(stats.nodes_after <= stats.nodes_before);
+        assert_eq!(
+            engine.query_cache_stats().entries,
+            0,
+            "GC must flush the query cache"
+        );
+        let after = handle(&mut engine, &covers);
+        assert_eq!(after, before, "GC relocation changed a /covers answer");
+        let stats = engine.query_cache_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn autogen_endpoint_closes_the_gaps_in_one_round() {
+        let mut engine = build_engine();
+        let resp = handle(&mut engine, &Request::new("POST", "/autogen", ""));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let doc = json::parse(&resp.body).unwrap();
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("converged").unwrap().as_bool(), Some(true));
+        // Both FIB rules get their own traceroute (the /24 delivers to
+        // hosts, the default exits upstream), registered as deltas.
+        let tests = doc.get("tests").unwrap().as_array().unwrap();
+        assert_eq!(tests.len(), 2);
+        for t in tests {
+            assert_eq!(t.get("kind").unwrap().as_str(), Some("traceroute"));
+        }
+        assert_eq!(
+            doc.get("coverage")
+                .unwrap()
+                .get("after")
+                .unwrap()
+                .get("rule_fractional")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+        assert_eq!(engine.version(), 2);
+        // A second round finds nothing left to do.
+        let resp = handle(&mut engine, &Request::new("POST", "/autogen", ""));
+        let doc = json::parse(&resp.body).unwrap();
+        assert_eq!(doc.get("converged").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("rounds").unwrap().as_f64(), Some(0.0));
+        assert!(doc.get("tests").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn autogen_body_knobs_are_validated() {
+        let mut engine = build_engine();
+        let resp = handle(
+            &mut engine,
+            &Request::new("POST", "/autogen", r#"{"budget":1}"#),
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let doc = json::parse(&resp.body).unwrap();
+        assert_eq!(doc.get("budget_exhausted").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("tests").unwrap().as_array().unwrap().len(), 1);
+        let bad = handle(&mut engine, &Request::new("POST", "/autogen", "{nope"));
+        assert_eq!(bad.status, 400);
+        let bad = handle(
+            &mut engine,
+            &Request::new("POST", "/autogen", r#"{"seed":-1}"#),
+        );
+        assert_eq!(bad.status, 400, "{}", bad.body);
+        assert_eq!(
+            handle(&mut engine, &Request::new("GET", "/autogen", "")).status,
+            405
+        );
     }
 
     #[test]

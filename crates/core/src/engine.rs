@@ -436,6 +436,24 @@ impl CoverageEngine {
         f(&analyzer, &mut self.bdd)
     }
 
+    /// Split borrow of the analysis state: the network, the resident
+    /// match-set and covered-set shards, and the manager, all at once.
+    ///
+    /// [`CoverageEngine::with_analyzer`] clones the covered sets into a
+    /// fresh [`Analyzer`]; callers that interleave dataplane queries
+    /// (traceroute, witness sampling) with engine mutations — the
+    /// coverage-guided generation loop — need the live shards and a
+    /// mutable manager side by side instead.
+    pub fn analysis_parts(&mut self) -> (&Network, &MatchSets, &CoveredSets, &mut Bdd) {
+        (&self.net, &self.ms, &self.covered, &mut self.bdd)
+    }
+
+    /// Whether any registered test exercises rule `id` (its covered set
+    /// is non-empty). `id` must name a current rule.
+    pub fn is_exercised(&self, id: RuleId) -> bool {
+        self.covered.is_exercised(id)
+    }
+
     /// Coverage of one rule, straight from the resident shards.
     pub fn rule_coverage(&mut self, id: RuleId) -> Result<RuleCoverage, EngineError> {
         self.check_rule(id)?;

@@ -11,12 +11,13 @@
 use std::fmt;
 
 use netbdd::Bdd;
-use netmodel::header::{sample_packet, Packet};
+use netmodel::header::Packet;
 use netmodel::region::{describe_set, Region};
 use netmodel::rule::RouteClass;
 use netmodel::RuleId;
 
 use crate::analyzer::Analyzer;
+use crate::testgen::{rule_seed, seeded_witness, WITNESS_SEED};
 
 /// One under-covered rule with its untested space described.
 #[derive(Clone, Debug)]
@@ -134,7 +135,10 @@ impl Analyzer<'_> {
                     untested_weight: u_w,
                     regions,
                     regions_complete,
-                    witness: sample_packet(bdd, untested),
+                    // Seeded per rule: the witness is a pure function of
+                    // the rule's identity and the untested set, never of
+                    // report order, thread count, or manager backend.
+                    witness: seeded_witness(bdd, untested, rule_seed(WITNESS_SEED, id)),
                 }
             })
             .collect();

@@ -73,6 +73,7 @@ pub mod parallel;
 pub mod pathcov;
 pub mod report;
 pub mod rng;
+pub mod testgen;
 pub mod trace;
 pub mod tracker;
 
@@ -88,5 +89,6 @@ pub use gaps::{GapEntry, GapReport};
 pub use obs::publish_bdd_gauges;
 pub use parallel::{publish_worker_gauges, ParallelRunner, WorkerReport};
 pub use report::{ClassReport, CoverageReport, ReportRow};
+pub use testgen::{autogen, GenConfig, GenReport, GeneratedTest, TestSpec};
 pub use trace::{CoverageTrace, PortableTrace};
 pub use tracker::Tracker;

@@ -52,6 +52,25 @@ impl Bdd {
     /// (false) branch when that branch can still reach `TRUE`. Determinism
     /// matters for reproducible test-packet selection.
     pub fn some_cube(&self, f: Ref) -> Option<Cube> {
+        self.some_cube_with(f, |_| false)
+    }
+
+    /// One satisfying cube of `f`, steering free branch choices with
+    /// `prefer_hi`.
+    ///
+    /// Wherever *both* children of a node can still reach `TRUE`, the
+    /// branch is chosen by `prefer_hi(var)`; forced nodes (one child
+    /// `FALSE`) follow the only viable branch regardless, so the result
+    /// always satisfies `f`. [`Bdd::some_cube`] is the `|_| false`
+    /// specialization.
+    ///
+    /// Children are resolved through `Bdd::expand`, which pushes the
+    /// parent's complement tag down — the parity discipline every walk
+    /// in this module shares. Resolving `lo`/`hi` from the raw node
+    /// instead would return a cube of `¬f` whenever the path crosses an
+    /// odd number of complemented edges, which is exactly the slip the
+    /// negation-heavy witness differential tests guard against.
+    pub fn some_cube_with(&self, f: Ref, mut prefer_hi: impl FnMut(Var) -> bool) -> Option<Cube> {
         if f.is_false() {
             return None;
         }
@@ -60,12 +79,19 @@ impl Bdd {
         while !cur.is_terminal() {
             let var = self.node(cur).var;
             let (lo, hi) = self.expand(cur);
-            if !lo.is_false() {
-                literals.push((var, false));
-                cur = lo;
+            let take_hi = if lo.is_false() {
+                true
+            } else if hi.is_false() {
+                false
             } else {
+                prefer_hi(var)
+            };
+            if take_hi {
                 literals.push((var, true));
                 cur = hi;
+            } else {
+                literals.push((var, false));
+                cur = lo;
             }
         }
         debug_assert!(cur.is_true());
@@ -124,6 +150,43 @@ mod tests {
         // lo branch of var0 (a=false) leads to b, then b must be true.
         assert_eq!(cube.get(0), Some(false));
         assert_eq!(cube.get(1), Some(true));
+    }
+
+    #[test]
+    fn steered_cube_takes_the_preferred_branch_when_free() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.or(a, b);
+        // Prefer hi everywhere: var0 is free (both branches viable).
+        let cube = bdd.some_cube_with(f, |_| true).unwrap();
+        assert_eq!(cube.get(0), Some(true));
+        assert!(bdd.eval(f, |v| cube.get(v).unwrap_or(false)));
+        // Forced nodes ignore the preference: in a∧¬b both literals are
+        // pinned, whatever the chooser says.
+        let nb = bdd.not(b);
+        let g = bdd.and(a, nb);
+        let cube = bdd.some_cube_with(g, |_| false).unwrap();
+        assert_eq!(cube.get(0), Some(true));
+        assert_eq!(cube.get(1), Some(false));
+    }
+
+    #[test]
+    fn steered_cube_satisfies_negated_functions() {
+        // Negation flips complement tags on the root; the walk must keep
+        // returning members of the *negated* set.
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let c = bdd.var(2);
+        let ab = bdd.and(a, b);
+        let f = bdd.or(ab, c);
+        let nf = bdd.not(f);
+        for prefer in [false, true] {
+            let cube = bdd.some_cube_with(nf, |_| prefer).unwrap();
+            assert!(bdd.eval(nf, |v| cube.get(v).unwrap_or(false)));
+            assert!(!bdd.eval(f, |v| cube.get(v).unwrap_or(false)));
+        }
     }
 
     #[test]

@@ -269,6 +269,22 @@ pub fn sample_packet(bdd: &Bdd, set: Ref) -> Option<Packet> {
     bdd.some_cube(set).map(|c| Packet::from_cube(&c))
 }
 
+/// [`sample_packet`] with the free branch choices steered by `prefer_hi`.
+///
+/// The walk only consults `prefer_hi` where both children of a node stay
+/// satisfiable, so the result is always a member of `set`. Callers that
+/// need reproducible, iteration-order-independent witnesses (gap reports,
+/// coverage-guided generation) pass a per-rule seeded predicate here; the
+/// policy of *which* seed lives with them, this is just the mechanism.
+pub fn sample_packet_with(
+    bdd: &Bdd,
+    set: Ref,
+    prefer_hi: impl FnMut(u32) -> bool,
+) -> Option<Packet> {
+    bdd.some_cube_with(set, prefer_hi)
+        .map(|c| Packet::from_cube(&c))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -62,6 +62,11 @@ pub enum SuiteJob {
     },
     /// AclEntryCheck at one device: a deny entry for `port` must exist.
     AclEntry { device: DeviceId, port: u16 },
+    /// One test emitted by the coverage-guided generation loop
+    /// (`yardstick::testgen`): a self-contained spec replayed via
+    /// `run_spec`, so autogen suites shard exactly like hand-written
+    /// ones (the mutation study's `--autogen` leg relies on this).
+    Generated { spec: yardstick::testgen::TestSpec },
 }
 
 impl SuiteJob {
@@ -74,6 +79,7 @@ impl SuiteJob {
             SuiteJob::Reachability { .. } => "ToRReachability",
             SuiteJob::Pingmesh { .. } => "ToRPingmesh",
             SuiteJob::AclEntry { .. } => "AclEntryCheck",
+            SuiteJob::Generated { spec } => spec.test_name(),
         }
     }
 }
@@ -203,6 +209,11 @@ pub fn run_job(
         }
         SuiteJob::AclEntry { device, port } => {
             report = acl_entry_check(bdd, &mut ctx, &[*device], *port);
+        }
+        SuiteJob::Generated { spec } => {
+            let outcome =
+                yardstick::testgen::run_spec(bdd, ctx.net, ctx.ms, &mut ctx.tracker, spec);
+            report.check(outcome.is_ok(), || outcome.unwrap_err());
         }
     }
     *tracker = ctx.tracker;
@@ -377,6 +388,69 @@ mod tests {
         for (loc, set) in half.packets.iter() {
             assert!(bdd.subset(set, full.packets.at(loc)));
         }
+    }
+
+    #[test]
+    fn generated_acl_job_is_equivalent_to_acl_entry_check() {
+        use topogen::acl::{install_acl, AclEntry};
+        let mut ft = fattree(FatTreeParams::paper(4));
+        let core = ft.cores[0];
+        install_acl(&mut ft.net, core, &[AclEntry::block_tcp_port(23)]);
+        let info = NetworkInfo::default();
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&ft.net, &mut bdd);
+        let run = |bdd: &mut Bdd, job: &SuiteJob| {
+            let mut tracker = Tracker::new();
+            let rep = run_job(bdd, &ft.net, &ms, &info, &mut tracker, job);
+            assert!(rep.passed(), "{}: {:?}", rep.name, &rep.failures[..1]);
+            tracker.into_trace()
+        };
+        let hand = run(
+            &mut bdd,
+            &SuiteJob::AclEntry {
+                device: core,
+                port: 23,
+            },
+        );
+        let generated = run(
+            &mut bdd,
+            &SuiteJob::Generated {
+                spec: yardstick::testgen::TestSpec::AclEntry {
+                    device: core,
+                    port: 23,
+                },
+            },
+        );
+        // Same semantics, same marks: the generated flavour finds and
+        // marks exactly the deny entry the hand-written check does.
+        assert_eq!(generated.rules, hand.rules);
+        assert!(!generated.rules.is_empty());
+    }
+
+    #[test]
+    fn generated_jobs_replay_a_whole_autogen_suite() {
+        use yardstick::testgen::{autogen, GenConfig};
+        let (ft, info) = setup();
+        let mut engine = yardstick::CoverageEngine::new(ft.net.clone(), 1);
+        let report = autogen(
+            &mut engine,
+            &GenConfig {
+                budget: 4096,
+                ..GenConfig::default()
+            },
+        );
+        assert!(report.converged);
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&ft.net, &mut bdd);
+        let mut tracker = Tracker::new();
+        for t in &report.tests {
+            let job = SuiteJob::Generated {
+                spec: t.spec.clone(),
+            };
+            let rep = run_job(&mut bdd, &ft.net, &ms, &info, &mut tracker, &job);
+            assert!(rep.passed(), "{}: {:?}", rep.name, &rep.failures[..1]);
+        }
+        assert!(!tracker.trace().is_empty());
     }
 
     #[test]
