@@ -22,6 +22,7 @@
 //! coverd get  127.0.0.1:7070 '/covers?rule=0.0'
 //! coverd get  127.0.0.1:7070 /metrics
 //! coverd post 127.0.0.1:7070 /delta '{"kind":"rule-insert","device":0,"rule":{"dst":"10.0.0.9/32"}}'
+//! coverd post 127.0.0.1:7070 /delta '{"kind":"link-down","a":0,"b":2}'
 //! coverd post 127.0.0.1:7070 /autogen '{"budget":64}'
 //! coverd post 127.0.0.1:7070 /shutdown
 //! ```
@@ -33,7 +34,7 @@ use std::net::TcpListener;
 use std::process::ExitCode;
 
 use bench::{arg_flag, arg_value};
-use topogen::{fattree, FatTreeParams};
+use topogen::{fattree_with_engine, FatTreeParams};
 use yardstick::daemon::{http_get, http_post, serve};
 use yardstick::{Backend, CoverageEngine};
 
@@ -69,10 +70,11 @@ fn main() -> ExitCode {
                     std::process::exit(2);
                 }
             });
-            let ft = fattree(FatTreeParams::paper(k));
+            let (ft, routing) = fattree_with_engine(FatTreeParams::paper(k));
             let devices = ft.net.topology().device_count();
             let rules = ft.net.rule_count();
             let mut engine = CoverageEngine::new_with_backend(ft.net, threads, backend);
+            engine.attach_routing(routing);
             engine.set_gc_watermark(gc_watermark);
             let listener = match TcpListener::bind(("127.0.0.1", port as u16)) {
                 Ok(l) => l,

@@ -14,7 +14,7 @@
 //! | GET  | `/covers`      | `rule=<dev>.<idx>`          | coverage of one rule (LRU-cached) |
 //! | GET  | `/metrics`     | —                           | headline metrics, engine state, netobs snapshots |
 //! | GET  | `/delta-since` | `trace=<version>`           | deltas applied after that engine version |
-//! | POST | `/delta`       | JSON delta document         | applies a rule/test delta |
+//! | POST | `/delta`       | JSON delta document         | applies a rule/test/topology delta |
 //! | POST | `/autogen`     | optional `{"seed","budget"}` | runs one coverage-guided generation round |
 //! | POST | `/shutdown`    | —                           | acknowledges, then the serve loop exits |
 //!
@@ -340,6 +340,9 @@ fn engine_error_status(e: &EngineError) -> u16 {
         EngineError::UnknownDevice { .. }
         | EngineError::UnknownTest { .. }
         | EngineError::BadRuleIndex { .. } => 404,
+        EngineError::Routing(
+            routing::RibError::UnknownDevice { .. } | routing::RibError::UnknownLink { .. },
+        ) => 404,
         _ => 400,
     }
 }
@@ -509,6 +512,34 @@ fn handle_delta(engine: &mut CoverageEngine, req: &Request) -> Response {
                 None => return Response::error(400, "missing test name"),
             };
             engine.remove_test(&name).map(|devices| (name, devices))
+        }
+        "link-down" | "link-up" => {
+            let (a, b) = match (num_u32(doc.get("a"), "a"), num_u32(doc.get("b"), "b")) {
+                (Ok(a), Ok(b)) => (DeviceId(a), DeviceId(b)),
+                (Err(e), _) | (_, Err(e)) => return Response::error(400, &e),
+            };
+            let delta = if kind == "link-down" {
+                routing::TopologyDelta::LinkDown { a, b }
+            } else {
+                routing::TopologyDelta::LinkUp { a, b }
+            };
+            engine
+                .apply_topology(&delta)
+                .map(|devices| (format!("link:{}-{}", a.0, b.0), devices))
+        }
+        "device-down" | "device-up" => {
+            let device = match num_u32(doc.get("device"), "device") {
+                Ok(d) => DeviceId(d),
+                Err(e) => return Response::error(400, &e),
+            };
+            let delta = if kind == "device-down" {
+                routing::TopologyDelta::DeviceDown { device }
+            } else {
+                routing::TopologyDelta::DeviceUp { device }
+            };
+            engine
+                .apply_topology(&delta)
+                .map(|devices| (format!("device:{}", device.0), devices))
         }
         other => return Response::error(400, &format!("unknown delta kind {other:?}")),
     };

@@ -99,6 +99,11 @@ pub enum EngineError {
         /// What was wrong with the snapshot.
         error: PortableBddError,
     },
+    /// A topology delta arrived but no routing engine is attached
+    /// ([`CoverageEngine::attach_routing`] was never called).
+    NoRoutingEngine,
+    /// The attached routing engine refused the topology delta.
+    Routing(routing::RibError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -126,6 +131,10 @@ impl std::fmt::Display for EngineError {
             EngineError::MalformedTrace { location, error } => {
                 write!(f, "malformed trace at {location:?}: {error}")
             }
+            EngineError::NoRoutingEngine => {
+                write!(f, "no routing engine attached: topology deltas unavailable")
+            }
+            EngineError::Routing(e) => write!(f, "{e}"),
         }
     }
 }
@@ -143,6 +152,14 @@ pub enum DeltaKind {
     TestAdded,
     /// A test's trace was retired.
     TestRemoved,
+    /// A link failed; the routing engine re-converged around it.
+    LinkDown,
+    /// A link recovered.
+    LinkUp,
+    /// A device failed; its FIB and routes through it are withdrawn.
+    DeviceDown,
+    /// A device recovered.
+    DeviceUp,
 }
 
 impl DeltaKind {
@@ -153,6 +170,10 @@ impl DeltaKind {
             DeltaKind::RuleWithdrawn => "rule-withdrawn",
             DeltaKind::TestAdded => "test-added",
             DeltaKind::TestRemoved => "test-removed",
+            DeltaKind::LinkDown => "link-down",
+            DeltaKind::LinkUp => "link-up",
+            DeltaKind::DeviceDown => "device-down",
+            DeltaKind::DeviceUp => "device-up",
         }
     }
 }
@@ -332,6 +353,9 @@ impl std::str::FromStr for Backend {
 /// the invalidation model).
 pub struct CoverageEngine {
     net: Network,
+    /// Resident incremental routing engine; `None` until
+    /// [`CoverageEngine::attach_routing`], which arms topology deltas.
+    routing: Option<routing::RoutingEngine>,
     bdd: Bdd,
     ms_cache: MatchSetCache,
     ms: MatchSets,
@@ -374,6 +398,7 @@ impl CoverageEngine {
         let covered = CoveredSets::compute_parallel(&net, &ms, &combined, &mut bdd, threads);
         CoverageEngine {
             net,
+            routing: None,
             bdd,
             ms_cache,
             ms,
@@ -394,6 +419,25 @@ impl CoverageEngine {
     /// The network currently being served.
     pub fn network(&self) -> &Network {
         &self.net
+    }
+
+    /// Attach a resident [`routing::RoutingEngine`], arming
+    /// [`CoverageEngine::apply_topology`]. The engine must be the one
+    /// whose control plane compiled this network
+    /// ([`routing::RibBuilder::into_engine`]) — its FIB diffs are
+    /// applied to the served network in place.
+    pub fn attach_routing(&mut self, routing: routing::RoutingEngine) {
+        debug_assert_eq!(
+            routing.topology().device_count(),
+            self.net.topology().device_count(),
+            "routing engine built over a different topology"
+        );
+        self.routing = Some(routing);
+    }
+
+    /// The attached routing engine, if any.
+    pub fn routing(&self) -> Option<&routing::RoutingEngine> {
+        self.routing.as_ref()
     }
 
     /// Number of deltas applied so far.
@@ -580,6 +624,41 @@ impl CoverageEngine {
             );
         }
         self.record(DeltaKind::TestRemoved, name.to_string(), devices.clone());
+        Ok(devices)
+    }
+
+    /// Apply a topology failure/recovery delta through the attached
+    /// routing engine. The FIB diff it emits drives device-sharded
+    /// invalidation — only devices whose tables actually changed are
+    /// recomputed — and the delta is versioned in the log like any rule
+    /// or test delta. Returns the recomputed devices.
+    pub fn apply_topology(
+        &mut self,
+        delta: &routing::TopologyDelta,
+    ) -> Result<Vec<DeviceId>, EngineError> {
+        let routing = self.routing.as_mut().ok_or(EngineError::NoRoutingEngine)?;
+        let diff = routing
+            .apply(&mut self.net, delta)
+            .map_err(EngineError::Routing)?;
+        let devices = diff.devices();
+        for &device in &devices {
+            self.refresh_device(device);
+        }
+        let (kind, detail) = match *delta {
+            routing::TopologyDelta::LinkDown { a, b } => {
+                (DeltaKind::LinkDown, format!("link:{}-{}", a.0, b.0))
+            }
+            routing::TopologyDelta::LinkUp { a, b } => {
+                (DeltaKind::LinkUp, format!("link:{}-{}", a.0, b.0))
+            }
+            routing::TopologyDelta::DeviceDown { device } => {
+                (DeltaKind::DeviceDown, format!("device:{}", device.0))
+            }
+            routing::TopologyDelta::DeviceUp { device } => {
+                (DeltaKind::DeviceUp, format!("device:{}", device.0))
+            }
+        };
+        self.record(kind, detail, devices.clone());
         Ok(devices)
     }
 

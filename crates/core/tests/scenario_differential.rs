@@ -1,0 +1,256 @@
+//! Topology-delta differential tests for the coverage engine: failure
+//! and recovery sequences re-converged incrementally through
+//! [`CoverageEngine::apply_topology`] must leave the engine bit-identical
+//! to a from-scratch batch engine built over the degraded network — at 1
+//! and 4 threads, on the private and shared BDD backends — and the
+//! headline fractional metric must equal a direct counting of exercised
+//! rules (the counting-oracle form of the fractional aggregator).
+
+use netbdd::Bdd;
+use netmodel::header;
+use netmodel::topology::DeviceId;
+use netmodel::Location;
+use routing::TopologyDelta;
+use topogen::{fattree_with_engine, FatTreeParams};
+use yardstick::daemon::{handle, Request};
+use yardstick::{Backend, CoverageEngine, CoverageTrace, PortableTrace};
+
+/// A portable trace marking `prefix` at `device` (packet marks only —
+/// rule marks are positional and topology deltas shift indices).
+fn mark_trace(device: DeviceId, prefix: &str) -> PortableTrace {
+    let mut bdd = Bdd::new();
+    let mut t = CoverageTrace::new();
+    let set = header::dst_in(&mut bdd, &prefix.parse().unwrap());
+    t.add_packets(&mut bdd, Location::device(device), set);
+    t.export(&bdd)
+}
+
+/// A deterministic k=4 fat-tree coverage engine with routing attached
+/// and two registered probe traces.
+fn scenario_engine(threads: usize, backend: Backend) -> CoverageEngine {
+    let (ft, routing) = fattree_with_engine(FatTreeParams::paper(4));
+    let (tor0, p0, _) = ft.tors[0];
+    let (tor7, p7, _) = ft.tors[7];
+    let mut engine = CoverageEngine::new_with_backend(ft.net, threads, backend);
+    engine.attach_routing(routing);
+    engine
+        .add_test("probe-local", &mark_trace(tor0, &p0.to_string()))
+        .unwrap();
+    engine
+        .add_test("probe-remote", &mark_trace(tor7, &p7.to_string()))
+        .unwrap();
+    engine
+}
+
+/// A failure/recovery arc touching links and a whole device. Endpoint
+/// pairs are fat-tree k=4 wiring: tor-0-0 is device 0, its pod aggs are
+/// devices 2 and 3, core-0-0 is device 16.
+fn arc() -> Vec<TopologyDelta> {
+    vec![
+        TopologyDelta::LinkDown {
+            a: DeviceId(0),
+            b: DeviceId(2),
+        },
+        TopologyDelta::DeviceDown {
+            device: DeviceId(16),
+        },
+        TopologyDelta::LinkDown {
+            a: DeviceId(0),
+            b: DeviceId(3),
+        },
+        TopologyDelta::LinkUp {
+            a: DeviceId(0),
+            b: DeviceId(2),
+        },
+        TopologyDelta::DeviceUp {
+            device: DeviceId(16),
+        },
+    ]
+}
+
+#[test]
+fn topology_deltas_match_batch_across_threads_and_backends() {
+    for threads in [1usize, 4] {
+        for backend in [Backend::Private, Backend::Shared] {
+            let mut engine = scenario_engine(threads, backend);
+            for delta in arc() {
+                engine.apply_topology(&delta).unwrap();
+
+                // The served network must be bit-identical to a
+                // from-scratch rebuild of the degraded control plane.
+                let rebuilt = engine.routing().unwrap().full_rebuild().unwrap();
+                for (d, _) in rebuilt.topology().devices() {
+                    assert_eq!(
+                        engine.network().device_rules(d),
+                        rebuilt.device_rules(d),
+                        "FIB diverged at device {} after {:?} ({threads} threads, {backend:?})",
+                        d.0,
+                        delta
+                    );
+                }
+
+                // And the covered sets must equal a fresh batch engine's
+                // over that network, as canonical exports.
+                let (ft, _) = fattree_with_engine(FatTreeParams::paper(4));
+                let (tor0, p0, _) = ft.tors[0];
+                let (tor7, p7, _) = ft.tors[7];
+                let mut batch = CoverageEngine::new_with_backend(rebuilt, threads, backend);
+                batch
+                    .add_test("probe-local", &mark_trace(tor0, &p0.to_string()))
+                    .unwrap();
+                batch
+                    .add_test("probe-remote", &mark_trace(tor7, &p7.to_string()))
+                    .unwrap();
+                let ids: Vec<_> = engine.network().rules().map(|(id, _)| id).collect();
+                let mut exercised = 0usize;
+                for id in &ids {
+                    let (_, _, covered, bdd) = engine.analysis_parts();
+                    let engine_snapshot = bdd.export(covered.get(*id));
+                    let (_, _, bcovered, bbdd) = batch.analysis_parts();
+                    let batch_snapshot = bbdd.export(bcovered.get(*id));
+                    assert_eq!(
+                        engine_snapshot, batch_snapshot,
+                        "covered set diverged at {id:?} after {delta:?} \
+                         ({threads} threads, {backend:?})"
+                    );
+                    if engine.is_exercised(*id) {
+                        exercised += 1;
+                    }
+                }
+
+                // Counting oracle for the fractional aggregate: the
+                // headline equals exercised/total, counted directly.
+                let headline = engine.headline_metrics();
+                let want = exercised as f64 / ids.len() as f64;
+                let got = headline.rule_fractional.unwrap();
+                assert!(
+                    (got - want).abs() < 1e-12,
+                    "rule_fractional {got} != counted {want}"
+                );
+            }
+        }
+    }
+}
+
+/// `/covers` bodies embed the engine version; strip it so comparisons
+/// see only the coverage answer itself.
+fn strip_version(body: &str) -> String {
+    match body.split_once("\"version\":") {
+        Some((head, tail)) => {
+            let rest = tail.trim_start_matches(|c: char| c.is_ascii_digit());
+            format!("{head}{rest}")
+        }
+        None => body.to_string(),
+    }
+}
+
+#[test]
+fn link_down_changes_covers_over_the_wire_and_recovers() {
+    let mut engine = scenario_engine(1, Backend::Private);
+    let version = engine.version();
+
+    // tor-0-0's table: 8 hosted /24s plus the static default at index 8.
+    // Severing both uplinks (to its pod aggs, devices 2 and 3) withdraws
+    // every remote route AND the default (its ECMP set dies whole), so
+    // the probed rule vanishes — and returns after recovery.
+    let covers = Request::new("GET", "/covers?rule=0.8", "");
+    let before = handle(&mut engine, &covers);
+    assert_eq!(before.status, 200, "{}", before.body);
+
+    for (body, detail) in [
+        (r#"{"kind":"link-down","a":0,"b":2}"#, "link:0-2"),
+        (r#"{"kind":"link-down","a":0,"b":3}"#, "link:0-3"),
+    ] {
+        let resp = handle(&mut engine, &Request::new("POST", "/delta", body));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(
+            resp.body.contains(&format!("\"detail\":\"{detail}\"")),
+            "{}",
+            resp.body
+        );
+    }
+    assert_eq!(engine.version(), version + 2);
+
+    let degraded = handle(&mut engine, &covers);
+    assert_eq!(
+        degraded.status, 404,
+        "a severed ToR keeps only its own hosted /24: {}",
+        degraded.body
+    );
+    assert_eq!(engine.network().device_rules(DeviceId(0)).len(), 1);
+
+    for body in [
+        r#"{"kind":"link-up","a":0,"b":2}"#,
+        r#"{"kind":"link-up","a":0,"b":3}"#,
+    ] {
+        let resp = handle(&mut engine, &Request::new("POST", "/delta", body));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+    }
+    let recovered = handle(&mut engine, &covers);
+    assert_eq!(recovered.status, 200, "{}", recovered.body);
+    assert_eq!(
+        strip_version(&recovered.body),
+        strip_version(&before.body),
+        "recovery must restore the original /covers answer"
+    );
+}
+
+#[test]
+fn topology_delta_wire_errors_are_mapped() {
+    let mut engine = scenario_engine(1, Backend::Private);
+    // No link between the two ToRs: 404 (UnknownLink).
+    let resp = handle(
+        &mut engine,
+        &Request::new("POST", "/delta", r#"{"kind":"link-down","a":0,"b":1}"#),
+    );
+    assert_eq!(resp.status, 404, "{}", resp.body);
+    // Unknown device: 404.
+    let resp = handle(
+        &mut engine,
+        &Request::new("POST", "/delta", r#"{"kind":"device-down","device":999}"#),
+    );
+    assert_eq!(resp.status, 404, "{}", resp.body);
+    // Double down: 400 (LinkAlreadyDown).
+    let down = Request::new("POST", "/delta", r#"{"kind":"link-down","a":0,"b":2}"#);
+    assert_eq!(handle(&mut engine, &down).status, 200);
+    let resp = handle(&mut engine, &down);
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(resp.body.contains("already down"), "{}", resp.body);
+
+    // Without a routing engine attached, topology deltas are a 400.
+    let (ft, _) = fattree_with_engine(FatTreeParams::paper(4));
+    let mut bare = CoverageEngine::new(ft.net, 1);
+    let resp = handle(
+        &mut bare,
+        &Request::new("POST", "/delta", r#"{"kind":"link-down","a":0,"b":2}"#),
+    );
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(resp.body.contains("no routing engine"), "{}", resp.body);
+}
+
+#[test]
+fn topology_deltas_are_versioned_in_the_log() {
+    let mut engine = scenario_engine(1, Backend::Private);
+    let since = engine.version();
+    engine
+        .apply_topology(&TopologyDelta::LinkDown {
+            a: DeviceId(0),
+            b: DeviceId(2),
+        })
+        .unwrap();
+    engine
+        .apply_topology(&TopologyDelta::LinkUp {
+            a: DeviceId(0),
+            b: DeviceId(2),
+        })
+        .unwrap();
+    let tail = engine.deltas_since(since);
+    assert_eq!(tail.len(), 2);
+    assert_eq!(tail[0].kind.as_str(), "link-down");
+    assert_eq!(tail[1].kind.as_str(), "link-up");
+    assert_eq!(tail[0].detail, "link:0-2");
+    assert!(
+        !tail[0].devices.is_empty(),
+        "the FIB diff must invalidate devices"
+    );
+}

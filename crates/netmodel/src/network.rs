@@ -120,6 +120,18 @@ impl Network {
         RuleId { device, index }
     }
 
+    /// Insert `rule` on an already-finalized device table at its
+    /// *canonical* batch-compile position (see
+    /// [`Table::insert_canonical`]) and return the id it landed on.
+    /// Incremental routing uses this so a withdrawn-and-recomputed FIB
+    /// entry lands exactly where a from-scratch compile would put it.
+    /// Same positional-invalidation obligation as
+    /// [`Network::insert_rule`].
+    pub fn insert_rule_canonical(&mut self, device: DeviceId, rule: Rule) -> RuleId {
+        let index = self.state[device.0 as usize].insert_canonical(rule) as u32;
+        RuleId { device, index }
+    }
+
     /// Withdraw the rule `id` from its finalized table, returning it.
     /// Indices of the device's later rules shift down by one; same
     /// invalidation obligation as [`Network::insert_rule`].

@@ -157,7 +157,7 @@ pub enum RouteClass {
 }
 
 /// One match-action rule.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Rule {
     /// Header fields the rule matches on.
     pub matches: MatchFields,
@@ -285,6 +285,38 @@ impl Table {
                 let len = rule.matches.dst.map(|p| p.len()).unwrap_or(0);
                 self.rules
                     .partition_point(|r| r.matches.dst.map(|p| p.len()).unwrap_or(0) >= len)
+            }
+            TableMode::Priority => self.rules.len(),
+        };
+        self.rules.insert(index, rule);
+        index
+    }
+
+    /// Insert a rule into a *finalized* LPM table at its *canonical*
+    /// position — ordered by `(descending prefix length, prefix)` — and
+    /// return the index it landed on. This is the order a from-scratch
+    /// RIB compile produces (rules are pushed in ascending prefix order,
+    /// then stably sorted by descending length), so a
+    /// withdraw-then-reinsert through this method restores the exact
+    /// batch table layout, which [`Table::insert_sorted`] — equal
+    /// lengths go last — cannot. Priority tables append, like
+    /// [`Table::insert_sorted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is not finalized.
+    pub fn insert_canonical(&mut self, rule: Rule) -> usize {
+        assert!(self.sorted, "table not finalized");
+        let key = |r: &Rule| {
+            (
+                std::cmp::Reverse(r.matches.dst.map(|p| p.len()).unwrap_or(0)),
+                r.matches.dst,
+            )
+        };
+        let index = match self.mode {
+            TableMode::Lpm => {
+                let k = key(&rule);
+                self.rules.partition_point(|r| key(r) <= k)
             }
             TableMode::Priority => self.rules.len(),
         };

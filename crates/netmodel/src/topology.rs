@@ -168,6 +168,32 @@ impl Topology {
         (ai, bi)
     }
 
+    /// Sever the point-to-point link between two peered interfaces: both
+    /// ends become dangling P2p interfaces (the legal "drained" state of
+    /// [`Topology::validate`]). The interfaces themselves remain, so
+    /// interface ids and device iface lists are unchanged — only
+    /// [`Topology::neighbors`]/[`Topology::neighbor_of`] stop reporting
+    /// the adjacency. Failure-scenario rebuilds use this to derive a
+    /// degraded topology from a healthy one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` are not peers of each other.
+    pub fn sever_link(&mut self, a: IfaceId, b: IfaceId) {
+        assert_eq!(
+            self.ifaces[a.0 as usize].peer,
+            Some(b),
+            "sever_link: {a:?} is not peered with {b:?}"
+        );
+        assert_eq!(
+            self.ifaces[b.0 as usize].peer,
+            Some(a),
+            "sever_link: {b:?} is not peered with {a:?}"
+        );
+        self.ifaces[a.0 as usize].peer = None;
+        self.ifaces[b.0 as usize].peer = None;
+    }
+
     /// The device with the given id.
     pub fn device(&self, id: DeviceId) -> &Device {
         &self.devices[id.0 as usize]

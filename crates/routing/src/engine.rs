@@ -1,0 +1,929 @@
+//! Delta-aware incremental eBGP re-convergence.
+//!
+//! [`RoutingEngine`] keeps the eBGP fixpoint *resident*: per-prefix BFS
+//! distance vectors (the frontier bookkeeping of [`RibBuilder::try_build`])
+//! plus the folded FIB entry installed for every `(device, prefix)` key.
+//! Topology deltas — [`TopologyDelta::LinkDown`]/[`TopologyDelta::LinkUp`]
+//! and device counterparts — re-converge only the affected subtrees:
+//!
+//! * **deletion** runs the two-phase shortest-path repair (identify the
+//!   orphaned region seeded from the dead element's BFS children, then
+//!   re-relax it from the surviving frontier with a bounded Dijkstra),
+//! * **addition** runs a decrease-only relaxation seeded from the revived
+//!   element's endpoints (and restored origination seeds).
+//!
+//! Devices whose distance or ECMP set changed are *re-folded* — the
+//! admin-distance merge of [`RibBuilder::try_build`] is replayed for just
+//! their `(device, prefix)` keys — and the resulting rule edits are
+//! applied to the live [`Network`] at canonical batch positions
+//! ([`Network::insert_rule_canonical`]), so the incremental FIB stays
+//! bit-identical to a from-scratch rebuild of the degraded topology
+//! ([`RoutingEngine::full_rebuild`] is exactly that, and the differential
+//! tests gate on it). The per-device edits are reported as a [`FibDiff`]
+//! so coverage engines can invalidate exactly the touched device shards.
+//!
+//! Validation follows `routing::delta`'s [`RibError`] discipline: every
+//! delta is checked against the topology (unknown device/link) and the
+//! failure state (double-down, not-down) before any state is mutated.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+
+use netmodel::rule::{Action, RouteClass, Rule};
+use netmodel::topology::{DeviceId, IfaceId, Topology};
+use netmodel::{MatchFields, Network, Prefix, RuleId};
+
+use crate::rib::{Origination, RibBuilder, RibError, StaticRoute, StaticTarget};
+
+/// A topology failure/recovery event applied to the resident engine.
+///
+/// Links are addressed by their device pair: all parallel links between
+/// the two devices toggle together (a fat-tree has exactly one).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologyDelta {
+    /// Take every link between `a` and `b` down.
+    LinkDown {
+        /// One endpoint device.
+        a: DeviceId,
+        /// The other endpoint device.
+        b: DeviceId,
+    },
+    /// Bring every downed link between `a` and `b` back up.
+    LinkUp {
+        /// One endpoint device.
+        a: DeviceId,
+        /// The other endpoint device.
+        b: DeviceId,
+    },
+    /// Take a whole device down: its links go dead and its originations
+    /// and static routes are withdrawn until it comes back.
+    DeviceDown {
+        /// The failing device.
+        device: DeviceId,
+    },
+    /// Bring a downed device back up.
+    DeviceUp {
+        /// The recovering device.
+        device: DeviceId,
+    },
+}
+
+/// One FIB entry edit produced by re-convergence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FibChange {
+    /// Device whose table changed.
+    pub device: DeviceId,
+    /// Destination prefix of the managed entry.
+    pub prefix: Prefix,
+    /// The rule previously installed for the key (`None` = newly routed).
+    pub old: Option<Rule>,
+    /// The rule now installed for the key (`None` = withdrawn).
+    pub new: Option<Rule>,
+}
+
+/// The per-device FIB diff of one applied [`TopologyDelta`], in
+/// `(device, prefix)` order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FibDiff {
+    /// Every entry edit, ordered by `(device, prefix)`.
+    pub changes: Vec<FibChange>,
+}
+
+impl FibDiff {
+    /// The touched devices, deduplicated, in id order — the unit of
+    /// coverage invalidation.
+    pub fn devices(&self) -> Vec<DeviceId> {
+        let mut out: Vec<DeviceId> = self.changes.iter().map(|c| c.device).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Whether re-convergence changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Number of entry edits.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+}
+
+/// A point-to-point link derived from the topology's peered iface pairs.
+#[derive(Clone, Copy, Debug)]
+struct Link {
+    a: DeviceId,
+    ai: IfaceId,
+    b: DeviceId,
+    bi: IfaceId,
+}
+
+/// One adjacency entry: out-iface, neighbor, owning link.
+#[derive(Clone, Copy, Debug)]
+struct Adj {
+    iface: IfaceId,
+    peer: u32,
+    link: usize,
+}
+
+/// Resident BFS state of one anycast prefix group.
+#[derive(Clone, Debug)]
+struct Group {
+    prefix: Prefix,
+    /// Indexes into `originations`, in origination order.
+    origins: Vec<usize>,
+    /// FIB class stamped on every rule of the group (first origination).
+    class: RouteClass,
+    /// Per-device scope/blocked acceptance (static per group).
+    accepts: Vec<bool>,
+    /// Seed devices (non-blocked originators), deduplicated, in order.
+    seeds: Vec<u32>,
+    /// Hop distance per device; `u32::MAX` = unreachable.
+    dist: Vec<u32>,
+}
+
+/// The resident incremental routing engine. See the module docs.
+pub struct RoutingEngine {
+    topo: Topology,
+    tiers: Vec<u8>,
+    asns: Vec<u32>,
+    originations: Vec<Origination>,
+    statics: Vec<StaticRoute>,
+    links: Vec<Link>,
+    /// Per-iface owning link (`None` for host/loopback/external ifaces).
+    iface_link: Vec<Option<usize>>,
+    /// Per-device adjacency in iface creation order (matches
+    /// [`Topology::neighbors`]).
+    adj: Vec<Vec<Adj>>,
+    link_down: Vec<bool>,
+    device_down: Vec<bool>,
+    groups: Vec<Group>,
+    group_of: BTreeMap<Prefix, usize>,
+    /// Static routes per `(device, prefix)` key, in config order.
+    static_keys: BTreeMap<(u32, Prefix), Vec<usize>>,
+    /// Static indexes per device.
+    statics_by_device: Vec<Vec<usize>>,
+    /// `(device, prefix)` keys whose statics reference an iface.
+    statics_by_iface: BTreeMap<u32, Vec<(u32, Prefix)>>,
+    /// The rule currently installed per managed `(device, prefix)` key.
+    installed: BTreeMap<(u32, Prefix), Rule>,
+    /// Monotone counters surfaced as `routing.reconverge.*` gauges.
+    reconverge_count: u64,
+    devices_touched_total: u64,
+    rules_changed_total: u64,
+}
+
+impl RoutingEngine {
+    /// Build the engine plus the compiled healthy-state [`Network`] from
+    /// a validated control-plane description. Called through
+    /// [`RibBuilder::into_engine`]; the produced network is bit-identical
+    /// to [`RibBuilder::try_build`] on the same description.
+    pub(crate) fn new_internal(
+        topo: Topology,
+        tiers: Vec<u8>,
+        asns: Vec<u32>,
+        originations: Vec<Origination>,
+        statics: Vec<StaticRoute>,
+    ) -> (RoutingEngine, Network) {
+        let n = topo.device_count();
+        let mut tiers = tiers;
+        let mut asns = asns;
+        tiers.resize(n.max(tiers.len()), 0);
+        asns.resize(n.max(asns.len()), 0);
+
+        // Enumerate links from peered iface pairs, in iface id order.
+        let mut links = Vec::new();
+        let mut iface_link = vec![None; topo.iface_count()];
+        for (id, iface) in topo.ifaces() {
+            if let Some(peer) = iface.peer {
+                if id.0 < peer.0 {
+                    let l = links.len();
+                    links.push(Link {
+                        a: iface.device,
+                        ai: id,
+                        b: topo.iface(peer).device,
+                        bi: peer,
+                    });
+                    iface_link[id.0 as usize] = Some(l);
+                    iface_link[peer.0 as usize] = Some(l);
+                }
+            }
+        }
+        let adj: Vec<Vec<Adj>> = (0..n)
+            .map(|d| {
+                topo.neighbors(DeviceId(d as u32))
+                    .into_iter()
+                    .map(|(iface, peer)| Adj {
+                        iface,
+                        peer: peer.0,
+                        link: iface_link[iface.0 as usize].expect("peered iface belongs to a link"),
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Static route indexes.
+        let mut static_keys: BTreeMap<(u32, Prefix), Vec<usize>> = BTreeMap::new();
+        let mut statics_by_device = vec![Vec::new(); n];
+        let mut statics_by_iface: BTreeMap<u32, Vec<(u32, Prefix)>> = BTreeMap::new();
+        for (si, s) in statics.iter().enumerate() {
+            let key = (s.device.0, s.prefix);
+            static_keys.entry(key).or_default().push(si);
+            statics_by_device[s.device.0 as usize].push(si);
+            if let StaticTarget::Ifaces(outs) = &s.target {
+                for &i in outs {
+                    statics_by_iface.entry(i.0).or_default().push(key);
+                }
+            }
+        }
+
+        // Prefix groups with their initial BFS distances — the same
+        // grouping, seeding, and acceptance as `RibBuilder::try_build`.
+        let mut group_of = BTreeMap::new();
+        let mut by_prefix: BTreeMap<Prefix, Vec<usize>> = BTreeMap::new();
+        for (oi, o) in originations.iter().enumerate() {
+            by_prefix.entry(o.prefix).or_default().push(oi);
+        }
+        let mut groups = Vec::new();
+        for (prefix, origin_idxs) in by_prefix {
+            let accepts: Vec<bool> = (0..n)
+                .map(|d| {
+                    let dev = DeviceId(d as u32);
+                    let tier = tiers[d];
+                    origin_idxs
+                        .iter()
+                        .any(|&oi| originations[oi].scope.accepts(tier))
+                        && !origin_idxs
+                            .iter()
+                            .any(|&oi| originations[oi].blocked.contains(&dev))
+                })
+                .collect();
+            let mut seeds = Vec::new();
+            for &oi in &origin_idxs {
+                let d = originations[oi].device.0;
+                let blocked = origin_idxs
+                    .iter()
+                    .any(|&oo| originations[oo].blocked.contains(&DeviceId(d)));
+                if !blocked && !seeds.contains(&d) {
+                    seeds.push(d);
+                }
+            }
+            let class = originations[origin_idxs[0]].class;
+            group_of.insert(prefix, groups.len());
+            groups.push(Group {
+                prefix,
+                origins: origin_idxs,
+                class,
+                accepts,
+                seeds,
+                dist: vec![u32::MAX; n],
+            });
+        }
+
+        let mut engine = RoutingEngine {
+            topo,
+            tiers,
+            asns,
+            originations,
+            statics,
+            links,
+            iface_link,
+            adj,
+            link_down: Vec::new(),
+            device_down: vec![false; n],
+            groups,
+            group_of,
+            static_keys,
+            statics_by_device,
+            statics_by_iface,
+            installed: BTreeMap::new(),
+            reconverge_count: 0,
+            devices_touched_total: 0,
+            rules_changed_total: 0,
+        };
+        engine.link_down = vec![false; engine.links.len()];
+
+        // Initial multi-source BFS per group (everything is live).
+        for gi in 0..engine.groups.len() {
+            let mut dist = vec![u32::MAX; n];
+            let mut q = VecDeque::new();
+            for &s in &engine.groups[gi].seeds {
+                if dist[s as usize] == u32::MAX {
+                    dist[s as usize] = 0;
+                    q.push_back(s);
+                }
+            }
+            while let Some(v) = q.pop_front() {
+                let dv = dist[v as usize];
+                for a in &engine.adj[v as usize] {
+                    let u = a.peer as usize;
+                    if dist[u] == u32::MAX && engine.groups[gi].accepts[u] {
+                        dist[u] = dv + 1;
+                        q.push_back(a.peer);
+                    }
+                }
+            }
+            engine.groups[gi].dist = dist;
+        }
+
+        // Fold every key and compile the network in key order — the same
+        // iteration `try_build` performs over its `best` map.
+        let mut keys: BTreeSet<(u32, Prefix)> = engine.static_keys.keys().copied().collect();
+        for g in &engine.groups {
+            for d in 0..n {
+                if g.dist[d] != u32::MAX {
+                    keys.insert((d as u32, g.prefix));
+                }
+            }
+        }
+        for key in keys {
+            if let Some(rule) = engine.fold_key(key) {
+                engine.installed.insert(key, rule);
+            }
+        }
+        let mut net = Network::new(engine.topo.clone());
+        for (&(device, _), rule) in &engine.installed {
+            net.add_rule(DeviceId(device), rule.clone());
+        }
+        net.finalize();
+        (engine, net)
+    }
+
+    /// Number of point-to-point links in the topology.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Endpoint devices of every link, in link order.
+    pub fn link_endpoints(&self) -> Vec<(DeviceId, DeviceId)> {
+        self.links.iter().map(|l| (l.a, l.b)).collect()
+    }
+
+    /// Whether every link between the two devices is currently down.
+    pub fn is_link_down(&self, a: DeviceId, b: DeviceId) -> bool {
+        let ls = self.links_between(a, b);
+        !ls.is_empty() && ls.iter().all(|&l| self.link_down[l])
+    }
+
+    /// Whether the device is currently down.
+    pub fn is_device_down(&self, device: DeviceId) -> bool {
+        self.device_down
+            .get(device.0 as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// The base (healthy) topology the engine was built over.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The base topology with every currently-dead link severed — what
+    /// the network looks like under the present failure state.
+    pub fn degraded_topology(&self) -> Topology {
+        let mut topo = self.topo.clone();
+        for (l, link) in self.links.iter().enumerate() {
+            if !self.link_live(l) {
+                topo.sever_link(link.ai, link.bi);
+            }
+        }
+        topo
+    }
+
+    /// The originations surviving the present failure state (down
+    /// devices advertise nothing).
+    pub fn live_originations(&self) -> Vec<Origination> {
+        self.originations
+            .iter()
+            .filter(|o| !self.device_down[o.device.0 as usize])
+            .cloned()
+            .collect()
+    }
+
+    /// Per-device tiers (length = device count).
+    pub fn tiers(&self) -> &[u8] {
+        &self.tiers
+    }
+
+    /// Per-device ASNs (length = device count).
+    pub fn asns(&self) -> &[u32] {
+        &self.asns
+    }
+
+    /// Rebuild the FIBs of the current failure state from scratch: sever
+    /// every dead link, drop down devices' originations and statics,
+    /// prune static next-hops over dead links, and run
+    /// [`RibBuilder::try_build`]. This is the reference the incremental
+    /// path must be bit-identical to — and the "rebuild" leg of the
+    /// scenario benchmarks.
+    pub fn full_rebuild(&self) -> Result<Network, RibError> {
+        let mut rb = RibBuilder::new(self.degraded_topology());
+        for d in 0..self.topo.device_count() {
+            rb.set_tier(DeviceId(d as u32), self.tiers[d]);
+            rb.set_asn(DeviceId(d as u32), self.asns[d]);
+        }
+        for o in self.live_originations() {
+            rb.originate(o);
+        }
+        for s in &self.statics {
+            if self.device_down[s.device.0 as usize] {
+                continue;
+            }
+            match &s.target {
+                StaticTarget::Null => rb.add_static(s.clone()),
+                StaticTarget::Ifaces(outs) => {
+                    if outs.is_empty() {
+                        rb.add_static(s.clone());
+                        continue;
+                    }
+                    let live: Vec<IfaceId> = outs
+                        .iter()
+                        .copied()
+                        .filter(|&i| self.iface_live(i))
+                        .collect();
+                    if !live.is_empty() {
+                        rb.add_static(StaticRoute {
+                            device: s.device,
+                            prefix: s.prefix,
+                            target: StaticTarget::Ifaces(live),
+                            class: s.class,
+                        });
+                    }
+                }
+            }
+        }
+        rb.try_build()
+    }
+
+    /// Apply a failure/recovery delta, re-converge incrementally, edit
+    /// `net` in place, and return the FIB diff. `net` must be the network
+    /// this engine built (or last edited) — managed entries are located
+    /// by content.
+    pub fn apply(&mut self, net: &mut Network, delta: &TopologyDelta) -> Result<FibDiff, RibError> {
+        let _span = netobs::span!("reconverge");
+        let n = self.topo.device_count();
+        let check_dev = |device: DeviceId| -> Result<(), RibError> {
+            if (device.0 as usize) < n {
+                Ok(())
+            } else {
+                Err(RibError::UnknownDevice {
+                    device,
+                    device_count: n,
+                    context: "topology delta",
+                })
+            }
+        };
+
+        // Validate and update failure state; collect the toggled links
+        // and the per-group repair work.
+        let mut refold: BTreeSet<(u32, Prefix)> = BTreeSet::new();
+        let toggled: Vec<usize>;
+        enum Repair {
+            Delete { downed: Option<u32> },
+            Add { revived: Option<u32> },
+        }
+        let repair;
+        match *delta {
+            TopologyDelta::LinkDown { a, b } => {
+                check_dev(a)?;
+                check_dev(b)?;
+                let ls = self.links_between(a, b);
+                if ls.is_empty() {
+                    return Err(RibError::UnknownLink { a, b });
+                }
+                let targets: Vec<usize> = ls.into_iter().filter(|&l| !self.link_down[l]).collect();
+                if targets.is_empty() {
+                    return Err(RibError::LinkAlreadyDown { a, b });
+                }
+                // Only links that were live actually change reachability.
+                let removed: Vec<usize> = targets
+                    .iter()
+                    .copied()
+                    .filter(|&l| self.link_live(l))
+                    .collect();
+                for &l in &targets {
+                    self.link_down[l] = true;
+                }
+                toggled = removed;
+                repair = Repair::Delete { downed: None };
+            }
+            TopologyDelta::LinkUp { a, b } => {
+                check_dev(a)?;
+                check_dev(b)?;
+                let ls = self.links_between(a, b);
+                if ls.is_empty() {
+                    return Err(RibError::UnknownLink { a, b });
+                }
+                let targets: Vec<usize> = ls.into_iter().filter(|&l| self.link_down[l]).collect();
+                if targets.is_empty() {
+                    return Err(RibError::LinkNotDown { a, b });
+                }
+                for &l in &targets {
+                    self.link_down[l] = false;
+                }
+                let added: Vec<usize> =
+                    targets.into_iter().filter(|&l| self.link_live(l)).collect();
+                toggled = added;
+                repair = Repair::Add { revived: None };
+            }
+            TopologyDelta::DeviceDown { device } => {
+                check_dev(device)?;
+                let d = device.0 as usize;
+                if self.device_down[d] {
+                    return Err(RibError::DeviceAlreadyDown { device });
+                }
+                let removed: Vec<usize> = self.adj[d]
+                    .iter()
+                    .filter(|a| self.link_live(a.link))
+                    .map(|a| a.link)
+                    .collect();
+                // Every managed entry on the device is withdrawn.
+                for (&key, _) in self.installed.iter() {
+                    if key.0 == device.0 {
+                        refold.insert(key);
+                    }
+                }
+                self.device_down[d] = true;
+                toggled = removed;
+                repair = Repair::Delete {
+                    downed: Some(device.0),
+                };
+            }
+            TopologyDelta::DeviceUp { device } => {
+                check_dev(device)?;
+                let d = device.0 as usize;
+                if !self.device_down[d] {
+                    return Err(RibError::DeviceNotDown { device });
+                }
+                self.device_down[d] = false;
+                let added: Vec<usize> = self.adj[d]
+                    .iter()
+                    .filter(|a| self.link_live(a.link))
+                    .map(|a| a.link)
+                    .collect();
+                // The device's statics come back even if no BGP route
+                // reaches it.
+                for &si in &self.statics_by_device[d] {
+                    refold.insert((self.statics[si].device.0, self.statics[si].prefix));
+                }
+                toggled = added;
+                repair = Repair::Add {
+                    revived: Some(device.0),
+                };
+            }
+        }
+
+        // Statics whose next-hop set crosses a toggled link re-fold.
+        for &l in &toggled {
+            for iface in [self.links[l].ai, self.links[l].bi] {
+                if let Some(keys) = self.statics_by_iface.get(&iface.0) {
+                    for &key in keys {
+                        refold.insert(key);
+                    }
+                }
+            }
+        }
+
+        // Per-group incremental repair.
+        for gi in 0..self.groups.len() {
+            let changed = match repair {
+                Repair::Delete { downed } => self.repair_delete(gi, &toggled, downed),
+                Repair::Add { revived } => self.repair_add(gi, &toggled, revived),
+            };
+            let prefix = self.groups[gi].prefix;
+            // Changed devices and their live neighbors re-fold (a
+            // neighbor's ECMP set can change without its distance
+            // moving).
+            for &v in &changed {
+                refold.insert((v, prefix));
+                for a in &self.adj[v as usize] {
+                    if self.link_live(a.link) {
+                        refold.insert((a.peer, prefix));
+                    }
+                }
+            }
+            // Toggled-link endpoints re-fold whenever the group reaches
+            // them: an endpoint can gain or lose an ECMP leg with no
+            // distance change anywhere.
+            for &l in &toggled {
+                let (x, y) = (self.links[l].a.0, self.links[l].b.0);
+                let g = &self.groups[gi];
+                if g.dist[x as usize] != u32::MAX || g.dist[y as usize] != u32::MAX {
+                    refold.insert((x, prefix));
+                    refold.insert((y, prefix));
+                }
+            }
+        }
+
+        // Re-fold and edit the network.
+        let mut diff = FibDiff::default();
+        for key in refold {
+            let new = self.fold_key(key);
+            let old = self.installed.get(&key).cloned();
+            if old == new {
+                continue;
+            }
+            let device = DeviceId(key.0);
+            if let Some(o) = &old {
+                let index = net
+                    .device_rules(device)
+                    .iter()
+                    .position(|r| r == o)
+                    .expect("engine-managed rule present in the network")
+                    as u32;
+                net.withdraw_rule(RuleId { device, index });
+                self.installed.remove(&key);
+            }
+            if let Some(nr) = &new {
+                net.insert_rule_canonical(device, nr.clone());
+                self.installed.insert(key, nr.clone());
+            }
+            diff.changes.push(FibChange {
+                device,
+                prefix: key.1,
+                old,
+                new,
+            });
+        }
+
+        self.reconverge_count += 1;
+        self.devices_touched_total += diff.devices().len() as u64;
+        self.rules_changed_total += diff.changes.len() as u64;
+        netobs::gauge("routing.reconverge.count", self.reconverge_count as f64);
+        netobs::gauge(
+            "routing.reconverge.devices_touched_total",
+            self.devices_touched_total as f64,
+        );
+        netobs::gauge(
+            "routing.reconverge.rules_changed_total",
+            self.rules_changed_total as f64,
+        );
+        Ok(diff)
+    }
+
+    /// Whether a link currently carries traffic.
+    fn link_live(&self, l: usize) -> bool {
+        !self.link_down[l]
+            && !self.device_down[self.links[l].a.0 as usize]
+            && !self.device_down[self.links[l].b.0 as usize]
+    }
+
+    /// Whether an iface can be a next-hop: its link (if any) is live.
+    /// The owning device's own state is the caller's concern.
+    fn iface_live(&self, iface: IfaceId) -> bool {
+        match self.iface_link[iface.0 as usize] {
+            Some(l) => self.link_live(l),
+            None => true,
+        }
+    }
+
+    /// All link indexes between two devices (usually one).
+    fn links_between(&self, a: DeviceId, b: DeviceId) -> Vec<usize> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| (l.a == a && l.b == b) || (l.a == b && l.b == a))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Two-phase deletion repair for one group after `removed` edges
+    /// died (plus, for a device failure, the downed device's own
+    /// distance). Returns the devices whose distance changed.
+    fn repair_delete(&mut self, gi: usize, removed: &[usize], downed: Option<u32>) -> Vec<u32> {
+        let n = self.topo.device_count();
+        // Phase 1: find the orphaned region. Seed with the BFS children
+        // of every removed edge; a candidate survives if it still has a
+        // live, unorphaned parent one step closer.
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        {
+            let dist = &self.groups[gi].dist;
+            for &l in removed {
+                let (x, y) = (self.links[l].a.0, self.links[l].b.0);
+                for (u, v) in [(x, y), (y, x)] {
+                    let (du, dv) = (dist[u as usize], dist[v as usize]);
+                    if du != u32::MAX && dv != u32::MAX && dv == du + 1 {
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        let mut forced_changed = Vec::new();
+        if let Some(d) = downed {
+            // A downed seed device cannot keep distance 0; any other
+            // finite distance is orphaned through the generic seeding
+            // (all its live edges are in `removed`).
+            if self.groups[gi].dist[d as usize] == 0 {
+                self.groups[gi].dist[d as usize] = u32::MAX;
+                forced_changed.push(d);
+            }
+        }
+        let mut affected = vec![false; n];
+        let mut n_affected = 0usize;
+        while let Some(v) = queue.pop_front() {
+            let vi = v as usize;
+            let dv = self.groups[gi].dist[vi];
+            if affected[vi] || dv == u32::MAX || dv == 0 {
+                continue;
+            }
+            let survives = self.adj[vi].iter().any(|a| {
+                let du = self.groups[gi].dist[a.peer as usize];
+                self.link_live(a.link)
+                    && !affected[a.peer as usize]
+                    && du != u32::MAX
+                    && du + 1 == dv
+            });
+            if survives {
+                continue;
+            }
+            affected[vi] = true;
+            n_affected += 1;
+            for a in &self.adj[vi] {
+                let du = self.groups[gi].dist[a.peer as usize];
+                if self.link_live(a.link) && du != u32::MAX && du == dv + 1 {
+                    queue.push_back(a.peer);
+                }
+            }
+        }
+        if n_affected == 0 {
+            return forced_changed;
+        }
+        // Phase 2: re-relax the orphaned region from its surviving
+        // boundary. Boundary distances are not uniform, so this is a
+        // bounded Dijkstra, not a BFS.
+        let mut old = Vec::with_capacity(n_affected);
+        for (v, &hit) in affected.iter().enumerate() {
+            if hit {
+                old.push((v as u32, self.groups[gi].dist[v]));
+                self.groups[gi].dist[v] = u32::MAX;
+            }
+        }
+        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+        for &(v, _) in &old {
+            if self.device_down[v as usize] {
+                continue;
+            }
+            let mut best = u32::MAX;
+            for a in &self.adj[v as usize] {
+                let du = self.groups[gi].dist[a.peer as usize];
+                if self.link_live(a.link) && du != u32::MAX {
+                    best = best.min(du + 1);
+                }
+            }
+            if best != u32::MAX {
+                heap.push(Reverse((best, v)));
+            }
+        }
+        while let Some(Reverse((d, v))) = heap.pop() {
+            if d >= self.groups[gi].dist[v as usize] {
+                continue;
+            }
+            self.groups[gi].dist[v as usize] = d;
+            for a in &self.adj[v as usize] {
+                let u = a.peer as usize;
+                if self.link_live(a.link)
+                    && affected[u]
+                    && !self.device_down[u]
+                    && self.groups[gi].dist[u] > d + 1
+                {
+                    heap.push(Reverse((d + 1, a.peer)));
+                }
+            }
+        }
+        let mut changed = forced_changed;
+        for (v, before) in old {
+            if self.groups[gi].dist[v as usize] != before {
+                changed.push(v);
+            }
+        }
+        changed
+    }
+
+    /// Decrease-only repair for one group after `added` edges came up
+    /// (plus, for a device recovery, its restored origination seed).
+    /// Returns the devices whose distance changed.
+    fn repair_add(&mut self, gi: usize, added: &[usize], revived: Option<u32>) -> Vec<u32> {
+        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+        if let Some(d) = revived {
+            if self.groups[gi].seeds.contains(&d) {
+                heap.push(Reverse((0, d)));
+            }
+        }
+        {
+            let dist = &self.groups[gi].dist;
+            for &l in added {
+                let (x, y) = (self.links[l].a.0, self.links[l].b.0);
+                for (u, v) in [(x, y), (y, x)] {
+                    if dist[u as usize] != u32::MAX {
+                        heap.push(Reverse((dist[u as usize] + 1, v)));
+                    }
+                }
+            }
+        }
+        let mut changed = Vec::new();
+        while let Some(Reverse((d, v))) = heap.pop() {
+            let vi = v as usize;
+            if self.device_down[vi] {
+                continue;
+            }
+            // Seeds (distance 0) are exempt from acceptance, exactly as
+            // in the batch BFS seeding.
+            if d > 0 && !self.groups[gi].accepts[vi] {
+                continue;
+            }
+            if d >= self.groups[gi].dist[vi] {
+                continue;
+            }
+            self.groups[gi].dist[vi] = d;
+            changed.push(v);
+            for a in &self.adj[vi] {
+                if self.link_live(a.link) && self.groups[gi].dist[a.peer as usize] > d + 1 {
+                    heap.push(Reverse((d + 1, a.peer)));
+                }
+            }
+        }
+        changed.sort_unstable();
+        changed.dedup();
+        changed
+    }
+
+    /// Replay `try_build`'s admin-distance merge for one `(device,
+    /// prefix)` key under the current failure state: statics first (in
+    /// config order, dead next-hops pruned), then the group's BGP
+    /// candidate; lowest distance wins, first candidate wins ties.
+    fn fold_key(&self, key: (u32, Prefix)) -> Option<Rule> {
+        let (device, prefix) = key;
+        if self.device_down[device as usize] {
+            return None;
+        }
+        let mut best: Option<(u8, RouteClass, Action)> = None;
+        let mut consider = |dist: u8, class: RouteClass, action: Action| match &best {
+            Some((d, _, _)) if *d <= dist => {}
+            _ => best = Some((dist, class, action)),
+        };
+        if let Some(sis) = self.static_keys.get(&key) {
+            for &si in sis {
+                let s = &self.statics[si];
+                let dist = if s.class == RouteClass::Connected {
+                    0
+                } else {
+                    1
+                };
+                match &s.target {
+                    StaticTarget::Null => consider(dist, s.class, Action::Drop),
+                    StaticTarget::Ifaces(outs) => {
+                        if outs.is_empty() {
+                            // Degenerate empty ECMP sets are preserved
+                            // verbatim, as in the batch compile.
+                            consider(dist, s.class, Action::Forward(Vec::new()));
+                            continue;
+                        }
+                        let live: Vec<IfaceId> = outs
+                            .iter()
+                            .copied()
+                            .filter(|&i| self.iface_live(i))
+                            .collect();
+                        if !live.is_empty() {
+                            consider(dist, s.class, Action::Forward(live));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(&gi) = self.group_of.get(&prefix) {
+            let g = &self.groups[gi];
+            let du = g.dist[device as usize];
+            if du == 0 {
+                let outs: Vec<IfaceId> = g
+                    .origins
+                    .iter()
+                    .map(|&oi| &self.originations[oi])
+                    .filter(|o| o.device.0 == device)
+                    .filter_map(|o| o.deliver)
+                    .collect();
+                if !outs.is_empty() {
+                    consider(20, g.class, Action::Forward(outs));
+                }
+            } else if du != u32::MAX {
+                let mut outs = Vec::new();
+                for a in &self.adj[device as usize] {
+                    if self.link_live(a.link) && g.dist[a.peer as usize] == du - 1 {
+                        outs.push(a.iface);
+                    }
+                }
+                debug_assert!(
+                    !outs.is_empty(),
+                    "BFS invariant: device d{device} at distance {du} from {prefix:?} \
+                     must have a live neighbor one step closer"
+                );
+                consider(20, g.class, Action::Forward(outs));
+            }
+        }
+        best.map(|(_, class, action)| Rule {
+            matches: MatchFields::dst_prefix(prefix),
+            action,
+            class,
+        })
+    }
+}

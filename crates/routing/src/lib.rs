@@ -25,8 +25,10 @@
 
 pub mod bgp;
 pub mod delta;
+pub mod engine;
 pub mod rib;
 
 pub use bgp::{simulate, try_simulate, BgpConfig, BgpRibs, BgpRoute};
 pub use delta::{apply_rule_insert, apply_rule_withdraw};
+pub use engine::{FibChange, FibDiff, RoutingEngine, TopologyDelta};
 pub use rib::{Origination, RibBuilder, RibError, Scope, StaticRoute, StaticTarget};

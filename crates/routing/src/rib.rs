@@ -38,6 +38,16 @@ pub enum RibError {
         table_len: usize,
         context: &'static str,
     },
+    /// A topology delta names a device pair with no link between them.
+    UnknownLink { a: DeviceId, b: DeviceId },
+    /// A link-down delta targets a link that is already down.
+    LinkAlreadyDown { a: DeviceId, b: DeviceId },
+    /// A link-up delta targets a link that is not down.
+    LinkNotDown { a: DeviceId, b: DeviceId },
+    /// A device-down delta targets a device that is already down.
+    DeviceAlreadyDown { device: DeviceId },
+    /// A device-up delta targets a device that is not down.
+    DeviceNotDown { device: DeviceId },
 }
 
 impl fmt::Display for RibError {
@@ -77,6 +87,21 @@ impl fmt::Display for RibError {
                 "{context}: rule {id:?} is outside its device's table \
                  ({table_len} rules)"
             ),
+            RibError::UnknownLink { a, b } => {
+                write!(f, "topology delta: no link exists between {a:?} and {b:?}")
+            }
+            RibError::LinkAlreadyDown { a, b } => {
+                write!(f, "topology delta: link {a:?}-{b:?} is already down")
+            }
+            RibError::LinkNotDown { a, b } => {
+                write!(f, "topology delta: link {a:?}-{b:?} is not down")
+            }
+            RibError::DeviceAlreadyDown { device } => {
+                write!(f, "topology delta: device {device:?} is already down")
+            }
+            RibError::DeviceNotDown { device } => {
+                write!(f, "topology delta: device {device:?} is not down")
+            }
         }
     }
 }
@@ -97,7 +122,7 @@ pub enum Scope {
 }
 
 impl Scope {
-    fn accepts(self, tier: u8) -> bool {
+    pub(crate) fn accepts(self, tier: u8) -> bool {
         match self {
             Scope::All => true,
             Scope::MinTier(t) => tier >= t,
@@ -358,6 +383,22 @@ impl RibBuilder {
             Ok(net) => net,
             Err(e) => panic!("RibBuilder::build: invalid control-plane description: {e}"),
         }
+    }
+
+    /// Validate the description and hand it to a resident
+    /// [`crate::engine::RoutingEngine`], returning the engine plus the
+    /// compiled healthy-state network. The network is bit-identical to
+    /// what [`Self::try_build`] on the same description produces; the
+    /// engine then keeps it converged under topology deltas.
+    pub fn into_engine(self) -> Result<(crate::engine::RoutingEngine, Network), RibError> {
+        self.validate()?;
+        Ok(crate::engine::RoutingEngine::new_internal(
+            self.topo,
+            self.tiers,
+            self.asns,
+            self.originations,
+            self.statics,
+        ))
     }
 
     /// [`Self::build`], returning [`RibError`] on out-of-range device or

@@ -58,6 +58,53 @@ impl FatTree {
 /// Generate a k-ary fat-tree network with computed forwarding state.
 pub fn fattree(params: FatTreeParams) -> FatTree {
     let _span = netobs::span!("topogen_fattree");
+    let (rb, tor_info, aggs, cores, links) = fattree_builder(params);
+    let net = rb.build();
+    FatTree {
+        net,
+        params,
+        tors: tor_info,
+        aggs,
+        cores,
+        links,
+    }
+}
+
+/// [`fattree`], but handing the control plane to a resident incremental
+/// [`routing::RoutingEngine`] instead of discarding it after the batch
+/// compile. The returned network is bit-identical to [`fattree`]'s; the
+/// engine then re-converges it under link/device failure deltas.
+pub fn fattree_with_engine(params: FatTreeParams) -> (FatTree, routing::RoutingEngine) {
+    let _span = netobs::span!("topogen_fattree");
+    let (rb, tor_info, aggs, cores, links) = fattree_builder(params);
+    let (engine, net) = rb
+        .into_engine()
+        .expect("fat-tree control plane is valid by construction");
+    (
+        FatTree {
+            net,
+            params,
+            tors: tor_info,
+            aggs,
+            cores,
+            links,
+        },
+        engine,
+    )
+}
+
+/// Shared construction: topology, control plane, and the handles the
+/// [`FatTree`] carries, stopping just short of FIB compilation.
+#[allow(clippy::type_complexity)]
+fn fattree_builder(
+    params: FatTreeParams,
+) -> (
+    RibBuilder,
+    Vec<(DeviceId, Prefix, IfaceId)>,
+    Vec<DeviceId>,
+    Vec<DeviceId>,
+    Vec<(IfaceId, IfaceId)>,
+) {
     let k = params.k;
     assert!(
         k >= 2 && k.is_multiple_of(2),
@@ -198,15 +245,7 @@ pub fn fattree(params: FatTreeParams) -> FatTree {
         });
     }
 
-    let net = rb.build();
-    FatTree {
-        net,
-        params,
-        tors: tor_info,
-        aggs,
-        cores,
-        links,
-    }
+    (rb, tor_info, aggs, cores, links)
 }
 
 /// Install a static default route on every device in `devs` pointing at
@@ -385,6 +424,35 @@ mod tests {
             .collect();
         assert!(classes.contains(&netmodel::Family::V4));
         assert!(classes.contains(&netmodel::Family::V6));
+    }
+
+    #[test]
+    fn engine_variant_is_bit_identical_and_reconverges() {
+        let ft = fattree(FatTreeParams::paper(4));
+        let (eft, mut engine) = fattree_with_engine(FatTreeParams::paper(4));
+        for (d, _) in ft.net.topology().devices() {
+            assert_eq!(ft.net.device_rules(d), eft.net.device_rules(d));
+        }
+        // Flap one fabric link: degraded state matches a from-scratch
+        // rebuild, recovery restores the healthy network exactly.
+        let mut net = eft.net;
+        let (ai, bi) = eft.links[0];
+        let a = net.topology().iface(ai).device;
+        let b = net.topology().iface(bi).device;
+        let diff = engine
+            .apply(&mut net, &routing::TopologyDelta::LinkDown { a, b })
+            .unwrap();
+        assert!(!diff.is_empty());
+        let rebuilt = engine.full_rebuild().unwrap();
+        for (d, _) in ft.net.topology().devices() {
+            assert_eq!(net.device_rules(d), rebuilt.device_rules(d));
+        }
+        engine
+            .apply(&mut net, &routing::TopologyDelta::LinkUp { a, b })
+            .unwrap();
+        for (d, _) in ft.net.topology().devices() {
+            assert_eq!(net.device_rules(d), ft.net.device_rules(d));
+        }
     }
 
     #[test]

@@ -31,6 +31,6 @@ pub mod faults;
 pub mod figure1;
 pub mod regional;
 
-pub use fattree::{fattree, FatTree, FatTreeParams};
+pub use fattree::{fattree, fattree_with_engine, FatTree, FatTreeParams};
 pub use figure1::{figure1, Figure1};
 pub use regional::{regional, Regional, RegionalParams};
