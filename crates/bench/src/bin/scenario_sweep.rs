@@ -111,7 +111,11 @@ fn make_probes(tors: &[(DeviceId, Prefix, netmodel::topology::IfaceId)], n: usiz
 }
 
 /// Assert `net` is bit-identical to a from-scratch rebuild, device by
-/// device, and return the rebuild's wall clock.
+/// device, and return the rebuild's wall clock. Also asserts — outside
+/// the timed section — that config provenance survives incremental
+/// re-convergence: the resident engine's [`RoutingEngine::config_db`]
+/// must equal the one a scratch build of the same degraded topology
+/// derives.
 fn check_rebuild(engine: &RoutingEngine, net: &Network, what: &str) -> Duration {
     let (rebuilt, dt) = time_it(|| engine.full_rebuild().expect("full rebuild"));
     for (d, _) in net.topology().devices() {
@@ -122,6 +126,15 @@ fn check_rebuild(engine: &RoutingEngine, net: &Network, what: &str) -> Duration 
             d.0
         );
     }
+    let (_, scratch_db) = engine
+        .degraded_builder()
+        .try_build_with_provenance()
+        .expect("scratch provenance build");
+    assert_eq!(
+        engine.config_db(),
+        scratch_db,
+        "config provenance diverged from a scratch build ({what})"
+    );
     dt
 }
 
@@ -336,7 +349,7 @@ fn main() {
              \"scenarios\": {scenarios},\n    \"k2_samples\": {k2_samples},\n    \
              \"probes\": {},\n    \"seed\": {seed},\n    \
              \"healthy_rules\": {},\n    \"scenario_only_rules\": {},\n    \
-             \"bit_identical\": true\n  }}\n}}\n",
+             \"bit_identical\": true,\n    \"provenance_identical\": true\n  }}\n}}\n",
             bench::host_cpus(),
             probes.len(),
             healthy_cov.len(),

@@ -1,0 +1,369 @@
+//! Config-level coverage via control-plane provenance (NetCov-style).
+//!
+//! Rule coverage answers "which FIB entries did the tests exercise?"
+//! but operators reason in terms of *configuration*: BGP sessions,
+//! route originations, static routes. This module maps the Algorithm-1
+//! covered sets through the provenance layer of the `routing` crate
+//! ([`netmodel::provenance::ConfigDb`]) and reports, per configuration
+//! construct, whether any FIB rule it contributed to was exercised —
+//! so an untested construct reads as "no test ever depended on this
+//! line of config", the actionable gap NetCov surfaces for IGP/BGP
+//! networks.
+//!
+//! ## Attribution
+//!
+//! A FIB rule belongs to a construct's *footprint* when the rule is a
+//! destination-prefix route (its match is dst-only) and the provenance
+//! database attributes its `(device, prefix)` key to the construct.
+//! Shadowed rules (empty disjoint match set) are excluded — they cannot
+//! carry packets, so they cannot witness coverage. Constructs whose
+//! footprint ends up empty are reported separately as *unreferenced*:
+//! config that never produced a testable FIB entry (dead config, or
+//! config fully shadowed by more-preferred routes).
+//!
+//! ## Metrics
+//!
+//! A construct is **covered** iff some footprint rule has a non-empty
+//! covered set `T[r]`. The per-construct **weighted** metric refines
+//! the bit: `Σ P(T[r]) / Σ P(M[r])` over the footprint — how much of
+//! the construct's forwarding behaviour the tests actually swept. The
+//! headline **fractional** metric is covered ÷ coverable, the direct
+//! analogue of the paper's fractional rule coverage one level up the
+//! provenance chain.
+
+use std::collections::BTreeMap;
+
+use netbdd::Bdd;
+use netmodel::provenance::{ConfigDb, Construct};
+use netmodel::{MatchSets, Network, RuleId};
+
+use crate::covered::CoveredSets;
+
+/// Coverage of one configuration construct: its FIB-rule footprint and
+/// the covered/match probability mass accumulated over it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConstructCoverage {
+    /// The construct this entry describes.
+    pub construct: Construct,
+    /// The footprint: every non-shadowed FIB rule attributed to the
+    /// construct, in rule-id order.
+    pub rules: Vec<RuleId>,
+    /// Whether any footprint rule has a non-empty covered set.
+    pub covered: bool,
+    /// `Σ P(M[r])` over the footprint (total testable mass).
+    pub match_probability: f64,
+    /// `Σ P(T[r])` over the footprint (mass the tests swept).
+    pub covered_probability: f64,
+}
+
+impl ConstructCoverage {
+    /// The weighted metric `Σ P(T[r]) / Σ P(M[r])`, or `None` when the
+    /// footprint carries no probability mass at all.
+    pub fn weighted(&self) -> Option<f64> {
+        if self.match_probability == 0.0 {
+            None
+        } else {
+            Some(self.covered_probability / self.match_probability)
+        }
+    }
+}
+
+/// Config-level coverage: the Algorithm-1 covered sets mapped through
+/// control-plane provenance onto configuration constructs.
+///
+/// # Examples
+///
+/// ```
+/// use netbdd::Bdd;
+/// use netmodel::{MatchSets, Location};
+/// use routing::{Origination, RibBuilder, Scope};
+/// use yardstick::config::ConfigCoverage;
+/// use yardstick::{CoveredSets, Tracker};
+/// # use netmodel::{Role, IfaceKind};
+///
+/// // A one-link fabric: tor originates a host prefix, spine learns it
+/// // over the session.
+/// let mut topo = netmodel::topology::Topology::new();
+/// let tor = topo.add_device("tor", Role::Tor);
+/// let spine = topo.add_device("spine", Role::Spine);
+/// topo.add_iface(tor, "hosts", IfaceKind::Host);
+/// topo.add_link(tor, spine);
+/// let mut rb = RibBuilder::new(topo);
+/// rb.set_tier(tor, 0);
+/// rb.set_tier(spine, 1);
+/// let p: netmodel::Prefix = "10.0.0.0/24".parse().unwrap();
+/// let hosts = netmodel::IfaceId(0);
+/// rb.originate(Origination::new(
+///     tor,
+///     p,
+///     netmodel::rule::RouteClass::HostSubnet,
+///     Some(hosts),
+///     Scope::All,
+/// ));
+/// let (net, db) = rb.try_build_with_provenance().unwrap();
+///
+/// let mut bdd = Bdd::new();
+/// let ms = MatchSets::compute(&net, &mut bdd);
+///
+/// // No tests yet: both constructs are coverable, none covered.
+/// let mut tracker = Tracker::new();
+/// let covered = CoveredSets::compute(&net, &ms, tracker.trace(), &mut bdd);
+/// let cov = ConfigCoverage::compute(&net, &ms, &covered, &mut bdd, &db);
+/// assert_eq!(cov.coverable(), 2);
+/// assert_eq!(cov.covered_count(), 0);
+///
+/// // A probe observed at the spine exercises the session AND the
+/// // origination behind it.
+/// let probe = netmodel::header::dst_in(&mut bdd, &p);
+/// tracker.mark_packet(&mut bdd, Location::device(spine), probe);
+/// let covered = CoveredSets::compute(&net, &ms, tracker.trace(), &mut bdd);
+/// let cov = ConfigCoverage::compute(&net, &ms, &covered, &mut bdd, &db);
+/// assert_eq!(cov.covered_count(), 2);
+/// assert_eq!(cov.fractional(), Some(1.0));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConfigCoverage {
+    /// Per-construct coverage for every construct with a non-empty
+    /// footprint, in construct order.
+    pub constructs: Vec<ConstructCoverage>,
+    /// Constructs with an empty footprint — config that never produced
+    /// a testable FIB entry. Excluded from every metric.
+    pub unreferenced: Vec<Construct>,
+}
+
+impl ConfigCoverage {
+    /// Map covered sets through the provenance database.
+    ///
+    /// Walks every FIB rule once: destination-only rules with a
+    /// non-empty match set contribute their `P(M[r])` / `P(T[r])` mass
+    /// to each construct the database attributes their key to.
+    pub fn compute(
+        net: &Network,
+        ms: &MatchSets,
+        covered: &CoveredSets,
+        bdd: &mut Bdd,
+        db: &ConfigDb,
+    ) -> ConfigCoverage {
+        let _span = netobs::span!("config_coverage");
+        let mut acc: BTreeMap<Construct, ConstructCoverage> = BTreeMap::new();
+        for (id, rule) in net.rules() {
+            let f = &rule.matches;
+            let dst = match (f.dst, f.src, f.proto, f.dport, f.sport, f.in_iface) {
+                (Some(dst), None, None, None, None, None) => dst,
+                _ => continue, // not a destination-prefix route
+            };
+            let Some(via) = db.attribution(id.device, dst) else {
+                continue; // outside the provenance layer (connected, ACL, ...)
+            };
+            let m = ms.get(id);
+            if m.is_false() {
+                continue; // shadowed: untestable, no footprint
+            }
+            let pm = bdd.probability(m);
+            let t = covered.get(id);
+            let pt = bdd.probability(t);
+            for c in via {
+                let e = acc.entry(*c).or_insert_with(|| ConstructCoverage {
+                    construct: *c,
+                    rules: Vec::new(),
+                    covered: false,
+                    match_probability: 0.0,
+                    covered_probability: 0.0,
+                });
+                e.rules.push(id);
+                e.match_probability += pm;
+                e.covered_probability += pt;
+                e.covered |= !t.is_false();
+            }
+        }
+        let unreferenced = db
+            .constructs
+            .iter()
+            .filter(|c| !acc.contains_key(c))
+            .copied()
+            .collect();
+        ConfigCoverage {
+            constructs: acc.into_values().collect(),
+            unreferenced,
+        }
+    }
+
+    /// Number of coverable constructs (non-empty footprint).
+    pub fn coverable(&self) -> usize {
+        self.constructs.len()
+    }
+
+    /// Number of covered constructs.
+    pub fn covered_count(&self) -> usize {
+        self.constructs.iter().filter(|c| c.covered).count()
+    }
+
+    /// The headline fractional metric: covered ÷ coverable. `None` when
+    /// nothing is coverable.
+    pub fn fractional(&self) -> Option<f64> {
+        if self.constructs.is_empty() {
+            None
+        } else {
+            Some(self.covered_count() as f64 / self.coverable() as f64)
+        }
+    }
+
+    /// The coverable-but-uncovered constructs — the actionable gap list.
+    pub fn uncovered(&self) -> impl Iterator<Item = &ConstructCoverage> {
+        self.constructs.iter().filter(|c| !c.covered)
+    }
+
+    /// Look up one construct's entry by identity.
+    pub fn get(&self, construct: &Construct) -> Option<&ConstructCoverage> {
+        self.constructs.iter().find(|c| &c.construct == construct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::CoverageTrace;
+    use netmodel::topology::Topology;
+    use netmodel::topology::{DeviceId, IfaceKind, Role};
+    use netmodel::{header, Location};
+    use routing::{Origination, RibBuilder, Scope, StaticRoute, StaticTarget};
+
+    /// tor—spine with an origination at the tor and a null static on
+    /// the spine for a dark prefix nothing probes.
+    fn build() -> (netmodel::Network, ConfigDb, DeviceId, DeviceId) {
+        let mut topo = Topology::new();
+        let tor = topo.add_device("tor", Role::Tor);
+        let spine = topo.add_device("spine", Role::Spine);
+        let hosts = topo.add_iface(tor, "hosts", IfaceKind::Host);
+        topo.add_link(tor, spine);
+        let mut rb = RibBuilder::new(topo);
+        rb.set_tier(tor, 0);
+        rb.set_tier(spine, 1);
+        rb.originate(Origination::new(
+            tor,
+            "10.0.0.0/24".parse().unwrap(),
+            netmodel::rule::RouteClass::HostSubnet,
+            Some(hosts),
+            Scope::All,
+        ));
+        rb.add_static(StaticRoute {
+            device: spine,
+            prefix: "192.0.2.0/24".parse().unwrap(),
+            target: StaticTarget::Null,
+            class: netmodel::rule::RouteClass::Other,
+        });
+        let (net, db) = rb.try_build_with_provenance().unwrap();
+        (net, db, tor, spine)
+    }
+
+    fn analyse(
+        net: &netmodel::Network,
+        db: &ConfigDb,
+        trace: &CoverageTrace,
+    ) -> (ConfigCoverage, CoveredSets, MatchSets, Bdd) {
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(net, &mut bdd);
+        let covered = CoveredSets::compute(net, &ms, trace, &mut bdd);
+        let cov = ConfigCoverage::compute(net, &ms, &covered, &mut bdd, db);
+        (cov, covered, ms, bdd)
+    }
+
+    #[test]
+    fn construct_covered_iff_some_footprint_rule_is_covered() {
+        // The counting-oracle cross-check: for every coverable
+        // construct, the covered bit equals "∃ footprint rule with a
+        // non-empty covered set", recomputed here independently.
+        let (net, db, _tor, spine) = build();
+        let mut trace = CoverageTrace::new();
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&net, &mut bdd);
+        let p = header::dst_in(&mut bdd, &"10.0.0.0/24".parse().unwrap());
+        trace.add_packets(&mut bdd, Location::device(spine), p);
+        let covered = CoveredSets::compute(&net, &ms, &trace, &mut bdd);
+        let cov = ConfigCoverage::compute(&net, &ms, &covered, &mut bdd, &db);
+        for entry in &cov.constructs {
+            let oracle = entry.rules.iter().any(|&id| covered.is_exercised(id));
+            assert_eq!(
+                entry.covered, oracle,
+                "covered bit disagrees with the oracle for {}",
+                entry.construct
+            );
+        }
+        // And the specific content: session + origination covered, the
+        // dark null static not.
+        assert_eq!(cov.covered_count(), 2);
+        let dark = Construct::Static {
+            device: spine,
+            prefix: "192.0.2.0/24".parse().unwrap(),
+        };
+        assert!(!cov.get(&dark).unwrap().covered);
+        assert_eq!(cov.uncovered().count(), 1);
+    }
+
+    #[test]
+    fn empty_trace_covers_nothing_and_metrics_are_bounded() {
+        let (net, db, _, _) = build();
+        let (cov, _, _, _) = analyse(&net, &db, &CoverageTrace::new());
+        assert_eq!(cov.covered_count(), 0);
+        assert_eq!(cov.fractional(), Some(0.0));
+        for c in &cov.constructs {
+            if let Some(w) = c.weighted() {
+                assert!((0.0..=1.0).contains(&w));
+            }
+            assert_eq!(c.covered_probability, 0.0);
+        }
+    }
+
+    #[test]
+    fn every_provenance_construct_is_accounted_for() {
+        // Coverable ∪ unreferenced == the database universe, disjointly.
+        let (net, db, _, _) = build();
+        let (cov, _, _, _) = analyse(&net, &db, &CoverageTrace::new());
+        let mut seen: Vec<Construct> = cov.constructs.iter().map(|c| c.construct).collect();
+        seen.extend(cov.unreferenced.iter().copied());
+        seen.sort();
+        let universe: Vec<Construct> = db.constructs.iter().copied().collect();
+        assert_eq!(seen, universe);
+    }
+
+    #[test]
+    fn partial_sweep_shows_in_weighted_not_in_the_bit() {
+        // Probing half the /24 covers the origination (bit set) but
+        // the weighted metric reports the partial sweep.
+        let (net, db, tor, spine) = build();
+        let mut bdd = Bdd::new();
+        let ms = MatchSets::compute(&net, &mut bdd);
+        let mut trace = CoverageTrace::new();
+        let half = header::dst_in(&mut bdd, &"10.0.0.0/25".parse().unwrap());
+        trace.add_packets(&mut bdd, Location::device(spine), half);
+        let covered = CoveredSets::compute(&net, &ms, &trace, &mut bdd);
+        let cov = ConfigCoverage::compute(&net, &ms, &covered, &mut bdd, &db);
+        let orig = Construct::Origination {
+            device: tor,
+            prefix: "10.0.0.0/24".parse().unwrap(),
+        };
+        let entry = cov.get(&orig).unwrap();
+        assert!(entry.covered);
+        let w = entry.weighted().unwrap();
+        assert!(w > 0.0 && w < 1.0, "weighted should be partial, got {w}");
+    }
+
+    #[test]
+    fn shadowed_rules_do_not_create_footprint() {
+        // A static for the SAME prefix a more-preferred connected route
+        // would shadow still shows up attributed; here we instead check
+        // the simpler invariant that every footprint rule has a
+        // non-empty match set.
+        let (net, db, _, _) = build();
+        let (cov, _, ms, _) = analyse(&net, &db, &CoverageTrace::new());
+        let mut bdd = Bdd::new();
+        let ms2 = MatchSets::compute(&net, &mut bdd);
+        let _ = ms;
+        for c in &cov.constructs {
+            assert!(!c.rules.is_empty());
+            for &id in &c.rules {
+                assert!(!ms2.get(id).is_false());
+            }
+        }
+    }
+}

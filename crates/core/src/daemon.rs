@@ -12,6 +12,7 @@
 //! | method | path | query/body | answer |
 //! |--------|------|------------|--------|
 //! | GET  | `/covers`      | `rule=<dev>.<idx>`          | coverage of one rule (LRU-cached) |
+//! | GET  | `/config-coverage` | optional `construct=<wire id>` | config-level coverage summary, or one construct's drill-down |
 //! | GET  | `/metrics`     | —                           | headline metrics, engine state, netobs snapshots |
 //! | GET  | `/delta-since` | `trace=<version>`           | deltas applied after that engine version |
 //! | POST | `/delta`       | JSON delta document         | applies a rule/test/topology delta |
@@ -27,6 +28,7 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 
 use netbdd::PortableBdd;
+use netmodel::provenance::Construct;
 use netmodel::topology::DeviceId;
 use netmodel::{Action, IfaceId, Location, MatchFields, Prefix, RouteClass, Rule, RuleId};
 use netobs::json::{self, Json};
@@ -378,6 +380,106 @@ fn handle_covers(engine: &mut CoverageEngine, req: &Request) -> Response {
     Response::ok(body)
 }
 
+/// `GET /config-coverage`: the headline config-level summary, or — with
+/// `?construct=<wire id>` — one construct's drill-down including which
+/// registered tests exercise it. Both forms ride the query LRU, keyed
+/// like `/covers`, so deltas invalidate them automatically.
+fn handle_config_coverage(engine: &mut CoverageEngine, req: &Request) -> Response {
+    match req.param("construct") {
+        None => {
+            let key = "config-coverage".to_string();
+            if let Some(cached) = engine.query_cache().get(&key) {
+                return Response::ok(cached);
+            }
+            let cov = match engine.config_coverage() {
+                Ok(c) => c,
+                Err(e) => return Response::error(engine_error_status(&e), &e.to_string()),
+            };
+            let uncovered: Vec<String> = cov
+                .uncovered()
+                .map(|c| jstr(&c.construct.wire_id()))
+                .collect();
+            let unreferenced: Vec<String> = cov
+                .unreferenced
+                .iter()
+                .map(|c| jstr(&c.wire_id()))
+                .collect();
+            let body = format!(
+                "{{\"version\":{},\"coverable\":{},\"covered\":{},\"fractional\":{},\
+                 \"uncovered\":[{}],\"unreferenced\":[{}]}}",
+                engine.version(),
+                cov.coverable(),
+                cov.covered_count(),
+                jopt(cov.fractional()),
+                uncovered.join(","),
+                unreferenced.join(",")
+            );
+            engine.query_cache().insert(key, body.clone());
+            Response::ok(body)
+        }
+        Some(raw) => {
+            let construct = match Construct::parse_wire_id(raw) {
+                Some(c) => c,
+                None => {
+                    return Response::error(
+                        400,
+                        "construct must be a wire id like session:d0-d4 or orig:d3:10.0.1.0/24",
+                    )
+                }
+            };
+            let key = format!("config-coverage:{}", construct.wire_id());
+            if let Some(cached) = engine.query_cache().get(&key) {
+                return Response::ok(cached);
+            }
+            let cov = match engine.config_coverage() {
+                Ok(c) => c,
+                Err(e) => return Response::error(engine_error_status(&e), &e.to_string()),
+            };
+            let body = match cov.get(&construct) {
+                Some(entry) => {
+                    let rules: Vec<String> = entry
+                        .rules
+                        .iter()
+                        .map(|id| jstr(&format!("r{}.{}", id.device.0, id.index)))
+                        .collect();
+                    let tests: Vec<String> = engine
+                        .tests_exercising(&entry.rules)
+                        .iter()
+                        .map(|name| jstr(name))
+                        .collect();
+                    format!(
+                        "{{\"construct\":{},\"version\":{},\"covered\":{},\
+                         \"match_probability\":{},\"covered_probability\":{},\"weighted\":{},\
+                         \"rules\":[{}],\"tests\":[{}]}}",
+                        jstr(&construct.wire_id()),
+                        engine.version(),
+                        entry.covered,
+                        jnum(entry.match_probability),
+                        jnum(entry.covered_probability),
+                        jopt(entry.weighted()),
+                        rules.join(","),
+                        tests.join(",")
+                    )
+                }
+                None if cov.unreferenced.contains(&construct) => format!(
+                    "{{\"construct\":{},\"version\":{},\"covered\":false,\
+                     \"unreferenced\":true,\"rules\":[],\"tests\":[]}}",
+                    jstr(&construct.wire_id()),
+                    engine.version()
+                ),
+                None => {
+                    return Response::error(
+                        404,
+                        &format!("no such construct in the current config: {raw}"),
+                    )
+                }
+            };
+            engine.query_cache().insert(key, body.clone());
+            Response::ok(body)
+        }
+    }
+}
+
 fn handle_metrics(engine: &mut CoverageEngine) -> Response {
     let headline = engine.headline_metrics();
     engine.publish_gauges();
@@ -624,6 +726,7 @@ fn headline_json(h: &crate::engine::HeadlineMetrics) -> String {
 pub fn handle(engine: &mut CoverageEngine, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/covers") => handle_covers(engine, req),
+        ("GET", "/config-coverage") => handle_config_coverage(engine, req),
         ("GET", "/metrics") => handle_metrics(engine),
         ("GET", "/delta-since") => handle_delta_since(engine, req),
         ("POST", "/delta") => handle_delta(engine, req),
@@ -631,9 +734,11 @@ pub fn handle(engine: &mut CoverageEngine, req: &Request) -> Response {
         ("POST", "/shutdown") => {
             Response::ok(format!("{{\"ok\":true,\"version\":{}}}", engine.version()))
         }
-        (_, "/covers" | "/metrics" | "/delta-since" | "/delta" | "/autogen" | "/shutdown") => {
-            Response::error(405, "method not allowed")
-        }
+        (
+            _,
+            "/covers" | "/config-coverage" | "/metrics" | "/delta-since" | "/delta" | "/autogen"
+            | "/shutdown",
+        ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, &format!("no such endpoint: {}", req.path)),
     }
 }
@@ -795,6 +900,144 @@ mod tests {
         let set = header::dst_in(&mut bdd, &prefix.parse().unwrap());
         t.add_packets(&mut bdd, Location::device(DeviceId(device)), set);
         trace_to_json(&t.export(&bdd))
+    }
+
+    /// A routed engine (provenance-capable): tor originates 10.0.0.0/24,
+    /// spine learns it over the session; a dark null static sits on the
+    /// spine.
+    fn build_routed_engine() -> CoverageEngine {
+        let mut topo = Topology::new();
+        let tor = topo.add_device("tor", Role::Tor);
+        let spine = topo.add_device("spine", Role::Spine);
+        let hosts = topo.add_iface(tor, "hosts", IfaceKind::Host);
+        topo.add_link(tor, spine);
+        let mut rb = routing::RibBuilder::new(topo);
+        rb.set_tier(tor, 0);
+        rb.set_tier(spine, 1);
+        rb.originate(routing::Origination::new(
+            tor,
+            "10.0.0.0/24".parse().unwrap(),
+            RouteClass::HostSubnet,
+            Some(hosts),
+            routing::Scope::All,
+        ));
+        rb.add_static(routing::StaticRoute {
+            device: spine,
+            prefix: "192.0.2.0/24".parse().unwrap(),
+            target: routing::StaticTarget::Null,
+            class: RouteClass::Other,
+        });
+        let (rt, net) = rb.into_engine().unwrap();
+        let mut engine = CoverageEngine::new(net, 1);
+        engine.attach_routing(rt);
+        engine
+    }
+
+    #[test]
+    fn config_coverage_summary_and_drilldown() {
+        let mut engine = build_routed_engine();
+        // Unattached engines answer with a named error.
+        let mut bare = build_engine();
+        let resp = handle(&mut bare, &Request::new("GET", "/config-coverage", ""));
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        assert!(resp.body.contains("no routing engine"), "{}", resp.body);
+
+        // Empty suite: everything coverable, nothing covered.
+        let resp = handle(&mut engine, &Request::new("GET", "/config-coverage", ""));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let doc = json::parse(&resp.body).unwrap();
+        let coverable = doc.get("coverable").unwrap().as_f64().unwrap();
+        assert!(coverable >= 3.0, "{}", resp.body); // orig + session + static
+        assert_eq!(doc.get("covered").unwrap().as_f64(), Some(0.0));
+        assert_eq!(doc.get("fractional").unwrap().as_f64(), Some(0.0));
+
+        // Register a probe at the spine: session + origination flip.
+        let body = format!(
+            "{{\"kind\":\"test-add\",\"name\":\"spine-probe\",\"trace\":{}}}",
+            mark_trace_json(1, "10.0.0.0/24")
+        );
+        let resp = handle(&mut engine, &Request::new("POST", "/delta", &body));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let resp = handle(&mut engine, &Request::new("GET", "/config-coverage", ""));
+        let doc = json::parse(&resp.body).unwrap();
+        assert_eq!(doc.get("covered").unwrap().as_f64(), Some(2.0));
+        let uncovered = doc.get("uncovered").unwrap().as_array().unwrap();
+        assert!(uncovered
+            .iter()
+            .any(|u| u.as_str() == Some("static:d1:192.0.2.0/24")));
+
+        // Drill-down: the session names its exercising test.
+        let resp = handle(
+            &mut engine,
+            &Request::new("GET", "/config-coverage?construct=session:d0-d1", ""),
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let doc = json::parse(&resp.body).unwrap();
+        assert_eq!(doc.get("covered").unwrap().as_bool(), Some(true));
+        let tests = doc.get("tests").unwrap().as_array().unwrap();
+        assert_eq!(tests.len(), 1);
+        assert_eq!(tests[0].as_str(), Some("spine-probe"));
+
+        // The dark static's drill-down is uncovered with no tests.
+        let resp = handle(
+            &mut engine,
+            &Request::new(
+                "GET",
+                "/config-coverage?construct=static:d1:192.0.2.0%2F24",
+                "",
+            ),
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let doc = json::parse(&resp.body).unwrap();
+        assert_eq!(doc.get("covered").unwrap().as_bool(), Some(false));
+        assert!(doc.get("tests").unwrap().as_array().unwrap().is_empty());
+
+        // Malformed and unknown constructs are named errors.
+        assert_eq!(
+            handle(
+                &mut engine,
+                &Request::new("GET", "/config-coverage?construct=nope", "")
+            )
+            .status,
+            400
+        );
+        assert_eq!(
+            handle(
+                &mut engine,
+                &Request::new("GET", "/config-coverage?construct=session:d7-d9", "")
+            )
+            .status,
+            404
+        );
+        assert_eq!(
+            handle(&mut engine, &Request::new("POST", "/config-coverage", "")).status,
+            405
+        );
+    }
+
+    #[test]
+    fn config_coverage_is_cached_and_deltas_invalidate_it() {
+        let mut engine = build_routed_engine();
+        let req = Request::new("GET", "/config-coverage", "");
+        let cold = handle(&mut engine, &req);
+        assert_eq!(cold.status, 200, "{}", cold.body);
+        let warm = handle(&mut engine, &req);
+        assert_eq!(warm, cold);
+        assert!(engine.query_cache_stats().hits >= 1);
+        // A topology delta must flush the cached summary: the severed
+        // session leaves the coverable universe.
+        let resp = handle(
+            &mut engine,
+            &Request::new("POST", "/delta", r#"{"kind":"link-down","a":0,"b":1}"#),
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let degraded = handle(&mut engine, &req);
+        assert_ne!(degraded.body, cold.body);
+        assert!(
+            !degraded.body.contains("session:d0-d1"),
+            "{}",
+            degraded.body
+        );
     }
 
     #[test]

@@ -48,6 +48,7 @@ use netmodel::topology::DeviceId;
 use netmodel::{IfaceId, Location, MatchSetCache, MatchSets, Network, Rule, RuleId};
 
 use crate::analyzer::Analyzer;
+use crate::config::ConfigCoverage;
 use crate::covered::CoveredSets;
 use crate::framework::Aggregator;
 use crate::trace::{CoverageTrace, PortableTrace};
@@ -517,6 +518,57 @@ impl CoverageEngine {
             coverage,
             exercised: !t.is_false(),
         })
+    }
+
+    /// Config-level coverage: the resident covered sets mapped through
+    /// the attached routing engine's provenance database
+    /// ([`routing::RoutingEngine::config_db`]). Requires
+    /// [`CoverageEngine::attach_routing`] — without a control plane
+    /// there is no configuration to attribute rules to. The database is
+    /// read off the engine's *current* (possibly degraded) state, so
+    /// the report tracks topology deltas automatically.
+    pub fn config_coverage(&mut self) -> Result<ConfigCoverage, EngineError> {
+        let routing = self.routing.as_ref().ok_or(EngineError::NoRoutingEngine)?;
+        let db = routing.config_db();
+        Ok(ConfigCoverage::compute(
+            &self.net,
+            &self.ms,
+            &self.covered,
+            &mut self.bdd,
+            &db,
+        ))
+    }
+
+    /// Names of the registered tests that exercise at least one of
+    /// `rules` — the per-construct drill-down behind the daemon's
+    /// `/config-coverage?construct=` query. A test exercises a rule if
+    /// it inspected it directly, or if packets it recorded at the
+    /// rule's device (on the rule's ingress interface, when scoped)
+    /// intersect the rule's disjoint match set — per-test Algorithm 1.
+    pub fn tests_exercising(&mut self, rules: &[RuleId]) -> Vec<String> {
+        let mut out = Vec::new();
+        for (name, trace) in &self.tests {
+            let mut hit = false;
+            for &id in rules {
+                if trace.rules.contains(&id) {
+                    hit = true;
+                    break;
+                }
+                let applicable = match self.net.rule(id).matches.in_iface {
+                    None => trace.packets.at_device(&mut self.bdd, id.device),
+                    Some(iface) => trace.packets.at_device_iface(id.device, iface),
+                };
+                let t = self.bdd.and(applicable, self.ms.get(id));
+                if !t.is_false() {
+                    hit = true;
+                    break;
+                }
+            }
+            if hit {
+                out.push(name.clone());
+            }
+        }
+        out
     }
 
     /// The headline aggregates over the whole network.

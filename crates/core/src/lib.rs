@@ -62,6 +62,7 @@
 pub mod analyzer;
 pub mod atu;
 pub mod components;
+pub mod config;
 pub mod covered;
 pub mod daemon;
 pub mod engine;
@@ -79,6 +80,7 @@ pub mod tracker;
 
 pub use analyzer::Analyzer;
 pub use atu::Atu;
+pub use config::{ConfigCoverage, ConstructCoverage};
 pub use covered::CoveredSets;
 pub use engine::{
     Backend, CoverageEngine, DeltaKind, DeltaRecord, EngineError, HeadlineMetrics, QueryCache,
@@ -89,6 +91,8 @@ pub use gaps::{GapEntry, GapReport};
 pub use obs::publish_bdd_gauges;
 pub use parallel::{publish_worker_gauges, ParallelRunner, WorkerReport};
 pub use report::{ClassReport, CoverageReport, ReportRow};
-pub use testgen::{autogen, GenConfig, GenReport, GeneratedTest, TestSpec};
+pub use testgen::{
+    autogen, autogen_config, ConfigGenReport, GenConfig, GenReport, GeneratedTest, TestSpec,
+};
 pub use trace::{CoverageTrace, PortableTrace};
 pub use tracker::Tracker;

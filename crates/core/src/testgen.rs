@@ -40,7 +40,9 @@ use netmodel::header::{sample_packet_with, Packet};
 use netmodel::topology::DeviceId;
 use netmodel::{IfaceId, Location, MatchSets, Network, RuleId};
 
-use crate::engine::{CoverageEngine, HeadlineMetrics};
+use netmodel::provenance::Construct;
+
+use crate::engine::{CoverageEngine, EngineError, HeadlineMetrics};
 use crate::rng::seed_mix;
 use crate::tracker::Tracker;
 
@@ -444,6 +446,110 @@ pub fn autogen(engine: &mut CoverageEngine, cfg: &GenConfig) -> GenReport {
     }
 }
 
+/// What a config-coverage-guided generation run did.
+#[derive(Clone, Debug)]
+pub struct ConfigGenReport {
+    /// Tests emitted and registered, in generation order.
+    pub tests: Vec<GeneratedTest>,
+    /// Generation rounds executed.
+    pub rounds: usize,
+    /// Coverable constructs (non-empty rule footprint).
+    pub coverable: usize,
+    /// Covered constructs before the run.
+    pub covered_before: usize,
+    /// Covered constructs after the run.
+    pub covered_after: usize,
+    /// Constructs still uncovered when the loop stopped improving.
+    pub uncovered: Vec<Construct>,
+}
+
+/// Config-coverage convergence mode: generate tests until *config*
+/// coverage stops improving.
+///
+/// Where [`autogen`] chases every unexercised rule, this loop targets
+/// only rules in the footprint of an uncovered configuration construct
+/// (session, origination, or static with no exercising test — see
+/// [`crate::config`]), re-measures config coverage after each round,
+/// and stops as soon as a round fails to cover a new construct. One
+/// witness per construct footprint is typically enough to flip the
+/// construct's bit, so this converges with far fewer tests than full
+/// rule-coverage closure. Requires an attached routing engine
+/// ([`CoverageEngine::attach_routing`]); emitted tests are registered
+/// as `autogen-config-r<device>.<index>`.
+pub fn autogen_config(
+    engine: &mut CoverageEngine,
+    cfg: &GenConfig,
+) -> Result<ConfigGenReport, EngineError> {
+    let before = engine.config_coverage()?;
+    let coverable = before.coverable();
+    let covered_before = before.covered_count();
+    let mut tests: Vec<GeneratedTest> = Vec::new();
+    let mut rounds = 0;
+    let mut covered = covered_before;
+
+    while rounds < cfg.max_rounds && tests.len() < cfg.budget {
+        let cov = engine.config_coverage()?;
+        let round_targets: BTreeSet<RuleId> = cov
+            .uncovered()
+            .flat_map(|c| c.rules.iter().copied())
+            .collect();
+        if round_targets.is_empty() {
+            break;
+        }
+        rounds += 1;
+        for id in round_targets {
+            if tests.len() >= cfg.budget {
+                break;
+            }
+            if engine.is_exercised(id) {
+                continue;
+            }
+            let Some(spec) = synthesize(engine, cfg.seed, id) else {
+                continue;
+            };
+            let mut tracker = Tracker::new();
+            let outcome = {
+                let (net, ms, _, bdd) = engine.analysis_parts();
+                run_spec(bdd, net, ms, &mut tracker, &spec)
+            };
+            if outcome.is_err() {
+                continue;
+            }
+            let portable = {
+                let (_, _, _, bdd) = engine.analysis_parts();
+                tracker.trace().export(bdd)
+            };
+            let open_before = unexercised_count(engine);
+            let name = format!("autogen-config-r{}.{}", id.device.0, id.index);
+            if engine.add_test(&name, &portable).is_err() {
+                continue;
+            }
+            if engine.is_exercised(id) || unexercised_count(engine) < open_before {
+                tests.push(GeneratedTest { name, spec });
+            } else {
+                let _ = engine.remove_test(&name);
+            }
+        }
+        let now = engine.config_coverage()?.covered_count();
+        netobs::gauge("testgen.config.rounds", rounds as f64);
+        netobs::gauge("testgen.config.covered", now as f64);
+        if now == covered {
+            break; // a full round without a newly covered construct
+        }
+        covered = now;
+    }
+
+    let after = engine.config_coverage()?;
+    Ok(ConfigGenReport {
+        tests,
+        rounds,
+        coverable,
+        covered_before,
+        covered_after: after.covered_count(),
+        uncovered: after.uncovered().map(|c| c.construct).collect(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -635,6 +741,54 @@ mod tests {
         assert!(report.budget_exhausted);
         assert!(!report.converged);
         assert_eq!(report.tests.len(), 1);
+    }
+
+    #[test]
+    fn autogen_config_converges_and_covers_every_construct() {
+        // A routed fabric with a dark null static: config-guided
+        // generation must cover every construct — including the static,
+        // via a traceroute pinning the drop — and then stop.
+        let mut topo = Topology::new();
+        let tor = topo.add_device("tor", Role::Tor);
+        let spine = topo.add_device("spine", Role::Spine);
+        let hosts = topo.add_iface(tor, "hosts", IfaceKind::Host);
+        topo.add_link(tor, spine);
+        let mut rb = routing::RibBuilder::new(topo);
+        rb.set_tier(tor, 0);
+        rb.set_tier(spine, 1);
+        rb.originate(routing::Origination::new(
+            tor,
+            "10.0.0.0/24".parse().unwrap(),
+            RouteClass::HostSubnet,
+            Some(hosts),
+            routing::Scope::All,
+        ));
+        rb.add_static(routing::StaticRoute {
+            device: spine,
+            prefix: "192.0.2.0/24".parse().unwrap(),
+            target: routing::StaticTarget::Null,
+            class: RouteClass::Other,
+        });
+        let (rt, net) = rb.into_engine().unwrap();
+        let mut engine = CoverageEngine::new(net, 1);
+        engine.attach_routing(rt);
+
+        let report = autogen_config(&mut engine, &GenConfig::default()).unwrap();
+        assert_eq!(report.covered_before, 0);
+        assert_eq!(report.covered_after, report.coverable);
+        assert!(report.uncovered.is_empty(), "left {:?}", report.uncovered);
+        assert!(!report.tests.is_empty());
+        // And it reports through the engine identically.
+        let cov = engine.config_coverage().unwrap();
+        assert_eq!(cov.fractional(), Some(1.0));
+
+        // Without a routing engine the mode is a named error.
+        let (net2, _, _) = chain();
+        let mut bare = CoverageEngine::new(net2, 1);
+        assert!(matches!(
+            autogen_config(&mut bare, &GenConfig::default()),
+            Err(EngineError::NoRoutingEngine)
+        ));
     }
 
     #[test]

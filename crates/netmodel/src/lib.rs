@@ -19,6 +19,8 @@
 //! * [`disjoint`] — preprocessing ordered tables into the disjoint match
 //!   sets the paper's framework assumes (§5.2, step 1).
 //! * [`located`] — located packet sets: per-location BDDs.
+//! * [`provenance`] — config-construct identity and per-rule attribution
+//!   (the vocabulary of NetCov-style config-level coverage).
 //!
 //! The model is deliberately *semantics-based* (§3.2): nothing in this
 //! crate depends on how a device implements its lookups, only on what the
@@ -31,6 +33,7 @@ pub mod disjoint;
 pub mod header;
 pub mod located;
 pub mod network;
+pub mod provenance;
 pub mod region;
 pub mod rule;
 pub mod topology;
@@ -40,6 +43,7 @@ pub use disjoint::{MatchSetCache, MatchSets};
 pub use header::{HeaderField, Packet};
 pub use located::{LocatedPacketSet, Location};
 pub use network::{Network, RuleId};
+pub use provenance::{ConfigDb, Construct};
 pub use region::{describe_set, FieldConstraint, Region};
 pub use rule::{Action, MatchFields, Rewrite, RouteClass, Rule, Table, TableMode};
 pub use topology::{Device, DeviceId, Iface, IfaceId, IfaceKind, Role, Topology};

@@ -26,6 +26,7 @@ pub struct ToyTrace {
 }
 
 impl ToyTrace {
+    /// An empty trace.
     pub fn new() -> ToyTrace {
         ToyTrace::default()
     }
@@ -43,6 +44,7 @@ impl ToyTrace {
         self.rules.insert((device, index));
     }
 
+    /// Whether a rule was recorded as inspected.
     pub fn contains_rule(&self, device: usize, index: usize) -> bool {
         self.rules.contains(&(device, index))
     }
@@ -70,6 +72,7 @@ impl ToyTrace {
         acc
     }
 
+    /// True when nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.marks.is_empty() && self.rules.is_empty()
     }
@@ -90,6 +93,7 @@ pub struct CoveredOracle {
 }
 
 impl CoveredOracle {
+    /// Evaluate Algorithm 1 over every rule of every device.
     pub fn compute(
         _space: &ToySpace,
         match_sets: &[TableOracle],
@@ -117,6 +121,7 @@ impl CoveredOracle {
         &self.covered[device][index]
     }
 
+    /// Whether `T[r]` is non-empty.
     pub fn is_exercised(&self, device: usize, index: usize) -> bool {
         !self.get(device, index).is_empty()
     }

@@ -17,15 +17,22 @@ use crate::table::{ToyAction, ToyRule, ToyTable, ToyTableMode};
 /// What an interface attaches to, mirroring `netmodel::IfaceKind`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ToyIfaceKind {
+    /// Point-to-point fabric link.
     P2p,
+    /// Host-facing port (delivery point).
     Host,
+    /// External/WAN-facing port (exit point).
     External,
+    /// Loopback (delivery point).
     Loopback,
 }
 
+/// One interface of a [`ToyNet`] device.
 #[derive(Clone, Debug)]
 pub struct ToyIface {
+    /// The device the interface belongs to.
     pub device: usize,
+    /// What the interface attaches to.
     pub kind: ToyIfaceKind,
     /// Peer interface (global index) for connected P2p links.
     pub peer: Option<u32>,
@@ -43,10 +50,33 @@ pub struct ToyNet {
 /// How a walk ended, mirroring `dataplane`'s `TraceOutcome`/`Terminal`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WalkEnd {
-    Delivered { device: usize, iface: u32 },
-    Exited { device: usize, iface: u32 },
-    Dropped { device: usize, rule: usize },
-    Unmatched { device: usize },
+    /// Delivered out a host or loopback interface.
+    Delivered {
+        /// Device the packet was delivered at.
+        device: usize,
+        /// The delivering interface.
+        iface: u32,
+    },
+    /// Left the network out an external or dangling interface.
+    Exited {
+        /// Device the packet exited from.
+        device: usize,
+        /// The exit interface.
+        iface: u32,
+    },
+    /// Dropped by a null-route rule.
+    Dropped {
+        /// Device that dropped the packet.
+        device: usize,
+        /// Index of the dropping rule in the device's table.
+        rule: usize,
+    },
+    /// No rule matched at a device.
+    Unmatched {
+        /// The device with no matching rule.
+        device: usize,
+    },
+    /// The walk exceeded its hop budget (a forwarding loop).
     HopLimit,
 }
 
@@ -54,11 +84,14 @@ pub enum WalkEnd {
 /// how it ended.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Walk {
+    /// The `(device, rule index)` hops, in traversal order.
     pub hops: Vec<(usize, usize)>,
+    /// How the walk ended.
     pub end: WalkEnd,
 }
 
 impl Walk {
+    /// True when the walk ended in a delivery.
     pub fn delivered(&self) -> bool {
         matches!(self.end, WalkEnd::Delivered { .. })
     }
@@ -70,6 +103,7 @@ impl Walk {
 }
 
 impl ToyNet {
+    /// An empty network.
     pub fn new() -> ToyNet {
         ToyNet::default()
     }
@@ -99,6 +133,7 @@ impl ToyNet {
         (ai, bi)
     }
 
+    /// Append a rule to a device's table.
     pub fn add_rule(&mut self, device: usize, rule: ToyRule) {
         self.tables[device].push(rule);
     }
@@ -110,22 +145,27 @@ impl ToyNet {
         }
     }
 
+    /// Number of devices.
     pub fn device_count(&self) -> usize {
         self.tables.len()
     }
 
+    /// Number of interfaces (global index space).
     pub fn iface_count(&self) -> usize {
         self.ifaces.len()
     }
 
+    /// Look up an interface by global index.
     pub fn iface(&self, i: u32) -> &ToyIface {
         &self.ifaces[i as usize]
     }
 
+    /// A device's rule table.
     pub fn table(&self, device: usize) -> &ToyTable {
         &self.tables[device]
     }
 
+    /// Mutable access to a device's rule table (for fault injection).
     pub fn table_mut(&mut self, device: usize) -> &mut ToyTable {
         &mut self.tables[device]
     }

@@ -31,6 +31,8 @@
 //! Nothing in this crate is clever on purpose. If a check disagrees, trust
 //! the oracle.
 
+#![deny(missing_docs)]
+
 pub mod covered;
 pub mod embed;
 pub mod forward;

@@ -15,8 +15,11 @@ use crate::table::TableOracle;
 /// Mirror of `yardstick::Aggregator` (Equation 2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ToyAggregator {
+    /// Unweighted mean of component coverages.
     Mean,
+    /// Weight-proportional mean.
     Weighted,
+    /// Fraction of components with non-zero coverage.
     Fractional,
 }
 
@@ -53,6 +56,7 @@ pub struct MetricsOracle<'a> {
 }
 
 impl<'a> MetricsOracle<'a> {
+    /// Derive covered sets from the trace and wrap everything up.
     pub fn new(
         space: &ToySpace,
         net: &'a ToyNet,
@@ -68,6 +72,7 @@ impl<'a> MetricsOracle<'a> {
         }
     }
 
+    /// The covered sets computed at construction.
     pub fn covered_sets(&self) -> &CoveredOracle {
         &self.covered
     }

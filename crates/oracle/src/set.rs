@@ -17,6 +17,7 @@ pub struct PacketSet {
 }
 
 impl PacketSet {
+    /// The empty set.
     pub fn empty() -> PacketSet {
         PacketSet {
             packets: HashSet::new(),
@@ -42,50 +43,60 @@ impl PacketSet {
         PacketSet::from_pred(space, |p| space.bit(p, var) == value)
     }
 
+    /// The set holding exactly `packets`.
     pub fn from_packets(packets: impl IntoIterator<Item = ToyPacket>) -> PacketSet {
         PacketSet {
             packets: packets.into_iter().collect(),
         }
     }
 
+    /// Add one packet.
     pub fn insert(&mut self, p: ToyPacket) {
         self.packets.insert(p);
     }
 
+    /// Membership test.
     pub fn contains(&self, p: ToyPacket) -> bool {
         self.packets.contains(&p)
     }
 
+    /// Number of packets in the set.
     pub fn len(&self) -> usize {
         self.packets.len()
     }
 
+    /// True when the set holds no packets.
     pub fn is_empty(&self) -> bool {
         self.packets.is_empty()
     }
 
+    /// Iterate over the packets, in no particular order.
     pub fn iter(&self) -> impl Iterator<Item = ToyPacket> + '_ {
         self.packets.iter().copied()
     }
 
+    /// Set intersection (the oracle's `Bdd::and`).
     pub fn and(&self, other: &PacketSet) -> PacketSet {
         PacketSet {
             packets: self.packets.intersection(&other.packets).copied().collect(),
         }
     }
 
+    /// Set union (the oracle's `Bdd::or`).
     pub fn or(&self, other: &PacketSet) -> PacketSet {
         PacketSet {
             packets: self.packets.union(&other.packets).copied().collect(),
         }
     }
 
+    /// Set difference (the oracle's `Bdd::diff`).
     pub fn diff(&self, other: &PacketSet) -> PacketSet {
         PacketSet {
             packets: self.packets.difference(&other.packets).copied().collect(),
         }
     }
 
+    /// Symmetric difference (the oracle's `Bdd::xor`).
     pub fn xor(&self, other: &PacketSet) -> PacketSet {
         PacketSet {
             packets: self

@@ -32,6 +32,7 @@ impl Default for ToySpace {
 }
 
 impl ToySpace {
+    /// A space with the given field widths (≤ 24 bits total).
     pub fn new(dst_bits: u32, src_bits: u32, proto_bits: u32) -> ToySpace {
         let s = ToySpace {
             dst_bits,

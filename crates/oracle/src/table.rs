@@ -21,6 +21,7 @@ pub struct ToyPrefix {
 }
 
 impl ToyPrefix {
+    /// A prefix fixing the top `len` bits to `bits`.
     pub fn new(bits: u32, len: u32) -> ToyPrefix {
         debug_assert!(len == 0 || bits < (1 << len));
         ToyPrefix { bits, len }
@@ -40,15 +41,19 @@ impl ToyPrefix {
 /// embedding layer maps them onto real `IfaceId`s.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ToyAction {
+    /// Forward out these device-local interfaces (ECMP when several).
     Forward(Vec<u32>),
+    /// Null-route the packet.
     Drop,
 }
 
 impl ToyAction {
+    /// True for [`ToyAction::Drop`].
     pub fn is_drop(&self) -> bool {
         matches!(self, ToyAction::Drop)
     }
 
+    /// The output interfaces (empty for drops).
     pub fn out_ifaces(&self) -> &[u32] {
         match self {
             ToyAction::Forward(out) => out,
@@ -61,9 +66,13 @@ impl ToyAction {
 /// src prefix, optional exact protocol.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ToyRule {
+    /// Destination-prefix constraint (the LPM key), if any.
     pub dst: Option<ToyPrefix>,
+    /// Source-prefix constraint, if any.
     pub src: Option<ToyPrefix>,
+    /// Exact-protocol constraint, if any.
     pub proto: Option<u32>,
+    /// What the rule does on a match.
     pub action: ToyAction,
 }
 
@@ -126,12 +135,14 @@ pub enum ToyTableMode {
 /// An ordered toy rule table.
 #[derive(Clone, Debug)]
 pub struct ToyTable {
+    /// How the table orders its rules into first-match priority.
     pub mode: ToyTableMode,
     rules: Vec<ToyRule>,
     sorted: bool,
 }
 
 impl ToyTable {
+    /// An empty table with the given ordering mode.
     pub fn new(mode: ToyTableMode) -> ToyTable {
         ToyTable {
             mode,
@@ -140,15 +151,18 @@ impl ToyTable {
         }
     }
 
+    /// Append a rule (re-finalize before querying).
     pub fn push(&mut self, rule: ToyRule) {
         self.rules.push(rule);
         self.sorted = false;
     }
 
+    /// Number of rules.
     pub fn len(&self) -> usize {
         self.rules.len()
     }
 
+    /// True when the table has no rules.
     pub fn is_empty(&self) -> bool {
         self.rules.is_empty()
     }
@@ -232,10 +246,12 @@ impl TableOracle {
         self.effective[i].is_empty()
     }
 
+    /// Number of rules the partition covers.
     pub fn len(&self) -> usize {
         self.effective.len()
     }
 
+    /// True when the table had no rules.
     pub fn is_empty(&self) -> bool {
         self.effective.is_empty()
     }

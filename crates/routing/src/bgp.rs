@@ -33,6 +33,7 @@ pub struct BgpRoute {
 }
 
 impl BgpRoute {
+    /// AS-path length (the best-path metric on this fabric).
     pub fn path_len(&self) -> usize {
         self.as_path.len()
     }
@@ -67,6 +68,7 @@ pub struct BgpRibs {
 }
 
 impl BgpRibs {
+    /// The best route a device holds for a prefix, if any.
     pub fn route(&self, device: DeviceId, prefix: &Prefix) -> Option<&BgpRoute> {
         self.ribs[device.0 as usize].get(prefix)
     }

@@ -29,6 +29,7 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
+use netmodel::provenance::{ConfigDb, Construct};
 use netmodel::rule::{Action, RouteClass, Rule};
 use netmodel::topology::{DeviceId, IfaceId, Topology};
 use netmodel::{MatchFields, Network, Prefix, RuleId};
@@ -411,13 +412,14 @@ impl RoutingEngine {
         &self.asns
     }
 
-    /// Rebuild the FIBs of the current failure state from scratch: sever
-    /// every dead link, drop down devices' originations and statics,
-    /// prune static next-hops over dead links, and run
-    /// [`RibBuilder::try_build`]. This is the reference the incremental
-    /// path must be bit-identical to — and the "rebuild" leg of the
-    /// scenario benchmarks.
-    pub fn full_rebuild(&self) -> Result<Network, RibError> {
+    /// The control-plane description of the current failure state, as a
+    /// fresh [`RibBuilder`]: every dead link severed, down devices'
+    /// originations and statics dropped, static next-hops over dead
+    /// links pruned. Building it from scratch is the differential
+    /// reference for the incremental path — for FIBs
+    /// ([`RoutingEngine::full_rebuild`]) and for provenance
+    /// ([`RibBuilder::into_engine`] + [`RoutingEngine::config_db`]).
+    pub fn degraded_builder(&self) -> RibBuilder {
         let mut rb = RibBuilder::new(self.degraded_topology());
         for d in 0..self.topo.device_count() {
             rb.set_tier(DeviceId(d as u32), self.tiers[d]);
@@ -453,13 +455,54 @@ impl RoutingEngine {
                 }
             }
         }
-        rb.try_build()
+        rb
+    }
+
+    /// Rebuild the FIBs of the current failure state from scratch
+    /// ([`RoutingEngine::degraded_builder`] + [`RibBuilder::try_build`]).
+    /// This is the reference the incremental path must be bit-identical
+    /// to — and the "rebuild" leg of the scenario benchmarks.
+    pub fn full_rebuild(&self) -> Result<Network, RibError> {
+        self.degraded_builder().try_build()
     }
 
     /// Apply a failure/recovery delta, re-converge incrementally, edit
     /// `net` in place, and return the FIB diff. `net` must be the network
     /// this engine built (or last edited) — managed entries are located
     /// by content.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use netmodel::rule::RouteClass;
+    /// use netmodel::topology::{IfaceKind, Role, Topology};
+    /// use routing::{Origination, RibBuilder, Scope, TopologyDelta};
+    ///
+    /// let mut topo = Topology::new();
+    /// let tor = topo.add_device("tor", Role::Tor);
+    /// let s1 = topo.add_device("s1", Role::Spine);
+    /// let s2 = topo.add_device("s2", Role::Spine);
+    /// let hosts = topo.add_iface(tor, "hosts", IfaceKind::Host);
+    /// topo.add_link(tor, s1);
+    /// topo.add_link(tor, s2);
+    /// let mut rb = RibBuilder::new(topo);
+    /// rb.originate(Origination::new(
+    ///     tor,
+    ///     "10.0.1.0/24".parse().unwrap(),
+    ///     RouteClass::HostSubnet,
+    ///     Some(hosts),
+    ///     Scope::All,
+    /// ));
+    /// let (mut engine, mut net) = rb.into_engine().unwrap();
+    ///
+    /// // Fail tor–s1: only s1 loses its route towards the prefix, and
+    /// // the diff names exactly the devices whose tables changed.
+    /// let diff = engine
+    ///     .apply(&mut net, &TopologyDelta::LinkDown { a: tor, b: s1 })
+    ///     .unwrap();
+    /// assert_eq!(diff.devices(), vec![s1]);
+    /// assert!(net.device_rules(s1).is_empty());
+    /// ```
     pub fn apply(&mut self, net: &mut Network, delta: &TopologyDelta) -> Result<FibDiff, RibError> {
         let _span = netobs::span!("reconverge");
         let n = self.topo.device_count();
@@ -925,5 +968,198 @@ impl RoutingEngine {
             action,
             class,
         })
+    }
+
+    // ----- provenance ------------------------------------------------------
+
+    /// Whether a static route can currently contribute a FIB candidate:
+    /// its device is up and it is a null route, a (preserved) degenerate
+    /// empty ECMP set, or has at least one live next-hop. Mirrors both
+    /// `fold_key`'s static arm and `full_rebuild`'s static pruning.
+    fn static_applies(&self, si: usize) -> bool {
+        let s = &self.statics[si];
+        if self.device_down[s.device.0 as usize] {
+            return false;
+        }
+        match &s.target {
+            StaticTarget::Null => true,
+            StaticTarget::Ifaces(outs) => {
+                outs.is_empty() || outs.iter().any(|&i| self.iface_live(i))
+            }
+        }
+    }
+
+    /// Per-device provenance of one prefix group: for every device the
+    /// group reaches, the constructs on its winning/ECMP announcement
+    /// paths. Computed in increasing-distance order so each device unions
+    /// `{session to parent} ∪ provenance(parent)` over its ECMP parents —
+    /// the same edges `fold_key` turns into next-hops.
+    fn group_provenance(&self, gi: usize) -> Vec<BTreeSet<Construct>> {
+        let g = &self.groups[gi];
+        let n = self.topo.device_count();
+        let mut prov: Vec<BTreeSet<Construct>> = vec![BTreeSet::new(); n];
+        let mut order: Vec<usize> = (0..n).filter(|&d| g.dist[d] != u32::MAX).collect();
+        order.sort_by_key(|&d| g.dist[d]);
+        for d in order {
+            let du = g.dist[d];
+            if du == 0 {
+                prov[d].insert(Construct::Origination {
+                    device: DeviceId(d as u32),
+                    prefix: g.prefix,
+                });
+                continue;
+            }
+            let mut set = BTreeSet::new();
+            for a in &self.adj[d] {
+                if self.link_live(a.link) && g.dist[a.peer as usize] == du - 1 {
+                    set.insert(Construct::session(DeviceId(d as u32), DeviceId(a.peer)));
+                    set.extend(prov[a.peer as usize].iter().copied());
+                }
+            }
+            prov[d] = set;
+        }
+        prov
+    }
+
+    /// The constructs contributing to one installed `(device, prefix)`
+    /// key, given memoised group provenance. Replays `fold_key`'s winner
+    /// determination: a valid static candidate always outranks BGP
+    /// (admin distance 0/1 vs 20), so the winner's source is decidable
+    /// without re-folding.
+    fn key_provenance(
+        &self,
+        key: (u32, Prefix),
+        memo: &mut BTreeMap<usize, Vec<BTreeSet<Construct>>>,
+    ) -> BTreeSet<Construct> {
+        let (device, prefix) = key;
+        if let Some(sis) = self.static_keys.get(&key) {
+            if sis.iter().any(|&si| self.static_applies(si)) {
+                return BTreeSet::from([Construct::Static {
+                    device: DeviceId(device),
+                    prefix,
+                }]);
+            }
+        }
+        if let Some(&gi) = self.group_of.get(&prefix) {
+            let prov = memo.entry(gi).or_insert_with(|| self.group_provenance(gi));
+            return prov[device as usize].clone();
+        }
+        BTreeSet::new()
+    }
+
+    /// The constructs contributing to the FIB entry currently installed
+    /// for `prefix` on `device`, or `None` if the engine manages no such
+    /// entry. The attribution is derived on demand from the resident
+    /// converged state, so it is always consistent with the last applied
+    /// delta.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use netmodel::provenance::Construct;
+    /// use netmodel::rule::RouteClass;
+    /// use netmodel::topology::{IfaceKind, Role, Topology};
+    /// use routing::{Origination, RibBuilder, Scope};
+    ///
+    /// let mut topo = Topology::new();
+    /// let tor = topo.add_device("tor", Role::Tor);
+    /// let spine = topo.add_device("spine", Role::Spine);
+    /// let hosts = topo.add_iface(tor, "hosts", IfaceKind::Host);
+    /// topo.add_link(tor, spine);
+    /// let mut rb = RibBuilder::new(topo);
+    /// let prefix = "10.0.1.0/24".parse().unwrap();
+    /// rb.originate(Origination::new(
+    ///     tor,
+    ///     prefix,
+    ///     RouteClass::HostSubnet,
+    ///     Some(hosts),
+    ///     Scope::All,
+    /// ));
+    /// let (engine, _net) = rb.into_engine().unwrap();
+    ///
+    /// // The spine's route crossed the tor–spine session and exists
+    /// // because the tor originates the prefix.
+    /// let via = engine.rule_provenance(spine, prefix).unwrap();
+    /// assert!(via.contains(&Construct::session(tor, spine)));
+    /// assert!(via.contains(&Construct::Origination { device: tor, prefix }));
+    /// ```
+    pub fn rule_provenance(&self, device: DeviceId, prefix: Prefix) -> Option<BTreeSet<Construct>> {
+        let key = (device.0, prefix);
+        if !self.installed.contains_key(&key) {
+            return None;
+        }
+        let mut memo = BTreeMap::new();
+        Some(self.key_provenance(key, &mut memo))
+    }
+
+    /// The full attribution database of the present converged state: the
+    /// live construct universe (sessions over live links, originations
+    /// and applicable statics of up devices) plus the contributing
+    /// constructs of every installed FIB entry.
+    ///
+    /// The database is a pure function of the resident distance vectors,
+    /// the configuration, and the failure state. Because incremental
+    /// re-convergence keeps those bit-identical to a from-scratch rebuild
+    /// of the degraded topology, the database an engine reports after any
+    /// delta sequence equals the one [`RoutingEngine::full_rebuild`]'s
+    /// description would produce — the differential scenario tests gate
+    /// on exactly that.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use netmodel::rule::RouteClass;
+    /// use netmodel::topology::{IfaceKind, Role, Topology};
+    /// use routing::{Origination, RibBuilder, Scope};
+    ///
+    /// let mut topo = Topology::new();
+    /// let tor = topo.add_device("tor", Role::Tor);
+    /// let spine = topo.add_device("spine", Role::Spine);
+    /// let hosts = topo.add_iface(tor, "hosts", IfaceKind::Host);
+    /// topo.add_link(tor, spine);
+    /// let mut rb = RibBuilder::new(topo);
+    /// rb.originate(Origination::new(
+    ///     tor,
+    ///     "10.0.1.0/24".parse().unwrap(),
+    ///     RouteClass::HostSubnet,
+    ///     Some(hosts),
+    ///     Scope::All,
+    /// ));
+    /// let (engine, _net) = rb.into_engine().unwrap();
+    ///
+    /// let db = engine.config_db();
+    /// // One session, one origination; both FIB entries attributed.
+    /// assert_eq!(db.len(), 2);
+    /// assert_eq!(db.map.len(), 2);
+    /// ```
+    pub fn config_db(&self) -> ConfigDb {
+        let mut db = ConfigDb::default();
+        for (l, link) in self.links.iter().enumerate() {
+            if self.link_live(l) {
+                db.constructs.insert(Construct::session(link.a, link.b));
+            }
+        }
+        for o in &self.originations {
+            if !self.device_down[o.device.0 as usize] {
+                db.constructs.insert(Construct::Origination {
+                    device: o.device,
+                    prefix: o.prefix,
+                });
+            }
+        }
+        for (si, s) in self.statics.iter().enumerate() {
+            if self.static_applies(si) {
+                db.constructs.insert(Construct::Static {
+                    device: s.device,
+                    prefix: s.prefix,
+                });
+            }
+        }
+        let mut memo = BTreeMap::new();
+        for &key in self.installed.keys() {
+            let set = self.key_provenance(key, &mut memo);
+            db.map.insert((DeviceId(key.0), key.1), set);
+        }
+        db
     }
 }

@@ -23,6 +23,8 @@
 //! needs is FIBs with the same *route classes and shapes*, which this
 //! builder produces deterministically.
 
+#![deny(missing_docs)]
+
 pub mod bgp;
 pub mod delta;
 pub mod engine;

@@ -3,6 +3,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
+use netmodel::provenance::ConfigDb;
 use netmodel::rule::{Action, RouteClass, Rule};
 use netmodel::topology::{DeviceId, IfaceId, Topology};
 use netmodel::{Network, Prefix};
@@ -14,40 +15,73 @@ use netmodel::{Network, Prefix};
 pub enum RibError {
     /// A device reference points outside the topology.
     UnknownDevice {
+        /// The offending device id.
         device: DeviceId,
+        /// How many devices the topology has.
         device_count: usize,
+        /// Which kind of object held the reference.
         context: &'static str,
     },
     /// An interface reference points outside the topology, or belongs to
     /// a different device than the route naming it.
     BadIface {
+        /// The offending interface id.
         iface: IfaceId,
+        /// The device the reference was made for.
         device: DeviceId,
+        /// Which kind of object held the reference.
         context: &'static str,
     },
     /// A per-device attribute slice has the wrong length (BGP simulator).
     LengthMismatch {
+        /// Which attribute slice was mis-sized.
         what: &'static str,
+        /// The length that was supplied.
         got: usize,
+        /// The device count it must match.
         expected: usize,
     },
     /// A rule id names an index outside its device's table (rule
     /// deltas).
     BadRule {
+        /// The offending rule id.
         id: netmodel::RuleId,
+        /// The device's current table length.
         table_len: usize,
+        /// Which operation held the reference.
         context: &'static str,
     },
     /// A topology delta names a device pair with no link between them.
-    UnknownLink { a: DeviceId, b: DeviceId },
+    UnknownLink {
+        /// One endpoint of the missing link.
+        a: DeviceId,
+        /// The other endpoint.
+        b: DeviceId,
+    },
     /// A link-down delta targets a link that is already down.
-    LinkAlreadyDown { a: DeviceId, b: DeviceId },
+    LinkAlreadyDown {
+        /// One endpoint of the link.
+        a: DeviceId,
+        /// The other endpoint.
+        b: DeviceId,
+    },
     /// A link-up delta targets a link that is not down.
-    LinkNotDown { a: DeviceId, b: DeviceId },
+    LinkNotDown {
+        /// One endpoint of the link.
+        a: DeviceId,
+        /// The other endpoint.
+        b: DeviceId,
+    },
     /// A device-down delta targets a device that is already down.
-    DeviceAlreadyDown { device: DeviceId },
+    DeviceAlreadyDown {
+        /// The targeted device.
+        device: DeviceId,
+    },
     /// A device-up delta targets a device that is not down.
-    DeviceNotDown { device: DeviceId },
+    DeviceNotDown {
+        /// The targeted device.
+        device: DeviceId,
+    },
 }
 
 impl fmt::Display for RibError {
@@ -134,7 +168,9 @@ impl Scope {
 /// redistributed WAN route, or the BGP default from the WAN).
 #[derive(Clone, Debug)]
 pub struct Origination {
+    /// The originating device.
     pub device: DeviceId,
+    /// The originated prefix.
     pub prefix: Prefix,
     /// Route class stamped onto every FIB rule this origination creates.
     pub class: RouteClass,
@@ -143,6 +179,7 @@ pub struct Origination {
     /// advertises the prefix but blackholes matching traffic locally
     /// (used to model redistribution anomalies).
     pub deliver: Option<IfaceId>,
+    /// Which tiers install (and re-advertise) the route.
     pub scope: Scope,
     /// Devices that refuse this route: they neither install nor
     /// re-advertise it. Models propagation anomalies like Figure 1's B2,
@@ -183,9 +220,13 @@ pub enum StaticTarget {
 /// A statically configured, non-propagated route on one device.
 #[derive(Clone, Debug)]
 pub struct StaticRoute {
+    /// The configured device.
     pub device: DeviceId,
+    /// The destination prefix.
     pub prefix: Prefix,
+    /// Where matching packets go.
     pub target: StaticTarget,
+    /// Route class stamped onto the compiled FIB rule.
     pub class: RouteClass,
 }
 
@@ -232,6 +273,7 @@ impl RibBuilder {
         }
     }
 
+    /// The topology the forwarding state is being built over.
     pub fn topology(&self) -> &Topology {
         &self.topo
     }
@@ -241,6 +283,7 @@ impl RibBuilder {
         &mut self.topo
     }
 
+    /// Set a device's tier (used by [`Scope::MinTier`] route scoping).
     pub fn set_tier(&mut self, device: DeviceId, tier: u8) {
         let idx = device.0 as usize;
         if idx >= self.tiers.len() {
@@ -249,6 +292,7 @@ impl RibBuilder {
         self.tiers[idx] = tier;
     }
 
+    /// Set a device's BGP ASN (diagnostic fidelity; see the field docs).
     pub fn set_asn(&mut self, device: DeviceId, asn: u32) {
         let idx = device.0 as usize;
         if idx >= self.asns.len() {
@@ -267,10 +311,12 @@ impl RibBuilder {
         self.tiers.get(device.0 as usize).copied().unwrap_or(0)
     }
 
+    /// Originate a prefix into BGP.
     pub fn originate(&mut self, o: Origination) {
         self.originations.push(o);
     }
 
+    /// Add a statically configured route.
     pub fn add_static(&mut self, s: StaticRoute) {
         self.statics.push(s);
     }
@@ -399,6 +445,46 @@ impl RibBuilder {
             self.originations,
             self.statics,
         ))
+    }
+
+    /// [`Self::try_build`] plus the attribution database: compile the
+    /// forwarding state and report, per installed FIB entry, the config
+    /// constructs (originations, eBGP sessions, statics) that produced
+    /// it. The returned network is bit-identical to [`Self::try_build`]
+    /// on the same description — both fold the same converged fixpoint.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use netmodel::provenance::Construct;
+    /// use netmodel::rule::RouteClass;
+    /// use netmodel::topology::{IfaceKind, Role, Topology};
+    /// use routing::{Origination, RibBuilder, Scope};
+    ///
+    /// let mut topo = Topology::new();
+    /// let tor = topo.add_device("tor", Role::Tor);
+    /// let spine = topo.add_device("spine", Role::Spine);
+    /// let hosts = topo.add_iface(tor, "hosts", IfaceKind::Host);
+    /// topo.add_link(tor, spine);
+    /// let mut rb = RibBuilder::new(topo);
+    /// let prefix = "10.0.1.0/24".parse().unwrap();
+    /// rb.originate(Origination::new(
+    ///     tor,
+    ///     prefix,
+    ///     RouteClass::HostSubnet,
+    ///     Some(hosts),
+    ///     Scope::All,
+    /// ));
+    /// let (net, db) = rb.try_build_with_provenance().unwrap();
+    ///
+    /// // The spine's FIB entry is attributed to the session it crossed.
+    /// let via = db.attribution(spine, prefix).unwrap();
+    /// assert!(via.contains(&Construct::session(tor, spine)));
+    /// assert_eq!(net.device_rules(spine).len(), 1);
+    /// ```
+    pub fn try_build_with_provenance(self) -> Result<(Network, ConfigDb), RibError> {
+        let (engine, net) = self.into_engine()?;
+        Ok((net, engine.config_db()))
     }
 
     /// [`Self::build`], returning [`RibError`] on out-of-range device or

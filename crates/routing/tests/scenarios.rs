@@ -5,6 +5,7 @@
 //! exactly the FIBs a from-scratch rebuild (and the message-passing eBGP
 //! simulator) computes for the degraded topology.
 
+use netmodel::provenance::Construct;
 use netmodel::rule::RouteClass;
 use netmodel::topology::{DeviceId, IfaceId, IfaceKind, Role, Topology};
 use netmodel::{Network, Prefix};
@@ -342,6 +343,78 @@ fn device_flap_restores_baseline_bit_identically() {
     }
 }
 
+// ---- provenance attribution ----
+
+#[test]
+fn healthy_provenance_attributes_every_entry() {
+    let (engine, net) = mini_engine(true);
+    let db = engine.config_db();
+    // Every engine-managed FIB rule is attributed to ≥1 construct.
+    for (d, _) in net.topology().devices() {
+        for r in net.device_rules(d) {
+            let prefix = r.matches.dst.unwrap();
+            let via = db
+                .attribution(d, prefix)
+                .unwrap_or_else(|| panic!("no attribution for {prefix} on {d:?}"));
+            assert!(!via.is_empty(), "{prefix} on {d:?} attributed to nothing");
+            // And only to constructs of the live universe.
+            for c in via {
+                assert!(db.constructs.contains(c), "{c} not in the universe");
+            }
+        }
+    }
+    // Statics win their keys: tor0's default is attributed to the
+    // static, not to the anycast BGP default behind it.
+    let tor0 = DeviceId(0);
+    let via = db.attribution(tor0, Prefix::v4_default()).unwrap();
+    assert_eq!(
+        via.iter().collect::<Vec<_>>(),
+        vec![&Construct::Static {
+            device: tor0,
+            prefix: Prefix::v4_default(),
+        }]
+    );
+    // A remote host route's provenance reaches back to the origination.
+    let p1: Prefix = "10.0.1.0/24".parse().unwrap();
+    let via = db.attribution(tor0, p1).unwrap();
+    assert!(via.contains(&Construct::Origination {
+        device: DeviceId(1),
+        prefix: p1,
+    }));
+    // tor0 reaches tor1's prefix over both aggs: both first-hop
+    // sessions (and both second-hop sessions) are on the ECMP paths.
+    for agg in [DeviceId(2), DeviceId(3)] {
+        assert!(via.contains(&Construct::session(tor0, agg)));
+        assert!(via.contains(&Construct::session(agg, DeviceId(1))));
+    }
+}
+
+#[test]
+fn provenance_follows_a_link_flap() {
+    let (mut engine, mut net) = mini_engine(true);
+    let tor0 = DeviceId(0);
+    let (agg0, agg1) = (DeviceId(2), DeviceId(3));
+    let p1: Prefix = "10.0.1.0/24".parse().unwrap();
+    let healthy = engine.config_db();
+    engine
+        .apply(&mut net, &TopologyDelta::LinkDown { a: tor0, b: agg0 })
+        .unwrap();
+    let degraded = engine.config_db();
+    // The dead session leaves the universe and tor0's path to tor1's
+    // prefix narrows to the agg1 leg only.
+    assert!(!degraded
+        .constructs
+        .contains(&Construct::session(tor0, agg0)));
+    let via = degraded.attribution(tor0, p1).unwrap();
+    assert!(!via.contains(&Construct::session(tor0, agg0)));
+    assert!(via.contains(&Construct::session(tor0, agg1)));
+    // Recovery restores the healthy attribution database exactly.
+    engine
+        .apply(&mut net, &TopologyDelta::LinkUp { a: tor0, b: agg0 })
+        .unwrap();
+    assert_eq!(engine.config_db(), healthy);
+}
+
 // ---- differential proptest: random sequences ----
 
 /// Interpret a `(kind, pick)` pair against the engine's current failure
@@ -437,6 +510,17 @@ proptest! {
                     d
                 );
             }
+            // Same gate for provenance: the attribution database read
+            // off the incrementally re-converged engine is bit-identical
+            // to one built from scratch on the degraded topology.
+            let (scratch, _) =
+                engine.degraded_builder().into_engine().unwrap();
+            prop_assert_eq!(
+                engine.config_db(),
+                scratch.config_db(),
+                "after {:?}: provenance diverged",
+                delta
+            );
         }
     }
 

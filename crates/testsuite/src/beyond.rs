@@ -24,7 +24,9 @@ use crate::context::{TestContext, TestReport};
 /// and the WAN routers they enter through.
 #[derive(Clone, Debug, Default)]
 pub struct WanSpec {
+    /// The wide-area prefixes the WAN advertises.
     pub prefixes: Vec<Prefix>,
+    /// The WAN routers those prefixes enter through.
     pub wan_routers: Vec<DeviceId>,
 }
 

@@ -31,13 +31,18 @@ impl NetworkInfo {
 /// Everything a test needs: the network, its match sets, ground truth,
 /// and the coverage tracker to report into.
 pub struct TestContext<'n> {
+    /// The network under test.
     pub net: &'n Network,
+    /// Precomputed disjoint match sets for `net`.
     pub ms: &'n MatchSets,
+    /// Ground truth (hosted prefixes, links, loopbacks).
     pub info: &'n NetworkInfo,
+    /// The coverage tracker tests report into.
     pub tracker: Tracker,
 }
 
 impl<'n> TestContext<'n> {
+    /// A context with coverage tracking enabled.
     pub fn new(net: &'n Network, ms: &'n MatchSets, info: &'n NetworkInfo) -> TestContext<'n> {
         TestContext {
             net,
@@ -79,12 +84,16 @@ impl<'n> TestContext<'n> {
 /// many individual checks executed.
 #[derive(Clone, Debug)]
 pub struct TestReport {
+    /// The test's name (one of the taxonomy tests).
     pub name: &'static str,
+    /// How many individual checks executed.
     pub checks: u64,
+    /// Human-readable descriptions of every failed check.
     pub failures: Vec<String>,
 }
 
 impl TestReport {
+    /// An empty report for the named test.
     pub fn new(name: &'static str) -> TestReport {
         TestReport {
             name,
@@ -93,10 +102,12 @@ impl TestReport {
         }
     }
 
+    /// True when no check failed.
     pub fn passed(&self) -> bool {
         self.failures.is_empty()
     }
 
+    /// Record one check: count it, and log `failure()` when `ok` is false.
     pub fn check(&mut self, ok: bool, failure: impl FnOnce() -> String) {
         self.checks += 1;
         if !ok {

@@ -23,6 +23,8 @@
 //! enabled or disabled — which is exactly how the Figure-8 experiment
 //! measures the overhead of coverage tracking.
 
+#![deny(missing_docs)]
+
 pub mod acl;
 pub mod beyond;
 pub mod context;

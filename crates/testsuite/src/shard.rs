@@ -26,11 +26,14 @@ use crate::local::check_contract_prefix;
 /// Which device roles a contract job checks at.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RoleFilter {
+    /// Check at every device regardless of role.
     All,
+    /// Check only at devices of this role.
     Only(Role),
 }
 
 impl RoleFilter {
+    /// Whether a device of `role` is in scope for this filter.
     pub fn accepts(&self, role: Role) -> bool {
         match self {
             RoleFilter::All => true,
@@ -43,30 +46,53 @@ impl RoleFilter {
 #[derive(Clone, Debug)]
 pub enum SuiteJob {
     /// DefaultRouteCheck at one device.
-    DefaultRoute { device: DeviceId },
+    DefaultRoute {
+        /// The device whose default route is inspected.
+        device: DeviceId,
+    },
     /// ConnectedRouteCheck for one link (index into `info.links`).
-    ConnectedRoute { link_index: usize },
+    ConnectedRoute {
+        /// Index into `info.links`.
+        link_index: usize,
+    },
     /// An RCDC contract sweep for one `(originator, prefix)` pair.
     Contract {
+        /// The device originating the prefix.
         origin: DeviceId,
+        /// The originated prefix under contract.
         prefix: Prefix,
+        /// Which device roles the sweep checks at.
         roles: RoleFilter,
     },
     /// ToRReachability from one source ToR (index into `tor_subnets`).
-    Reachability { src_index: usize },
+    Reachability {
+        /// Index of the source ToR in `info.tor_subnets`.
+        src_index: usize,
+    },
     /// ToRPingmesh for one ordered ToR pair, with its derived seed.
     Pingmesh {
+        /// Index of the source ToR in `info.tor_subnets`.
         src_index: usize,
+        /// Index of the destination ToR in `info.tor_subnets`.
         dst_index: usize,
+        /// Deterministic per-pair probe seed.
         seed: u64,
     },
     /// AclEntryCheck at one device: a deny entry for `port` must exist.
-    AclEntry { device: DeviceId, port: u16 },
+    AclEntry {
+        /// The device whose ACL is inspected.
+        device: DeviceId,
+        /// The port the deny entry must cover.
+        port: u16,
+    },
     /// One test emitted by the coverage-guided generation loop
     /// (`yardstick::testgen`): a self-contained spec replayed via
     /// `run_spec`, so autogen suites shard exactly like hand-written
     /// ones (the mutation study's `--autogen` leg relies on this).
-    Generated { spec: yardstick::testgen::TestSpec },
+    Generated {
+        /// The generated test's self-contained replayable spec.
+        spec: yardstick::testgen::TestSpec,
+    },
 }
 
 impl SuiteJob {

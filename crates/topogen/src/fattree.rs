@@ -39,35 +39,88 @@ impl FatTreeParams {
 /// A generated fat-tree: the network plus handles used by tests and
 /// benchmarks.
 pub struct FatTree {
+    /// The compiled network (FIBs installed, finalized).
     pub net: Network,
+    /// The parameters the tree was generated from.
     pub params: FatTreeParams,
     /// ToR routers with their hosted prefix and host-facing interface.
     pub tors: Vec<(DeviceId, Prefix, IfaceId)>,
+    /// Aggregation routers, pod by pod.
     pub aggs: Vec<DeviceId>,
+    /// Core (spine) routers.
     pub cores: Vec<DeviceId>,
     /// All fabric links, in creation order (the order addressing uses).
     pub links: Vec<(IfaceId, IfaceId)>,
 }
 
 impl FatTree {
+    /// Number of routers in the tree (5k²/4).
     pub fn device_count(&self) -> usize {
         self.net.topology().device_count()
+    }
+}
+
+/// The configured-but-uncompiled fat-tree control plane: the
+/// construction stage [`fattree`] and [`fattree_with_engine`] share,
+/// stopping just short of FIB compilation. Exposed so callers can
+/// perturb the *configuration* before compiling — the config-coverage
+/// audit injects a deliberately dark static route this way, and any
+/// experiment that needs a non-canonical fat-tree config starts here.
+pub struct FatTreeBuilder {
+    /// The configured control plane; mutate it (extra statics,
+    /// originations, scopes) before finishing.
+    pub rb: RibBuilder,
+    /// The parameters the tree is being generated from.
+    pub params: FatTreeParams,
+    /// ToR routers with their hosted prefix and host-facing interface.
+    pub tors: Vec<(DeviceId, Prefix, IfaceId)>,
+    /// Aggregation routers, pod by pod.
+    pub aggs: Vec<DeviceId>,
+    /// Core (spine) routers.
+    pub cores: Vec<DeviceId>,
+    /// All fabric links, in creation order (the order addressing uses).
+    pub links: Vec<(IfaceId, IfaceId)>,
+}
+
+impl FatTreeBuilder {
+    /// Compile FIBs and return the finished [`FatTree`].
+    pub fn build(self) -> FatTree {
+        FatTree {
+            net: self.rb.build(),
+            params: self.params,
+            tors: self.tors,
+            aggs: self.aggs,
+            cores: self.cores,
+            links: self.links,
+        }
+    }
+
+    /// Compile FIBs, keeping the control plane resident as an
+    /// incremental [`routing::RoutingEngine`]. The network is
+    /// bit-identical to [`FatTreeBuilder::build`]'s.
+    pub fn into_engine(self) -> (FatTree, routing::RoutingEngine) {
+        let (engine, net) = self
+            .rb
+            .into_engine()
+            .expect("fat-tree control plane is valid by construction");
+        (
+            FatTree {
+                net,
+                params: self.params,
+                tors: self.tors,
+                aggs: self.aggs,
+                cores: self.cores,
+                links: self.links,
+            },
+            engine,
+        )
     }
 }
 
 /// Generate a k-ary fat-tree network with computed forwarding state.
 pub fn fattree(params: FatTreeParams) -> FatTree {
     let _span = netobs::span!("topogen_fattree");
-    let (rb, tor_info, aggs, cores, links) = fattree_builder(params);
-    let net = rb.build();
-    FatTree {
-        net,
-        params,
-        tors: tor_info,
-        aggs,
-        cores,
-        links,
-    }
+    fattree_builder(params).build()
 }
 
 /// [`fattree`], but handing the control plane to a resident incremental
@@ -76,35 +129,12 @@ pub fn fattree(params: FatTreeParams) -> FatTree {
 /// engine then re-converges it under link/device failure deltas.
 pub fn fattree_with_engine(params: FatTreeParams) -> (FatTree, routing::RoutingEngine) {
     let _span = netobs::span!("topogen_fattree");
-    let (rb, tor_info, aggs, cores, links) = fattree_builder(params);
-    let (engine, net) = rb
-        .into_engine()
-        .expect("fat-tree control plane is valid by construction");
-    (
-        FatTree {
-            net,
-            params,
-            tors: tor_info,
-            aggs,
-            cores,
-            links,
-        },
-        engine,
-    )
+    fattree_builder(params).into_engine()
 }
 
-/// Shared construction: topology, control plane, and the handles the
-/// [`FatTree`] carries, stopping just short of FIB compilation.
-#[allow(clippy::type_complexity)]
-fn fattree_builder(
-    params: FatTreeParams,
-) -> (
-    RibBuilder,
-    Vec<(DeviceId, Prefix, IfaceId)>,
-    Vec<DeviceId>,
-    Vec<DeviceId>,
-    Vec<(IfaceId, IfaceId)>,
-) {
+/// The shared construction stage: topology, control plane, and the
+/// handles the [`FatTree`] carries, as a perturbable [`FatTreeBuilder`].
+pub fn fattree_builder(params: FatTreeParams) -> FatTreeBuilder {
     let k = params.k;
     assert!(
         k >= 2 && k.is_multiple_of(2),
@@ -245,7 +275,14 @@ fn fattree_builder(
         });
     }
 
-    (rb, tor_info, aggs, cores, links)
+    FatTreeBuilder {
+        rb,
+        params,
+        tors: tor_info,
+        aggs,
+        cores,
+        links,
+    }
 }
 
 /// Install a static default route on every device in `devs` pointing at

@@ -23,14 +23,19 @@ use crate::addressing;
 
 /// The Figure-1 network and its cast of characters.
 pub struct Figure1 {
+    /// The compiled network.
     pub net: Network,
     /// Leaf routers with hosted prefix and host iface.
     pub leafs: Vec<(DeviceId, Prefix, IfaceId)>,
+    /// Spine routers.
     pub spines: Vec<DeviceId>,
+    /// Border router B1 (correctly configured).
     pub b1: DeviceId,
+    /// Border router B2 (null-routed default when the bug is enabled).
     pub b2: DeviceId,
-    /// The WAN-facing interfaces of B1 and B2.
+    /// The WAN-facing interface of B1.
     pub b1_wan: IfaceId,
+    /// The WAN-facing interface of B2.
     pub b2_wan: IfaceId,
 }
 

@@ -24,6 +24,8 @@
 //! All generators are pure functions of their parameters — same inputs,
 //! same network — so experiments are reproducible bit-for-bit.
 
+#![deny(missing_docs)]
+
 pub mod acl;
 pub mod addressing;
 pub mod fattree;
@@ -31,6 +33,8 @@ pub mod faults;
 pub mod figure1;
 pub mod regional;
 
-pub use fattree::{fattree, fattree_with_engine, FatTree, FatTreeParams};
+pub use fattree::{
+    fattree, fattree_builder, fattree_with_engine, FatTree, FatTreeBuilder, FatTreeParams,
+};
 pub use figure1::{figure1, Figure1};
 pub use regional::{regional, Regional, RegionalParams};

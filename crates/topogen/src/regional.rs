@@ -28,12 +28,19 @@ use crate::addressing;
 /// Shape of a regional network.
 #[derive(Clone, Copy, Debug)]
 pub struct RegionalParams {
+    /// Number of datacenters in the region.
     pub datacenters: u32,
+    /// ToR/aggregation pods per datacenter.
     pub pods_per_dc: u32,
+    /// ToR routers per pod.
     pub tors_per_pod: u32,
+    /// Aggregation routers per pod.
     pub aggs_per_pod: u32,
+    /// Spine routers per datacenter.
     pub spines_per_dc: u32,
+    /// Regional hub routers interconnecting the datacenters.
     pub hubs: u32,
+    /// WAN routers above the hubs.
     pub wan_routers: u32,
     /// Number of simulated wide-area prefixes advertised by the WAN.
     pub wan_prefixes: u32,
@@ -70,7 +77,9 @@ impl Default for RegionalParams {
 
 /// A generated regional network with handles for tests and experiments.
 pub struct Regional {
+    /// The compiled network.
     pub net: Network,
+    /// The parameters the region was generated from.
     pub params: RegionalParams,
     /// ToRs with hosted /24 prefix and *first* host-facing interface.
     pub tors: Vec<(DeviceId, Prefix, IfaceId)>,
@@ -78,10 +87,15 @@ pub struct Regional {
     pub tor_host_ports: Vec<Vec<IfaceId>>,
     /// Flat list of (ToR, host port, the /24-slice it serves).
     pub host_port_slices: Vec<(DeviceId, IfaceId, Prefix)>,
+    /// Aggregation routers, pod by pod.
     pub aggs: Vec<DeviceId>,
+    /// Spine routers, datacenter by datacenter.
     pub spines: Vec<DeviceId>,
+    /// Regional hub routers.
     pub hubs: Vec<DeviceId>,
+    /// WAN routers.
     pub wans: Vec<DeviceId>,
+    /// The simulated wide-area prefixes the WAN advertises.
     pub wan_prefixes: Vec<Prefix>,
     /// Per-device loopback interface (parallel to device ids), when
     /// loopbacks or connected routes are enabled.
